@@ -1,0 +1,318 @@
+//! The web browser, its plugin, and the ad-block extension.
+//!
+//! §5.2 / Fig 6: the browser is granted a rate of energy; it further
+//! subdivides its own allotment so a plugin "cannot starve other plugins or
+//! even the browser itself". Fig 6a uses a plain 70 mW tap; Fig 6b adds
+//! 0.1× *backward proportional* taps so unused energy is reclaimed: the
+//! plugin reserve equilibrates at 700 mJ (10 s of its 70 mW feed) and the
+//! browser's at 7,000 mJ.
+//!
+//! The extension (ad blocker) runs as its own process with a subdivided
+//! reserve; the browser messages it and simply renders the unaugmented page
+//! when the extension is too starved to answer (§5.2's links2-based
+//! browser).
+
+use cinder_core::{RateSpec, ReserveId, TapId};
+use cinder_kernel::{Ctx, Kernel, KernelError, Program, Step, ThreadId};
+use cinder_label::{Label, Level};
+use cinder_sim::{Power, SimDuration};
+
+use crate::spinner::Spinner;
+
+/// Topology parameters for the browser experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BrowserConfig {
+    /// The browser's feed from the battery (Fig 6: ~694 mW ≈ 6 h on 15 kJ).
+    pub browser_tap: Power,
+    /// The plugin's feed from the browser's reserve (Fig 6: 70 mW = 10%).
+    pub plugin_tap: Power,
+    /// Backward proportional reclamation fraction (Fig 6b: `Some(0.1)`).
+    pub backward_fraction: Option<f64>,
+    /// Feed for the ad-block extension process.
+    pub extension_tap: Power,
+}
+
+impl BrowserConfig {
+    /// Fig 6a: plain forward taps only.
+    pub fn fig6a() -> Self {
+        BrowserConfig {
+            browser_tap: Power::from_milliwatts(694),
+            plugin_tap: Power::from_milliwatts(70),
+            backward_fraction: None,
+            extension_tap: Power::from_milliwatts(20),
+        }
+    }
+
+    /// Fig 6b: with 0.1× backward proportional reclamation.
+    pub fn fig6b() -> Self {
+        BrowserConfig {
+            backward_fraction: Some(0.1),
+            ..BrowserConfig::fig6a()
+        }
+    }
+}
+
+/// Everything `build_browser` created.
+#[derive(Debug, Clone)]
+pub struct BrowserHandles {
+    /// The browser's reserve.
+    pub browser_reserve: ReserveId,
+    /// The plugin's subdivided reserve.
+    pub plugin_reserve: ReserveId,
+    /// The extension's subdivided reserve.
+    pub extension_reserve: ReserveId,
+    /// Browser thread.
+    pub browser: ThreadId,
+    /// Plugin thread (a hog, to exercise isolation).
+    pub plugin: ThreadId,
+    /// Extension thread.
+    pub extension: ThreadId,
+    /// The browser's battery tap.
+    pub browser_tap: TapId,
+    /// The plugin's feed tap.
+    pub plugin_tap: TapId,
+    /// Backward taps, if the Fig 6b topology was requested.
+    pub backward_taps: Vec<TapId>,
+}
+
+/// The browser program: periodic page loads (compute bursts) plus an
+/// ad-block request to the extension per page. If the extension has no
+/// energy, the page renders unaugmented — the browser never blocks on it.
+pub struct Browser {
+    extension: Option<ThreadId>,
+    extension_reserve: Option<ReserveId>,
+    page_interval: SimDuration,
+    page_work: SimDuration,
+    /// Pages rendered without ad blocking because the extension was starved.
+    pub pages_unaugmented: u64,
+    /// Total pages rendered.
+    pub pages: u64,
+    next_page_due: bool,
+}
+
+impl Browser {
+    /// A browser loading a page every 2 s, each costing 500 ms of CPU.
+    pub fn new(extension: Option<ThreadId>, extension_reserve: Option<ReserveId>) -> Self {
+        Browser {
+            extension,
+            extension_reserve,
+            page_interval: SimDuration::from_secs(2),
+            page_work: SimDuration::from_millis(500),
+            pages_unaugmented: 0,
+            pages: 0,
+            next_page_due: true,
+        }
+    }
+}
+
+impl Program for Browser {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        if self.next_page_due {
+            self.next_page_due = false;
+            self.pages += 1;
+            // Ask the extension to filter the page, if it can afford to.
+            if let (Some(ext), Some(ext_r)) = (self.extension, self.extension_reserve) {
+                let responsive = ctx.level(ext_r).map(|l| l.is_positive()).unwrap_or(false);
+                if responsive {
+                    let _ = ctx.msg_send(ext, SimDuration::from_millis(50));
+                } else {
+                    self.pages_unaugmented += 1;
+                }
+            }
+            return Step::compute(self.page_work);
+        }
+        self.next_page_due = true;
+        Step::SleepUntil(ctx.now() + self.page_interval)
+    }
+}
+
+/// The extension: processes ad-block requests when messaged; otherwise
+/// blocks. Its CPU work is billed to its own subdivided reserve.
+pub struct Extension;
+
+impl Program for Extension {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        match ctx.msg_take() {
+            Some(work) => Step::compute(work),
+            None => Step::Block,
+        }
+    }
+}
+
+/// Builds the Fig 6 topology: battery → browser reserve → {plugin,
+/// extension} reserves, with optional backward-proportional reclamation,
+/// and spawns the three processes. The plugin is a flat-out hog to
+/// demonstrate isolation.
+pub fn build_browser(
+    kernel: &mut Kernel,
+    config: BrowserConfig,
+) -> Result<BrowserHandles, KernelError> {
+    let k = cinder_core::Actor::kernel();
+    let battery = kernel.battery();
+    // The browser protects its reserves with an integrity category it owns.
+    let cat = kernel.alloc_category();
+    let tap_label = Label::with(&[(cat, Level::L0)]);
+
+    let g = kernel.graph_mut();
+    let browser_reserve = g.create_reserve(&k, "browser", Label::default_label())?;
+    let plugin_reserve = g.create_reserve(&k, "plugin", Label::default_label())?;
+    let extension_reserve = g.create_reserve(&k, "extension", Label::default_label())?;
+    let browser_tap = g.create_tap(
+        &k,
+        "battery→browser",
+        battery,
+        browser_reserve,
+        RateSpec::constant(config.browser_tap),
+        tap_label.clone(),
+    )?;
+    let plugin_tap = g.create_tap(
+        &k,
+        "browser→plugin",
+        browser_reserve,
+        plugin_reserve,
+        RateSpec::constant(config.plugin_tap),
+        tap_label.clone(),
+    )?;
+    g.create_tap(
+        &k,
+        "browser→extension",
+        browser_reserve,
+        extension_reserve,
+        RateSpec::constant(config.extension_tap),
+        tap_label.clone(),
+    )?;
+    let mut backward_taps = Vec::new();
+    if let Some(fraction) = config.backward_fraction {
+        for (name, reserve) in [
+            ("browser⤺battery", browser_reserve),
+            ("plugin⤺battery", plugin_reserve),
+        ] {
+            backward_taps.push(g.create_tap(
+                &k,
+                name,
+                reserve,
+                battery,
+                RateSpec::proportional(fraction),
+                tap_label.clone(),
+            )?);
+        }
+    }
+
+    let extension = kernel.spawn_unprivileged("extension", Box::new(Extension), extension_reserve);
+    let browser = kernel.spawn_unprivileged(
+        "browser",
+        Box::new(Browser::new(Some(extension), Some(extension_reserve))),
+        browser_reserve,
+    );
+    // A misbehaving plugin: spins as hard as its reserve allows.
+    let plugin = kernel.spawn_unprivileged("plugin", Box::new(Spinner::new()), plugin_reserve);
+    Ok(BrowserHandles {
+        browser_reserve,
+        plugin_reserve,
+        extension_reserve,
+        browser,
+        plugin,
+        extension,
+        browser_tap,
+        plugin_tap,
+        backward_taps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_core::GraphConfig;
+    use cinder_kernel::KernelConfig;
+    use cinder_sim::{Energy, SimTime};
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig {
+            graph: GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn plugin_hog_is_capped_at_its_tap() {
+        let mut k = kernel();
+        let h = build_browser(&mut k, BrowserConfig::fig6a()).unwrap();
+        k.run_until(SimTime::from_secs(120));
+        // The plugin spins flat out but averages ≈ its 70 mW feed.
+        let est = k.thread_power_estimate(h.plugin).as_milliwatts_f64();
+        assert!(est < 90.0, "plugin estimate {est} mW");
+        let consumed = k.thread_consumed(h.plugin).as_joules_f64();
+        // 120 s × 70 mW = 8.4 J upper bound (+ slack for startup).
+        assert!(consumed <= 8.6, "plugin consumed {consumed} J");
+    }
+
+    #[test]
+    fn browser_keeps_rendering_despite_plugin_hog() {
+        let mut k = kernel();
+        let h = build_browser(&mut k, BrowserConfig::fig6a()).unwrap();
+        k.run_until(SimTime::from_secs(60));
+        // Browser pages keep coming: ~1 per 2.5 s (page work + interval).
+        let consumed = k.thread_consumed(h.browser);
+        assert!(
+            consumed > Energy::from_millijoules(500),
+            "browser made progress: {consumed}"
+        );
+    }
+
+    #[test]
+    fn fig6b_plugin_reserve_equilibrates_at_700mj() {
+        let mut k = kernel();
+        let h = build_browser(&mut k, BrowserConfig::fig6b()).unwrap();
+        // Kill the plugin so its reserve just fills: the backward tap must
+        // cap it at ~700 mJ (70 mW ÷ 0.1/s).
+        k.kill(h.plugin);
+        k.run_until(SimTime::from_secs(300));
+        let level = k
+            .graph()
+            .reserve(h.plugin_reserve)
+            .unwrap()
+            .balance()
+            .as_joules_f64();
+        assert!((level - 0.7).abs() < 0.05, "plugin reserve at {level} J");
+    }
+
+    #[test]
+    fn fig6a_plugin_reserve_hoards_without_backward_tap() {
+        let mut k = kernel();
+        let h = build_browser(&mut k, BrowserConfig::fig6a()).unwrap();
+        k.kill(h.plugin);
+        k.run_until(SimTime::from_secs(300));
+        let level = k
+            .graph()
+            .reserve(h.plugin_reserve)
+            .unwrap()
+            .balance()
+            .as_joules_f64();
+        // Without reclamation (and decay disabled) the idle reserve grows
+        // right past the Fig 6b equilibrium — the §5.2.1 problem.
+        assert!(level > 10.0, "plugin reserve at {level} J");
+    }
+
+    #[test]
+    fn starved_extension_degrades_gracefully() {
+        let mut k = kernel();
+        let mut cfg = BrowserConfig::fig6a();
+        cfg.extension_tap = Power::ZERO; // starve the extension entirely
+        let h = build_browser(&mut k, cfg).unwrap();
+        k.run_until(SimTime::from_secs(30));
+        // The browser never blocked: pages rendered, all unaugmented.
+        let browser_consumed = k.thread_consumed(h.browser);
+        assert!(browser_consumed > Energy::from_millijoules(500));
+        assert_eq!(
+            k.graph()
+                .reserve(h.extension_reserve)
+                .unwrap()
+                .stats()
+                .consumed,
+            Energy::ZERO
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! The energy-aware network picture gallery (§5.3, §6.2).
+//!
+//! "The application has a separate thread for downloading images, using an
+//! energy reserve distinct from the main thread. … The application checks
+//! the levels in the reserve periodically. A drop in the reserve level
+//! indicates that the downloader is consuming energy too quickly and will
+//! be throttled if it cannot curb consumption. In this case, the downloader
+//! only requests partial data from the remote interlaced PNG images."
+//!
+//! The §6.2 workload: batches of ~2.7 MiB images with a pause between
+//! batches; "the first pause lasted for 40 seconds, with each successive
+//! pause being 5 seconds shorter". Without scaling the viewer stalls at an
+//! empty reserve (Fig 10); with scaling it finishes ~5× faster (Fig 11).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cinder_kernel::{Ctx, KernelError, Program, Step};
+use cinder_sim::{Energy, SimDuration, SimTime};
+
+/// Workload parameters (defaults: the §6.2 experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct ViewerConfig {
+    /// Number of image batches ("pages" the user views).
+    pub batches: u32,
+    /// Images per batch.
+    pub images_per_batch: u32,
+    /// Full-quality image size (~2.7 MiB).
+    pub image_bytes: u64,
+    /// First inter-batch pause (40 s), shrinking by `pause_step` per batch.
+    pub first_pause: SimDuration,
+    /// How much shorter each successive pause is (5 s).
+    pub pause_step: SimDuration,
+    /// Adaptive quality scaling on/off (Fig 11 vs Fig 10).
+    pub adaptive: bool,
+    /// Fraction of the remaining budget the viewer is willing to spend on
+    /// the rest of the batch, in ppm (planning margin).
+    pub spend_fraction_ppm: u64,
+    /// The viewer's estimate of a full-quality image's energy cost (learned
+    /// from past downloads; used to convert budget into quality).
+    pub full_image_cost: Energy,
+    /// The minimum quality fraction in ppm (an interlaced PNG's first
+    /// passes still render a usable preview).
+    pub min_quality_ppm: u64,
+    /// How long to stall before re-checking an empty reserve.
+    pub stall_backoff: SimDuration,
+}
+
+impl ViewerConfig {
+    /// The §6.2 workload, non-adaptive (Fig 10).
+    pub fn fig10() -> Self {
+        ViewerConfig {
+            batches: 8,
+            images_per_batch: 4,
+            image_bytes: 2_831_155, // ≈ 2.7 MiB
+            first_pause: SimDuration::from_secs(40),
+            pause_step: SimDuration::from_secs(5),
+            adaptive: false,
+            spend_fraction_ppm: 900_000,
+            full_image_cost: Energy::from_microjoules(210_000),
+            min_quality_ppm: 20_000,
+            stall_backoff: SimDuration::from_millis(500),
+        }
+    }
+
+    /// The §6.2 workload with adaptive scaling (Fig 11).
+    pub fn fig11() -> Self {
+        ViewerConfig {
+            adaptive: true,
+            ..ViewerConfig::fig10()
+        }
+    }
+}
+
+/// One downloaded image's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageRecord {
+    /// When the download completed.
+    pub at: SimTime,
+    /// Bytes actually transferred (scaled by quality).
+    pub bytes: u64,
+    /// Reserve level right after the download.
+    pub reserve_after: Energy,
+    /// Which batch the image belonged to.
+    pub batch: u32,
+}
+
+/// Shared experiment log: reserve samples and per-image transfers.
+#[derive(Debug, Default)]
+pub struct ViewerLog {
+    /// Per-image records (Figs 10/11's bars).
+    pub images: Vec<ImageRecord>,
+    /// Periodic reserve-level samples (Figs 10/11's line).
+    pub reserve_samples: Vec<(SimTime, Energy)>,
+    /// Set when the whole workload finished.
+    pub finished_at: Option<SimTime>,
+    /// Time spent stalled on an empty reserve.
+    pub stalled: SimDuration,
+}
+
+impl ViewerLog {
+    /// A fresh shared log.
+    pub fn shared() -> Rc<RefCell<ViewerLog>> {
+        Rc::new(RefCell::new(ViewerLog::default()))
+    }
+
+    /// Total bytes downloaded.
+    pub fn total_bytes(&self) -> u64 {
+        self.images.iter().map(|i| i.bytes).sum()
+    }
+}
+
+enum State {
+    /// About to download image `i` of batch `b`.
+    Downloading {
+        batch: u32,
+        image: u32,
+    },
+    /// Sleeping out the post-download transfer time, then continuing.
+    Transferring {
+        batch: u32,
+        image: u32,
+        until: SimTime,
+    },
+    /// Pausing between batches.
+    Pausing {
+        next_batch: u32,
+        until: SimTime,
+    },
+    Done,
+}
+
+/// The downloader thread of the picture gallery.
+pub struct ImageViewer {
+    config: ViewerConfig,
+    state: State,
+    log: Rc<RefCell<ViewerLog>>,
+}
+
+impl ImageViewer {
+    /// A viewer with the given workload, logging into `log`.
+    pub fn new(config: ViewerConfig, log: Rc<RefCell<ViewerLog>>) -> Self {
+        ImageViewer {
+            config,
+            state: State::Downloading { batch: 0, image: 0 },
+            log,
+        }
+    }
+
+    /// The quality-scaled request size: the viewer divides its willing
+    /// spend across the images left in the batch, converts that per-image
+    /// budget into a quality fraction against its cost estimate, and clamps
+    /// to the interlaced-PNG floor ("requests partial data from the remote
+    /// interlaced PNG images", §5.3).
+    fn request_bytes(&self, level: Energy, images_remaining: u32) -> u64 {
+        if !self.config.adaptive {
+            return self.config.image_bytes;
+        }
+        let budget = level
+            .clamp_non_negative()
+            .scale_ppm(self.config.spend_fraction_ppm);
+        let per_image = budget.as_microjoules() / images_remaining.max(1) as i64;
+        let full = self.config.full_image_cost.as_microjoules().max(1);
+        let frac_ppm = ((per_image as i128) * 1_000_000 / full as i128)
+            .clamp(self.config.min_quality_ppm as i128, 1_000_000) as u64;
+        ((self.config.image_bytes as u128) * (frac_ppm as u128) / 1_000_000) as u64
+    }
+
+    fn pause_for(&self, finished_batch: u32) -> SimDuration {
+        self.config
+            .first_pause
+            .saturating_sub(self.config.pause_step * finished_batch as u64)
+    }
+}
+
+impl Program for ImageViewer {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        // Sample the reserve on every step: this is the figures' line.
+        let level = ctx.level(ctx.active_reserve()).unwrap_or(Energy::ZERO);
+        self.log
+            .borrow_mut()
+            .reserve_samples
+            .push((ctx.now(), level));
+
+        match self.state {
+            State::Downloading { batch, image } => {
+                let remaining = self.config.images_per_batch - image;
+                let bytes = self.request_bytes(level, remaining);
+                match ctx.download(bytes) {
+                    Ok(grant) => {
+                        let now = ctx.now();
+                        let after = ctx.level(ctx.active_reserve()).unwrap_or(Energy::ZERO);
+                        self.log.borrow_mut().images.push(ImageRecord {
+                            at: now,
+                            bytes,
+                            reserve_after: after,
+                            batch,
+                        });
+                        self.state = State::Transferring {
+                            batch,
+                            image,
+                            until: now + grant.duration,
+                        };
+                        Step::SleepUntil(now + grant.duration)
+                    }
+                    Err(KernelError::Graph(cinder_core::GraphError::InsufficientResources {
+                        ..
+                    })) => {
+                        // Fig 10's stall: wait for the tap to refill.
+                        self.log.borrow_mut().stalled += self.config.stall_backoff;
+                        Step::SleepUntil(ctx.now() + self.config.stall_backoff)
+                    }
+                    Err(_) => Step::Exit,
+                }
+            }
+            State::Transferring {
+                batch,
+                image,
+                until,
+            } => {
+                if ctx.now() < until {
+                    return Step::SleepUntil(until);
+                }
+                let next_image = image + 1;
+                if next_image < self.config.images_per_batch {
+                    self.state = State::Downloading {
+                        batch,
+                        image: next_image,
+                    };
+                    return Step::Yield;
+                }
+                let next_batch = batch + 1;
+                if next_batch >= self.config.batches {
+                    self.log.borrow_mut().finished_at = Some(ctx.now());
+                    self.state = State::Done;
+                    return Step::Exit;
+                }
+                let until = ctx.now() + self.pause_for(next_batch);
+                self.state = State::Pausing { next_batch, until };
+                Step::SleepUntil(until)
+            }
+            State::Pausing { next_batch, until } => {
+                if ctx.now() < until {
+                    return Step::SleepUntil(until);
+                }
+                self.state = State::Downloading {
+                    batch: next_batch,
+                    image: 0,
+                };
+                Step::Yield
+            }
+            State::Done => Step::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_core::{Actor, GraphConfig, RateSpec};
+    use cinder_hw::LaptopNet;
+    use cinder_kernel::{Kernel, KernelConfig};
+    use cinder_label::Label;
+    use cinder_sim::Power;
+
+    /// Builds the §6.2 rig: downloader reserve fed at a constant rate on
+    /// the laptop platform.
+    fn rig(config: ViewerConfig) -> (Kernel, Rc<RefCell<ViewerLog>>) {
+        let mut k = Kernel::new(KernelConfig {
+            graph: GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+            laptop: Some(LaptopNet::t60p()),
+            battery: Energy::from_joules(50_000),
+            ..KernelConfig::default()
+        });
+        let battery = k.battery();
+        let r = k
+            .graph_mut()
+            .create_reserve(&Actor::kernel(), "downloader", Label::default_label())
+            .unwrap();
+        // Seed + feed the downloader's reserve.
+        k.graph_mut()
+            .transfer(
+                &Actor::kernel(),
+                battery,
+                r,
+                Energy::from_microjoules(200_000),
+            )
+            .unwrap();
+        k.graph_mut()
+            .create_tap(
+                &Actor::kernel(),
+                "dl-tap",
+                battery,
+                r,
+                RateSpec::constant(Power::from_microwatts(4_000)),
+                Label::default_label(),
+            )
+            .unwrap();
+        let log = ViewerLog::shared();
+        k.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
+        (k, log)
+    }
+
+    #[test]
+    fn non_adaptive_viewer_stalls_and_crawls() {
+        let (mut k, log) = rig(ViewerConfig::fig10());
+        k.run_until(SimTime::from_secs(3_000));
+        let log = log.borrow();
+        assert!(
+            log.finished_at.is_some(),
+            "fig10 run must finish within 3000 s"
+        );
+        // Every image is full size.
+        assert!(log.images.iter().all(|i| i.bytes == 2_831_155));
+        // And the reserve bottomed out: real stalls happened.
+        assert!(
+            log.stalled > SimDuration::from_secs(10),
+            "stalled {:?}",
+            log.stalled
+        );
+    }
+
+    #[test]
+    fn adaptive_viewer_is_several_times_faster() {
+        let (mut k10, log10) = rig(ViewerConfig::fig10());
+        k10.run_until(SimTime::from_secs(3_000));
+        let (mut k11, log11) = rig(ViewerConfig::fig11());
+        k11.run_until(SimTime::from_secs(3_000));
+        let t10 = log10
+            .borrow()
+            .finished_at
+            .expect("fig10 finishes")
+            .as_secs_f64();
+        let t11 = log11
+            .borrow()
+            .finished_at
+            .expect("fig11 finishes")
+            .as_secs_f64();
+        // Paper: ~5×; assert the conservative ≥3× (shape criterion).
+        assert!(
+            t10 / t11 >= 3.0,
+            "adaptive {t11}s vs non-adaptive {t10}s (ratio {})",
+            t10 / t11
+        );
+    }
+
+    #[test]
+    fn adaptive_viewer_never_empties_reserve() {
+        let (mut k, log) = rig(ViewerConfig::fig11());
+        k.run_until(SimTime::from_secs(3_000));
+        let log = log.borrow();
+        assert!(log.finished_at.is_some());
+        // "the level of energy present in the reserve dropped below the
+        // threshold, but never to zero"
+        assert!(log.stalled.is_zero(), "adaptive stalled {:?}", log.stalled);
+        assert!(log.reserve_samples.iter().all(|&(_, l)| !l.is_negative()));
+        // Quality was actually scaled down under pressure.
+        assert!(log.images.iter().any(|i| i.bytes < 2_831_155));
+        // But the interlacing floor kept every request renderable (≥ 2%).
+        assert!(log.images.iter().all(|i| i.bytes >= 2_831_155 / 50));
+    }
+
+    #[test]
+    fn adaptive_downloads_less_data() {
+        let (mut k10, log10) = rig(ViewerConfig::fig10());
+        k10.run_until(SimTime::from_secs(3_000));
+        let (mut k11, log11) = rig(ViewerConfig::fig11());
+        k11.run_until(SimTime::from_secs(3_000));
+        assert!(log11.borrow().total_bytes() < log10.borrow().total_bytes());
+    }
+}

@@ -1,0 +1,30 @@
+//! The applications of the Cinder paper's §5, as simulated programs.
+//!
+//! Each module reproduces one of the paper's application studies:
+//!
+//! * [`mod@energywrap`] — §5.1's sandboxing utility: wrap *any* program with a
+//!   reserve fed by a rate-limited tap (Fig 5).
+//! * [`spinner`] — the CPU hogs of the isolation experiment (Fig 9),
+//!   including the forking process B that subdivides its power to children.
+//! * [`browser`] — §5.2's web browser with an isolated, rate-limited plugin
+//!   and an ad-block extension process (Fig 6a/6b).
+//! * [`image_viewer`] — §5.3's energy-aware network picture gallery, with
+//!   and without adaptive quality scaling (Figs 10/11).
+//! * [`task_manager`] — §5.4's foreground/background power policy (Fig 7,
+//!   Fig 12).
+//! * [`pollers`] — §6.4's periodic mail checker and RSS downloader
+//!   (Figs 13/14, Table 1).
+
+pub mod browser;
+pub mod energywrap;
+pub mod image_viewer;
+pub mod pollers;
+pub mod spinner;
+pub mod task_manager;
+
+pub use browser::{build_browser, BrowserConfig, BrowserHandles};
+pub use energywrap::energywrap;
+pub use image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
+pub use pollers::{PeriodicPoller, PollerLog};
+pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
+pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};

@@ -1,0 +1,308 @@
+//! The task manager and the foreground/background power policy.
+//!
+//! §5.4 / Fig 7: every application reserve is fed by two taps — one from a
+//! *foreground* reserve (high rate, but set to 0 while the app is
+//! backgrounded) and one from a *background* reserve (always on, low rate).
+//! "The task manager is the creator of the tap connecting the application
+//! to the foreground reserve and, by default, is the only thread privileged
+//! to modify the parameters on the tap" — reproduced here with an integrity
+//! category only the manager's actor owns.
+
+use cinder_core::{Actor, RateSpec, ReserveId, TapId};
+use cinder_kernel::{Ctx, Kernel, KernelError, Program, Step, ThreadId};
+use cinder_label::{Label, Level, PrivilegeSet};
+use cinder_sim::{Power, SimTime};
+
+/// Topology parameters for the fg/bg experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FgBgConfig {
+    /// The foreground tap rate granted to the focused app (Fig 12a:
+    /// 137 mW; Fig 12b: 300 mW).
+    pub fg_rate: Power,
+    /// Total background power shared by all apps (Fig 12: 14 mW).
+    pub bg_total: Power,
+    /// Number of applications.
+    pub apps: usize,
+}
+
+impl FgBgConfig {
+    /// Fig 12a: the foreground tap matches the CPU's cost exactly.
+    pub fn fig12a() -> Self {
+        FgBgConfig {
+            fg_rate: Power::from_milliwatts(137),
+            bg_total: Power::from_milliwatts(14),
+            apps: 2,
+        }
+    }
+
+    /// Fig 12b: an over-provisioned 300 mW foreground tap (hoarding).
+    pub fn fig12b() -> Self {
+        FgBgConfig {
+            fg_rate: Power::from_milliwatts(300),
+            ..FgBgConfig::fig12a()
+        }
+    }
+}
+
+/// Handles to the built topology.
+#[derive(Debug, Clone)]
+pub struct FgBgHandles {
+    /// The high-rate foreground reserve.
+    pub fg_reserve: ReserveId,
+    /// The low-rate background reserve.
+    pub bg_reserve: ReserveId,
+    /// Per-app reserves.
+    pub app_reserves: Vec<ReserveId>,
+    /// Per-app foreground taps (manager-controlled).
+    pub fg_taps: Vec<TapId>,
+    /// Per-app background taps (always on).
+    pub bg_taps: Vec<TapId>,
+    /// The manager's security identity (owns the tap-integrity category).
+    pub manager_actor: Actor,
+}
+
+/// Builds the Fig 7 topology for `config.apps` applications. Returns the
+/// handles; spawn app threads on `app_reserves` and a [`TaskManager`] with
+/// `manager_actor`.
+pub fn build_fg_bg(kernel: &mut Kernel, config: FgBgConfig) -> Result<FgBgHandles, KernelError> {
+    let k = Actor::kernel();
+    let battery = kernel.battery();
+    let cat = kernel.alloc_category();
+    let tap_label = Label::with(&[(cat, Level::L0)]);
+    let manager_actor = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+
+    let g = kernel.graph_mut();
+    let fg_reserve = g.create_reserve(&k, "foreground", Label::default_label())?;
+    let bg_reserve = g.create_reserve(&k, "background", Label::default_label())?;
+    g.create_tap(
+        &k,
+        "battery→fg",
+        battery,
+        fg_reserve,
+        RateSpec::constant(config.fg_rate),
+        tap_label.clone(),
+    )?;
+    g.create_tap(
+        &k,
+        "battery→bg",
+        battery,
+        bg_reserve,
+        RateSpec::constant(config.bg_total),
+        tap_label.clone(),
+    )?;
+
+    let per_app_bg =
+        Power::from_microwatts(config.bg_total.as_microwatts() / config.apps.max(1) as u64);
+    let mut app_reserves = Vec::new();
+    let mut fg_taps = Vec::new();
+    let mut bg_taps = Vec::new();
+    for i in 0..config.apps {
+        let app = g.create_reserve(&k, &format!("app{i}"), Label::default_label())?;
+        // Foreground tap starts OFF (rate 0): everyone begins backgrounded.
+        let fg_tap = g.create_tap(
+            &k,
+            &format!("fg→app{i}"),
+            fg_reserve,
+            app,
+            RateSpec::constant(Power::ZERO),
+            tap_label.clone(),
+        )?;
+        let bg_tap = g.create_tap(
+            &k,
+            &format!("bg→app{i}"),
+            bg_reserve,
+            app,
+            RateSpec::constant(per_app_bg),
+            tap_label.clone(),
+        )?;
+        app_reserves.push(app);
+        fg_taps.push(fg_tap);
+        bg_taps.push(bg_tap);
+    }
+    Ok(FgBgHandles {
+        fg_reserve,
+        bg_reserve,
+        app_reserves,
+        fg_taps,
+        bg_taps,
+        manager_actor,
+    })
+}
+
+/// A focus change: at `at`, the app with index `Some(i)` becomes
+/// foreground (everyone else backgrounds); `None` backgrounds everyone.
+pub type FocusEvent = (SimTime, Option<usize>);
+
+/// The task manager program: walks a focus schedule, toggling foreground
+/// taps (Fig 12: A foregrounded during 10–20 s, B during 30–40 s).
+pub struct TaskManager {
+    fg_taps: Vec<TapId>,
+    fg_rate: Power,
+    schedule: Vec<FocusEvent>,
+    next: usize,
+}
+
+impl TaskManager {
+    /// A manager driving `fg_taps` per `schedule` (sorted by time).
+    pub fn new(handles: &FgBgHandles, fg_rate: Power, mut schedule: Vec<FocusEvent>) -> Self {
+        schedule.sort_by_key(|(t, _)| *t);
+        TaskManager {
+            fg_taps: handles.fg_taps.clone(),
+            fg_rate,
+            schedule,
+            next: 0,
+        }
+    }
+}
+
+impl Program for TaskManager {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= ctx.now() {
+            let (_, focus) = self.schedule[self.next];
+            self.next += 1;
+            for (i, &tap) in self.fg_taps.iter().enumerate() {
+                let rate = if focus == Some(i) {
+                    self.fg_rate
+                } else {
+                    Power::ZERO
+                };
+                // The manager owns the taps' integrity category, so this is
+                // the one thread that may re-rate them (§5.4).
+                ctx.set_tap_rate(tap, RateSpec::constant(rate))
+                    .expect("manager owns the tap label");
+            }
+        }
+        match self.schedule.get(self.next) {
+            Some(&(t, _)) => Step::SleepUntil(t),
+            None => Step::Exit,
+        }
+    }
+}
+
+/// Spawns the manager thread with a small funded reserve of its own (it
+/// must be schedulable to act, but its consumption is negligible).
+pub fn spawn_manager(
+    kernel: &mut Kernel,
+    handles: &FgBgHandles,
+    fg_rate: Power,
+    schedule: Vec<FocusEvent>,
+) -> Result<ThreadId, KernelError> {
+    let k = Actor::kernel();
+    let battery = kernel.battery();
+    let g = kernel.graph_mut();
+    let mgr_reserve = g.create_reserve(&k, "task-manager", Label::default_label())?;
+    g.transfer(&k, battery, mgr_reserve, cinder_sim::Energy::from_joules(1))?;
+    let manager = TaskManager::new(handles, fg_rate, schedule);
+    let actor = handles.manager_actor.clone();
+    Ok(kernel.spawn("task-manager", Box::new(manager), mgr_reserve, actor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinner::Spinner;
+    use cinder_core::GraphConfig;
+    use cinder_kernel::KernelConfig;
+    use cinder_sim::Energy;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig {
+            graph: GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn apps_cannot_touch_manager_taps() {
+        let mut k = kernel();
+        let h = build_fg_bg(&mut k, FgBgConfig::fig12a()).unwrap();
+        // An unprivileged app actor cannot re-rate its own foreground tap.
+        let app_actor = Actor::unprivileged();
+        let err = k
+            .graph_mut()
+            .set_tap_rate(
+                &app_actor,
+                h.fg_taps[0],
+                RateSpec::constant(Power::from_watts(5)),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            cinder_core::GraphError::PermissionDenied { .. }
+        ));
+        // The manager can.
+        assert!(k
+            .graph_mut()
+            .set_tap_rate(
+                &h.manager_actor,
+                h.fg_taps[0],
+                RateSpec::constant(Power::from_milliwatts(137)),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn fig12a_focus_switches_power() {
+        let mut k = kernel();
+        let cfg = FgBgConfig::fig12a();
+        let h = build_fg_bg(&mut k, cfg).unwrap();
+        let a = k.spawn_unprivileged("A", Box::new(Spinner::new()), h.app_reserves[0]);
+        let b = k.spawn_unprivileged("B", Box::new(Spinner::new()), h.app_reserves[1]);
+        spawn_manager(
+            &mut k,
+            &h,
+            cfg.fg_rate,
+            vec![
+                (SimTime::from_secs(10), Some(0)),
+                (SimTime::from_secs(20), None),
+                (SimTime::from_secs(30), Some(1)),
+                (SimTime::from_secs(40), None),
+            ],
+        )
+        .unwrap();
+        // Background phase: both crawl at ~7 mW.
+        k.run_until(SimTime::from_secs(10));
+        let ea = k.thread_power_estimate(a).as_milliwatts_f64();
+        assert!(ea < 20.0, "A bg estimate {ea} mW");
+        // A in foreground: ~137 mW; B still ~7 mW.
+        k.run_until(SimTime::from_secs(20));
+        let ea = k.thread_power_estimate(a).as_milliwatts_f64();
+        let eb = k.thread_power_estimate(b).as_milliwatts_f64();
+        assert!((ea - 137.0).abs() < 15.0, "A fg estimate {ea} mW");
+        assert!(eb < 20.0, "B bg estimate {eb} mW");
+        // B's turn.
+        k.run_until(SimTime::from_secs(40));
+        let eb = k.thread_power_estimate(b).as_milliwatts_f64();
+        assert!((eb - 137.0).abs() < 15.0, "B fg estimate {eb} mW");
+        assert!(k.graph().totals().conserved());
+    }
+
+    #[test]
+    fn fig12b_overprovision_lets_apps_hoard() {
+        let mut k = kernel();
+        let cfg = FgBgConfig::fig12b();
+        let h = build_fg_bg(&mut k, cfg).unwrap();
+        let _a = k.spawn_unprivileged("A", Box::new(Spinner::new()), h.app_reserves[0]);
+        spawn_manager(
+            &mut k,
+            &h,
+            cfg.fg_rate,
+            vec![
+                (SimTime::from_secs(10), Some(0)),
+                (SimTime::from_secs(20), None),
+            ],
+        )
+        .unwrap();
+        k.run_until(SimTime::from_secs(20));
+        // A received 300 mW for 10 s but the CPU only costs 137 mW: it
+        // banked the difference (~1.6 J).
+        let banked = k.graph().reserve(h.app_reserves[0]).unwrap().balance();
+        assert!(
+            banked > Energy::from_millijoules(1_200),
+            "A banked {banked}"
+        );
+    }
+}

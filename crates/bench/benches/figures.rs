@@ -1,0 +1,27 @@
+//! `cargo bench` target that regenerates every paper artifact, timing each
+//! regeneration. This is the "full benchmark harness" entry point: after a
+//! run, `target/experiments/` holds the CSV series behind every figure and
+//! the printed rows mirror the paper's tables.
+
+use std::time::Instant;
+
+use cinder_bench::{experiment_ids, run_experiment};
+
+fn main() {
+    println!("regenerating all paper artifacts (figures + tables)…\n");
+    let mut failures = 0;
+    for id in experiment_ids() {
+        let start = Instant::now();
+        let out = run_experiment(id);
+        let elapsed = start.elapsed();
+        print!("{}", out.render());
+        if let Err(e) = out.save_csv() {
+            eprintln!("warning: could not write CSVs for {id}: {e}");
+            failures += 1;
+        }
+        println!("[regenerated {id} in {elapsed:.2?}]\n");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

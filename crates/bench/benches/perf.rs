@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks of the core abstractions: how cheap are
+//! taps, label checks, scheduling decisions, and full kernel quanta?
+//!
+//! The paper's §3.3 motivates taps as "an efficient, special-purpose
+//! thread" executed "in batch periodically to minimize scheduling and
+//! context-switch overheads" — `graph_flow` quantifies that batch cost as
+//! the tap count scales, and `kernel_quantum` prices a whole scheduler
+//! quantum end to end.
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cinder_core::{Actor, GraphConfig, RateSpec, ResourceGraph};
+use cinder_hw::{RadioModel, RadioParams};
+use cinder_kernel::{Kernel, KernelConfig};
+use cinder_label::{Category, Label, Level, PrivilegeSet};
+use cinder_sim::{Energy, Power, SimDuration, SimRng, SimTime};
+
+fn graph_with_taps(n: usize) -> ResourceGraph {
+    let mut g = ResourceGraph::with_config(
+        Energy::from_joules(1_000_000),
+        GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+    );
+    let k = Actor::kernel();
+    let battery = g.battery();
+    for i in 0..n {
+        let r = g
+            .create_reserve(&k, &format!("r{i}"), Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &k,
+            &format!("t{i}"),
+            battery,
+            r,
+            RateSpec::constant(Power::from_milliwatts(1 + (i as u64 % 100))),
+            Label::default_label(),
+        )
+        .unwrap();
+    }
+    g
+}
+
+fn bench_graph_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_flow_1s");
+    for n in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut g = graph_with_taps(n);
+            let mut now = SimTime::ZERO;
+            b.iter(|| {
+                now += SimDuration::from_secs(1);
+                g.flow_until(black_box(now));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_flow_with_decay(c: &mut Criterion) {
+    c.bench_function("graph_flow_1s_decay_100taps", |b| {
+        let mut g = {
+            let mut g = ResourceGraph::new(Energy::from_joules(1_000_000));
+            let k = Actor::kernel();
+            let battery = g.battery();
+            for i in 0..100 {
+                let r = g
+                    .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                    .unwrap();
+                g.create_tap(
+                    &k,
+                    &format!("t{i}"),
+                    battery,
+                    r,
+                    RateSpec::constant(Power::from_milliwatts(5)),
+                    Label::default_label(),
+                )
+                .unwrap();
+            }
+            g
+        };
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_secs(1);
+            g.flow_until(black_box(now));
+        });
+    });
+}
+
+fn bench_label_checks(c: &mut Criterion) {
+    let mut thread = Label::default_label();
+    let mut object = Label::default_label();
+    for i in 0..8 {
+        thread.set(Category::new(i), Level::L2);
+        object.set(Category::new(i + 4), Level::L3);
+    }
+    let privs = PrivilegeSet::with(&[Category::new(5), Category::new(6)]);
+    c.bench_function("label_can_use_8_categories", |b| {
+        b.iter(|| black_box(thread.can_use(&privs, black_box(&object))))
+    });
+    c.bench_function("label_join_8_categories", |b| {
+        b.iter(|| black_box(thread.join(black_box(&object))))
+    });
+}
+
+fn bench_transfer_and_consume(c: &mut Criterion) {
+    c.bench_function("graph_transfer", |b| {
+        let mut g = graph_with_taps(2);
+        let k = Actor::kernel();
+        let ids: Vec<_> = g.reserves().map(|(id, _)| id).collect();
+        let battery = g.battery();
+        let r = ids[1];
+        b.iter(|| {
+            g.transfer(&k, battery, r, Energy::from_microjoules(10))
+                .unwrap();
+            g.transfer(&k, r, battery, Energy::from_microjoules(10))
+                .unwrap();
+        });
+    });
+    c.bench_function("graph_consume_with_debt", |b| {
+        let mut g = graph_with_taps(2);
+        let k = Actor::kernel();
+        let ids: Vec<_> = g.reserves().map(|(id, _)| id).collect();
+        let r = ids[1];
+        b.iter(|| {
+            g.consume_with_debt(&k, r, Energy::from_microjoules(1))
+                .unwrap();
+        });
+    });
+}
+
+fn bench_radio_estimator(c: &mut Criterion) {
+    let mut radio = RadioModel::new(RadioParams::htc_dream());
+    let mut rng = SimRng::seed_from_u64(1);
+    radio.transmit(SimTime::ZERO, 100, &mut rng);
+    c.bench_function("radio_cost_estimate_active", |b| {
+        b.iter(|| black_box(radio.cost_estimate(black_box(SimTime::from_secs(5)), 1_000)))
+    });
+}
+
+fn bench_kernel_quantum(c: &mut Criterion) {
+    c.bench_function("kernel_run_1s_10_spinners", |b| {
+        b.iter_with_setup(
+            || {
+                let mut k = Kernel::new(KernelConfig {
+                    graph: GraphConfig {
+                        decay: None,
+                        ..GraphConfig::default()
+                    },
+                    ..KernelConfig::default()
+                });
+                let kactor = Actor::kernel();
+                let battery = k.battery();
+                for i in 0..10 {
+                    let r = k
+                        .graph_mut()
+                        .create_reserve(&kactor, &format!("r{i}"), Label::default_label())
+                        .unwrap();
+                    k.graph_mut()
+                        .transfer(&kactor, battery, r, Energy::from_joules(10))
+                        .unwrap();
+                    k.spawn_unprivileged(
+                        &format!("spin{i}"),
+                        Box::new(cinder_apps::Spinner::new()),
+                        r,
+                    );
+                }
+                k
+            },
+            |mut k| {
+                k.run_until(SimTime::from_secs(1));
+                black_box(k.meter().total_energy())
+            },
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_flow,
+    bench_graph_flow_with_decay,
+    bench_label_checks,
+    bench_transfer_and_consume,
+    bench_radio_estimator,
+    bench_kernel_quantum,
+);
+criterion_main!(benches);

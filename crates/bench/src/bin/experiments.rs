@@ -1,0 +1,44 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p cinder-bench --bin experiments -- all
+//! cargo run --release -p cinder-bench --bin experiments -- fig13 table1
+//! ```
+//!
+//! CSV series land in `target/experiments/`.
+
+use cinder_bench::{experiment_ids, run_experiment, ExperimentOutput};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids = experiment_ids();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ids.clone()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            if ids.contains(&a.as_str()) {
+                sel.push(ids[ids.iter().position(|i| i == a).unwrap()]);
+            } else {
+                eprintln!("unknown experiment '{a}'; known: {}", ids.join(", "));
+                std::process::exit(2);
+            }
+        }
+        sel
+    };
+    for id in selected {
+        let out = run_experiment(id);
+        print!("{}", out.render());
+        match out.save_csv() {
+            Ok(()) if !out.traces.is_empty() => {
+                println!(
+                    "(traces written to {})",
+                    ExperimentOutput::out_dir().display()
+                );
+            }
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+        }
+        println!();
+    }
+}

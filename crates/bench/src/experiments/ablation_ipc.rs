@@ -1,0 +1,145 @@
+//! Ablation (§5.5.1 / §7.1): gate-based IPC bills the caller; Linux-style
+//! message-passing IPC misattributes the same work to the daemon.
+//!
+//! "Since Cinder tracks resource consumption by the active reserve of a
+//! thread, the caller of a system-wide service, like netd, is billed for
+//! resource consumption it causes, even while executing in the other
+//! address space. Other systems, such as Linux, would need some form of
+//! message tracking during inter-process communication in order to
+//! heuristically bill the principals."
+
+use cinder_core::{Actor, GraphConfig};
+use cinder_kernel::{Ctx, Kernel, KernelConfig, Step, ThreadId};
+use cinder_label::Label;
+use cinder_sim::{Energy, SimDuration, SimTime};
+
+use crate::output::ExperimentOutput;
+
+const SERVICE_WORK: SimDuration = SimDuration::from_millis(200);
+const CALLS: usize = 20;
+
+struct Billing {
+    client: Energy,
+    daemon: Energy,
+}
+
+fn run_mode(gates: bool) -> Billing {
+    let mut k = Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    });
+    let kactor = Actor::kernel();
+    let battery = k.battery();
+    let mk_reserve = |k: &mut Kernel, name: &str| {
+        let g = k.graph_mut();
+        let r = g
+            .create_reserve(&kactor, name, Label::default_label())
+            .unwrap();
+        g.transfer(&kactor, battery, r, Energy::from_joules(100))
+            .unwrap();
+        r
+    };
+    let client_r = mk_reserve(&mut k, "client-r");
+    let daemon_r = mk_reserve(&mut k, "daemon-r");
+
+    // The daemon: serves message work when messaged; otherwise blocks.
+    let daemon: ThreadId = k.spawn_unprivileged(
+        "daemon",
+        Box::new(cinder_kernel::FnProgram(
+            move |ctx: &mut Ctx<'_>| match ctx.msg_take() {
+                Some(work) => Step::compute(work),
+                None => Step::Block,
+            },
+        )),
+        daemon_r,
+    );
+    let root = k.root_container();
+    let gate = k
+        .create_gate(root, "service", Label::default_label(), SERVICE_WORK)
+        .unwrap();
+
+    let mut remaining = CALLS;
+    k.spawn_unprivileged(
+        "client",
+        Box::new(cinder_kernel::FnProgram(move |ctx: &mut Ctx<'_>| {
+            if remaining == 0 {
+                return Step::Exit;
+            }
+            remaining -= 1;
+            if gates {
+                ctx.gate_call(gate).expect("gate call");
+                // The gate's work landed on this thread: run it off.
+                Step::Yield
+            } else {
+                ctx.msg_send(daemon, SERVICE_WORK).expect("daemon alive");
+                Step::SleepUntil(ctx.now() + SimDuration::from_millis(400))
+            }
+        })),
+        client_r,
+    );
+    k.run_until(SimTime::from_secs(30));
+    Billing {
+        client: k.graph().reserve(client_r).unwrap().stats().consumed,
+        daemon: k.graph().reserve(daemon_r).unwrap().stats().consumed,
+    }
+}
+
+/// Runs both IPC modes and prints who got billed.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "ablation-ipc",
+        "gate IPC vs message-passing IPC billing attribution (paper §7.1)",
+    );
+    let gate = run_mode(true);
+    let msg = run_mode(false);
+    out.row(format!(
+        "{:<24}{:>14}{:>14}",
+        "mode", "client billed", "daemon billed"
+    ));
+    out.row(format!(
+        "{:<24}{:>12.2} J{:>12.2} J",
+        "gates (Cinder-HiStar)",
+        gate.client.as_joules_f64(),
+        gate.daemon.as_joules_f64()
+    ));
+    out.row(format!(
+        "{:<24}{:>12.2} J{:>12.2} J",
+        "messages (Cinder-Linux)",
+        msg.client.as_joules_f64(),
+        msg.daemon.as_joules_f64()
+    ));
+    out.metric(
+        "gate_client_j",
+        format!("{:.3}", gate.client.as_joules_f64()),
+    );
+    out.metric(
+        "gate_daemon_j",
+        format!("{:.3}", gate.daemon.as_joules_f64()),
+    );
+    out.metric("msg_client_j", format!("{:.3}", msg.client.as_joules_f64()));
+    out.metric("msg_daemon_j", format!("{:.3}", msg.daemon.as_joules_f64()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gates_bill_caller_messages_bill_daemon() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        // 20 calls × 200 ms × 137 mW ≈ 0.548 J of service work.
+        assert!(get("gate_client_j") > 0.5, "gates: caller pays");
+        assert!(get("gate_daemon_j") < 0.05, "gates: daemon pays ~nothing");
+        assert!(get("msg_daemon_j") > 0.5, "messages: daemon pays");
+        assert!(get("msg_client_j") < 0.1, "messages: caller pays ~nothing");
+    }
+}

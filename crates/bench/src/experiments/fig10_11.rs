@@ -1,0 +1,147 @@
+//! Figures 10 and 11: the image viewer's reserve level and per-image
+//! transfer sizes, without (Fig 10) and with (Fig 11) energy-aware quality
+//! scaling. "The images downloaded 5 times more quickly [with scaling] than
+//! the viewer which does not scale the images."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cinder_apps::{ImageViewer, ViewerConfig, ViewerLog};
+use cinder_core::{Actor, GraphConfig, RateSpec};
+use cinder_hw::LaptopNet;
+use cinder_kernel::{Kernel, KernelConfig};
+use cinder_label::Label;
+use cinder_sim::{Energy, Power, Series, SimTime};
+
+use crate::output::ExperimentOutput;
+
+/// The §6.2 rig: a downloader reserve seeded with 200 mJ and fed 4 mW on
+/// the laptop platform.
+pub fn viewer_rig(config: ViewerConfig) -> (Kernel, Rc<RefCell<ViewerLog>>) {
+    let mut k = Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        laptop: Some(LaptopNet::t60p()),
+        battery: Energy::from_joules(50_000),
+        seed: 10,
+        ..KernelConfig::default()
+    });
+    let kactor = Actor::kernel();
+    let battery = k.battery();
+    let g = k.graph_mut();
+    let r = g
+        .create_reserve(&kactor, "downloader", Label::default_label())
+        .unwrap();
+    g.transfer(&kactor, battery, r, Energy::from_microjoules(200_000))
+        .unwrap();
+    g.create_tap(
+        &kactor,
+        "dl-tap",
+        battery,
+        r,
+        RateSpec::constant(Power::from_microwatts(4_000)),
+        Label::default_label(),
+    )
+    .unwrap();
+    let log = ViewerLog::shared();
+    k.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
+    (k, log)
+}
+
+fn run_viewer(id: &str, title: &str, config: ViewerConfig) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(id, title);
+    let (mut k, log) = viewer_rig(config);
+    k.run_until(SimTime::from_secs(3_000));
+    let log = log.borrow();
+
+    let mut level = Series::new("reserve_level", "uJ");
+    for &(t, e) in &log.reserve_samples {
+        level.push(t, e.as_microjoules() as f64);
+    }
+    let mut bars = Series::new("image_kib", "KiB");
+    out.row(format!(
+        "{:>10}{:>12}{:>16}{:>8}",
+        "t(s)", "KiB", "reserve(uJ)", "batch"
+    ));
+    for img in &log.images {
+        bars.push(img.at, img.bytes as f64 / 1024.0);
+        out.row(format!(
+            "{:>10.1}{:>12.0}{:>16}{:>8}",
+            img.at.as_secs_f64(),
+            img.bytes as f64 / 1024.0,
+            img.reserve_after.as_microjoules(),
+            img.batch
+        ));
+    }
+    let finished = log.finished_at.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    let min_level = log
+        .reserve_samples
+        .iter()
+        .map(|&(_, e)| e.as_microjoules())
+        .min()
+        .unwrap_or(0);
+    out.row(format!(
+        "completed in {finished:.0} s; stalled {:.1} s; downloaded {:.1} MiB over {} images",
+        log.stalled.as_secs_f64(),
+        log.total_bytes() as f64 / (1024.0 * 1024.0),
+        log.images.len(),
+    ));
+    out.metric("completion_s", format!("{finished:.1}"));
+    out.metric("stalled_s", format!("{:.1}", log.stalled.as_secs_f64()));
+    out.metric(
+        "total_mib",
+        format!("{:.2}", log.total_bytes() as f64 / 1048576.0),
+    );
+    out.metric("images", log.images.len());
+    out.metric("min_reserve_uj", min_level);
+    out.traces.insert(level);
+    out.traces.insert(bars);
+    out
+}
+
+/// Fig 10: without scaling.
+pub fn run_fig10() -> ExperimentOutput {
+    run_viewer(
+        "fig10",
+        "image viewer without application scaling (paper Fig 10)",
+        ViewerConfig::fig10(),
+    )
+}
+
+/// Fig 11: with energy-aware scaling.
+pub fn run_fig11() -> ExperimentOutput {
+    run_viewer(
+        "fig11",
+        "image viewer with energy-aware scaling (paper Fig 11)",
+        ViewerConfig::fig11(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    fn metric(out: &super::ExperimentOutput, k: &str) -> f64 {
+        out.summary
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn adaptive_is_at_least_3x_faster() {
+        let f10 = super::run_fig10();
+        let f11 = super::run_fig11();
+        let t10 = metric(&f10, "completion_s");
+        let t11 = metric(&f11, "completion_s");
+        assert!(
+            t10 / t11 >= 3.0,
+            "fig10 {t10}s vs fig11 {t11}s (paper: ~5x)"
+        );
+        // The adaptive run never stalls at zero; the non-adaptive one does.
+        assert_eq!(metric(&f11, "stalled_s"), 0.0);
+        assert!(metric(&f10, "stalled_s") > 10.0);
+        assert!(metric(&f11, "min_reserve_uj") >= 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 12: foreground/background scheduling via task-manager-controlled
+//! taps. (a) the foreground tap provides exactly the CPU's 137 mW; (b) an
+//! over-provisioned 300 mW tap lets apps bank energy in the foreground and
+//! burn it later — the hoarding that motivates the global decay (§6.3).
+
+use cinder_apps::task_manager::{build_fg_bg, spawn_manager, FgBgConfig};
+use cinder_apps::Spinner;
+use cinder_kernel::{Kernel, KernelConfig};
+use cinder_sim::{Series, SimTime};
+
+use crate::output::ExperimentOutput;
+
+const RUN_SECS: u64 = 60;
+
+fn run_fg_bg(id: &str, title: &str, cfg: FgBgConfig) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(id, title);
+    let mut k = Kernel::new(KernelConfig {
+        seed: 12,
+        ..KernelConfig::default()
+    });
+    let h = build_fg_bg(&mut k, cfg).unwrap();
+    let a = k.spawn_unprivileged("A", Box::new(Spinner::new()), h.app_reserves[0]);
+    let b = k.spawn_unprivileged("B", Box::new(Spinner::new()), h.app_reserves[1]);
+    spawn_manager(
+        &mut k,
+        &h,
+        cfg.fg_rate,
+        vec![
+            (SimTime::from_secs(10), Some(0)),
+            (SimTime::from_secs(20), None),
+            (SimTime::from_secs(30), Some(1)),
+            (SimTime::from_secs(40), None),
+        ],
+    )
+    .unwrap();
+
+    let mut sa = Series::new("A", "mW");
+    let mut sb = Series::new("B", "mW");
+    out.row(format!("{:>6}{:>10}{:>10}", "t(s)", "A", "B"));
+    let mut windows: Vec<(u64, f64, f64)> = Vec::new();
+    for s in 1..=RUN_SECS {
+        k.run_until(SimTime::from_secs(s));
+        let ea = k.thread_power_estimate(a).as_milliwatts_f64();
+        let eb = k.thread_power_estimate(b).as_milliwatts_f64();
+        sa.push(SimTime::from_secs(s), ea);
+        sb.push(SimTime::from_secs(s), eb);
+        windows.push((s, ea, eb));
+        if s % 5 == 0 {
+            out.row(format!("{s:>6}{ea:>10.1}{eb:>10.1}"));
+        }
+    }
+    // Phase means for the summary.
+    let mean = |lo: u64, hi: u64, pick: fn(&(u64, f64, f64)) -> f64| -> f64 {
+        let vals: Vec<f64> = windows
+            .iter()
+            .filter(|w| w.0 > lo && w.0 <= hi)
+            .map(pick)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    out.metric("a_bg_mw", format!("{:.1}", mean(2, 10, |w| w.1)));
+    out.metric("a_fg_mw", format!("{:.1}", mean(12, 20, |w| w.1)));
+    out.metric("b_during_a_fg_mw", format!("{:.1}", mean(12, 20, |w| w.2)));
+    out.metric("a_after_fg_mw", format!("{:.1}", mean(22, 30, |w| w.1)));
+    out.metric("b_fg_mw", format!("{:.1}", mean(32, 40, |w| w.2)));
+    out.metric("b_after_fg_mw", format!("{:.1}", mean(42, 55, |w| w.2)));
+    out.traces.insert(sa);
+    out.traces.insert(sb);
+    out
+}
+
+/// Fig 12a: 137 mW foreground tap.
+pub fn run_a() -> ExperimentOutput {
+    run_fg_bg(
+        "fig12a",
+        "fg/bg power with a 137 mW foreground tap (paper Fig 12a)",
+        FgBgConfig::fig12a(),
+    )
+}
+
+/// Fig 12b: 300 mW foreground tap (hoarding).
+pub fn run_b() -> ExperimentOutput {
+    run_fg_bg(
+        "fig12b",
+        "fg/bg power with a 300 mW foreground tap — hoarding (paper Fig 12b)",
+        FgBgConfig::fig12b(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    fn metric(out: &super::ExperimentOutput, k: &str) -> f64 {
+        out.summary
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn fig12a_matches_paper_shape() {
+        let out = super::run_a();
+        // Background: ~7 mW each; foreground: the full 137 mW; after
+        // retiring, straight back to background power.
+        assert!(metric(&out, "a_bg_mw") < 20.0);
+        let a_fg = metric(&out, "a_fg_mw");
+        assert!((115.0..=140.0).contains(&a_fg), "A fg {a_fg}");
+        assert!(metric(&out, "b_during_a_fg_mw") < 20.0, "B isolated");
+        assert!(metric(&out, "a_after_fg_mw") < 30.0, "A returns to bg");
+    }
+
+    #[test]
+    fn fig12b_shows_hoarding() {
+        let out = super::run_b();
+        // A keeps burning its banked energy after being backgrounded
+        // (paper: "A still has plenty of energy").
+        let a_after = metric(&out, "a_after_fg_mw");
+        assert!(a_after > 100.0, "A after fg {a_after} (should hoard-burn)");
+        // While both have energy they compete for the CPU at ~50% each
+        // (paper: "each receives a 50% share") — so B's foreground window
+        // reads well below the full 137 mW.
+        let b_fg = metric(&out, "b_fg_mw");
+        assert!(
+            (50.0..=110.0).contains(&b_fg),
+            "B competes during fg: {b_fg}"
+        );
+        // And B hoard-burns near the CPU's full power after its window
+        // (paper: "~90% of the CPU until it exhausts its reserve").
+        let b_after = metric(&out, "b_after_fg_mw");
+        assert!(b_after > 100.0, "B after fg {b_after} (should hoard-burn)");
+        // While A is foregrounded at 300 mW it still only uses ≤ 137 mW.
+        let a_fg = metric(&out, "a_fg_mw");
+        assert!((115.0..=140.0).contains(&a_fg), "A fg {a_fg}");
+    }
+}

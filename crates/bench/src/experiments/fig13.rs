@@ -1,0 +1,85 @@
+//! Figure 13: power traces of uncooperative vs cooperative radio access.
+//!
+//! "(a) Since they are not coordinated, their use of the radio is
+//! staggered, resulting in increased power consumption. … (b) By pooling
+//! their resources, they are able to turn the radio on at most every sixty
+//! seconds."
+
+use cinder_sim::Series;
+
+use crate::experiments::netd_run;
+use crate::output::ExperimentOutput;
+
+/// Runs both stacks and emits the two traces.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig13",
+        "uncooperative vs cooperative radio access power traces (paper Fig 13)",
+    );
+    let uncoop = netd_run::run(false);
+    let coop = netd_run::run(true);
+
+    for (name, run) in [("uncooperative", &uncoop), ("cooperative", &coop)] {
+        out.row(format!(
+            "{name:>15}: {} activations, {:.0} s active, {:.0} J total, {} polls completed",
+            run.activations,
+            run.active_time.as_secs_f64(),
+            run.total_energy.as_joules_f64(),
+            run.sends,
+        ));
+    }
+    out.metric("uncoop_activations", uncoop.activations);
+    out.metric("coop_activations", coop.activations);
+    out.metric(
+        "uncoop_active_s",
+        format!("{:.0}", uncoop.active_time.as_secs_f64()),
+    );
+    out.metric(
+        "coop_active_s",
+        format!("{:.0}", coop.active_time.as_secs_f64()),
+    );
+    out.metric("uncoop_sends", uncoop.sends);
+    out.metric("coop_sends", coop.sends);
+
+    let mut ua = uncoop.trace.clone();
+    let mut ca = coop.trace.clone();
+    ua = rename(ua, "uncooperative_power");
+    ca = rename(ca, "cooperative_power");
+    out.traces.insert(ua);
+    out.traces.insert(ca);
+    out
+}
+
+fn rename(s: Series, name: &str) -> Series {
+    let mut out = Series::new(name, s.unit());
+    for &(t, v) in s.points() {
+        out.push(t, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cooperation_reduces_active_time_substantially() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        let ua = get("uncoop_active_s");
+        let ca = get("coop_active_s");
+        // Paper: 949 s → 510 s (46.3% less). Shape criterion: ≥ 35% less.
+        assert!(
+            ca <= ua * 0.65,
+            "coop active {ca} s vs uncoop {ua} s — expected ≥35% reduction"
+        );
+        // Cooperative pollers still complete a comparable amount of work.
+        let us = get("uncoop_sends");
+        let cs = get("coop_sends");
+        assert!(cs >= us * 0.55, "coop sends {cs} vs uncoop {us}");
+    }
+}

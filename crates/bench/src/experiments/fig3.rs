@@ -1,0 +1,125 @@
+//! Figure 3: "Radio data path power consumption for 10 second flows across
+//! six different packet rates and three packet sizes."
+//!
+//! The paper sends UDP packets to an echo server that returns the same
+//! contents, so every packet costs its bytes twice (tx + rx). "Short flows
+//! are dominated by the 9.5 J baseline cost … The average cost is 14.3 J
+//! (minimum: 10.5, maximum: 17.6)."
+
+use cinder_hw::{RadioModel, RadioParams};
+use cinder_sim::{Energy, Series, SimDuration, SimRng, SimTime};
+
+use crate::output::ExperimentOutput;
+
+const SIZES: [u64; 3] = [1, 750, 1500];
+const RATES: [u64; 6] = [1, 5, 10, 20, 30, 40];
+const FLOW: SimDuration = SimDuration::from_secs(10);
+const RTT: SimDuration = SimDuration::from_millis(100);
+
+/// Total episode energy of one 10 s echo flow at `rate` pkt/s × `size` B.
+fn flow_energy(size: u64, rate: u64, seed: u64) -> Energy {
+    let mut radio = RadioModel::new(RadioParams::htc_dream());
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut total = Energy::ZERO;
+    let interval = SimDuration::from_micros(1_000_000 / rate);
+    // Echo replies return the same contents after the RTT; at high packet
+    // rates they interleave with later transmits, so process them in time
+    // order.
+    let mut pending_rx: std::collections::VecDeque<(cinder_sim::SimTime, u64)> =
+        std::collections::VecDeque::new();
+    let mut t = SimTime::ZERO;
+    while t <= SimTime::ZERO + FLOW {
+        while let Some(&(rx_at, bytes)) = pending_rx.front() {
+            if rx_at > t {
+                break;
+            }
+            pending_rx.pop_front();
+            total += radio.advance_integrating(rx_at);
+            total += radio.receive(rx_at, bytes).data_energy;
+        }
+        total += radio.advance_integrating(t);
+        total += radio.transmit(t, size, &mut rng).data_energy;
+        pending_rx.push_back((t + RTT, size));
+        t += interval;
+    }
+    for (rx_at, bytes) in pending_rx {
+        total += radio.advance_integrating(rx_at);
+        total += radio.receive(rx_at, bytes).data_energy;
+    }
+    // Let the episode run out (20 s inactivity timeout), capturing the tail.
+    total += radio.advance_integrating(t + SimDuration::from_secs(30));
+    total
+}
+
+/// Runs the full sweep.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig3",
+        "10-second flow energy across packet rates and sizes (paper Fig 3)",
+    );
+    out.row(format!(
+        "{:>14}{:>12}{:>12}{:>12}",
+        "pkts/sec", "1 B/pkt", "750 B/pkt", "1500 B/pkt"
+    ));
+    let mut all = Vec::new();
+    let mut series: Vec<Series> = SIZES
+        .iter()
+        .map(|s| Series::new(format!("{s}B_per_pkt"), "J"))
+        .collect();
+    for &rate in &RATES {
+        let mut cells = Vec::new();
+        for (i, &size) in SIZES.iter().enumerate() {
+            let j = flow_energy(size, rate, rate * 1_000 + size).as_joules_f64();
+            all.push(j);
+            cells.push(j);
+            // x-axis is the packet rate; encode it as "time" seconds.
+            series[i].push(SimTime::from_secs(rate), j);
+        }
+        out.row(format!(
+            "{:>14}{:>12.2}{:>12.2}{:>12.2}",
+            rate, cells[0], cells[1], cells[2]
+        ));
+    }
+    for s in series {
+        out.traces.insert(s);
+    }
+    let avg = all.iter().sum::<f64>() / all.len() as f64;
+    let min = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    out.row(format!(
+        "average {avg:.1} J (paper: 14.3), min {min:.1} J (paper: 10.5), max {max:.1} J (paper: 17.6)"
+    ));
+    out.metric("avg_j", format!("{avg:.2}"));
+    out.metric("min_j", format!("{min:.2}"));
+    out.metric("max_j", format!("{max:.2}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_matches_paper() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        // Shape criteria: overhead-dominated (avg ≈ 14 J), modest spread.
+        let avg = get("avg_j");
+        assert!((12.0..=17.0).contains(&avg), "avg {avg}");
+        assert!(get("min_j") >= 9.0);
+        assert!(get("max_j") <= 20.0);
+        assert!(get("max_j") - get("min_j") < 10.0, "spread too wide");
+    }
+
+    #[test]
+    fn single_byte_flow_still_costs_double_digits() {
+        // The paper's headline: the per-byte cost is irrelevant for small
+        // flows; even 1 B/pkt at 1 pkt/s costs ≳ 10 J.
+        let j = super::flow_energy(1, 1, 7).as_joules_f64();
+        assert!(j > 9.0, "tiny flow cost {j} J");
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 4: "Radio Activation Power Draw" — one 1-byte UDP packet every
+//! ~40 seconds over 400 s, showing the expensive activation episodes over
+//! the 699 mW baseline, with per-episode cost 9.5 J on average (min 8.8,
+//! max 11.9) and occasional outliers.
+
+use cinder_hw::{PlatformPower, RadioModel, RadioParams};
+use cinder_sim::{meter::AGILENT_SAMPLE_INTERVAL, Power, PowerMeter, SimDuration, SimRng, SimTime};
+
+use crate::output::ExperimentOutput;
+
+const PACKET_INTERVAL: SimDuration = SimDuration::from_secs(40);
+const RUN: SimDuration = SimDuration::from_secs(400);
+
+/// Runs the activation study.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig4",
+        "radio activation power draw, 1-byte packet every 40 s (paper Fig 4)",
+    );
+    let platform = PlatformPower::htc_dream();
+    let mut radio = RadioModel::new(RadioParams::htc_dream());
+    let mut rng = SimRng::seed_from_u64(2011);
+    let mut meter = PowerMeter::new(platform.total(Power::ZERO));
+    meter.enable_sampling("radio_activation", AGILENT_SAMPLE_INTERVAL);
+
+    let mut episode_costs: Vec<f64> = Vec::new();
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + RUN;
+    let mut next_packet = SimTime::from_secs(5);
+    while t < end {
+        // Step the meter at every radio transition for exact power shapes.
+        let next = radio
+            .next_transition()
+            .unwrap_or(end)
+            .min(next_packet)
+            .min(end);
+        radio.advance_to(next);
+        meter.set_power(next, platform.total(radio.extra_power()));
+        t = next;
+        if t == next_packet && t < end {
+            let out_tx = radio.transmit(t, 1, &mut rng);
+            meter.add_energy(out_tx.data_energy);
+            meter.set_power(t, platform.total(radio.extra_power()));
+            next_packet = t + PACKET_INTERVAL;
+        }
+    }
+    // Per-episode costs: integrate extra power over each active window.
+    // The windows are disjoint; each one is an episode.
+    let windows = radio.active_windows(end);
+    let plateau_only = windows.len();
+    {
+        // Re-derive per-episode energies from the sampled trace by
+        // integrating (trace − baseline) over each window.
+        let trace = meter.trace().expect("sampling enabled");
+        for &(start, stop) in &windows {
+            let mut j = 0.0;
+            let pts = trace.points();
+            for w in pts.windows(2) {
+                let (t0, p0) = w[0];
+                let (t1, _) = w[1];
+                if t0 >= start && t1 <= stop + SimDuration::from_millis(200) {
+                    let dt = t1.as_secs_f64() - t0.as_secs_f64();
+                    j += (p0 - 0.699) * dt;
+                }
+            }
+            episode_costs.push(j);
+        }
+    }
+    let n = episode_costs.len().max(1) as f64;
+    let avg = episode_costs.iter().sum::<f64>() / n;
+    let min = episode_costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = episode_costs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    out.row(format!(
+        "{} activation episodes over {} s (packet every {} s)",
+        plateau_only,
+        RUN.as_secs_f64(),
+        PACKET_INTERVAL.as_secs_f64()
+    ));
+    for (i, j) in episode_costs.iter().enumerate() {
+        out.row(format!("episode {:>2}: {:>5.2} J over baseline", i + 1, j));
+    }
+    out.row(format!(
+        "average {avg:.1} J (paper: 9.5), min {min:.1} J (paper: 8.8), max {max:.1} J (paper: 11.9)"
+    ));
+    out.metric("episodes", plateau_only);
+    out.metric("avg_j", format!("{avg:.2}"));
+    out.metric("min_j", format!("{min:.2}"));
+    out.metric("max_j", format!("{max:.2}"));
+    if let Some(trace) = meter.into_trace() {
+        out.traces.insert(trace);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn episode_costs_match_paper_band() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        assert!((8.5..=10.5).contains(&get("avg_j")), "avg {}", get("avg_j"));
+        assert!(get("min_j") >= 8.0);
+        assert!(get("max_j") <= 12.5);
+        // ~10 episodes in 400 s at one per 40 s.
+        let eps: f64 = get("episodes");
+        assert!((9.0..=11.0).contains(&eps));
+    }
+
+    #[test]
+    fn trace_has_plateaus_and_idle_floor() {
+        let out = super::run();
+        let trace = out.traces.get("radio_activation").unwrap();
+        let max = trace.max_value().unwrap();
+        let min = trace.min_value().unwrap();
+        // Ramp peaks near 2 W; idle floor at 699 mW.
+        assert!(max > 1.8, "peak {max} W");
+        assert!((min - 0.699).abs() < 1e-9, "floor {min} W");
+    }
+}

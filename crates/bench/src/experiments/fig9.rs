@@ -1,0 +1,147 @@
+//! Figure 9: "Stacked graph of Cinder's CPU energy accounting estimates
+//! during isolated process execution."
+//!
+//! Processes A and B each receive 68.5 mW (half the 137 mW CPU). B forks B1
+//! at ~5 s and B2 at ~10 s — but instead of letting them draw from its own
+//! reserve, B subdivides: each child gets a reserve fed by a ¼-rate tap
+//! (17.125 mW) *from B's reserve*. A's share must be untouched, and the sum
+//! of the estimates must match the measured CPU power (~139 mW in the
+//! paper).
+
+use cinder_apps::{ForkPlan, ForkingSpinner, Spinner};
+use cinder_core::{Actor, GraphConfig, RateSpec};
+use cinder_kernel::{Kernel, KernelConfig};
+use cinder_label::Label;
+use cinder_sim::{Power, Series, SimTime};
+
+use crate::output::ExperimentOutput;
+
+const HALF_CPU: Power = Power::from_microwatts(68_500);
+const QUARTER_TAP: Power = Power::from_microwatts(17_125);
+const RUN_SECS: u64 = 60;
+
+/// Runs the isolation experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig9",
+        "CPU accounting estimates with isolation under forking (paper Fig 9)",
+    );
+    let mut k = Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None, // 60 s run; decay is irrelevant and adds noise
+            ..GraphConfig::default()
+        },
+        seed: 9,
+        ..KernelConfig::default()
+    });
+    let kactor = Actor::kernel();
+    let battery = k.battery();
+    let mut reserves = Vec::new();
+    for name in ["A", "B"] {
+        let g = k.graph_mut();
+        let r = g
+            .create_reserve(&kactor, &format!("{name}-r"), Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &kactor,
+            &format!("{name}-tap"),
+            battery,
+            r,
+            RateSpec::constant(HALF_CPU),
+            Label::default_label(),
+        )
+        .unwrap();
+        reserves.push(r);
+    }
+    let a = k.spawn_unprivileged("A", Box::new(Spinner::new()), reserves[0]);
+    let b = k.spawn_unprivileged(
+        "B",
+        Box::new(ForkingSpinner::new(vec![
+            ForkPlan {
+                at: SimTime::from_secs(5),
+                name: "B1".into(),
+                tap_rate: QUARTER_TAP,
+            },
+            ForkPlan {
+                at: SimTime::from_secs(10),
+                name: "B2".into(),
+                tap_rate: QUARTER_TAP,
+            },
+        ])),
+        reserves[1],
+    );
+
+    let names = ["A", "B", "B1", "B2"];
+    let mut series: Vec<Series> = names
+        .iter()
+        .map(|n| Series::new(n.to_string(), "mW"))
+        .collect();
+    let mut sum_series = Series::new("sum", "mW");
+    out.row(format!(
+        "{:>6}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "t(s)", "A", "B", "B1", "B2", "sum"
+    ));
+    let mut a_samples_after_forks = Vec::new();
+    for s in 1..=RUN_SECS {
+        k.run_until(SimTime::from_secs(s));
+        let mut row = vec![format!("{s:>6}")];
+        let mut sum = 0.0;
+        let mut vals = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let est = k
+                .thread_by_name(name)
+                .map(|tid| k.thread_power_estimate(tid).as_milliwatts_f64())
+                .unwrap_or(0.0);
+            series[i].push(SimTime::from_secs(s), est);
+            sum += est;
+            vals.push(est);
+            row.push(format!("{est:>10.1}"));
+        }
+        sum_series.push(SimTime::from_secs(s), sum);
+        row.push(format!("{sum:>10.1}"));
+        if s % 5 == 0 {
+            out.row(row.join(""));
+        }
+        if s > 15 {
+            a_samples_after_forks.push(vals[0]);
+        }
+    }
+    let a_mean =
+        a_samples_after_forks.iter().sum::<f64>() / a_samples_after_forks.len().max(1) as f64;
+    let a_est_final = k.thread_power_estimate(a).as_milliwatts_f64();
+    let b_est_final = k.thread_power_estimate(b).as_milliwatts_f64();
+    out.row(format!(
+        "A's mean estimate after both forks: {a_mean:.1} mW (isolated target ≈ 68.5 mW)"
+    ));
+    out.metric("a_mean_after_forks_mw", format!("{a_mean:.1}"));
+    out.metric("a_final_mw", format!("{a_est_final:.1}"));
+    out.metric("b_final_mw", format!("{b_est_final:.1}"));
+    let sum_final = sum_series.points().last().map(|&(_, v)| v).unwrap_or(0.0);
+    out.metric("sum_final_mw", format!("{sum_final:.1}"));
+    for s in series {
+        out.traces.insert(s);
+    }
+    out.traces.insert(sum_series);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_is_isolated_from_bs_forks() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        // A holds ~50% of the CPU (68.5 mW) despite B's children.
+        let a = get("a_mean_after_forks_mw");
+        assert!((60.0..=77.0).contains(&a), "A mean {a}");
+        // The stacked sum ≈ the CPU's full power (paper: ~139 mW).
+        let sum = get("sum_final_mw");
+        assert!((125.0..=150.0).contains(&sum), "sum {sum}");
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artifact (see `DESIGN.md` §5 for the index).
+
+pub mod ablation_hoarding;
+pub mod ablation_ipc;
+pub mod ablation_taps;
+pub mod fig10_11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig3;
+pub mod fig4;
+pub mod fig9;
+pub mod netd_run;
+pub mod power_model;
+pub mod table1;

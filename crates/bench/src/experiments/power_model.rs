@@ -1,0 +1,85 @@
+//! §4.2's in-text measurement study: the platform power states.
+//!
+//! Paper: "While idling in Cinder, the Dream uses about 699 mW and another
+//! 555 mW when the backlight is on. Spinning the CPU increases consumption
+//! by 137 mW. Memory-intensive instruction streams increase CPU power draw
+//! by 13% over a simple arithmetic loop."
+
+use cinder_hw::{CpuKind, PlatformPower};
+use cinder_sim::{Power, PowerMeter, SimTime};
+
+use crate::output::ExperimentOutput;
+
+/// Measures each platform state for 10 s on the simulated supply.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "power-model",
+        "HTC Dream platform power states (paper §4.2)",
+    );
+    out.row(format!("{:<34}{:>12}{:>12}", "state", "measured", "paper"));
+
+    let states: [(&str, bool, Option<CpuKind>, &str); 4] = [
+        ("idle", false, None, "699 mW"),
+        ("idle + backlight", true, None, "1254 mW"),
+        (
+            "CPU spinning (memory-intensive)",
+            false,
+            Some(CpuKind::MemoryIntensive),
+            "836 mW",
+        ),
+        (
+            "CPU spinning (integer loop)",
+            false,
+            Some(CpuKind::Integer),
+            "~821 mW",
+        ),
+    ];
+    let mut measured = Vec::new();
+    for (name, backlight, cpu, paper) in states {
+        let mut platform = PlatformPower::htc_dream();
+        platform.display.set_backlight(backlight);
+        platform.set_cpu(cpu);
+        let mut meter = PowerMeter::new(platform.total(Power::ZERO));
+        meter.advance(SimTime::from_secs(10));
+        let avg = meter
+            .total_energy()
+            .average_power_over(cinder_sim::SimDuration::from_secs(10));
+        measured.push((name, avg));
+        out.row(format!(
+            "{:<34}{:>9.1} mW{:>12}",
+            name,
+            avg.as_milliwatts_f64(),
+            paper
+        ));
+    }
+    // The memory-intensive factor the paper quotes as 13%.
+    let idle = measured[0].1.as_milliwatts_f64();
+    let mem = measured[2].1.as_milliwatts_f64() - idle;
+    let int = measured[3].1.as_milliwatts_f64() - idle;
+    out.row(format!(
+        "memory-intensive / integer CPU power: {:.3} (paper: 1.13)",
+        mem / int
+    ));
+    out.metric("idle_mw", format!("{idle:.1}"));
+    out.metric("cpu_extra_mw", format!("{mem:.1}"));
+    out.metric("memory_factor", format!("{:.3}", mem / int));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_published_constants() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        assert!((get("idle_mw") - 699.0).abs() < 1.0);
+        assert!((get("cpu_extra_mw") - 137.0).abs() < 1.0);
+        assert!((get("memory_factor") - 1.13).abs() < 0.01);
+    }
+}

@@ -1,0 +1,135 @@
+//! Table 1: "Improvements in energy consumption and active radio time using
+//! cooperative resource sharing in Cinder."
+//!
+//! Paper's numbers:
+//!
+//! | row | Non-Coop | Coop | Improv |
+//! |---|---|---|---|
+//! | Total Time | 1201 s | 1201 s | N/A |
+//! | Total Energy | 1238 J | 1083 J | 12.5% |
+//! | Active Time | 949 s | 510 s | 46.3% |
+//! | Active Energy | 1064 J | 594 J | 44.2% |
+
+use crate::experiments::netd_run;
+use crate::output::ExperimentOutput;
+
+/// Runs both stacks and prints the table.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "table1",
+        "cooperative resource sharing improvements (paper Table 1)",
+    );
+    let uncoop = netd_run::run(false);
+    let coop = netd_run::run(true);
+
+    let improv = |a: f64, b: f64| (a - b) / a * 100.0;
+    let rows = [
+        (
+            "Total Time",
+            uncoop.total_time.as_secs_f64(),
+            coop.total_time.as_secs_f64(),
+            "s",
+            false,
+        ),
+        (
+            "Total Energy",
+            uncoop.total_energy.as_joules_f64(),
+            coop.total_energy.as_joules_f64(),
+            "J",
+            true,
+        ),
+        (
+            "Active Time",
+            uncoop.active_time.as_secs_f64(),
+            coop.active_time.as_secs_f64(),
+            "s",
+            true,
+        ),
+        (
+            "Active Energy",
+            uncoop.active_energy.as_joules_f64(),
+            coop.active_energy.as_joules_f64(),
+            "J",
+            true,
+        ),
+    ];
+    out.row(format!(
+        "{:<16}{:>12}{:>12}{:>10}",
+        "", "Non-Coop", "Coop", "Improv"
+    ));
+    for (name, u, c, unit, show) in rows {
+        let imp = if show {
+            format!("{:.1}%", improv(u, c))
+        } else {
+            "N/A".to_string()
+        };
+        out.row(format!(
+            "{name:<16}{u:>10.0} {unit}{c:>10.0} {unit}{imp:>10}"
+        ));
+    }
+    out.metric(
+        "total_energy_improv_pct",
+        format!(
+            "{:.1}",
+            improv(
+                uncoop.total_energy.as_joules_f64(),
+                coop.total_energy.as_joules_f64()
+            )
+        ),
+    );
+    out.metric(
+        "active_time_improv_pct",
+        format!(
+            "{:.1}",
+            improv(
+                uncoop.active_time.as_secs_f64(),
+                coop.active_time.as_secs_f64()
+            )
+        ),
+    );
+    out.metric(
+        "active_energy_improv_pct",
+        format!(
+            "{:.1}",
+            improv(
+                uncoop.active_energy.as_joules_f64(),
+                coop.active_energy.as_joules_f64()
+            )
+        ),
+    );
+    out.metric(
+        "uncoop_total_j",
+        format!("{:.0}", uncoop.total_energy.as_joules_f64()),
+    );
+    out.metric(
+        "coop_total_j",
+        format!("{:.0}", coop.total_energy.as_joules_f64()),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn improvements_match_paper_shape() {
+        let out = super::run();
+        let get = |k: &str| -> f64 {
+            out.summary
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap()
+        };
+        // Paper: 12.5% total energy, 46.3% active time, 44.2% active
+        // energy. Shape criteria: ≥8%, ≥35%, ≥30%.
+        let te = get("total_energy_improv_pct");
+        assert!(te >= 8.0, "total energy improvement {te}%");
+        let at = get("active_time_improv_pct");
+        assert!(at >= 35.0, "active time improvement {at}%");
+        let ae = get("active_energy_improv_pct");
+        assert!(ae >= 30.0, "active energy improvement {ae}%");
+        // Both runs sit in the paper's absolute ballpark (same baseline).
+        let u = get("uncoop_total_j");
+        assert!((1000.0..=1400.0).contains(&u), "uncoop total {u} J");
+    }
+}

@@ -1,0 +1,69 @@
+//! The experiment harness: regenerates every table and figure in the
+//! Cinder paper's evaluation (§6) plus the §4 measurement study, printing
+//! the same rows/series the paper reports and writing CSVs under
+//! `target/experiments/`.
+//!
+//! Run one experiment or all of them:
+//!
+//! ```text
+//! cargo run -p cinder-bench --bin experiments -- all
+//! cargo run -p cinder-bench --bin experiments -- fig13
+//! ```
+//!
+//! `cargo bench` also regenerates everything (bench target `figures`) and
+//! runs criterion micro-benchmarks of the core abstractions (`perf`).
+//!
+//! We do not chase the absolute joules of 2011 hardware; the *shape* — who
+//! wins, by what factor, where the crossovers are — is asserted in the
+//! integration tests and recorded against the paper in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod output;
+
+pub use output::ExperimentOutput;
+
+/// All experiment ids, in paper order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    vec![
+        "power-model",
+        "fig3",
+        "fig4",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12a",
+        "fig12b",
+        "fig13",
+        "fig14",
+        "table1",
+        "ablation-ipc",
+        "ablation-taps",
+        "ablation-hoarding",
+    ]
+}
+
+/// Runs an experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers validate against
+/// [`experiment_ids`]).
+pub fn run_experiment(id: &str) -> ExperimentOutput {
+    match id {
+        "power-model" => experiments::power_model::run(),
+        "fig3" => experiments::fig3::run(),
+        "fig4" => experiments::fig4::run(),
+        "fig9" => experiments::fig9::run(),
+        "fig10" => experiments::fig10_11::run_fig10(),
+        "fig11" => experiments::fig10_11::run_fig11(),
+        "fig12a" => experiments::fig12::run_a(),
+        "fig12b" => experiments::fig12::run_b(),
+        "fig13" => experiments::fig13::run(),
+        "fig14" => experiments::fig14::run(),
+        "table1" => experiments::table1::run(),
+        "ablation-ipc" => experiments::ablation_ipc::run(),
+        "ablation-taps" => experiments::ablation_taps::run(),
+        "ablation-hoarding" => experiments::ablation_hoarding::run(),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}

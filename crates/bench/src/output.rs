@@ -1,0 +1,95 @@
+//! Experiment output: printable rows plus CSV traces.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cinder_sim::TraceSet;
+
+/// One experiment's complete output.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. `fig13`).
+    pub id: String,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// Paper-shaped printable lines (table rows / series summaries).
+    pub rows: Vec<String>,
+    /// Key metrics as `(name, value)` pairs, quoted in `EXPERIMENTS.md`.
+    pub summary: Vec<(String, String)>,
+    /// Full traces for re-plotting.
+    pub traces: TraceSet,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output shell.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentOutput {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+            summary: Vec::new(),
+            traces: TraceSet::new(),
+        }
+    }
+
+    /// Appends a printable row.
+    pub fn row(&mut self, line: impl Into<String>) {
+        self.rows.push(line.into());
+    }
+
+    /// Appends a summary metric.
+    pub fn metric(&mut self, name: &str, value: impl std::fmt::Display) {
+        self.summary.push((name.to_string(), value.to_string()));
+    }
+
+    /// Renders the experiment as text (what the binary prints).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "=== {} — {} ===", self.id, self.title);
+        for row in &self.rows {
+            let _ = writeln!(s, "{row}");
+        }
+        if !self.summary.is_empty() {
+            let _ = writeln!(s, "--- summary ---");
+            for (k, v) in &self.summary {
+                let _ = writeln!(s, "{k}: {v}");
+            }
+        }
+        s
+    }
+
+    /// The workspace-level output directory (`target/experiments`).
+    pub fn out_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments")
+    }
+
+    /// Writes the traces as CSVs under [`ExperimentOutput::out_dir`].
+    pub fn save_csv(&self) -> std::io::Result<()> {
+        if self.traces.is_empty() {
+            return Ok(());
+        }
+        self.traces.write_csv_dir(&Self::out_dir(), &self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_summary() {
+        let mut o = ExperimentOutput::new("figX", "demo");
+        o.row("a,b,c");
+        o.metric("total", "42 J");
+        let s = o.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("a,b,c"));
+        assert!(s.contains("total: 42 J"));
+    }
+
+    #[test]
+    fn empty_traces_save_is_noop() {
+        let o = ExperimentOutput::new("figY", "demo");
+        o.save_csv().unwrap();
+    }
+}

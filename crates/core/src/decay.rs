@@ -1,0 +1,99 @@
+//! Global anti-hoarding decay.
+//!
+//! Paper §5.2.2: backward proportional taps alone cannot stop a malicious
+//! thread from squirrelling energy away into fresh reserves. "Therefore, in
+//! practice, Cinder prevents hoarding by imposing a global, long-term decay
+//! of resources across all reserves; every reserve has an implicit
+//! proportional backward tap to the battery. By default, Cinder is
+//! configured to leak 50% of reserve resources after a period of 10
+//! minutes." (The netd pool is exempted, §5.5.2.)
+
+use cinder_sim::SimDuration;
+
+/// Configuration for the global half-life decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayConfig {
+    /// Fraction leaked per period: `leak_fraction` of a reserve's balance
+    /// drains back to the battery every `period` (default: 0.5 per 600 s).
+    pub leak_fraction: f64,
+    /// The period over which `leak_fraction` leaks.
+    pub period: SimDuration,
+}
+
+impl DecayConfig {
+    /// The paper's default: 50% leaks every 10 minutes.
+    pub fn paper_default() -> Self {
+        DecayConfig {
+            leak_fraction: 0.5,
+            period: SimDuration::from_secs(600),
+        }
+    }
+
+    /// The per-tick leak in parts per million such that compounding over
+    /// `period` leaks `leak_fraction`.
+    ///
+    /// Solving `(1 - λ)^(period/tick) = 1 - leak_fraction` for λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick is zero or the configuration is malformed.
+    pub fn leak_ppm_per_tick(&self, tick: SimDuration) -> u64 {
+        assert!(!tick.is_zero(), "decay tick must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.leak_fraction),
+            "leak fraction must be in [0,1): {}",
+            self.leak_fraction
+        );
+        assert!(!self.period.is_zero(), "decay period must be positive");
+        let ticks_per_period = self.period.as_secs_f64() / tick.as_secs_f64();
+        let keep_per_tick = (1.0 - self.leak_fraction).powf(1.0 / ticks_per_period);
+        let leak = 1.0 - keep_per_tick;
+        (leak * 1e6).round() as u64
+    }
+}
+
+impl Default for DecayConfig {
+    fn default() -> Self {
+        DecayConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let d = DecayConfig::paper_default();
+        assert_eq!(d.leak_fraction, 0.5);
+        assert_eq!(d.period, SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn per_tick_rate_compounds_to_half_life() {
+        let d = DecayConfig::paper_default();
+        let tick = SimDuration::from_millis(100);
+        let ppm = d.leak_ppm_per_tick(tick);
+        // Compound (1 - ppm/1e6) over 6000 ticks (600 s) and check we kept
+        // roughly half.
+        let keep = (1.0 - ppm as f64 / 1e6).powi(6000);
+        assert!((keep - 0.5).abs() < 0.01, "kept {keep}");
+    }
+
+    #[test]
+    fn coarser_ticks_leak_more_per_tick() {
+        let d = DecayConfig::paper_default();
+        let fine = d.leak_ppm_per_tick(SimDuration::from_millis(100));
+        let coarse = d.leak_ppm_per_tick(SimDuration::from_secs(10));
+        assert!(coarse > fine * 50, "coarse={coarse} fine={fine}");
+    }
+
+    #[test]
+    fn zero_fraction_never_leaks() {
+        let d = DecayConfig {
+            leak_fraction: 0.0,
+            period: SimDuration::from_secs(600),
+        };
+        assert_eq!(d.leak_ppm_per_tick(SimDuration::from_millis(100)), 0);
+    }
+}

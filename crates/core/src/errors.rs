@@ -1,0 +1,81 @@
+//! Error types for resource-graph and scheduler operations.
+
+use std::fmt;
+
+use cinder_sim::Energy;
+
+/// Why a resource-graph operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The actor's label/privileges do not permit the operation.
+    PermissionDenied {
+        /// Which operation was attempted (static description).
+        op: &'static str,
+    },
+    /// A reserve id did not resolve (deleted or never existed).
+    ReserveNotFound,
+    /// A tap id did not resolve (deleted or never existed).
+    TapNotFound,
+    /// The source reserve cannot cover the requested amount and the caller
+    /// did not permit debt.
+    InsufficientResources {
+        /// What the operation needed.
+        needed: Energy,
+        /// What the reserve held.
+        available: Energy,
+    },
+    /// A transfer or tap was requested with identical source and sink.
+    SameReserve,
+    /// The requested amount or rate was negative or otherwise malformed.
+    InvalidAmount,
+    /// Strict anti-hoarding mode refused a transfer from a fast-draining
+    /// reserve to a slower-draining one (paper §5.2.2).
+    StrictModeViolation,
+    /// The battery (root reserve) cannot be deleted or decay-taxed.
+    RootReserve,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::PermissionDenied { op } => write!(f, "permission denied: {op}"),
+            GraphError::ReserveNotFound => write!(f, "reserve not found"),
+            GraphError::TapNotFound => write!(f, "tap not found"),
+            GraphError::InsufficientResources { needed, available } => {
+                write!(f, "insufficient resources: need {needed}, have {available}")
+            }
+            GraphError::SameReserve => write!(f, "source and sink are the same reserve"),
+            GraphError::InvalidAmount => write!(f, "invalid amount or rate"),
+            GraphError::StrictModeViolation => {
+                write!(
+                    f,
+                    "strict mode: transfer would slow resource drain (hoarding)"
+                )
+            }
+            GraphError::RootReserve => write!(f, "operation not permitted on the root reserve"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        let e = GraphError::InsufficientResources {
+            needed: Energy::from_joules(2),
+            available: Energy::from_joules(1),
+        };
+        assert_eq!(
+            e.to_string(),
+            "insufficient resources: need 2.000000J, have 1.000000J"
+        );
+        assert_eq!(
+            GraphError::PermissionDenied { op: "transfer" }.to_string(),
+            "permission denied: transfer"
+        );
+    }
+}

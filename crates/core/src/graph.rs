@@ -1,0 +1,1329 @@
+//! The resource consumption graph: reserves connected by taps, rooted at the
+//! battery (paper §3.4).
+//!
+//! All mutation goes through privilege-checked methods taking an [`Actor`]
+//! (a thread's label + privileges, or the kernel itself). The graph advances
+//! in *batch flow ticks* ([`ResourceGraph::flow_until`]), mirroring the
+//! paper's implementation note that tap transfers "are executed in batch
+//! periodically to minimize scheduling and context-switch overheads".
+//!
+//! # Determinism and conservation
+//!
+//! Within a tick every tap computes its desired transfer from a
+//! start-of-tick snapshot of source levels, then transfers are applied in
+//! tap-creation order, clamped to the source's remaining non-negative
+//! balance (earlier-created taps win when a source is oversubscribed; the
+//! paper leaves this unspecified). All arithmetic is exact integer µJ, so
+//!
+//! > total injected == Σ balances + total consumed
+//!
+//! holds *exactly* at every instant, and is asserted by property tests.
+
+use std::collections::BTreeMap;
+
+use cinder_label::{Label, PrivilegeSet};
+use cinder_sim::{Energy, SimDuration, SimTime};
+
+use crate::arena::{Arena, RawId};
+use crate::decay::DecayConfig;
+use crate::errors::GraphError;
+use crate::reserve::Reserve;
+use crate::tap::{RateSpec, Tap};
+
+/// Identifies a reserve in a [`ResourceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReserveId(pub(crate) RawId);
+
+/// Identifies a tap in a [`ResourceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TapId(pub(crate) RawId);
+
+/// The security identity performing a graph operation: a thread's label and
+/// privileges, or the kernel itself (which bypasses checks — it is the
+/// enforcement mechanism, not a subject of it).
+#[derive(Debug, Clone)]
+pub struct Actor {
+    label: Label,
+    privs: PrivilegeSet,
+    is_kernel: bool,
+}
+
+impl Actor {
+    /// The kernel actor: bypasses all label checks.
+    pub fn kernel() -> Self {
+        Actor {
+            label: Label::default_label(),
+            privs: PrivilegeSet::empty(),
+            is_kernel: true,
+        }
+    }
+
+    /// A user-level actor with the given label and privileges.
+    pub fn new(label: Label, privs: PrivilegeSet) -> Self {
+        Actor {
+            label,
+            privs,
+            is_kernel: false,
+        }
+    }
+
+    /// An unprivileged actor at the default label (most application code).
+    pub fn unprivileged() -> Self {
+        Actor::new(Label::default_label(), PrivilegeSet::empty())
+    }
+
+    /// The actor's label.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+    /// The actor's privileges.
+    pub fn privs(&self) -> &PrivilegeSet {
+        &self.privs
+    }
+
+    /// True for the kernel actor.
+    pub fn is_kernel(&self) -> bool {
+        self.is_kernel
+    }
+
+    /// Grants ownership of a category (e.g. after `category_alloc`).
+    pub fn grant(&mut self, category: cinder_label::Category) {
+        self.privs.grant(category);
+    }
+
+    fn can_observe(&self, object: &Label) -> bool {
+        self.is_kernel || self.label.can_observe(&self.privs, object)
+    }
+
+    fn can_modify(&self, object: &Label) -> bool {
+        self.is_kernel || self.label.can_modify(&self.privs, object)
+    }
+
+    fn can_use(&self, object: &Label) -> bool {
+        self.is_kernel || self.label.can_use(&self.privs, object)
+    }
+}
+
+impl Default for Actor {
+    fn default() -> Self {
+        Actor::unprivileged()
+    }
+}
+
+/// Graph-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphConfig {
+    /// Cadence of batch tap execution (paper: "in practice, transfers are
+    /// executed in batch periodically").
+    pub flow_tick: SimDuration,
+    /// The global anti-hoarding decay; `None` disables it (used by the
+    /// hoarding ablation and Fig 12b's short runs).
+    pub decay: Option<DecayConfig>,
+    /// Enables the paper's "more fundamental" anti-hoarding alternative
+    /// (§5.2.2): `reserve_clone` semantics plus drain-rate-preserving
+    /// transfer checks.
+    pub strict_anti_hoarding: bool,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            flow_tick: SimDuration::from_millis(100),
+            decay: Some(DecayConfig::paper_default()),
+            strict_anti_hoarding: false,
+        }
+    }
+}
+
+/// A snapshot of graph-wide totals, for conservation checks and experiment
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphTotals {
+    /// Total ever injected (initial battery + recharges).
+    pub injected: Energy,
+    /// Sum of all current reserve balances (including the battery and any
+    /// debt, which is negative).
+    pub balances: Energy,
+    /// Total consumed through [`ResourceGraph::consume`] and friends.
+    pub consumed: Energy,
+}
+
+impl GraphTotals {
+    /// The exact conservation invariant.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.balances + self.consumed
+    }
+}
+
+/// The resource consumption graph.
+pub struct ResourceGraph {
+    reserves: Arena<Reserve>,
+    taps: Arena<Tap>,
+    battery: ReserveId,
+    config: GraphConfig,
+    decay_ppm_per_tick: u64,
+    now: SimTime,
+    total_injected: Energy,
+    total_consumed: Energy,
+}
+
+impl ResourceGraph {
+    /// Creates a graph whose root (battery) reserve holds `initial` energy,
+    /// with default configuration.
+    pub fn new(initial: Energy) -> Self {
+        Self::with_config(initial, GraphConfig::default())
+    }
+
+    /// Creates a graph with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is negative or the flow tick is zero.
+    pub fn with_config(initial: Energy, config: GraphConfig) -> Self {
+        assert!(!initial.is_negative(), "battery cannot start in debt");
+        assert!(!config.flow_tick.is_zero(), "flow tick must be positive");
+        let mut reserves = Arena::new();
+        let mut battery = Reserve::new("battery", Label::default_label(), SimTime::ZERO);
+        battery.set_decay_exempt(true);
+        battery.credit(initial);
+        let battery_id = ReserveId(reserves.insert(battery));
+        let decay_ppm_per_tick = config
+            .decay
+            .map(|d| d.leak_ppm_per_tick(config.flow_tick))
+            .unwrap_or(0);
+        ResourceGraph {
+            reserves,
+            taps: Arena::new(),
+            battery: battery_id,
+            config,
+            decay_ppm_per_tick,
+            now: SimTime::ZERO,
+            total_injected: initial,
+            total_consumed: Energy::ZERO,
+        }
+    }
+
+    /// The root reserve representing the battery (paper §3.4: "The root of
+    /// the graph is a reserve representing the system battery").
+    pub fn battery(&self) -> ReserveId {
+        self.battery
+    }
+
+    /// The time up to which flows have been processed.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Read-only access to a reserve (kernel-internal introspection; label
+    /// checks apply to the syscall surface, not to accounting).
+    pub fn reserve(&self, id: ReserveId) -> Option<&Reserve> {
+        self.reserves.get(id.0)
+    }
+
+    /// Read-only access to a tap.
+    pub fn tap(&self, id: TapId) -> Option<&Tap> {
+        self.taps.get(id.0)
+    }
+
+    /// Iterates over `(id, reserve)` pairs in creation order.
+    pub fn reserves(&self) -> impl Iterator<Item = (ReserveId, &Reserve)> {
+        self.reserves.iter().map(|(id, r)| (ReserveId(id), r))
+    }
+
+    /// Iterates over `(id, tap)` pairs in creation order.
+    pub fn taps(&self) -> impl Iterator<Item = (TapId, &Tap)> {
+        self.taps.iter().map(|(id, t)| (TapId(id), t))
+    }
+
+    /// Number of live reserves (including the battery).
+    pub fn reserve_count(&self) -> usize {
+        self.reserves.len()
+    }
+
+    /// Number of live taps.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    // ----- creation / deletion ------------------------------------------
+
+    /// Creates an empty reserve protected by `label`.
+    ///
+    /// Requires that the actor could write an object at `label` (otherwise a
+    /// thread could mint objects it may not touch).
+    pub fn create_reserve(
+        &mut self,
+        actor: &Actor,
+        name: &str,
+        label: Label,
+    ) -> Result<ReserveId, GraphError> {
+        if !actor.can_modify(&label) {
+            return Err(GraphError::PermissionDenied {
+                op: "create_reserve",
+            });
+        }
+        Ok(ReserveId(
+            self.reserves.insert(Reserve::new(name, label, self.now)),
+        ))
+    }
+
+    /// Deletes a reserve. Its remaining balance is returned to the battery;
+    /// outstanding debt is settled *from* the battery. All taps touching the
+    /// reserve are garbage-collected (paper §5.2: deleting taps revokes
+    /// power sources).
+    ///
+    /// Returns the (possibly negative) balance that was settled.
+    pub fn delete_reserve(&mut self, actor: &Actor, id: ReserveId) -> Result<Energy, GraphError> {
+        if id == self.battery {
+            return Err(GraphError::RootReserve);
+        }
+        let label = self
+            .reserves
+            .get(id.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .label()
+            .clone();
+        if !actor.can_modify(&label) {
+            return Err(GraphError::PermissionDenied {
+                op: "delete_reserve",
+            });
+        }
+        // GC taps referencing this reserve.
+        let dead: Vec<RawId> = self
+            .taps
+            .iter()
+            .filter(|(_, t)| t.source() == id || t.sink() == id)
+            .map(|(tid, _)| tid)
+            .collect();
+        for tid in dead {
+            self.taps.remove(tid);
+        }
+        let reserve = self.reserves.remove(id.0).expect("checked above");
+        let balance = reserve.balance();
+        let battery = self.reserve_mut(self.battery);
+        if balance.is_negative() {
+            // Debt settlement: the consumed energy was already counted when
+            // the debt was incurred; the battery pays the outstanding amount
+            // so the balance sum stays conserved.
+            battery.debit_outflow(-balance);
+        } else {
+            battery.credit(balance);
+        }
+        Ok(balance)
+    }
+
+    /// Marks a reserve as exempt from the global decay. Kernel-only: the
+    /// paper exempts only the trusted netd pool (§5.5.2).
+    pub fn set_decay_exempt(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        exempt: bool,
+    ) -> Result<(), GraphError> {
+        if !actor.is_kernel {
+            return Err(GraphError::PermissionDenied {
+                op: "set_decay_exempt",
+            });
+        }
+        self.reserves
+            .get_mut(id.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .set_decay_exempt(exempt);
+        Ok(())
+    }
+
+    /// Creates a tap from `source` to `sink`.
+    ///
+    /// Paper §3.5: a tap "needs privileges to observe and modify both
+    /// reserve levels; to aid with this, taps can have privileges embedded
+    /// in them". The creating actor must hold observe+modify on both ends;
+    /// its privileges are embedded in the tap.
+    pub fn create_tap(
+        &mut self,
+        actor: &Actor,
+        name: &str,
+        source: ReserveId,
+        sink: ReserveId,
+        rate: RateSpec,
+        tap_label: Label,
+    ) -> Result<TapId, GraphError> {
+        if source == sink {
+            return Err(GraphError::SameReserve);
+        }
+        let src_label = self
+            .reserves
+            .get(source.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .label()
+            .clone();
+        let sink_label = self
+            .reserves
+            .get(sink.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .label()
+            .clone();
+        if !actor.can_use(&src_label) || !actor.can_use(&sink_label) {
+            return Err(GraphError::PermissionDenied { op: "create_tap" });
+        }
+        if !actor.can_modify(&tap_label) {
+            return Err(GraphError::PermissionDenied { op: "create_tap" });
+        }
+        let tap = Tap::new(name, source, sink, rate, tap_label, actor.privs.clone());
+        Ok(TapId(self.taps.insert(tap)))
+    }
+
+    /// Changes a tap's rate. Requires modify on the *tap's* label — this is
+    /// how the task manager stays the only thread able to throttle an app's
+    /// foreground tap (paper §5.4).
+    pub fn set_tap_rate(
+        &mut self,
+        actor: &Actor,
+        id: TapId,
+        rate: RateSpec,
+    ) -> Result<(), GraphError> {
+        let tap = self.taps.get_mut(id.0).ok_or(GraphError::TapNotFound)?;
+        if !actor.can_modify(&tap.label().clone()) && !actor.is_kernel {
+            return Err(GraphError::PermissionDenied { op: "set_tap_rate" });
+        }
+        tap.set_rate(rate);
+        Ok(())
+    }
+
+    /// Deletes a tap (revoking the power source it represented).
+    pub fn delete_tap(&mut self, actor: &Actor, id: TapId) -> Result<(), GraphError> {
+        let label = self
+            .taps
+            .get(id.0)
+            .ok_or(GraphError::TapNotFound)?
+            .label()
+            .clone();
+        if !actor.can_modify(&label) {
+            return Err(GraphError::PermissionDenied { op: "delete_tap" });
+        }
+        self.taps.remove(id.0);
+        Ok(())
+    }
+
+    // ----- balance operations -------------------------------------------
+
+    /// Reads a reserve's level. Requires observe (paper §3.2: applications
+    /// poll reserve levels to adapt, §5.3).
+    pub fn level(&self, actor: &Actor, id: ReserveId) -> Result<Energy, GraphError> {
+        let r = self.reserves.get(id.0).ok_or(GraphError::ReserveNotFound)?;
+        if !actor.can_observe(r.label()) {
+            return Err(GraphError::PermissionDenied { op: "level" });
+        }
+        Ok(r.balance())
+    }
+
+    /// Moves `amount` between reserves immediately (paper §3.2:
+    /// "reserve-to-reserve transfer provided it is permitted to modify both
+    /// reserves"). Fails without side effects if the source cannot cover it.
+    pub fn transfer(
+        &mut self,
+        actor: &Actor,
+        from: ReserveId,
+        to: ReserveId,
+        amount: Energy,
+    ) -> Result<(), GraphError> {
+        if from == to {
+            return Err(GraphError::SameReserve);
+        }
+        if amount.is_negative() {
+            return Err(GraphError::InvalidAmount);
+        }
+        let from_label = self
+            .reserves
+            .get(from.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .label()
+            .clone();
+        let to_label = self
+            .reserves
+            .get(to.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .label()
+            .clone();
+        // Transferring out requires full use of the source (the outcome
+        // reveals its level); filling the sink requires modify.
+        if !actor.can_use(&from_label) || !actor.can_modify(&to_label) {
+            return Err(GraphError::PermissionDenied { op: "transfer" });
+        }
+        if self.config.strict_anti_hoarding {
+            self.check_strict_transfer(actor, from, to)?;
+        }
+        let src = self.reserve_mut(from);
+        let available = src.balance();
+        if available < amount {
+            return Err(GraphError::InsufficientResources {
+                needed: amount,
+                available,
+            });
+        }
+        src.debit_outflow(amount);
+        self.reserve_mut(to).credit(amount);
+        Ok(())
+    }
+
+    /// Consumes `amount` from a reserve, failing without side effects if the
+    /// balance is insufficient (the kernel "prevents threads from performing
+    /// actions for which their reserves do not have sufficient resources").
+    pub fn consume(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Energy,
+    ) -> Result<(), GraphError> {
+        if amount.is_negative() {
+            return Err(GraphError::InvalidAmount);
+        }
+        let r = self.reserves.get(id.0).ok_or(GraphError::ReserveNotFound)?;
+        if !actor.can_use(r.label()) {
+            return Err(GraphError::PermissionDenied { op: "consume" });
+        }
+        if r.balance() < amount {
+            return Err(GraphError::InsufficientResources {
+                needed: amount,
+                available: r.balance(),
+            });
+        }
+        self.reserve_mut(id).debit_consumed(amount);
+        self.total_consumed += amount;
+        Ok(())
+    }
+
+    /// Consumes `amount`, allowing the balance to go negative. Paper §5.5.2:
+    /// "threads can debit their own reserves up to or into debt even if the
+    /// cost can only be determined after-the-fact" (billing received
+    /// packets). Also used by the scheduler, whose quantum granularity can
+    /// overshoot by at most one quantum.
+    pub fn consume_with_debt(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Energy,
+    ) -> Result<(), GraphError> {
+        if amount.is_negative() {
+            return Err(GraphError::InvalidAmount);
+        }
+        let r = self.reserves.get(id.0).ok_or(GraphError::ReserveNotFound)?;
+        if !actor.can_use(r.label()) {
+            return Err(GraphError::PermissionDenied { op: "consume" });
+        }
+        self.reserve_mut(id).debit_consumed(amount);
+        self.total_consumed += amount;
+        Ok(())
+    }
+
+    /// Injects fresh resources into a reserve (battery recharge, experiment
+    /// setup). Kernel-only.
+    pub fn inject(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Energy,
+    ) -> Result<(), GraphError> {
+        if !actor.is_kernel {
+            return Err(GraphError::PermissionDenied { op: "inject" });
+        }
+        if amount.is_negative() {
+            return Err(GraphError::InvalidAmount);
+        }
+        self.reserves
+            .get_mut(id.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .credit(amount);
+        self.total_injected += amount;
+        Ok(())
+    }
+
+    /// Convenience for the paper's subdivision example (§3.2): creates a new
+    /// reserve and moves `amount` into it.
+    pub fn split_reserve(
+        &mut self,
+        actor: &Actor,
+        from: ReserveId,
+        name: &str,
+        label: Label,
+        amount: Energy,
+    ) -> Result<ReserveId, GraphError> {
+        let new = self.create_reserve(actor, name, label)?;
+        match self.transfer(actor, from, new, amount) {
+            Ok(()) => Ok(new),
+            Err(e) => {
+                // Roll back the freshly created (still empty) reserve.
+                let _ = self.reserves.remove(new.0);
+                Err(e)
+            }
+        }
+    }
+
+    // ----- strict anti-hoarding (paper §5.2.2) ---------------------------
+
+    /// The total proportional drain on a reserve, in ppm/s, counting
+    /// backward-proportional taps (and used to compare "fast-draining" vs
+    /// "slow-draining" reserves in strict mode).
+    pub fn drain_ppm_per_s(&self, id: ReserveId) -> u64 {
+        self.taps
+            .iter()
+            .filter(|(_, t)| t.source() == id)
+            .map(|(_, t)| match t.rate() {
+                RateSpec::Proportional { ppm_per_s } => ppm_per_s,
+                RateSpec::Const(_) => 0,
+            })
+            .sum()
+    }
+
+    fn check_strict_transfer(
+        &self,
+        actor: &Actor,
+        from: ReserveId,
+        to: ReserveId,
+    ) -> Result<(), GraphError> {
+        if actor.is_kernel {
+            return Ok(());
+        }
+        let from_drain = self.drain_ppm_per_s(from);
+        let to_drain = self.drain_ppm_per_s(to);
+        if to_drain >= from_drain {
+            return Ok(());
+        }
+        // Moving to a slower-draining reserve is hoarding unless the actor
+        // could have removed the source's proportional taps anyway.
+        let may_remove_all = self
+            .taps
+            .iter()
+            .filter(|(_, t)| {
+                t.source() == from && matches!(t.rate(), RateSpec::Proportional { .. })
+            })
+            .all(|(_, t)| actor.can_modify(t.label()));
+        if may_remove_all {
+            Ok(())
+        } else {
+            Err(GraphError::StrictModeViolation)
+        }
+    }
+
+    /// The paper's proposed `reserve_clone()` (§5.2.2): creates a reserve
+    /// that inherits duplicates of every backward-proportional tap on `from`
+    /// that the caller lacks permission to remove, so the clone drains at
+    /// least as fast as the original.
+    pub fn reserve_clone(
+        &mut self,
+        actor: &Actor,
+        from: ReserveId,
+        name: &str,
+        label: Label,
+    ) -> Result<ReserveId, GraphError> {
+        // Validate `from` exists and is observable before creating anything.
+        let src = self
+            .reserves
+            .get(from.0)
+            .ok_or(GraphError::ReserveNotFound)?;
+        if !actor.can_observe(src.label()) {
+            return Err(GraphError::PermissionDenied {
+                op: "reserve_clone",
+            });
+        }
+        let new = self.create_reserve(actor, name, label)?;
+        let inherited: Vec<(String, ReserveId, RateSpec, Label, PrivilegeSet)> = self
+            .taps
+            .iter()
+            .filter(|(_, t)| {
+                t.source() == from
+                    && matches!(t.rate(), RateSpec::Proportional { .. })
+                    && !actor.can_modify(t.label())
+            })
+            .map(|(_, t)| {
+                (
+                    format!("{}(cloned)", t.name()),
+                    t.sink(),
+                    t.rate(),
+                    t.label().clone(),
+                    t.embedded_privs().clone(),
+                )
+            })
+            .collect();
+        for (tname, sink, rate, tlabel, privs) in inherited {
+            let tap = Tap::new(&tname, new, sink, rate, tlabel, privs);
+            self.taps.insert(tap);
+        }
+        Ok(new)
+    }
+
+    // ----- flows ----------------------------------------------------------
+
+    /// Advances batch tap execution and decay up to `now`. Whole ticks only;
+    /// the fractional tail carries to the next call.
+    pub fn flow_until(&mut self, now: SimTime) {
+        let tick = self.config.flow_tick;
+        while self.now + tick <= now {
+            self.flow_one_tick(tick);
+            self.now += tick;
+        }
+    }
+
+    fn flow_one_tick(&mut self, dt: SimDuration) {
+        // Start-of-tick snapshot so results are independent of tap order
+        // (except when a source is oversubscribed; see module docs).
+        let snapshot: BTreeMap<RawId, Energy> = self
+            .reserves
+            .iter()
+            .map(|(id, r)| (id, r.balance()))
+            .collect();
+        let tap_ids = self.taps.ids();
+        for tid in tap_ids {
+            let Some(tap) = self.taps.get_mut(tid) else {
+                continue;
+            };
+            let source = tap.source();
+            let sink = tap.sink();
+            let src_level = snapshot.get(&source.0).copied().unwrap_or(Energy::ZERO);
+            let desired = tap.desired_transfer(src_level, dt);
+            if desired.is_zero() {
+                continue;
+            }
+            let available = match self.reserves.get(source.0) {
+                Some(r) => r.balance().clamp_non_negative(),
+                None => continue,
+            };
+            let amount = desired.min(available);
+            if amount.is_zero() {
+                continue;
+            }
+            self.reserve_mut(source).debit_outflow(amount);
+            self.reserve_mut(sink).credit(amount);
+        }
+        // Global decay: the implicit backward tap to the battery.
+        if self.decay_ppm_per_tick > 0 {
+            let ppm = self.decay_ppm_per_tick;
+            let ids = self.reserves.ids();
+            let mut reclaimed = Energy::ZERO;
+            for rid in ids {
+                if rid == self.battery.0 {
+                    continue;
+                }
+                let r = self.reserves.get_mut(rid).expect("id from ids()");
+                if r.is_decay_exempt() || !r.balance().is_positive() {
+                    continue;
+                }
+                let leak = r.balance().scale_ppm(ppm);
+                if leak.is_positive() {
+                    r.debit_decay(leak);
+                    reclaimed += leak;
+                }
+            }
+            if reclaimed.is_positive() {
+                self.reserve_mut(self.battery).credit(reclaimed);
+            }
+        }
+    }
+
+    // ----- totals ---------------------------------------------------------
+
+    /// Graph-wide totals for conservation checking.
+    pub fn totals(&self) -> GraphTotals {
+        GraphTotals {
+            injected: self.total_injected,
+            balances: self.reserves.iter().map(|(_, r)| r.balance()).sum(),
+            consumed: self.total_consumed,
+        }
+    }
+
+    fn reserve_mut(&mut self, id: ReserveId) -> &mut Reserve {
+        self.reserves
+            .get_mut(id.0)
+            .expect("stale ReserveId in graph internals")
+    }
+}
+
+impl std::fmt::Debug for ResourceGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceGraph")
+            .field("reserves", &self.reserves.len())
+            .field("taps", &self.taps.len())
+            .field("now", &self.now)
+            .field("totals", &self.totals())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_label::{Category, Level};
+    use cinder_sim::Power;
+
+    fn kernel() -> Actor {
+        Actor::kernel()
+    }
+
+    fn graph() -> ResourceGraph {
+        ResourceGraph::new(Energy::from_joules(15_000))
+    }
+
+    /// A graph without decay, for arithmetic-exactness tests.
+    fn graph_no_decay() -> ResourceGraph {
+        ResourceGraph::with_config(
+            Energy::from_joules(15_000),
+            GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn battery_starts_with_initial_energy() {
+        let g = graph();
+        assert_eq!(
+            g.reserve(g.battery()).unwrap().balance(),
+            Energy::from_joules(15_000)
+        );
+        assert!(g.reserve(g.battery()).unwrap().is_decay_exempt());
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn figure1_topology_rate_limits_browser() {
+        // 15 kJ battery, 750 mW tap, browser cannot outpace the tap.
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let browser = g
+            .create_reserve(&k, "browser", Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &k,
+            "750mW",
+            g.battery(),
+            browser,
+            RateSpec::constant(Power::from_milliwatts(750)),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.flow_until(SimTime::from_secs(10));
+        assert_eq!(
+            g.level(&k, browser).unwrap(),
+            Energy::from_millijoules(7_500)
+        );
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn subdivision_example_800_200() {
+        // Paper §3.2: split 1000 mJ into 800 + 200.
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let app = g.create_reserve(&k, "app", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), app, Energy::from_millijoules(1000))
+            .unwrap();
+        let child = g
+            .split_reserve(
+                &k,
+                app,
+                "child",
+                Label::default_label(),
+                Energy::from_millijoules(200),
+            )
+            .unwrap();
+        assert_eq!(g.level(&k, app).unwrap(), Energy::from_millijoules(800));
+        assert_eq!(g.level(&k, child).unwrap(), Energy::from_millijoules(200));
+    }
+
+    #[test]
+    fn split_rolls_back_on_insufficient_funds() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let app = g.create_reserve(&k, "app", Label::default_label()).unwrap();
+        let before = g.reserve_count();
+        let err = g
+            .split_reserve(
+                &k,
+                app,
+                "child",
+                Label::default_label(),
+                Energy::from_joules(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InsufficientResources { .. }));
+        assert_eq!(g.reserve_count(), before);
+    }
+
+    #[test]
+    fn transfer_checks_balance_and_labels() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let cat = Category::new(1);
+        let secret = Label::with(&[(cat, Level::L3)]);
+        let protected = g.create_reserve(&k, "protected", secret).unwrap();
+        g.transfer(&k, g.battery(), protected, Energy::from_joules(5))
+            .unwrap();
+
+        let nobody = Actor::unprivileged();
+        let err = g
+            .transfer(&nobody, protected, g.battery(), Energy::from_joules(1))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PermissionDenied { .. }));
+
+        let owner = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+        g.transfer(&owner, protected, g.battery(), Energy::from_joules(1))
+            .unwrap();
+        assert_eq!(g.level(&owner, protected).unwrap(), Energy::from_joules(4));
+    }
+
+    #[test]
+    fn consume_fails_cleanly_when_short() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_millijoules(1))
+            .unwrap();
+        let err = g.consume(&k, r, Energy::from_joules(1)).unwrap_err();
+        assert!(matches!(err, GraphError::InsufficientResources { .. }));
+        // Nothing was consumed.
+        assert_eq!(g.level(&k, r).unwrap(), Energy::from_millijoules(1));
+        assert_eq!(g.totals().consumed, Energy::ZERO);
+    }
+
+    #[test]
+    fn consume_with_debt_goes_negative() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.consume_with_debt(&k, r, Energy::from_millijoules(5))
+            .unwrap();
+        assert_eq!(g.level(&k, r).unwrap(), Energy::from_millijoules(-5));
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn unprivileged_cannot_observe_secret_reserve() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let secret = Label::with(&[(Category::new(1), Level::L3)]);
+        let r = g.create_reserve(&k, "secret", secret).unwrap();
+        let nobody = Actor::unprivileged();
+        assert!(matches!(
+            g.level(&nobody, r),
+            Err(GraphError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn unprivileged_cannot_create_integrity_reserve() {
+        let mut g = graph_no_decay();
+        let protected = Label::with(&[(Category::new(1), Level::L0)]);
+        let nobody = Actor::unprivileged();
+        assert!(matches!(
+            g.create_reserve(&nobody, "x", protected),
+            Err(GraphError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn tap_requires_use_on_both_ends() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let cat = Category::new(1);
+        let secret = Label::with(&[(cat, Level::L3)]);
+        let src = g.create_reserve(&k, "src", secret).unwrap();
+        let dst = g.create_reserve(&k, "dst", Label::default_label()).unwrap();
+        let nobody = Actor::unprivileged();
+        assert!(matches!(
+            g.create_tap(
+                &nobody,
+                "steal",
+                src,
+                dst,
+                RateSpec::constant(Power::from_watts(1)),
+                Label::default_label()
+            ),
+            Err(GraphError::PermissionDenied { .. })
+        ));
+        let owner = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+        assert!(g
+            .create_tap(
+                &owner,
+                "ok",
+                src,
+                dst,
+                RateSpec::constant(Power::from_watts(1)),
+                Label::default_label()
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn tap_rate_change_requires_tap_modify() {
+        // The task-manager pattern: tap protected by an integrity category
+        // only the manager owns.
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let cat = Category::new(7);
+        let manager = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+        let app = g.create_reserve(&k, "app", Label::default_label()).unwrap();
+        let tap_label = Label::with(&[(cat, Level::L0)]);
+        let tap = g
+            .create_tap(
+                &manager,
+                "fg",
+                g.battery(),
+                app,
+                RateSpec::constant(Power::ZERO),
+                tap_label,
+            )
+            .unwrap();
+        let app_actor = Actor::unprivileged();
+        assert!(matches!(
+            g.set_tap_rate(&app_actor, tap, RateSpec::constant(Power::from_watts(1))),
+            Err(GraphError::PermissionDenied { .. })
+        ));
+        g.set_tap_rate(
+            &manager,
+            tap,
+            RateSpec::constant(Power::from_milliwatts(137)),
+        )
+        .unwrap();
+        g.flow_until(SimTime::from_secs(1));
+        assert_eq!(g.level(&k, app).unwrap(), Energy::from_millijoules(137));
+    }
+
+    #[test]
+    fn oversubscribed_source_favours_earlier_taps() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let pool = g
+            .create_reserve(&k, "pool", Label::default_label())
+            .unwrap();
+        g.transfer(&k, g.battery(), pool, Energy::from_millijoules(100))
+            .unwrap();
+        let a = g.create_reserve(&k, "a", Label::default_label()).unwrap();
+        let b = g.create_reserve(&k, "b", Label::default_label()).unwrap();
+        // Each tap wants 100 mJ within the very first 100 ms tick (1 W), but
+        // only 100 mJ exists: the earlier-created tap drains it all.
+        for (name, sink) in [("ta", a), ("tb", b)] {
+            g.create_tap(
+                &k,
+                name,
+                pool,
+                sink,
+                RateSpec::constant(Power::from_watts(1)),
+                Label::default_label(),
+            )
+            .unwrap();
+        }
+        g.flow_until(SimTime::from_secs(1));
+        let la = g.level(&k, a).unwrap();
+        let lb = g.level(&k, b).unwrap();
+        assert_eq!(la + lb, Energy::from_millijoules(100));
+        assert_eq!(la, Energy::from_millijoules(100), "earlier tap wins");
+        assert_eq!(lb, Energy::ZERO);
+        assert_eq!(g.level(&k, pool).unwrap(), Energy::ZERO);
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn backward_proportional_equilibrium_fig6b() {
+        // 70 mW in, 0.1/s backward out: equilibrium at 700 mJ.
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let plugin = g
+            .create_reserve(&k, "plugin", Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &k,
+            "fwd",
+            g.battery(),
+            plugin,
+            RateSpec::constant(Power::from_milliwatts(70)),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.create_tap(
+            &k,
+            "bwd",
+            plugin,
+            g.battery(),
+            RateSpec::proportional(0.1),
+            Label::default_label(),
+        )
+        .unwrap();
+        // Idle plugin: the reserve should converge to ~700 mJ and stay.
+        g.flow_until(SimTime::from_secs(300));
+        let level = g.level(&k, plugin).unwrap();
+        let target = Energy::from_millijoules(700);
+        let err = (level - target).as_microjoules().abs();
+        assert!(
+            err < 20_000, // within 20 mJ of the paper's equilibrium
+            "plugin level {level} vs expected {target}"
+        );
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn decay_halves_idle_reserve_over_half_life() {
+        let mut g = ResourceGraph::with_config(
+            Energy::from_joules(15_000),
+            GraphConfig::default(), // decay on
+        );
+        let k = kernel();
+        let r = g
+            .create_reserve(&k, "hoard", Label::default_label())
+            .unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(100))
+            .unwrap();
+        g.flow_until(SimTime::from_secs(600));
+        let level = g.level(&k, r).unwrap().as_joules_f64();
+        assert!((level - 50.0).abs() < 1.0, "after one half-life: {level} J");
+        g.flow_until(SimTime::from_secs(1200));
+        let level = g.level(&k, r).unwrap().as_joules_f64();
+        assert!(
+            (level - 25.0).abs() < 1.0,
+            "after two half-lives: {level} J"
+        );
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn decay_exempt_reserve_keeps_energy() {
+        let mut g = graph();
+        let k = kernel();
+        let pool = g
+            .create_reserve(&k, "netd pool", Label::default_label())
+            .unwrap();
+        g.set_decay_exempt(&k, pool, true).unwrap();
+        g.transfer(&k, g.battery(), pool, Energy::from_joules(10))
+            .unwrap();
+        g.flow_until(SimTime::from_secs(600));
+        assert_eq!(g.level(&k, pool).unwrap(), Energy::from_joules(10));
+        // Non-kernel actors may not grant exemption.
+        let nobody = Actor::unprivileged();
+        assert!(matches!(
+            g.set_decay_exempt(&nobody, pool, false),
+            Err(GraphError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_reserve_returns_balance_and_gcs_taps() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(2))
+            .unwrap();
+        g.create_tap(
+            &k,
+            "in",
+            g.battery(),
+            r,
+            RateSpec::constant(Power::from_watts(1)),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.create_tap(
+            &k,
+            "out",
+            r,
+            g.battery(),
+            RateSpec::proportional(0.5),
+            Label::default_label(),
+        )
+        .unwrap();
+        assert_eq!(g.tap_count(), 2);
+        let returned = g.delete_reserve(&k, r).unwrap();
+        assert_eq!(returned, Energy::from_joules(2));
+        assert_eq!(g.tap_count(), 0);
+        assert_eq!(
+            g.reserve(g.battery()).unwrap().balance(),
+            Energy::from_joules(15_000)
+        );
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn delete_indebted_reserve_settles_from_battery() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let r = g
+            .create_reserve(&k, "debtor", Label::default_label())
+            .unwrap();
+        g.consume_with_debt(&k, r, Energy::from_joules(3)).unwrap();
+        let settled = g.delete_reserve(&k, r).unwrap();
+        assert_eq!(settled, Energy::from_joules(-3));
+        assert_eq!(
+            g.reserve(g.battery()).unwrap().balance(),
+            Energy::from_joules(14_997)
+        );
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn battery_cannot_be_deleted() {
+        let mut g = graph();
+        let k = kernel();
+        let battery = g.battery();
+        assert!(matches!(
+            g.delete_reserve(&k, battery),
+            Err(GraphError::RootReserve)
+        ));
+    }
+
+    #[test]
+    fn stale_ids_error_not_panic() {
+        let mut g = graph_no_decay();
+        let k = kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.delete_reserve(&k, r).unwrap();
+        assert!(matches!(g.level(&k, r), Err(GraphError::ReserveNotFound)));
+        assert!(matches!(
+            g.transfer(&k, g.battery(), r, Energy::from_joules(1)),
+            Err(GraphError::ReserveNotFound)
+        ));
+        assert!(matches!(
+            g.consume(&k, r, Energy::from_joules(1)),
+            Err(GraphError::ReserveNotFound)
+        ));
+    }
+
+    #[test]
+    fn strict_mode_blocks_hoarding_transfer() {
+        let mut g = ResourceGraph::with_config(
+            Energy::from_joules(100),
+            GraphConfig {
+                decay: None,
+                strict_anti_hoarding: true,
+                ..GraphConfig::default()
+            },
+        );
+        let k = kernel();
+        let cat = Category::new(1);
+        let browser = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+        let taxed = g
+            .create_reserve(&k, "taxed", Label::default_label())
+            .unwrap();
+        let stash = g
+            .create_reserve(&k, "stash", Label::default_label())
+            .unwrap();
+        g.transfer(&k, g.battery(), taxed, Energy::from_joules(10))
+            .unwrap();
+        // Browser-owned backward tap taxes `taxed` at 0.2/s; the plugin
+        // cannot remove it (integrity label owned by browser).
+        g.create_tap(
+            &browser,
+            "tax",
+            taxed,
+            g.battery(),
+            RateSpec::proportional(0.2),
+            Label::with(&[(cat, Level::L0)]),
+        )
+        .unwrap();
+        let plugin = Actor::unprivileged();
+        // Sidestepping the tax by moving to an untaxed reserve is refused…
+        assert!(matches!(
+            g.transfer(&plugin, taxed, stash, Energy::from_joules(5)),
+            Err(GraphError::StrictModeViolation)
+        ));
+        // …but the browser, able to remove the tax, may do it.
+        g.transfer(&browser, taxed, stash, Energy::from_joules(5))
+            .unwrap();
+        // And anyone may move toward an *equally or faster* draining sink.
+        g.create_tap(
+            &browser,
+            "tax2",
+            stash,
+            g.battery(),
+            RateSpec::proportional(0.5),
+            Label::with(&[(cat, Level::L0)]),
+        )
+        .unwrap();
+        g.transfer(&plugin, taxed, stash, Energy::from_joules(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn reserve_clone_duplicates_unremovable_backward_taps() {
+        let mut g = ResourceGraph::with_config(
+            Energy::from_joules(100),
+            GraphConfig {
+                decay: None,
+                strict_anti_hoarding: true,
+                ..GraphConfig::default()
+            },
+        );
+        let k = kernel();
+        let cat = Category::new(1);
+        let browser = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+        let plugin_res = g
+            .create_reserve(&k, "plugin", Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &browser,
+            "tax",
+            plugin_res,
+            g.battery(),
+            RateSpec::proportional(0.1),
+            Label::with(&[(cat, Level::L0)]),
+        )
+        .unwrap();
+        let plugin = Actor::unprivileged();
+        let cloned = g
+            .reserve_clone(&plugin, plugin_res, "clone", Label::default_label())
+            .unwrap();
+        // The clone inherited the 0.1/s tax, so it drains as fast.
+        assert_eq!(g.drain_ppm_per_s(cloned), 100_000);
+        assert_eq!(g.tap_count(), 2);
+        // And transfers into it are therefore permitted.
+        g.transfer(&k, g.battery(), plugin_res, Energy::from_joules(4))
+            .unwrap();
+        g.transfer(&plugin, plugin_res, cloned, Energy::from_joules(2))
+            .unwrap();
+    }
+
+    #[test]
+    fn totals_conserved_through_mixed_workload() {
+        let mut g = graph();
+        let k = kernel();
+        let a = g.create_reserve(&k, "a", Label::default_label()).unwrap();
+        let b = g.create_reserve(&k, "b", Label::default_label()).unwrap();
+        g.create_tap(
+            &k,
+            "fill-a",
+            g.battery(),
+            a,
+            RateSpec::constant(Power::from_milliwatts(500)),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.create_tap(
+            &k,
+            "a-to-b",
+            a,
+            b,
+            RateSpec::proportional(0.3),
+            Label::default_label(),
+        )
+        .unwrap();
+        for s in 1..=60 {
+            g.flow_until(SimTime::from_secs(s));
+            if s % 5 == 0 {
+                let _ = g.consume(
+                    &k,
+                    b,
+                    g.level(&k, b)
+                        .unwrap()
+                        .min(Energy::from_millijoules(50))
+                        .clamp_non_negative(),
+                );
+            }
+            assert!(g.totals().conserved(), "t={s}s totals={:?}", g.totals());
+        }
+        g.inject(&k, g.battery(), Energy::from_joules(5)).unwrap();
+        assert!(g.totals().conserved());
+    }
+}

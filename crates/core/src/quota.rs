@@ -1,0 +1,123 @@
+//! Reserves and taps for non-energy resources (paper §9, future work).
+//!
+//! "Since data plans are frequently offered in terms of megabyte quotas,
+//! Cinder's mechanisms could be repurposed to limit application network
+//! access by replacing the logical battery with a pool of network bytes.
+//! Similarly, reserves could also be used to enforce SMS text message
+//! quotas."
+//!
+//! The [`crate::ResourceGraph`] is unit-agnostic integer arithmetic; this
+//! module fixes the unit correspondences so quota graphs read naturally:
+//!
+//! * **network bytes** — 1 byte ↔ 1 µJ, so a rate of *n* bytes/s is
+//!   `Power::from_microwatts(n)` and a 5 MB plan is an `Energy` of 5 × 10⁶.
+//! * **SMS messages** — 1 message ↔ 1 mJ (a coarser grain, leaving µ-units
+//!   for fractional accounting if billing ever needs it).
+
+use cinder_sim::{Energy, Power};
+
+/// What a reserve's integer quantity means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Microjoules of energy (the paper's primary resource).
+    Energy,
+    /// Network bytes against a data plan (§9).
+    NetworkBytes,
+    /// SMS messages against a message quota (§9).
+    SmsMessages,
+}
+
+/// A byte quota expressed as a graph quantity.
+pub fn bytes(n: u64) -> Energy {
+    Energy::from_microjoules(n as i64)
+}
+
+/// A graph quantity read back as whole bytes (negative = overdrawn quota).
+pub fn as_bytes(e: Energy) -> i64 {
+    e.as_microjoules()
+}
+
+/// A byte rate (bytes/second) expressed as a tap rate.
+pub fn bytes_per_sec(n: u64) -> Power {
+    Power::from_microwatts(n)
+}
+
+/// An SMS quota expressed as a graph quantity.
+pub fn sms_messages(n: u64) -> Energy {
+    Energy::from_millijoules(n as i64)
+}
+
+/// A graph quantity read back as whole SMS messages (truncating).
+pub fn as_sms_messages(e: Energy) -> i64 {
+    e.as_microjoules() / 1_000
+}
+
+/// An SMS rate (messages/second) expressed as a tap rate.
+pub fn sms_per_sec(n: u64) -> Power {
+    Power::from_milliwatts(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Actor, GraphConfig, ResourceGraph};
+    use crate::tap::RateSpec;
+    use cinder_label::Label;
+    use cinder_sim::SimTime;
+
+    #[test]
+    fn byte_units_roundtrip() {
+        assert_eq!(as_bytes(bytes(5_000_000)), 5_000_000);
+        assert_eq!(as_sms_messages(sms_messages(100)), 100);
+    }
+
+    #[test]
+    fn data_plan_quota_graph() {
+        // A 5 MB monthly plan: root pool of bytes, app limited to 1 KB/s.
+        let mut g = ResourceGraph::with_config(
+            bytes(5_000_000),
+            GraphConfig {
+                decay: None, // quotas do not decay
+                ..GraphConfig::default()
+            },
+        );
+        let k = Actor::kernel();
+        let app = g
+            .create_reserve(&k, "app-bytes", Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &k,
+            "1KBps",
+            g.battery(),
+            app,
+            RateSpec::constant(bytes_per_sec(1_000)),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.flow_until(SimTime::from_secs(10));
+        assert_eq!(as_bytes(g.level(&k, app).unwrap()), 10_000);
+
+        // Sending a 4 KB request consumes quota; a 100 KB one is refused.
+        g.consume(&k, app, bytes(4_000)).unwrap();
+        assert!(g.consume(&k, app, bytes(100_000)).is_err());
+        assert_eq!(as_bytes(g.level(&k, app).unwrap()), 6_000);
+    }
+
+    #[test]
+    fn sms_quota_blocks_overrun() {
+        let mut g = ResourceGraph::with_config(
+            sms_messages(3),
+            GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+        );
+        let k = Actor::kernel();
+        let app = g.create_reserve(&k, "sms", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), app, sms_messages(3)).unwrap();
+        for _ in 0..3 {
+            g.consume(&k, app, sms_messages(1)).unwrap();
+        }
+        assert!(g.consume(&k, app, sms_messages(1)).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The reserve object: a right to consume a quantity of a resource.
+
+use cinder_label::Label;
+use cinder_sim::{Energy, SimTime};
+
+/// Cumulative statistics a reserve keeps for accounting (paper §3.2:
+/// "Reserves also provide accounting by tracking application resource
+/// consumption").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReserveStats {
+    /// Total consumed from this reserve (scheduler charges, device use).
+    pub consumed: Energy,
+    /// Total that has flowed in via taps, transfers, and injections.
+    pub inflow: Energy,
+    /// Total that has flowed out via taps and transfers (not consumption).
+    pub outflow: Energy,
+    /// Total leaked by the global anti-hoarding decay.
+    pub decayed: Energy,
+}
+
+/// A reserve: a labelled store of resource rights.
+///
+/// Reserves are manipulated through [`crate::ResourceGraph`]; this type
+/// exposes read-only state plus the small mutators the graph uses.
+#[derive(Debug, Clone)]
+pub struct Reserve {
+    name: String,
+    label: Label,
+    balance: Energy,
+    stats: ReserveStats,
+    decay_exempt: bool,
+    created_at: SimTime,
+}
+
+impl Reserve {
+    pub(crate) fn new(name: impl Into<String>, label: Label, created_at: SimTime) -> Self {
+        Reserve {
+            name: name.into(),
+            label,
+            balance: Energy::ZERO,
+            stats: ReserveStats::default(),
+            decay_exempt: false,
+            created_at,
+        }
+    }
+
+    /// The human-readable name (for traces and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The security label protecting this reserve.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+    /// Current balance. May be negative: threads may debit "up to or into
+    /// debt" for after-the-fact costs (paper §5.5.2).
+    pub fn balance(&self) -> Energy {
+        self.balance
+    }
+
+    /// Whether the balance is positive — the condition the energy-aware
+    /// scheduler checks before letting a thread run.
+    pub fn is_nonempty(&self) -> bool {
+        self.balance.is_positive()
+    }
+
+    /// Cumulative accounting statistics.
+    pub fn stats(&self) -> ReserveStats {
+        self.stats
+    }
+
+    /// Whether the global decay skips this reserve (netd's pool, §5.5.2).
+    pub fn is_decay_exempt(&self) -> bool {
+        self.decay_exempt
+    }
+
+    /// When the reserve was created.
+    pub fn created_at(&self) -> SimTime {
+        self.created_at
+    }
+
+    pub(crate) fn set_decay_exempt(&mut self, exempt: bool) {
+        self.decay_exempt = exempt;
+    }
+
+    pub(crate) fn credit(&mut self, amount: Energy) {
+        debug_assert!(!amount.is_negative());
+        self.balance += amount;
+        self.stats.inflow += amount;
+    }
+
+    pub(crate) fn debit_outflow(&mut self, amount: Energy) {
+        debug_assert!(!amount.is_negative());
+        self.balance -= amount;
+        self.stats.outflow += amount;
+    }
+
+    pub(crate) fn debit_consumed(&mut self, amount: Energy) {
+        debug_assert!(!amount.is_negative());
+        self.balance -= amount;
+        self.stats.consumed += amount;
+    }
+
+    pub(crate) fn debit_decay(&mut self, amount: Energy) {
+        debug_assert!(!amount.is_negative());
+        self.balance -= amount;
+        self.stats.decayed += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Reserve {
+        Reserve::new("test", Label::default_label(), SimTime::ZERO)
+    }
+
+    #[test]
+    fn starts_empty() {
+        let res = r();
+        assert_eq!(res.balance(), Energy::ZERO);
+        assert!(!res.is_nonempty());
+        assert_eq!(res.stats(), ReserveStats::default());
+    }
+
+    #[test]
+    fn credit_and_debit_update_stats() {
+        let mut res = r();
+        res.credit(Energy::from_joules(10));
+        assert!(res.is_nonempty());
+        res.debit_consumed(Energy::from_joules(3));
+        res.debit_outflow(Energy::from_joules(2));
+        res.debit_decay(Energy::from_joules(1));
+        assert_eq!(res.balance(), Energy::from_joules(4));
+        let s = res.stats();
+        assert_eq!(s.inflow, Energy::from_joules(10));
+        assert_eq!(s.consumed, Energy::from_joules(3));
+        assert_eq!(s.outflow, Energy::from_joules(2));
+        assert_eq!(s.decayed, Energy::from_joules(1));
+    }
+
+    #[test]
+    fn debt_is_representable() {
+        let mut res = r();
+        res.credit(Energy::from_joules(1));
+        res.debit_consumed(Energy::from_joules(5));
+        assert!(res.balance().is_negative());
+        assert!(!res.is_nonempty());
+    }
+}

@@ -1,0 +1,453 @@
+//! The energy-aware CPU scheduler.
+//!
+//! Paper §3.2: "Cinder's CPU scheduler is energy-aware and allows a thread
+//! to run only when at least one of its energy reserves is not empty.
+//! Threads that have depleted their energy reserves cannot run. Tying energy
+//! reserves to the scheduler prevents new spending, which is sufficient to
+//! throttle energy consumption."
+//!
+//! The scheduler is round-robin over *ready* tasks whose **active reserve**
+//! is non-empty (the single-active-reserve model of the paper's own API,
+//! `self_set_active_reserve`, Fig 5). Each scheduled quantum charges
+//! `cpu_power × quantum` to the task's active reserve; because charging
+//! happens at quantum granularity a task can overdraw by at most one
+//! quantum, which the paper's own batch accounting also permits.
+//!
+//! This type is deliberately kernel-agnostic: the simulated kernel drives it
+//! (pick → run the thread's program → charge), and the figure experiments
+//! read the per-task [`PowerEstimator`]s to draw their stacked plots.
+
+use std::collections::VecDeque;
+
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+
+use crate::accounting::PowerEstimator;
+use crate::arena::{Arena, RawId};
+use crate::errors::GraphError;
+use crate::graph::{Actor, ReserveId, ResourceGraph};
+
+/// Identifies a task known to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(RawId);
+
+/// Scheduler-visible task state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Wants the CPU.
+    Ready,
+    /// Waiting on a sleep, I/O, or netd block; not schedulable.
+    Blocked,
+    /// Finished; never schedulable again.
+    Exited,
+}
+
+#[derive(Debug)]
+struct Task {
+    name: String,
+    reserve: ReserveId,
+    state: TaskState,
+    consumed: Energy,
+    estimator: PowerEstimator,
+    /// Quanta during which this task was denied the CPU *solely* because its
+    /// reserve was empty — the throttling the paper's isolation experiments
+    /// rely on.
+    throttled_quanta: u64,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Scheduling quantum (default 10 ms).
+    pub quantum: SimDuration,
+    /// Trailing window for per-task power estimates (the figures use 1 s).
+    pub estimate_window: SimDuration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            quantum: SimDuration::from_millis(10),
+            estimate_window: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Round-robin, reserve-gated scheduler.
+#[derive(Debug)]
+pub struct EnergyScheduler {
+    tasks: Arena<Task>,
+    queue: VecDeque<TaskId>,
+    config: SchedulerConfig,
+}
+
+impl EnergyScheduler {
+    /// Creates an empty scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        EnergyScheduler {
+            tasks: Arena::new(),
+            queue: VecDeque::new(),
+            config,
+        }
+    }
+
+    /// The configured quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.config.quantum
+    }
+
+    /// Registers a task drawing from `reserve`, initially [`TaskState::Ready`].
+    pub fn add_task(&mut self, name: &str, reserve: ReserveId) -> TaskId {
+        let id = TaskId(self.tasks.insert(Task {
+            name: name.to_string(),
+            reserve,
+            state: TaskState::Ready,
+            consumed: Energy::ZERO,
+            estimator: PowerEstimator::new(self.config.estimate_window),
+            throttled_quanta: 0,
+        }));
+        self.queue.push_back(id);
+        id
+    }
+
+    /// Removes a task entirely.
+    pub fn remove_task(&mut self, id: TaskId) {
+        self.tasks.remove(id.0);
+        self.queue.retain(|&t| t != id);
+    }
+
+    /// The task's display name.
+    pub fn name(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(id.0).map(|t| t.name.as_str())
+    }
+
+    /// The task's current state.
+    pub fn state(&self, id: TaskId) -> Option<TaskState> {
+        self.tasks.get(id.0).map(|t| t.state)
+    }
+
+    /// Changes a task's state (kernel: block on sleep/IO, wake, exit).
+    pub fn set_state(&mut self, id: TaskId, state: TaskState) {
+        if let Some(t) = self.tasks.get_mut(id.0) {
+            t.state = state;
+        }
+    }
+
+    /// The task's active reserve.
+    pub fn active_reserve(&self, id: TaskId) -> Option<ReserveId> {
+        self.tasks.get(id.0).map(|t| t.reserve)
+    }
+
+    /// Switches the task's active reserve — the `self_set_active_reserve`
+    /// system call of Fig 5.
+    pub fn set_active_reserve(&mut self, id: TaskId, reserve: ReserveId) {
+        if let Some(t) = self.tasks.get_mut(id.0) {
+            t.reserve = reserve;
+        }
+    }
+
+    /// Picks the next runnable task: round-robin over ready tasks whose
+    /// active reserve is non-empty. Returns `None` when the CPU should idle
+    /// this quantum.
+    pub fn pick_next(&mut self, graph: &ResourceGraph) -> Option<TaskId> {
+        let n = self.queue.len();
+        let mut skipped: Vec<TaskId> = Vec::new();
+        let mut throttled: Vec<TaskId> = Vec::new();
+        let mut picked = None;
+        for _ in 0..n {
+            let Some(id) = self.queue.pop_front() else {
+                break;
+            };
+            let Some(task) = self.tasks.get(id.0) else {
+                continue; // removed task: drop from queue permanently
+            };
+            if task.state == TaskState::Exited {
+                continue; // exited is terminal: drop from queue
+            }
+            if task.state == TaskState::Ready {
+                let runnable = graph.reserve(task.reserve).is_some_and(|r| r.is_nonempty());
+                if runnable {
+                    // The chosen task goes to the back; everyone examined
+                    // and skipped keeps their position at the front.
+                    picked = Some(id);
+                    self.queue.push_back(id);
+                    break;
+                }
+                throttled.push(id);
+            }
+            skipped.push(id);
+        }
+        for id in skipped.into_iter().rev() {
+            self.queue.push_front(id);
+        }
+        // Tasks that wanted to run but were reserve-gated count a throttled
+        // quantum — the paper's isolation experiments hinge on this.
+        for id in throttled {
+            if let Some(t) = self.tasks.get_mut(id.0) {
+                t.throttled_quanta += 1;
+            }
+        }
+        picked
+    }
+
+    /// Charges `power × quantum` to the task's active reserve and records it
+    /// in the task's accounting.
+    ///
+    /// The charge may overdraw the reserve by up to one quantum (the task
+    /// was runnable when picked); the resulting debt gates future runs.
+    pub fn charge(
+        &mut self,
+        graph: &mut ResourceGraph,
+        id: TaskId,
+        now: SimTime,
+        power: Power,
+    ) -> Result<Energy, GraphError> {
+        self.charge_duration(graph, id, now, power, self.config.quantum)
+    }
+
+    /// Charges `power × duration` — for partial-quantum costs such as the
+    /// dispatch of a program step that immediately blocks.
+    pub fn charge_duration(
+        &mut self,
+        graph: &mut ResourceGraph,
+        id: TaskId,
+        now: SimTime,
+        power: Power,
+        duration: SimDuration,
+    ) -> Result<Energy, GraphError> {
+        let cost = power.energy_over(duration);
+        let task = self
+            .tasks
+            .get_mut(id.0)
+            .ok_or(GraphError::ReserveNotFound)?;
+        graph.consume_with_debt(&Actor::kernel(), task.reserve, cost)?;
+        task.consumed += cost;
+        task.estimator.record(now, cost);
+        Ok(cost)
+    }
+
+    /// The task's windowed power estimate at `now` (the figures' y-axis).
+    pub fn estimate(&mut self, id: TaskId, now: SimTime) -> Power {
+        self.tasks
+            .get_mut(id.0)
+            .map(|t| t.estimator.estimate(now))
+            .unwrap_or(Power::ZERO)
+    }
+
+    /// Total energy ever charged to the task.
+    pub fn consumed(&self, id: TaskId) -> Energy {
+        self.tasks
+            .get(id.0)
+            .map(|t| t.consumed)
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Quanta the task was denied because its reserve was empty.
+    pub fn throttled_quanta(&self, id: TaskId) -> u64 {
+        self.tasks
+            .get(id.0)
+            .map(|t| t.throttled_quanta)
+            .unwrap_or(0)
+    }
+
+    /// All task ids, in creation order.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        self.tasks.iter().map(|(id, _)| TaskId(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+    use crate::tap::RateSpec;
+    use cinder_label::Label;
+    use cinder_sim::Energy;
+
+    const CPU: Power = Power::from_milliwatts(137);
+
+    fn setup() -> (ResourceGraph, EnergyScheduler) {
+        let g = ResourceGraph::with_config(
+            Energy::from_joules(15_000),
+            GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+        );
+        let s = EnergyScheduler::new(SchedulerConfig::default());
+        (g, s)
+    }
+
+    /// Runs the classic kernel loop shape for `secs` seconds, returning the
+    /// fraction of quanta each task ran.
+    fn run(
+        g: &mut ResourceGraph,
+        s: &mut EnergyScheduler,
+        tasks: &[TaskId],
+        secs: u64,
+    ) -> Vec<f64> {
+        let quantum = s.quantum();
+        let total = SimDuration::from_secs(secs).div_duration(quantum);
+        let mut counts = vec![0u64; tasks.len()];
+        let mut now = SimTime::ZERO;
+        for _ in 0..total {
+            g.flow_until(now);
+            if let Some(picked) = s.pick_next(g) {
+                s.charge(g, picked, now, CPU).unwrap();
+                if let Some(i) = tasks.iter().position(|&t| t == picked) {
+                    counts[i] += 1;
+                }
+            }
+            now += quantum;
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    #[test]
+    fn empty_reserve_blocks_running() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        let t = s.add_task("starved", r);
+        assert_eq!(s.pick_next(&g), None);
+        assert!(s.throttled_quanta(t) > 0);
+        // Fund it and it becomes runnable.
+        g.transfer(&k, g.battery(), r, Energy::from_joules(1))
+            .unwrap();
+        assert_eq!(s.pick_next(&g), Some(t));
+    }
+
+    #[test]
+    fn blocked_tasks_are_skipped() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(1))
+            .unwrap();
+        let t = s.add_task("sleeper", r);
+        s.set_state(t, TaskState::Blocked);
+        assert_eq!(s.pick_next(&g), None);
+        s.set_state(t, TaskState::Ready);
+        assert_eq!(s.pick_next(&g), Some(t));
+    }
+
+    #[test]
+    fn round_robin_is_fair_with_ample_energy() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let mut ids = Vec::new();
+        for name in ["a", "b", "c"] {
+            let r = g.create_reserve(&k, name, Label::default_label()).unwrap();
+            g.transfer(&k, g.battery(), r, Energy::from_joules(1000))
+                .unwrap();
+            ids.push(s.add_task(name, r));
+        }
+        let shares = run(&mut g, &mut s, &ids, 3);
+        for (i, share) in shares.iter().enumerate() {
+            assert!((share - 1.0 / 3.0).abs() < 0.01, "task {i} share {share}");
+        }
+    }
+
+    #[test]
+    fn tap_rate_dictates_cpu_share() {
+        // Fig 9's setup: a task fed 68.5 mW runs the 137 mW CPU ~50%.
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g
+            .create_reserve(&k, "half", Label::default_label())
+            .unwrap();
+        g.create_tap(
+            &k,
+            "tap",
+            g.battery(),
+            r,
+            RateSpec::constant(Power::from_microwatts(68_500)),
+            Label::default_label(),
+        )
+        .unwrap();
+        let t = s.add_task("spinner", r);
+        let shares = run(&mut g, &mut s, &[t], 20);
+        assert!(
+            (shares[0] - 0.5).abs() < 0.03,
+            "expected ~50% duty cycle, got {}",
+            shares[0]
+        );
+    }
+
+    #[test]
+    fn estimator_tracks_cpu_power() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g
+            .create_reserve(&k, "full", Label::default_label())
+            .unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(100))
+            .unwrap();
+        let t = s.add_task("spinner", r);
+        run(&mut g, &mut s, &[t], 2);
+        let est = s.estimate(t, SimTime::from_secs(2)).as_milliwatts_f64();
+        assert!((est - 137.0).abs() < 3.0, "estimate {est} mW");
+    }
+
+    #[test]
+    fn consumed_matches_graph_accounting() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(10))
+            .unwrap();
+        let t = s.add_task("spinner", r);
+        run(&mut g, &mut s, &[t], 1);
+        assert_eq!(s.consumed(t), g.reserve(r).unwrap().stats().consumed);
+        assert!(g.totals().conserved());
+    }
+
+    #[test]
+    fn isolation_two_tasks_one_starving() {
+        // A funded task is unaffected by a starving competitor.
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let ra = g.create_reserve(&k, "ra", Label::default_label()).unwrap();
+        let rb = g.create_reserve(&k, "rb", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), ra, Energy::from_joules(1000))
+            .unwrap();
+        // rb gets nothing.
+        let ta = s.add_task("funded", ra);
+        let tb = s.add_task("starved", rb);
+        let shares = run(&mut g, &mut s, &[ta, tb], 2);
+        assert!(shares[0] > 0.99, "funded task should own the CPU");
+        assert_eq!(shares[1], 0.0);
+    }
+
+    #[test]
+    fn set_active_reserve_switches_billing() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r1 = g.create_reserve(&k, "r1", Label::default_label()).unwrap();
+        let r2 = g.create_reserve(&k, "r2", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r1, Energy::from_joules(1))
+            .unwrap();
+        g.transfer(&k, g.battery(), r2, Energy::from_joules(1))
+            .unwrap();
+        let t = s.add_task("mover", r1);
+        s.charge(&mut g, t, SimTime::ZERO, CPU).unwrap();
+        s.set_active_reserve(t, r2);
+        s.charge(&mut g, t, SimTime::from_millis(10), CPU).unwrap();
+        let c1 = g.reserve(r1).unwrap().stats().consumed;
+        let c2 = g.reserve(r2).unwrap().stats().consumed;
+        assert_eq!(c1, c2);
+        assert_eq!(c1, Energy::from_microjoules(1_370));
+    }
+
+    #[test]
+    fn removed_tasks_leave_queue() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let r = g.create_reserve(&k, "r", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), r, Energy::from_joules(1))
+            .unwrap();
+        let t = s.add_task("gone", r);
+        s.remove_task(t);
+        assert_eq!(s.pick_next(&g), None);
+        assert_eq!(s.state(t), None);
+    }
+}

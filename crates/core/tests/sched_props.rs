@@ -1,0 +1,200 @@
+//! Property tests for the energy-aware scheduler: the reserve gate is
+//! never violated, and CPU shares track tap rates.
+
+use cinder_core::{
+    Actor, EnergyScheduler, GraphConfig, RateSpec, ResourceGraph, SchedulerConfig, TaskId,
+};
+use cinder_label::Label;
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+use proptest::prelude::*;
+
+const CPU: Power = Power::from_milliwatts(137);
+
+fn graph() -> ResourceGraph {
+    ResourceGraph::with_config(
+        Energy::from_joules(1_000_000),
+        GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+    )
+}
+
+/// Drives the scheduler loop for `secs`, returning per-task run counts.
+fn drive(g: &mut ResourceGraph, s: &mut EnergyScheduler, tasks: &[TaskId], secs: u64) -> Vec<u64> {
+    let quantum = s.quantum();
+    let total = SimDuration::from_secs(secs).div_duration(quantum);
+    let mut counts = vec![0u64; tasks.len()];
+    let mut now = SimTime::ZERO;
+    for _ in 0..total {
+        g.flow_until(now);
+        if let Some(picked) = s.pick_next(g) {
+            // Invariant: the picked task's reserve was non-empty.
+            let reserve = s.active_reserve(picked).unwrap();
+            assert!(
+                g.reserve(reserve).unwrap().is_nonempty(),
+                "scheduler picked a task with an empty reserve"
+            );
+            s.charge(g, picked, now, CPU).unwrap();
+            if let Some(i) = tasks.iter().position(|&t| t == picked) {
+                counts[i] += 1;
+            }
+        }
+        now += quantum;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With arbitrary tap rates whose total stays under the CPU's power,
+    /// each task's CPU share tracks its own tap rate (the Fig 9/12
+    /// mechanism). Rates are capped at 30 mW × ≤4 tasks = 120 mW < 137 mW.
+    #[test]
+    fn shares_track_tap_rates(rates_mw in proptest::collection::vec(1u64..30, 1..5)) {
+        let mut g = graph();
+        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let k = Actor::kernel();
+        let battery = g.battery();
+        let mut tasks = Vec::new();
+        for (i, mw) in rates_mw.iter().enumerate() {
+            let r = g
+                .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                .unwrap();
+            g.create_tap(
+                &k,
+                &format!("t{i}"),
+                battery,
+                r,
+                RateSpec::constant(Power::from_milliwatts(*mw)),
+                Label::default_label(),
+            )
+            .unwrap();
+            tasks.push(s.add_task(&format!("task{i}"), r));
+        }
+        let secs = 60;
+        let counts = drive(&mut g, &mut s, &tasks, secs);
+        let quanta_per_sec = 100.0;
+        for (i, mw) in rates_mw.iter().enumerate() {
+            let measured_mw =
+                counts[i] as f64 / (secs as f64 * quanta_per_sec) * 137.0;
+            let expected = *mw as f64;
+            // Within 10% relative + 3 mW absolute (startup transient).
+            let tol = expected * 0.10 + 3.0;
+            prop_assert!(
+                (measured_mw - expected).abs() <= tol,
+                "task {i}: measured {measured_mw:.1} mW for a {expected} mW tap"
+            );
+        }
+    }
+
+    /// Unfunded tasks never run, funded ones always make progress, and
+    /// total charged energy equals quanta × quantum cost exactly.
+    #[test]
+    fn charging_is_exact(funded in proptest::collection::vec(any::<bool>(), 1..6)) {
+        let mut g = graph();
+        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let k = Actor::kernel();
+        let battery = g.battery();
+        let mut tasks = Vec::new();
+        for (i, f) in funded.iter().enumerate() {
+            let r = g
+                .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                .unwrap();
+            if *f {
+                g.transfer(&k, battery, r, Energy::from_joules(100)).unwrap();
+            }
+            tasks.push(s.add_task(&format!("task{i}"), r));
+        }
+        let counts = drive(&mut g, &mut s, &tasks, 5);
+        let quantum_cost = CPU.energy_over(SimDuration::from_millis(10));
+        for (i, f) in funded.iter().enumerate() {
+            if *f {
+                prop_assert!(counts[i] > 0, "funded task {i} starved");
+            } else {
+                prop_assert_eq!(counts[i], 0, "unfunded task {} ran", i);
+            }
+            prop_assert_eq!(s.consumed(tasks[i]), quantum_cost * counts[i] as i64);
+        }
+        prop_assert!(g.totals().conserved());
+    }
+
+    /// Oversubscription: when total tap demand exceeds the CPU, the CPU
+    /// saturates (≈100% duty) and no task exceeds its own tap rate.
+    #[test]
+    fn oversubscribed_cpu_saturates(rates_mw in proptest::collection::vec(60u64..137, 2..5)) {
+        let mut g = graph();
+        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let k = Actor::kernel();
+        let battery = g.battery();
+        let mut tasks = Vec::new();
+        for (i, mw) in rates_mw.iter().enumerate() {
+            let r = g
+                .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                .unwrap();
+            g.create_tap(
+                &k,
+                &format!("t{i}"),
+                battery,
+                r,
+                RateSpec::constant(Power::from_milliwatts(*mw)),
+                Label::default_label(),
+            )
+            .unwrap();
+            tasks.push(s.add_task(&format!("task{i}"), r));
+        }
+        let secs = 30;
+        let counts = drive(&mut g, &mut s, &tasks, secs);
+        let total: u64 = counts.iter().sum();
+        let quanta = secs * 100;
+        prop_assert!(
+            total as f64 >= quanta as f64 * 0.97,
+            "CPU should saturate: {total}/{quanta}"
+        );
+        for (i, mw) in rates_mw.iter().enumerate() {
+            let measured_mw = counts[i] as f64 / quanta as f64 * 137.0;
+            prop_assert!(
+                measured_mw <= *mw as f64 + 5.0,
+                "task {i} exceeded its tap: {measured_mw:.1} mW > {mw} mW"
+            );
+        }
+    }
+
+    /// Round-robin fairness: equally funded tasks get equal shares within
+    /// one quantum of each other.
+    #[test]
+    fn equal_funding_equal_shares(n in 1usize..6) {
+        let mut g = graph();
+        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let k = Actor::kernel();
+        let battery = g.battery();
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            let r = g
+                .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                .unwrap();
+            g.transfer(&k, battery, r, Energy::from_joules(1_000)).unwrap();
+            tasks.push(s.add_task(&format!("task{i}"), r));
+        }
+        let counts = drive(&mut g, &mut s, &tasks, 10);
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unfair shares: {counts:?}");
+    }
+}
+
+#[test]
+fn throttled_quanta_count_denials() {
+    let mut g = graph();
+    let mut s = EnergyScheduler::new(SchedulerConfig::default());
+    let k = Actor::kernel();
+    let r = g
+        .create_reserve(&k, "starved", Label::default_label())
+        .unwrap();
+    let t = s.add_task("starved", r);
+    for _ in 0..50 {
+        assert_eq!(s.pick_next(&g), None);
+    }
+    assert_eq!(s.throttled_quanta(t), 50);
+}

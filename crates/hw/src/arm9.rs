@@ -1,0 +1,227 @@
+//! The closed ARM9 coprocessor facade.
+//!
+//! Paper §4.1 and Fig 2: the MSM7201A has two cores. Cinder runs on the
+//! ARM11; "a secure, closed ARM9 co-processor manages the most energy
+//! hungry, dynamic, and informative components (e.g. GPS, radio, and battery
+//! sensors)". Software cannot touch those devices directly — it exchanges
+//! messages over shared memory (which the paper's userspace `smdd` daemon
+//! mediates), and it cannot change ARM9 policy: "Because the ARM9 is closed,
+//! Cinder cannot change this inactivity timeout" (§4.3).
+//!
+//! [`Arm9`] enforces exactly that boundary: the radio, GPS control, and
+//! battery sensor are private fields, reachable only through
+//! [`Arm9::request`], and the timeout-change request is always refused.
+
+use cinder_sim::{Energy, SimDuration, SimRng, SimTime};
+
+use crate::battery::Battery;
+use crate::gps::Gps;
+use crate::radio::{RadioModel, RadioParams, TxOutcome};
+
+/// A message to the ARM9 (the RIL/smdd request vocabulary, reduced to what
+/// the evaluation needs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arm9Request {
+    /// Transmit `bytes` on the data path (powers the radio up if needed).
+    RadioTransmit {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Deliver `bytes` of received data to the host.
+    RadioDeliver {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Read the battery level (0–100), given the root reserve's remaining
+    /// energy.
+    BatteryLevel {
+        /// Remaining energy in the battery.
+        remaining: Energy,
+    },
+    /// Enable or disable the GPS receiver.
+    GpsPower {
+        /// Desired state.
+        on: bool,
+    },
+    /// Attempt to change the radio's inactivity timeout. The ARM9 is
+    /// closed; this is always refused (§4.3).
+    SetRadioTimeout {
+        /// The (futile) requested timeout.
+        timeout: SimDuration,
+    },
+}
+
+/// A reply from the ARM9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arm9Response {
+    /// Outcome of a transmit/deliver.
+    Radio(TxOutcome),
+    /// Battery percentage.
+    BatteryLevel(u8),
+    /// GPS state acknowledged.
+    GpsAck,
+}
+
+/// Errors the ARM9 returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm9Error {
+    /// The operation is controlled by closed firmware and cannot be
+    /// performed from the application processor.
+    ClosedFirmware,
+}
+
+impl std::fmt::Display for Arm9Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arm9Error::ClosedFirmware => {
+                write!(f, "ARM9 firmware is closed; operation refused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Arm9Error {}
+
+/// The coprocessor: sole owner of the radio, GPS, and battery sensor.
+#[derive(Debug)]
+pub struct Arm9 {
+    radio: RadioModel,
+    gps: Gps,
+    battery: Battery,
+}
+
+impl Arm9 {
+    /// An ARM9 managing a Dream radio and the given battery.
+    pub fn new(radio_params: RadioParams, battery: Battery) -> Self {
+        Arm9 {
+            radio: RadioModel::new(radio_params),
+            gps: Gps::htc_dream(),
+            battery,
+        }
+    }
+
+    /// Processes a request at time `now`.
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        req: Arm9Request,
+        rng: &mut SimRng,
+    ) -> Result<Arm9Response, Arm9Error> {
+        match req {
+            Arm9Request::RadioTransmit { bytes } => {
+                Ok(Arm9Response::Radio(self.radio.transmit(now, bytes, rng)))
+            }
+            Arm9Request::RadioDeliver { bytes } => {
+                Ok(Arm9Response::Radio(self.radio.receive(now, bytes)))
+            }
+            Arm9Request::BatteryLevel { remaining } => Ok(Arm9Response::BatteryLevel(
+                self.battery.level_percent(remaining),
+            )),
+            Arm9Request::GpsPower { on } => {
+                self.gps.set_enabled(on);
+                Ok(Arm9Response::GpsAck)
+            }
+            Arm9Request::SetRadioTimeout { .. } => Err(Arm9Error::ClosedFirmware),
+        }
+    }
+
+    /// Read-only radio state (the host can observe the radio's behaviour —
+    /// Cinder does exactly this to estimate costs — it just cannot control
+    /// its policies).
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// Advances radio timers (the ARM9 runs autonomously).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.radio.advance_to(t);
+    }
+
+    /// The GPS state.
+    pub fn gps(&self) -> &Gps {
+        &self.gps
+    }
+
+    /// The battery description.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_sim::Power;
+
+    fn arm9() -> Arm9 {
+        Arm9::new(RadioParams::htc_dream(), Battery::fig1_15kj())
+    }
+
+    #[test]
+    fn timeout_change_is_refused() {
+        let mut a = arm9();
+        let mut rng = SimRng::seed_from_u64(0);
+        let err = a
+            .request(
+                SimTime::ZERO,
+                Arm9Request::SetRadioTimeout {
+                    timeout: SimDuration::from_secs(5),
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, Arm9Error::ClosedFirmware);
+        // And the radio still sleeps on the firmware's schedule.
+        assert_eq!(
+            a.radio().params().inactivity_timeout,
+            SimDuration::from_secs(20)
+        );
+    }
+
+    #[test]
+    fn transmit_through_the_facade() {
+        let mut a = arm9();
+        let mut rng = SimRng::seed_from_u64(0);
+        let resp = a
+            .request(
+                SimTime::ZERO,
+                Arm9Request::RadioTransmit { bytes: 100 },
+                &mut rng,
+            )
+            .unwrap();
+        match resp {
+            Arm9Response::Radio(out) => {
+                assert!(out.activated);
+                assert_eq!(out.data_energy, Energy::from_microjoules(250));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(a.radio().is_active());
+        assert!(a.radio().extra_power() > Power::ZERO);
+    }
+
+    #[test]
+    fn battery_reads_through_facade() {
+        let mut a = arm9();
+        let mut rng = SimRng::seed_from_u64(0);
+        let resp = a
+            .request(
+                SimTime::ZERO,
+                Arm9Request::BatteryLevel {
+                    remaining: Energy::from_joules(7_500),
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(resp, Arm9Response::BatteryLevel(50));
+    }
+
+    #[test]
+    fn gps_toggles_through_facade() {
+        let mut a = arm9();
+        let mut rng = SimRng::seed_from_u64(0);
+        a.request(SimTime::ZERO, Arm9Request::GpsPower { on: true }, &mut rng)
+            .unwrap();
+        assert!(a.gps().is_enabled());
+    }
+}

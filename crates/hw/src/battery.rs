@@ -1,0 +1,71 @@
+//! The battery and its coarse sensor.
+//!
+//! Paper §4.1: "The ARM9, for example, exposes the battery level as an
+//! integer from 0 to 100." The *rights* to battery energy live in the
+//! resource graph's root reserve; this type models the physical capacity
+//! and the quantised readout applications see through the ARM9.
+
+use cinder_sim::Energy;
+
+/// A battery with a fixed capacity and a coarse percentage readout.
+#[derive(Debug, Clone, Copy)]
+pub struct Battery {
+    capacity: Energy,
+}
+
+impl Battery {
+    /// A battery of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(capacity: Energy) -> Self {
+        assert!(capacity.is_positive(), "battery capacity must be positive");
+        Battery { capacity }
+    }
+
+    /// The paper's worked example size (Fig 1): 15 kJ.
+    pub fn fig1_15kj() -> Self {
+        Battery::new(Energy::from_joules(15_000))
+    }
+
+    /// Full capacity.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// The ARM9-style readout: remaining energy quantised to an integer
+    /// 0–100. Values are clamped: debt reads 0, overfill reads 100.
+    pub fn level_percent(&self, remaining: Energy) -> u8 {
+        let pct =
+            (remaining.as_microjoules() as i128) * 100 / (self.capacity.as_microjoules() as i128);
+        pct.clamp(0, 100) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_quantisation() {
+        let b = Battery::fig1_15kj();
+        assert_eq!(b.level_percent(Energy::from_joules(15_000)), 100);
+        assert_eq!(b.level_percent(Energy::from_joules(7_500)), 50);
+        assert_eq!(b.level_percent(Energy::from_joules(149)), 0);
+        assert_eq!(b.level_percent(Energy::from_joules(151)), 1);
+    }
+
+    #[test]
+    fn readout_clamps() {
+        let b = Battery::fig1_15kj();
+        assert_eq!(b.level_percent(Energy::from_joules(-5)), 0);
+        assert_eq!(b.level_percent(Energy::from_joules(20_000)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(Energy::ZERO);
+    }
+}

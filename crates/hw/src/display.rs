@@ -1,0 +1,63 @@
+//! Backlight power model.
+//!
+//! Paper §4.2: the Dream draws "another 555 mW when the backlight is on".
+
+use cinder_sim::Power;
+
+/// The display backlight: a simple on/off power state.
+#[derive(Debug, Clone, Copy)]
+pub struct Display {
+    backlight_power: Power,
+    on: bool,
+}
+
+impl Display {
+    /// The HTC Dream's 555 mW backlight, initially off.
+    pub fn htc_dream() -> Self {
+        Display {
+            backlight_power: Power::from_milliwatts(555),
+            on: false,
+        }
+    }
+
+    /// Turns the backlight on or off.
+    pub fn set_backlight(&mut self, on: bool) {
+        self.on = on;
+    }
+
+    /// Whether the backlight is lit.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// The power currently drawn above idle.
+    pub fn power(&self) -> Power {
+        if self.on {
+            self.backlight_power
+        } else {
+            Power::ZERO
+        }
+    }
+}
+
+impl Default for Display {
+    fn default() -> Self {
+        Display::htc_dream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling_changes_power() {
+        let mut d = Display::htc_dream();
+        assert_eq!(d.power(), Power::ZERO);
+        d.set_backlight(true);
+        assert!(d.is_on());
+        assert_eq!(d.power(), Power::from_milliwatts(555));
+        d.set_backlight(false);
+        assert_eq!(d.power(), Power::ZERO);
+    }
+}

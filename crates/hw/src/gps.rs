@@ -1,0 +1,66 @@
+//! GPS stub.
+//!
+//! The paper names the GPS as one of the "most energy hungry, dynamic, and
+//! informative components" managed by the closed ARM9 (§4.1, Fig 2) but
+//! never evaluates a GPS workload. The stub preserves the architectural
+//! boundary — GPS is only reachable through the ARM9 facade — and a
+//! plausible power state, so future workloads have somewhere to plug in.
+
+use cinder_sim::Power;
+
+/// A minimal on/off GPS receiver model.
+#[derive(Debug, Clone, Copy)]
+pub struct Gps {
+    acquisition_power: Power,
+    on: bool,
+}
+
+impl Gps {
+    /// A GPS drawing ~350 mW while acquiring/tracking (typical for the
+    /// MSM7201A era; the paper does not publish a figure).
+    pub fn htc_dream() -> Self {
+        Gps {
+            acquisition_power: Power::from_milliwatts(350),
+            on: false,
+        }
+    }
+
+    /// Powers the receiver on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.on = on;
+    }
+
+    /// Whether the receiver is on.
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The power currently drawn above idle.
+    pub fn power(&self) -> Power {
+        if self.on {
+            self.acquisition_power
+        } else {
+            Power::ZERO
+        }
+    }
+}
+
+impl Default for Gps {
+    fn default() -> Self {
+        Gps::htc_dream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling() {
+        let mut g = Gps::htc_dream();
+        assert_eq!(g.power(), Power::ZERO);
+        g.set_enabled(true);
+        assert_eq!(g.power(), Power::from_milliwatts(350));
+        assert!(g.is_enabled());
+    }
+}

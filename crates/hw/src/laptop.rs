@@ -1,0 +1,72 @@
+//! The laptop platform of the image-viewer experiment.
+//!
+//! §6.2's evaluation ran "on a Lenovo T60p laptop", not the phone: the
+//! interesting dynamics are reserve levels vs per-byte download cost, with
+//! no radio-activation cliff. [`LaptopNet`] models a Wi-Fi NIC whose energy
+//! is dominated by per-byte transfer cost, calibrated so that one of the
+//! experiment's ~2.7 MiB images costs ~0.2 J — the full scale of the
+//! downloader reserve in Figs 10/11.
+
+use cinder_sim::{Energy, SimDuration};
+
+/// A throughput + per-byte energy model of a laptop NIC.
+///
+/// Per-byte cost is expressed per KiB because it is well below 1 µJ/byte.
+#[derive(Debug, Clone, Copy)]
+pub struct LaptopNet {
+    /// Energy billed per KiB downloaded.
+    pub per_kib: Energy,
+    /// Sustained download throughput.
+    pub throughput_bytes_per_s: u64,
+}
+
+impl LaptopNet {
+    /// The T60p-style defaults used by the Figs 10/11 reproduction:
+    /// 76 µJ/KiB (≈0.21 J per 2.7 MiB image) at 500 KiB/s.
+    pub fn t60p() -> Self {
+        LaptopNet {
+            per_kib: Energy::from_microjoules(76),
+            throughput_bytes_per_s: 512_000,
+        }
+    }
+
+    /// Energy to download `bytes`.
+    pub fn download_energy(&self, bytes: u64) -> Energy {
+        let uj = (self.per_kib.as_microjoules() as i128) * (bytes as i128) / 1024;
+        Energy::from_microjoules(uj as i64)
+    }
+
+    /// Wall-clock duration to download `bytes`.
+    pub fn download_duration(&self, bytes: u64) -> SimDuration {
+        let us = (bytes as u128) * 1_000_000 / (self.throughput_bytes_per_s as u128);
+        SimDuration::from_micros((us as u64).max(1_000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_scales_with_bytes() {
+        let n = LaptopNet::t60p();
+        assert_eq!(n.download_duration(512_000), SimDuration::from_secs(1));
+        assert_eq!(n.download_duration(256_000), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn full_image_costs_about_a_fifth_joule() {
+        // ~2.7 MiB image ≈ 0.21 J: the reserve scale of Figs 10/11.
+        let n = LaptopNet::t60p();
+        let image = 2_831_155; // ≈ 2.7 MiB
+        let e = n.download_energy(image).as_joules_f64();
+        assert!((0.19..=0.23).contains(&e), "image energy {e} J");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_bytes() {
+        let n = LaptopNet::t60p();
+        assert!(n.download_energy(2_000_000) > n.download_energy(1_000_000));
+        assert_eq!(n.download_energy(0), Energy::ZERO);
+    }
+}

@@ -1,0 +1,49 @@
+//! Device power models for the Cinder reproduction.
+//!
+//! The paper measures the HTC Dream with a bench supply and builds "a model
+//! from offline-measurements of device power states in a controlled setting"
+//! (§4.1). This crate *is* that model, with the published constants:
+//!
+//! | state | power | source |
+//! |---|---|---|
+//! | platform idle | 699 mW | §4.2 |
+//! | backlight on | +555 mW | §4.2 |
+//! | CPU busy | +137 mW | §4.2 |
+//! | memory-intensive stream | ×1.13 on CPU | §4.2 |
+//! | radio activation episode | 9.5 J mean (8.8–11.9 J) | §4.3, Fig 4 |
+//! | radio inactivity timeout | 20 s, fixed by the closed ARM9 | §4.3 |
+//!
+//! Modules:
+//!
+//! * [`cpu`] — CPU busy/idle power, instruction-mix factor.
+//! * [`display`] — backlight.
+//! * [`radio`] — the GSM data-path state machine with its expensive
+//!   activation episodes, the heart of Figs 3, 4, 13, 14 and Table 1.
+//! * [`battery`] — capacity plus the ARM9's coarse 0–100 level readout.
+//! * [`gps`] — a stub with the architectural boundary (ARM9-managed) but no
+//!   evaluated workload.
+//! * [`arm9`] — the closed-coprocessor facade: radio/GPS/battery are only
+//!   reachable through it, and its policies (the 20 s timeout) cannot be
+//!   changed, exactly the constraint §4.3 laments.
+//! * [`platform`] — combines device states into total platform power for
+//!   the meter.
+//! * [`laptop`] — the Lenovo T60p-style platform of the image-viewer
+//!   experiment (§6.2): per-byte-dominated NIC, no activation cliff.
+
+pub mod arm9;
+pub mod battery;
+pub mod cpu;
+pub mod display;
+pub mod gps;
+pub mod laptop;
+pub mod platform;
+pub mod radio;
+
+pub use arm9::{Arm9, Arm9Error, Arm9Request, Arm9Response};
+pub use battery::Battery;
+pub use cpu::{CpuKind, CpuModel};
+pub use display::Display;
+pub use gps::Gps;
+pub use laptop::LaptopNet;
+pub use platform::{DreamConstants, PlatformPower};
+pub use radio::{RadioModel, RadioParams, RadioStats, TxOutcome};

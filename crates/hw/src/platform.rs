@@ -1,0 +1,130 @@
+//! Whole-platform power aggregation.
+//!
+//! The meter measures the device at its supply rails; total draw is the
+//! idle floor plus each active component's contribution (the linear
+//! state-based model of §4.1–4.2, as in ECOSystem and the paper itself).
+
+use cinder_sim::Power;
+
+use crate::cpu::{CpuKind, CpuModel};
+use crate::display::Display;
+use crate::gps::Gps;
+
+/// The HTC Dream's published platform constants.
+#[derive(Debug, Clone, Copy)]
+pub struct DreamConstants {
+    /// Power with the platform idle and screen dark (699 mW).
+    pub idle: Power,
+}
+
+impl DreamConstants {
+    /// §4.2's measurements.
+    pub fn htc_dream() -> Self {
+        DreamConstants {
+            idle: Power::from_milliwatts(699),
+        }
+    }
+}
+
+impl Default for DreamConstants {
+    fn default() -> Self {
+        DreamConstants::htc_dream()
+    }
+}
+
+/// Aggregates component states into total platform power.
+///
+/// The radio is intentionally *not* stored here: it lives behind the ARM9
+/// facade, and its extra power is passed in by the kernel's device loop —
+/// mirroring the two-processor split of Fig 2.
+#[derive(Debug)]
+pub struct PlatformPower {
+    constants: DreamConstants,
+    /// CPU model and the kind of stream currently running (None = idle).
+    pub cpu: CpuModel,
+    cpu_running: Option<CpuKind>,
+    /// The display backlight.
+    pub display: Display,
+    /// The GPS receiver.
+    pub gps: Gps,
+}
+
+impl PlatformPower {
+    /// An idle HTC Dream.
+    pub fn htc_dream() -> Self {
+        PlatformPower {
+            constants: DreamConstants::htc_dream(),
+            cpu: CpuModel::htc_dream(),
+            cpu_running: None,
+            display: Display::htc_dream(),
+            gps: Gps::htc_dream(),
+        }
+    }
+
+    /// The idle floor.
+    pub fn idle_power(&self) -> Power {
+        self.constants.idle
+    }
+
+    /// Marks the CPU busy with a stream of `kind` (or idle with `None`).
+    pub fn set_cpu(&mut self, kind: Option<CpuKind>) {
+        self.cpu_running = kind;
+    }
+
+    /// Whether the CPU is busy.
+    pub fn cpu_busy(&self) -> bool {
+        self.cpu_running.is_some()
+    }
+
+    /// Total platform power given the radio's current extra draw.
+    pub fn total(&self, radio_extra: Power) -> Power {
+        let mut p = self.constants.idle;
+        if let Some(kind) = self.cpu_running {
+            p += self.cpu.power(kind);
+        }
+        p += self.display.power();
+        p += self.gps.power();
+        p += radio_extra;
+        p
+    }
+}
+
+impl Default for PlatformPower {
+    fn default() -> Self {
+        PlatformPower::htc_dream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_floor_is_699_mw() {
+        let p = PlatformPower::htc_dream();
+        assert_eq!(p.total(Power::ZERO), Power::from_milliwatts(699));
+    }
+
+    #[test]
+    fn components_stack_linearly() {
+        let mut p = PlatformPower::htc_dream();
+        p.set_cpu(Some(CpuKind::MemoryIntensive));
+        p.display.set_backlight(true);
+        // 699 + 137 + 555 = 1391 mW, plus 400 mW of radio.
+        assert_eq!(
+            p.total(Power::from_milliwatts(400)),
+            Power::from_milliwatts(1_791)
+        );
+        p.set_cpu(None);
+        assert!(!p.cpu_busy());
+        assert_eq!(p.total(Power::ZERO), Power::from_milliwatts(699 + 555));
+    }
+
+    #[test]
+    fn paper_idle_plus_backlight() {
+        // §4.2: 699 mW idling "and another 555 mW when the backlight is on".
+        let mut p = PlatformPower::htc_dream();
+        p.display.set_backlight(true);
+        assert_eq!(p.total(Power::ZERO), Power::from_milliwatts(1_254));
+    }
+}

@@ -1,0 +1,549 @@
+//! The GSM data-path radio state machine.
+//!
+//! Paper §4.3: "The baseline cost of activating the radio is exceptionally
+//! high: small isolated transfers are about 1000 times more expensive, per
+//! byte, than large transfers. … it costs 9.5 joules to send a single byte!
+//! … The device fully sleeps after 20 seconds [of inactivity], but the
+//! average plateau consumes an additional 9.5 J of energy over baseline
+//! (minimum 8.8 J, maximum 11.9 J). … Because the ARM9 is closed, Cinder
+//! cannot change this inactivity timeout."
+//!
+//! The model:
+//!
+//! * **Idle**: no extra power.
+//! * **Activation**: transmitting from idle starts an *episode*. A per-
+//!   episode overhead energy `E` is drawn from a clipped Normal(9.5, 0.7) J
+//!   in `[8.8, 11.9]`, with a small chance of an outlier near the top (the
+//!   "penultimate transition" of Fig 4). The episode begins with a 1 s ramp
+//!   at 1.3 W extra, then holds a plateau of `(E − 1.3 J) / 19 s` extra so
+//!   that an *untouched* episode (single packet, 20 s timeout) costs exactly
+//!   `E` over baseline — reproducing Fig 4 by construction.
+//! * **Extension**: any activity at time `t` moves the auto-sleep deadline
+//!   to `t + 20 s`; the marginal cost of extending is plateau-power ×
+//!   extension, matching §5.5.2's worked example (transmitting after 15
+//!   idle-but-active seconds is far more expensive than back-to-back sends).
+//! * **Data**: bytes cost [`RadioParams::per_kilobyte`] per 1000 bytes on
+//!   top, reported to the caller as instantaneous energy (fed to the
+//!   meter). Bulk bytes are roughly three orders of magnitude cheaper than
+//!   an activation-borne byte, matching §4.3's "about 1000 times more
+//!   expensive, per byte" observation.
+//!
+//! The model exposes [`RadioModel::cost_estimate`] — the estimator netd uses
+//! to decide how much pooled energy a power-up requires (§5.5).
+
+use cinder_sim::{Energy, Power, SimDuration, SimRng, SimTime};
+
+/// Tunable radio constants (defaults: the paper's HTC Dream measurements).
+#[derive(Debug, Clone, Copy)]
+pub struct RadioParams {
+    /// Mean per-episode overhead energy (9.5 J).
+    pub activation_mean: Energy,
+    /// Std-dev of the overhead draw (0.7 J).
+    pub activation_sigma: Energy,
+    /// Observed minimum (8.8 J).
+    pub activation_min: Energy,
+    /// Observed maximum (11.9 J).
+    pub activation_max: Energy,
+    /// Probability an episode is an outlier drawn near the maximum.
+    pub outlier_prob: f64,
+    /// Ramp duration at the start of an episode.
+    pub ramp: SimDuration,
+    /// Extra power during the ramp.
+    pub ramp_power: Power,
+    /// Inactivity timeout after which the ARM9 sleeps the radio (20 s,
+    /// not changeable — §4.3).
+    pub inactivity_timeout: SimDuration,
+    /// Energy per 1000 transmitted or received bytes (sub-µJ/byte costs
+    /// need the coarser unit; integer µJ per byte would be too lossy).
+    pub per_kilobyte: Energy,
+    /// Sustained data-path throughput, for transfer durations.
+    pub throughput_bytes_per_s: u64,
+}
+
+impl RadioParams {
+    /// The paper's measured HTC Dream values.
+    pub fn htc_dream() -> Self {
+        RadioParams {
+            activation_mean: Energy::from_millijoules(9_500),
+            activation_sigma: Energy::from_millijoules(700),
+            activation_min: Energy::from_millijoules(8_800),
+            activation_max: Energy::from_millijoules(11_900),
+            outlier_prob: 0.04,
+            ramp: SimDuration::from_secs(1),
+            ramp_power: Power::from_milliwatts(1_300),
+            inactivity_timeout: SimDuration::from_secs(20),
+            per_kilobyte: Energy::from_microjoules(2_500),
+            throughput_bytes_per_s: 100_000,
+        }
+    }
+
+    /// The plateau extra power implied by an episode overhead of `episode`.
+    fn plateau_power(&self, episode: Energy) -> Power {
+        let ramp_energy = self.ramp_power.energy_over(self.ramp);
+        let tail = self.inactivity_timeout - self.ramp;
+        (episode - ramp_energy)
+            .clamp_non_negative()
+            .average_power_over(tail)
+    }
+
+    /// The *nominal* plateau power (mean episode): 431 mW extra for the
+    /// Dream. Used by cost estimation.
+    pub fn nominal_plateau_power(&self) -> Power {
+        self.plateau_power(self.activation_mean)
+    }
+
+    /// Data-path energy for `bytes` at the per-kilobyte rate.
+    pub fn data_energy(&self, bytes: u64) -> Energy {
+        let uj = (self.per_kilobyte.as_microjoules() as i128) * (bytes as i128) / 1_000;
+        Energy::from_microjoules(uj as i64)
+    }
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        RadioParams::htc_dream()
+    }
+}
+
+/// Cumulative radio statistics (Table 1's "Active Time" column and Fig 13's
+/// episode structure are read from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RadioStats {
+    /// Number of idle→active transitions.
+    pub activations: u64,
+    /// Total time spent active (completed episodes only until
+    /// [`RadioModel::total_active`] adds the in-flight episode).
+    pub completed_active_time: SimDuration,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+}
+
+/// Result of a transmit/receive call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Whether this call powered the radio up from idle.
+    pub activated: bool,
+    /// Instantaneous data energy (bytes × per-byte) to feed to the meter.
+    pub data_energy: Energy,
+    /// How long the transfer occupies the data path.
+    pub duration: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Idle,
+    /// Ramping up; plateau follows at `ramp_until`.
+    Ramp {
+        ramp_until: SimTime,
+        plateau: Power,
+    },
+    /// Holding the active plateau.
+    Plateau {
+        plateau: Power,
+    },
+}
+
+/// The radio state machine.
+///
+/// Drive it with [`RadioModel::advance_to`] (processing timeouts), then act.
+/// [`RadioModel::next_transition`] tells the platform when the power draw
+/// will next change so the meter can integrate exactly.
+#[derive(Debug)]
+pub struct RadioModel {
+    params: RadioParams,
+    phase: Phase,
+    now: SimTime,
+    last_activity: SimTime,
+    active_since: Option<SimTime>,
+    stats: RadioStats,
+    /// Completed active windows (merged episodes), for active-energy
+    /// integration in the experiments.
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl RadioModel {
+    /// Creates an idle radio with the given parameters.
+    pub fn new(params: RadioParams) -> Self {
+        RadioModel {
+            params,
+            phase: Phase::Idle,
+            now: SimTime::ZERO,
+            last_activity: SimTime::ZERO,
+            active_since: None,
+            stats: RadioStats::default(),
+            windows: Vec::new(),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &RadioParams {
+        &self.params
+    }
+
+    /// Whether the radio is currently active (ramp or plateau).
+    pub fn is_active(&self) -> bool {
+        !matches!(self.phase, Phase::Idle)
+    }
+
+    /// The extra power drawn right now, above platform baseline.
+    pub fn extra_power(&self) -> Power {
+        match self.phase {
+            Phase::Idle => Power::ZERO,
+            Phase::Ramp { .. } => self.params.ramp_power,
+            Phase::Plateau { plateau } => plateau,
+        }
+    }
+
+    /// When the radio will sleep if nothing else happens.
+    pub fn sleep_deadline(&self) -> Option<SimTime> {
+        self.is_active()
+            .then(|| self.last_activity + self.params.inactivity_timeout)
+    }
+
+    /// The next time the power draw changes by itself (ramp end or sleep),
+    /// if any.
+    pub fn next_transition(&self) -> Option<SimTime> {
+        match self.phase {
+            Phase::Idle => None,
+            Phase::Ramp { ramp_until, .. } => {
+                Some(ramp_until.min(self.sleep_deadline().expect("active")))
+            }
+            Phase::Plateau { .. } => self.sleep_deadline(),
+        }
+    }
+
+    /// Advances to `t` like [`RadioModel::advance_to`], returning the exact
+    /// extra energy drawn over the interval (integrating across phase
+    /// transitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the radio's current time.
+    pub fn advance_integrating(&mut self, t: SimTime) -> Energy {
+        let mut total = Energy::ZERO;
+        let mut cursor = self.now;
+        while cursor < t {
+            let next = match self.next_transition() {
+                Some(n) if n < t => n.max(cursor),
+                _ => t,
+            };
+            total += self.extra_power().energy_over(next - cursor);
+            self.advance_to(next);
+            cursor = next;
+        }
+        total
+    }
+
+    /// Advances internal time to `t`, processing ramp-end and sleep
+    /// transitions that occur at or before `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the radio's current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "radio time went backwards");
+        while let Some(next) = self.next_transition() {
+            if next > t {
+                break;
+            }
+            match self.phase {
+                Phase::Ramp {
+                    ramp_until,
+                    plateau,
+                } if ramp_until <= next => {
+                    self.phase = Phase::Plateau { plateau };
+                }
+                Phase::Ramp { .. } | Phase::Plateau { .. } => {
+                    // Sleep deadline reached.
+                    let since = self.active_since.take().expect("active episode");
+                    let until = self.sleep_deadline().expect("active");
+                    self.windows.push((since, until));
+                    self.stats.completed_active_time += until - since;
+                    self.phase = Phase::Idle;
+                }
+                Phase::Idle => unreachable!("idle has no transition"),
+            }
+        }
+        self.now = t;
+    }
+
+    /// Transmits `bytes` at the current time, powering the radio up if idle.
+    ///
+    /// Call [`RadioModel::advance_to`] first so pending transitions are
+    /// processed. Returns the data energy for the meter.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64, rng: &mut SimRng) -> TxOutcome {
+        self.advance_to(now);
+        let activated = !self.is_active();
+        if activated {
+            let episode = self.draw_episode_energy(rng);
+            let plateau = self.params.plateau_power(episode);
+            self.phase = Phase::Ramp {
+                ramp_until: now + self.params.ramp,
+                plateau,
+            };
+            self.active_since = Some(now);
+            self.stats.activations += 1;
+        }
+        self.last_activity = now;
+        self.stats.tx_bytes += bytes;
+        TxOutcome {
+            activated,
+            data_energy: self.params.data_energy(bytes),
+            duration: self.transfer_duration(bytes),
+        }
+    }
+
+    /// Accounts received data (the radio must already be active; reception
+    /// while asleep is impossible on the real hardware too — the network
+    /// pages the device, which this model folds into the active episode).
+    ///
+    /// Returns the data energy for the meter.
+    pub fn receive(&mut self, now: SimTime, bytes: u64) -> TxOutcome {
+        self.advance_to(now);
+        debug_assert!(self.is_active(), "receive on a sleeping radio");
+        self.last_activity = now;
+        self.stats.rx_bytes += bytes;
+        TxOutcome {
+            activated: false,
+            data_energy: self.params.data_energy(bytes),
+            duration: self.transfer_duration(bytes),
+        }
+    }
+
+    /// §5.5.2's marginal-cost estimator: what will transmitting `bytes` at
+    /// `at` cost over baseline?
+    ///
+    /// * Radio idle → a full nominal activation episode plus data.
+    /// * Radio active → plateau power × how much the sleep deadline moves
+    ///   ("if the radio has been active for one second, transmitting now
+    ///   only extends the active period by 1 second").
+    pub fn cost_estimate(&self, at: SimTime, bytes: u64) -> Energy {
+        let data = self.params.data_energy(bytes);
+        match self.phase {
+            Phase::Idle => self.params.activation_mean + data,
+            Phase::Ramp { plateau, .. } | Phase::Plateau { plateau } => {
+                let extension = at.saturating_since(self.last_activity);
+                plateau.energy_over(extension) + data
+            }
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> RadioStats {
+        self.stats
+    }
+
+    /// Total active time up to `now`, including the in-flight episode.
+    pub fn total_active(&self, now: SimTime) -> SimDuration {
+        let mut t = self.stats.completed_active_time;
+        if let Some(since) = self.active_since {
+            t += now.saturating_since(since);
+        }
+        t
+    }
+
+    /// Completed active windows plus the in-flight one (clipped to `now`),
+    /// for integrating "active energy" over a meter trace.
+    pub fn active_windows(&self, now: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut w = self.windows.clone();
+        if let Some(since) = self.active_since {
+            w.push((since, now.max(since)));
+        }
+        w
+    }
+
+    fn transfer_duration(&self, bytes: u64) -> SimDuration {
+        let us = (bytes as u128) * 1_000_000 / (self.params.throughput_bytes_per_s as u128);
+        SimDuration::from_micros((us as u64).max(1_000))
+    }
+
+    fn draw_episode_energy(&self, rng: &mut SimRng) -> Energy {
+        let p = &self.params;
+        let j = if rng.chance(p.outlier_prob) {
+            // The rare expensive transition (Fig 4's penultimate episode).
+            rng.uniform(
+                p.activation_mean.as_joules_f64(),
+                p.activation_max.as_joules_f64(),
+            )
+        } else {
+            rng.clipped_normal(
+                p.activation_mean.as_joules_f64(),
+                p.activation_sigma.as_joules_f64(),
+                p.activation_min.as_joules_f64(),
+                p.activation_max.as_joules_f64(),
+            )
+        };
+        Energy::from_joules_f64(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radio() -> RadioModel {
+        RadioModel::new(RadioParams::htc_dream())
+    }
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    /// Integrates the radio's extra power up to `until` by stepping through
+    /// transitions, the way the platform meter does.
+    fn integrate_extra(r: &mut RadioModel, until: SimTime) -> Energy {
+        r.advance_integrating(until)
+    }
+
+    #[test]
+    fn single_packet_episode_costs_the_drawn_energy() {
+        // A 0-byte "1-byte-ish" packet from idle: the episode overhead must
+        // land in [8.8, 11.9] J and the radio must sleep after exactly 20 s.
+        let mut r = radio();
+        let mut g = rng();
+        let out = r.transmit(SimTime::ZERO, 0, &mut g);
+        assert!(out.activated);
+        assert_eq!(r.sleep_deadline(), Some(SimTime::from_secs(20)));
+        let episode = integrate_extra(&mut r, SimTime::from_secs(30));
+        assert!(!r.is_active());
+        let j = episode.as_joules_f64();
+        assert!((8.79..=11.91).contains(&j), "episode cost {j} J");
+        assert_eq!(
+            r.total_active(SimTime::from_secs(30)),
+            SimDuration::from_secs(20)
+        );
+        assert_eq!(r.stats().activations, 1);
+    }
+
+    #[test]
+    fn mean_episode_cost_is_9_5_joules() {
+        let mut g = rng();
+        let mut total = 0.0;
+        let n = 40;
+        for i in 0..n {
+            let mut r = radio();
+            let start = SimTime::from_secs(i * 100);
+            let mut r2 = {
+                r.advance_to(start);
+                r
+            };
+            r2.transmit(start, 0, &mut g);
+            total += integrate_extra(&mut r2, start + SimDuration::from_secs(25)).as_joules_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 9.5).abs() < 0.5, "mean episode {mean} J");
+    }
+
+    #[test]
+    fn activity_extends_the_episode() {
+        let mut r = radio();
+        let mut g = rng();
+        r.transmit(SimTime::ZERO, 0, &mut g);
+        r.advance_to(SimTime::from_secs(15));
+        let out = r.transmit(SimTime::from_secs(15), 0, &mut g);
+        assert!(!out.activated, "still active, no new episode");
+        assert_eq!(r.sleep_deadline(), Some(SimTime::from_secs(35)));
+        r.advance_to(SimTime::from_secs(40));
+        assert!(!r.is_active());
+        assert_eq!(
+            r.total_active(SimTime::from_secs(40)),
+            SimDuration::from_secs(35)
+        );
+        assert_eq!(r.stats().activations, 1);
+    }
+
+    #[test]
+    fn cost_estimate_matches_paper_examples() {
+        // §5.5.2: active for 1 s → extending costs ~1 s of plateau; idle for
+        // 15 s within the window → ~15 s of plateau.
+        let mut r = radio();
+        let mut g = rng();
+        r.transmit(SimTime::ZERO, 0, &mut g);
+        let plateau = r.params().nominal_plateau_power();
+        let cheap = r.cost_estimate(SimTime::from_secs(1), 0);
+        let pricey = r.cost_estimate(SimTime::from_secs(15), 0);
+        // Use the *actual* episode plateau for tolerance: estimates use the
+        // drawn plateau power.
+        assert!(cheap < pricey);
+        let ratio = pricey.as_joules_f64() / cheap.as_joules_f64();
+        assert!((ratio - 15.0).abs() < 1.0, "ratio {ratio}");
+        let _ = plateau;
+    }
+
+    #[test]
+    fn idle_cost_estimate_is_full_activation() {
+        let r = radio();
+        let est = r.cost_estimate(SimTime::from_secs(5), 100);
+        let expected = Energy::from_millijoules(9_500) + Energy::from_microjoules(250);
+        assert_eq!(est, expected);
+    }
+
+    #[test]
+    fn per_byte_energy_reported() {
+        let mut r = radio();
+        let mut g = rng();
+        let out = r.transmit(SimTime::ZERO, 1_500, &mut g);
+        assert_eq!(out.data_energy, Energy::from_microjoules(3_750));
+        // 1500 B at 100 kB/s = 15 ms.
+        assert_eq!(out.duration, SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn receive_extends_but_never_activates() {
+        let mut r = radio();
+        let mut g = rng();
+        r.transmit(SimTime::ZERO, 10, &mut g);
+        let out = r.receive(SimTime::from_secs(5), 800);
+        assert!(!out.activated);
+        assert_eq!(r.sleep_deadline(), Some(SimTime::from_secs(25)));
+        assert_eq!(r.stats().rx_bytes, 800);
+    }
+
+    #[test]
+    fn windows_cover_episodes() {
+        let mut r = radio();
+        let mut g = rng();
+        r.transmit(SimTime::ZERO, 0, &mut g);
+        r.advance_to(SimTime::from_secs(60));
+        r.transmit(SimTime::from_secs(60), 0, &mut g);
+        r.advance_to(SimTime::from_secs(100));
+        let w = r.active_windows(SimTime::from_secs(100));
+        assert_eq!(
+            w,
+            vec![
+                (SimTime::ZERO, SimTime::from_secs(20)),
+                (SimTime::from_secs(60), SimTime::from_secs(80)),
+            ]
+        );
+        assert_eq!(r.stats().activations, 2);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = || {
+            let mut r = radio();
+            let mut g = SimRng::seed_from_u64(99);
+            r.transmit(SimTime::ZERO, 1, &mut g);
+            integrate_extra(&mut r, SimTime::from_secs(25)).as_microjoules()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ten_second_flow_costs_about_14_joules() {
+        // Fig 3's headline: a 10 s flow ≈ 14.3 J average episode cost.
+        let mut r = radio();
+        let mut g = rng();
+        let mut total = Energy::ZERO;
+        for s in 0..=10 {
+            let t = SimTime::from_secs(s);
+            total += r.advance_integrating(t);
+            total += r.transmit(t, 750, &mut g).data_energy;
+        }
+        total += r.advance_integrating(SimTime::from_secs(40));
+        let j = total.as_joules_f64();
+        assert!((12.0..=18.0).contains(&j), "10s flow cost {j} J");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the radio state machine: the cost estimator and the
+//! physical model must agree, and the episode accounting must be sound
+//! under arbitrary traffic.
+
+use cinder_hw::{RadioModel, RadioParams};
+use cinder_sim::{Energy, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+/// Arbitrary traffic: (gap-to-next-send in ms, bytes).
+fn arb_traffic() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..60_000, 0u64..10_000), 1..40)
+}
+
+proptest! {
+    /// Whatever the traffic, the physically-integrated episode energy stays
+    /// within the drawn distribution's bounds: every disjoint episode costs
+    /// at least `activation_min` and at most `activation_max` plus the
+    /// plateau extension for its active time.
+    #[test]
+    fn episode_energy_is_bounded(traffic in arb_traffic(), seed in 0u64..1_000) {
+        let params = RadioParams::htc_dream();
+        let mut radio = RadioModel::new(params);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        let mut extra = Energy::ZERO;
+        for (gap_ms, bytes) in traffic {
+            t += SimDuration::from_millis(gap_ms);
+            extra += radio.advance_integrating(t);
+            radio.transmit(t, bytes, &mut rng);
+        }
+        // Drain the tail.
+        let end = t + SimDuration::from_secs(30);
+        extra += radio.advance_integrating(end);
+        prop_assert!(!radio.is_active());
+
+        let active = radio.total_active(end);
+        let activations = radio.stats().activations;
+        prop_assert!(activations >= 1);
+        // Lower bound: each episode ≥ min activation energy (20 s at the
+        // lowest plateau) less 1 mJ of integer-µW plateau truncation;
+        // upper: ramp + max plateau over the active time.
+        let min_total = Energy::from_millijoules((8_800 - 1) * activations as i64);
+        // Max plateau = (11.9 - 1.3) / 19 s ≈ 558 mW; ramp is 1.3 W for 1 s.
+        let max_plateau_uw = 558_000u64;
+        let ramp_extra = Energy::from_millijoules(1_300 * activations as i64);
+        let max_total = ramp_extra
+            + cinder_sim::Power::from_microwatts(max_plateau_uw).energy_over(active)
+            + Energy::from_millijoules(100); // rounding slack
+        prop_assert!(extra >= min_total, "extra {extra:?} < min {min_total:?}");
+        prop_assert!(extra <= max_total, "extra {extra:?} > max {max_total:?}");
+    }
+
+    /// The marginal-cost estimator is monotone in the idle gap while
+    /// active: waiting longer never makes the next send cheaper (§5.5.2's
+    /// worked example).
+    #[test]
+    fn cost_estimate_monotone_in_gap(
+        g1 in 0u64..19_000,
+        g2 in 0u64..19_000,
+        bytes in 0u64..5_000,
+    ) {
+        let (lo, hi) = (g1.min(g2), g1.max(g2));
+        let mut radio = RadioModel::new(RadioParams::htc_dream());
+        let mut rng = SimRng::seed_from_u64(7);
+        radio.transmit(SimTime::ZERO, 1, &mut rng);
+        let c_lo = radio.cost_estimate(SimTime::from_millis(lo), bytes);
+        let c_hi = radio.cost_estimate(SimTime::from_millis(hi), bytes);
+        prop_assert!(c_lo <= c_hi, "estimate not monotone: {c_lo:?} > {c_hi:?}");
+    }
+
+    /// Active windows are disjoint, ordered, and cover exactly
+    /// `total_active`.
+    #[test]
+    fn windows_partition_active_time(traffic in arb_traffic(), seed in 0u64..1_000) {
+        let mut radio = RadioModel::new(RadioParams::htc_dream());
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        for (gap_ms, bytes) in traffic {
+            t += SimDuration::from_millis(gap_ms);
+            radio.advance_to(t);
+            radio.transmit(t, bytes, &mut rng);
+        }
+        let end = t + SimDuration::from_secs(45);
+        radio.advance_to(end);
+        let windows = radio.active_windows(end);
+        let mut covered = SimDuration::ZERO;
+        let mut prev_end: Option<SimTime> = None;
+        for (a, b) in windows {
+            prop_assert!(a <= b);
+            if let Some(pe) = prev_end {
+                prop_assert!(a >= pe, "windows overlap");
+            }
+            covered += b - a;
+            prev_end = Some(b);
+        }
+        prop_assert_eq!(covered, radio.total_active(end));
+    }
+
+    /// The estimator's idle quote matches the actual mean activation within
+    /// the distribution's spread, for any byte count.
+    #[test]
+    fn idle_estimate_is_activation_plus_data(bytes in 0u64..100_000) {
+        let radio = RadioModel::new(RadioParams::htc_dream());
+        let est = radio.cost_estimate(SimTime::from_secs(1), bytes);
+        let data = RadioParams::htc_dream().data_energy(bytes);
+        prop_assert_eq!(est, Energy::from_millijoules(9_500) + data);
+    }
+
+    /// Data energy is monotone and linear-ish in bytes.
+    #[test]
+    fn data_energy_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let p = RadioParams::htc_dream();
+        if a <= b {
+            prop_assert!(p.data_energy(a) <= p.data_energy(b));
+        }
+        // Linearity within rounding: f(a) + f(b) ≈ f(a+b).
+        let sum = p.data_energy(a) + p.data_energy(b);
+        let joint = p.data_energy(a + b);
+        prop_assert!((joint - sum).as_microjoules().abs() <= 1);
+    }
+}
+
+#[test]
+fn receive_never_starts_an_episode() {
+    // Paper/model invariant: reception happens within an active episode
+    // (the network pages the device as part of the activation).
+    let mut radio = RadioModel::new(RadioParams::htc_dream());
+    let mut rng = SimRng::seed_from_u64(1);
+    radio.transmit(SimTime::ZERO, 1, &mut rng);
+    let before = radio.stats().activations;
+    radio.receive(SimTime::from_secs(3), 10_000);
+    assert_eq!(radio.stats().activations, before);
+}

@@ -1,0 +1,76 @@
+//! Kernel error types.
+
+use std::fmt;
+
+use cinder_core::GraphError;
+use cinder_hw::Arm9Error;
+
+/// Why a kernel operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A resource-graph operation failed (permissions, funds, stale ids).
+    Graph(GraphError),
+    /// The object id does not name a live kernel object.
+    NoSuchObject,
+    /// The object exists but has the wrong kind for this operation.
+    WrongObjectKind,
+    /// The thread id does not name a live thread.
+    NoSuchThread,
+    /// The calling thread's label/privileges do not permit the operation.
+    Denied {
+        /// Which operation was refused.
+        op: &'static str,
+    },
+    /// No network stack is installed.
+    NoNetwork,
+    /// No laptop NIC is configured on this platform.
+    NoLaptopNic,
+    /// The ARM9 refused the request (closed firmware).
+    Arm9(Arm9Error),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Graph(e) => write!(f, "resource graph: {e}"),
+            KernelError::NoSuchObject => write!(f, "no such kernel object"),
+            KernelError::WrongObjectKind => write!(f, "wrong kernel object kind"),
+            KernelError::NoSuchThread => write!(f, "no such thread"),
+            KernelError::Denied { op } => write!(f, "permission denied: {op}"),
+            KernelError::NoNetwork => write!(f, "no network stack installed"),
+            KernelError::NoLaptopNic => write!(f, "no laptop NIC on this platform"),
+            KernelError::Arm9(e) => write!(f, "arm9: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<GraphError> for KernelError {
+    fn from(e: GraphError) -> Self {
+        KernelError::Graph(e)
+    }
+}
+
+impl From<Arm9Error> for KernelError {
+    fn from(e: Arm9Error) -> Self {
+        KernelError::Arm9(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let k: KernelError = GraphError::ReserveNotFound.into();
+        assert_eq!(k.to_string(), "resource graph: reserve not found");
+        let a: KernelError = Arm9Error::ClosedFirmware.into();
+        assert!(a.to_string().contains("closed"));
+        assert_eq!(
+            KernelError::Denied { op: "gate_call" }.to_string(),
+            "permission denied: gate_call"
+        );
+    }
+}

@@ -1,0 +1,1497 @@
+//! The kernel: object table, thread management, syscalls, and the metered
+//! run loop.
+//!
+//! The run loop advances in scheduler quanta (default 10 ms). Per quantum:
+//!
+//! 1. radio timers are advanced, with the power meter updated *at* each
+//!    transition so energy integration is exact;
+//! 2. due events fire (thread wake-ups, received-packet deliveries with
+//!    after-the-fact billing, §5.5.2);
+//! 3. tap flows and decay advance ([`cinder_core::ResourceGraph::flow_until`]);
+//! 4. the network stack polls (blocked senders may be granted and woken);
+//! 5. the energy-aware scheduler picks a thread whose active reserve is
+//!    non-empty; its program runs/continues and its reserve is charged the
+//!    quantum at the accounting power (137 mW);
+//! 6. the meter records total platform power for the quantum.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use cinder_core::{
+    Actor, EnergyScheduler, GraphConfig, RateSpec, ReserveId, ResourceGraph, SchedulerConfig,
+    TapId, TaskId, TaskState,
+};
+use cinder_hw::{
+    Arm9, Arm9Request, Arm9Response, Battery, CpuKind, LaptopNet, PlatformPower, RadioParams,
+};
+use cinder_label::{Category, CategorySpace, Label};
+use cinder_sim::{
+    meter::AGILENT_SAMPLE_INTERVAL, Energy, EventQueue, Power, PowerMeter, SimDuration, SimRng,
+    SimTime,
+};
+
+use crate::errors::KernelError;
+use crate::netstack::{NetEnv, NetStack, RxDelivery, SendRequest, SendVerdict};
+use crate::object::{Body, KObject, ObjectId};
+use crate::program::{NetSendStatus, Program, Step};
+
+/// Identifies a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(u64);
+
+impl ThreadId {
+    /// Constructs an id for unit tests of plug-in crates.
+    #[doc(hidden)]
+    pub fn test_id(raw: u64) -> Self {
+        ThreadId(raw)
+    }
+
+    /// The raw id (display/debugging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Initial battery energy (the root reserve). Default: Fig 1's 15 kJ.
+    pub battery: Energy,
+    /// Resource-graph configuration (flow tick, decay, strict mode).
+    pub graph: GraphConfig,
+    /// Scheduler configuration (quantum, estimate window).
+    pub sched: SchedulerConfig,
+    /// Radio parameters (the HTC Dream defaults).
+    pub radio: RadioParams,
+    /// RNG seed: same seed, same run.
+    pub seed: u64,
+    /// Record a 200 ms-sampled power trace (the Agilent setup).
+    pub meter_trace: bool,
+    /// Attach a laptop NIC (the image-viewer platform, §6.2).
+    pub laptop: Option<LaptopNet>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            battery: Energy::from_joules(15_000),
+            graph: GraphConfig::default(),
+            sched: SchedulerConfig::default(),
+            radio: RadioParams::htc_dream(),
+            seed: 0,
+            meter_trace: false,
+            laptop: None,
+        }
+    }
+}
+
+/// Result of a laptop NIC download grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownloadGrant {
+    /// How long the transfer occupies the link; callers typically sleep for
+    /// this long to model the transfer.
+    pub duration: SimDuration,
+    /// The energy charged to the active reserve.
+    pub energy: Energy,
+}
+
+/// Events on the kernel timeline.
+#[derive(Debug, Clone, Copy)]
+enum KernelEvent {
+    /// Wake a sleeping/blocked thread.
+    Wake(ThreadId),
+    /// Deliver received bytes: extends the radio episode and debits the
+    /// billed reserve after the fact.
+    Rx {
+        thread: ThreadId,
+        bytes: u64,
+        bill: Option<ReserveId>,
+    },
+}
+
+struct ThreadState {
+    name: String,
+    task: TaskId,
+    actor: Actor,
+    program: Option<Box<dyn Program>>,
+    pending_compute: SimDuration,
+    cpu_kind: CpuKind,
+    net_result: Option<NetSendStatus>,
+    msg_inbox: VecDeque<SimDuration>,
+    exited: bool,
+}
+
+/// The simulated Cinder kernel.
+pub struct Kernel {
+    config: KernelConfig,
+    now: SimTime,
+    graph: ResourceGraph,
+    sched: EnergyScheduler,
+    platform: PlatformPower,
+    arm9: Arm9,
+    meter: PowerMeter,
+    rng: SimRng,
+    events: EventQueue<KernelEvent>,
+    threads: BTreeMap<ThreadId, ThreadState>,
+    task_to_thread: HashMap<TaskId, ThreadId>,
+    objects: BTreeMap<ObjectId, KObject>,
+    root: ObjectId,
+    next_object: u64,
+    next_thread: u64,
+    categories: CategorySpace,
+    net: Option<Box<dyn NetStack>>,
+    last_net_poll: Option<SimTime>,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given configuration.
+    pub fn new(config: KernelConfig) -> Self {
+        let graph = ResourceGraph::with_config(config.battery, config.graph);
+        let sched = EnergyScheduler::new(config.sched);
+        let platform = PlatformPower::htc_dream();
+        let battery_hw = Battery::new(config.battery.max(Energy::from_joules(1)));
+        let arm9 = Arm9::new(config.radio, battery_hw);
+        let mut meter = PowerMeter::new(platform.total(Power::ZERO));
+        if config.meter_trace {
+            meter.enable_sampling("measured", AGILENT_SAMPLE_INTERVAL);
+        }
+        let mut objects = BTreeMap::new();
+        let root = ObjectId(0);
+        objects.insert(
+            root,
+            KObject::new(
+                "root",
+                Label::default_label(),
+                None,
+                Body::Container {
+                    children: Default::default(),
+                },
+            ),
+        );
+        Kernel {
+            rng: SimRng::seed_from_u64(config.seed),
+            graph,
+            sched,
+            platform,
+            arm9,
+            meter,
+            events: EventQueue::new(),
+            threads: BTreeMap::new(),
+            task_to_thread: HashMap::new(),
+            objects,
+            root,
+            next_object: 1,
+            next_thread: 1,
+            categories: CategorySpace::new(),
+            net: None,
+            last_net_poll: None,
+            now: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// A kernel with all defaults (15 kJ battery, Dream hardware).
+    pub fn with_defaults() -> Self {
+        Kernel::new(KernelConfig::default())
+    }
+
+    // ----- introspection --------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration the kernel booted with.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The resource consumption graph (read-only).
+    pub fn graph(&self) -> &ResourceGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access for experiment setup ("root shell" access;
+    /// programs must go through [`Ctx`], which enforces labels).
+    pub fn graph_mut(&mut self) -> &mut ResourceGraph {
+        &mut self.graph
+    }
+
+    /// The battery's root reserve.
+    pub fn battery(&self) -> ReserveId {
+        self.graph.battery()
+    }
+
+    /// The power meter.
+    pub fn meter(&self) -> &PowerMeter {
+        &self.meter
+    }
+
+    /// The ARM9 facade (radio state, battery sensor).
+    pub fn arm9(&self) -> &Arm9 {
+        &self.arm9
+    }
+
+    /// The platform power model.
+    pub fn platform_mut(&mut self) -> &mut PlatformPower {
+        &mut self.platform
+    }
+
+    /// The root container.
+    pub fn root_container(&self) -> ObjectId {
+        self.root
+    }
+
+    /// Looks up an object.
+    pub fn object(&self, id: ObjectId) -> Option<&KObject> {
+        self.objects.get(&id)
+    }
+
+    /// Number of live kernel objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Allocates a fresh category, granting no one ownership (callers grant
+    /// it to actors as needed).
+    pub fn alloc_category(&mut self) -> Category {
+        self.categories.alloc()
+    }
+
+    /// Installs the network stack.
+    pub fn install_net(&mut self, stack: Box<dyn NetStack>) {
+        self.net = Some(stack);
+    }
+
+    /// The installed stack's pool reserve, if any (Fig 14).
+    pub fn net_pool_reserve(&self) -> Option<ReserveId> {
+        self.net.as_ref().and_then(|n| n.pool_reserve())
+    }
+
+    // ----- object management ----------------------------------------------
+
+    fn alloc_object(
+        &mut self,
+        name: &str,
+        label: Label,
+        parent: ObjectId,
+        body: Body,
+    ) -> Result<ObjectId, KernelError> {
+        let id = ObjectId(self.next_object);
+        match self
+            .objects
+            .get_mut(&parent)
+            .ok_or(KernelError::NoSuchObject)?
+            .body_mut()
+        {
+            Body::Container { children } => {
+                children.insert(id);
+            }
+            _ => return Err(KernelError::WrongObjectKind),
+        }
+        self.next_object += 1;
+        self.objects
+            .insert(id, KObject::new(name, label, Some(parent), body));
+        Ok(id)
+    }
+
+    /// Creates a container inside `parent`.
+    pub fn create_container(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        label: Label,
+    ) -> Result<ObjectId, KernelError> {
+        self.alloc_object(
+            name,
+            label,
+            parent,
+            Body::Container {
+                children: Default::default(),
+            },
+        )
+    }
+
+    /// Creates a segment (memory object) inside `parent`.
+    pub fn create_segment(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        label: Label,
+        data: Vec<u8>,
+    ) -> Result<ObjectId, KernelError> {
+        self.alloc_object(name, label, parent, Body::Segment { data })
+    }
+
+    /// Creates an address space mapping the given segments.
+    pub fn create_address_space(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        label: Label,
+        segments: Vec<ObjectId>,
+    ) -> Result<ObjectId, KernelError> {
+        self.alloc_object(name, label, parent, Body::AddressSpace { segments })
+    }
+
+    /// Creates a gate whose invocation costs the *caller* `work` of CPU.
+    pub fn create_gate(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        label: Label,
+        work: SimDuration,
+    ) -> Result<ObjectId, KernelError> {
+        self.alloc_object(name, label, parent, Body::Gate { work })
+    }
+
+    /// Creates a reserve as a kernel object inside `parent` (root-shell
+    /// API: uses the kernel actor).
+    pub fn create_reserve_in(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        label: Label,
+    ) -> Result<(ObjectId, ReserveId), KernelError> {
+        let reserve = self
+            .graph
+            .create_reserve(&Actor::kernel(), name, label.clone())?;
+        let oid = self.alloc_object(name, label, parent, Body::Reserve { reserve })?;
+        Ok((oid, reserve))
+    }
+
+    /// Creates a tap as a kernel object inside `parent` (root-shell API).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_tap_in(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        source: ReserveId,
+        sink: ReserveId,
+        rate: RateSpec,
+        label: Label,
+    ) -> Result<(ObjectId, TapId), KernelError> {
+        let tap =
+            self.graph
+                .create_tap(&Actor::kernel(), name, source, sink, rate, label.clone())?;
+        let oid = self.alloc_object(name, label, parent, Body::Tap { tap })?;
+        Ok((oid, tap))
+    }
+
+    /// Unlinks an object: it and (for containers) everything beneath it are
+    /// deallocated. Deleting reserve/tap objects removes them from the
+    /// graph — unlinking a browser page's container revokes its taps (§5.2).
+    pub fn unlink(&mut self, id: ObjectId) -> Result<(), KernelError> {
+        if id == self.root {
+            return Err(KernelError::Denied { op: "unlink root" });
+        }
+        let obj = self.objects.get(&id).ok_or(KernelError::NoSuchObject)?;
+        if let Some(parent) = obj.parent() {
+            if let Some(Body::Container { children }) =
+                self.objects.get_mut(&parent).map(|o| o.body_mut())
+            {
+                children.remove(&id);
+            }
+        }
+        self.unlink_recursive(id);
+        Ok(())
+    }
+
+    fn unlink_recursive(&mut self, id: ObjectId) {
+        let Some(obj) = self.objects.remove(&id) else {
+            return;
+        };
+        match obj.body() {
+            Body::Container { children } => {
+                let kids: Vec<ObjectId> = children.iter().copied().collect();
+                for kid in kids {
+                    self.unlink_recursive(kid);
+                }
+            }
+            Body::Reserve { reserve } => {
+                let _ = self.graph.delete_reserve(&Actor::kernel(), *reserve);
+            }
+            Body::Tap { tap } => {
+                let _ = self.graph.delete_tap(&Actor::kernel(), *tap);
+            }
+            Body::Thread { thread } => {
+                if let Some(st) = self.threads.get_mut(thread) {
+                    st.exited = true;
+                    let task = st.task;
+                    self.sched.set_state(task, TaskState::Exited);
+                }
+            }
+            Body::Segment { .. } | Body::AddressSpace { .. } | Body::Gate { .. } | Body::Device => {
+            }
+        }
+    }
+
+    // ----- threads ----------------------------------------------------------
+
+    /// Spawns a thread running `program`, drawing from `reserve`, with the
+    /// given security identity. Returns its id.
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        program: Box<dyn Program>,
+        reserve: ReserveId,
+        actor: Actor,
+    ) -> ThreadId {
+        let tid = ThreadId(self.next_thread);
+        self.next_thread += 1;
+        let task = self.sched.add_task(name, reserve);
+        self.task_to_thread.insert(task, tid);
+        self.threads.insert(
+            tid,
+            ThreadState {
+                name: name.to_string(),
+                task,
+                actor,
+                program: Some(program),
+                pending_compute: SimDuration::ZERO,
+                cpu_kind: CpuKind::default(),
+                net_result: None,
+                msg_inbox: VecDeque::new(),
+                exited: false,
+            },
+        );
+        // Threads are kernel objects too.
+        let _ = self.alloc_object(
+            name,
+            Label::default_label(),
+            self.root,
+            Body::Thread { thread: tid },
+        );
+        tid
+    }
+
+    /// Spawns with an unprivileged default-label identity.
+    pub fn spawn_unprivileged(
+        &mut self,
+        name: &str,
+        program: Box<dyn Program>,
+        reserve: ReserveId,
+    ) -> ThreadId {
+        self.spawn(name, program, reserve, Actor::unprivileged())
+    }
+
+    /// A thread's display name.
+    pub fn thread_name(&self, tid: ThreadId) -> Option<&str> {
+        self.threads.get(&tid).map(|t| t.name.as_str())
+    }
+
+    /// All thread ids ever spawned (including exited), in spawn order.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.threads.keys().copied().collect()
+    }
+
+    /// Finds a live thread by name (first match in spawn order).
+    pub fn thread_by_name(&self, name: &str) -> Option<ThreadId> {
+        self.threads
+            .iter()
+            .find(|(_, st)| st.name == name)
+            .map(|(&tid, _)| tid)
+    }
+
+    /// Whether the thread has exited.
+    pub fn thread_exited(&self, tid: ThreadId) -> bool {
+        self.threads.get(&tid).map(|t| t.exited).unwrap_or(true)
+    }
+
+    /// The thread's windowed power estimate (the stacked figures' y-axis).
+    pub fn thread_power_estimate(&mut self, tid: ThreadId) -> Power {
+        let Some(task) = self.threads.get(&tid).map(|t| t.task) else {
+            return Power::ZERO;
+        };
+        let now = self.now;
+        self.sched.estimate(task, now)
+    }
+
+    /// Total energy ever charged to the thread.
+    pub fn thread_consumed(&self, tid: ThreadId) -> Energy {
+        self.threads
+            .get(&tid)
+            .map(|t| self.sched.consumed(t.task))
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// The thread's active reserve.
+    pub fn thread_reserve(&self, tid: ThreadId) -> Option<ReserveId> {
+        self.threads
+            .get(&tid)
+            .and_then(|t| self.sched.active_reserve(t.task))
+    }
+
+    /// Terminates a thread: it never runs again (its reserves and taps are
+    /// unaffected; delete those separately or via container GC).
+    pub fn kill(&mut self, tid: ThreadId) {
+        if let Some(st) = self.threads.get_mut(&tid) {
+            st.exited = true;
+            st.program = None;
+            let task = st.task;
+            self.sched.set_state(task, TaskState::Exited);
+        }
+    }
+
+    /// Wakes a blocked thread (external control, e.g. experiment scripts).
+    pub fn wake(&mut self, tid: ThreadId) {
+        if let Some(t) = self.threads.get(&tid) {
+            if !t.exited {
+                self.sched.set_state(t.task, TaskState::Ready);
+            }
+        }
+    }
+
+    // ----- run loop ---------------------------------------------------------
+
+    /// Runs the kernel until `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        let quantum = self.sched.quantum();
+        while self.now + quantum <= end {
+            let t = self.now;
+            self.advance_radio_metered(t);
+            self.deliver_events(t);
+            self.graph.flow_until(t);
+            self.net_poll(t);
+            let ran = self.schedule_one(t);
+            // Meter the quantum: CPU state + current radio phase.
+            self.platform.set_cpu(ran);
+            let total = self.platform.total(self.arm9.radio().extra_power());
+            self.meter.set_power(t, total);
+            self.now = t + quantum;
+        }
+        self.advance_radio_metered(self.now);
+        self.meter.advance(self.now);
+        self.graph.flow_until(self.now);
+    }
+
+    /// Advances radio timers up to `to`, updating the meter exactly at each
+    /// phase transition.
+    fn advance_radio_metered(&mut self, to: SimTime) {
+        while let Some(tt) = self.arm9.radio().next_transition() {
+            if tt > to {
+                break;
+            }
+            self.arm9.advance_to(tt);
+            let total = self.platform.total(self.arm9.radio().extra_power());
+            self.meter.set_power(tt, total);
+        }
+        self.arm9.advance_to(to);
+    }
+
+    fn deliver_events(&mut self, t: SimTime) {
+        while let Some((_, ev)) = self.events.pop_due(t) {
+            match ev {
+                KernelEvent::Wake(tid) => self.wake(tid),
+                KernelEvent::Rx {
+                    thread,
+                    bytes,
+                    bill,
+                } => {
+                    if self.arm9.radio().is_active() {
+                        if let Ok(Arm9Response::Radio(out)) =
+                            self.arm9
+                                .request(t, Arm9Request::RadioDeliver { bytes }, &mut self.rng)
+                        {
+                            self.meter.add_energy(out.data_energy);
+                        }
+                    }
+                    if let Some(reserve) = bill {
+                        let cost = self.config.radio.data_energy(bytes);
+                        let _ = self
+                            .graph
+                            .consume_with_debt(&Actor::kernel(), reserve, cost);
+                    }
+                    let _ = thread; // delivery does not wake the thread
+                }
+            }
+        }
+    }
+
+    fn net_poll(&mut self, t: SimTime) {
+        let tick = self.graph.config().flow_tick;
+        let due = match self.last_net_poll {
+            Some(last) => t.saturating_since(last) >= tick,
+            None => true,
+        };
+        if !due {
+            return;
+        }
+        self.last_net_poll = Some(t);
+        let Some(mut stack) = self.net.take() else {
+            return;
+        };
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let woken = {
+            let mut env = NetEnv {
+                now: t,
+                graph: &mut self.graph,
+                arm9: &mut self.arm9,
+                rng: &mut self.rng,
+                rx_outbox: &mut outbox,
+                metered_energy: &mut metered,
+            };
+            stack.poll(&mut env)
+        };
+        self.net = Some(stack);
+        self.meter.add_energy(metered);
+        self.queue_rx(outbox);
+        for tid in woken {
+            if let Some(st) = self.threads.get_mut(&tid) {
+                st.net_result = Some(NetSendStatus::Sent);
+                if !st.exited {
+                    self.sched.set_state(st.task, TaskState::Ready);
+                }
+            }
+        }
+    }
+
+    fn queue_rx(&mut self, outbox: Vec<RxDelivery>) {
+        for rx in outbox {
+            self.events.schedule(
+                rx.at,
+                KernelEvent::Rx {
+                    thread: rx.thread,
+                    bytes: rx.bytes,
+                    bill: rx.bill,
+                },
+            );
+        }
+    }
+
+    /// Picks and runs one thread for the quantum starting at `t`. Returns
+    /// the instruction mix of the thread that ran, or `None` if the CPU
+    /// idled.
+    fn schedule_one(&mut self, t: SimTime) -> Option<CpuKind> {
+        let mut attempts = self.threads.len() + 1;
+        while attempts > 0 {
+            attempts -= 1;
+            let task = self.sched.pick_next(&self.graph)?;
+            let tid = match self.task_to_thread.get(&task) {
+                Some(&tid) => tid,
+                None => continue,
+            };
+            // If the thread has no CPU work queued, step its program.
+            let needs_step = self
+                .threads
+                .get(&tid)
+                .map(|s| s.pending_compute.is_zero() && !s.exited)
+                .unwrap_or(false);
+            if needs_step {
+                self.run_program(tid, t);
+            }
+            let Some(st) = self.threads.get_mut(&tid) else {
+                continue;
+            };
+            if st.exited {
+                continue;
+            }
+            if self.sched.state(task) != Some(TaskState::Ready) {
+                // The program ran briefly (syscalls) and then blocked or
+                // went to sleep: dispatching it still cost CPU time (1 ms,
+                // a tenth of a quantum), charged to its reserve — this is
+                // exactly the overhead the paper attributes to explicit
+                // transfer threads (§3.3).
+                if needs_step {
+                    let power = self.platform.cpu.accounting_power();
+                    let dispatch = self.sched.quantum() / 10;
+                    let _ = self
+                        .sched
+                        .charge_duration(&mut self.graph, task, t, power, dispatch);
+                }
+                continue;
+            }
+            // Run one quantum: consume pending compute (if any) and charge.
+            let quantum = self.sched.quantum();
+            st.pending_compute = st.pending_compute.saturating_sub(quantum);
+            let kind = st.cpu_kind;
+            let power = self.platform.cpu.accounting_power();
+            let _ = self.sched.charge(&mut self.graph, task, t, power);
+            return Some(kind);
+        }
+        None
+    }
+
+    /// Steps a thread's program until it produces a time-consuming action
+    /// (bounded to avoid livelock from pathological programs).
+    fn run_program(&mut self, tid: ThreadId, t: SimTime) {
+        const MAX_IMMEDIATE_STEPS: usize = 32;
+        for _ in 0..MAX_IMMEDIATE_STEPS {
+            let Some(mut program) = self.threads.get_mut(&tid).and_then(|s| s.program.take())
+            else {
+                return;
+            };
+            let step = {
+                let mut ctx = Ctx { kernel: self, tid };
+                program.step(&mut ctx)
+            };
+            if let Some(st) = self.threads.get_mut(&tid) {
+                st.program = Some(program);
+            }
+            let Some(st) = self.threads.get_mut(&tid) else {
+                return;
+            };
+            let task = st.task;
+            match step {
+                Step::Compute { duration, kind } => {
+                    st.pending_compute = duration;
+                    st.cpu_kind = kind;
+                    return;
+                }
+                Step::SleepUntil(when) => {
+                    if when <= t {
+                        continue; // already past; re-step
+                    }
+                    self.sched.set_state(task, TaskState::Blocked);
+                    self.events.schedule(when, KernelEvent::Wake(tid));
+                    return;
+                }
+                Step::Yield => return,
+                Step::Block => {
+                    self.sched.set_state(task, TaskState::Blocked);
+                    return;
+                }
+                Step::Exit => {
+                    st.exited = true;
+                    st.program = None;
+                    self.sched.set_state(task, TaskState::Exited);
+                    return;
+                }
+            }
+        }
+        // Treat a runaway immediate-step program as yielding.
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("threads", &self.threads.len())
+            .field("objects", &self.objects.len())
+            .field("graph", &self.graph)
+            .finish()
+    }
+}
+
+/// The syscall surface a [`Program`] sees, bound to its thread's security
+/// identity: every operation is checked against the thread's label and
+/// privileges, exactly as reserves and taps are protected in the paper
+/// (§3.5).
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    tid: ThreadId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The thread's security identity.
+    pub fn actor(&self) -> Actor {
+        self.state().actor.clone()
+    }
+
+    /// Deterministic randomness for workload noise.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rng
+    }
+
+    fn state(&self) -> &ThreadState {
+        self.kernel
+            .threads
+            .get(&self.tid)
+            .expect("ctx thread alive")
+    }
+
+    // ----- reserves & taps -------------------------------------------------
+
+    /// The battery's root reserve id.
+    pub fn battery(&self) -> ReserveId {
+        self.kernel.graph.battery()
+    }
+
+    /// This thread's active reserve.
+    pub fn active_reserve(&self) -> ReserveId {
+        self.kernel
+            .sched
+            .active_reserve(self.state().task)
+            .expect("thread has a reserve")
+    }
+
+    /// Switches the active reserve (`self_set_active_reserve`, Fig 5).
+    pub fn set_active_reserve(&mut self, reserve: ReserveId) {
+        let task = self.state().task;
+        self.kernel.sched.set_active_reserve(task, reserve);
+    }
+
+    /// Creates a reserve (label-checked).
+    pub fn create_reserve(&mut self, name: &str, label: Label) -> Result<ReserveId, KernelError> {
+        let actor = self.actor();
+        Ok(self.kernel.graph.create_reserve(&actor, name, label)?)
+    }
+
+    /// Creates a tap (label-checked; the actor's privileges are embedded).
+    pub fn create_tap(
+        &mut self,
+        name: &str,
+        source: ReserveId,
+        sink: ReserveId,
+        rate: RateSpec,
+        tap_label: Label,
+    ) -> Result<TapId, KernelError> {
+        let actor = self.actor();
+        Ok(self
+            .kernel
+            .graph
+            .create_tap(&actor, name, source, sink, rate, tap_label)?)
+    }
+
+    /// Changes a tap's rate (requires modify on the tap's label — the task
+    /// manager's lever, §5.4).
+    pub fn set_tap_rate(&mut self, tap: TapId, rate: RateSpec) -> Result<(), KernelError> {
+        let actor = self.actor();
+        Ok(self.kernel.graph.set_tap_rate(&actor, tap, rate)?)
+    }
+
+    /// Deletes a tap.
+    pub fn delete_tap(&mut self, tap: TapId) -> Result<(), KernelError> {
+        let actor = self.actor();
+        Ok(self.kernel.graph.delete_tap(&actor, tap)?)
+    }
+
+    /// Reads a reserve level (requires observe).
+    pub fn level(&self, reserve: ReserveId) -> Result<Energy, KernelError> {
+        let actor = self.state().actor.clone();
+        Ok(self.kernel.graph.level(&actor, reserve)?)
+    }
+
+    /// Transfers between reserves (requires use of source, modify of sink).
+    pub fn transfer(
+        &mut self,
+        from: ReserveId,
+        to: ReserveId,
+        amount: Energy,
+    ) -> Result<(), KernelError> {
+        let actor = self.actor();
+        Ok(self.kernel.graph.transfer(&actor, from, to, amount)?)
+    }
+
+    /// Consumes from a reserve, failing if short.
+    pub fn consume(&mut self, reserve: ReserveId, amount: Energy) -> Result<(), KernelError> {
+        let actor = self.actor();
+        Ok(self.kernel.graph.consume(&actor, reserve, amount)?)
+    }
+
+    /// Consumes, permitting debt (after-the-fact billing, §5.5.2).
+    pub fn consume_with_debt(
+        &mut self,
+        reserve: ReserveId,
+        amount: Energy,
+    ) -> Result<(), KernelError> {
+        let actor = self.actor();
+        Ok(self
+            .kernel
+            .graph
+            .consume_with_debt(&actor, reserve, amount)?)
+    }
+
+    // ----- threads -----------------------------------------------------------
+
+    /// Spawns a child thread drawing from `reserve`, inheriting this
+    /// thread's security identity (fork + exec of Fig 5's `energywrap`).
+    pub fn spawn(&mut self, name: &str, program: Box<dyn Program>, reserve: ReserveId) -> ThreadId {
+        let actor = self.actor();
+        self.kernel.spawn(name, program, reserve, actor)
+    }
+
+    /// Wakes another thread (cooperative synchronisation).
+    pub fn wake(&mut self, tid: ThreadId) {
+        self.kernel.wake(tid);
+    }
+
+    // ----- IPC -----------------------------------------------------------------
+
+    /// Calls a gate: the *calling thread* executes the service's code, so
+    /// the gate's CPU work lands on this thread's pending compute, billed to
+    /// its own active reserve — delegation-correct billing for free
+    /// (§5.5.1). Requires observe on the gate's label.
+    pub fn gate_call(&mut self, gate: ObjectId) -> Result<(), KernelError> {
+        let actor = self.state().actor.clone();
+        let obj = self
+            .kernel
+            .objects
+            .get(&gate)
+            .ok_or(KernelError::NoSuchObject)?;
+        let Body::Gate { work } = obj.body() else {
+            return Err(KernelError::WrongObjectKind);
+        };
+        if !actor.is_kernel() && !actor.label().can_observe(actor.privs(), obj.label()) {
+            return Err(KernelError::Denied { op: "gate_call" });
+        }
+        let work = *work;
+        let st = self
+            .kernel
+            .threads
+            .get_mut(&self.tid)
+            .ok_or(KernelError::NoSuchThread)?;
+        st.pending_compute += work;
+        Ok(())
+    }
+
+    /// Message-passing IPC (the Cinder-Linux ablation, §7.1): asks a daemon
+    /// thread to do `work` of CPU. The work is billed to the *daemon's*
+    /// reserve — the misattribution the paper explains gates avoid.
+    pub fn msg_send(&mut self, daemon: ThreadId, work: SimDuration) -> Result<(), KernelError> {
+        let st = self
+            .kernel
+            .threads
+            .get_mut(&daemon)
+            .ok_or(KernelError::NoSuchThread)?;
+        st.msg_inbox.push_back(work);
+        if !st.exited {
+            let task = st.task;
+            self.kernel.sched.set_state(task, TaskState::Ready);
+        }
+        Ok(())
+    }
+
+    /// Takes the next queued message-work item (daemon side of
+    /// [`Ctx::msg_send`]).
+    pub fn msg_take(&mut self) -> Option<SimDuration> {
+        self.kernel
+            .threads
+            .get_mut(&self.tid)
+            .and_then(|s| s.msg_inbox.pop_front())
+    }
+
+    // ----- network ----------------------------------------------------------
+
+    /// Requests a network send of `tx_bytes`, expecting `rx_bytes` back.
+    ///
+    /// Returns [`NetSendStatus::Blocked`] if the stack queued the request
+    /// (insufficient pooled energy); the program should then return
+    /// [`Step::Block`] and, on wake, call [`Ctx::net_take_result`].
+    pub fn net_send(&mut self, tx_bytes: u64, rx_bytes: u64) -> Result<NetSendStatus, KernelError> {
+        let reserve = self.active_reserve();
+        let req = SendRequest {
+            thread: self.tid,
+            reserve,
+            tx_bytes,
+            rx_bytes,
+        };
+        let Some(mut stack) = self.kernel.net.take() else {
+            return Err(KernelError::NoNetwork);
+        };
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let verdict = {
+            let mut env = NetEnv {
+                now: self.kernel.now,
+                graph: &mut self.kernel.graph,
+                arm9: &mut self.kernel.arm9,
+                rng: &mut self.kernel.rng,
+                rx_outbox: &mut outbox,
+                metered_energy: &mut metered,
+            };
+            stack.request(&mut env, req)
+        };
+        self.kernel.net = Some(stack);
+        self.kernel.meter.add_energy(metered);
+        self.kernel.queue_rx(outbox);
+        Ok(match verdict {
+            SendVerdict::Sent => NetSendStatus::Sent,
+            SendVerdict::Blocked => NetSendStatus::Blocked,
+        })
+    }
+
+    /// Takes the completion notice of a previously blocked send.
+    pub fn net_take_result(&mut self) -> Option<NetSendStatus> {
+        self.kernel
+            .threads
+            .get_mut(&self.tid)
+            .and_then(|s| s.net_result.take())
+    }
+
+    // ----- devices -----------------------------------------------------------
+
+    /// Turns the backlight on/off (+555 mW).
+    pub fn set_backlight(&mut self, on: bool) {
+        self.kernel.platform.display.set_backlight(on);
+    }
+
+    /// Reads the battery percentage through the ARM9 (0–100).
+    pub fn battery_percent(&mut self) -> u8 {
+        let remaining = self
+            .kernel
+            .graph
+            .reserve(self.kernel.graph.battery())
+            .map(|r| r.balance())
+            .unwrap_or(Energy::ZERO);
+        match self.kernel.arm9.request(
+            self.kernel.now,
+            Arm9Request::BatteryLevel { remaining },
+            &mut self.kernel.rng,
+        ) {
+            Ok(Arm9Response::BatteryLevel(pct)) => pct,
+            _ => 0,
+        }
+    }
+
+    /// Downloads `bytes` over the laptop NIC (§6.2's platform), charging
+    /// the active reserve. Fails with the graph's `InsufficientResources`
+    /// if the reserve cannot cover it — the stall of Fig 10.
+    pub fn download(&mut self, bytes: u64) -> Result<DownloadGrant, KernelError> {
+        let nic = self.kernel.config.laptop.ok_or(KernelError::NoLaptopNic)?;
+        let cost = nic.download_energy(bytes);
+        let reserve = self.active_reserve();
+        let actor = self.actor();
+        self.kernel.graph.consume(&actor, reserve, cost)?;
+        self.kernel.meter.add_energy(cost);
+        Ok(DownloadGrant {
+            duration: nic.download_duration(bytes),
+            energy: cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FnProgram;
+
+    fn kernel_no_decay() -> Kernel {
+        Kernel::new(KernelConfig {
+            graph: GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+            ..KernelConfig::default()
+        })
+    }
+
+    fn funded_reserve(k: &mut Kernel, name: &str, joules: i64) -> ReserveId {
+        let battery = k.battery();
+        let r = k
+            .graph_mut()
+            .create_reserve(&Actor::kernel(), name, Label::default_label())
+            .unwrap();
+        k.graph_mut()
+            .transfer(&Actor::kernel(), battery, r, Energy::from_joules(joules))
+            .unwrap();
+        r
+    }
+
+    /// A program that spins forever.
+    fn spinner() -> Box<dyn Program> {
+        Box::new(FnProgram(|_ctx: &mut Ctx<'_>| {
+            Step::compute(SimDuration::from_secs(1))
+        }))
+    }
+
+    #[test]
+    fn spinner_consumes_cpu_power() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 100);
+        let t = k.spawn_unprivileged("spin", spinner(), r);
+        k.run_until(SimTime::from_secs(10));
+        // 137 mW for 10 s = 1.37 J charged.
+        let consumed = k.thread_consumed(t);
+        assert_eq!(consumed, Energy::from_millijoules(1_370));
+        let est = k.thread_power_estimate(t).as_milliwatts_f64();
+        assert!((est - 137.0).abs() < 3.0, "estimate {est}");
+        assert!(k.graph().totals().conserved());
+    }
+
+    #[test]
+    fn meter_sees_idle_plus_cpu() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 100);
+        k.spawn_unprivileged("spin", spinner(), r);
+        k.run_until(SimTime::from_secs(10));
+        // 699 idle + 137 busy = 836 mW for 10 s = 8.36 J.
+        assert_eq!(k.meter().total_energy(), Energy::from_millijoules(8_360));
+    }
+
+    #[test]
+    fn idle_kernel_draws_baseline() {
+        let mut k = kernel_no_decay();
+        k.run_until(SimTime::from_secs(5));
+        assert_eq!(k.meter().total_energy(), Energy::from_millijoules(3_495));
+    }
+
+    #[test]
+    fn starved_thread_cannot_run() {
+        let mut k = kernel_no_decay();
+        let r = k
+            .graph_mut()
+            .create_reserve(&Actor::kernel(), "empty", Label::default_label())
+            .unwrap();
+        let t = k.spawn_unprivileged("starved", spinner(), r);
+        k.run_until(SimTime::from_secs(5));
+        assert_eq!(k.thread_consumed(t), Energy::ZERO);
+        // CPU idled: baseline energy only.
+        assert_eq!(k.meter().total_energy(), Energy::from_millijoules(3_495));
+    }
+
+    #[test]
+    fn tap_throttles_thread_to_duty_cycle() {
+        let mut k = kernel_no_decay();
+        let r = k
+            .graph_mut()
+            .create_reserve(&Actor::kernel(), "half", Label::default_label())
+            .unwrap();
+        let battery = k.battery();
+        k.graph_mut()
+            .create_tap(
+                &Actor::kernel(),
+                "68.5mW",
+                battery,
+                r,
+                RateSpec::constant(Power::from_microwatts(68_500)),
+                Label::default_label(),
+            )
+            .unwrap();
+        let t = k.spawn_unprivileged("spin", spinner(), r);
+        k.run_until(SimTime::from_secs(30));
+        // ~50% duty at 137 mW ⇒ ~68.5 mW effective.
+        let est = k.thread_power_estimate(t).as_milliwatts_f64();
+        assert!((est - 68.5).abs() < 7.0, "estimate {est}");
+    }
+
+    #[test]
+    fn sleeping_thread_wakes_on_time() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 10);
+        let mut slept = false;
+        let t = k.spawn_unprivileged(
+            "sleeper",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                if !slept {
+                    slept = true;
+                    Step::SleepUntil(ctx.now() + SimDuration::from_secs(5))
+                } else {
+                    Step::Exit
+                }
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(4));
+        assert!(!k.thread_exited(t));
+        k.run_until(SimTime::from_secs(6));
+        assert!(k.thread_exited(t));
+    }
+
+    #[test]
+    fn exited_threads_stop_consuming() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 10);
+        let mut steps = 0;
+        let t = k.spawn_unprivileged(
+            "brief",
+            Box::new(FnProgram(move |_ctx: &mut Ctx<'_>| {
+                steps += 1;
+                if steps == 1 {
+                    Step::compute(SimDuration::from_millis(100))
+                } else {
+                    Step::Exit
+                }
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(2));
+        let after_exit = k.thread_consumed(t);
+        k.run_until(SimTime::from_secs(4));
+        assert_eq!(k.thread_consumed(t), after_exit);
+        assert!(k.thread_exited(t));
+    }
+
+    #[test]
+    fn fork_child_with_subdivided_reserve() {
+        // The Fig 9 shape: a parent subdivides its power to a child.
+        let mut k = kernel_no_decay();
+        let parent_r = funded_reserve(&mut k, "parent", 100);
+        let mut forked = false;
+        let parent = k.spawn_unprivileged(
+            "parent",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                if !forked {
+                    forked = true;
+                    let child_r = ctx
+                        .create_reserve("child-r", Label::default_label())
+                        .unwrap();
+                    ctx.transfer(ctx.active_reserve(), child_r, Energy::from_joules(50))
+                        .unwrap();
+                    ctx.spawn(
+                        "child",
+                        Box::new(FnProgram(|_: &mut Ctx<'_>| {
+                            Step::compute(SimDuration::from_secs(1))
+                        })),
+                        child_r,
+                    );
+                }
+                Step::compute(SimDuration::from_secs(1))
+            })),
+            parent_r,
+        );
+        k.run_until(SimTime::from_secs(10));
+        // Both spin; each gets ~50% of the CPU.
+        let p = k.thread_power_estimate(parent).as_milliwatts_f64();
+        assert!((p - 68.5).abs() < 8.0, "parent estimate {p}");
+        assert!(k.graph().totals().conserved());
+    }
+
+    #[test]
+    fn gate_call_bills_the_caller() {
+        let mut k = kernel_no_decay();
+        let caller_r = funded_reserve(&mut k, "caller-r", 100);
+        let daemon_r = funded_reserve(&mut k, "daemon-r", 100);
+        let root = k.root_container();
+        let gate = k
+            .create_gate(
+                root,
+                "netd-gate",
+                Label::default_label(),
+                SimDuration::from_millis(500),
+            )
+            .unwrap();
+        let mut called = false;
+        let caller = k.spawn_unprivileged(
+            "caller",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                if !called {
+                    called = true;
+                    ctx.gate_call(gate).unwrap();
+                    Step::Yield
+                } else {
+                    Step::Exit
+                }
+            })),
+            caller_r,
+        );
+        k.run_until(SimTime::from_secs(2));
+        // 500 ms of gate work at 137 mW ≈ 68.5 mJ billed to the caller…
+        let caller_consumed = k.thread_consumed(caller).as_microjoules();
+        assert!(
+            (60_000..80_000).contains(&caller_consumed),
+            "caller consumed {caller_consumed}"
+        );
+        // …and none of it to the daemon's reserve.
+        assert_eq!(
+            k.graph().reserve(daemon_r).unwrap().stats().consumed,
+            Energy::ZERO
+        );
+    }
+
+    #[test]
+    fn msg_ipc_bills_the_daemon_misattribution() {
+        // §7.1: message-passing IPC misattributes work to the daemon.
+        let mut k = kernel_no_decay();
+        let caller_r = funded_reserve(&mut k, "caller-r", 100);
+        let daemon_r = funded_reserve(&mut k, "daemon-r", 100);
+        let daemon = k.spawn_unprivileged(
+            "daemon",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| match ctx.msg_take() {
+                Some(work) => Step::compute(work),
+                None => Step::Block,
+            })),
+            daemon_r,
+        );
+        let mut sent = false;
+        k.spawn_unprivileged(
+            "client",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                if !sent {
+                    sent = true;
+                    ctx.msg_send(daemon, SimDuration::from_millis(500)).unwrap();
+                }
+                Step::Exit
+            })),
+            caller_r,
+        );
+        k.run_until(SimTime::from_secs(2));
+        let daemon_consumed = k.graph().reserve(daemon_r).unwrap().stats().consumed;
+        let caller_consumed = k.graph().reserve(caller_r).unwrap().stats().consumed;
+        // The daemon paid for the client's work; the client paid (at most)
+        // its single dispatch quantum.
+        assert!(daemon_consumed.as_microjoules() >= 60_000);
+        assert!(caller_consumed.as_microjoules() <= 2_000);
+    }
+
+    #[test]
+    fn container_gc_revokes_taps() {
+        // §5.2: per-page taps die with their container.
+        let mut k = kernel_no_decay();
+        let root = k.root_container();
+        let page = k
+            .create_container(root, "page", Label::default_label())
+            .unwrap();
+        let (_, plugin_r) = k
+            .create_reserve_in(page, "plugin-r", Label::default_label())
+            .unwrap();
+        let battery = k.battery();
+        let (_, _tap) = k
+            .create_tap_in(
+                page,
+                "page-tap",
+                battery,
+                plugin_r,
+                RateSpec::constant(Power::from_milliwatts(70)),
+                Label::default_label(),
+            )
+            .unwrap();
+        assert_eq!(k.graph().tap_count(), 1);
+        assert_eq!(k.graph().reserve_count(), 2);
+        k.unlink(page).unwrap();
+        assert_eq!(k.graph().tap_count(), 0);
+        assert_eq!(k.graph().reserve_count(), 1); // battery only
+        assert!(k.object(page).is_none());
+        assert!(k.graph().totals().conserved());
+    }
+
+    #[test]
+    fn unlink_root_is_refused() {
+        let mut k = kernel_no_decay();
+        let root = k.root_container();
+        assert!(matches!(k.unlink(root), Err(KernelError::Denied { .. })));
+    }
+
+    #[test]
+    fn laptop_download_charges_reserve() {
+        let mut k = Kernel::new(KernelConfig {
+            graph: GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+            laptop: Some(LaptopNet::t60p()),
+            ..KernelConfig::default()
+        });
+        let r = funded_reserve(&mut k, "dl", 1);
+        let mut downloaded = None;
+        let t = k.spawn_unprivileged(
+            "viewer",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                if downloaded.is_none() {
+                    downloaded = Some(ctx.download(1_048_576).unwrap());
+                }
+                Step::Exit
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(1));
+        assert!(k.thread_exited(t));
+        // 1 MiB at 76 µJ/KiB = 77.8 mJ (plus the scheduling quantum).
+        let consumed = k.graph().reserve(r).unwrap().stats().consumed;
+        assert!(
+            (77_000..81_000).contains(&consumed.as_microjoules()),
+            "consumed {consumed}"
+        );
+    }
+
+    #[test]
+    fn download_without_nic_fails() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 1);
+        k.spawn_unprivileged(
+            "viewer",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                assert!(matches!(ctx.download(100), Err(KernelError::NoLaptopNic)));
+                Step::Exit
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn labels_enforced_through_ctx() {
+        let mut k = kernel_no_decay();
+        let cat = k.alloc_category();
+        let secret = Label::with(&[(cat, cinder_label::Level::L3)]);
+        let protected = k
+            .graph_mut()
+            .create_reserve(&Actor::kernel(), "protected", secret)
+            .unwrap();
+        let battery = k.battery();
+        k.graph_mut()
+            .transfer(&Actor::kernel(), battery, protected, Energy::from_joules(5))
+            .unwrap();
+        let r = funded_reserve(&mut k, "mine", 1);
+        let battery = k.battery();
+        k.spawn_unprivileged(
+            "snoop",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                // Cannot observe the protected reserve…
+                assert!(matches!(
+                    ctx.level(protected),
+                    Err(KernelError::Graph(
+                        cinder_core::GraphError::PermissionDenied { .. }
+                    ))
+                ));
+                // …nor steal from it…
+                assert!(ctx
+                    .transfer(protected, ctx.active_reserve(), Energy::from_joules(1))
+                    .is_err());
+                // …nor tap it.
+                assert!(ctx
+                    .create_tap(
+                        "steal",
+                        protected,
+                        ctx.active_reserve(),
+                        RateSpec::constant(Power::from_watts(1)),
+                        Label::default_label(),
+                    )
+                    .is_err());
+                // But its own reserve works fine.
+                assert!(ctx.level(ctx.active_reserve()).is_ok());
+                let _ = battery;
+                Step::Exit
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn battery_percent_via_arm9() {
+        let mut k = kernel_no_decay();
+        let r = funded_reserve(&mut k, "r", 1);
+        k.spawn_unprivileged(
+            "reader",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                let pct = ctx.battery_percent();
+                assert!(pct >= 99, "battery {pct}%");
+                Step::Exit
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_is_deterministic() {
+        let run = |seed| {
+            let mut k = Kernel::new(KernelConfig {
+                seed,
+                graph: GraphConfig {
+                    decay: None,
+                    ..GraphConfig::default()
+                },
+                ..KernelConfig::default()
+            });
+            let r = funded_reserve(&mut k, "r", 10);
+            k.spawn_unprivileged("spin", spinner(), r);
+            k.run_until(SimTime::from_secs(20));
+            k.meter().total_energy().as_microjoules()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,176 @@
+//! The network-stack plug-in boundary.
+//!
+//! The paper's `netd` is a user-space daemon implementing *policy* (pooling
+//! energy for radio power-ups, §5.5); the kernel provides *mechanism*
+//! (blocking a requesting thread, waking it, delivering and billing received
+//! packets). [`NetStack`] is that boundary: `cinder-net` supplies the
+//! cooperative netd and the uncooperative baseline.
+
+use cinder_core::{ReserveId, ResourceGraph};
+use cinder_hw::Arm9;
+use cinder_sim::{SimDuration, SimRng, SimTime};
+
+use crate::kernel::ThreadId;
+
+/// A thread's request to send data and (optionally) receive a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendRequest {
+    /// The requesting thread.
+    pub thread: ThreadId,
+    /// The thread's active reserve (for billing and pooled contributions).
+    pub reserve: ReserveId,
+    /// Bytes to transmit.
+    pub tx_bytes: u64,
+    /// Bytes the remote end will send back (0 = no reply).
+    pub rx_bytes: u64,
+}
+
+/// The stack's decision on a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Transmitted now.
+    Sent,
+    /// Queued; the kernel blocks the thread until the stack's `poll` wakes
+    /// it.
+    Blocked,
+}
+
+/// A reply scheduled for future delivery to a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxDelivery {
+    /// When the reply arrives.
+    pub at: SimTime,
+    /// The receiving thread.
+    pub thread: ThreadId,
+    /// Reply size.
+    pub bytes: u64,
+    /// Reserve to debit after the fact (`None` = unbilled, the
+    /// energy-unrestricted baseline).
+    pub bill: Option<ReserveId>,
+}
+
+/// What the kernel lends a stack while it makes decisions: the resource
+/// graph (for pooling and billing), the ARM9 (the only path to the radio),
+/// the experiment RNG, and an outbox of scheduled reply deliveries.
+pub struct NetEnv<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The resource consumption graph.
+    pub graph: &'a mut ResourceGraph,
+    /// The coprocessor facade owning the radio.
+    pub arm9: &'a mut Arm9,
+    /// Deterministic randomness (radio episode draws).
+    pub rng: &'a mut SimRng,
+    /// Replies to schedule; the kernel moves these onto its event queue and
+    /// bills them on delivery.
+    pub rx_outbox: &'a mut Vec<RxDelivery>,
+    /// Instantaneous data energy to add to the meter (per-byte tx costs).
+    pub metered_energy: &'a mut cinder_sim::Energy,
+}
+
+impl NetEnv<'_> {
+    /// Round-trip latency used when scheduling echo replies.
+    pub const DEFAULT_RTT: SimDuration = SimDuration::from_millis(200);
+
+    /// Transmits through the ARM9 now, metering the data energy, and
+    /// schedules the reply (if any) after [`NetEnv::DEFAULT_RTT`].
+    ///
+    /// `bill_rx` selects after-the-fact receive billing (§5.5.2); the
+    /// unrestricted baseline passes `None`.
+    pub fn transmit(&mut self, req: &SendRequest, bill_rx: Option<ReserveId>) {
+        let outcome = match self.arm9.request(
+            self.now,
+            cinder_hw::Arm9Request::RadioTransmit {
+                bytes: req.tx_bytes,
+            },
+            self.rng,
+        ) {
+            Ok(cinder_hw::Arm9Response::Radio(out)) => out,
+            other => unreachable!("radio transmit cannot fail: {other:?}"),
+        };
+        *self.metered_energy += outcome.data_energy;
+        if req.rx_bytes > 0 {
+            self.rx_outbox.push(RxDelivery {
+                at: self.now + Self::DEFAULT_RTT + outcome.duration,
+                thread: req.thread,
+                bytes: req.rx_bytes,
+                bill: bill_rx,
+            });
+        }
+    }
+}
+
+/// A pluggable network stack.
+pub trait NetStack {
+    /// Handles a thread's send request at `env.now`.
+    fn request(&mut self, env: &mut NetEnv<'_>, req: SendRequest) -> SendVerdict;
+
+    /// Called periodically (each graph flow tick): progress blocked
+    /// requests. Returns the threads whose requests were completed (the
+    /// kernel wakes them with [`SendVerdict::Sent`]).
+    fn poll(&mut self, env: &mut NetEnv<'_>) -> Vec<ThreadId>;
+
+    /// The stack's pooled reserve, if it has one (netd's; Fig 14 traces its
+    /// level).
+    fn pool_reserve(&self) -> Option<ReserveId> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_core::Actor;
+    use cinder_hw::{Battery, RadioParams};
+    use cinder_label::Label;
+    use cinder_sim::Energy;
+
+    /// A stack that always transmits immediately without billing: the
+    /// simplest possible implementation, used to test the env plumbing.
+    struct PassThrough;
+
+    impl NetStack for PassThrough {
+        fn request(&mut self, env: &mut NetEnv<'_>, req: SendRequest) -> SendVerdict {
+            env.transmit(&req, None);
+            SendVerdict::Sent
+        }
+
+        fn poll(&mut self, _env: &mut NetEnv<'_>) -> Vec<ThreadId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn transmit_meters_data_and_schedules_reply() {
+        let mut graph = ResourceGraph::new(Energy::from_joules(100));
+        let k = Actor::kernel();
+        let reserve = graph
+            .create_reserve(&k, "r", Label::default_label())
+            .unwrap();
+        let mut arm9 = Arm9::new(RadioParams::htc_dream(), Battery::fig1_15kj());
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let mut env = NetEnv {
+            now: SimTime::from_secs(1),
+            graph: &mut graph,
+            arm9: &mut arm9,
+            rng: &mut rng,
+            rx_outbox: &mut outbox,
+            metered_energy: &mut metered,
+        };
+        let req = SendRequest {
+            thread: ThreadId::test_id(1),
+            reserve,
+            tx_bytes: 100,
+            rx_bytes: 400,
+        };
+        let verdict = PassThrough.request(&mut env, req);
+        assert_eq!(verdict, SendVerdict::Sent);
+        assert_eq!(metered, Energy::from_microjoules(250));
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].bytes, 400);
+        assert!(outbox[0].at > SimTime::from_secs(1));
+        assert!(arm9.radio().is_active());
+    }
+}

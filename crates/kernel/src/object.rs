@@ -1,0 +1,205 @@
+//! HiStar-style kernel objects and hierarchical containers.
+//!
+//! Paper §3.1: "HiStar is composed of six first-class kernel objects, all
+//! protected by a security label. … Containers enable hierarchical control
+//! over deallocation of kernel objects — objects must be referenced by a
+//! container or face garbage collection." Cinder adds reserves and taps as
+//! "two new fundamental kernel object types".
+//!
+//! The browser scenario of §5.2 leans on this: per-page taps placed in a
+//! per-page container are "automatically garbage collected, effectively
+//! revoking those power sources" when the page's container is unlinked.
+
+use std::collections::BTreeSet;
+
+use cinder_core::{ReserveId, TapId};
+use cinder_label::Label;
+use cinder_sim::SimDuration;
+
+use crate::kernel::ThreadId;
+
+/// Identifies a kernel object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub(crate) u64);
+
+impl ObjectId {
+    /// The raw id (display/debugging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The kind of a kernel object (HiStar's six plus Cinder's two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A container of other objects.
+    Container,
+    /// A byte segment (memory).
+    Segment,
+    /// An address space mapping segments.
+    AddressSpace,
+    /// A thread.
+    Thread,
+    /// A gate: a protected entry point into a service.
+    Gate,
+    /// A device endpoint.
+    Device,
+    /// An energy (or quota) reserve.
+    Reserve,
+    /// A tap between two reserves.
+    Tap,
+}
+
+/// Object payloads.
+#[derive(Debug)]
+pub enum Body {
+    /// Children are garbage collected when the container is unlinked.
+    Container {
+        /// Directly contained objects.
+        children: BTreeSet<ObjectId>,
+    },
+    /// Raw bytes (enough of a segment for the simulation's purposes).
+    Segment {
+        /// Contents.
+        data: Vec<u8>,
+    },
+    /// Maps segments (by object id).
+    AddressSpace {
+        /// Mapped segments.
+        segments: Vec<ObjectId>,
+    },
+    /// A thread object; the schedulable state lives in the kernel.
+    Thread {
+        /// The kernel thread this object names.
+        thread: ThreadId,
+    },
+    /// A protected control-transfer point. The calling thread executes the
+    /// service's code — `work` of CPU — billed to its own active reserve
+    /// (§5.5.1).
+    Gate {
+        /// CPU time one invocation costs the caller.
+        work: SimDuration,
+    },
+    /// A device endpoint (the ARM9-mediated peripherals).
+    Device,
+    /// A reserve object wrapping a graph reserve.
+    Reserve {
+        /// The graph reserve.
+        reserve: ReserveId,
+    },
+    /// A tap object wrapping a graph tap.
+    Tap {
+        /// The graph tap.
+        tap: TapId,
+    },
+}
+
+impl Body {
+    /// The object kind this body implies.
+    pub fn kind(&self) -> ObjectKind {
+        match self {
+            Body::Container { .. } => ObjectKind::Container,
+            Body::Segment { .. } => ObjectKind::Segment,
+            Body::AddressSpace { .. } => ObjectKind::AddressSpace,
+            Body::Thread { .. } => ObjectKind::Thread,
+            Body::Gate { .. } => ObjectKind::Gate,
+            Body::Device => ObjectKind::Device,
+            Body::Reserve { .. } => ObjectKind::Reserve,
+            Body::Tap { .. } => ObjectKind::Tap,
+        }
+    }
+}
+
+/// A kernel object: name, protecting label, parent container, payload.
+#[derive(Debug)]
+pub struct KObject {
+    name: String,
+    label: Label,
+    parent: Option<ObjectId>,
+    body: Body,
+}
+
+impl KObject {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        label: Label,
+        parent: Option<ObjectId>,
+        body: Body,
+    ) -> Self {
+        KObject {
+            name: name.into(),
+            label,
+            parent,
+            body,
+        }
+    }
+
+    /// The object's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The protecting label.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+    /// The parent container (None only for the root).
+    pub fn parent(&self) -> Option<ObjectId> {
+        self.parent
+    }
+
+    /// The payload.
+    pub fn body(&self) -> &Body {
+        &self.body
+    }
+
+    pub(crate) fn body_mut(&mut self) -> &mut Body {
+        &mut self.body
+    }
+
+    /// The object kind.
+    pub fn kind(&self) -> ObjectKind {
+        self.body.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_kinds() {
+        assert_eq!(
+            Body::Container {
+                children: BTreeSet::new()
+            }
+            .kind(),
+            ObjectKind::Container
+        );
+        assert_eq!(Body::Segment { data: vec![] }.kind(), ObjectKind::Segment);
+        assert_eq!(
+            Body::Gate {
+                work: SimDuration::from_millis(5)
+            }
+            .kind(),
+            ObjectKind::Gate
+        );
+        assert_eq!(Body::Device.kind(), ObjectKind::Device);
+    }
+
+    #[test]
+    fn object_accessors() {
+        let o = KObject::new(
+            "root",
+            Label::default_label(),
+            None,
+            Body::Container {
+                children: BTreeSet::new(),
+            },
+        );
+        assert_eq!(o.name(), "root");
+        assert_eq!(o.kind(), ObjectKind::Container);
+        assert!(o.parent().is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Threads as programs.
+//!
+//! Application behaviour is expressed as a [`Program`] state machine. Each
+//! time the scheduler gives the thread a quantum and it has no CPU work
+//! outstanding, the kernel calls [`Program::step`] with a [`crate::Ctx`]
+//! exposing the syscall surface. The returned [`Step`] tells the kernel how
+//! the thread occupies time. This mirrors how real Cinder applications are
+//! structured around blocking system calls, without needing real
+//! continuations in the simulator.
+
+use cinder_hw::CpuKind;
+use cinder_sim::{SimDuration, SimTime};
+
+use crate::kernel::Ctx;
+
+/// What a program does with its turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Spin on the CPU for `duration` (charged to the active reserve at the
+    /// accounting power, quantum by quantum).
+    Compute {
+        /// How long to compute before the program is stepped again.
+        duration: SimDuration,
+        /// Instruction mix, which affects *measured* (true) power; Cinder's
+        /// accounting charges the worst case regardless (§4.2).
+        kind: CpuKind,
+    },
+    /// Sleep until the given time (scheduler state: blocked).
+    SleepUntil(SimTime),
+    /// Give up the rest of this quantum but stay ready.
+    Yield,
+    /// Block until something (netd, another thread) wakes this thread.
+    Block,
+    /// Terminate the thread.
+    Exit,
+}
+
+impl Step {
+    /// Convenience: compute with the default (worst-case) instruction mix.
+    pub fn compute(duration: SimDuration) -> Step {
+        Step::Compute {
+            duration,
+            kind: CpuKind::default(),
+        }
+    }
+}
+
+/// The status of a network send request (see [`crate::Ctx::net_send`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSendStatus {
+    /// The packet was transmitted.
+    Sent,
+    /// The stack blocked the request (insufficient pooled energy); the
+    /// thread should return [`Step::Block`] and will be woken when the
+    /// request completes, with [`crate::Ctx::net_take_result`] returning
+    /// `Some(Sent)`.
+    Blocked,
+}
+
+/// A thread body. Implementations are state machines: `step` is called once
+/// per scheduling opportunity and must not loop forever internally.
+pub trait Program {
+    /// Advances the program, performing syscalls through `ctx`.
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step;
+}
+
+/// A program built from a closure (handy for tests and simple experiments).
+pub struct FnProgram<F>(pub F);
+
+impl<F> Program for FnProgram<F>
+where
+    F: FnMut(&mut Ctx<'_>) -> Step,
+{
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        (self.0)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_compute_default_kind() {
+        let s = Step::compute(SimDuration::from_millis(10));
+        match s {
+            Step::Compute { duration, kind } => {
+                assert_eq!(duration, SimDuration::from_millis(10));
+                assert_eq!(kind, CpuKind::MemoryIntensive);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+}

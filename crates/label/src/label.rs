@@ -1,0 +1,260 @@
+//! Labels and the flow-control lattice.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::category::Category;
+use crate::level::Level;
+use crate::privileges::PrivilegeSet;
+
+/// A security label: a total map from categories to levels, represented as a
+/// default level plus explicit exceptions.
+///
+/// Stored in canonical form: the exception map never contains an entry equal
+/// to the default level, so structural equality coincides with semantic
+/// equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Label {
+    default: Level,
+    exceptions: BTreeMap<Category, Level>,
+}
+
+impl Label {
+    /// The ordinary data label `{1}`: every category at the default level 1.
+    pub fn default_label() -> Self {
+        Label {
+            default: Level::DEFAULT,
+            exceptions: BTreeMap::new(),
+        }
+    }
+
+    /// A label with the given default level and no exceptions.
+    pub fn uniform(default: Level) -> Self {
+        Label {
+            default,
+            exceptions: BTreeMap::new(),
+        }
+    }
+
+    /// A label with default level 1 and the given category exceptions.
+    pub fn with(pairs: &[(Category, Level)]) -> Self {
+        let mut l = Label::default_label();
+        for &(c, lv) in pairs {
+            l.set(c, lv);
+        }
+        l
+    }
+
+    /// The default level of unnamed categories.
+    pub fn default_level(&self) -> Level {
+        self.default
+    }
+
+    /// The level of `category` under this label.
+    pub fn level(&self, category: Category) -> Level {
+        self.exceptions
+            .get(&category)
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Sets the level of `category`, keeping canonical form.
+    pub fn set(&mut self, category: Category, level: Level) {
+        if level == self.default {
+            self.exceptions.remove(&category);
+        } else {
+            self.exceptions.insert(category, level);
+        }
+    }
+
+    /// Returns a copy with `category` set to `level`.
+    pub fn with_level(&self, category: Category, level: Level) -> Label {
+        let mut l = self.clone();
+        l.set(category, level);
+        l
+    }
+
+    /// The categories with non-default levels, in ascending order.
+    pub fn exceptions(&self) -> impl Iterator<Item = (Category, Level)> + '_ {
+        self.exceptions.iter().map(|(&c, &l)| (c, l))
+    }
+
+    /// The pointwise partial order `self ⊑ other`: information labelled
+    /// `self` may flow to a sink labelled `other`.
+    pub fn leq(&self, other: &Label) -> bool {
+        self.leq_with_privileges(other, &PrivilegeSet::empty())
+    }
+
+    /// `⊑` modulo privileges: categories owned by `privs` are exempt from
+    /// the comparison (an owner may move information across its categories
+    /// freely).
+    pub fn leq_with_privileges(&self, other: &Label, privs: &PrivilegeSet) -> bool {
+        if self.default > other.default {
+            // Infinitely many unnamed categories violate the order; owned
+            // categories are finite and cannot save it.
+            return false;
+        }
+        self.exceptions
+            .keys()
+            .chain(other.exceptions.keys())
+            .all(|&c| privs.owns(c) || self.level(c) <= other.level(c))
+    }
+
+    /// Least upper bound: the most permissive label both operands flow to.
+    pub fn join(&self, other: &Label) -> Label {
+        self.combine(other, Level::join)
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(&self, other: &Label) -> Label {
+        self.combine(other, Level::meet)
+    }
+
+    fn combine(&self, other: &Label, f: impl Fn(Level, Level) -> Level) -> Label {
+        let mut out = Label::uniform(f(self.default, other.default));
+        for &c in self.exceptions.keys().chain(other.exceptions.keys()) {
+            out.set(c, f(self.level(c), other.level(c)));
+        }
+        out
+    }
+
+    /// Whether a thread labelled `self` holding `privs` may *observe* an
+    /// object labelled `object`: the object's information must be able to
+    /// flow to the thread (`object ⊑ self`).
+    pub fn can_observe(&self, privs: &PrivilegeSet, object: &Label) -> bool {
+        object.leq_with_privileges(self, privs)
+    }
+
+    /// Whether a thread labelled `self` holding `privs` may *modify* an
+    /// object labelled `object`: the thread's information must be able to
+    /// flow to the object (`self ⊑ object`).
+    pub fn can_modify(&self, privs: &PrivilegeSet, object: &Label) -> bool {
+        self.leq_with_privileges(object, privs)
+    }
+
+    /// Whether a thread may *use* a reserve labelled `object`.
+    ///
+    /// Paper §3.5: "Using resources from a reserve requires both observe and
+    /// modify privileges: observe because failed consumption indicates the
+    /// reserve level (zero) and modify for when consumption succeeds."
+    pub fn can_use(&self, privs: &PrivilegeSet, object: &Label) -> bool {
+        self.can_observe(privs, object) && self.can_modify(privs, object)
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::default_label()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (c, l) in &self.exceptions {
+            write!(f, "{c}{l}, ")?;
+        }
+        write!(f, "{}}}", self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64) -> Category {
+        Category::new(id)
+    }
+
+    #[test]
+    fn canonical_form_drops_default_entries() {
+        let mut l = Label::default_label();
+        l.set(c(1), Level::L3);
+        l.set(c(1), Level::L1); // back to default
+        assert_eq!(l, Label::default_label());
+        assert_eq!(l.exceptions().count(), 0);
+    }
+
+    #[test]
+    fn level_lookup_uses_default() {
+        let l = Label::with(&[(c(1), Level::L3)]);
+        assert_eq!(l.level(c(1)), Level::L3);
+        assert_eq!(l.level(c(2)), Level::L1);
+    }
+
+    #[test]
+    fn leq_pointwise() {
+        let lo = Label::with(&[(c(1), Level::L0)]);
+        let hi = Label::with(&[(c(1), Level::L3)]);
+        assert!(lo.leq(&hi));
+        assert!(!hi.leq(&lo));
+        assert!(lo.leq(&lo));
+    }
+
+    #[test]
+    fn leq_with_different_defaults() {
+        let secret_everything = Label::uniform(Level::L3);
+        let ordinary = Label::default_label();
+        assert!(ordinary.leq(&secret_everything));
+        assert!(!secret_everything.leq(&ordinary));
+        // Privileges cannot fix a default-level violation (infinitely many
+        // categories are affected).
+        let p = PrivilegeSet::with(&[c(1)]);
+        assert!(!secret_everything.leq_with_privileges(&ordinary, &p));
+    }
+
+    #[test]
+    fn privileges_exempt_owned_categories() {
+        let tainted = Label::with(&[(c(1), Level::L3)]);
+        let clean = Label::default_label();
+        assert!(!tainted.leq(&clean));
+        assert!(tainted.leq_with_privileges(&clean, &PrivilegeSet::with(&[c(1)])));
+        // Owning an unrelated category does not help.
+        assert!(!tainted.leq_with_privileges(&clean, &PrivilegeSet::with(&[c(2)])));
+    }
+
+    #[test]
+    fn join_meet_bounds() {
+        let a = Label::with(&[(c(1), Level::L3), (c(2), Level::L0)]);
+        let b = Label::with(&[(c(1), Level::L0), (c(3), Level::L2)]);
+        let j = a.join(&b);
+        let m = a.meet(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert!(m.leq(&a) && m.leq(&b));
+        assert_eq!(j.level(c(1)), Level::L3);
+        assert_eq!(m.level(c(1)), Level::L0);
+        assert_eq!(j.level(c(2)), Level::L1);
+        assert_eq!(m.level(c(2)), Level::L0);
+    }
+
+    #[test]
+    fn reserve_use_requires_both_directions() {
+        // A reserve at {c1:3}: threads at default label can flow *to* it but
+        // not observe it, so `can_use` fails without privileges.
+        let reserve = Label::with(&[(c(1), Level::L3)]);
+        let thread = Label::default_label();
+        let none = PrivilegeSet::empty();
+        assert!(thread.can_modify(&none, &reserve));
+        assert!(!thread.can_observe(&none, &reserve));
+        assert!(!thread.can_use(&none, &reserve));
+        let owner = PrivilegeSet::with(&[c(1)]);
+        assert!(thread.can_use(&owner, &reserve));
+    }
+
+    #[test]
+    fn integrity_category_blocks_modification() {
+        // A reserve at {c1:0}: everyone may observe, only owners may modify.
+        let reserve = Label::with(&[(c(1), Level::L0)]);
+        let thread = Label::default_label();
+        let none = PrivilegeSet::empty();
+        assert!(thread.can_observe(&none, &reserve));
+        assert!(!thread.can_modify(&none, &reserve));
+        assert!(thread.can_modify(&PrivilegeSet::with(&[c(1)]), &reserve));
+    }
+
+    #[test]
+    fn display() {
+        let l = Label::with(&[(c(1), Level::L3)]);
+        assert_eq!(l.to_string(), "{c13, 1}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Taint levels and their total order.
+
+use std::fmt;
+
+/// A taint level in a label: `★ < 0 < 1 < 2 < 3`.
+///
+/// `★` (ownership) sorts below every numeric level: an owner may both
+/// receive information from and send information to any level of that
+/// category, which the pointwise `⊑` check realises by placing `★` at the
+/// bottom for sources and treating owned categories as unconstrained for
+/// the holder (see [`crate::Label::leq_with_privileges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Ownership of the category.
+    Star,
+    /// Level 0 (lowest taint; integrity-protected writers live here).
+    L0,
+    /// Level 1: HiStar's default for ordinary data.
+    L1,
+    /// Level 2.
+    L2,
+    /// Level 3 (highest taint; secrets live here).
+    L3,
+}
+
+impl Level {
+    /// The default level of unnamed categories in ordinary labels.
+    pub const DEFAULT: Level = Level::L1;
+
+    /// All levels in ascending order.
+    pub const ALL: [Level; 5] = [Level::Star, Level::L0, Level::L1, Level::L2, Level::L3];
+
+    /// The larger of two levels.
+    pub fn join(self, other: Level) -> Level {
+        self.max(other)
+    }
+
+    /// The smaller of two levels.
+    pub fn meet(self, other: Level) -> Level {
+        self.min(other)
+    }
+
+    /// True for `★`.
+    pub const fn is_star(self) -> bool {
+        matches!(self, Level::Star)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Star => write!(f, "★"),
+            Level::L0 => write!(f, "0"),
+            Level::L1 => write!(f, "1"),
+            Level::L2 => write!(f, "2"),
+            Level::L3 => write!(f, "3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        for w in Level::ALL.windows(2) {
+            assert!(w[0] < w[1], "{} should be < {}", w[0], w[1]);
+        }
+        assert!(Level::Star < Level::L0);
+        assert!(Level::L0 < Level::L3);
+    }
+
+    #[test]
+    fn join_meet() {
+        assert_eq!(Level::L1.join(Level::L3), Level::L3);
+        assert_eq!(Level::L1.meet(Level::L3), Level::L1);
+        assert_eq!(Level::Star.join(Level::L0), Level::L0);
+        assert_eq!(Level::Star.meet(Level::L0), Level::Star);
+    }
+
+    #[test]
+    fn default_is_one() {
+        assert_eq!(Level::DEFAULT, Level::L1);
+    }
+}

@@ -1,0 +1,51 @@
+//! HiStar-style information-flow-control labels.
+//!
+//! Cinder is built on HiStar, whose six kernel object types are all
+//! "protected by a security label" (paper §3.1). Reserves and taps inherit
+//! that protection: *using* a reserve requires both observe and modify
+//! privileges (failed consumption reveals the level; successful consumption
+//! changes it — §3.5), and a tap carries embedded privileges sufficient to
+//! move resources between its two endpoint reserves.
+//!
+//! The model implemented here is HiStar's label lattice:
+//!
+//! * A [`Category`] is an opaque 64-bit token. Whoever allocates a category
+//!   owns it (holds `★` in it) and can grant that ownership to others.
+//! * A [`Level`] is one of `★ < 0 < 1 < 2 < 3`. Higher levels mean more
+//!   tainted (for secrecy categories) or less trusted (for integrity
+//!   categories); `★` means ownership — the holder may ignore the category
+//!   entirely.
+//! * A [`Label`] maps categories to levels with a default for all unnamed
+//!   categories. Labels form a lattice under the pointwise order; flows are
+//!   permitted along `⊑` modulo the caller's [`PrivilegeSet`].
+//!
+//! The access checks used throughout the kernel are [`Label::can_observe`],
+//! [`Label::can_modify`], and their conjunction [`Label::can_use`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cinder_label::{Category, Label, Level, PrivilegeSet};
+//!
+//! // A browser creates a category to protect its energy reserve.
+//! let c = Category::new(1);
+//! let reserve_label = Label::with(&[(c, Level::L3)]);
+//!
+//! // A plugin without privileges can neither observe nor modify it…
+//! let plugin = Label::default_label();
+//! assert!(!plugin.can_use(&PrivilegeSet::empty(), &reserve_label));
+//!
+//! // …but the browser, owning `c`, can.
+//! let browser_privs = PrivilegeSet::with(&[c]);
+//! assert!(plugin.can_use(&browser_privs, &reserve_label));
+//! ```
+
+pub mod category;
+pub mod label;
+pub mod level;
+pub mod privileges;
+
+pub use category::{Category, CategorySpace};
+pub use label::Label;
+pub use level::Level;
+pub use privileges::PrivilegeSet;

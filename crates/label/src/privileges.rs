@@ -1,0 +1,131 @@
+//! Privilege sets: the categories a thread (or tap) owns.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::category::Category;
+
+/// A set of owned categories (`★` holdings).
+///
+/// Threads carry a privilege set; taps have privileges *embedded* in them at
+/// creation time (paper §3.5) so the periodic batch flow can move energy
+/// between reserves the tap's creator was entitled to touch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrivilegeSet {
+    owned: BTreeSet<Category>,
+}
+
+impl PrivilegeSet {
+    /// The empty privilege set.
+    pub fn empty() -> Self {
+        PrivilegeSet::default()
+    }
+
+    /// A set owning exactly the given categories.
+    pub fn with(categories: &[Category]) -> Self {
+        PrivilegeSet {
+            owned: categories.iter().copied().collect(),
+        }
+    }
+
+    /// True if `category` is owned.
+    pub fn owns(&self, category: Category) -> bool {
+        self.owned.contains(&category)
+    }
+
+    /// Grants ownership of `category`.
+    pub fn grant(&mut self, category: Category) {
+        self.owned.insert(category);
+    }
+
+    /// Revokes ownership of `category`; returns whether it was held.
+    pub fn drop_privilege(&mut self, category: Category) -> bool {
+        self.owned.remove(&category)
+    }
+
+    /// The union of two privilege sets (e.g. thread privileges plus a tap's
+    /// embedded privileges).
+    pub fn union(&self, other: &PrivilegeSet) -> PrivilegeSet {
+        PrivilegeSet {
+            owned: self.owned.union(&other.owned).copied().collect(),
+        }
+    }
+
+    /// True if every category owned by `other` is also owned by `self`.
+    pub fn covers(&self, other: &PrivilegeSet) -> bool {
+        other.owned.is_subset(&self.owned)
+    }
+
+    /// Iterates over owned categories in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Category> + '_ {
+        self.owned.iter().copied()
+    }
+
+    /// Number of owned categories.
+    pub fn len(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// True if nothing is owned.
+    pub fn is_empty(&self) -> bool {
+        self.owned.is_empty()
+    }
+}
+
+impl fmt::Display for PrivilegeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.owned.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}★")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Category> for PrivilegeSet {
+    fn from_iter<I: IntoIterator<Item = Category>>(iter: I) -> Self {
+        PrivilegeSet {
+            owned: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_drop() {
+        let c = Category::new(1);
+        let mut p = PrivilegeSet::empty();
+        assert!(!p.owns(c));
+        p.grant(c);
+        assert!(p.owns(c));
+        assert!(p.drop_privilege(c));
+        assert!(!p.owns(c));
+        assert!(!p.drop_privilege(c));
+    }
+
+    #[test]
+    fn union_and_covers() {
+        let a = Category::new(1);
+        let b = Category::new(2);
+        let pa = PrivilegeSet::with(&[a]);
+        let pb = PrivilegeSet::with(&[b]);
+        let both = pa.union(&pb);
+        assert!(both.owns(a) && both.owns(b));
+        assert!(both.covers(&pa));
+        assert!(both.covers(&pb));
+        assert!(!pa.covers(&both));
+        assert!(pa.covers(&PrivilegeSet::empty()));
+    }
+
+    #[test]
+    fn display() {
+        let p = PrivilegeSet::with(&[Category::new(2), Category::new(1)]);
+        assert_eq!(p.to_string(), "{c1★, c2★}");
+    }
+}

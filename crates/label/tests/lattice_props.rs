@@ -1,0 +1,131 @@
+//! Property tests: the label lattice laws HiStar's security argument rests
+//! on. If any of these fail, reserve/tap access control is unsound.
+
+use cinder_label::{Category, Label, Level, PrivilegeSet};
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Star),
+        Just(Level::L0),
+        Just(Level::L1),
+        Just(Level::L2),
+        Just(Level::L3),
+    ]
+}
+
+/// Labels over a small category universe so that comparisons are exercised
+/// on overlapping and disjoint exception sets alike.
+fn arb_label() -> impl Strategy<Value = Label> {
+    (
+        arb_level(),
+        proptest::collection::btree_map(0u64..6, arb_level(), 0..4),
+    )
+        .prop_map(|(default, entries)| {
+            let mut l = Label::uniform(default);
+            for (id, lv) in entries {
+                l.set(Category::new(id), lv);
+            }
+            l
+        })
+}
+
+fn arb_privs() -> impl Strategy<Value = PrivilegeSet> {
+    proptest::collection::btree_set(0u64..6, 0..4)
+        .prop_map(|ids| ids.into_iter().map(Category::new).collect())
+}
+
+proptest! {
+    #[test]
+    fn leq_is_reflexive(l in arb_label()) {
+        prop_assert!(l.leq(&l));
+    }
+
+    #[test]
+    fn leq_is_antisymmetric(a in arb_label(), b in arb_label()) {
+        if a.leq(&b) && b.leq(&a) {
+            // Canonical representation makes equality structural.
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn leq_is_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c), "join must be the *least* upper bound");
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let m = a.meet(&b);
+        prop_assert!(m.leq(&a));
+        prop_assert!(m.leq(&b));
+        if c.leq(&a) && c.leq(&b) {
+            prop_assert!(c.leq(&m), "meet must be the *greatest* lower bound");
+        }
+    }
+
+    #[test]
+    fn join_meet_are_commutative(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+    }
+
+    #[test]
+    fn privileges_only_loosen(a in arb_label(), b in arb_label(), p in arb_privs()) {
+        // Adding privileges can only permit more flows, never fewer.
+        if a.leq(&b) {
+            prop_assert!(a.leq_with_privileges(&b, &p));
+        }
+    }
+
+    #[test]
+    fn more_privileges_permit_more(
+        a in arb_label(),
+        b in arb_label(),
+        p in arb_privs(),
+        q in arb_privs(),
+    ) {
+        let union = p.union(&q);
+        if a.leq_with_privileges(&b, &p) {
+            prop_assert!(a.leq_with_privileges(&b, &union));
+        }
+    }
+
+    #[test]
+    fn can_use_implies_observe_and_modify(
+        thread in arb_label(),
+        object in arb_label(),
+        p in arb_privs(),
+    ) {
+        if thread.can_use(&p, &object) {
+            prop_assert!(thread.can_observe(&p, &object));
+            prop_assert!(thread.can_modify(&p, &object));
+        }
+    }
+
+    #[test]
+    fn observe_is_monotone_in_object(
+        thread in arb_label(),
+        a in arb_label(),
+        b in arb_label(),
+    ) {
+        // If b's information is less tainted than a's and a is observable,
+        // then b is observable.
+        let none = PrivilegeSet::empty();
+        if thread.can_observe(&none, &a) && b.leq(&a) {
+            prop_assert!(thread.can_observe(&none, &b));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Cinder's network stacks.
+//!
+//! Paper §5.5: "Cinder's network stack, netd, improves energy efficiency
+//! for this typical class of applications through using two mechanisms:
+//! precise resource accounting across process boundaries and flexible
+//! sharing and resource transfer control."
+//!
+//! Two [`cinder_kernel::NetStack`] implementations:
+//!
+//! * [`netd::CoopNetd`] — the cooperative stack of Fig 8: a pooled,
+//!   decay-exempt reserve into which blocked senders contribute the energy
+//!   their taps accumulate; the radio powers up only once the pool holds
+//!   125% of the estimated activation cost, and all waiting requests
+//!   proceed together.
+//! * [`uncoop::UncoopStack`] — the baseline "energy-unrestricted network
+//!   stack" of §6.4: every request transmits immediately; nobody
+//!   coordinates; the radio is dragged up staggered and stays active far
+//!   longer (Fig 13a).
+
+pub mod netd;
+pub mod uncoop;
+
+pub use netd::{CoopNetd, NetdConfig};
+pub use uncoop::UncoopStack;

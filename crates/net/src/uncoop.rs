@@ -1,0 +1,92 @@
+//! The uncooperative baseline stack.
+//!
+//! §6.4 compares netd "to an energy-unrestricted network stack": every
+//! send goes out immediately, there is no pooling, no blocking, and no
+//! radio-cost billing (CPU costs are still charged by the scheduler as
+//! usual). This is the Fig 13a configuration whose staggered radio
+//! episodes waste energy.
+
+use cinder_kernel::{NetEnv, NetStack, SendRequest, SendVerdict, ThreadId};
+
+/// A stack that transmits unconditionally and bills nothing.
+#[derive(Debug, Default)]
+pub struct UncoopStack {
+    sends: u64,
+}
+
+impl UncoopStack {
+    /// Creates the baseline stack.
+    pub fn new() -> Self {
+        UncoopStack::default()
+    }
+
+    /// How many sends have passed through (experiment bookkeeping).
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+}
+
+impl NetStack for UncoopStack {
+    fn request(&mut self, env: &mut NetEnv<'_>, req: SendRequest) -> SendVerdict {
+        self.sends += 1;
+        // Unrestricted: straight to the radio, replies unbilled.
+        env.transmit(&req, None);
+        SendVerdict::Sent
+    }
+
+    fn poll(&mut self, _env: &mut NetEnv<'_>) -> Vec<ThreadId> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_core::{Actor, ResourceGraph};
+    use cinder_hw::{Arm9, Battery, RadioParams};
+    use cinder_label::Label;
+    use cinder_sim::{Energy, SimRng, SimTime};
+
+    #[test]
+    fn always_sends_never_bills() {
+        let mut graph = ResourceGraph::new(Energy::from_joules(100));
+        let k = Actor::kernel();
+        let reserve = graph
+            .create_reserve(&k, "poller", Label::default_label())
+            .unwrap();
+        // Note: reserve is EMPTY — the unrestricted stack sends anyway.
+        let mut arm9 = Arm9::new(RadioParams::htc_dream(), Battery::fig1_15kj());
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let mut stack = UncoopStack::new();
+        let verdict = stack.request(
+            &mut NetEnv {
+                now: SimTime::from_secs(1),
+                graph: &mut graph,
+                arm9: &mut arm9,
+                rng: &mut rng,
+                rx_outbox: &mut outbox,
+                metered_energy: &mut metered,
+            },
+            SendRequest {
+                thread: ThreadId::test_id(1),
+                reserve,
+                tx_bytes: 512,
+                rx_bytes: 1024,
+            },
+        );
+        assert_eq!(verdict, SendVerdict::Sent);
+        assert_eq!(stack.sends(), 1);
+        assert!(arm9.radio().is_active());
+        // Reply scheduled, but unbilled.
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].bill, None);
+        // The reserve was never touched.
+        assert_eq!(graph.reserve(reserve).unwrap().balance(), Energy::ZERO);
+        assert_eq!(
+            graph.reserve(reserve).unwrap().stats().consumed,
+            Energy::ZERO
+        );
+    }
+}

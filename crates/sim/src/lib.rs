@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation substrate for the Cinder
+//! reproduction.
+//!
+//! The original Cinder system ran on real hardware (an HTC Dream) and was
+//! measured with an external Agilent E3644A DC power supply. This crate
+//! provides the laboratory that replaces that testbed:
+//!
+//! * [`time`] — virtual time in integer microseconds ([`SimTime`],
+//!   [`SimDuration`]), immune to wall-clock noise.
+//! * [`units`] — typed energy ([`Energy`], integer microjoules) and power
+//!   ([`Power`], integer microwatts) quantities with exact integer
+//!   arithmetic, so energy-conservation invariants can be asserted exactly.
+//! * [`event`] — a generic priority event queue with deterministic FIFO
+//!   tie-breaking.
+//! * [`rng`] — a seeded random source ([`SimRng`]) so every experiment is
+//!   bit-reproducible.
+//! * [`meter`] — a [`PowerMeter`] modelled on the paper's Agilent setup:
+//!   exact event-driven energy integration plus periodic (200 ms) samples
+//!   for plotting.
+//! * [`trace`] — named time series with CSV output, used by the benchmark
+//!   harness to regenerate the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use cinder_sim::{Energy, Power, SimDuration, SimTime};
+//!
+//! let quantum = SimDuration::from_millis(10);
+//! let cpu = Power::from_milliwatts(137); // HTC Dream CPU-busy power.
+//! let cost = cpu.energy_over(quantum);
+//! assert_eq!(cost, Energy::from_microjoules(1_370));
+//! ```
+
+pub mod event;
+pub mod meter;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use event::EventQueue;
+pub use meter::PowerMeter;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Series, TraceSet};
+pub use units::{Energy, Power};

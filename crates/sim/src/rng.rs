@@ -1,0 +1,144 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! The paper's radio measurements have real-world jitter: activation costs
+//! ranged from 8.8 J to 11.9 J around a 9.5 J mean, with occasional outliers
+//! (Fig 4's "penultimate transition"). [`SimRng`] reproduces that texture
+//! deterministically: the same seed always yields the same experiment, so
+//! every figure in `EXPERIMENTS.md` is bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source for simulation noise.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// A normal deviate via the Box-Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Box-Muller: u1 in (0, 1] so ln is finite.
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// A normal deviate clipped to `[lo, hi]`.
+    ///
+    /// Matches how the paper reports radio activation cost: a central value
+    /// with observed minimum and maximum bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clipped_normal(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid clip range [{lo}, {hi}]");
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.unit().to_bits()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.unit().to_bits()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let n = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn clipped_normal_respects_bounds() {
+        let mut r = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = r.clipped_normal(9.5, 0.7, 8.8, 11.9);
+            assert!((8.8..=11.9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.normal(9.5, 0.7)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 9.5).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(17);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Rough frequency check.
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}

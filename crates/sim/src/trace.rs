@@ -1,0 +1,231 @@
+//! Named time series and CSV output.
+//!
+//! Every figure in the paper is a time series (power vs time, reserve level
+//! vs time) or a small table. The benchmark harness collects its outputs as
+//! [`Series`] values grouped in a [`TraceSet`], prints them in the shape the
+//! paper reports, and writes CSV files so they can be re-plotted.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::time::SimTime;
+
+/// A single named time series: `(time, value)` samples plus a unit string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    unit: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series. `unit` labels the y-axis (e.g. `"mW"`).
+    pub fn new(name: impl Into<String>, unit: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            unit: unit.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The y-axis unit.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// Appends a sample. Samples should be pushed in non-decreasing time
+    /// order; this is asserted in debug builds.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(last, _)| *last <= t),
+            "series {} sampled out of order",
+            self.name
+        );
+        self.points.push((t, value));
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The maximum value, if any samples exist.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// The minimum value, if any samples exist.
+    pub fn min_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::min)
+    }
+
+    /// The time-weighted mean value over the sampled span (step
+    /// interpolation), or `None` with fewer than two samples.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.as_secs_f64() - w[0].0.as_secs_f64();
+            area += w[0].1 * dt;
+        }
+        let span = self.points.last().unwrap().0.as_secs_f64() - self.points[0].0.as_secs_f64();
+        (span > 0.0).then(|| area / span)
+    }
+
+    /// Renders the series as CSV with a `time_s,<name>_<unit>` header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "time_s,{}_{}", self.name, self.unit);
+        for (t, v) in &self.points {
+            let _ = writeln!(out, "{:.6},{v}", t.as_secs_f64());
+        }
+        out
+    }
+}
+
+/// A collection of related series (one experiment's output), keyed by name.
+#[derive(Debug, Default, Clone)]
+pub struct TraceSet {
+    series: BTreeMap<String, Series>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Inserts (or replaces) a series.
+    pub fn insert(&mut self, series: Series) {
+        self.series.insert(series.name().to_string(), series);
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Iterates over the contained series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no series are present.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Writes each series as `<dir>/<prefix>_<series-name>.csv`.
+    ///
+    /// Creates `dir` if needed. Series names are sanitised to
+    /// `[A-Za-z0-9_-]` for the file name.
+    pub fn write_csv_dir(&self, dir: &Path, prefix: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for s in self.series.values() {
+            let safe: String = s
+                .name()
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            fs::write(dir.join(format!("{prefix}_{safe}.csv")), s.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Series {
+        let mut s = Series::new("power", "mW");
+        s.push(SimTime::from_secs(0), 100.0);
+        s.push(SimTime::from_secs(1), 200.0);
+        s.push(SimTime::from_secs(3), 50.0);
+        s
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let s = sample_series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_value(), Some(200.0));
+        assert_eq!(s.min_value(), Some(50.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_uses_step_interpolation() {
+        // 100 for 1 s then 200 for 2 s => (100 + 400) / 3.
+        let s = sample_series();
+        let m = s.time_weighted_mean().unwrap();
+        assert!((m - 500.0 / 3.0).abs() < 1e-9, "mean = {m}");
+    }
+
+    #[test]
+    fn mean_requires_two_samples() {
+        let mut s = Series::new("x", "u");
+        assert_eq!(s.time_weighted_mean(), None);
+        s.push(SimTime::ZERO, 1.0);
+        assert_eq!(s.time_weighted_mean(), None);
+    }
+
+    #[test]
+    fn csv_format() {
+        let s = sample_series();
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,power_mW"));
+        assert_eq!(lines.next(), Some("0.000000,100"));
+    }
+
+    #[test]
+    fn trace_set_roundtrip() {
+        let mut ts = TraceSet::new();
+        ts.insert(sample_series());
+        assert_eq!(ts.len(), 1);
+        assert!(ts.get("power").is_some());
+        assert!(ts.get("missing").is_none());
+    }
+
+    #[test]
+    fn write_csv_dir_creates_files() {
+        let dir = std::env::temp_dir().join(format!("cinder_trace_test_{}", std::process::id()));
+        let mut ts = TraceSet::new();
+        ts.insert(sample_series());
+        ts.write_csv_dir(&dir, "fig0").unwrap();
+        let content = std::fs::read_to_string(dir.join("fig0_power.csv")).unwrap();
+        assert!(content.starts_with("time_s,power_mW"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,439 @@
+//! Typed energy and power quantities.
+//!
+//! Cinder's evaluation hinges on exact accounting: Fig 9 checks that
+//! per-process estimates sum to the measured total, and the reserve/tap graph
+//! must conserve energy (what leaves a source reserve arrives at the sink, or
+//! is recorded as consumed). To make those invariants *exactly* testable, all
+//! quantities are integers:
+//!
+//! * [`Energy`] is signed microjoules (`i64`). Signed because the paper lets
+//!   threads "debit their own reserves up to or into debt" for
+//!   after-the-fact billing of received packets (§5.5.2).
+//! * [`Power`] is unsigned microwatts (`u64`); rates are never negative
+//!   (direction is expressed by a tap's source/sink orientation).
+//!
+//! Multiplying power by time uses 128-bit intermediates, so no realistic
+//! scenario overflows: the 15 kJ battery of Fig 1 is 1.5e10 µJ, ~9 orders of
+//! magnitude below `i64::MAX`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::time::SimDuration;
+
+/// A quantity of energy in integer microjoules (may be negative: debt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Energy(i64);
+
+/// A power (energy rate) in integer microwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Power(u64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Creates an energy from microjoules.
+    pub const fn from_microjoules(uj: i64) -> Self {
+        Energy(uj)
+    }
+
+    /// Creates an energy from millijoules.
+    pub const fn from_millijoules(mj: i64) -> Self {
+        Energy(mj * 1_000)
+    }
+
+    /// Creates an energy from whole joules.
+    pub const fn from_joules(j: i64) -> Self {
+        Energy(j * 1_000_000)
+    }
+
+    /// Creates an energy from fractional joules, rounding to the nearest
+    /// microjoule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not finite or does not fit in an `i64` microjoule
+    /// count.
+    pub fn from_joules_f64(j: f64) -> Self {
+        assert!(j.is_finite(), "invalid energy: {j}");
+        let uj = (j * 1e6).round();
+        assert!(
+            uj >= i64::MIN as f64 && uj <= i64::MAX as f64,
+            "energy out of range: {j} J"
+        );
+        Energy(uj as i64)
+    }
+
+    /// Microjoules.
+    pub const fn as_microjoules(self) -> i64 {
+        self.0
+    }
+
+    /// Joules, as a float (for display and plotting).
+    pub fn as_joules_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// True if negative (a reserve in debt).
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// True if exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smaller of two energies.
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// The larger of two energies.
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Clamps to the non-negative range.
+    pub fn clamp_non_negative(self) -> Energy {
+        Energy(self.0.max(0))
+    }
+
+    /// Saturating subtraction (never panics).
+    pub fn saturating_sub(self, other: Energy) -> Energy {
+        Energy(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales by a parts-per-million factor using 128-bit intermediates,
+    /// truncating toward zero.
+    ///
+    /// Used by proportional taps and the anti-hoarding decay, where exactness
+    /// of the *pair* (amount removed, amount delivered) matters more than the
+    /// rounding direction.
+    pub fn scale_ppm(self, ppm: u64) -> Energy {
+        let scaled = (self.0 as i128) * (ppm as i128) / 1_000_000;
+        Energy(scaled as i64)
+    }
+
+    /// The average power that would consume this energy over `d`.
+    ///
+    /// Returns [`Power::ZERO`] for non-positive energies or a zero duration.
+    pub fn average_power_over(self, d: SimDuration) -> Power {
+        if self.0 <= 0 || d.is_zero() {
+            return Power::ZERO;
+        }
+        let uw = (self.0 as i128) * 1_000_000 / (d.as_micros() as i128);
+        Power(uw as u64)
+    }
+}
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0);
+
+    /// Creates a power from microwatts.
+    pub const fn from_microwatts(uw: u64) -> Self {
+        Power(uw)
+    }
+
+    /// Creates a power from milliwatts.
+    pub const fn from_milliwatts(mw: u64) -> Self {
+        Power(mw * 1_000)
+    }
+
+    /// Creates a power from whole watts.
+    pub const fn from_watts(w: u64) -> Self {
+        Power(w * 1_000_000)
+    }
+
+    /// Microwatts.
+    pub const fn as_microwatts(self) -> u64 {
+        self.0
+    }
+
+    /// Watts, as a float (for display and plotting).
+    pub fn as_watts_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Milliwatts, as a float (the figures' y-axes use mW).
+    pub fn as_milliwatts_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// True if exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The exact energy delivered at this power over `d`, truncated to a
+    /// whole microjoule.
+    ///
+    /// Callers that need drift-free accumulation across many small intervals
+    /// (e.g. tap flow ticks) should use [`Power::energy_over_with_remainder`].
+    pub fn energy_over(self, d: SimDuration) -> Energy {
+        let uj = (self.0 as u128) * (d.as_micros() as u128) / 1_000_000;
+        Energy(uj as i64)
+    }
+
+    /// Drift-free integration: computes the energy delivered over `d`,
+    /// carrying sub-microjoule residue in `remainder_uj_us` (µJ·µs units).
+    ///
+    /// Across any sequence of calls the total delivered energy differs from
+    /// the true product by less than one microjoule.
+    pub fn energy_over_with_remainder(self, d: SimDuration, remainder_uj_us: &mut u64) -> Energy {
+        let total = (self.0 as u128) * (d.as_micros() as u128) + (*remainder_uj_us as u128);
+        let whole = total / 1_000_000;
+        *remainder_uj_us = (total % 1_000_000) as u64;
+        Energy(whole as i64)
+    }
+
+    /// Scales by a parts-per-million factor, truncating.
+    pub fn scale_ppm(self, ppm: u64) -> Power {
+        Power(((self.0 as u128) * (ppm as u128) / 1_000_000) as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Power) -> Power {
+        Power(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two powers.
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// The larger of two powers.
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<i64> for Energy {
+    type Output = Energy;
+
+    fn mul(self, rhs: i64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, |a, b| a + b)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+
+    fn sub(self, rhs: Power) -> Power {
+        assert!(rhs.0 <= self.0, "power underflow: {self} - {rhs}");
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Power {
+    fn sub_assign(&mut self, rhs: Power) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Power {
+    type Output = Power;
+
+    fn mul(self, rhs: u64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}J", self.as_joules_f64())
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}mW", self.as_milliwatts_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Energy::from_joules(2).as_microjoules(), 2_000_000);
+        assert_eq!(Energy::from_millijoules(2).as_microjoules(), 2_000);
+        assert_eq!(Energy::from_joules_f64(9.5).as_microjoules(), 9_500_000);
+        assert_eq!(Power::from_watts(1).as_microwatts(), 1_000_000);
+        assert_eq!(Power::from_milliwatts(137).as_microwatts(), 137_000);
+    }
+
+    #[test]
+    fn paper_quantum_charge() {
+        // 137 mW CPU for a 10 ms quantum = 1.37 mJ, the per-quantum charge
+        // the Cinder scheduler applies.
+        let e = Power::from_milliwatts(137).energy_over(SimDuration::from_millis(10));
+        assert_eq!(e, Energy::from_microjoules(1_370));
+    }
+
+    #[test]
+    fn energy_signed_arithmetic() {
+        let a = Energy::from_microjoules(10);
+        let b = Energy::from_microjoules(25);
+        assert_eq!((a - b).as_microjoules(), -15);
+        assert!((a - b).is_negative());
+        assert_eq!((a - b).clamp_non_negative(), Energy::ZERO);
+        assert_eq!(-a, Energy::from_microjoules(-10));
+    }
+
+    #[test]
+    fn average_power_roundtrip() {
+        let e = Energy::from_joules(9); // 9 J over 20 s = 450 mW.
+        let p = e.average_power_over(SimDuration::from_secs(20));
+        assert_eq!(p, Power::from_milliwatts(450));
+        assert_eq!(
+            Energy::ZERO.average_power_over(SimDuration::from_secs(1)),
+            Power::ZERO
+        );
+        assert_eq!(e.average_power_over(SimDuration::ZERO), Power::ZERO);
+    }
+
+    #[test]
+    fn scale_ppm_truncates_toward_zero() {
+        assert_eq!(
+            Energy::from_microjoules(999)
+                .scale_ppm(500_000)
+                .as_microjoules(),
+            499
+        );
+        assert_eq!(
+            Energy::from_microjoules(-999)
+                .scale_ppm(500_000)
+                .as_microjoules(),
+            -499
+        );
+        assert_eq!(
+            Power::from_microwatts(1_000)
+                .scale_ppm(100_000)
+                .as_microwatts(),
+            100
+        );
+    }
+
+    #[test]
+    fn remainder_integration_is_drift_free() {
+        // 1 µW over 3 µs steps: naive integer math would deliver 0 forever.
+        let p = Power::from_microwatts(1);
+        let mut rem = 0u64;
+        let mut total = Energy::ZERO;
+        for _ in 0..1_000_000 {
+            total += p.energy_over_with_remainder(SimDuration::from_micros(3), &mut rem);
+        }
+        // True value: 3 s at 1 µW = 3 µJ.
+        assert_eq!(total, Energy::from_microjoules(3));
+    }
+
+    #[test]
+    fn sums() {
+        let e: Energy = [1, 2, 3].iter().map(|&j| Energy::from_joules(j)).sum();
+        assert_eq!(e, Energy::from_joules(6));
+        let p: Power = [1, 2].iter().map(|&w| Power::from_watts(w)).sum();
+        assert_eq!(p, Power::from_watts(3));
+    }
+
+    proptest! {
+        #[test]
+        fn remainder_never_loses_more_than_one_uj(
+            uw in 0u64..10_000_000,
+            steps in proptest::collection::vec(1u64..100_000, 1..50),
+        ) {
+            let p = Power::from_microwatts(uw);
+            let mut rem = 0u64;
+            let mut total: i128 = 0;
+            let mut elapsed: u128 = 0;
+            for s in &steps {
+                let d = SimDuration::from_micros(*s);
+                total += p.energy_over_with_remainder(d, &mut rem).as_microjoules() as i128;
+                elapsed += *s as u128;
+            }
+            let exact = (uw as u128) * elapsed / 1_000_000;
+            prop_assert!((exact as i128 - total) <= 1);
+            prop_assert!(total <= exact as i128);
+        }
+
+        #[test]
+        fn energy_over_matches_f64(uw in 0u64..100_000_000, us in 0u64..100_000_000) {
+            let p = Power::from_microwatts(uw);
+            let d = SimDuration::from_micros(us);
+            let exact = (uw as u128) * (us as u128) / 1_000_000;
+            prop_assert_eq!(p.energy_over(d).as_microjoules() as u128, exact);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The browser/plugin topology of paper §5.2 (Figs 6a and 6b).
+//!
+//! A browser rate-limits an untrusted plugin to 10% of its own energy; with
+//! backward proportional taps (Fig 6b) any energy the plugin doesn't spend
+//! flows back for others to use, capping its reserve at ~700 mJ.
+//!
+//! ```text
+//! cargo run --example browser_plugin
+//! ```
+
+use cinder::apps::{build_browser, BrowserConfig};
+use cinder::kernel::{Kernel, KernelConfig};
+use cinder::sim::SimTime;
+
+fn run(label: &str, config: BrowserConfig, idle_plugin: bool) {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let handles = build_browser(&mut kernel, config).expect("build browser");
+    if idle_plugin {
+        // Kill the plugin so we can watch its reserve's steady state.
+        kernel.kill(handles.plugin);
+    }
+    kernel.run_until(SimTime::from_secs(300));
+    let plugin_level = kernel
+        .graph()
+        .reserve(handles.plugin_reserve)
+        .unwrap()
+        .balance();
+    let plugin_est = kernel.thread_power_estimate(handles.plugin);
+    let browser_spent = kernel.thread_consumed(handles.browser);
+    println!("[{label}]");
+    println!(
+        "  plugin reserve after 300 s: {:.3} J",
+        plugin_level.as_joules_f64()
+    );
+    println!("  plugin power estimate:      {plugin_est}");
+    println!(
+        "  browser progress:           {:.2} J of page rendering\n",
+        browser_spent.as_joules_f64()
+    );
+}
+
+fn main() {
+    println!("browser 694 mW; plugin tap 70 mW (10%); extension 20 mW\n");
+
+    // A hog plugin cannot exceed its 70 mW tap, and the browser keeps
+    // rendering pages (isolation + subdivision).
+    run(
+        "fig 6a: hog plugin, plain taps",
+        BrowserConfig::fig6a(),
+        false,
+    );
+
+    // An idle plugin under Fig 6a hoards its unused feed…
+    run("fig 6a: idle plugin (hoards)", BrowserConfig::fig6a(), true);
+
+    // …but under Fig 6b the 0.1×/s backward tap caps it at 70 mW / 0.1 =
+    // 700 mJ, returning the excess.
+    run(
+        "fig 6b: idle plugin + 0.1x backward taps (caps at ~0.7 J)",
+        BrowserConfig::fig6b(),
+        true,
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's §9 future work, implemented: reserves and taps managing
+//! *network bytes* instead of joules — "replacing the logical battery with
+//! a pool of network bytes" to keep applications inside a data plan.
+//!
+//! ```text
+//! cargo run --example data_quota
+//! ```
+
+use cinder::core::quota::{as_bytes, bytes, bytes_per_sec};
+use cinder::core::{Actor, GraphConfig, RateSpec, ResourceGraph};
+use cinder::label::Label;
+use cinder::sim::SimTime;
+
+fn main() {
+    // A 5 MB monthly data plan is the root "battery".
+    let mut plan = ResourceGraph::with_config(
+        bytes(5_000_000),
+        GraphConfig {
+            decay: None, // data quotas do not decay
+            ..GraphConfig::default()
+        },
+    );
+    let admin = Actor::kernel();
+    let pool = plan.battery();
+
+    // A chatty ad-supported app is limited to 2 KB/s; the mail client gets
+    // a 10 KB/s tap.
+    let ads = plan
+        .create_reserve(&admin, "ad-app", Label::default_label())
+        .unwrap();
+    let mail = plan
+        .create_reserve(&admin, "mail", Label::default_label())
+        .unwrap();
+    plan.create_tap(
+        &admin,
+        "ads@2KBps",
+        pool,
+        ads,
+        RateSpec::constant(bytes_per_sec(2_000)),
+        Label::default_label(),
+    )
+    .unwrap();
+    plan.create_tap(
+        &admin,
+        "mail@10KBps",
+        pool,
+        mail,
+        RateSpec::constant(bytes_per_sec(10_000)),
+        Label::default_label(),
+    )
+    .unwrap();
+
+    println!("5 MB data plan; ad-app tapped at 2 KB/s, mail at 10 KB/s\n");
+    for minute in 1..=5u64 {
+        plan.flow_until(SimTime::from_secs(minute * 60));
+        // The ad app tries to pull 1 MB of ads; the mail client syncs 200 KB.
+        let ad_attempt = plan.consume(&admin, ads, bytes(1_000_000));
+        let mail_attempt = plan.consume(&admin, mail, bytes(200_000));
+        println!(
+            "minute {minute}: ad 1MB fetch: {:<8} mail 200KB sync: {:<8} plan left: {} bytes",
+            if ad_attempt.is_ok() { "OK" } else { "BLOCKED" },
+            if mail_attempt.is_ok() {
+                "OK"
+            } else {
+                "BLOCKED"
+            },
+            as_bytes(plan.level(&admin, pool).unwrap()),
+        );
+    }
+    println!(
+        "\nad app accumulated only {} bytes of quota — its 1 MB fetches never fit;",
+        as_bytes(plan.level(&admin, ads).unwrap())
+    );
+    println!("the mail client's 200 KB syncs fit comfortably inside its 10 KB/s tap.");
+}

@@ -1,0 +1,30 @@
+//! Cinder: a reproduction of *Energy Management in Mobile Devices with the
+//! Cinder Operating System* (Roy et al., EuroSys 2011) as a Rust library.
+//!
+//! This facade crate re-exports the workspace members so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`label`] — HiStar-style information-flow labels and privileges.
+//! * [`core`] — the paper's contribution: reserves, taps, the resource
+//!   consumption graph, anti-hoarding decay, and the energy-aware scheduler.
+//! * [`hw`] — HTC Dream power models (CPU, display, radio, battery) and the
+//!   closed-ARM9 facade.
+//! * [`kernel`] — the simulated kernel: containers, threads, gates,
+//!   syscalls, and the run loop.
+//! * [`net`] — the cooperative `netd` network stack and its uncooperative
+//!   baseline.
+//! * [`apps`] — the applications of the paper's §5: `energywrap`, spinners,
+//!   the browser and plugin, the image viewer, the task manager, and the
+//!   mail/RSS pollers.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use cinder_apps as apps;
+pub use cinder_core as core;
+pub use cinder_hw as hw;
+pub use cinder_kernel as kernel;
+pub use cinder_label as label;
+pub use cinder_net as net;
+pub use cinder_sim as sim;

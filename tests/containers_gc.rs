@@ -1,0 +1,143 @@
+//! Hierarchical deallocation: the browser's per-page tap pattern (§5.2).
+//!
+//! "When a particular page is no longer being handled (e.g. the user
+//! navigates away) the taps associated with that page can be automatically
+//! garbage collected, effectively revoking those power sources."
+
+use cinder::core::{Actor, GraphConfig, RateSpec};
+use cinder::kernel::{Kernel, KernelConfig, ObjectKind};
+use cinder::label::Label;
+use cinder::sim::{Energy, Power, SimTime};
+
+fn kernel() -> Kernel {
+    Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    })
+}
+
+#[test]
+fn navigating_away_revokes_page_taps() {
+    let mut k = kernel();
+    let root = k.root_container();
+    let battery = k.battery();
+
+    // The plugin handles three pages; the browser feeds it one tap per page
+    // (scaling energy with page count), each owned by a page container.
+    let kactor = Actor::kernel();
+    let plugin = k
+        .graph_mut()
+        .create_reserve(&kactor, "plugin", Label::default_label())
+        .unwrap();
+    let mut pages = Vec::new();
+    for i in 0..3 {
+        let page = k
+            .create_container(root, &format!("page{i}"), Label::default_label())
+            .unwrap();
+        k.create_tap_in(
+            page,
+            &format!("page{i}-tap"),
+            battery,
+            plugin,
+            RateSpec::constant(Power::from_milliwatts(20)),
+            Label::default_label(),
+        )
+        .unwrap();
+        pages.push(page);
+    }
+    k.run_until(SimTime::from_secs(10));
+    // Three 20 mW taps: 600 mJ after 10 s.
+    let at_three = k.graph().reserve(plugin).unwrap().balance();
+    assert_eq!(at_three, Energy::from_millijoules(600));
+
+    // Navigate away from two pages: their taps die with the containers.
+    k.unlink(pages[0]).unwrap();
+    k.unlink(pages[1]).unwrap();
+    assert_eq!(k.graph().tap_count(), 1);
+    k.run_until(SimTime::from_secs(20));
+    let at_one = k.graph().reserve(plugin).unwrap().balance();
+    // Only 20 mW × 10 s = 200 mJ more arrived.
+    assert_eq!(at_one - at_three, Energy::from_millijoules(200));
+    assert!(k.graph().totals().conserved());
+}
+
+#[test]
+fn unlinking_a_tree_reclaims_reserve_balances() {
+    let mut k = kernel();
+    let root = k.root_container();
+    let battery = k.battery();
+    let kactor = Actor::kernel();
+
+    let app = k
+        .create_container(root, "app", Label::default_label())
+        .unwrap();
+    let (_, r1) = k
+        .create_reserve_in(app, "r1", Label::default_label())
+        .unwrap();
+    let sub = k
+        .create_container(app, "sub", Label::default_label())
+        .unwrap();
+    let (_, r2) = k
+        .create_reserve_in(sub, "r2", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&kactor, battery, r1, Energy::from_joules(3))
+        .unwrap();
+    k.graph_mut()
+        .transfer(&kactor, battery, r2, Energy::from_joules(4))
+        .unwrap();
+    let before = k.graph().reserve(battery).unwrap().balance();
+
+    // Unlink the whole app subtree: both reserves return their energy.
+    k.unlink(app).unwrap();
+    let after = k.graph().reserve(battery).unwrap().balance();
+    assert_eq!(after - before, Energy::from_joules(7));
+    assert_eq!(k.graph().reserve_count(), 1);
+    assert!(k.object(app).is_none());
+    assert!(k.object(sub).is_none());
+    assert!(k.graph().totals().conserved());
+}
+
+#[test]
+fn segments_and_address_spaces_are_objects_too() {
+    let mut k = kernel();
+    let root = k.root_container();
+    let seg = k
+        .create_segment(root, "code", Label::default_label(), vec![0xde, 0xad])
+        .unwrap();
+    let aspace = k
+        .create_address_space(root, "as", Label::default_label(), vec![seg])
+        .unwrap();
+    assert_eq!(k.object(seg).unwrap().kind(), ObjectKind::Segment);
+    assert_eq!(k.object(aspace).unwrap().kind(), ObjectKind::AddressSpace);
+    let count = k.object_count();
+    k.unlink(aspace).unwrap();
+    assert_eq!(k.object_count(), count - 1);
+    // The segment survives: it was linked to the root, not the aspace.
+    assert!(k.object(seg).is_some());
+}
+
+#[test]
+fn unlinked_thread_stops_running() {
+    let mut k = kernel();
+    let kactor = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&kactor, "r", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&kactor, battery, r, Energy::from_joules(100))
+        .unwrap();
+    let t = k.spawn_unprivileged("spin", Box::new(cinder::apps::Spinner::new()), r);
+    k.run_until(SimTime::from_secs(2));
+    let spent_before = k.thread_consumed(t);
+    assert!(spent_before.is_positive());
+    // Find the thread's kernel object and unlink it.
+    k.kill(t);
+    k.run_until(SimTime::from_secs(4));
+    assert_eq!(k.thread_consumed(t), spent_before);
+}

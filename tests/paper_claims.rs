@@ -1,0 +1,274 @@
+//! End-to-end integration tests asserting the paper's headline claims
+//! through the public facade crate, spanning every workspace member.
+
+use cinder::apps::{
+    build_browser, energywrap, BrowserConfig, ForkPlan, ForkingSpinner, PeriodicPoller, PollerLog,
+    Spinner,
+};
+use cinder::core::{Actor, GraphConfig, RateSpec};
+use cinder::kernel::{Kernel, KernelConfig};
+use cinder::label::Label;
+use cinder::net::{CoopNetd, UncoopStack};
+use cinder::sim::{Energy, Power, SimTime};
+
+fn kernel_no_decay() -> Kernel {
+    Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    })
+}
+
+fn reserve_with_tap(k: &mut Kernel, name: &str, rate: Power) -> cinder::core::ReserveId {
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let g = k.graph_mut();
+    let r = g
+        .create_reserve(&root, name, Label::default_label())
+        .unwrap();
+    g.create_tap(
+        &root,
+        &format!("{name}-tap"),
+        battery,
+        r,
+        RateSpec::constant(rate),
+        Label::default_label(),
+    )
+    .unwrap();
+    r
+}
+
+/// Fig 1's promise: a 750 mW tap bounds drain so 15 kJ lasts ≥ 5 hours,
+/// no matter what the application does.
+#[test]
+fn fig1_tap_bounds_battery_life() {
+    let mut k = kernel_no_decay();
+    let r = reserve_with_tap(&mut k, "browser", Power::from_milliwatts(750));
+    k.spawn_unprivileged("browser", Box::new(Spinner::new()), r);
+    k.run_until(SimTime::from_secs(3_600));
+    let battery = k.graph().reserve(k.battery()).unwrap().balance();
+    let drained = Energy::from_joules(15_000) - battery;
+    // One hour at 750 mW is at most 2700 J (plus one flow tick of slack).
+    assert!(
+        drained <= Energy::from_millijoules(2_700_100),
+        "drained {drained}"
+    );
+}
+
+/// §6.1 / Fig 9: A's share survives B's forking because B subdivides its
+/// own reserve rather than sharing it.
+#[test]
+fn isolation_survives_forking() {
+    let mut k = kernel_no_decay();
+    let ra = reserve_with_tap(&mut k, "A", Power::from_microwatts(68_500));
+    let rb = reserve_with_tap(&mut k, "B", Power::from_microwatts(68_500));
+    let a = k.spawn_unprivileged("A", Box::new(Spinner::new()), ra);
+    k.spawn_unprivileged(
+        "B",
+        Box::new(ForkingSpinner::new(vec![
+            ForkPlan {
+                at: SimTime::from_secs(5),
+                name: "B1".into(),
+                tap_rate: Power::from_microwatts(17_125),
+            },
+            ForkPlan {
+                at: SimTime::from_secs(10),
+                name: "B2".into(),
+                tap_rate: Power::from_microwatts(17_125),
+            },
+        ])),
+        rb,
+    );
+    k.run_until(SimTime::from_secs(40));
+    let est = k.thread_power_estimate(a).as_milliwatts_f64();
+    assert!((est - 68.5).abs() < 7.0, "A estimate {est} mW");
+    // Conservation across the whole kernel run.
+    assert!(k.graph().totals().conserved());
+}
+
+/// §6.1: the sum of per-process accounting estimates matches the metered
+/// CPU draw (paper: "closely matches the measured true power consumption").
+#[test]
+fn accounting_sums_to_measured_cpu_power() {
+    let mut k = kernel_no_decay();
+    let ra = reserve_with_tap(&mut k, "A", Power::from_microwatts(68_500));
+    let rb = reserve_with_tap(&mut k, "B", Power::from_microwatts(68_500));
+    let a = k.spawn_unprivileged("A", Box::new(Spinner::new()), ra);
+    let b = k.spawn_unprivileged("B", Box::new(Spinner::new()), rb);
+    let cp = k.meter().checkpoint();
+    k.run_until(SimTime::from_secs(30));
+    let measured = k.meter().average_power_since(cp).as_milliwatts_f64() - 699.0;
+    let estimated = k.thread_power_estimate(a).as_milliwatts_f64()
+        + k.thread_power_estimate(b).as_milliwatts_f64();
+    assert!(
+        (measured - estimated).abs() < 10.0,
+        "measured CPU {measured} mW vs accounted {estimated} mW"
+    );
+}
+
+/// §6.4 / Table 1: cooperation cuts active radio time ≥ 35% and total
+/// energy ≥ 8% for the same delivered work.
+#[test]
+fn cooperation_saves_radio_energy() {
+    let run = |coop: bool| {
+        let mut k = Kernel::new(KernelConfig {
+            seed: 99,
+            meter_trace: true,
+            ..KernelConfig::default()
+        });
+        if coop {
+            let netd = CoopNetd::with_defaults(k.graph_mut());
+            k.install_net(Box::new(netd));
+        } else {
+            k.install_net(Box::new(UncoopStack::new()));
+        }
+        let log = PollerLog::shared();
+        let r1 = reserve_with_tap(&mut k, "rss", Power::from_microwatts(99_000));
+        let r2 = reserve_with_tap(&mut k, "mail", Power::from_microwatts(99_000));
+        k.spawn_unprivileged("rss", Box::new(PeriodicPoller::rss(log.clone())), r1);
+        k.spawn_unprivileged("mail", Box::new(PeriodicPoller::mail(log.clone())), r2);
+        let end = SimTime::from_secs(1_201);
+        k.run_until(end);
+        let polls = log.borrow().sends.len();
+        (
+            k.meter().total_energy().as_joules_f64(),
+            k.arm9().radio().total_active(end).as_secs_f64(),
+            polls,
+        )
+    };
+    let (uncoop_j, uncoop_active, uncoop_polls) = run(false);
+    let (coop_j, coop_active, coop_polls) = run(true);
+    assert!(
+        coop_active <= uncoop_active * 0.65,
+        "active: coop {coop_active} vs uncoop {uncoop_active}"
+    );
+    assert!(
+        coop_j <= uncoop_j * 0.92,
+        "energy: coop {coop_j} vs uncoop {uncoop_j}"
+    );
+    assert!(
+        coop_polls as f64 >= uncoop_polls as f64 * 0.9,
+        "equivalent work: coop {coop_polls} vs uncoop {uncoop_polls}"
+    );
+}
+
+/// §5.1: energywrap contains a hog without affecting an unwrapped sibling.
+#[test]
+fn energywrap_contains_hogs() {
+    let mut k = kernel_no_decay();
+    let battery = k.battery();
+    let root = Actor::kernel();
+    let free_r = k
+        .graph_mut()
+        .create_reserve(&root, "free", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, free_r, Energy::from_joules(500))
+        .unwrap();
+    let free = k.spawn_unprivileged("free", Box::new(Spinner::new()), free_r);
+    let hog = energywrap(
+        &mut k,
+        battery,
+        Power::from_milliwatts(10),
+        "hog",
+        Box::new(Spinner::new()),
+    )
+    .unwrap();
+    k.run_until(SimTime::from_secs(60));
+    assert!(k.thread_consumed(hog.thread) <= Energy::from_millijoules(610));
+    assert!(k.thread_power_estimate(free).as_milliwatts_f64() > 120.0);
+}
+
+/// §5.2.1 / Fig 6b: backward proportional taps return unused plugin energy;
+/// the equilibrium is feed-rate ÷ fraction (70 mW / 0.1 = 700 mJ).
+#[test]
+fn backward_taps_reclaim_unused_energy() {
+    let mut k = kernel_no_decay();
+    let h = build_browser(&mut k, BrowserConfig::fig6b()).unwrap();
+    k.kill(h.plugin); // idle plugin: pure accumulation vs reclamation
+    k.run_until(SimTime::from_secs(400));
+    let level = k.graph().reserve(h.plugin_reserve).unwrap().balance();
+    let err = (level - Energy::from_millijoules(700))
+        .as_microjoules()
+        .abs();
+    assert!(err < 30_000, "plugin reserve {level}");
+}
+
+/// §5.2.2: the global decay makes large-scale hoarding impossible — an idle
+/// stash halves every 10 minutes.
+#[test]
+fn decay_defeats_hoarding() {
+    let mut k = Kernel::new(KernelConfig::default()); // decay ON
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let stash = k
+        .graph_mut()
+        .create_reserve(&root, "stash", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, stash, Energy::from_joules(1_000))
+        .unwrap();
+    k.run_until(SimTime::from_secs(1_200)); // two half-lives
+    let left = k.graph().reserve(stash).unwrap().balance().as_joules_f64();
+    assert!((left - 250.0).abs() < 6.0, "stash at {left} J");
+    assert!(k.graph().totals().conserved());
+}
+
+/// The run loop is deterministic: same seed, same joule count.
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let mut k = Kernel::new(KernelConfig {
+            seed: 1234,
+            meter_trace: true,
+            ..KernelConfig::default()
+        });
+        let netd = CoopNetd::with_defaults(k.graph_mut());
+        k.install_net(Box::new(netd));
+        let log = PollerLog::shared();
+        let r = reserve_with_tap(&mut k, "rss", Power::from_microwatts(99_000));
+        k.spawn_unprivileged("rss", Box::new(PeriodicPoller::rss(log)), r);
+        k.run_until(SimTime::from_secs(400));
+        k.meter().total_energy().as_microjoules()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Radio activity is billed after the fact for received data (§5.5.2):
+/// echo replies debit the requester's reserve, possibly into debt.
+#[test]
+fn rx_billing_lands_on_requester() {
+    let mut k = Kernel::new(KernelConfig {
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    });
+    let netd = CoopNetd::with_defaults(k.graph_mut());
+    k.install_net(Box::new(netd));
+    let log = PollerLog::shared();
+    // Rich poller: sends immediately, then receives 8 KiB billed later.
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, "poller", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, r, Energy::from_joules(20))
+        .unwrap();
+    k.spawn_unprivileged("poller", Box::new(PeriodicPoller::rss(log.clone())), r);
+    k.run_until(SimTime::from_secs(5));
+    assert_eq!(log.borrow().sends.len(), 1);
+    let stats = k.graph().reserve(r).unwrap().stats();
+    // 8192 B at 2.5 µJ/B-per-kB = 20.48 mJ of rx billing, plus CPU quanta.
+    assert!(
+        stats.consumed >= Energy::from_microjoules(20_480),
+        "rx billed: {:?}",
+        stats.consumed
+    );
+    assert!(k.graph().totals().conserved());
+}

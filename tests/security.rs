@@ -1,0 +1,219 @@
+//! Security integration tests: reserves and taps are protected by HiStar
+//! labels end to end (paper §3.5), exercised through thread syscalls.
+
+use cinder::core::{Actor, GraphError, RateSpec};
+use cinder::kernel::{Ctx, FnProgram, Kernel, KernelConfig, KernelError, Step};
+use cinder::label::{Label, Level, PrivilegeSet};
+use cinder::sim::{Energy, Power, SimTime};
+
+/// A plugin thread cannot observe, drain, or tap the browser's protected
+/// reserve — but the browser (owning the category) can.
+#[test]
+fn plugin_cannot_touch_protected_reserve() {
+    // Decay off so the final balance check is exact.
+    let mut k = Kernel::new(KernelConfig {
+        graph: cinder::core::GraphConfig {
+            decay: None,
+            ..cinder::core::GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    });
+    let cat = k.alloc_category();
+    let secret = Label::with(&[(cat, Level::L3)]);
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let protected = k
+        .graph_mut()
+        .create_reserve(&root, "browser-secret", secret)
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, protected, Energy::from_joules(10))
+        .unwrap();
+
+    // Plugin thread: unprivileged, funded.
+    let plugin_r = k
+        .graph_mut()
+        .create_reserve(&root, "plugin", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, plugin_r, Energy::from_joules(1))
+        .unwrap();
+    k.spawn_unprivileged(
+        "plugin",
+        Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+            assert!(matches!(
+                ctx.level(protected),
+                Err(KernelError::Graph(GraphError::PermissionDenied { .. }))
+            ));
+            assert!(ctx
+                .transfer(protected, ctx.active_reserve(), Energy::from_joules(1))
+                .is_err());
+            assert!(ctx
+                .create_tap(
+                    "siphon",
+                    protected,
+                    ctx.active_reserve(),
+                    RateSpec::constant(Power::from_watts(1)),
+                    Label::default_label(),
+                )
+                .is_err());
+            Step::Exit
+        })),
+        plugin_r,
+    );
+
+    // Browser thread: owns the category.
+    let browser_r = k
+        .graph_mut()
+        .create_reserve(&root, "browser", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, browser_r, Energy::from_joules(1))
+        .unwrap();
+    let browser_actor = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+    k.spawn(
+        "browser",
+        Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+            assert_eq!(ctx.level(protected).unwrap(), Energy::from_joules(10));
+            ctx.transfer(protected, ctx.active_reserve(), Energy::from_joules(2))
+                .unwrap();
+            Step::Exit
+        })),
+        browser_r,
+        browser_actor,
+    );
+    k.run_until(SimTime::from_secs(1));
+    // The browser's transfer went through; the plugin's attempts did not.
+    assert_eq!(
+        k.graph().reserve(protected).unwrap().balance(),
+        Energy::from_joules(8)
+    );
+}
+
+/// Tap rate changes require modify on the *tap's* label (§5.4's task
+/// manager privilege), independent of reserve permissions.
+#[test]
+fn tap_control_is_label_protected() {
+    let mut k = Kernel::with_defaults();
+    let cat = k.alloc_category();
+    let manager = Actor::new(Label::default_label(), PrivilegeSet::with(&[cat]));
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let app = k
+        .graph_mut()
+        .create_reserve(&root, "app", Label::default_label())
+        .unwrap();
+    let tap = k
+        .graph_mut()
+        .create_tap(
+            &manager,
+            "fg",
+            battery,
+            app,
+            RateSpec::constant(Power::ZERO),
+            Label::with(&[(cat, Level::L0)]),
+        )
+        .unwrap();
+    let app_actor = Actor::unprivileged();
+    assert!(matches!(
+        k.graph_mut()
+            .set_tap_rate(&app_actor, tap, RateSpec::constant(Power::from_watts(1))),
+        Err(GraphError::PermissionDenied { .. })
+    ));
+    assert!(k
+        .graph_mut()
+        .set_tap_rate(
+            &manager,
+            tap,
+            RateSpec::constant(Power::from_milliwatts(137))
+        )
+        .is_ok());
+    // Deleting someone else's tap is equally refused.
+    assert!(matches!(
+        k.graph_mut().delete_tap(&app_actor, tap),
+        Err(GraphError::PermissionDenied { .. })
+    ));
+}
+
+/// Only the kernel grants decay exemption (netd's trusted pool, §5.5.2).
+#[test]
+fn decay_exemption_is_kernel_only() {
+    let mut k = Kernel::with_defaults();
+    let root = Actor::kernel();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, "pool", Label::default_label())
+        .unwrap();
+    let user = Actor::unprivileged();
+    assert!(matches!(
+        k.graph_mut().set_decay_exempt(&user, r, true),
+        Err(GraphError::PermissionDenied { .. })
+    ));
+    k.graph_mut().set_decay_exempt(&root, r, true).unwrap();
+    assert!(k.graph().reserve(r).unwrap().is_decay_exempt());
+}
+
+/// Gate entry requires the gate's label to be observable (HiStar's
+/// protected control transfer).
+#[test]
+fn gate_entry_is_label_checked() {
+    let mut k = Kernel::with_defaults();
+    let cat = k.alloc_category();
+    let root_c = k.root_container();
+    let gate = k
+        .create_gate(
+            root_c,
+            "private-service",
+            Label::with(&[(cat, Level::L3)]),
+            cinder::sim::SimDuration::from_millis(10),
+        )
+        .unwrap();
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, "caller", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, r, Energy::from_joules(1))
+        .unwrap();
+    k.spawn_unprivileged(
+        "caller",
+        Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+            assert!(matches!(
+                ctx.gate_call(gate),
+                Err(KernelError::Denied { .. })
+            ));
+            Step::Exit
+        })),
+        r,
+    );
+    k.run_until(SimTime::from_secs(1));
+}
+
+/// Unprivileged threads cannot mint integrity-protected reserves.
+#[test]
+fn reserve_creation_is_label_checked() {
+    let mut k = Kernel::with_defaults();
+    let cat = k.alloc_category();
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, "r", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, r, Energy::from_joules(1))
+        .unwrap();
+    k.spawn_unprivileged(
+        "minter",
+        Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+            let protected = Label::with(&[(cat, Level::L0)]);
+            assert!(ctx.create_reserve("forged", protected).is_err());
+            assert!(ctx.create_reserve("plain", Label::default_label()).is_ok());
+            Step::Exit
+        })),
+        r,
+    );
+    k.run_until(SimTime::from_secs(1));
+}
