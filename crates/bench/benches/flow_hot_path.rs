@@ -1,0 +1,179 @@
+//! `flow_hot_path`: old-vs-new `flow_until` on the acceptance scenario —
+//! 100 reserves, 200 constant taps, one simulated hour at the default
+//! 100 ms flow tick (36,000 ticks).
+//!
+//! "Old" is the seed's naive per-tick loop (a fresh `BTreeMap` snapshot of
+//! every reserve and a scan of every tap, per tick), retained as
+//! `ResourceGraph::flow_until_reference` behind the `reference-flow`
+//! feature. "New" is the `FlowEngine`: per-source index, reusable scratch,
+//! and closed-form fast-forward of all-constant runs.
+//!
+//! Besides the criterion entries, the bench measures a fixed-iteration
+//! speedup (asserting the two implementations end in the identical state)
+//! and writes `BENCH_flow_hot_path.json` at the repo root to seed the
+//! benchmark trajectory.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cinder_core::{Actor, GraphConfig, RateSpec, ResourceGraph};
+use cinder_label::Label;
+use cinder_sim::{Energy, Power, SimTime};
+
+const RESERVES: usize = 100;
+const TAPS: usize = 200;
+const SIM_SPAN: SimTime = SimTime::from_secs(3_600);
+
+/// The hot-path scenario: a battery fanning out through constant taps (the
+/// paper's Fig-1/Fig-8 shape), sized so no source clamps within the hour.
+fn const_graph() -> ResourceGraph {
+    let mut g = ResourceGraph::with_config(
+        Energy::from_joules(1_000_000),
+        GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+    );
+    let k = Actor::kernel();
+    let battery = g.battery();
+    let mut reserves = Vec::with_capacity(RESERVES);
+    for i in 0..RESERVES {
+        reserves.push(
+            g.create_reserve(&k, &format!("r{i}"), Label::default_label())
+                .unwrap(),
+        );
+    }
+    for i in 0..TAPS {
+        g.create_tap(
+            &k,
+            &format!("t{i}"),
+            battery,
+            reserves[i % RESERVES],
+            RateSpec::constant(Power::from_milliwatts(1 + (i as u64 % 100))),
+            Label::default_label(),
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// A mixed variant: one reserve in five gains a backward-proportional tap,
+/// which disables fast-forward and exercises the indexed per-tick path.
+fn mixed_graph() -> ResourceGraph {
+    let mut g = const_graph();
+    let k = Actor::kernel();
+    let battery = g.battery();
+    let reserves: Vec<_> = g
+        .reserves()
+        .map(|(id, _)| id)
+        .filter(|&id| id != battery)
+        .collect();
+    for (i, &r) in reserves.iter().enumerate().take(RESERVES) {
+        if i % 5 == 0 {
+            g.create_tap(
+                &k,
+                &format!("bwd{i}"),
+                r,
+                battery,
+                RateSpec::proportional(0.1),
+                Label::default_label(),
+            )
+            .unwrap();
+        }
+    }
+    g
+}
+
+fn bench_flow_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_hot_path_1h_100r_200t");
+    group.bench_function("engine", |b| {
+        b.iter_with_setup(const_graph, |mut g| {
+            g.flow_until(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter_with_setup(const_graph, |mut g| {
+            g.flow_until_reference(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("engine_mixed", |b| {
+        b.iter_with_setup(mixed_graph, |mut g| {
+            g.flow_until(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("reference_mixed", |b| {
+        b.iter_with_setup(mixed_graph, |mut g| {
+            g.flow_until_reference(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.finish();
+}
+
+/// Timed head-to-head with a fixed iteration count, asserting bit-identical
+/// results, then recorded to `BENCH_flow_hot_path.json`.
+fn speedup_report(_c: &mut Criterion) {
+    fn time_runs<F: Fn() -> ResourceGraph>(build: F, engine: bool, iters: u32) -> (f64, Vec<i64>) {
+        let mut total = 0.0;
+        let mut balances = Vec::new();
+        for _ in 0..iters {
+            let mut g = build();
+            let start = Instant::now();
+            if engine {
+                g.flow_until(black_box(SIM_SPAN));
+            } else {
+                g.flow_until_reference(black_box(SIM_SPAN));
+            }
+            total += start.elapsed().as_secs_f64() * 1e3;
+            balances = g
+                .reserves()
+                .map(|(_, r)| r.balance().as_microjoules())
+                .collect();
+        }
+        (total / iters as f64, balances)
+    }
+
+    let (engine_ms, engine_state) = time_runs(const_graph, true, 20);
+    let (reference_ms, reference_state) = time_runs(const_graph, false, 5);
+    assert_eq!(
+        engine_state, reference_state,
+        "engine and reference diverged on the const scenario"
+    );
+    let speedup = reference_ms / engine_ms;
+
+    let (engine_mixed_ms, engine_mixed_state) = time_runs(mixed_graph, true, 5);
+    let (reference_mixed_ms, reference_mixed_state) = time_runs(mixed_graph, false, 5);
+    assert_eq!(
+        engine_mixed_state, reference_mixed_state,
+        "engine and reference diverged on the mixed scenario"
+    );
+    let mixed_speedup = reference_mixed_ms / engine_mixed_ms;
+
+    println!("flow_hot_path speedup (const, fast-forward): {speedup:.1}x  (reference {reference_ms:.2} ms -> engine {engine_ms:.4} ms)");
+    println!("flow_hot_path speedup (mixed, per-tick):     {mixed_speedup:.1}x  (reference {reference_mixed_ms:.2} ms -> engine {engine_mixed_ms:.2} ms)");
+    assert!(
+        speedup >= 5.0,
+        "acceptance criterion: >=5x on the const scenario, got {speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"flow_hot_path\",\n  \"scenario\": {{ \"reserves\": {RESERVES}, \"taps\": {TAPS}, \"sim_seconds\": 3600, \"flow_tick_ms\": 100 }},\n  \"const_all_fast_forward\": {{ \"reference_ms\": {reference_ms:.3}, \"engine_ms\": {engine_ms:.4}, \"speedup\": {speedup:.1} }},\n  \"mixed_20pct_proportional\": {{ \"reference_ms\": {reference_mixed_ms:.3}, \"engine_ms\": {engine_mixed_ms:.3}, \"speedup\": {mixed_speedup:.2} }}\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_flow_hot_path.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("(wrote {path})");
+    }
+}
+
+criterion_group!(benches, bench_flow_hot_path, speedup_report);
+criterion_main!(benches);

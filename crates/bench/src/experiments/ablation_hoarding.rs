@@ -111,15 +111,14 @@ pub fn run() -> ExperimentOutput {
         "anti-hoarding: global decay vs strict reserve_clone mode (paper §5.2.2)",
     );
     let (peak, end) = attack_with_decay();
-    out.row(format!(
-        "decay mode:  attacker sweeps a 100 mW feed into an untaxed stash for 1 h"
-    ));
+    out.row("decay mode:  attacker sweeps a 100 mW feed into an untaxed stash for 1 h".to_string());
     out.row(format!(
         "             stash peaks at {peak:.1} J but holds only {end:.1} J at the end"
     ));
-    out.row(format!(
+    out.row(
         "             (50%/10 min decay caps hoarding at ≈ rate × half-life / ln 2 ≈ 86 J)"
-    ));
+            .to_string(),
+    );
     let err = attack_with_strict_mode();
     out.row(format!(
         "strict mode: the first sidestep transfer fails immediately: {err}"

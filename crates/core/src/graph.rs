@@ -13,13 +13,29 @@
 //! start-of-tick snapshot of source levels, then transfers are applied in
 //! tap-creation order, clamped to the source's remaining non-negative
 //! balance (earlier-created taps win when a source is oversubscribed; the
-//! paper leaves this unspecified). All arithmetic is exact integer µJ, so
+//! paper leaves this unspecified). Creation order is tracked explicitly
+//! ([`Tap::seq`]), so the guarantee survives arena-slot reuse. All
+//! arithmetic is exact integer µJ, so
 //!
 //! > total injected == Σ balances + total consumed
 //!
 //! holds *exactly* at every instant, and is asserted by property tests.
-
-use std::collections::BTreeMap;
+//!
+//! # Execution: the `FlowEngine`
+//!
+//! Ticks are executed by the [`crate::flow::FlowEngine`] embedded in the
+//! graph. It maintains a per-source adjacency index (tap lists keyed by
+//! source reserve, in creation order) that `create_tap`, `delete_tap`,
+//! `set_tap_rate`, and `delete_reserve` keep up to date; per-tick work then
+//! needs no allocation (a reusable epoch-stamped snapshot buffer covers the
+//! sources of proportional taps, and quiescent sources are skipped). When
+//! every live tap is constant-rate and decay is disabled, whole runs of
+//! ticks in which no source can be clamped are applied in closed form, so
+//! long `flow_until` spans cost work proportional to graph *events* rather
+//! than tick count. The engine's results are bit-identical to the naive
+//! per-tick loop, which is retained as
+//! [`ResourceGraph::flow_until_reference`] for differential testing and
+//! benchmarking.
 
 use cinder_label::{Label, PrivilegeSet};
 use cinder_sim::{Energy, SimDuration, SimTime};
@@ -27,6 +43,7 @@ use cinder_sim::{Energy, SimDuration, SimTime};
 use crate::arena::{Arena, RawId};
 use crate::decay::DecayConfig;
 use crate::errors::GraphError;
+use crate::flow::FlowEngine;
 use crate::reserve::Reserve;
 use crate::tap::{RateSpec, Tap};
 
@@ -166,6 +183,11 @@ pub struct ResourceGraph {
     now: SimTime,
     total_injected: Energy,
     total_consumed: Energy,
+    /// Indexed batch-flow executor; its adjacency index is maintained by
+    /// every tap/reserve mutator below.
+    flow: FlowEngine,
+    /// Next tap creation sequence number ([`Tap::seq`]).
+    next_tap_seq: u64,
 }
 
 impl ResourceGraph {
@@ -201,6 +223,8 @@ impl ResourceGraph {
             now: SimTime::ZERO,
             total_injected: initial,
             total_consumed: Energy::ZERO,
+            flow: FlowEngine::new(),
+            next_tap_seq: 0,
         }
     }
 
@@ -294,14 +318,15 @@ impl ResourceGraph {
                 op: "delete_reserve",
             });
         }
-        // GC taps referencing this reserve.
-        let dead: Vec<RawId> = self
+        // GC taps referencing this reserve (and unindex them).
+        let dead: Vec<(RawId, u64, RawId, RateSpec)> = self
             .taps
             .iter()
             .filter(|(_, t)| t.source() == id || t.sink() == id)
-            .map(|(tid, _)| tid)
+            .map(|(tid, t)| (tid, t.seq(), t.source().0, t.rate()))
             .collect();
-        for tid in dead {
+        for (tid, seq, source, rate) in dead {
+            self.flow.on_tap_removed(seq, source, rate);
             self.taps.remove(tid);
         }
         let reserve = self.reserves.remove(id.0).expect("checked above");
@@ -375,7 +400,20 @@ impl ResourceGraph {
             return Err(GraphError::PermissionDenied { op: "create_tap" });
         }
         let tap = Tap::new(name, source, sink, rate, tap_label, actor.privs.clone());
-        Ok(TapId(self.taps.insert(tap)))
+        Ok(self.insert_tap(tap))
+    }
+
+    /// Inserts a tap, assigning its creation sequence and registering it in
+    /// the flow index. All tap creation funnels through here.
+    fn insert_tap(&mut self, mut tap: Tap) -> TapId {
+        let seq = self.next_tap_seq;
+        self.next_tap_seq += 1;
+        tap.set_seq(seq);
+        let source = tap.source().0;
+        let rate = tap.rate();
+        let id = TapId(self.taps.insert(tap));
+        self.flow.on_tap_created(id, seq, source, rate);
+        id
     }
 
     /// Changes a tap's rate. Requires modify on the *tap's* label — this is
@@ -391,21 +429,21 @@ impl ResourceGraph {
         if !actor.can_modify(&tap.label().clone()) && !actor.is_kernel {
             return Err(GraphError::PermissionDenied { op: "set_tap_rate" });
         }
+        let (source, old) = (tap.source().0, tap.rate());
         tap.set_rate(rate);
+        self.flow.on_tap_rate_changed(source, old, rate);
         Ok(())
     }
 
     /// Deletes a tap (revoking the power source it represented).
     pub fn delete_tap(&mut self, actor: &Actor, id: TapId) -> Result<(), GraphError> {
-        let label = self
-            .taps
-            .get(id.0)
-            .ok_or(GraphError::TapNotFound)?
-            .label()
-            .clone();
+        let tap = self.taps.get(id.0).ok_or(GraphError::TapNotFound)?;
+        let (label, seq, source, rate) =
+            (tap.label().clone(), tap.seq(), tap.source().0, tap.rate());
         if !actor.can_modify(&label) {
             return Err(GraphError::PermissionDenied { op: "delete_tap" });
         }
+        self.flow.on_tap_removed(seq, source, rate);
         self.taps.remove(id.0);
         Ok(())
     }
@@ -652,7 +690,7 @@ impl ResourceGraph {
             .collect();
         for (tname, sink, rate, tlabel, privs) in inherited {
             let tap = Tap::new(&tname, new, sink, rate, tlabel, privs);
-            self.taps.insert(tap);
+            self.insert_tap(tap);
         }
         Ok(new)
     }
@@ -661,24 +699,80 @@ impl ResourceGraph {
 
     /// Advances batch tap execution and decay up to `now`. Whole ticks only;
     /// the fractional tail carries to the next call.
+    ///
+    /// Executed by the embedded [`FlowEngine`]: ticks run against the
+    /// per-source index with no per-tick allocation, and runs of ticks that
+    /// are provably linear (all live taps constant-rate, decay off, no
+    /// source near its clamp boundary) are applied in closed form. Results
+    /// are bit-identical to [`ResourceGraph::flow_until_reference`].
     pub fn flow_until(&mut self, now: SimTime) {
         let tick = self.config.flow_tick;
+        let mut remaining = now.saturating_since(self.now).div_duration(tick);
+        let battery = self.battery.0;
+        // Fast-forward is sound only without decay (per-tick leakage is not
+        // closed-form in integer µJ). Once an attempt reports a source at
+        // (or hovering within a few ticks of) its clamp boundary we settle
+        // the rest of this call tick by tick: re-planning is O(R + T), so a
+        // plan that only buys a tick or two costs more than it saves.
+        const MIN_PROFITABLE_RUN: u64 = 4;
+        let mut try_fast_forward = self.decay_ppm_per_tick == 0;
+        while remaining > 0 {
+            if try_fast_forward && self.flow.all_const() {
+                let advanced =
+                    self.flow
+                        .try_fast_forward(&mut self.reserves, &mut self.taps, tick, remaining);
+                if advanced < MIN_PROFITABLE_RUN {
+                    try_fast_forward = false;
+                }
+                if advanced > 0 {
+                    self.now += tick * advanced;
+                    remaining -= advanced;
+                    continue;
+                }
+            }
+            self.flow.tick(
+                &mut self.reserves,
+                &mut self.taps,
+                battery,
+                self.decay_ppm_per_tick,
+                tick,
+            );
+            self.now += tick;
+            remaining -= 1;
+        }
+    }
+
+    /// The naive per-tick reference model the `FlowEngine` replaced:
+    /// a full `BTreeMap` snapshot of every reserve and a scan of every tap,
+    /// every tick. Kept (gated behind `cfg(test)` and the `reference-flow`
+    /// feature) as the spec for differential property tests and as the
+    /// "old" side of the `flow_hot_path` criterion bench.
+    ///
+    /// Must remain byte-identical in effect to [`ResourceGraph::flow_until`]
+    /// on any graph and any mutation interleaving.
+    #[cfg(any(test, feature = "reference-flow"))]
+    pub fn flow_until_reference(&mut self, now: SimTime) {
+        let tick = self.config.flow_tick;
         while self.now + tick <= now {
-            self.flow_one_tick(tick);
+            self.flow_one_tick_reference(tick);
             self.now += tick;
         }
     }
 
-    fn flow_one_tick(&mut self, dt: SimDuration) {
+    #[cfg(any(test, feature = "reference-flow"))]
+    fn flow_one_tick_reference(&mut self, dt: SimDuration) {
         // Start-of-tick snapshot so results are independent of tap order
         // (except when a source is oversubscribed; see module docs).
-        let snapshot: BTreeMap<RawId, Energy> = self
+        let snapshot: std::collections::BTreeMap<RawId, Energy> = self
             .reserves
             .iter()
             .map(|(id, r)| (id, r.balance()))
             .collect();
-        let tap_ids = self.taps.ids();
-        for tid in tap_ids {
+        // Apply in creation order (stable against arena slot reuse).
+        let mut tap_ids: Vec<(u64, RawId)> =
+            self.taps.iter().map(|(tid, t)| (t.seq(), tid)).collect();
+        tap_ids.sort_unstable();
+        for (_, tid) in tap_ids {
             let Some(tap) = self.taps.get_mut(tid) else {
                 continue;
             };
@@ -701,28 +795,7 @@ impl ResourceGraph {
             self.reserve_mut(sink).credit(amount);
         }
         // Global decay: the implicit backward tap to the battery.
-        if self.decay_ppm_per_tick > 0 {
-            let ppm = self.decay_ppm_per_tick;
-            let ids = self.reserves.ids();
-            let mut reclaimed = Energy::ZERO;
-            for rid in ids {
-                if rid == self.battery.0 {
-                    continue;
-                }
-                let r = self.reserves.get_mut(rid).expect("id from ids()");
-                if r.is_decay_exempt() || !r.balance().is_positive() {
-                    continue;
-                }
-                let leak = r.balance().scale_ppm(ppm);
-                if leak.is_positive() {
-                    r.debit_decay(leak);
-                    reclaimed += leak;
-                }
-            }
-            if reclaimed.is_positive() {
-                self.reserve_mut(self.battery).credit(reclaimed);
-            }
-        }
+        crate::flow::decay_tick(&mut self.reserves, self.battery.0, self.decay_ppm_per_tick);
     }
 
     // ----- totals ---------------------------------------------------------
@@ -734,6 +807,18 @@ impl ResourceGraph {
             balances: self.reserves.iter().map(|(_, r)| r.balance()).sum(),
             consumed: self.total_consumed,
         }
+    }
+
+    /// Flow-index introspection for the differential tests.
+    #[cfg(test)]
+    pub(crate) fn flow_index_len(&self) -> (usize, usize) {
+        self.flow.index_len()
+    }
+
+    /// Whether the live tap set is all-constant (fast-forward eligible).
+    #[cfg(test)]
+    pub(crate) fn flow_all_const(&self) -> bool {
+        self.flow.all_const()
     }
 
     fn reserve_mut(&mut self, id: ReserveId) -> &mut Reserve {

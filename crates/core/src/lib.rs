@@ -23,6 +23,13 @@
 //! * [`tap`] — tap rates: constant and (backward-)proportional.
 //! * [`graph`] — the resource consumption graph: creation, transfer,
 //!   consumption, batch flows, decay, strict anti-hoarding mode.
+//! * [`flow`] — the `FlowEngine` executing batch flows: a per-source
+//!   adjacency index maintained across tap/reserve mutations, reusable
+//!   snapshot scratch instead of per-tick allocation, quiescent-source
+//!   skipping, and closed-form fast-forward of all-constant tick runs —
+//!   bit-identical to the naive reference loop
+//!   ([`ResourceGraph::flow_until_reference`]), which differential property
+//!   tests enforce.
 //! * [`decay`] — the global half-life decay that prevents hoarding (§5.2.2).
 //! * [`sched`] — the energy-aware scheduler: threads whose reserves are
 //!   empty cannot run (§3.2).
@@ -67,6 +74,7 @@ pub mod accounting;
 pub mod arena;
 pub mod decay;
 pub mod errors;
+pub mod flow;
 pub mod graph;
 pub mod quota;
 pub mod reserve;

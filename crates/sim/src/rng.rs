@@ -6,25 +6,49 @@
 //! deterministically: the same seed always yields the same experiment, so
 //! every figure in `EXPERIMENTS.md` is bit-reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic random source for simulation noise.
+///
+/// Implemented as xoshiro256** seeded through SplitMix64 — self-contained
+/// so the workspace builds without the `rand` crate (the build environment
+/// has no network access). The stream is stable across runs and platforms.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** (Blackman & Vigna, public domain).
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -34,7 +58,15 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.unit() * (hi - lo);
+        // `lo + unit()*(hi-lo)` can round up to exactly `hi` (e.g. when the
+        // ulp at `lo` exceeds `hi - lo`); keep the documented half-open
+        // contract by stepping back below `hi`.
+        if x >= hi {
+            hi.next_down().max(lo)
+        } else {
+            x
+        }
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -44,7 +76,10 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        // Lemire-style widening multiply keeps the draw unbiased enough for
+        // simulation noise without a rejection loop.
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
