@@ -25,6 +25,6 @@ pub mod task_manager;
 pub use browser::{build_browser, BrowserConfig, BrowserHandles};
 pub use energywrap::energywrap;
 pub use image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
-pub use pollers::{PeriodicPoller, PollerLog};
+pub use pollers::{build_pollers, PeriodicPoller, PollerHandles, PollerLog};
 pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
 pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};

@@ -9,14 +9,19 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use cinder_kernel::{Ctx, NetSendStatus, Program, Step};
-use cinder_sim::{SimDuration, SimTime};
+use cinder_core::{Actor, RateSpec, ReserveId};
+use cinder_kernel::{Ctx, Kernel, KernelError, NetSendStatus, Program, Step, ThreadId};
+use cinder_label::Label;
+use cinder_sim::{Power, SimDuration, SimTime};
 
 /// Shared log of completed polls.
 #[derive(Debug, Default)]
 pub struct PollerLog {
     /// Times at which a poll's send was accepted by the stack.
     pub sends: Vec<SimTime>,
+    /// Total bytes (tx + rx) of each send, parallel to `sends` — fleet
+    /// data-plan accounting replays these against a §9 byte-quota graph.
+    pub send_bytes: Vec<u64>,
     /// Polls that had to block for pooled energy first.
     pub blocked_first: u64,
 }
@@ -25,6 +30,11 @@ impl PollerLog {
     /// A fresh shared log.
     pub fn shared() -> Rc<RefCell<PollerLog>> {
         Rc::new(RefCell::new(PollerLog::default()))
+    }
+
+    fn record(&mut self, at: SimTime, bytes: u64) {
+        self.sends.push(at);
+        self.send_bytes.push(bytes);
     }
 }
 
@@ -94,6 +104,82 @@ impl PeriodicPoller {
     }
 }
 
+/// Everything [`build_pollers`] created.
+#[derive(Debug, Clone)]
+pub struct PollerHandles {
+    /// Shared poll log (sends, per-send bytes, first-poll blocks).
+    pub log: Rc<RefCell<PollerLog>>,
+    /// The RSS downloader's tapped reserve.
+    pub rss_reserve: ReserveId,
+    /// The mail checker's tapped reserve.
+    pub mail_reserve: ReserveId,
+    /// RSS thread.
+    pub rss: ThreadId,
+    /// Mail thread.
+    pub mail: ThreadId,
+}
+
+/// Builds the §6.4 polling rig as a reusable topology: two reserves fed
+/// `feed` each from the battery, an RSS downloader polling every
+/// `rss_interval` from t = 0, and a mail checker polling every
+/// `mail_interval` from t = 15 s. The caller chooses and installs the
+/// network stack (netd or the uncooperative baseline); fleet scenarios call
+/// this per device with jittered feeds and intervals.
+pub fn build_pollers(
+    kernel: &mut Kernel,
+    feed: Power,
+    rss_interval: SimDuration,
+    mail_interval: SimDuration,
+) -> Result<PollerHandles, KernelError> {
+    let root = Actor::kernel();
+    let battery = kernel.battery();
+    let tapped = |kernel: &mut Kernel, name: &str| -> Result<ReserveId, KernelError> {
+        let g = kernel.graph_mut();
+        let r = g.create_reserve(&root, name, Label::default_label())?;
+        g.create_tap(
+            &root,
+            &format!("{name}-tap"),
+            battery,
+            r,
+            RateSpec::constant(feed),
+            Label::default_label(),
+        )?;
+        Ok(r)
+    };
+    let rss_reserve = tapped(kernel, "rss")?;
+    let mail_reserve = tapped(kernel, "mail")?;
+    let log = PollerLog::shared();
+    let rss = kernel.spawn_unprivileged(
+        "rss",
+        Box::new(PeriodicPoller::new(
+            SimTime::ZERO,
+            rss_interval,
+            256,
+            8_192,
+            log.clone(),
+        )),
+        rss_reserve,
+    );
+    let mail = kernel.spawn_unprivileged(
+        "mail",
+        Box::new(PeriodicPoller::new(
+            SimTime::from_secs(15),
+            mail_interval,
+            512,
+            4_096,
+            log.clone(),
+        )),
+        mail_reserve,
+    );
+    Ok(PollerHandles {
+        log,
+        rss_reserve,
+        mail_reserve,
+        rss,
+        mail,
+    })
+}
+
 impl Program for PeriodicPoller {
     fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
         match self.state {
@@ -106,7 +192,9 @@ impl Program for PeriodicPoller {
             }
             State::Idle => match ctx.net_send(self.tx_bytes, self.rx_bytes) {
                 Ok(NetSendStatus::Sent) => {
-                    self.log.borrow_mut().sends.push(ctx.now());
+                    self.log
+                        .borrow_mut()
+                        .record(ctx.now(), self.tx_bytes + self.rx_bytes);
                     Step::SleepUntil(self.next_poll_after(ctx.now()))
                 }
                 Ok(NetSendStatus::Blocked) => {
@@ -119,7 +207,9 @@ impl Program for PeriodicPoller {
             State::AwaitingGrant => {
                 match ctx.net_take_result() {
                     Some(NetSendStatus::Sent) => {
-                        self.log.borrow_mut().sends.push(ctx.now());
+                        self.log
+                            .borrow_mut()
+                            .record(ctx.now(), self.tx_bytes + self.rx_bytes);
                         self.state = State::Idle;
                         Step::SleepUntil(self.next_poll_after(ctx.now()))
                     }

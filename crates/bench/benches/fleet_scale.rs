@@ -1,0 +1,99 @@
+//! `fleet_scale`: the population-scale acceptance benchmark — a
+//! 1,000-device × 1-simulated-hour mixed-workload fleet, single-threaded
+//! versus sharded across all cores.
+//!
+//! Besides the criterion entries (on a smaller fleet, to fit the bench
+//! budget), the head-to-head runs the full 1,000-device fleet once per
+//! configuration, asserts the two reports are byte-identical (the
+//! determinism contract), and writes `BENCH_fleet_scale.json` at the repo
+//! root to seed the benchmark trajectory.
+
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use cinder_fleet::{run_fleet_with, Scenario};
+use cinder_sim::SimDuration;
+
+const DEVICES: u32 = 1_000;
+const HORIZON_S: u64 = 3_600;
+
+fn acceptance_scenario(devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::mixed("fleet-scale", 2_026, devices)
+    }
+}
+
+/// Worker count for the sharded side: all cores, but at least two so the
+/// sharded path (and its determinism) is exercised even on a 1-CPU runner.
+fn sharded_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+fn bench_fleet_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scale_100dev_1h");
+    let scenario = acceptance_scenario(100);
+    group.bench_function("threads_1", |b| b.iter(|| run_fleet_with(&scenario, 1)));
+    let threads = sharded_threads();
+    group.bench_function(format!("threads_{threads}"), |b| {
+        b.iter(|| run_fleet_with(&scenario, threads))
+    });
+    group.finish();
+}
+
+/// The full acceptance run: 1,000 devices for one simulated hour, timed at
+/// one thread and at all cores, reports compared byte-for-byte.
+fn scale_report(_c: &mut Criterion) {
+    let scenario = acceptance_scenario(DEVICES);
+    let threads = sharded_threads();
+
+    let start = Instant::now();
+    let single = run_fleet_with(&scenario, 1);
+    let single_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let sharded = run_fleet_with(&scenario, threads);
+    let sharded_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        single.to_json(),
+        sharded.to_json(),
+        "aggregate report must be thread-count invariant"
+    );
+    assert_eq!(single.to_csv(), sharded.to_csv());
+    let speedup = single_s / sharded_s;
+    let summary = single.summary();
+    let lifetime = summary.lifetime_h.expect("non-empty fleet");
+    let power = summary.avg_power_mw.expect("non-empty fleet");
+    println!(
+        "fleet_scale: {DEVICES} devices x {HORIZON_S} s  1 thread {single_s:.2} s, \
+         {threads} threads {sharded_s:.2} s ({speedup:.2}x)"
+    );
+    println!(
+        "fleet_scale: lifetime p50 {:.2} h p99 {:.2} h, tail power p99 {:.1} mW",
+        lifetime.p50, lifetime.p99, power.p99
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_scale\",\n  \"scenario\": {{ \"devices\": {DEVICES}, \
+         \"sim_seconds\": {HORIZON_S}, \"mix\": \"pollers-coop:4 pollers-uncoop:2 browser:2 \
+         gallery:1 spinner:1\" }},\n  \"threads_1\": {{ \"wall_s\": {single_s:.3} }},\n  \
+         \"threads_{threads}\": {{ \"wall_s\": {sharded_s:.3}, \"speedup\": {speedup:.2} }},\n  \
+         \"reports_byte_identical\": true,\n  \"lifetime_h\": {{ \"p50\": {:.3}, \"p90\": {:.3}, \
+         \"p99\": {:.3} }},\n  \"tail_power_mw_p99\": {:.3}\n}}\n",
+        lifetime.p50, lifetime.p90, lifetime.p99, power.p99
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet_scale.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_fleet_scale, scale_report);
+criterion_main!(benches);

@@ -17,28 +17,40 @@ fn main() {
     } else {
         let mut sel = Vec::new();
         for a in &args {
-            if ids.contains(&a.as_str()) {
-                sel.push(ids[ids.iter().position(|i| i == a).unwrap()]);
-            } else {
-                eprintln!("unknown experiment '{a}'; known: {}", ids.join(", "));
-                std::process::exit(2);
+            match ids.iter().find(|&&i| i == a) {
+                Some(&id) => sel.push(id),
+                None => {
+                    eprintln!("unknown experiment '{a}'; known: {}", ids.join(", "));
+                    std::process::exit(2);
+                }
             }
         }
         sel
     };
+    let mut failed = false;
     for id in selected {
         let out = run_experiment(id);
         print!("{}", out.render());
-        match out.save_csv() {
-            Ok(()) if !out.traces.is_empty() => {
+        match out.save_all() {
+            Ok(()) if !out.traces.is_empty() || !out.summary.is_empty() => {
                 println!(
-                    "(traces written to {})",
+                    "(artefacts written to {})",
                     ExperimentOutput::out_dir().display()
                 );
             }
             Ok(()) => {}
-            Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+            Err(e) => {
+                failed = true;
+                eprintln!(
+                    "error: could not write artefacts for {id} under {}: {e} \
+                     (set CINDER_EXPERIMENTS_DIR to a writable directory)",
+                    ExperimentOutput::out_dir().display()
+                );
+            }
         }
         println!();
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -1,9 +1,13 @@
-//! Experiment output: printable rows plus CSV traces.
+//! Experiment output: printable rows, summary JSON, and CSV traces.
+//!
+//! Every writer on this path returns [`std::io::Result`] — a read-only
+//! `target/` directory (sandboxed CI, shared build caches) surfaces as a
+//! diagnosable error at the call site, never a panic.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use cinder_sim::TraceSet;
+use cinder_sim::{json_string, TraceSet};
 
 /// One experiment's complete output.
 #[derive(Debug, Clone)]
@@ -58,17 +62,69 @@ impl ExperimentOutput {
         s
     }
 
-    /// The workspace-level output directory (`target/experiments`).
+    /// The output directory: `$CINDER_EXPERIMENTS_DIR` if set, otherwise
+    /// the workspace-level `target/experiments`. The override lets runs
+    /// escape a read-only `target/` instead of failing.
     pub fn out_dir() -> PathBuf {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments")
+        match std::env::var_os("CINDER_EXPERIMENTS_DIR") {
+            Some(dir) => PathBuf::from(dir),
+            None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments"),
+        }
     }
 
     /// Writes the traces as CSVs under [`ExperimentOutput::out_dir`].
     pub fn save_csv(&self) -> std::io::Result<()> {
+        self.save_csv_in(&Self::out_dir())
+    }
+
+    /// Writes the traces as CSVs under an explicit directory.
+    pub fn save_csv_in(&self, dir: &std::path::Path) -> std::io::Result<()> {
         if self.traces.is_empty() {
             return Ok(());
         }
-        self.traces.write_csv_dir(&Self::out_dir(), &self.id)
+        self.traces.write_csv_dir(dir, &self.id)
+    }
+
+    /// The summary metrics as deterministic JSON (fixed key order, string
+    /// values escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        out.push_str("  \"summary\": {");
+        for (i, (k, v)) in self.summary.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_string(k), json_string(v));
+        }
+        if !self.summary.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes `<id>.json` (the summary metrics) under
+    /// [`ExperimentOutput::out_dir`].
+    pub fn save_json(&self) -> std::io::Result<()> {
+        self.save_json_in(&Self::out_dir())
+    }
+
+    /// Writes `<id>.json` under an explicit directory.
+    pub fn save_json_in(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        if self.summary.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.to_json())
+    }
+
+    /// Writes every artefact (CSV traces + summary JSON) under
+    /// [`ExperimentOutput::out_dir`], propagating the first I/O error.
+    pub fn save_all(&self) -> std::io::Result<()> {
+        let dir = Self::out_dir();
+        self.save_csv_in(&dir)?;
+        self.save_json_in(&dir)
     }
 }
 
@@ -91,5 +147,32 @@ mod tests {
     fn empty_traces_save_is_noop() {
         let o = ExperimentOutput::new("figY", "demo");
         o.save_csv().unwrap();
+        o.save_json().unwrap();
+    }
+
+    #[test]
+    fn json_escapes_and_orders_metrics() {
+        let mut o = ExperimentOutput::new("figZ", "quo\"ted");
+        o.metric("first", "1 J");
+        o.metric("second", "line\nbreak");
+        let j = o.to_json();
+        assert!(j.contains("\"title\": \"quo\\\"ted\""));
+        assert!(j.contains("\"second\": \"line\\u000abreak\""));
+        assert!(j.find("first").unwrap() < j.find("second").unwrap());
+        assert_eq!(o.to_json(), j, "rendering is deterministic");
+    }
+
+    #[test]
+    fn unwritable_out_dir_is_an_error_not_a_panic() {
+        let mut o = ExperimentOutput::new("figW", "demo");
+        o.metric("total", "1 J");
+        // Point the output at a path that cannot be a directory: a child of
+        // an existing regular file.
+        let file = std::env::temp_dir().join(format!("cinder_out_file_{}", std::process::id()));
+        std::fs::write(&file, b"occupied").unwrap();
+        let blocked = file.join("nested");
+        let result = o.save_json_in(&blocked);
+        std::fs::remove_file(&file).unwrap();
+        assert!(result.is_err(), "writing under a file must fail cleanly");
     }
 }

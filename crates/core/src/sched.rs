@@ -249,6 +249,16 @@ impl EnergyScheduler {
             .unwrap_or(0)
     }
 
+    /// Whether any task is in [`TaskState::Ready`], runnable or not.
+    ///
+    /// The kernel's idle fast-forward keys off this: a Ready task whose
+    /// reserve is empty may become runnable the moment a tap refills it, so
+    /// quanta cannot be skipped while one exists, whereas Blocked tasks can
+    /// only be revived by a queued wake event.
+    pub fn has_ready(&self) -> bool {
+        self.tasks.iter().any(|(_, t)| t.state == TaskState::Ready)
+    }
+
     /// All task ids, in creation order.
     pub fn task_ids(&self) -> Vec<TaskId> {
         self.tasks.iter().map(|(id, _)| TaskId(id)).collect()

@@ -1,0 +1,383 @@
+//! The device driver: one [`DeviceSpec`] in, one [`DeviceReport`] out.
+//!
+//! Each device gets its own [`Kernel`] built from its spec — battery
+//! capacity, seed, and workload topology with the device's jitter applied —
+//! run to the horizon with the kernel's bit-exact idle fast-forward on,
+//! then torn down into a compact report. Devices sharing nothing is what
+//! lets the executor shard them freely.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cinder_apps::{
+    build_browser, build_pollers, BrowserConfig, ImageViewer, Spinner, ViewerConfig, ViewerLog,
+};
+use cinder_core::{quota, Actor, GraphConfig, RateSpec, SchedulerConfig};
+use cinder_hw::LaptopNet;
+use cinder_kernel::{Kernel, KernelConfig};
+use cinder_label::Label;
+use cinder_net::{CoopNetd, UncoopStack};
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+
+use crate::scenario::{DataPlan, DeviceSpec, Workload};
+
+/// Compact per-device telemetry, the unit the aggregator consumes.
+///
+/// Everything here is either an exact integer read off the kernel or a
+/// float computed from exact integers, so reports are bit-stable across
+/// runs and worker layouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device id (fleet index).
+    pub id: u64,
+    /// Workload tag (see [`Workload::tag`]).
+    pub workload: &'static str,
+    /// Battery capacity the device started with.
+    pub battery_capacity_uj: i64,
+    /// Root-reserve balance at the horizon.
+    pub battery_remaining_uj: i64,
+    /// Total platform energy the meter integrated over the horizon.
+    pub total_energy_uj: i64,
+    /// Energy charged to threads by the energy-aware scheduler (CPU
+    /// subsystem share of the total).
+    pub cpu_energy_uj: i64,
+    /// Projected battery lifetime at the observed average draw, in hours.
+    pub lifetime_h: f64,
+    /// Radio idle→active transitions (phone workloads).
+    pub radio_activations: u64,
+    /// Total radio-active time in seconds.
+    pub radio_active_s: f64,
+    /// Bytes moved over the network (radio tx+rx, or NIC downloads for the
+    /// gallery).
+    pub net_bytes: u64,
+    /// Completed application operations (polls sent / pages / images).
+    pub ops: u64,
+    /// Time threads spent denied the CPU on an empty reserve.
+    pub starved_s: f64,
+    /// Reserves in debt (negative balance) at the horizon — the
+    /// after-the-fact billing of §5.5.2 at work.
+    pub debt_reserves: u32,
+    /// Whether the §9 data plan ran out before the horizon.
+    pub quota_exhausted: bool,
+    /// Bytes left on the data plan (0 when no plan is carried).
+    pub quota_remaining_bytes: i64,
+}
+
+/// Builds the device's kernel, runs it to the spec's horizon, and distils
+/// the report.
+pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
+    let laptop = matches!(spec.workload, Workload::Gallery { .. });
+    let mut kernel = Kernel::new(KernelConfig {
+        battery: spec.battery,
+        seed: spec.seed,
+        idle_skip: true,
+        sched: SchedulerConfig {
+            quantum: spec.quantum,
+            ..SchedulerConfig::default()
+        },
+        laptop: laptop.then(LaptopNet::t60p),
+        ..KernelConfig::default()
+    });
+
+    let scale = |p: Power| p.scale_ppm(spec.rate_scale_ppm);
+    let mut poller_log = None;
+    let mut viewer_log = None;
+    match spec.workload {
+        Workload::Pollers { coop } => {
+            if coop {
+                let netd = CoopNetd::with_defaults(kernel.graph_mut());
+                kernel.install_net(Box::new(netd));
+            } else {
+                kernel.install_net(Box::new(UncoopStack::new()));
+            }
+            let interval = |base_s: u64| SimDuration::from_micros(base_s * spec.interval_scale_ppm);
+            let handles = build_pollers(
+                &mut kernel,
+                scale(Power::from_microwatts(37_500)),
+                interval(60),
+                interval(60),
+            )
+            .expect("root can build the poller topology");
+            poller_log = Some(handles.log);
+        }
+        Workload::Browser => {
+            let base = BrowserConfig::fig6b();
+            build_browser(
+                &mut kernel,
+                BrowserConfig {
+                    browser_tap: scale(base.browser_tap),
+                    plugin_tap: scale(base.plugin_tap),
+                    extension_tap: scale(base.extension_tap),
+                    ..base
+                },
+            )
+            .expect("root can build the browser topology");
+        }
+        Workload::Gallery { adaptive } => {
+            let root = Actor::kernel();
+            let battery = kernel.battery();
+            let g = kernel.graph_mut();
+            let r = g
+                .create_reserve(&root, "downloader", Label::default_label())
+                .expect("root can create the downloader reserve");
+            g.transfer(&root, battery, r, Energy::from_microjoules(200_000))
+                .expect("battery covers the downloader's seed energy");
+            g.create_tap(
+                &root,
+                "dl-tap",
+                battery,
+                r,
+                RateSpec::constant(scale(Power::from_microwatts(4_000))),
+                Label::default_label(),
+            )
+            .expect("root can tap the battery");
+            let log = ViewerLog::shared();
+            let config = if adaptive {
+                ViewerConfig::fig11()
+            } else {
+                ViewerConfig::fig10()
+            };
+            kernel.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
+            viewer_log = Some(log);
+        }
+        Workload::Spinner => {
+            let root = Actor::kernel();
+            let battery = kernel.battery();
+            let g = kernel.graph_mut();
+            let r = g
+                .create_reserve(&root, "hog", Label::default_label())
+                .expect("root can create the hog reserve");
+            g.create_tap(
+                &root,
+                "hog-tap",
+                battery,
+                r,
+                RateSpec::constant(scale(Power::from_microwatts(68_500))),
+                Label::default_label(),
+            )
+            .expect("root can tap the battery");
+            kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
+        }
+    }
+
+    kernel.run_until(SimTime::ZERO + spec.horizon);
+    extract_report(spec, &kernel, poller_log, viewer_log)
+}
+
+fn extract_report(
+    spec: &DeviceSpec,
+    kernel: &Kernel,
+    poller_log: Option<Rc<RefCell<cinder_apps::PollerLog>>>,
+    viewer_log: Option<Rc<RefCell<ViewerLog>>>,
+) -> DeviceReport {
+    let horizon_s = spec.horizon.as_secs_f64();
+    let total_energy = kernel.meter().total_energy();
+    let cpu_energy: Energy = kernel
+        .thread_ids()
+        .iter()
+        .map(|&t| kernel.thread_consumed(t))
+        .fold(Energy::ZERO, |a, b| a + b);
+    let starved: SimDuration = kernel
+        .thread_ids()
+        .iter()
+        .map(|&t| kernel.thread_throttled(t))
+        .fold(SimDuration::ZERO, |a, b| a + b);
+    let radio = kernel.arm9().radio().stats();
+    let radio_active_s = kernel
+        .arm9()
+        .radio()
+        .total_active(kernel.now())
+        .as_secs_f64();
+    let debt_reserves = kernel
+        .graph()
+        .reserves()
+        .filter(|(_, r)| r.balance().is_negative())
+        .count() as u32;
+    let battery_remaining = kernel
+        .graph()
+        .reserve(kernel.battery())
+        .map(|r| r.balance())
+        .unwrap_or(Energy::ZERO);
+
+    let (ops, gallery_bytes) = match (&poller_log, &viewer_log) {
+        (Some(log), _) => (log.borrow().sends.len() as u64, 0),
+        (_, Some(log)) => {
+            let log = log.borrow();
+            (log.images.len() as u64, log.total_bytes())
+        }
+        _ => (0, 0),
+    };
+    let net_bytes = if gallery_bytes > 0 {
+        gallery_bytes
+    } else {
+        radio.tx_bytes + radio.rx_bytes
+    };
+
+    let (quota_exhausted, quota_remaining_bytes) = match (spec.data_plan, &poller_log) {
+        (Some(plan), Some(log)) => replay_data_plan(plan, &log.borrow()),
+        (Some(plan), None) => (false, plan.bytes as i64),
+        (None, _) => (false, 0),
+    };
+
+    // Projected lifetime at the observed average draw: exact-integer
+    // energies, one final float division.
+    let lifetime_h = if total_energy.is_positive() {
+        spec.battery.as_microjoules() as f64 / total_energy.as_microjoules() as f64 * horizon_s
+            / 3_600.0
+    } else {
+        f64::INFINITY
+    };
+
+    DeviceReport {
+        id: spec.id,
+        workload: spec.workload.tag(),
+        battery_capacity_uj: spec.battery.as_microjoules(),
+        battery_remaining_uj: battery_remaining.as_microjoules(),
+        total_energy_uj: total_energy.as_microjoules(),
+        cpu_energy_uj: cpu_energy.as_microjoules(),
+        lifetime_h,
+        radio_activations: radio.activations,
+        radio_active_s,
+        net_bytes,
+        ops,
+        starved_s: starved.as_secs_f64(),
+        debt_reserves,
+        quota_exhausted,
+        quota_remaining_bytes,
+    }
+}
+
+/// Replays the device's completed polls against a §9 byte-quota graph: the
+/// plan is a root pool of [`quota::ResourceKind::NetworkBytes`] granted to
+/// the device's networking reserve, and each poll consumes its bytes at its
+/// timestamp. Returns `(exhausted, bytes remaining)`.
+fn replay_data_plan(plan: DataPlan, log: &cinder_apps::PollerLog) -> (bool, i64) {
+    let root = Actor::kernel();
+    let mut g = cinder_core::ResourceGraph::with_config(
+        quota::bytes(plan.bytes),
+        GraphConfig {
+            decay: None, // quotas do not decay (§9)
+            ..GraphConfig::default()
+        },
+    );
+    let app = g
+        .create_reserve(&root, "plan-bytes", Label::default_label())
+        .expect("root can create the plan reserve");
+    g.transfer(&root, g.battery(), app, quota::bytes(plan.bytes))
+        .expect("pool holds the full plan");
+    let mut exhausted = false;
+    for (&at, &bytes) in log.sends.iter().zip(&log.send_bytes) {
+        g.flow_until(at);
+        if g.consume(&root, app, quota::bytes(bytes)).is_err() {
+            exhausted = true;
+            break;
+        }
+    }
+    let remaining = g.level(&root, app).map(quota::as_bytes).unwrap_or(0);
+    (exhausted, remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn spec_for(workload: Workload, horizon_s: u64) -> DeviceSpec {
+        DeviceSpec {
+            id: 0,
+            seed: 42,
+            workload,
+            battery: Energy::from_joules(15_000),
+            rate_scale_ppm: 1_000_000,
+            interval_scale_ppm: 1_000_000,
+            horizon: SimDuration::from_secs(horizon_s),
+            quantum: SimDuration::from_millis(100),
+            data_plan: None,
+        }
+    }
+
+    #[test]
+    fn poller_device_polls_and_uses_radio() {
+        let r = simulate_device(&spec_for(Workload::Pollers { coop: false }, 600));
+        assert!(r.ops >= 8, "polls: {}", r.ops);
+        assert!(r.radio_activations >= 2);
+        assert!(r.net_bytes > 0);
+        assert!(r.total_energy_uj > 0);
+        assert!(
+            r.lifetime_h > 1.0 && r.lifetime_h < 12.0,
+            "{}",
+            r.lifetime_h
+        );
+    }
+
+    #[test]
+    fn coop_poller_device_pools() {
+        let r = simulate_device(&spec_for(Workload::Pollers { coop: true }, 1_200));
+        // Pooling defers the first sends but they do complete.
+        assert!(r.ops >= 1, "coop polls: {}", r.ops);
+        assert!(r.radio_activations >= 1);
+    }
+
+    #[test]
+    fn spinner_device_is_throttled_by_its_tap() {
+        let r = simulate_device(&spec_for(Workload::Spinner, 600));
+        // A 68.5 mW feed duty-cycles the 137 mW CPU: roughly half the run
+        // is starved.
+        assert!(
+            r.starved_s > 120.0 && r.starved_s < 480.0,
+            "starved {}",
+            r.starved_s
+        );
+        assert!(r.cpu_energy_uj > 0);
+    }
+
+    #[test]
+    fn gallery_device_downloads() {
+        let r = simulate_device(&spec_for(Workload::Gallery { adaptive: true }, 3_000));
+        assert!(r.ops >= 32, "images: {}", r.ops);
+        assert!(r.net_bytes > 1_000_000);
+        assert_eq!(r.radio_activations, 0, "gallery uses the laptop NIC");
+    }
+
+    #[test]
+    fn browser_device_runs() {
+        let r = simulate_device(&spec_for(Workload::Browser, 300));
+        assert!(r.total_energy_uj > 0);
+        assert!(r.cpu_energy_uj > 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let spec = spec_for(Workload::Pollers { coop: false }, 900);
+        assert_eq!(simulate_device(&spec), simulate_device(&spec));
+    }
+
+    #[test]
+    fn tiny_data_plan_exhausts() {
+        let mut spec = spec_for(Workload::Pollers { coop: false }, 1_800);
+        // ~8.4 KB per RSS poll + ~4.6 KB per mail poll: 20 KB dies fast.
+        spec.data_plan = Some(DataPlan { bytes: 20_000 });
+        let r = simulate_device(&spec);
+        assert!(r.quota_exhausted, "plan should run out: {r:?}");
+        assert!(r.quota_remaining_bytes < 20_000);
+    }
+
+    #[test]
+    fn generous_data_plan_survives() {
+        let mut spec = spec_for(Workload::Pollers { coop: false }, 1_800);
+        spec.data_plan = Some(DataPlan { bytes: 5_000_000 });
+        let r = simulate_device(&spec);
+        assert!(!r.quota_exhausted);
+        assert!(r.quota_remaining_bytes > 4_000_000);
+    }
+
+    #[test]
+    fn every_mixed_workload_simulates() {
+        for spec in Scenario::mixed("all", 9, 10).specs() {
+            let mut quick = spec.clone();
+            quick.horizon = SimDuration::from_secs(120);
+            let r = simulate_device(&quick);
+            assert!(r.total_energy_uj > 0, "{:?}", quick.workload);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Population-scale Cinder studies: a *fleet* of independent, deterministic
+//! device simulations with aggregate telemetry.
+//!
+//! The paper evaluates Cinder on a single HTC Dream; this crate spends the
+//! simulator's speed on the regime fleet-level energy monitoring work
+//! targets — thousands of heterogeneous devices, each running one of the
+//! paper's §5/§6 application workloads with device-local parameter jitter.
+//!
+//! The layering sits strictly *above* the kernel:
+//!
+//! ```text
+//!   scenario ──► specs ──► device driver (one Kernel each) ──► reports
+//!      │                        ▲                                │
+//!      │        sharded executor (std::thread workers,           │
+//!      │        chunked work stealing, id-ordered results)       │
+//!      └────────────────────────┴────────────────────────────────┤
+//!                                              aggregator (percentiles,
+//!                                              histograms, CSV/JSON)
+//! ```
+//!
+//! # Determinism contract
+//!
+//! * One fleet seed fixes everything. Device `i` draws its parameters from
+//!   [`cinder_sim::SimRng::split`]`(i)` — an independent child stream — so
+//!   its behaviour does not depend on how many devices surround it.
+//! * Devices never share state; each runs its own [`cinder_kernel::Kernel`]
+//!   to the horizon (with the kernel's bit-exact idle fast-forward on).
+//! * The executor assembles results **by device id**, so the aggregate
+//!   report is byte-identical for *any* worker thread count — property
+//!   tests in `tests/fleet_props.rs` enforce this.
+//!
+//! # Modules
+//!
+//! * [`scenario`] — the population model: workload mixture, battery and
+//!   rate jitter, optional §9 data-plan quota.
+//! * [`device`] — builds one kernel from a [`scenario::DeviceSpec`], runs
+//!   it, and extracts a compact [`device::DeviceReport`].
+//! * [`executor`] — shards devices across `std::thread` workers.
+//! * [`report`] — fleet percentiles (p50/p90/p99 lifetime, tail power) and
+//!   CSV/JSON export via [`cinder_sim::trace`].
+
+pub mod device;
+pub mod executor;
+pub mod report;
+pub mod scenario;
+
+pub use device::{simulate_device, DeviceReport};
+pub use executor::{run_fleet, run_fleet_with};
+pub use report::{FleetReport, FleetSummary};
+pub use scenario::{DataPlan, DeviceSpec, Scenario, Workload};

@@ -1,0 +1,330 @@
+//! The aggregator: fleet percentiles, histograms, and CSV/JSON export.
+//!
+//! Per-device [`DeviceReport`]s roll up into a [`FleetSummary`] —
+//! p50/p90/p99 battery lifetime, tail power, radio and starvation
+//! distributions, quota exhaustion counts — and export as CSV (one row per
+//! device, plus [`cinder_sim::trace`] series over the device index) and a
+//! deterministic JSON summary. All writers propagate [`io::Result`] so a
+//! read-only output directory is a diagnosable error, not a panic.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use cinder_sim::{json_string, Series, SimDuration, SimTime, Summary, TraceSet};
+
+use crate::device::DeviceReport;
+use crate::scenario::Scenario;
+
+/// A finished fleet run: ordered per-device telemetry plus scenario
+/// identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The fleet seed the run used.
+    pub seed: u64,
+    /// Per-device horizon.
+    pub horizon: SimDuration,
+    /// One report per device, ordered by device id.
+    pub devices: Vec<DeviceReport>,
+}
+
+/// Aggregate distributions over the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Device count.
+    pub devices: usize,
+    /// Projected battery lifetime distribution, hours.
+    pub lifetime_h: Option<Summary>,
+    /// Average platform power distribution, milliwatts (its p99 is the
+    /// fleet's tail power).
+    pub avg_power_mw: Option<Summary>,
+    /// Radio activation count distribution.
+    pub radio_activations: Option<Summary>,
+    /// Starvation time distribution, seconds.
+    pub starved_s: Option<Summary>,
+    /// Total energy the whole fleet drew, joules.
+    pub fleet_energy_j: f64,
+    /// Devices whose §9 data plan ran out.
+    pub quota_exhausted: usize,
+    /// Devices holding at least one reserve in debt at the horizon.
+    pub devices_in_debt: usize,
+}
+
+impl FleetReport {
+    /// Assembles a report (devices must already be ordered by id).
+    pub fn new(scenario: &Scenario, devices: Vec<DeviceReport>) -> FleetReport {
+        debug_assert!(devices.windows(2).all(|w| w[0].id < w[1].id));
+        FleetReport {
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            horizon: scenario.horizon,
+            devices,
+        }
+    }
+
+    /// Average platform power of device `d` in milliwatts.
+    fn avg_power_mw(&self, d: &DeviceReport) -> f64 {
+        d.total_energy_uj as f64 / self.horizon.as_secs_f64() / 1_000.0
+    }
+
+    /// The aggregate distributions.
+    pub fn summary(&self) -> FleetSummary {
+        let collect =
+            |f: &dyn Fn(&DeviceReport) -> f64| -> Vec<f64> { self.devices.iter().map(f).collect() };
+        FleetSummary {
+            devices: self.devices.len(),
+            lifetime_h: Summary::from_values(&collect(&|d| d.lifetime_h)),
+            avg_power_mw: Summary::from_values(&collect(&|d| self.avg_power_mw(d))),
+            radio_activations: Summary::from_values(&collect(&|d| d.radio_activations as f64)),
+            starved_s: Summary::from_values(&collect(&|d| d.starved_s)),
+            fleet_energy_j: self
+                .devices
+                .iter()
+                .map(|d| d.total_energy_uj as f64 / 1e6)
+                .sum(),
+            quota_exhausted: self.devices.iter().filter(|d| d.quota_exhausted).count(),
+            devices_in_debt: self.devices.iter().filter(|d| d.debt_reserves > 0).count(),
+        }
+    }
+
+    /// A fixed-width histogram of projected lifetimes: `bins` buckets over
+    /// `[min, max]`, returned as `(bucket_low_h, count)`.
+    pub fn lifetime_histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        let finite: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| d.lifetime_h)
+            .filter(|l| l.is_finite())
+            .collect();
+        let (Some(&min), Some(&max)) = (
+            finite.iter().min_by(|a, b| a.total_cmp(b)),
+            finite.iter().max_by(|a, b| a.total_cmp(b)),
+        ) else {
+            return Vec::new();
+        };
+        let bins = bins.max(1);
+        let width = ((max - min) / bins as f64).max(f64::EPSILON);
+        let mut hist = vec![0usize; bins];
+        for l in &finite {
+            let i = (((l - min) / width) as usize).min(bins - 1);
+            hist[i] += 1;
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(i, count)| (min + i as f64 * width, count))
+            .collect()
+    }
+
+    /// Per-device CSV: one row per device, ordered by id.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "device,workload,battery_uj,battery_remaining_uj,total_energy_uj,cpu_energy_uj,\
+             lifetime_h,avg_power_mw,radio_activations,radio_active_s,net_bytes,ops,starved_s,\
+             debt_reserves,quota_exhausted,quota_remaining_bytes\n",
+        );
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{}",
+                d.id,
+                d.workload,
+                d.battery_capacity_uj,
+                d.battery_remaining_uj,
+                d.total_energy_uj,
+                d.cpu_energy_uj,
+                d.lifetime_h,
+                self.avg_power_mw(d),
+                d.radio_activations,
+                d.radio_active_s,
+                d.net_bytes,
+                d.ops,
+                d.starved_s,
+                d.debt_reserves,
+                d.quota_exhausted,
+                d.quota_remaining_bytes,
+            );
+        }
+        out
+    }
+
+    /// Fleet-wide series over the *device index* (the trace machinery's
+    /// time axis doubles as an ordinal axis: device `i` sits at `i`
+    /// seconds), exportable through [`TraceSet::write_csv_dir`].
+    pub fn trace_set(&self) -> TraceSet {
+        let mut ts = TraceSet::new();
+        let mut lifetime = Series::new("lifetime_by_device", "h");
+        let mut power = Series::new("avg_power_by_device", "mW");
+        let mut starved = Series::new("starved_by_device", "s");
+        for d in &self.devices {
+            let at = SimTime::from_secs(d.id);
+            lifetime.push(at, d.lifetime_h);
+            power.push(at, self.avg_power_mw(d));
+            starved.push(at, d.starved_s);
+        }
+        ts.insert(lifetime);
+        ts.insert(power);
+        ts.insert(starved);
+        ts
+    }
+
+    /// Writes the per-device CSV and the trace series under `dir`,
+    /// prefixed with the scenario name.
+    pub fn write_csv_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(
+            dir.join(format!("{}_devices.csv", self.scenario)),
+            self.to_csv(),
+        )?;
+        self.trace_set().write_csv_dir(dir, &self.scenario)
+    }
+
+    /// A deterministic JSON rendering of the aggregate summary (fixed key
+    /// order, fixed float precision): the artefact the scale benchmark and
+    /// CI compare byte-for-byte across thread counts.
+    pub fn to_json(&self) -> String {
+        let s = self.summary();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"scenario\": {},", json_string(&self.scenario));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"devices\": {},", s.devices);
+        let _ = writeln!(out, "  \"horizon_s\": {:.3},", self.horizon.as_secs_f64());
+        let _ = writeln!(out, "  \"fleet_energy_j\": {:.6},", s.fleet_energy_j);
+        let summary_json = |sum: &Option<Summary>| -> String {
+            match sum {
+                None => "null".to_string(),
+                Some(s) => format!(
+                    "{{ \"min\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}, \
+                     \"max\": {:.6}, \"mean\": {:.6} }}",
+                    s.min, s.p50, s.p90, s.p99, s.max, s.mean
+                ),
+            }
+        };
+        let _ = writeln!(out, "  \"lifetime_h\": {},", summary_json(&s.lifetime_h));
+        let _ = writeln!(
+            out,
+            "  \"avg_power_mw\": {},",
+            summary_json(&s.avg_power_mw)
+        );
+        let _ = writeln!(
+            out,
+            "  \"radio_activations\": {},",
+            summary_json(&s.radio_activations)
+        );
+        let _ = writeln!(out, "  \"starved_s\": {},", summary_json(&s.starved_s));
+        let _ = writeln!(out, "  \"quota_exhausted\": {},", s.quota_exhausted);
+        let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes [`FleetReport::to_json`] to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Workload;
+
+    fn device(id: u64, lifetime_h: f64, energy_uj: i64) -> DeviceReport {
+        DeviceReport {
+            id,
+            workload: Workload::Spinner.tag(),
+            battery_capacity_uj: 15_000_000_000,
+            battery_remaining_uj: 14_000_000_000,
+            total_energy_uj: energy_uj,
+            cpu_energy_uj: energy_uj / 10,
+            lifetime_h,
+            radio_activations: id,
+            radio_active_s: 1.0,
+            net_bytes: 100,
+            ops: 3,
+            starved_s: id as f64,
+            debt_reserves: u32::from(id % 2 == 0),
+            quota_exhausted: id == 1,
+            quota_remaining_bytes: 0,
+        }
+    }
+
+    fn report() -> FleetReport {
+        FleetReport {
+            scenario: "unit".into(),
+            seed: 9,
+            horizon: SimDuration::from_secs(3_600),
+            devices: (0..10)
+                .map(|i| device(i, 4.0 + i as f64, 2_500_000_000))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_distributions() {
+        let s = report().summary();
+        assert_eq!(s.devices, 10);
+        let lifetime = s.lifetime_h.unwrap();
+        assert_eq!(lifetime.min, 4.0);
+        assert_eq!(lifetime.max, 13.0);
+        assert_eq!(s.quota_exhausted, 1);
+        assert_eq!(s.devices_in_debt, 5);
+        // 2500 J × 10 devices.
+        assert!((s.fleet_energy_j - 25_000.0).abs() < 1e-9);
+        // 2.5 MJ over 3600 s ≈ 694.4 mW for every device.
+        let power = s.avg_power_mw.unwrap();
+        assert!((power.mean - 694.444).abs() < 0.01, "{}", power.mean);
+    }
+
+    #[test]
+    fn histogram_covers_all_finite_devices() {
+        let h = report().lifetime_histogram(5);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 10);
+        assert_eq!(h[0].0, 4.0);
+    }
+
+    #[test]
+    fn histogram_of_empty_fleet_is_empty() {
+        let empty = FleetReport {
+            devices: Vec::new(),
+            ..report()
+        };
+        assert!(empty.lifetime_histogram(4).is_empty());
+        assert_eq!(empty.summary().lifetime_h, None);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_device() {
+        let csv = report().to_csv();
+        assert_eq!(csv.lines().count(), 11); // header + 10 devices
+        assert!(csv.starts_with("device,workload,"));
+        assert!(csv.contains(",spinner,"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parses_shape() {
+        let a = report().to_json();
+        let b = report().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"p99\""));
+        assert!(a.contains("\"quota_exhausted\": 1"));
+        assert!(a.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn write_csv_dir_round_trips() {
+        let dir = std::env::temp_dir().join(format!("cinder_fleet_test_{}", std::process::id()));
+        report().write_csv_dir(&dir).unwrap();
+        let devices = fs::read_to_string(dir.join("unit_devices.csv")).unwrap();
+        assert!(devices.starts_with("device,workload,"));
+        let series = fs::read_to_string(dir.join("unit_lifetime_by_device.csv")).unwrap();
+        assert!(series.starts_with("time_s,lifetime_by_device_h"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! The population model: what a fleet of devices looks like.
+//!
+//! A [`Scenario`] describes a device population as a *mixture* of the
+//! paper's §5/§6 application workloads plus per-device parameter jitter.
+//! [`Scenario::specs`] expands it into one [`DeviceSpec`] per device:
+//! workloads are assigned round-robin by mixture weight (so the realised
+//! mixture is exact, not sampled), while battery capacity, tap-rate scale,
+//! poll intervals, and the kernel seed are drawn from the device's own
+//! [`SimRng::split`] stream — adding a device never perturbs its siblings.
+
+use cinder_sim::{Energy, SimDuration, SimRng};
+
+/// Which of the paper's application studies a device runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// §6.4's mail + RSS pollers. `coop` selects netd pooling (Fig 13b)
+    /// versus the uncooperative baseline (Fig 13a).
+    Pollers {
+        /// Use the cooperative netd stack.
+        coop: bool,
+    },
+    /// §5.2's browser with an isolated, rate-limited plugin and ad-block
+    /// extension (the Fig 6b topology, with backward reclamation).
+    Browser,
+    /// §5.3/§6.2's energy-aware picture gallery on the laptop platform.
+    /// `adaptive` selects quality scaling (Fig 11) versus stalling (Fig 10).
+    Gallery {
+        /// Scale image quality to the reserve level.
+        adaptive: bool,
+    },
+    /// A background CPU hog throttled behind a tap (the Fig 9 shape).
+    Spinner,
+}
+
+impl Workload {
+    /// A short stable tag for CSV columns and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Workload::Pollers { coop: true } => "pollers-coop",
+            Workload::Pollers { coop: false } => "pollers-uncoop",
+            Workload::Browser => "browser",
+            Workload::Gallery { adaptive: true } => "gallery-adaptive",
+            Workload::Gallery { adaptive: false } => "gallery-fixed",
+            Workload::Spinner => "spinner",
+        }
+    }
+}
+
+/// A §9 data plan: the device carries a reserve of network bytes
+/// ([`cinder_core::quota::ResourceKind::NetworkBytes`]) alongside its
+/// energy graph, and every completed poll debits its bytes from the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPlan {
+    /// Plan size in bytes (the issue's study: 5 MB).
+    pub bytes: u64,
+}
+
+/// A device population to simulate.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (report/file prefix).
+    pub name: String,
+    /// The fleet seed: fixes every device's parameters and kernel stream.
+    pub seed: u64,
+    /// Number of devices.
+    pub devices: u32,
+    /// Per-device simulation horizon.
+    pub horizon: SimDuration,
+    /// Workload mixture as `(workload, weight)`; assignment is round-robin
+    /// by weight so the realised mixture is exact.
+    pub mix: Vec<(Workload, u32)>,
+    /// Battery capacity range `[lo, hi)`; each device draws uniformly.
+    pub battery: (Energy, Energy),
+    /// Per-device tap-rate jitter: rates are scaled by a factor drawn
+    /// uniformly from `1 ± jitter_ppm/1e6`.
+    pub jitter_ppm: u64,
+    /// Scheduler quantum for fleet devices. Fleet studies default to
+    /// 100 ms — ten times the single-device experiments' 10 ms — trading
+    /// accounting granularity for throughput at population scale.
+    pub quantum: SimDuration,
+    /// Optional §9 data-plan quota carried by poller devices.
+    pub data_plan: Option<DataPlan>,
+}
+
+/// One device, fully specified: plain data, cheap to ship to a worker
+/// thread.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Device id (index in the fleet, stable across thread counts).
+    pub id: u64,
+    /// The device kernel's RNG seed.
+    pub seed: u64,
+    /// Assigned workload.
+    pub workload: Workload,
+    /// Battery capacity.
+    pub battery: Energy,
+    /// Tap-rate scale in ppm (1_000_000 = nominal).
+    pub rate_scale_ppm: u64,
+    /// Poll-interval scale in ppm (pollers only; staggers radio episodes
+    /// across the fleet).
+    pub interval_scale_ppm: u64,
+    /// Simulation horizon.
+    pub horizon: SimDuration,
+    /// Scheduler quantum.
+    pub quantum: SimDuration,
+    /// Data plan, if the scenario carries one.
+    pub data_plan: Option<DataPlan>,
+}
+
+impl Scenario {
+    /// The default mixed-population study: the §5/§6 workloads in rough
+    /// proportion to how often phones run them — mostly background pollers,
+    /// some interactive browsing and gallery use, a few runaway hogs.
+    pub fn mixed(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            seed,
+            devices,
+            horizon: SimDuration::from_secs(3_600),
+            mix: vec![
+                (Workload::Pollers { coop: true }, 4),
+                (Workload::Pollers { coop: false }, 2),
+                (Workload::Browser, 2),
+                (Workload::Gallery { adaptive: true }, 1),
+                (Workload::Spinner, 1),
+            ],
+            battery: (Energy::from_joules(10_000), Energy::from_joules(20_000)),
+            jitter_ppm: 100_000, // ±10 %
+            quantum: SimDuration::from_millis(100),
+            data_plan: None,
+        }
+    }
+
+    /// The §9 data-plan study: an all-poller fleet where every device
+    /// carries a byte-quota reserve (default 5 MB, the issue's figure).
+    pub fn data_plan(name: &str, seed: u64, devices: u32, plan_bytes: u64) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::Pollers { coop: true }, 1),
+                (Workload::Pollers { coop: false }, 1),
+            ],
+            data_plan: Some(DataPlan { bytes: plan_bytes }),
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
+    /// Expands the scenario into per-device specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mixture is empty or all weights are zero.
+    pub fn specs(&self) -> Vec<DeviceSpec> {
+        let total_weight: u32 = self.mix.iter().map(|&(_, w)| w).sum();
+        assert!(
+            total_weight > 0,
+            "scenario '{}' has an empty workload mixture",
+            self.name
+        );
+        let root = SimRng::seed_from_u64(self.seed);
+        (0..self.devices as u64)
+            .map(|id| {
+                // Round-robin through the weighted mixture: slot k of each
+                // `total_weight`-sized block belongs to the workload whose
+                // cumulative weight first exceeds k.
+                let slot = (id % total_weight as u64) as u32;
+                let mut acc = 0;
+                let workload = self
+                    .mix
+                    .iter()
+                    .find(|&&(_, w)| {
+                        acc += w;
+                        slot < acc
+                    })
+                    .expect("slot < total weight")
+                    .0;
+                // All device-local draws come from the device's own stream.
+                let mut rng = root.split(id);
+                let battery = if self.battery.0 < self.battery.1 {
+                    Energy::from_microjoules(rng.uniform_u64(
+                        self.battery.0.as_microjoules() as u64,
+                        self.battery.1.as_microjoules() as u64,
+                    ) as i64)
+                } else {
+                    self.battery.0
+                };
+                let scale = |rng: &mut SimRng| {
+                    if self.jitter_ppm == 0 {
+                        1_000_000
+                    } else {
+                        rng.uniform_u64(
+                            1_000_000 - self.jitter_ppm,
+                            1_000_000 + self.jitter_ppm + 1,
+                        )
+                    }
+                };
+                let rate_scale_ppm = scale(&mut rng);
+                let interval_scale_ppm = scale(&mut rng);
+                DeviceSpec {
+                    id,
+                    seed: rng.uniform_u64(0, u64::MAX),
+                    workload,
+                    battery,
+                    rate_scale_ppm,
+                    interval_scale_ppm,
+                    horizon: self.horizon,
+                    quantum: self.quantum,
+                    data_plan: self.data_plan,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_is_exact_per_block() {
+        let s = Scenario::mixed("m", 1, 100);
+        let specs = s.specs();
+        let coop = specs
+            .iter()
+            .filter(|d| d.workload == Workload::Pollers { coop: true })
+            .count();
+        // Weight 4 of 10 → exactly 40 of 100.
+        assert_eq!(coop, 40);
+        assert_eq!(specs.len(), 100);
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_seed_scoped() {
+        let a = Scenario::mixed("m", 7, 32).specs();
+        let b = Scenario::mixed("m", 7, 32).specs();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.battery, y.battery);
+            assert_eq!(x.rate_scale_ppm, y.rate_scale_ppm);
+        }
+        let c = Scenario::mixed("m", 8, 32).specs();
+        assert!(a.iter().zip(&c).any(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn adding_devices_never_perturbs_existing_ones() {
+        // The split-stream property: device i's spec is identical whether
+        // the fleet holds 10 or 1000 devices.
+        let small = Scenario::mixed("m", 3, 10).specs();
+        let large = Scenario::mixed("m", 3, 1_000).specs();
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.seed, l.seed);
+            assert_eq!(s.battery, l.battery);
+            assert_eq!(s.rate_scale_ppm, l.rate_scale_ppm);
+            assert_eq!(s.interval_scale_ppm, l.interval_scale_ppm);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let s = Scenario::mixed("m", 5, 200);
+        for d in s.specs() {
+            assert!((900_000..=1_100_000).contains(&d.rate_scale_ppm));
+            assert!((900_000..=1_100_000).contains(&d.interval_scale_ppm));
+            assert!(d.battery >= Energy::from_joules(10_000));
+            assert!(d.battery < Energy::from_joules(20_000));
+        }
+    }
+
+    #[test]
+    fn data_plan_scenario_tags_every_device() {
+        let s = Scenario::data_plan("q", 2, 10, 5_000_000);
+        for d in s.specs() {
+            assert_eq!(d.data_plan, Some(DataPlan { bytes: 5_000_000 }));
+            assert!(matches!(d.workload, Workload::Pollers { .. }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload mixture")]
+    fn empty_mixture_is_rejected() {
+        let mut s = Scenario::mixed("m", 1, 4);
+        s.mix.clear();
+        let _ = s.specs();
+    }
+}

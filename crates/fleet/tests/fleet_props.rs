@@ -1,0 +1,143 @@
+//! Fleet-level property tests: the determinism contract of `cinder-fleet`.
+//!
+//! * Same fleet seed ⇒ byte-identical aggregate report — for *any* worker
+//!   thread count (the sharded executor must not leak scheduling into
+//!   results).
+//! * Different fleet seeds ⇒ different fleets.
+//! * The §9 data-plan scenario counts quota-exhausted devices coherently.
+
+use cinder_fleet::{run_fleet_with, DataPlan, Scenario, Workload};
+use cinder_sim::SimDuration;
+use proptest::prelude::*;
+
+/// A small but non-trivial fleet (short horizon keeps cases fast).
+fn quick_scenario(seed: u64, devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(180),
+        ..Scenario::mixed("prop", seed, devices)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn thread_count_never_changes_the_report(
+        seed in 0u64..1_000,
+        devices in 6u32..24,
+        threads in 2usize..8,
+    ) {
+        let scenario = quick_scenario(seed, devices);
+        let single = run_fleet_with(&scenario, 1);
+        let sharded = run_fleet_with(&scenario, threads);
+        prop_assert_eq!(single.devices.clone(), sharded.devices.clone());
+        prop_assert_eq!(single.to_csv(), sharded.to_csv());
+        prop_assert_eq!(single.to_json(), sharded.to_json());
+    }
+
+    #[test]
+    fn same_seed_same_fleet(seed in 0u64..1_000) {
+        let a = run_fleet_with(&quick_scenario(seed, 8), 2);
+        let b = run_fleet_with(&quick_scenario(seed, 8), 3);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..1_000) {
+        let a = run_fleet_with(&quick_scenario(seed, 8), 2);
+        let b = run_fleet_with(&quick_scenario(seed + 1, 8), 2);
+        prop_assert_ne!(a.to_csv(), b.to_csv());
+    }
+}
+
+/// The §9 study end-to-end: a 5 MB plan survives an hour of polling, a
+/// starvation plan does not, and the aggregate count matches a per-device
+/// recount.
+#[test]
+fn data_plan_fleet_counts_exhausted_devices() {
+    let generous = Scenario {
+        horizon: SimDuration::from_secs(3_600),
+        ..Scenario::data_plan("plan-5mb", 77, 12, 5_000_000)
+    };
+    let report = run_fleet_with(&generous, 4);
+    let summary = report.summary();
+    assert_eq!(summary.quota_exhausted, 0, "{}", report.to_json());
+    assert!(
+        report.devices.iter().all(|d| d.quota_remaining_bytes > 0),
+        "every device should retain plan bytes"
+    );
+
+    let tiny = Scenario {
+        horizon: SimDuration::from_secs(3_600),
+        ..Scenario::data_plan("plan-tiny", 77, 12, 40_000)
+    };
+    let report = run_fleet_with(&tiny, 4);
+    let summary = report.summary();
+    let recount = report.devices.iter().filter(|d| d.quota_exhausted).count();
+    assert_eq!(summary.quota_exhausted, recount);
+    assert!(
+        summary.quota_exhausted >= 6,
+        "a 40 KB plan must die within the hour on most devices: {}",
+        report.to_json()
+    );
+}
+
+/// Mixture landmarks survive aggregation: coop pollers activate the radio
+/// less often than uncoop ones on average, and spinners starve.
+#[test]
+fn aggregate_telemetry_reflects_workload_structure() {
+    let scenario = Scenario {
+        horizon: SimDuration::from_secs(1_800),
+        ..Scenario::mixed("structure", 5, 30)
+    };
+    let report = run_fleet_with(&scenario, 4);
+    let mean = |tag: &str, f: &dyn Fn(&cinder_fleet::DeviceReport) -> f64| -> f64 {
+        let xs: Vec<f64> = report
+            .devices
+            .iter()
+            .filter(|d| d.workload == tag)
+            .map(f)
+            .collect();
+        assert!(!xs.is_empty(), "no {tag} devices in the mixture");
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let coop = mean(Workload::Pollers { coop: true }.tag(), &|d| {
+        d.radio_activations as f64
+    });
+    let uncoop = mean(Workload::Pollers { coop: false }.tag(), &|d| {
+        d.radio_activations as f64
+    });
+    assert!(
+        coop < uncoop,
+        "pooling must reduce mean activations: coop {coop} vs uncoop {uncoop}"
+    );
+    let spinner_starved = mean(Workload::Spinner.tag(), &|d| d.starved_s);
+    assert!(
+        spinner_starved > 200.0,
+        "throttled hogs must starve: {spinner_starved}"
+    );
+}
+
+/// `DataPlan` devices replay their polls against the quota graph even when
+/// the executor shards them differently.
+#[test]
+fn quota_accounting_is_thread_invariant() {
+    let scenario = Scenario {
+        horizon: SimDuration::from_secs(1_200),
+        ..Scenario::data_plan("plan-shard", 13, 10, 60_000)
+    };
+    let a = run_fleet_with(&scenario, 1);
+    let b = run_fleet_with(&scenario, 5);
+    assert_eq!(a.devices, b.devices);
+    assert_eq!(
+        a.devices
+            .iter()
+            .map(|d| d.quota_remaining_bytes)
+            .sum::<i64>(),
+        b.devices
+            .iter()
+            .map(|d| d.quota_remaining_bytes)
+            .sum::<i64>()
+    );
+    let _ = DataPlan { bytes: 0 }; // type is part of the public surface
+}

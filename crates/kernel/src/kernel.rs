@@ -68,6 +68,14 @@ pub struct KernelConfig {
     pub meter_trace: bool,
     /// Attach a laptop NIC (the image-viewer platform, §6.2).
     pub laptop: Option<LaptopNet>,
+    /// Fast-forward the run loop over provably idle quanta (no Ready
+    /// thread, idle net stack, no event or radio transition due). The
+    /// simulation is bit-identical with or without this flag — taps, decay,
+    /// metering, and wake-ups all integrate over the skipped span — but
+    /// device-hours of mostly-sleeping workloads run orders of magnitude
+    /// faster, which is what makes fleet-scale studies practical. Off by
+    /// default so single-device experiments run the literal paper loop.
+    pub idle_skip: bool,
 }
 
 impl Default for KernelConfig {
@@ -80,6 +88,7 @@ impl Default for KernelConfig {
             seed: 0,
             meter_trace: false,
             laptop: None,
+            idle_skip: false,
         }
     }
 }
@@ -515,6 +524,16 @@ impl Kernel {
             .unwrap_or(Energy::ZERO)
     }
 
+    /// Total time the thread was denied the CPU solely because its active
+    /// reserve was empty — the per-device "starvation time" fleet reports
+    /// aggregate (throttled quanta × quantum).
+    pub fn thread_throttled(&self, tid: ThreadId) -> SimDuration {
+        self.threads
+            .get(&tid)
+            .map(|t| self.sched.quantum() * self.sched.throttled_quanta(t.task))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// The thread's active reserve.
     pub fn thread_reserve(&self, tid: ThreadId) -> Option<ReserveId> {
         self.threads
@@ -559,10 +578,59 @@ impl Kernel {
             let total = self.platform.total(self.arm9.radio().extra_power());
             self.meter.set_power(t, total);
             self.now = t + quantum;
+            if ran.is_none() && self.config.idle_skip {
+                self.skip_idle_quanta(end);
+            }
         }
         self.advance_radio_metered(self.now);
         self.meter.advance(self.now);
         self.graph.flow_until(self.now);
+    }
+
+    /// Jumps `now` over quantum boundaries that provably change nothing:
+    /// no thread is Ready (Blocked threads are revived only by queued
+    /// events), the net stack has no queued work, and neither an event nor
+    /// a radio phase transition falls inside the skipped span.
+    ///
+    /// The jump lands on the first quantum boundary at or after the
+    /// earliest wake source, exactly the boundary where the ordinary loop
+    /// would first see it, so results are bit-identical to stepping every
+    /// quantum: taps and decay integrate over arbitrary spans in
+    /// `flow_until`, and the meter holds the (constant) idle power until
+    /// the next `set_power`.
+    fn skip_idle_quanta(&mut self, end: SimTime) {
+        if self.sched.has_ready() || self.net.as_ref().is_some_and(|n| !n.is_idle()) {
+            return;
+        }
+        let mut wake = end;
+        if let Some(t) = self.events.peek_time() {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.arm9.radio().next_transition() {
+            wake = wake.min(t);
+        }
+        let quantum = self.sched.quantum();
+        let gap = wake.saturating_since(self.now);
+        if gap <= quantum {
+            return;
+        }
+        let quantum_us = quantum.as_micros();
+        // ceil(gap / quantum), capped so `now` never passes a boundary the
+        // ordinary loop would not itself have reached before `end`.
+        let to_wake = gap.as_micros().div_ceil(quantum_us);
+        let to_end = end.saturating_since(self.now).div_duration(quantum);
+        self.now += quantum * to_wake.min(to_end);
+        // Every-quantum stepping runs each flow/decay tick at its own
+        // boundary, before any event that fires later. The landing
+        // iteration delivers events *before* flowing, so ticks the jump
+        // passed over must be settled here (nothing else can touch the
+        // graph inside the span — that is what made it skippable). The
+        // tick grid is a multiple of the quantum grid, so every skipped
+        // tick is ≤ the boundary before landing; a tick exactly at the
+        // landing boundary stays for the landing iteration, as in the
+        // base loop.
+        self.graph
+            .flow_until(SimTime::from_micros(self.now.as_micros() - quantum_us));
     }
 
     /// Advances radio timers up to `to`, updating the meter exactly at each
@@ -617,7 +685,18 @@ impl Kernel {
         if !due {
             return;
         }
-        self.last_net_poll = Some(t);
+        // Snap the poll clock to its own grid rather than to `t`: if the
+        // idle fast-forward jumped several ticks, the cadence stays aligned
+        // with the every-quantum run instead of acquiring a phase shift.
+        // Only valid when the tick grid is a refinement of the quantum grid
+        // (every tick lands on a schedulable boundary); otherwise keep the
+        // historical behaviour of anchoring to `t`.
+        let quantum_us = self.sched.quantum().as_micros();
+        let snappable = quantum_us > 0 && tick.as_micros() % quantum_us == 0;
+        self.last_net_poll = Some(match self.last_net_poll {
+            Some(last) if snappable => last + tick * t.since(last).div_duration(tick),
+            _ => t,
+        });
         let Some(mut stack) = self.net.take() else {
             return;
         };

@@ -115,6 +115,21 @@ pub trait NetStack {
     fn pool_reserve(&self) -> Option<ReserveId> {
         None
     }
+
+    /// Whether the stack has no queued work and its `poll` would be a
+    /// no-op. The kernel's idle fast-forward only skips quanta while the
+    /// stack is idle, so a pooling stack (netd) still gets polled every
+    /// flow tick while blocked senders wait for their taps to fill the
+    /// pool.
+    ///
+    /// The default is `false` — "never skip my polls" — so a stack that
+    /// does real work in `poll` but forgets to implement this is merely
+    /// slower under `idle_skip`, never wrong. Stacks whose `poll` is a
+    /// no-op (or that hold no queued work) should override and return
+    /// `true` to let the fast-forward engage.
+    fn is_idle(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

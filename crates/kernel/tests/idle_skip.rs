@@ -1,0 +1,228 @@
+//! Differential tests for the idle fast-forward (`KernelConfig::idle_skip`).
+//!
+//! The flag must be a pure wall-clock optimisation: every observable — the
+//! meter's integrated energy, every reserve balance, radio statistics,
+//! per-thread accounting — is bit-identical with and without it, across
+//! sleeping workloads, radio episodes, and the pooling (netd) stack whose
+//! blocked senders must keep being polled.
+
+use cinder_apps::{PeriodicPoller, PollerLog};
+use cinder_core::{Actor, GraphConfig, RateSpec, ReserveId};
+use cinder_kernel::{Ctx, FnProgram, Kernel, KernelConfig, Step};
+use cinder_label::Label;
+use cinder_net::{CoopNetd, UncoopStack};
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+
+/// Everything observable about a finished run, for exact comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    now_us: u64,
+    meter_uj: i64,
+    balances: Vec<i64>,
+    consumed: Vec<i64>,
+    radio_activations: u64,
+    radio_tx: u64,
+    radio_rx: u64,
+    thread_energy: Vec<i64>,
+    thread_throttled_us: Vec<u64>,
+}
+
+fn fingerprint(k: &Kernel) -> Fingerprint {
+    Fingerprint {
+        now_us: k.now().as_micros(),
+        meter_uj: k.meter().total_energy().as_microjoules(),
+        balances: k
+            .graph()
+            .reserves()
+            .map(|(_, r)| r.balance().as_microjoules())
+            .collect(),
+        consumed: k
+            .graph()
+            .reserves()
+            .map(|(_, r)| r.stats().consumed.as_microjoules())
+            .collect(),
+        radio_activations: k.arm9().radio().stats().activations,
+        radio_tx: k.arm9().radio().stats().tx_bytes,
+        radio_rx: k.arm9().radio().stats().rx_bytes,
+        thread_energy: k
+            .thread_ids()
+            .iter()
+            .map(|&t| k.thread_consumed(t).as_microjoules())
+            .collect(),
+        thread_throttled_us: k
+            .thread_ids()
+            .iter()
+            .map(|&t| k.thread_throttled(t).as_micros())
+            .collect(),
+    }
+}
+
+fn config(idle_skip: bool) -> KernelConfig {
+    KernelConfig {
+        seed: 11,
+        idle_skip,
+        ..KernelConfig::default()
+    }
+}
+
+fn tapped(k: &mut Kernel, name: &str, uw: u64) -> ReserveId {
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, name, Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .create_tap(
+            &root,
+            &format!("{name}-tap"),
+            battery,
+            r,
+            RateSpec::constant(Power::from_microwatts(uw)),
+            Label::default_label(),
+        )
+        .unwrap();
+    r
+}
+
+/// Sleep-heavy square wave (the shape idle skip accelerates most), with
+/// decay ON so the skipped spans also exercise the decay grid.
+#[test]
+fn square_wave_identical_with_and_without_skip() {
+    let run = |idle_skip: bool| {
+        let mut k = Kernel::new(config(idle_skip));
+        let r = tapped(&mut k, "wave", 200_000);
+        let mut computing = false;
+        k.spawn_unprivileged(
+            "wave",
+            Box::new(FnProgram(move |ctx: &mut Ctx<'_>| {
+                computing = !computing;
+                if computing {
+                    Step::compute(SimDuration::from_millis(300))
+                } else {
+                    Step::SleepUntil(ctx.now() + SimDuration::from_secs(20))
+                }
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(400));
+        fingerprint(&k)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Uncooperative pollers: radio ramps, plateaus, and sleep timeouts all
+/// land on identical boundaries under the fast-forward.
+#[test]
+fn uncoop_pollers_identical_with_and_without_skip() {
+    let run = |idle_skip: bool| {
+        let mut k = Kernel::new(config(idle_skip));
+        k.install_net(Box::new(UncoopStack::new()));
+        let log = PollerLog::shared();
+        let r_rss = tapped(&mut k, "rss", 37_500);
+        let r_mail = tapped(&mut k, "mail", 37_500);
+        k.spawn_unprivileged("rss", Box::new(PeriodicPoller::rss(log.clone())), r_rss);
+        k.spawn_unprivileged("mail", Box::new(PeriodicPoller::mail(log.clone())), r_mail);
+        k.run_until(SimTime::from_secs(600));
+        let sends = log.borrow().sends.clone();
+        (fingerprint(&k), sends)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Cooperative netd: blocked senders force per-quantum polling (the stack
+/// reports non-idle), so pooling grants land at identical instants.
+#[test]
+fn coop_netd_identical_with_and_without_skip() {
+    let run = |idle_skip: bool| {
+        let mut k = Kernel::new(config(idle_skip));
+        let netd = CoopNetd::with_defaults(k.graph_mut());
+        k.install_net(Box::new(netd));
+        let log = PollerLog::shared();
+        let r_rss = tapped(&mut k, "rss", 37_500);
+        let r_mail = tapped(&mut k, "mail", 37_500);
+        k.spawn_unprivileged("rss", Box::new(PeriodicPoller::rss(log.clone())), r_rss);
+        k.spawn_unprivileged("mail", Box::new(PeriodicPoller::mail(log.clone())), r_mail);
+        k.run_until(SimTime::from_secs(600));
+        let (sends, blocked) = {
+            let log = log.borrow();
+            (log.sends.clone(), log.blocked_first)
+        };
+        (fingerprint(&k), sends, blocked)
+    };
+    let (base, base_sends, base_blocked) = run(false);
+    let (fast, fast_sends, fast_blocked) = run(true);
+    assert_eq!(base, fast);
+    assert_eq!(base_sends, fast_sends);
+    assert_eq!(base_blocked, fast_blocked);
+    assert!(base_blocked >= 2, "scenario must exercise pooling");
+}
+
+/// A ready-but-starved thread pins the loop: its tap may refill the
+/// reserve mid-span, so the skip must not engage while it exists — and the
+/// throttled-time accounting must agree exactly.
+#[test]
+fn starved_ready_thread_blocks_skipping_correctly() {
+    let run = |idle_skip: bool| {
+        let mut k = Kernel::new(config(idle_skip));
+        // A tap so slow the thread runs one quantum every ~7 s.
+        let r = tapped(&mut k, "trickle", 200);
+        let t = k.spawn_unprivileged(
+            "trickle",
+            Box::new(FnProgram(|_: &mut Ctx<'_>| {
+                Step::compute(SimDuration::from_millis(10))
+            })),
+            r,
+        );
+        k.run_until(SimTime::from_secs(120));
+        (fingerprint(&k), k.thread_throttled(t))
+    };
+    let (base, base_throttled) = run(false);
+    let (fast, fast_throttled) = run(true);
+    assert_eq!(base, fast);
+    assert_eq!(base_throttled, fast_throttled);
+    assert!(
+        base_throttled > SimDuration::from_secs(60),
+        "scenario must exercise starvation ({base_throttled:?})"
+    );
+}
+
+/// Sanity: with everything exited, the skip sprints to the horizon and the
+/// meter still integrates the idle floor exactly.
+#[test]
+fn idle_tail_meters_exactly() {
+    let mut k = Kernel::new(KernelConfig {
+        idle_skip: true,
+        graph: GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+        ..KernelConfig::default()
+    });
+    let root = Actor::kernel();
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&root, "brief", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&root, battery, r, Energy::from_joules(1))
+        .unwrap();
+    let mut done = false;
+    k.spawn_unprivileged(
+        "brief",
+        Box::new(FnProgram(move |_: &mut Ctx<'_>| {
+            if done {
+                Step::Exit
+            } else {
+                done = true;
+                Step::compute(SimDuration::from_millis(10))
+            }
+        })),
+        r,
+    );
+    k.run_until(SimTime::from_secs(1_000));
+    // 699 mW idle floor for 1000 s + one busy quantum of 137 mW.
+    let expected = 699_000 * 1_000 + 137_000 / 100;
+    assert_eq!(k.meter().total_energy().as_microjoules(), expected);
+}

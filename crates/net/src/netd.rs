@@ -210,6 +210,13 @@ impl NetStack for CoopNetd {
     fn pool_reserve(&self) -> Option<ReserveId> {
         Some(self.pool)
     }
+
+    fn is_idle(&self) -> bool {
+        // Waiting senders accumulate pool energy at every poll, and granted
+        // backlog threads are woken by the next poll; the kernel must not
+        // fast-forward past either.
+        self.waiting.is_empty() && self.granted_backlog.is_empty()
+    }
 }
 
 #[cfg(test)]

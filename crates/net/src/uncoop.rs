@@ -37,6 +37,12 @@ impl NetStack for UncoopStack {
     fn poll(&mut self, _env: &mut NetEnv<'_>) -> Vec<ThreadId> {
         Vec::new()
     }
+
+    fn is_idle(&self) -> bool {
+        // Never queues, never blocks: polling is a no-op, so the kernel's
+        // idle fast-forward may skip it freely.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -42,5 +42,5 @@ pub use event::EventQueue;
 pub use meter::PowerMeter;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Series, TraceSet};
+pub use trace::{json_string, percentile_of, Series, Summary, TraceSet};
 pub use units::{Energy, Power};

@@ -82,6 +82,32 @@ impl SimRng {
         lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
+    /// Derives an independent child generator for stream `stream_id`.
+    ///
+    /// Fleet simulations give every device its own stream derived from one
+    /// fleet seed: `SimRng::seed_from_u64(fleet_seed).split(device_id)`.
+    /// The child is a pure function of the parent's *current* state and the
+    /// stream id (the parent is not advanced), so distinct ids yield
+    /// decorrelated, reproducible streams and a device's stream does not
+    /// depend on how many siblings were created before it.
+    pub fn split(&self, stream_id: u64) -> SimRng {
+        // Hash the parent state down to one word, then run two SplitMix64
+        // rounds over (state-hash, stream_id). SplitMix64 is a bijection on
+        // u64, so distinct stream ids can never collapse to the same child
+        // seed for a given parent.
+        let mut z = self.state[0]
+            ^ self.state[1].rotate_left(17)
+            ^ self.state[2].rotate_left(31)
+            ^ self.state[3].rotate_left(47);
+        for salt in [0xa076_1d64_78bd_642f_u64, stream_id] {
+            z = z.wrapping_add(salt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+        }
+        SimRng::seed_from_u64(z)
+    }
+
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.unit() < p.clamp(0.0, 1.0)
@@ -165,6 +191,50 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.normal(9.5, 0.7)).sum();
         let mean = sum / n as f64;
         assert!((mean - 9.5).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn split_streams_are_deterministic() {
+        let parent_a = SimRng::seed_from_u64(99);
+        let parent_b = SimRng::seed_from_u64(99);
+        let mut child_a = parent_a.split(7);
+        let mut child_b = parent_b.split(7);
+        for _ in 0..100 {
+            assert_eq!(child_a.unit().to_bits(), child_b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_does_not_advance_parent() {
+        let mut with_split = SimRng::seed_from_u64(5);
+        let mut without = SimRng::seed_from_u64(5);
+        let _ = with_split.split(3);
+        for _ in 0..16 {
+            assert_eq!(with_split.unit().to_bits(), without.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_streams_do_not_overlap_on_first_outputs() {
+        // The fleet acceptance shape: thousands of device streams from one
+        // seed, none of whose opening draws coincide.
+        let parent = SimRng::seed_from_u64(2026);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..4096u64 {
+            let mut child = parent.split(id);
+            let first = (child.next_u64(), child.next_u64());
+            assert!(seen.insert(first), "stream {id} repeats {first:?}");
+        }
+    }
+
+    #[test]
+    fn split_differs_from_parent_stream() {
+        let parent = SimRng::seed_from_u64(40);
+        let mut child = parent.split(0);
+        let mut parent = parent;
+        let pv: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let cv: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(pv, cv);
     }
 
     #[test]

@@ -77,6 +77,28 @@ impl Series {
         self.points.iter().map(|&(_, v)| v).reduce(f64::min)
     }
 
+    /// The value at percentile `p` (in `[0, 100]`) of the *sampled values*,
+    /// ignoring time weighting, or `None` if the series is empty.
+    ///
+    /// Uses linear interpolation between order statistics (the common
+    /// "exclusive of neither endpoint" definition): `percentile(0)` is the
+    /// minimum, `percentile(100)` the maximum, `percentile(50)` the median.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a finite value in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        percentile_of(&values, p)
+    }
+
+    /// A [`Summary`] of the sampled values, or `None` if the series is
+    /// empty.
+    pub fn summary(&self) -> Option<Summary> {
+        let values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        Summary::from_values(&values)
+    }
+
     /// The time-weighted mean value over the sampled span (step
     /// interpolation), or `None` with fewer than two samples.
     pub fn time_weighted_mean(&self) -> Option<f64> {
@@ -101,6 +123,103 @@ impl Series {
         }
         out
     }
+}
+
+/// The value at percentile `p` (in `[0, 100]`) of `values`, with linear
+/// interpolation between order statistics; `None` on an empty slice.
+///
+/// This is the primitive behind [`Series::percentile`] and
+/// [`Summary::from_values`]; fleet aggregation calls it directly on
+/// per-device scalars.
+///
+/// # Panics
+///
+/// Panics if `p` is not a finite value in `[0, 100]`.
+pub fn percentile_of(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// [`percentile_of`] over an already-sorted, non-empty slice — the single
+/// home of the interpolation formula, shared by [`Series::percentile`] and
+/// [`Summary::from_values`].
+///
+/// # Panics
+///
+/// Panics if `p` is not a finite value in `[0, 100]` or `sorted` is empty.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(
+        p.is_finite() && (0.0..=100.0).contains(&p),
+        "percentile out of range: {p}"
+    );
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Distribution summary of a set of sampled values: the shape fleet reports
+/// quote for battery lifetime and tail power (p50/p90/p99).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarises `values`; `None` on an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Summary {
+            min: sorted[0],
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+}
+
+/// Quotes `s` as a JSON string literal (`"` and `\` escaped, control
+/// characters escaped numerically). The single escaping routine behind
+/// every hand-rolled JSON emitter in the workspace — the benchmark
+/// harness's summary files and the fleet aggregate report.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A collection of related series (one experiment's output), keyed by name.
@@ -198,6 +317,70 @@ mod tests {
         assert_eq!(s.time_weighted_mean(), None);
         s.push(SimTime::ZERO, 1.0);
         assert_eq!(s.time_weighted_mean(), None);
+    }
+
+    #[test]
+    fn percentile_on_known_distribution() {
+        // Values 0, 1, …, 100 → percentile(p) is exactly p.
+        let mut s = Series::new("ramp", "u");
+        for i in 0..=100u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Some(p));
+        }
+        // Interpolation between order statistics: two samples 0 and 10.
+        let mut two = Series::new("two", "u");
+        two.push(SimTime::ZERO, 0.0);
+        two.push(SimTime::from_secs(1), 10.0);
+        assert_eq!(two.percentile(50.0), Some(5.0));
+        assert_eq!(two.percentile(90.0), Some(9.0));
+    }
+
+    #[test]
+    fn percentile_empty_and_singleton() {
+        let empty = Series::new("e", "u");
+        assert_eq!(empty.percentile(50.0), None);
+        assert_eq!(empty.summary(), None);
+        let mut one = Series::new("o", "u");
+        one.push(SimTime::ZERO, 7.0);
+        assert_eq!(one.percentile(0.0), Some(7.0));
+        assert_eq!(one.percentile(100.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile_of(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_matches_known_distribution() {
+        let values: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::from_values(&values).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.0);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("quo\"te"), "\"quo\\\"te\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\u000abreak\"");
+    }
+
+    #[test]
+    fn summary_ignores_input_order() {
+        let a = Summary::from_values(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Summary::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2.0);
+        assert_eq!(a.mean, 2.0);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Fleet smoke run: a 200-device mixed-workload population for one
+//! simulated hour, sharded across workers, with the aggregate report
+//! printed and the determinism contract spot-checked.
+//!
+//! ```text
+//! cargo run --release --example fleet_smoke
+//! ```
+
+use cinder::fleet::{run_fleet, run_fleet_with, Scenario};
+use cinder::sim::SimDuration;
+
+fn main() {
+    let scenario = Scenario {
+        horizon: SimDuration::from_secs(3_600),
+        ..Scenario::mixed("fleet-smoke", 42, 200)
+    };
+    println!(
+        "fleet: {} devices, {:.0} s horizon, seed {}",
+        scenario.devices,
+        scenario.horizon.as_secs_f64(),
+        scenario.seed
+    );
+
+    let start = std::time::Instant::now();
+    let report = run_fleet(&scenario);
+    let wall = start.elapsed().as_secs_f64();
+
+    // The contract the property tests enforce, spot-checked live: a
+    // different worker count produces the identical report.
+    let single = run_fleet_with(&scenario, 1);
+    assert_eq!(
+        report.to_json(),
+        single.to_json(),
+        "aggregate report must not depend on the worker count"
+    );
+
+    print!("{}", report.to_json());
+    let summary = report.summary();
+    let lifetime = summary.lifetime_h.expect("non-empty fleet");
+    println!("lifetime histogram (hours):");
+    for (lo, count) in report.lifetime_histogram(8) {
+        println!("  {:>6.2} h | {}", lo, "#".repeat(count.min(60)));
+    }
+    println!(
+        "{} simulated device-hours in {wall:.2} s wall ({:.0}x real time); \
+         p50 lifetime {:.2} h, p99 {:.2} h",
+        scenario.devices,
+        scenario.devices as f64 * scenario.horizon.as_secs_f64() / wall,
+        lifetime.p50,
+        lifetime.p99,
+    );
+
+    // CSV artefacts land next to the experiment outputs.
+    let dir = std::path::PathBuf::from("target/experiments");
+    match report.write_csv_dir(&dir) {
+        Ok(()) => println!("(per-device CSVs written to {})", dir.display()),
+        Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+    }
+}

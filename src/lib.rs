@@ -17,12 +17,15 @@
 //! * [`apps`] — the applications of the paper's §5: `energywrap`, spinners,
 //!   the browser and plugin, the image viewer, the task manager, and the
 //!   mail/RSS pollers.
+//! * [`fleet`] — population-scale studies: deterministic multi-device
+//!   fleet simulation with sharded execution and aggregate telemetry.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
 
 pub use cinder_apps as apps;
 pub use cinder_core as core;
+pub use cinder_fleet as fleet;
 pub use cinder_hw as hw;
 pub use cinder_kernel as kernel;
 pub use cinder_label as label;
