@@ -19,8 +19,9 @@ use cinder_sim::{Power, SimDuration, SimTime};
 pub struct PollerLog {
     /// Times at which a poll's send was accepted by the stack.
     pub sends: Vec<SimTime>,
-    /// Total bytes (tx + rx) of each send, parallel to `sends` — fleet
-    /// data-plan accounting replays these against a §9 byte-quota graph.
+    /// Total bytes (tx + rx) of each send, parallel to `sends`. (§9
+    /// data-plan accounting happens online in the kernel; this log is
+    /// workload telemetry for experiments and reports.)
     pub send_bytes: Vec<u64>,
     /// Polls that had to block for pooled energy first.
     pub blocked_first: u64,

@@ -18,12 +18,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use cinder_core::{Actor, GraphConfig, RateSpec, ResourceGraph};
+use cinder_core::{Actor, GraphConfig, Quantity, RateSpec, ResourceGraph, ResourceKind};
 use cinder_label::Label;
 use cinder_sim::{Energy, Power, SimTime};
 
 const RESERVES: usize = 100;
 const TAPS: usize = 200;
+const BYTE_RESERVES: usize = 50;
+const BYTE_TAPS: usize = 100;
 const SIM_SPAN: SimTime = SimTime::from_secs(3_600);
 
 /// The hot-path scenario: a battery fanning out through constant taps (the
@@ -52,6 +54,43 @@ fn const_graph() -> ResourceGraph {
             battery,
             reserves[i % RESERVES],
             RateSpec::constant(Power::from_milliwatts(1 + (i as u64 % 100))),
+            Label::default_label(),
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// The multi-kind variant: the const scenario plus a `NetworkBytes` root
+/// pool fanning out through constant byte taps — one engine pass flows both
+/// kinds per tick, and the whole graph stays fast-forward eligible (every
+/// tap constant-rate). The multi-kind engine must not regress the
+/// all-Energy closed-form factor.
+fn multi_kind_graph() -> ResourceGraph {
+    let mut g = const_graph();
+    let k = Actor::kernel();
+    let pool = g
+        .create_root(&k, "byte-pool", Quantity::network_bytes(100_000_000_000))
+        .unwrap();
+    let mut byte_reserves = Vec::with_capacity(BYTE_RESERVES);
+    for i in 0..BYTE_RESERVES {
+        byte_reserves.push(
+            g.create_reserve_kind(
+                &k,
+                &format!("b{i}"),
+                Label::default_label(),
+                ResourceKind::NetworkBytes,
+            )
+            .unwrap(),
+        );
+    }
+    for i in 0..BYTE_TAPS {
+        g.create_tap(
+            &k,
+            &format!("bt{i}"),
+            pool,
+            byte_reserves[i % BYTE_RESERVES],
+            RateSpec::constant(Power::from_microwatts(1_000 + 97 * i as u64)),
             Label::default_label(),
         )
         .unwrap();
@@ -112,6 +151,18 @@ fn bench_flow_hot_path(c: &mut Criterion) {
             g
         })
     });
+    group.bench_function("engine_multi_kind", |b| {
+        b.iter_with_setup(multi_kind_graph, |mut g| {
+            g.flow_until(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("reference_multi_kind", |b| {
+        b.iter_with_setup(multi_kind_graph, |mut g| {
+            g.flow_until_reference(black_box(SIM_SPAN));
+            g
+        })
+    });
     group.finish();
 }
 
@@ -154,15 +205,28 @@ fn speedup_report(_c: &mut Criterion) {
     );
     let mixed_speedup = reference_mixed_ms / engine_mixed_ms;
 
+    let (engine_mk_ms, engine_mk_state) = time_runs(multi_kind_graph, true, 20);
+    let (reference_mk_ms, reference_mk_state) = time_runs(multi_kind_graph, false, 5);
+    assert_eq!(
+        engine_mk_state, reference_mk_state,
+        "engine and reference diverged on the multi-kind scenario"
+    );
+    let multi_kind_speedup = reference_mk_ms / engine_mk_ms;
+
     println!("flow_hot_path speedup (const, fast-forward): {speedup:.1}x  (reference {reference_ms:.2} ms -> engine {engine_ms:.4} ms)");
     println!("flow_hot_path speedup (mixed, per-tick):     {mixed_speedup:.1}x  (reference {reference_mixed_ms:.2} ms -> engine {engine_mixed_ms:.2} ms)");
+    println!("flow_hot_path speedup (multi-kind, ff):      {multi_kind_speedup:.1}x  (reference {reference_mk_ms:.2} ms -> engine {engine_mk_ms:.4} ms)");
     assert!(
         speedup >= 5.0,
         "acceptance criterion: >=5x on the const scenario, got {speedup:.1}x"
     );
+    assert!(
+        multi_kind_speedup >= 5.0,
+        "the multi-kind engine must not regress the all-Energy fast-forward factor: got {multi_kind_speedup:.1}x"
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"flow_hot_path\",\n  \"scenario\": {{ \"reserves\": {RESERVES}, \"taps\": {TAPS}, \"sim_seconds\": 3600, \"flow_tick_ms\": 100 }},\n  \"const_all_fast_forward\": {{ \"reference_ms\": {reference_ms:.3}, \"engine_ms\": {engine_ms:.4}, \"speedup\": {speedup:.1} }},\n  \"mixed_20pct_proportional\": {{ \"reference_ms\": {reference_mixed_ms:.3}, \"engine_ms\": {engine_mixed_ms:.3}, \"speedup\": {mixed_speedup:.2} }}\n}}\n"
+        "{{\n  \"bench\": \"flow_hot_path\",\n  \"scenario\": {{ \"reserves\": {RESERVES}, \"taps\": {TAPS}, \"sim_seconds\": 3600, \"flow_tick_ms\": 100 }},\n  \"multi_kind_scenario\": {{ \"byte_reserves\": {BYTE_RESERVES}, \"byte_taps\": {BYTE_TAPS} }},\n  \"const_all_fast_forward\": {{ \"reference_ms\": {reference_ms:.3}, \"engine_ms\": {engine_ms:.4}, \"speedup\": {speedup:.1} }},\n  \"mixed_20pct_proportional\": {{ \"reference_ms\": {reference_mixed_ms:.3}, \"engine_ms\": {engine_mixed_ms:.3}, \"speedup\": {mixed_speedup:.2} }},\n  \"multi_kind_all_fast_forward\": {{ \"reference_ms\": {reference_mk_ms:.3}, \"engine_ms\": {engine_mk_ms:.4}, \"speedup\": {multi_kind_speedup:.1} }}\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -35,6 +35,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig12b",
         "fig13",
         "fig14",
+        "fig-quota",
         "table1",
         "ablation-ipc",
         "ablation-taps",
@@ -60,6 +61,7 @@ pub fn run_experiment(id: &str) -> ExperimentOutput {
         "fig12b" => experiments::fig12::run_b(),
         "fig13" => experiments::fig13::run(),
         "fig14" => experiments::fig14::run(),
+        "fig-quota" => experiments::fig_quota::run(),
         "table1" => experiments::table1::run(),
         "ablation-ipc" => experiments::ablation_ipc::run(),
         "ablation-taps" => experiments::ablation_taps::run(),

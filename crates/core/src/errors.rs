@@ -4,6 +4,8 @@ use std::fmt;
 
 use cinder_sim::Energy;
 
+use crate::kind::ResourceKind;
+
 /// Why a resource-graph operation was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
@@ -33,6 +35,28 @@ pub enum GraphError {
     StrictModeViolation,
     /// The battery (root reserve) cannot be deleted or decay-taxed.
     RootReserve,
+    /// An operation tried to mix resource kinds: a tap or transfer across
+    /// kinds, or a kind-tagged quantity/rate applied to a reserve of a
+    /// different kind.
+    KindMismatch {
+        /// Which operation was attempted (static description).
+        op: &'static str,
+        /// The kind the operation required (e.g. the source reserve's).
+        expected: ResourceKind,
+        /// The kind actually supplied.
+        found: ResourceKind,
+    },
+    /// The graph already has a root reserve for this kind.
+    DuplicateRoot {
+        /// The kind whose root already exists.
+        kind: ResourceKind,
+    },
+    /// No root reserve exists for this kind; create one with
+    /// `ResourceGraph::create_root` before creating reserves of the kind.
+    NoRootForKind {
+        /// The kind lacking a root.
+        kind: ResourceKind,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -53,6 +77,20 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::RootReserve => write!(f, "operation not permitted on the root reserve"),
+            GraphError::KindMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "kind mismatch in {op}: expected {expected}, found {found}"
+            ),
+            GraphError::DuplicateRoot { kind } => {
+                write!(f, "a root reserve for {kind} already exists")
+            }
+            GraphError::NoRootForKind { kind } => {
+                write!(f, "no root reserve exists for {kind}")
+            }
         }
     }
 }
@@ -76,6 +114,22 @@ mod tests {
         assert_eq!(
             GraphError::PermissionDenied { op: "transfer" }.to_string(),
             "permission denied: transfer"
+        );
+        assert_eq!(
+            GraphError::KindMismatch {
+                op: "create_tap",
+                expected: ResourceKind::Energy,
+                found: ResourceKind::NetworkBytes,
+            }
+            .to_string(),
+            "kind mismatch in create_tap: expected Energy, found NetworkBytes"
+        );
+        assert_eq!(
+            GraphError::NoRootForKind {
+                kind: ResourceKind::SmsMessages
+            }
+            .to_string(),
+            "no root reserve exists for SmsMessages"
         );
     }
 }

@@ -341,15 +341,22 @@ impl FlowEngine {
 }
 
 /// One tick of the global anti-hoarding decay: every non-exempt positive
-/// reserve (battery excluded) leaks `ppm` of its level back to the battery.
-/// Shared by the engine tick and the naive reference model.
+/// **energy** reserve (battery excluded) leaks `ppm` of its level back to
+/// the battery. Quota kinds never decay (§9: a data plan does not evaporate
+/// for being unspent), which also keeps per-kind conservation exact — bytes
+/// must not leak into the joule pool. Shared by the engine tick and the
+/// naive reference model.
 pub(crate) fn decay_tick(reserves: &mut Arena<Reserve>, battery: RawId, ppm: u64) {
     if ppm == 0 {
         return;
     }
     let mut reclaimed = Energy::ZERO;
     for (rid, r) in reserves.iter_mut() {
-        if rid == battery || r.is_decay_exempt() || !r.balance().is_positive() {
+        if rid == battery
+            || r.kind() != crate::kind::ResourceKind::Energy
+            || r.is_decay_exempt()
+            || !r.balance().is_positive()
+        {
             continue;
         }
         let leak = r.balance().scale_ppm(ppm);
@@ -378,14 +385,22 @@ mod differential {
     use proptest::prelude::*;
 
     use crate::graph::{Actor, GraphConfig, ResourceGraph};
+    use crate::kind::{Quantity, ResourceKind};
     use crate::reserve::ReserveStats;
     use crate::tap::RateSpec;
     use crate::{ReserveId, TapId};
 
     /// A randomised graph mutation (applied identically to both graphs).
+    ///
+    /// The id pool mixes Energy and NetworkBytes reserves (see
+    /// `run_differential`), so tap/transfer ops randomly cross kinds —
+    /// those fail identically in both implementations, while same-kind ops
+    /// flow bytes and joules through the same engine pass.
     #[derive(Debug, Clone)]
     enum Op {
         CreateReserve,
+        /// A `NetworkBytes` reserve: multi-kind graphs flow in one pass.
+        CreateByteReserve,
         CreateConstTap {
             src: usize,
             dst: usize,
@@ -431,6 +446,7 @@ mod differential {
     fn arb_op() -> impl Strategy<Value = Op> {
         prop_oneof![
             Just(Op::CreateReserve),
+            Just(Op::CreateByteReserve),
             (0usize..8, 0usize..8, 0u64..2_000)
                 .prop_map(|(src, dst, mw)| { Op::CreateConstTap { src, dst, mw } }),
             (0usize..8, 0usize..8, 0u64..1_000_000)
@@ -462,6 +478,17 @@ mod differential {
                 let id = g
                     .create_reserve(&k, "r", Label::default_label())
                     .expect("kernel create cannot fail");
+                ids.push(id);
+            }
+            Op::CreateByteReserve => {
+                let id = g
+                    .create_reserve_kind(
+                        &k,
+                        "b",
+                        Label::default_label(),
+                        ResourceKind::NetworkBytes,
+                    )
+                    .expect("byte root exists");
                 ids.push(id);
             }
             Op::CreateConstTap { src, dst, mw } => {
@@ -548,22 +575,26 @@ mod differential {
         g.taps().nth(n % count).map(|(id, _)| id)
     }
 
-    /// Every observable byte of graph state, for exact comparison.
+    /// Every observable byte of graph state, for exact comparison. The
+    /// totals element carries one entry per [`ResourceKind`] plus the
+    /// global sum.
     type StateDump = (
         SimTime,
         Vec<(ReserveId, Energy, ReserveStats)>,
         Vec<(TapId, RateSpec, u64)>,
-        crate::graph::GraphTotals,
+        Vec<crate::graph::GraphTotals>,
     );
 
     fn dump(g: &ResourceGraph) -> StateDump {
+        let mut totals: Vec<_> = ResourceKind::ALL.iter().map(|&k| g.totals_for(k)).collect();
+        totals.push(g.totals());
         (
             g.now(),
             g.reserves()
                 .map(|(id, r)| (id, r.balance(), r.stats()))
                 .collect(),
             g.taps().map(|(id, t)| (id, t.rate(), t.seq())).collect(),
-            g.totals(),
+            totals,
         )
     }
 
@@ -573,18 +604,45 @@ mod differential {
         let mut reference_g = ResourceGraph::with_config(initial, config);
         let mut engine_ids = vec![engine_g.battery()];
         let mut reference_ids = vec![reference_g.battery()];
+        // Seed the byte side of the graph so random taps/transfers mix
+        // kinds: a NetworkBytes root plus one quota reserve in the pool.
+        let k = Actor::kernel();
+        for (g, ids) in [
+            (&mut engine_g, &mut engine_ids),
+            (&mut reference_g, &mut reference_ids),
+        ] {
+            let pool = g
+                .create_root(&k, "byte-pool", Quantity::network_bytes(50_000_000))
+                .expect("fresh graph has no byte root");
+            ids.push(pool);
+            ids.push(
+                g.create_reserve_kind(
+                    &k,
+                    "plan",
+                    Label::default_label(),
+                    ResourceKind::NetworkBytes,
+                )
+                .expect("byte root just created"),
+            );
+        }
         let (mut now_a, mut now_b) = (SimTime::ZERO, SimTime::ZERO);
         for op in &ops {
             apply(&mut engine_g, &mut engine_ids, &mut now_a, op, true);
             apply(&mut reference_g, &mut reference_ids, &mut now_b, op, false);
             let (a, b) = (dump(&engine_g), dump(&reference_g));
             prop_assert_eq!(&a, &b, "divergence after {:?}", op);
-            prop_assert!(
-                a.3.conserved(),
-                "conservation violated after {:?}: {:?}",
-                op,
-                a.3
-            );
+            for (kind_totals, kind) in
+                a.3.iter()
+                    .zip(ResourceKind::ALL.iter().map(Some).chain([None]))
+            {
+                prop_assert!(
+                    kind_totals.conserved(),
+                    "conservation violated for {:?} after {:?}: {:?}",
+                    kind,
+                    op,
+                    kind_totals
+                );
+            }
         }
         // Drain one more long all-paths flow at the end.
         now_a += SimDuration::from_secs(3_600);

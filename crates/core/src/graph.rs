@@ -7,6 +7,17 @@
 //! paper's implementation note that tap transfers "are executed in batch
 //! periodically to minimize scheduling and context-switch overheads".
 //!
+//! # Typed resource kinds
+//!
+//! Every reserve declares a [`ResourceKind`] — energy, network bytes, or
+//! SMS messages (the paper's §9 generalisation). Each kind is rooted at its
+//! own pool reserve (the battery for energy, created via
+//! [`ResourceGraph::create_root`] for quotas), and taps and transfers may
+//! only connect reserves of the same kind; cross-kind attempts fail with
+//! the typed [`GraphError::KindMismatch`]. The [`Quantity`]/[`Rate`]
+//! newtypes tag raw grain amounts with their kind at the API boundary
+//! ([`ResourceGraph::level_typed`] and friends).
+//!
 //! # Determinism and conservation
 //!
 //! Within a tick every tap computes its desired transfer from a
@@ -15,16 +26,18 @@
 //! balance (earlier-created taps win when a source is oversubscribed; the
 //! paper leaves this unspecified). Creation order is tracked explicitly
 //! ([`Tap::seq`]), so the guarantee survives arena-slot reuse. All
-//! arithmetic is exact integer µJ, so
+//! arithmetic is exact integer grains, so **per resource kind**
 //!
 //! > total injected == Σ balances + total consumed
 //!
-//! holds *exactly* at every instant, and is asserted by property tests.
+//! holds *exactly* at every instant ([`ResourceGraph::totals_for`]), and is
+//! asserted by property tests. The global sum over kinds
+//! ([`ResourceGraph::totals`]) conserves as a corollary.
 //!
 //! # Execution: the `FlowEngine`
 //!
-//! Ticks are executed by the [`crate::flow::FlowEngine`] embedded in the
-//! graph. It maintains a per-source adjacency index (tap lists keyed by
+//! Ticks are executed by the `FlowEngine` (see [`crate::flow`]) embedded in
+//! the graph. It maintains a per-source adjacency index (tap lists keyed by
 //! source reserve, in creation order) that `create_tap`, `delete_tap`,
 //! `set_tap_rate`, and `delete_reserve` keep up to date; per-tick work then
 //! needs no allocation (a reusable epoch-stamped snapshot buffer covers the
@@ -44,6 +57,7 @@ use crate::arena::{Arena, RawId};
 use crate::decay::DecayConfig;
 use crate::errors::GraphError;
 use crate::flow::FlowEngine;
+use crate::kind::{Quantity, Rate, ResourceKind};
 use crate::reserve::Reserve;
 use crate::tap::{RateSpec, Tap};
 
@@ -153,14 +167,15 @@ impl Default for GraphConfig {
     }
 }
 
-/// A snapshot of graph-wide totals, for conservation checks and experiment
-/// reporting.
+/// A snapshot of conservation totals, for invariant checks and experiment
+/// reporting. Produced per resource kind by [`ResourceGraph::totals_for`]
+/// and summed over all kinds by [`ResourceGraph::totals`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphTotals {
-    /// Total ever injected (initial battery + recharges).
+    /// Total ever injected (initial roots + recharges).
     pub injected: Energy,
-    /// Sum of all current reserve balances (including the battery and any
-    /// debt, which is negative).
+    /// Sum of all current reserve balances (including roots and any debt,
+    /// which is negative).
     pub balances: Energy,
     /// Total consumed through [`ResourceGraph::consume`] and friends.
     pub consumed: Energy,
@@ -178,11 +193,13 @@ pub struct ResourceGraph {
     reserves: Arena<Reserve>,
     taps: Arena<Tap>,
     battery: ReserveId,
+    /// Per-kind root reserves; `roots[Energy] == Some(battery)` always.
+    roots: [Option<ReserveId>; ResourceKind::COUNT],
     config: GraphConfig,
     decay_ppm_per_tick: u64,
     now: SimTime,
-    total_injected: Energy,
-    total_consumed: Energy,
+    total_injected: [Energy; ResourceKind::COUNT],
+    total_consumed: [Energy; ResourceKind::COUNT],
     /// Indexed batch-flow executor; its adjacency index is maintained by
     /// every tap/reserve mutator below.
     flow: FlowEngine,
@@ -206,7 +223,12 @@ impl ResourceGraph {
         assert!(!initial.is_negative(), "battery cannot start in debt");
         assert!(!config.flow_tick.is_zero(), "flow tick must be positive");
         let mut reserves = Arena::new();
-        let mut battery = Reserve::new("battery", Label::default_label(), SimTime::ZERO);
+        let mut battery = Reserve::new(
+            "battery",
+            Label::default_label(),
+            ResourceKind::Energy,
+            SimTime::ZERO,
+        );
         battery.set_decay_exempt(true);
         battery.credit(initial);
         let battery_id = ReserveId(reserves.insert(battery));
@@ -214,24 +236,68 @@ impl ResourceGraph {
             .decay
             .map(|d| d.leak_ppm_per_tick(config.flow_tick))
             .unwrap_or(0);
+        let mut roots = [None; ResourceKind::COUNT];
+        roots[ResourceKind::Energy.index()] = Some(battery_id);
+        let mut total_injected = [Energy::ZERO; ResourceKind::COUNT];
+        total_injected[ResourceKind::Energy.index()] = initial;
         ResourceGraph {
             reserves,
             taps: Arena::new(),
             battery: battery_id,
+            roots,
             config,
             decay_ppm_per_tick,
             now: SimTime::ZERO,
-            total_injected: initial,
-            total_consumed: Energy::ZERO,
+            total_injected,
+            total_consumed: [Energy::ZERO; ResourceKind::COUNT],
             flow: FlowEngine::new(),
             next_tap_seq: 0,
         }
     }
 
     /// The root reserve representing the battery (paper §3.4: "The root of
-    /// the graph is a reserve representing the system battery").
+    /// the graph is a reserve representing the system battery") — the
+    /// [`ResourceKind::Energy`] root.
     pub fn battery(&self) -> ReserveId {
         self.battery
+    }
+
+    /// The root reserve of a kind, if one exists. The energy root (the
+    /// battery) always does; quota roots are created with
+    /// [`ResourceGraph::create_root`].
+    pub fn root(&self, kind: ResourceKind) -> Option<ReserveId> {
+        self.roots[kind.index()]
+    }
+
+    /// Creates the root pool for a non-energy kind — §9's "replacing the
+    /// logical battery with a pool of network bytes". Kernel-only, like
+    /// [`ResourceGraph::inject`]: roots mint resources.
+    ///
+    /// The root is decay-exempt (quotas do not decay), cannot be deleted,
+    /// and its initial balance counts toward the kind's injected total.
+    pub fn create_root(
+        &mut self,
+        actor: &Actor,
+        name: &str,
+        initial: Quantity,
+    ) -> Result<ReserveId, GraphError> {
+        if !actor.is_kernel {
+            return Err(GraphError::PermissionDenied { op: "create_root" });
+        }
+        if initial.raw().is_negative() {
+            return Err(GraphError::InvalidAmount);
+        }
+        let kind = initial.kind();
+        if self.roots[kind.index()].is_some() {
+            return Err(GraphError::DuplicateRoot { kind });
+        }
+        let mut root = Reserve::new(name, Label::default_label(), kind, self.now);
+        root.set_decay_exempt(true);
+        root.credit(initial.raw());
+        let id = ReserveId(self.reserves.insert(root));
+        self.roots[kind.index()] = Some(id);
+        self.total_injected[kind.index()] += initial.raw();
+        Ok(id)
     }
 
     /// The time up to which flows have been processed.
@@ -277,42 +343,57 @@ impl ResourceGraph {
 
     // ----- creation / deletion ------------------------------------------
 
-    /// Creates an empty reserve protected by `label`.
-    ///
-    /// Requires that the actor could write an object at `label` (otherwise a
-    /// thread could mint objects it may not touch).
+    /// Creates an empty [`ResourceKind::Energy`] reserve protected by
+    /// `label` (the single-resource constructor the paper's API has; see
+    /// [`ResourceGraph::create_reserve_kind`] for quota kinds).
     pub fn create_reserve(
         &mut self,
         actor: &Actor,
         name: &str,
         label: Label,
     ) -> Result<ReserveId, GraphError> {
+        self.create_reserve_kind(actor, name, label, ResourceKind::Energy)
+    }
+
+    /// Creates an empty reserve of the given kind protected by `label`.
+    ///
+    /// Requires that the actor could write an object at `label` (otherwise a
+    /// thread could mint objects it may not touch), and that the kind's root
+    /// pool exists (deleting the reserve settles its balance there).
+    pub fn create_reserve_kind(
+        &mut self,
+        actor: &Actor,
+        name: &str,
+        label: Label,
+        kind: ResourceKind,
+    ) -> Result<ReserveId, GraphError> {
         if !actor.can_modify(&label) {
             return Err(GraphError::PermissionDenied {
                 op: "create_reserve",
             });
         }
+        if self.roots[kind.index()].is_none() {
+            return Err(GraphError::NoRootForKind { kind });
+        }
         Ok(ReserveId(
-            self.reserves.insert(Reserve::new(name, label, self.now)),
+            self.reserves
+                .insert(Reserve::new(name, label, kind, self.now)),
         ))
     }
 
-    /// Deletes a reserve. Its remaining balance is returned to the battery;
-    /// outstanding debt is settled *from* the battery. All taps touching the
-    /// reserve are garbage-collected (paper §5.2: deleting taps revokes
-    /// power sources).
+    /// Deletes a reserve. Its remaining balance is returned to the root of
+    /// its kind (the battery for energy); outstanding debt is settled *from*
+    /// that root. All taps touching the reserve are garbage-collected
+    /// (paper §5.2: deleting taps revokes power sources).
     ///
     /// Returns the (possibly negative) balance that was settled.
     pub fn delete_reserve(&mut self, actor: &Actor, id: ReserveId) -> Result<Energy, GraphError> {
-        if id == self.battery {
+        if self.roots.contains(&Some(id)) {
             return Err(GraphError::RootReserve);
         }
-        let label = self
-            .reserves
-            .get(id.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .label()
-            .clone();
+        let reserve = self.reserves.get(id.0).ok_or(GraphError::ReserveNotFound)?;
+        let label = reserve.label().clone();
+        let kind = reserve.kind();
         if !actor.can_modify(&label) {
             return Err(GraphError::PermissionDenied {
                 op: "delete_reserve",
@@ -331,14 +412,15 @@ impl ResourceGraph {
         }
         let reserve = self.reserves.remove(id.0).expect("checked above");
         let balance = reserve.balance();
-        let battery = self.reserve_mut(self.battery);
+        let root = self.roots[kind.index()].expect("reserves require a root for their kind");
+        let root = self.reserve_mut(root);
         if balance.is_negative() {
-            // Debt settlement: the consumed energy was already counted when
-            // the debt was incurred; the battery pays the outstanding amount
-            // so the balance sum stays conserved.
-            battery.debit_outflow(-balance);
+            // Debt settlement: the consumed amount was already counted when
+            // the debt was incurred; the kind's root pays the outstanding
+            // amount so the per-kind balance sum stays conserved.
+            root.debit_outflow(-balance);
         } else {
-            battery.credit(balance);
+            root.credit(balance);
         }
         Ok(balance)
     }
@@ -363,7 +445,8 @@ impl ResourceGraph {
         Ok(())
     }
 
-    /// Creates a tap from `source` to `sink`.
+    /// Creates a tap from `source` to `sink`. Both ends must hold the same
+    /// [`ResourceKind`] — a tap cannot turn bytes into joules.
     ///
     /// Paper §3.5: a tap "needs privileges to observe and modify both
     /// reserve levels; to aid with this, taps can have privileges embedded
@@ -381,18 +464,23 @@ impl ResourceGraph {
         if source == sink {
             return Err(GraphError::SameReserve);
         }
-        let src_label = self
+        let src = self
             .reserves
             .get(source.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .label()
-            .clone();
-        let sink_label = self
+            .ok_or(GraphError::ReserveNotFound)?;
+        let (src_label, src_kind) = (src.label().clone(), src.kind());
+        let sink_r = self
             .reserves
             .get(sink.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .label()
-            .clone();
+            .ok_or(GraphError::ReserveNotFound)?;
+        let (sink_label, sink_kind) = (sink_r.label().clone(), sink_r.kind());
+        if src_kind != sink_kind {
+            return Err(GraphError::KindMismatch {
+                op: "create_tap",
+                expected: src_kind,
+                found: sink_kind,
+            });
+        }
         if !actor.can_use(&src_label) || !actor.can_use(&sink_label) {
             return Err(GraphError::PermissionDenied { op: "create_tap" });
         }
@@ -460,9 +548,10 @@ impl ResourceGraph {
         Ok(r.balance())
     }
 
-    /// Moves `amount` between reserves immediately (paper §3.2:
-    /// "reserve-to-reserve transfer provided it is permitted to modify both
-    /// reserves"). Fails without side effects if the source cannot cover it.
+    /// Moves `amount` (raw grains) between reserves of the same kind
+    /// immediately (paper §3.2: "reserve-to-reserve transfer provided it is
+    /// permitted to modify both reserves"). Fails without side effects if
+    /// the kinds differ or the source cannot cover it.
     pub fn transfer(
         &mut self,
         actor: &Actor,
@@ -476,18 +565,20 @@ impl ResourceGraph {
         if amount.is_negative() {
             return Err(GraphError::InvalidAmount);
         }
-        let from_label = self
+        let from_r = self
             .reserves
             .get(from.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .label()
-            .clone();
-        let to_label = self
-            .reserves
-            .get(to.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .label()
-            .clone();
+            .ok_or(GraphError::ReserveNotFound)?;
+        let (from_label, from_kind) = (from_r.label().clone(), from_r.kind());
+        let to_r = self.reserves.get(to.0).ok_or(GraphError::ReserveNotFound)?;
+        let (to_label, to_kind) = (to_r.label().clone(), to_r.kind());
+        if from_kind != to_kind {
+            return Err(GraphError::KindMismatch {
+                op: "transfer",
+                expected: from_kind,
+                found: to_kind,
+            });
+        }
         // Transferring out requires full use of the source (the outcome
         // reveals its level); filling the sink requires modify.
         if !actor.can_use(&from_label) || !actor.can_modify(&to_label) {
@@ -531,8 +622,9 @@ impl ResourceGraph {
                 available: r.balance(),
             });
         }
+        let kind = r.kind();
         self.reserve_mut(id).debit_consumed(amount);
-        self.total_consumed += amount;
+        self.total_consumed[kind.index()] += amount;
         Ok(())
     }
 
@@ -554,8 +646,9 @@ impl ResourceGraph {
         if !actor.can_use(r.label()) {
             return Err(GraphError::PermissionDenied { op: "consume" });
         }
+        let kind = r.kind();
         self.reserve_mut(id).debit_consumed(amount);
-        self.total_consumed += amount;
+        self.total_consumed[kind.index()] += amount;
         Ok(())
     }
 
@@ -573,16 +666,18 @@ impl ResourceGraph {
         if amount.is_negative() {
             return Err(GraphError::InvalidAmount);
         }
-        self.reserves
+        let r = self
+            .reserves
             .get_mut(id.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .credit(amount);
-        self.total_injected += amount;
+            .ok_or(GraphError::ReserveNotFound)?;
+        let kind = r.kind();
+        r.credit(amount);
+        self.total_injected[kind.index()] += amount;
         Ok(())
     }
 
     /// Convenience for the paper's subdivision example (§3.2): creates a new
-    /// reserve and moves `amount` into it.
+    /// reserve (of the same kind as `from`) and moves `amount` into it.
     pub fn split_reserve(
         &mut self,
         actor: &Actor,
@@ -591,7 +686,12 @@ impl ResourceGraph {
         label: Label,
         amount: Energy,
     ) -> Result<ReserveId, GraphError> {
-        let new = self.create_reserve(actor, name, label)?;
+        let kind = self
+            .reserves
+            .get(from.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .kind();
+        let new = self.create_reserve_kind(actor, name, label, kind)?;
         match self.transfer(actor, from, new, amount) {
             Ok(()) => Ok(new),
             Err(e) => {
@@ -651,7 +751,8 @@ impl ResourceGraph {
     /// The paper's proposed `reserve_clone()` (§5.2.2): creates a reserve
     /// that inherits duplicates of every backward-proportional tap on `from`
     /// that the caller lacks permission to remove, so the clone drains at
-    /// least as fast as the original.
+    /// least as fast as the original. The clone holds the same
+    /// [`ResourceKind`] as `from`.
     pub fn reserve_clone(
         &mut self,
         actor: &Actor,
@@ -659,17 +760,45 @@ impl ResourceGraph {
         name: &str,
         label: Label,
     ) -> Result<ReserveId, GraphError> {
+        let kind = self
+            .reserves
+            .get(from.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .kind();
+        self.reserve_clone_as(actor, from, name, label, kind)
+    }
+
+    /// [`ResourceGraph::reserve_clone`] with the clone's kind made explicit:
+    /// requesting any kind other than `from`'s fails with the typed
+    /// [`GraphError::KindMismatch`] before anything is created — the
+    /// inherited backward taps could never legally connect the clone
+    /// otherwise.
+    pub fn reserve_clone_as(
+        &mut self,
+        actor: &Actor,
+        from: ReserveId,
+        name: &str,
+        label: Label,
+        kind: ResourceKind,
+    ) -> Result<ReserveId, GraphError> {
         // Validate `from` exists and is observable before creating anything.
         let src = self
             .reserves
             .get(from.0)
             .ok_or(GraphError::ReserveNotFound)?;
+        if src.kind() != kind {
+            return Err(GraphError::KindMismatch {
+                op: "reserve_clone",
+                expected: src.kind(),
+                found: kind,
+            });
+        }
         if !actor.can_observe(src.label()) {
             return Err(GraphError::PermissionDenied {
                 op: "reserve_clone",
             });
         }
-        let new = self.create_reserve(actor, name, label)?;
+        let new = self.create_reserve_kind(actor, name, label, kind)?;
         let inherited: Vec<(String, ReserveId, RateSpec, Label, PrivilegeSet)> = self
             .taps
             .iter()
@@ -700,7 +829,8 @@ impl ResourceGraph {
     /// Advances batch tap execution and decay up to `now`. Whole ticks only;
     /// the fractional tail carries to the next call.
     ///
-    /// Executed by the embedded [`FlowEngine`]: ticks run against the
+    /// Executed by the embedded `FlowEngine` ([`crate::flow`]): ticks run
+    /// against the
     /// per-source index with no per-tick allocation, and runs of ticks that
     /// are provably linear (all live taps constant-rate, decay off, no
     /// source near its clamp boundary) are applied in closed form. Results
@@ -798,14 +928,136 @@ impl ResourceGraph {
         crate::flow::decay_tick(&mut self.reserves, self.battery.0, self.decay_ppm_per_tick);
     }
 
+    // ----- typed API boundary ---------------------------------------------
+
+    /// Reads a reserve's level as a kind-tagged [`Quantity`] (requires
+    /// observe, like [`ResourceGraph::level`]).
+    pub fn level_typed(&self, actor: &Actor, id: ReserveId) -> Result<Quantity, GraphError> {
+        let kind = self
+            .reserves
+            .get(id.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .kind();
+        Ok(Quantity::new(kind, self.level(actor, id)?))
+    }
+
+    /// [`ResourceGraph::transfer`] with a kind-tagged amount: fails with
+    /// [`GraphError::KindMismatch`] if the quantity's kind is not the source
+    /// reserve's (the raw transfer then enforces source kind == sink kind).
+    pub fn transfer_typed(
+        &mut self,
+        actor: &Actor,
+        from: ReserveId,
+        to: ReserveId,
+        amount: Quantity,
+    ) -> Result<(), GraphError> {
+        self.check_kind("transfer", from, amount.kind())?;
+        self.transfer(actor, from, to, amount.raw())
+    }
+
+    /// [`ResourceGraph::consume`] with a kind-tagged amount.
+    pub fn consume_typed(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Quantity,
+    ) -> Result<(), GraphError> {
+        self.check_kind("consume", id, amount.kind())?;
+        self.consume(actor, id, amount.raw())
+    }
+
+    /// [`ResourceGraph::consume_with_debt`] with a kind-tagged amount.
+    pub fn consume_with_debt_typed(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Quantity,
+    ) -> Result<(), GraphError> {
+        self.check_kind("consume", id, amount.kind())?;
+        self.consume_with_debt(actor, id, amount.raw())
+    }
+
+    /// [`ResourceGraph::inject`] with a kind-tagged amount (kernel-only).
+    pub fn inject_typed(
+        &mut self,
+        actor: &Actor,
+        id: ReserveId,
+        amount: Quantity,
+    ) -> Result<(), GraphError> {
+        self.check_kind("inject", id, amount.kind())?;
+        self.inject(actor, id, amount.raw())
+    }
+
+    /// [`ResourceGraph::create_tap`] with a kind-tagged constant rate: the
+    /// rate's kind must match the source reserve's (the raw constructor then
+    /// enforces source kind == sink kind).
+    pub fn create_tap_typed(
+        &mut self,
+        actor: &Actor,
+        name: &str,
+        source: ReserveId,
+        sink: ReserveId,
+        rate: Rate,
+        tap_label: Label,
+    ) -> Result<TapId, GraphError> {
+        self.check_kind("create_tap", source, rate.kind())?;
+        self.create_tap(
+            actor,
+            name,
+            source,
+            sink,
+            RateSpec::constant(rate.raw()),
+            tap_label,
+        )
+    }
+
+    fn check_kind(
+        &self,
+        op: &'static str,
+        id: ReserveId,
+        found: ResourceKind,
+    ) -> Result<(), GraphError> {
+        let expected = self
+            .reserves
+            .get(id.0)
+            .ok_or(GraphError::ReserveNotFound)?
+            .kind();
+        if expected != found {
+            return Err(GraphError::KindMismatch {
+                op,
+                expected,
+                found,
+            });
+        }
+        Ok(())
+    }
+
     // ----- totals ---------------------------------------------------------
 
-    /// Graph-wide totals for conservation checking.
+    /// Totals summed over **all** resource kinds. Conserved as a corollary
+    /// of the per-kind invariant ([`ResourceGraph::totals_for`]); kept as
+    /// the convenient single check for all-energy graphs.
     pub fn totals(&self) -> GraphTotals {
         GraphTotals {
-            injected: self.total_injected,
+            injected: self.total_injected.iter().copied().sum(),
             balances: self.reserves.iter().map(|(_, r)| r.balance()).sum(),
-            consumed: self.total_consumed,
+            consumed: self.total_consumed.iter().copied().sum(),
+        }
+    }
+
+    /// Conservation totals for one resource kind: per kind,
+    /// `injected == Σ balances + consumed` exactly — invariant #1 extended
+    /// to the multi-resource graph.
+    pub fn totals_for(&self, kind: ResourceKind) -> GraphTotals {
+        GraphTotals {
+            injected: self.total_injected[kind.index()],
+            balances: self
+                .reserves
+                .iter()
+                .filter(|(_, r)| r.kind() == kind)
+                .map(|(_, r)| r.balance())
+                .sum(),
+            consumed: self.total_consumed[kind.index()],
         }
     }
 

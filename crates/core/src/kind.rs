@@ -1,0 +1,268 @@
+//! Typed resource kinds: the §9 generalisation made first-class.
+//!
+//! The paper's §9 observes that reserves and taps "could be repurposed to
+//! limit application network access by replacing the logical battery with a
+//! pool of network bytes", and likewise for SMS quotas. Rather than punning
+//! units (1 byte ↔ 1 µJ in a separate graph), the graph now *declares* what
+//! each reserve holds: a [`ResourceKind`]. Taps and transfers are
+//! kind-checked — a tap may only connect reserves of the same kind — and
+//! conservation is tracked per kind.
+//!
+//! # Grains
+//!
+//! Internally every kind shares the graph's exact integer arithmetic: a
+//! balance is a signed count of *grains* (the [`cinder_sim::Energy`]
+//! micro-unit), and a rate is grains per second ([`cinder_sim::Power`]
+//! micro-units), remainder carries and all. Each kind fixes what one grain
+//! means:
+//!
+//! | kind                            | one grain      | rationale |
+//! |---------------------------------|----------------|-----------|
+//! | [`ResourceKind::Energy`]        | 1 µJ           | the paper's primary resource |
+//! | [`ResourceKind::NetworkBytes`]  | 1 byte         | data plans are byte-metered |
+//! | [`ResourceKind::SmsMessages`]   | 1/1000 message | leaves sub-message grains for fractional billing |
+//!
+//! [`Quantity`] and [`Rate`] wrap a raw grain amount together with its kind,
+//! so the typed API boundary ([`crate::ResourceGraph::level_typed`],
+//! [`crate::ResourceGraph::transfer_typed`], …) can reject cross-kind
+//! arithmetic with a typed [`crate::GraphError::KindMismatch`] instead of
+//! silently mixing joules with bytes.
+
+use std::fmt;
+
+use cinder_sim::{Energy, Power};
+
+/// What a reserve's integer quantity means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// Microjoules of energy (the paper's primary resource).
+    Energy,
+    /// Network bytes against a data plan (§9).
+    NetworkBytes,
+    /// SMS messages against a message quota (§9).
+    SmsMessages,
+}
+
+impl ResourceKind {
+    /// Number of kinds (sizes fixed per-kind arrays).
+    pub const COUNT: usize = 3;
+
+    /// Every kind, in stable order (indexable by [`ResourceKind::index`]).
+    pub const ALL: [ResourceKind; Self::COUNT] = [
+        ResourceKind::Energy,
+        ResourceKind::NetworkBytes,
+        ResourceKind::SmsMessages,
+    ];
+
+    /// The kind's stable index into per-kind arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Energy => 0,
+            ResourceKind::NetworkBytes => 1,
+            ResourceKind::SmsMessages => 2,
+        }
+    }
+
+    /// Human-readable unit name (for traces and error messages).
+    pub const fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Energy => "µJ",
+            ResourceKind::NetworkBytes => "bytes",
+            ResourceKind::SmsMessages => "milli-messages",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Energy => write!(f, "Energy"),
+            ResourceKind::NetworkBytes => write!(f, "NetworkBytes"),
+            ResourceKind::SmsMessages => write!(f, "SmsMessages"),
+        }
+    }
+}
+
+/// A kind-tagged amount: the typed replacement for raw [`Energy`] at the
+/// graph's API boundary.
+///
+/// The wrapped grain count reuses [`Energy`]'s exact signed integer
+/// arithmetic (negative = debt against a quota), so typed and raw views of
+/// the same reserve always agree to the grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantity {
+    kind: ResourceKind,
+    raw: Energy,
+}
+
+impl Quantity {
+    /// A quantity of `kind` from a raw grain count.
+    pub const fn new(kind: ResourceKind, raw: Energy) -> Self {
+        Quantity { kind, raw }
+    }
+
+    /// An energy quantity (1 grain = 1 µJ).
+    pub const fn energy(e: Energy) -> Self {
+        Quantity::new(ResourceKind::Energy, e)
+    }
+
+    /// A byte quota quantity (1 grain = 1 byte).
+    pub fn network_bytes(n: u64) -> Self {
+        Quantity::new(
+            ResourceKind::NetworkBytes,
+            Energy::from_microjoules(n as i64),
+        )
+    }
+
+    /// An SMS quota quantity (1 message = 1000 grains, leaving sub-message
+    /// grains for fractional billing).
+    pub fn sms_messages(n: u64) -> Self {
+        Quantity::new(
+            ResourceKind::SmsMessages,
+            Energy::from_millijoules(n as i64),
+        )
+    }
+
+    /// The quantity's kind.
+    pub const fn kind(self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The raw grain count.
+    pub const fn raw(self) -> Energy {
+        self.raw
+    }
+
+    /// The grain count as whole bytes. Exact for
+    /// [`ResourceKind::NetworkBytes`] (1 grain = 1 byte); negative values
+    /// report quota debt.
+    pub const fn as_bytes(self) -> i64 {
+        self.raw.as_microjoules()
+    }
+
+    /// The grain count as whole SMS messages, rounding toward negative
+    /// infinity — an overdrawn quota of −500 grains is −1 message of debt,
+    /// not 0.
+    pub fn as_sms_messages(self) -> i64 {
+        self.raw.as_microjoules().div_euclid(1_000)
+    }
+
+    /// True if strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.raw.is_positive()
+    }
+
+    /// True if negative (a quota in debt).
+    pub const fn is_negative(self) -> bool {
+        self.raw.is_negative()
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.raw.as_microjoules(), self.kind.unit())
+    }
+}
+
+/// A kind-tagged rate: the typed replacement for raw [`Power`] when creating
+/// constant-rate taps on quota graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rate {
+    kind: ResourceKind,
+    raw: Power,
+}
+
+impl Rate {
+    /// A rate of `kind` from a raw grains-per-second count.
+    pub const fn new(kind: ResourceKind, raw: Power) -> Self {
+        Rate { kind, raw }
+    }
+
+    /// An energy rate (1 grain/s = 1 µW).
+    pub const fn power(p: Power) -> Self {
+        Rate::new(ResourceKind::Energy, p)
+    }
+
+    /// A byte rate (bytes per second).
+    pub fn bytes_per_sec(n: u64) -> Self {
+        Rate::new(ResourceKind::NetworkBytes, Power::from_microwatts(n))
+    }
+
+    /// An SMS rate (whole messages per second).
+    pub fn sms_per_sec(n: u64) -> Self {
+        Rate::new(ResourceKind::SmsMessages, Power::from_milliwatts(n))
+    }
+
+    /// The rate's kind.
+    pub const fn kind(self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The raw grains-per-second count.
+    pub const fn raw(self) -> Power {
+        self.raw
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}/s", self.raw.as_microwatts(), self.kind.unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_complete() {
+        for (i, kind) in ResourceKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(ResourceKind::ALL.len(), ResourceKind::COUNT);
+    }
+
+    #[test]
+    fn quantity_roundtrips() {
+        assert_eq!(Quantity::network_bytes(5_000_000).as_bytes(), 5_000_000);
+        assert_eq!(Quantity::sms_messages(100).as_sms_messages(), 100);
+        assert_eq!(
+            Quantity::energy(Energy::from_joules(2)).raw(),
+            Energy::from_joules(2)
+        );
+    }
+
+    #[test]
+    fn sms_debt_floors_toward_negative_infinity() {
+        // −500 grains is half a message of debt: floor reports −1, because
+        // the quota *is* overdrawn — truncation toward zero hid that.
+        let overdrawn = Quantity::new(ResourceKind::SmsMessages, Energy::from_microjoules(-500));
+        assert_eq!(overdrawn.as_sms_messages(), -1);
+        // Exactly −1 message of debt is still −1, not −2.
+        let exact = Quantity::new(ResourceKind::SmsMessages, Energy::from_microjoules(-1_000));
+        assert_eq!(exact.as_sms_messages(), -1);
+        // Positive fractions still truncate down (999 grains < 1 message).
+        let fraction = Quantity::new(ResourceKind::SmsMessages, Energy::from_microjoules(999));
+        assert_eq!(fraction.as_sms_messages(), 0);
+    }
+
+    #[test]
+    fn rate_constructors() {
+        assert_eq!(
+            Rate::bytes_per_sec(1_000).raw(),
+            Power::from_microwatts(1_000)
+        );
+        assert_eq!(Rate::sms_per_sec(2).raw(), Power::from_milliwatts(2));
+        assert_eq!(
+            Rate::power(Power::from_watts(1)).kind(),
+            ResourceKind::Energy
+        );
+    }
+
+    #[test]
+    fn display_names_units() {
+        assert_eq!(Quantity::network_bytes(42).to_string(), "42 bytes");
+        assert_eq!(Rate::bytes_per_sec(7).to_string(), "7 bytes/s");
+        assert_eq!(ResourceKind::SmsMessages.to_string(), "SmsMessages");
+    }
+}

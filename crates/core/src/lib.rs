@@ -13,8 +13,8 @@
 //!
 //! This crate is deliberately kernel-agnostic: it depends only on the
 //! simulation substrate (`cinder-sim`) and the label model (`cinder-label`).
-//! The simulated kernel (`cinder-kernel`) embeds a [`ResourceGraph`] and an
-//! [`EnergyScheduler`] and drives them from its run loop.
+//! The simulated kernel (`cinder-kernel`) embeds a [`ResourceGraph`] and a
+//! [`ResourceScheduler`] and drives them from its run loop.
 //!
 //! # Modules
 //!
@@ -31,12 +31,14 @@
 //!   ([`ResourceGraph::flow_until_reference`]), which differential property
 //!   tests enforce.
 //! * [`decay`] — the global half-life decay that prevents hoarding (§5.2.2).
-//! * [`sched`] — the energy-aware scheduler: threads whose reserves are
-//!   empty cannot run (§3.2).
+//! * [`sched`] — the resource-aware scheduler: threads whose reserves are
+//!   empty cannot run (§3.2), with per-kind reserve sets.
 //! * [`accounting`] — sliding-window power estimation for the paper's
 //!   stacked accounting figures (Figs 9, 12).
-//! * [`quota`] — the paper's §9 future-work generalisation: network-byte and
-//!   SMS quotas expressed with the same reserves and taps.
+//! * [`kind`] — typed resource kinds (§9 made first-class): every reserve
+//!   declares whether it holds energy, network bytes, or SMS messages;
+//!   taps/transfers are kind-checked and conservation holds per kind.
+//! * [`quota`] — quota helpers over [`kind`]: byte/SMS grain conversions.
 //!
 //! # Examples
 //!
@@ -76,6 +78,7 @@ pub mod decay;
 pub mod errors;
 pub mod flow;
 pub mod graph;
+pub mod kind;
 pub mod quota;
 pub mod reserve;
 pub mod sched;
@@ -86,6 +89,9 @@ pub use arena::{Arena, RawId};
 pub use decay::DecayConfig;
 pub use errors::GraphError;
 pub use graph::{Actor, GraphConfig, ReserveId, ResourceGraph, TapId};
+pub use kind::{Quantity, Rate, ResourceKind};
 pub use reserve::{Reserve, ReserveStats};
-pub use sched::{EnergyScheduler, SchedulerConfig, TaskId, TaskState};
+#[allow(deprecated)]
+pub use sched::EnergyScheduler;
+pub use sched::{ResourceScheduler, SchedulerConfig, TaskId, TaskState};
 pub use tap::{RateSpec, Tap};

@@ -1,4 +1,4 @@
-//! Reserves and taps for non-energy resources (paper §9, future work).
+//! Quota helpers for the non-energy [`ResourceKind`]s (paper §9).
 //!
 //! "Since data plans are frequently offered in terms of megabyte quotas,
 //! Cinder's mechanisms could be repurposed to limit application network
@@ -6,62 +6,65 @@
 //! Similarly, reserves could also be used to enforce SMS text message
 //! quotas."
 //!
-//! The [`crate::ResourceGraph`] is unit-agnostic integer arithmetic; this
-//! module fixes the unit correspondences so quota graphs read naturally:
+//! Quotas are no longer a unit pun on a separate graph: the
+//! [`crate::ResourceGraph`] owns reserves of a declared [`ResourceKind`]
+//! ([`ResourceKind::Energy`], [`ResourceKind::NetworkBytes`],
+//! [`ResourceKind::SmsMessages`]), created via
+//! [`crate::ResourceGraph::create_root`] /
+//! [`crate::ResourceGraph::create_reserve_kind`]. Taps and transfers are
+//! kind-checked (cross-kind attempts fail with
+//! [`crate::GraphError::KindMismatch`]), conservation holds per kind, and
+//! the kernel enforces byte quotas online — a send blocks when the thread's
+//! `NetworkBytes` reserve cannot cover it, observably distinct from
+//! blocking on energy.
 //!
-//! * **network bytes** — 1 byte ↔ 1 µJ, so a rate of *n* bytes/s is
-//!   `Power::from_microwatts(n)` and a 5 MB plan is an `Energy` of 5 × 10⁶.
-//! * **SMS messages** — 1 message ↔ 1 mJ (a coarser grain, leaving µ-units
-//!   for fractional accounting if billing ever needs it).
+//! The typed API boundary is [`Quantity`] / [`Rate`] (re-exported here from
+//! [`crate::kind`]). The free functions below are the raw-grain helpers the
+//! typed constructors are defined in terms of — one grain is one byte for
+//! `NetworkBytes`, one thousandth of a message for `SmsMessages` — kept for
+//! call sites that work with the graph's untyped (raw-amount) methods.
 
 use cinder_sim::{Energy, Power};
 
-/// What a reserve's integer quantity means.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ResourceKind {
-    /// Microjoules of energy (the paper's primary resource).
-    Energy,
-    /// Network bytes against a data plan (§9).
-    NetworkBytes,
-    /// SMS messages against a message quota (§9).
-    SmsMessages,
-}
+pub use crate::kind::{Quantity, Rate, ResourceKind};
 
-/// A byte quota expressed as a graph quantity.
+/// A byte quota expressed as raw grains (1 byte = 1 grain).
 pub fn bytes(n: u64) -> Energy {
-    Energy::from_microjoules(n as i64)
+    Quantity::network_bytes(n).raw()
 }
 
-/// A graph quantity read back as whole bytes (negative = overdrawn quota).
+/// Raw grains read back as whole bytes (negative = overdrawn quota).
+///
+/// Exact: one grain is one byte, so no division is involved.
 pub fn as_bytes(e: Energy) -> i64 {
-    e.as_microjoules()
+    Quantity::new(ResourceKind::NetworkBytes, e).as_bytes()
 }
 
-/// A byte rate (bytes/second) expressed as a tap rate.
+/// A byte rate (bytes/second) expressed as raw grains per second.
 pub fn bytes_per_sec(n: u64) -> Power {
-    Power::from_microwatts(n)
+    Rate::bytes_per_sec(n).raw()
 }
 
-/// An SMS quota expressed as a graph quantity.
+/// An SMS quota expressed as raw grains (1 message = 1000 grains).
 pub fn sms_messages(n: u64) -> Energy {
-    Energy::from_millijoules(n as i64)
+    Quantity::sms_messages(n).raw()
 }
 
-/// A graph quantity read back as whole SMS messages (truncating).
+/// Raw grains read back as whole SMS messages, rounding toward negative
+/// infinity: an overdrawn quota of −500 grains is −1 message of debt, not 0.
 pub fn as_sms_messages(e: Energy) -> i64 {
-    e.as_microjoules() / 1_000
+    Quantity::new(ResourceKind::SmsMessages, e).as_sms_messages()
 }
 
-/// An SMS rate (messages/second) expressed as a tap rate.
+/// An SMS rate (messages/second) expressed as raw grains per second.
 pub fn sms_per_sec(n: u64) -> Power {
-    Power::from_milliwatts(n)
+    Rate::sms_per_sec(n).raw()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::{Actor, GraphConfig, ResourceGraph};
-    use crate::tap::RateSpec;
     use cinder_label::Label;
     use cinder_sim::SimTime;
 
@@ -72,52 +75,83 @@ mod tests {
     }
 
     #[test]
-    fn data_plan_quota_graph() {
-        // A 5 MB monthly plan: root pool of bytes, app limited to 1 KB/s.
-        let mut g = ResourceGraph::with_config(
-            bytes(5_000_000),
-            GraphConfig {
-                decay: None, // quotas do not decay
-                ..GraphConfig::default()
-            },
-        );
-        let k = Actor::kernel();
-        let app = g
-            .create_reserve(&k, "app-bytes", Label::default_label())
-            .unwrap();
-        g.create_tap(
-            &k,
-            "1KBps",
-            g.battery(),
-            app,
-            RateSpec::constant(bytes_per_sec(1_000)),
-            Label::default_label(),
-        )
-        .unwrap();
-        g.flow_until(SimTime::from_secs(10));
-        assert_eq!(as_bytes(g.level(&k, app).unwrap()), 10_000);
-
-        // Sending a 4 KB request consumes quota; a 100 KB one is refused.
-        g.consume(&k, app, bytes(4_000)).unwrap();
-        assert!(g.consume(&k, app, bytes(100_000)).is_err());
-        assert_eq!(as_bytes(g.level(&k, app).unwrap()), 6_000);
+    fn overdrawn_quotas_report_debt_not_zero() {
+        // The old truncation-toward-zero bug: −500 grains of SMS quota
+        // reported 0 messages of debt. Floor division reports −1.
+        assert_eq!(as_sms_messages(Energy::from_microjoules(-500)), -1);
+        assert_eq!(as_sms_messages(Energy::from_microjoules(-1_000)), -1);
+        assert_eq!(as_sms_messages(Energy::from_microjoules(-1_001)), -2);
+        assert_eq!(as_sms_messages(Energy::from_microjoules(999)), 0);
+        // Bytes are grain-exact in both directions.
+        assert_eq!(as_bytes(Energy::from_microjoules(-500)), -500);
     }
 
     #[test]
-    fn sms_quota_blocks_overrun() {
+    fn data_plan_quota_graph() {
+        // A 5 MB monthly plan: a NetworkBytes root pool, app limited to
+        // 1 KB/s through a kind-checked tap.
         let mut g = ResourceGraph::with_config(
-            sms_messages(3),
+            Energy::ZERO,
             GraphConfig {
                 decay: None,
                 ..GraphConfig::default()
             },
         );
         let k = Actor::kernel();
-        let app = g.create_reserve(&k, "sms", Label::default_label()).unwrap();
-        g.transfer(&k, g.battery(), app, sms_messages(3)).unwrap();
+        let pool = g
+            .create_root(&k, "plan-pool", Quantity::network_bytes(5_000_000))
+            .unwrap();
+        let app = g
+            .create_reserve_kind(
+                &k,
+                "app-bytes",
+                Label::default_label(),
+                ResourceKind::NetworkBytes,
+            )
+            .unwrap();
+        g.create_tap_typed(
+            &k,
+            "1KBps",
+            pool,
+            app,
+            Rate::bytes_per_sec(1_000),
+            Label::default_label(),
+        )
+        .unwrap();
+        g.flow_until(SimTime::from_secs(10));
+        assert_eq!(g.level_typed(&k, app).unwrap().as_bytes(), 10_000);
+
+        // Sending a 4 KB request consumes quota; a 100 KB one is refused.
+        g.consume_typed(&k, app, Quantity::network_bytes(4_000))
+            .unwrap();
+        assert!(g
+            .consume_typed(&k, app, Quantity::network_bytes(100_000))
+            .is_err());
+        assert_eq!(g.level_typed(&k, app).unwrap().as_bytes(), 6_000);
+        assert!(g.totals_for(ResourceKind::NetworkBytes).conserved());
+    }
+
+    #[test]
+    fn sms_quota_blocks_overrun() {
+        let mut g = ResourceGraph::with_config(
+            Energy::ZERO,
+            GraphConfig {
+                decay: None,
+                ..GraphConfig::default()
+            },
+        );
+        let k = Actor::kernel();
+        let pool = g
+            .create_root(&k, "sms-pool", Quantity::sms_messages(3))
+            .unwrap();
+        let app = g
+            .create_reserve_kind(&k, "sms", Label::default_label(), ResourceKind::SmsMessages)
+            .unwrap();
+        g.transfer(&k, pool, app, sms_messages(3)).unwrap();
         for _ in 0..3 {
-            g.consume(&k, app, sms_messages(1)).unwrap();
+            g.consume_typed(&k, app, Quantity::sms_messages(1)).unwrap();
         }
-        assert!(g.consume(&k, app, sms_messages(1)).is_err());
+        assert!(g.consume_typed(&k, app, Quantity::sms_messages(1)).is_err());
+        assert!(g.totals_for(ResourceKind::SmsMessages).conserved());
     }
 }

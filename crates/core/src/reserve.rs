@@ -3,6 +3,8 @@
 use cinder_label::Label;
 use cinder_sim::{Energy, SimTime};
 
+use crate::kind::ResourceKind;
+
 /// Cumulative statistics a reserve keeps for accounting (paper §3.2:
 /// "Reserves also provide accounting by tracking application resource
 /// consumption").
@@ -26,6 +28,7 @@ pub struct ReserveStats {
 pub struct Reserve {
     name: String,
     label: Label,
+    kind: ResourceKind,
     balance: Energy,
     stats: ReserveStats,
     decay_exempt: bool,
@@ -33,10 +36,16 @@ pub struct Reserve {
 }
 
 impl Reserve {
-    pub(crate) fn new(name: impl Into<String>, label: Label, created_at: SimTime) -> Self {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        label: Label,
+        kind: ResourceKind,
+        created_at: SimTime,
+    ) -> Self {
         Reserve {
             name: name.into(),
             label,
+            kind,
             balance: Energy::ZERO,
             stats: ReserveStats::default(),
             decay_exempt: false,
@@ -52,6 +61,13 @@ impl Reserve {
     /// The security label protecting this reserve.
     pub fn label(&self) -> &Label {
         &self.label
+    }
+
+    /// What this reserve's balance counts: energy, network bytes, or SMS
+    /// messages (§9). Declared at creation; taps and transfers are only
+    /// permitted between reserves of the same kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
     }
 
     /// Current balance. May be negative: threads may debit "up to or into
@@ -115,7 +131,12 @@ mod tests {
     use super::*;
 
     fn r() -> Reserve {
-        Reserve::new("test", Label::default_label(), SimTime::ZERO)
+        Reserve::new(
+            "test",
+            Label::default_label(),
+            ResourceKind::Energy,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -124,6 +145,7 @@ mod tests {
         assert_eq!(res.balance(), Energy::ZERO);
         assert!(!res.is_nonempty());
         assert_eq!(res.stats(), ReserveStats::default());
+        assert_eq!(res.kind(), ResourceKind::Energy);
     }
 
     #[test]

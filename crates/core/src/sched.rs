@@ -1,4 +1,4 @@
-//! The energy-aware CPU scheduler.
+//! The resource-aware CPU scheduler.
 //!
 //! Paper §3.2: "Cinder's CPU scheduler is energy-aware and allows a thread
 //! to run only when at least one of its energy reserves is not empty.
@@ -13,6 +13,18 @@
 //! happens at quantum granularity a task can overdraw by at most one
 //! quantum, which the paper's own batch accounting also permits.
 //!
+//! # Per-kind reserve sets
+//!
+//! Each task carries one active reserve *per* [`ResourceKind`] (§9): the
+//! Energy slot is mandatory and gates the CPU — a quantum of compute
+//! consumes energy, so [`ResourceScheduler::pick_next`] refuses tasks whose
+//! energy reserve is empty. Quota kinds gate at the syscall whose next step
+//! consumes them: the kernel blocks a send when the thread's
+//! `NetworkBytes` reserve cannot cover it, leaving the thread runnable for
+//! compute but blocked-on-bytes at the send — observably distinct (a
+//! `Blocked` state plus byte-block telemetry) from the empty-energy
+//! throttling counted in [`ResourceScheduler::throttled_quanta`].
+//!
 //! This type is deliberately kernel-agnostic: the simulated kernel drives it
 //! (pick → run the thread's program → charge), and the figure experiments
 //! read the per-task [`PowerEstimator`]s to draw their stacked plots.
@@ -25,6 +37,7 @@ use crate::accounting::PowerEstimator;
 use crate::arena::{Arena, RawId};
 use crate::errors::GraphError;
 use crate::graph::{Actor, ReserveId, ResourceGraph};
+use crate::kind::ResourceKind;
 
 /// Identifies a task known to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,7 +57,9 @@ pub enum TaskState {
 #[derive(Debug)]
 struct Task {
     name: String,
-    reserve: ReserveId,
+    /// One active reserve per resource kind; the Energy slot is always
+    /// populated (compute is gated on it), quota slots are optional.
+    reserves: [Option<ReserveId>; ResourceKind::COUNT],
     state: TaskState,
     consumed: Energy,
     estimator: PowerEstimator,
@@ -72,18 +87,23 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Round-robin, reserve-gated scheduler.
+/// Round-robin, reserve-gated scheduler over typed per-kind reserve sets.
 #[derive(Debug)]
-pub struct EnergyScheduler {
+pub struct ResourceScheduler {
     tasks: Arena<Task>,
     queue: VecDeque<TaskId>,
     config: SchedulerConfig,
 }
 
-impl EnergyScheduler {
+/// The scheduler's pre-multi-resource name, kept so existing call sites
+/// keep compiling.
+#[deprecated(note = "renamed to ResourceScheduler (reserves are now typed per ResourceKind)")]
+pub type EnergyScheduler = ResourceScheduler;
+
+impl ResourceScheduler {
     /// Creates an empty scheduler.
     pub fn new(config: SchedulerConfig) -> Self {
-        EnergyScheduler {
+        ResourceScheduler {
             tasks: Arena::new(),
             queue: VecDeque::new(),
             config,
@@ -95,11 +115,15 @@ impl EnergyScheduler {
         self.config.quantum
     }
 
-    /// Registers a task drawing from `reserve`, initially [`TaskState::Ready`].
+    /// Registers a task drawing energy from `reserve`, initially
+    /// [`TaskState::Ready`]. Quota-kind reserves attach afterwards via
+    /// [`ResourceScheduler::set_reserve_for`].
     pub fn add_task(&mut self, name: &str, reserve: ReserveId) -> TaskId {
+        let mut reserves = [None; ResourceKind::COUNT];
+        reserves[ResourceKind::Energy.index()] = Some(reserve);
         let id = TaskId(self.tasks.insert(Task {
             name: name.to_string(),
-            reserve,
+            reserves,
             state: TaskState::Ready,
             consumed: Energy::ZERO,
             estimator: PowerEstimator::new(self.config.estimate_window),
@@ -132,22 +156,37 @@ impl EnergyScheduler {
         }
     }
 
-    /// The task's active reserve.
+    /// The task's active energy reserve (the kind the CPU gate checks).
     pub fn active_reserve(&self, id: TaskId) -> Option<ReserveId> {
-        self.tasks.get(id.0).map(|t| t.reserve)
+        self.reserve_for(id, ResourceKind::Energy)
     }
 
-    /// Switches the task's active reserve — the `self_set_active_reserve`
-    /// system call of Fig 5.
+    /// Switches the task's active energy reserve — the
+    /// `self_set_active_reserve` system call of Fig 5.
     pub fn set_active_reserve(&mut self, id: TaskId, reserve: ReserveId) {
+        self.set_reserve_for(id, ResourceKind::Energy, reserve);
+    }
+
+    /// The task's active reserve for a kind, if one is attached.
+    pub fn reserve_for(&self, id: TaskId, kind: ResourceKind) -> Option<ReserveId> {
+        self.tasks.get(id.0).and_then(|t| t.reserves[kind.index()])
+    }
+
+    /// Attaches (or switches) the task's active reserve for a kind — the
+    /// typed generalisation of `self_set_active_reserve`. A task with a
+    /// `NetworkBytes` reserve is byte-gated at its sends; one without is
+    /// quota-unrestricted.
+    pub fn set_reserve_for(&mut self, id: TaskId, kind: ResourceKind, reserve: ReserveId) {
         if let Some(t) = self.tasks.get_mut(id.0) {
-            t.reserve = reserve;
+            t.reserves[kind.index()] = Some(reserve);
         }
     }
 
     /// Picks the next runnable task: round-robin over ready tasks whose
-    /// active reserve is non-empty. Returns `None` when the CPU should idle
-    /// this quantum.
+    /// active **energy** reserve is non-empty — the kind a quantum of
+    /// compute consumes. (Quota kinds gate at the consuming syscall: a
+    /// byte-blocked sender is `Blocked`, not merely skipped.) Returns
+    /// `None` when the CPU should idle this quantum.
     pub fn pick_next(&mut self, graph: &ResourceGraph) -> Option<TaskId> {
         let n = self.queue.len();
         let mut skipped: Vec<TaskId> = Vec::new();
@@ -164,7 +203,9 @@ impl EnergyScheduler {
                 continue; // exited is terminal: drop from queue
             }
             if task.state == TaskState::Ready {
-                let runnable = graph.reserve(task.reserve).is_some_and(|r| r.is_nonempty());
+                let runnable = task.reserves[ResourceKind::Energy.index()]
+                    .and_then(|r| graph.reserve(r))
+                    .is_some_and(|r| r.is_nonempty());
                 if runnable {
                     // The chosen task goes to the back; everyone examined
                     // and skipped keeps their position at the front.
@@ -219,7 +260,9 @@ impl EnergyScheduler {
             .tasks
             .get_mut(id.0)
             .ok_or(GraphError::ReserveNotFound)?;
-        graph.consume_with_debt(&Actor::kernel(), task.reserve, cost)?;
+        let reserve =
+            task.reserves[ResourceKind::Energy.index()].ok_or(GraphError::ReserveNotFound)?;
+        graph.consume_with_debt(&Actor::kernel(), reserve, cost)?;
         task.consumed += cost;
         task.estimator.record(now, cost);
         Ok(cost)
@@ -275,7 +318,7 @@ mod tests {
 
     const CPU: Power = Power::from_milliwatts(137);
 
-    fn setup() -> (ResourceGraph, EnergyScheduler) {
+    fn setup() -> (ResourceGraph, ResourceScheduler) {
         let g = ResourceGraph::with_config(
             Energy::from_joules(15_000),
             GraphConfig {
@@ -283,7 +326,7 @@ mod tests {
                 ..GraphConfig::default()
             },
         );
-        let s = EnergyScheduler::new(SchedulerConfig::default());
+        let s = ResourceScheduler::new(SchedulerConfig::default());
         (g, s)
     }
 
@@ -291,7 +334,7 @@ mod tests {
     /// fraction of quanta each task ran.
     fn run(
         g: &mut ResourceGraph,
-        s: &mut EnergyScheduler,
+        s: &mut ResourceScheduler,
         tasks: &[TaskId],
         secs: u64,
     ) -> Vec<f64> {
@@ -446,6 +489,61 @@ mod tests {
         let c2 = g.reserve(r2).unwrap().stats().consumed;
         assert_eq!(c1, c2);
         assert_eq!(c1, Energy::from_microjoules(1_370));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_names_the_scheduler() {
+        // The pre-rename name must keep compiling for downstream code.
+        let s: EnergyScheduler = ResourceScheduler::new(SchedulerConfig::default());
+        assert_eq!(s.quantum(), SchedulerConfig::default().quantum);
+    }
+
+    #[test]
+    fn per_kind_reserve_set_starts_energy_only() {
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let energy = g.create_reserve(&k, "e", Label::default_label()).unwrap();
+        let pool = g
+            .create_root(
+                &k,
+                "bytes-pool",
+                crate::kind::Quantity::network_bytes(1_000),
+            )
+            .unwrap();
+        let t = s.add_task("t", energy);
+        assert_eq!(s.reserve_for(t, ResourceKind::Energy), Some(energy));
+        assert_eq!(s.reserve_for(t, ResourceKind::NetworkBytes), None);
+        assert_eq!(s.reserve_for(t, ResourceKind::SmsMessages), None);
+        s.set_reserve_for(t, ResourceKind::NetworkBytes, pool);
+        assert_eq!(s.reserve_for(t, ResourceKind::NetworkBytes), Some(pool));
+        // The energy slot is untouched by quota attachments.
+        assert_eq!(s.active_reserve(t), Some(energy));
+    }
+
+    #[test]
+    fn empty_byte_reserve_does_not_gate_compute() {
+        // The scheduler gate is the kind compute consumes: a task whose
+        // byte reserve is empty but whose energy reserve is full runs.
+        let (mut g, mut s) = setup();
+        let k = Actor::kernel();
+        let energy = g.create_reserve(&k, "e", Label::default_label()).unwrap();
+        g.transfer(&k, g.battery(), energy, Energy::from_joules(1))
+            .unwrap();
+        g.create_root(&k, "bytes-pool", crate::kind::Quantity::network_bytes(0))
+            .unwrap();
+        let empty_bytes = g
+            .create_reserve_kind(
+                &k,
+                "no-bytes",
+                Label::default_label(),
+                ResourceKind::NetworkBytes,
+            )
+            .unwrap();
+        let t = s.add_task("t", energy);
+        s.set_reserve_for(t, ResourceKind::NetworkBytes, empty_bytes);
+        assert_eq!(s.pick_next(&g), Some(t));
+        assert_eq!(s.throttled_quanta(t), 0);
     }
 
     #[test]

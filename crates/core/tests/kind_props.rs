@@ -1,0 +1,324 @@
+//! Property tests for typed resource kinds (§9 made first-class).
+//!
+//! Cross-kind operations — `create_tap`, `transfer`, `reserve_clone_as` —
+//! must fail with the typed [`GraphError::KindMismatch`] and leave the
+//! per-kind conservation totals (`injected == Σ balances + consumed`,
+//! per [`ResourceKind`]) untouched, to the grain.
+
+use cinder_core::{
+    Actor, GraphConfig, GraphError, Quantity, Rate, RateSpec, ReserveId, ResourceGraph,
+    ResourceKind,
+};
+use cinder_label::Label;
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A graph with all three kinds rooted and one funded reserve per kind.
+fn tri_kind_graph() -> (ResourceGraph, Vec<(ResourceKind, ReserveId)>) {
+    let mut g = ResourceGraph::with_config(
+        Energy::from_joules(1_000),
+        GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        },
+    );
+    let k = Actor::kernel();
+    g.create_root(&k, "byte-pool", Quantity::network_bytes(10_000_000))
+        .unwrap();
+    g.create_root(&k, "sms-pool", Quantity::sms_messages(500))
+        .unwrap();
+    let mut reserves = Vec::new();
+    for kind in ResourceKind::ALL {
+        let r = g
+            .create_reserve_kind(&k, &format!("{kind}"), Label::default_label(), kind)
+            .unwrap();
+        let root = g.root(kind).unwrap();
+        g.transfer(&k, root, r, Energy::from_millijoules(100))
+            .unwrap();
+        reserves.push((kind, r));
+    }
+    (g, reserves)
+}
+
+fn all_totals(g: &ResourceGraph) -> Vec<(ResourceKind, Energy, Energy, Energy)> {
+    ResourceKind::ALL
+        .iter()
+        .map(|&k| {
+            let t = g.totals_for(k);
+            (k, t.injected, t.balances, t.consumed)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `create_tap` across kinds fails with the typed error — for every
+    /// ordered kind pair, rate shape, and direction — without moving a
+    /// grain of any kind.
+    #[test]
+    fn cross_kind_taps_are_rejected(
+        src in 0usize..3,
+        dst in 0usize..3,
+        mw in 0u64..2_000,
+        proportional in any::<bool>(),
+    ) {
+        let (mut g, reserves) = tri_kind_graph();
+        let k = Actor::kernel();
+        let before = all_totals(&g);
+        let (src_kind, src_id) = reserves[src];
+        let (dst_kind, dst_id) = reserves[dst];
+        let rate = if proportional {
+            RateSpec::proportional(0.1)
+        } else {
+            RateSpec::constant(Power::from_milliwatts(mw))
+        };
+        let result = g.create_tap(&k, "t", src_id, dst_id, rate, Label::default_label());
+        if src_id == dst_id {
+            prop_assert_eq!(result.unwrap_err(), GraphError::SameReserve);
+        } else if src_kind == dst_kind {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert_eq!(
+                result.unwrap_err(),
+                GraphError::KindMismatch {
+                    op: "create_tap",
+                    expected: src_kind,
+                    found: dst_kind,
+                }
+            );
+            prop_assert_eq!(g.tap_count(), 0, "failed tap must not be registered");
+        }
+        // Even a *successful* tap creation moves nothing until flow runs;
+        // a failed one must leave every kind's totals untouched.
+        prop_assert_eq!(all_totals(&g), before);
+        for kind in ResourceKind::ALL {
+            prop_assert!(g.totals_for(kind).conserved());
+        }
+    }
+
+    /// `transfer` across kinds fails with the typed error and leaves every
+    /// kind's totals untouched; same-kind transfers succeed and conserve.
+    #[test]
+    fn cross_kind_transfers_are_rejected(
+        src in 0usize..3,
+        dst in 0usize..3,
+        grains in 1i64..100_000,
+    ) {
+        let (mut g, reserves) = tri_kind_graph();
+        let k = Actor::kernel();
+        let before = all_totals(&g);
+        let (src_kind, src_id) = reserves[src];
+        let (dst_kind, dst_id) = reserves[dst];
+        let amount = Energy::from_microjoules(grains);
+        let result = g.transfer(&k, src_id, dst_id, amount);
+        if src_id == dst_id {
+            prop_assert_eq!(result.unwrap_err(), GraphError::SameReserve);
+            prop_assert_eq!(all_totals(&g), before);
+        } else if src_kind != dst_kind {
+            prop_assert_eq!(
+                result.unwrap_err(),
+                GraphError::KindMismatch {
+                    op: "transfer",
+                    expected: src_kind,
+                    found: dst_kind,
+                }
+            );
+            prop_assert_eq!(all_totals(&g), before);
+        } else {
+            prop_assert!(result.is_ok(), "funded same-kind transfer succeeds");
+        }
+        for kind in ResourceKind::ALL {
+            prop_assert!(g.totals_for(kind).conserved());
+        }
+    }
+
+    /// `reserve_clone_as` with any kind other than the original's fails
+    /// with the typed error, creates nothing, and leaves totals untouched.
+    #[test]
+    fn cross_kind_reserve_clones_are_rejected(
+        src in 0usize..3,
+        clone_kind in 0usize..3,
+    ) {
+        let (mut g, reserves) = tri_kind_graph();
+        let k = Actor::kernel();
+        // Give the source a backward-proportional tap so a successful clone
+        // has something to inherit.
+        let (src_kind, src_id) = reserves[src];
+        let root = g.root(src_kind).unwrap();
+        g.create_tap(
+            &k,
+            "bwd",
+            src_id,
+            root,
+            RateSpec::proportional(0.1),
+            Label::default_label(),
+        )
+        .unwrap();
+        let before = all_totals(&g);
+        let reserves_before = g.reserve_count();
+        let taps_before = g.tap_count();
+        let kind = ResourceKind::ALL[clone_kind];
+        let result = g.reserve_clone_as(&k, src_id, "clone", Label::default_label(), kind);
+        if kind == src_kind {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(g.tap_count(), taps_before, "kernel actor may remove the tap, so nothing is inherited");
+        } else {
+            prop_assert_eq!(
+                result.unwrap_err(),
+                GraphError::KindMismatch {
+                    op: "reserve_clone",
+                    expected: src_kind,
+                    found: kind,
+                }
+            );
+            prop_assert_eq!(g.reserve_count(), reserves_before, "failed clone creates nothing");
+            prop_assert_eq!(g.tap_count(), taps_before);
+            prop_assert_eq!(all_totals(&g), before);
+        }
+        for kind in ResourceKind::ALL {
+            prop_assert!(g.totals_for(kind).conserved());
+        }
+    }
+
+    /// Typed quantities applied to reserves of a different kind fail with
+    /// the typed error — the µJ pun cannot be smuggled back through the
+    /// typed boundary.
+    #[test]
+    fn typed_amounts_must_match_reserve_kind(
+        target in 0usize..3,
+        qty_kind in 0usize..3,
+        grains in 1u64..1_000,
+    ) {
+        let (mut g, reserves) = tri_kind_graph();
+        let k = Actor::kernel();
+        let (reserve_kind, id) = reserves[target];
+        let kind = ResourceKind::ALL[qty_kind];
+        let q = Quantity::new(kind, Energy::from_microjoules(grains as i64));
+        let before = all_totals(&g);
+        let result = g.consume_typed(&k, id, q);
+        if kind == reserve_kind {
+            prop_assert!(result.is_ok());
+        } else {
+            let is_kind_mismatch = matches!(
+                result.unwrap_err(),
+                GraphError::KindMismatch { op: "consume", .. }
+            );
+            prop_assert!(is_kind_mismatch);
+            prop_assert_eq!(all_totals(&g), before);
+        }
+        for kind in ResourceKind::ALL {
+            prop_assert!(g.totals_for(kind).conserved());
+        }
+    }
+
+    /// Per-kind conservation through a mixed multi-kind workload: flows,
+    /// transfers, consumption, and debt across all three kinds at once.
+    #[test]
+    fn per_kind_conservation_through_mixed_workload(
+        ops in proptest::collection::vec((0usize..3, 0u64..2_000, 1u64..5_000), 1..40),
+    ) {
+        let (mut g, reserves) = tri_kind_graph();
+        let k = Actor::kernel();
+        // One forward tap per kind, root → reserve.
+        for &(kind, r) in &reserves {
+            let root = g.root(kind).unwrap();
+            g.create_tap(
+                &k,
+                "feed",
+                root,
+                r,
+                RateSpec::constant(Power::from_microwatts(37_500)),
+                Label::default_label(),
+            )
+            .unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        for (which, grains, ms) in ops {
+            now += SimDuration::from_millis(ms);
+            g.flow_until(now);
+            let (_, r) = reserves[which];
+            let amount = Energy::from_microjoules(grains as i64);
+            if grains % 3 == 0 {
+                let _ = g.consume_with_debt(&k, r, amount);
+            } else {
+                let _ = g.consume(&k, r, amount);
+            }
+            for kind in ResourceKind::ALL {
+                prop_assert!(
+                    g.totals_for(kind).conserved(),
+                    "kind {kind} violated at {now:?}: {:?}",
+                    g.totals_for(kind)
+                );
+            }
+            prop_assert!(g.totals().conserved(), "global sum conserves too");
+        }
+    }
+}
+
+/// The typed rate boundary: a byte rate cannot feed an energy tap.
+#[test]
+fn typed_rate_must_match_source_kind() {
+    let (mut g, reserves) = tri_kind_graph();
+    let k = Actor::kernel();
+    let (_, energy_r) = reserves[ResourceKind::Energy.index()];
+    let err = g
+        .create_tap_typed(
+            &k,
+            "bad",
+            g.battery(),
+            energy_r,
+            Rate::bytes_per_sec(1_000),
+            Label::default_label(),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        GraphError::KindMismatch {
+            op: "create_tap",
+            expected: ResourceKind::Energy,
+            found: ResourceKind::NetworkBytes,
+        }
+    );
+    // The matching typed rate works.
+    let bytes_root = g.root(ResourceKind::NetworkBytes).unwrap();
+    let (_, bytes_r) = reserves[ResourceKind::NetworkBytes.index()];
+    g.create_tap_typed(
+        &k,
+        "ok",
+        bytes_root,
+        bytes_r,
+        Rate::bytes_per_sec(1_000),
+        Label::default_label(),
+    )
+    .unwrap();
+}
+
+/// Deleting a quota reserve settles its balance (or debt) against the root
+/// of its own kind, keeping every kind's totals conserved.
+#[test]
+fn delete_settles_to_same_kind_root() {
+    let (mut g, reserves) = tri_kind_graph();
+    let k = Actor::kernel();
+    let (_, bytes_r) = reserves[ResourceKind::NetworkBytes.index()];
+    let root = g.root(ResourceKind::NetworkBytes).unwrap();
+    let root_before = g.level(&k, root).unwrap();
+    // Drive it into debt, then delete: the byte root absorbs the debt.
+    g.consume_with_debt(&k, bytes_r, Energy::from_millijoules(200))
+        .unwrap();
+    let settled = g.delete_reserve(&k, bytes_r).unwrap();
+    assert!(settled.is_negative());
+    assert_eq!(
+        g.level(&k, root).unwrap(),
+        root_before + settled,
+        "byte root pays byte debt"
+    );
+    for kind in ResourceKind::ALL {
+        assert!(g.totals_for(kind).conserved(), "{kind} conserved");
+    }
+    // Roots themselves are not deletable.
+    assert!(matches!(
+        g.delete_reserve(&k, root),
+        Err(GraphError::RootReserve)
+    ));
+}

@@ -1,8 +1,8 @@
-//! Property tests for the energy-aware scheduler: the reserve gate is
+//! Property tests for the resource-aware scheduler: the reserve gate is
 //! never violated, and CPU shares track tap rates.
 
 use cinder_core::{
-    Actor, EnergyScheduler, GraphConfig, RateSpec, ResourceGraph, SchedulerConfig, TaskId,
+    Actor, GraphConfig, RateSpec, ResourceGraph, ResourceScheduler, SchedulerConfig, TaskId,
 };
 use cinder_label::Label;
 use cinder_sim::{Energy, Power, SimDuration, SimTime};
@@ -21,7 +21,12 @@ fn graph() -> ResourceGraph {
 }
 
 /// Drives the scheduler loop for `secs`, returning per-task run counts.
-fn drive(g: &mut ResourceGraph, s: &mut EnergyScheduler, tasks: &[TaskId], secs: u64) -> Vec<u64> {
+fn drive(
+    g: &mut ResourceGraph,
+    s: &mut ResourceScheduler,
+    tasks: &[TaskId],
+    secs: u64,
+) -> Vec<u64> {
     let quantum = s.quantum();
     let total = SimDuration::from_secs(secs).div_duration(quantum);
     let mut counts = vec![0u64; tasks.len()];
@@ -54,7 +59,7 @@ proptest! {
     #[test]
     fn shares_track_tap_rates(rates_mw in proptest::collection::vec(1u64..30, 1..5)) {
         let mut g = graph();
-        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let mut s = ResourceScheduler::new(SchedulerConfig::default());
         let k = Actor::kernel();
         let battery = g.battery();
         let mut tasks = Vec::new();
@@ -94,7 +99,7 @@ proptest! {
     #[test]
     fn charging_is_exact(funded in proptest::collection::vec(any::<bool>(), 1..6)) {
         let mut g = graph();
-        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let mut s = ResourceScheduler::new(SchedulerConfig::default());
         let k = Actor::kernel();
         let battery = g.battery();
         let mut tasks = Vec::new();
@@ -125,7 +130,7 @@ proptest! {
     #[test]
     fn oversubscribed_cpu_saturates(rates_mw in proptest::collection::vec(60u64..137, 2..5)) {
         let mut g = graph();
-        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let mut s = ResourceScheduler::new(SchedulerConfig::default());
         let k = Actor::kernel();
         let battery = g.battery();
         let mut tasks = Vec::new();
@@ -166,7 +171,7 @@ proptest! {
     #[test]
     fn equal_funding_equal_shares(n in 1usize..6) {
         let mut g = graph();
-        let mut s = EnergyScheduler::new(SchedulerConfig::default());
+        let mut s = ResourceScheduler::new(SchedulerConfig::default());
         let k = Actor::kernel();
         let battery = g.battery();
         let mut tasks = Vec::new();
@@ -187,7 +192,7 @@ proptest! {
 #[test]
 fn throttled_quanta_count_denials() {
     let mut g = graph();
-    let mut s = EnergyScheduler::new(SchedulerConfig::default());
+    let mut s = ResourceScheduler::new(SchedulerConfig::default());
     let k = Actor::kernel();
     let r = g
         .create_reserve(&k, "starved", Label::default_label())

@@ -12,14 +12,14 @@ use std::rc::Rc;
 use cinder_apps::{
     build_browser, build_pollers, BrowserConfig, ImageViewer, Spinner, ViewerConfig, ViewerLog,
 };
-use cinder_core::{quota, Actor, GraphConfig, RateSpec, SchedulerConfig};
+use cinder_core::{quota, Actor, RateSpec, ReserveId, ResourceKind, SchedulerConfig};
 use cinder_hw::LaptopNet;
 use cinder_kernel::{Kernel, KernelConfig};
 use cinder_label::Label;
 use cinder_net::{CoopNetd, UncoopStack};
 use cinder_sim::{Energy, Power, SimDuration, SimTime};
 
-use crate::scenario::{DataPlan, DeviceSpec, Workload};
+use crate::scenario::{DeviceSpec, Workload};
 
 /// Compact per-device telemetry, the unit the aggregator consumes.
 ///
@@ -57,10 +57,14 @@ pub struct DeviceReport {
     /// Reserves in debt (negative balance) at the horizon — the
     /// after-the-fact billing of §5.5.2 at work.
     pub debt_reserves: u32,
-    /// Whether the §9 data plan ran out before the horizon.
+    /// Whether the §9 data plan ran out before the horizon: a send blocked
+    /// on bytes in the kernel (online enforcement, not an offline replay).
     pub quota_exhausted: bool,
-    /// Bytes left on the data plan (0 when no plan is carried).
+    /// Bytes left on the in-kernel data-plan reserve (0 when no plan is
+    /// carried; may be negative if reply bytes drove the plan into debt).
     pub quota_remaining_bytes: i64,
+    /// Sends the kernel held because the plan could not cover them.
+    pub bytes_blocked_sends: u64,
 }
 
 /// Builds the device's kernel, runs it to the spec's horizon, and distils
@@ -82,6 +86,7 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
     let scale = |p: Power| p.scale_ppm(spec.rate_scale_ppm);
     let mut poller_log = None;
     let mut viewer_log = None;
+    let mut plan_reserve = None;
     match spec.workload {
         Workload::Pollers { coop } => {
             if coop {
@@ -98,6 +103,15 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
                 interval(60),
             )
             .expect("root can build the poller topology");
+            if let Some(plan) = spec.data_plan {
+                // §9 in-kernel: the device carries a NetworkBytes root pool
+                // whose plan reserve gates both pollers' sends online —
+                // blocked-on-bytes is kernel state, not an offline replay.
+                let plan_r = kernel
+                    .install_byte_plan(plan.bytes, &[handles.rss, handles.mail])
+                    .expect("fresh device kernel has no byte root");
+                plan_reserve = Some(plan_r);
+            }
             poller_log = Some(handles.log);
         }
         Workload::Browser => {
@@ -161,7 +175,7 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
     }
 
     kernel.run_until(SimTime::ZERO + spec.horizon);
-    extract_report(spec, &kernel, poller_log, viewer_log)
+    extract_report(spec, &kernel, poller_log, viewer_log, plan_reserve)
 }
 
 fn extract_report(
@@ -169,7 +183,18 @@ fn extract_report(
     kernel: &Kernel,
     poller_log: Option<Rc<RefCell<cinder_apps::PollerLog>>>,
     viewer_log: Option<Rc<RefCell<ViewerLog>>>,
+    plan_reserve: Option<ReserveId>,
 ) -> DeviceReport {
+    // Invariant #1, per kind: every device kernel conserves each resource
+    // kind exactly at teardown (energy *and* the data plan's bytes).
+    for kind in ResourceKind::ALL {
+        assert!(
+            kernel.graph().totals_for(kind).conserved(),
+            "device {} violated {kind} conservation: {:?}",
+            spec.id,
+            kernel.graph().totals_for(kind)
+        );
+    }
     let horizon_s = spec.horizon.as_secs_f64();
     let total_energy = kernel.meter().total_energy();
     let cpu_energy: Energy = kernel
@@ -213,10 +238,23 @@ fn extract_report(
         radio.tx_bytes + radio.rx_bytes
     };
 
-    let (quota_exhausted, quota_remaining_bytes) = match (spec.data_plan, &poller_log) {
-        (Some(plan), Some(log)) => replay_data_plan(plan, &log.borrow()),
-        (Some(plan), None) => (false, plan.bytes as i64),
-        (None, _) => (false, 0),
+    // §9 data-plan state read straight off the kernel: how many sends the
+    // plan held back, whether any are still waiting, and the live balance.
+    let bytes_blocked_sends: u64 = kernel
+        .thread_ids()
+        .iter()
+        .map(|&t| kernel.thread_bytes_blocked(t))
+        .sum();
+    let (quota_exhausted, quota_remaining_bytes) = match plan_reserve {
+        Some(plan) => (
+            bytes_blocked_sends > 0,
+            kernel
+                .graph()
+                .reserve(plan)
+                .map(|r| quota::as_bytes(r.balance()))
+                .unwrap_or(0),
+        ),
+        None => (false, spec.data_plan.map(|p| p.bytes as i64).unwrap_or(0)),
     };
 
     // Projected lifetime at the observed average draw: exact-integer
@@ -244,43 +282,14 @@ fn extract_report(
         debt_reserves,
         quota_exhausted,
         quota_remaining_bytes,
+        bytes_blocked_sends,
     }
-}
-
-/// Replays the device's completed polls against a §9 byte-quota graph: the
-/// plan is a root pool of [`quota::ResourceKind::NetworkBytes`] granted to
-/// the device's networking reserve, and each poll consumes its bytes at its
-/// timestamp. Returns `(exhausted, bytes remaining)`.
-fn replay_data_plan(plan: DataPlan, log: &cinder_apps::PollerLog) -> (bool, i64) {
-    let root = Actor::kernel();
-    let mut g = cinder_core::ResourceGraph::with_config(
-        quota::bytes(plan.bytes),
-        GraphConfig {
-            decay: None, // quotas do not decay (§9)
-            ..GraphConfig::default()
-        },
-    );
-    let app = g
-        .create_reserve(&root, "plan-bytes", Label::default_label())
-        .expect("root can create the plan reserve");
-    g.transfer(&root, g.battery(), app, quota::bytes(plan.bytes))
-        .expect("pool holds the full plan");
-    let mut exhausted = false;
-    for (&at, &bytes) in log.sends.iter().zip(&log.send_bytes) {
-        g.flow_until(at);
-        if g.consume(&root, app, quota::bytes(bytes)).is_err() {
-            exhausted = true;
-            break;
-        }
-    }
-    let remaining = g.level(&root, app).map(quota::as_bytes).unwrap_or(0);
-    (exhausted, remaining)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::Scenario;
+    use crate::scenario::{DataPlan, Scenario};
 
     fn spec_for(workload: Workload, horizon_s: u64) -> DeviceSpec {
         DeviceSpec {
@@ -359,6 +368,10 @@ mod tests {
         spec.data_plan = Some(DataPlan { bytes: 20_000 });
         let r = simulate_device(&spec);
         assert!(r.quota_exhausted, "plan should run out: {r:?}");
+        assert!(
+            r.bytes_blocked_sends > 0,
+            "sends must block in-kernel: {r:?}"
+        );
         assert!(r.quota_remaining_bytes < 20_000);
     }
 
@@ -368,7 +381,31 @@ mod tests {
         spec.data_plan = Some(DataPlan { bytes: 5_000_000 });
         let r = simulate_device(&spec);
         assert!(!r.quota_exhausted);
+        assert_eq!(r.bytes_blocked_sends, 0);
         assert!(r.quota_remaining_bytes > 4_000_000);
+    }
+
+    #[test]
+    fn exhausted_plan_throttles_polls_online() {
+        // The scenario the offline replay could not express: exhaustion
+        // changes device *behaviour* — polls stop completing and the radio
+        // goes quiet once the plan runs dry mid-run.
+        let base = spec_for(Workload::Pollers { coop: false }, 1_800);
+        let free = simulate_device(&base);
+        let mut capped = base.clone();
+        capped.data_plan = Some(DataPlan { bytes: 30_000 });
+        let throttled = simulate_device(&capped);
+        assert!(throttled.quota_exhausted);
+        assert!(
+            throttled.ops < free.ops,
+            "online exhaustion must cut completed polls: {} vs {}",
+            throttled.ops,
+            free.ops
+        );
+        assert!(
+            throttled.net_bytes < free.net_bytes,
+            "blocked sends never reach the radio"
+        );
     }
 
     #[test]

@@ -47,8 +47,11 @@ pub struct FleetSummary {
     pub starved_s: Option<Summary>,
     /// Total energy the whole fleet drew, joules.
     pub fleet_energy_j: f64,
-    /// Devices whose §9 data plan ran out.
+    /// Devices whose §9 data plan ran out (a send blocked on bytes in the
+    /// kernel).
     pub quota_exhausted: usize,
+    /// Total sends across the fleet that the kernel held on byte quotas.
+    pub bytes_blocked_sends: u64,
     /// Devices holding at least one reserve in debt at the horizon.
     pub devices_in_debt: usize,
 }
@@ -86,6 +89,7 @@ impl FleetReport {
                 .map(|d| d.total_energy_uj as f64 / 1e6)
                 .sum(),
             quota_exhausted: self.devices.iter().filter(|d| d.quota_exhausted).count(),
+            bytes_blocked_sends: self.devices.iter().map(|d| d.bytes_blocked_sends).sum(),
             devices_in_debt: self.devices.iter().filter(|d| d.debt_reserves > 0).count(),
         }
     }
@@ -123,12 +127,12 @@ impl FleetReport {
         let mut out = String::from(
             "device,workload,battery_uj,battery_remaining_uj,total_energy_uj,cpu_energy_uj,\
              lifetime_h,avg_power_mw,radio_activations,radio_active_s,net_bytes,ops,starved_s,\
-             debt_reserves,quota_exhausted,quota_remaining_bytes\n",
+             debt_reserves,quota_exhausted,quota_remaining_bytes,bytes_blocked_sends\n",
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{}",
+                "{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{}",
                 d.id,
                 d.workload,
                 d.battery_capacity_uj,
@@ -145,6 +149,7 @@ impl FleetReport {
                 d.debt_reserves,
                 d.quota_exhausted,
                 d.quota_remaining_bytes,
+                d.bytes_blocked_sends,
             );
         }
         out
@@ -215,6 +220,7 @@ impl FleetReport {
         );
         let _ = writeln!(out, "  \"starved_s\": {},", summary_json(&s.starved_s));
         let _ = writeln!(out, "  \"quota_exhausted\": {},", s.quota_exhausted);
+        let _ = writeln!(out, "  \"bytes_blocked_sends\": {},", s.bytes_blocked_sends);
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -251,6 +257,7 @@ mod tests {
             debt_reserves: u32::from(id % 2 == 0),
             quota_exhausted: id == 1,
             quota_remaining_bytes: 0,
+            bytes_blocked_sends: u64::from(id == 1) * 3,
         }
     }
 
@@ -273,6 +280,7 @@ mod tests {
         assert_eq!(lifetime.min, 4.0);
         assert_eq!(lifetime.max, 13.0);
         assert_eq!(s.quota_exhausted, 1);
+        assert_eq!(s.bytes_blocked_sends, 3);
         assert_eq!(s.devices_in_debt, 5);
         // 2500 J × 10 devices.
         assert!((s.fleet_energy_j - 25_000.0).abs() < 1e-9);

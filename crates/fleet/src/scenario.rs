@@ -46,9 +46,12 @@ impl Workload {
     }
 }
 
-/// A §9 data plan: the device carries a reserve of network bytes
-/// ([`cinder_core::quota::ResourceKind::NetworkBytes`]) alongside its
-/// energy graph, and every completed poll debits its bytes from the plan.
+/// A §9 data plan: the device's kernel graph carries a
+/// [`cinder_core::ResourceKind::NetworkBytes`] root pool whose plan reserve
+/// gates the pollers' sends **online** — transmitted bytes debit the plan
+/// at the radio, received bytes bill on delivery, and a send the plan
+/// cannot cover blocks in the kernel until it can (or forever, if the plan
+/// is spent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataPlan {
     /// Plan size in bytes (the issue's study: 5 MB).
@@ -142,6 +145,16 @@ impl Scenario {
             data_plan: Some(DataPlan { bytes: plan_bytes }),
             ..Scenario::mixed(name, seed, devices)
         }
+    }
+
+    /// The plan-exhausted-mid-hour study, expressible only with in-kernel
+    /// enforcement: the plan is sized to roughly half the poller pair's
+    /// hourly appetite (~780 KB/h at nominal jitter), so devices run dry
+    /// partway through the hour and their remaining sends block in the
+    /// kernel — polls stop completing and the radio goes quiet, instead of
+    /// an offline replay merely noting the overdraft afterwards.
+    pub fn plan_exhausted_mid_hour(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario::data_plan(name, seed, devices, 380_000)
     }
 
     /// Expands the scenario into per-device specs.

@@ -50,9 +50,9 @@ proptest! {
     }
 }
 
-/// The §9 study end-to-end: a 5 MB plan survives an hour of polling, a
-/// starvation plan does not, and the aggregate count matches a per-device
-/// recount.
+/// The §9 study end-to-end with in-kernel accounting: a 5 MB plan survives
+/// an hour of polling (no send ever blocks on bytes), a starvation plan
+/// does not, and the aggregate count matches a per-device recount.
 #[test]
 fn data_plan_fleet_counts_exhausted_devices() {
     let generous = Scenario {
@@ -62,6 +62,7 @@ fn data_plan_fleet_counts_exhausted_devices() {
     let report = run_fleet_with(&generous, 4);
     let summary = report.summary();
     assert_eq!(summary.quota_exhausted, 0, "{}", report.to_json());
+    assert_eq!(summary.bytes_blocked_sends, 0, "no send should block");
     assert!(
         report.devices.iter().all(|d| d.quota_remaining_bytes > 0),
         "every device should retain plan bytes"
@@ -80,6 +81,55 @@ fn data_plan_fleet_counts_exhausted_devices() {
         "a 40 KB plan must die within the hour on most devices: {}",
         report.to_json()
     );
+    assert!(
+        summary.bytes_blocked_sends >= summary.quota_exhausted as u64,
+        "every exhausted device held at least one send in the kernel"
+    );
+}
+
+/// The plan-exhausted-mid-hour scenario the offline replay could not
+/// express: exhaustion mid-run *changes device behaviour* — held sends
+/// never reach the radio, so exhausted devices complete fewer polls and
+/// move fewer bytes than the same fleet without a plan.
+#[test]
+fn mid_hour_exhaustion_throttles_the_fleet_online() {
+    let horizon = SimDuration::from_secs(3_600);
+    let capped = Scenario {
+        horizon,
+        ..Scenario::plan_exhausted_mid_hour("plan-mid-hour", 21, 10)
+    };
+    let free = Scenario {
+        data_plan: None,
+        ..capped.clone()
+    };
+    let capped_report = run_fleet_with(&capped, 4);
+    let free_report = run_fleet_with(&free, 4);
+    let summary = capped_report.summary();
+    assert!(
+        summary.quota_exhausted >= 8,
+        "a half-hour plan must die mid-run on nearly every device: {}",
+        capped_report.to_json()
+    );
+    let capped_ops: u64 = capped_report.devices.iter().map(|d| d.ops).sum();
+    let free_ops: u64 = free_report.devices.iter().map(|d| d.ops).sum();
+    assert!(
+        capped_ops < free_ops * 3 / 4,
+        "online exhaustion must cut fleet-wide polls: {capped_ops} vs {free_ops}"
+    );
+    let capped_bytes: u64 = capped_report.devices.iter().map(|d| d.net_bytes).sum();
+    let free_bytes: u64 = free_report.devices.iter().map(|d| d.net_bytes).sum();
+    assert!(
+        capped_bytes < free_bytes,
+        "held sends never reach the radio: {capped_bytes} vs {free_bytes}"
+    );
+    // The remaining balances are small (below one poll pair) but the plan
+    // never goes materially negative: only reply bytes may overdraw.
+    for d in capped_report.devices.iter().filter(|d| d.quota_exhausted) {
+        assert!(
+            d.quota_remaining_bytes < 13_500,
+            "exhausted device retains less than one poll pair: {d:?}"
+        );
+    }
 }
 
 /// Mixture landmarks survive aggregation: coop pollers activate the radio
@@ -118,8 +168,8 @@ fn aggregate_telemetry_reflects_workload_structure() {
     );
 }
 
-/// `DataPlan` devices replay their polls against the quota graph even when
-/// the executor shards them differently.
+/// `DataPlan` devices account their quotas in-kernel identically no matter
+/// how the executor shards them.
 #[test]
 fn quota_accounting_is_thread_invariant() {
     let scenario = Scenario {

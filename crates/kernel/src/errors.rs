@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cinder_core::GraphError;
+use cinder_core::{GraphError, ResourceKind};
 use cinder_hw::Arm9Error;
 
 /// Why a kernel operation failed.
@@ -25,6 +25,12 @@ pub enum KernelError {
     NoNetwork,
     /// No laptop NIC is configured on this platform.
     NoLaptopNic,
+    /// The thread has no active reserve of the required kind (e.g.
+    /// `sms_send` without an SMS quota attached).
+    NoReserveForKind {
+        /// The kind the syscall needed a reserve for.
+        kind: ResourceKind,
+    },
     /// The ARM9 refused the request (closed firmware).
     Arm9(Arm9Error),
 }
@@ -39,6 +45,9 @@ impl fmt::Display for KernelError {
             KernelError::Denied { op } => write!(f, "permission denied: {op}"),
             KernelError::NoNetwork => write!(f, "no network stack installed"),
             KernelError::NoLaptopNic => write!(f, "no laptop NIC on this platform"),
+            KernelError::NoReserveForKind { kind } => {
+                write!(f, "thread has no active {kind} reserve")
+            }
             KernelError::Arm9(e) => write!(f, "arm9: {e}"),
         }
     }

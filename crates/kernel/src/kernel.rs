@@ -17,8 +17,8 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use cinder_core::{
-    Actor, EnergyScheduler, GraphConfig, RateSpec, ReserveId, ResourceGraph, SchedulerConfig,
-    TapId, TaskId, TaskState,
+    quota, Actor, GraphConfig, Quantity, RateSpec, ReserveId, ResourceGraph, ResourceKind,
+    ResourceScheduler, SchedulerConfig, TapId, TaskId, TaskState,
 };
 use cinder_hw::{
     Arm9, Arm9Request, Arm9Response, Battery, CpuKind, LaptopNet, PlatformPower, RadioParams,
@@ -109,12 +109,23 @@ enum KernelEvent {
     /// Wake a sleeping/blocked thread.
     Wake(ThreadId),
     /// Deliver received bytes: extends the radio episode and debits the
-    /// billed reserve after the fact.
+    /// billed energy reserve (and the data plan's bytes) after the fact.
     Rx {
         thread: ThreadId,
         bytes: u64,
         bill: Option<ReserveId>,
+        bill_bytes: Option<ReserveId>,
     },
+}
+
+/// A send the kernel is holding back because the thread's `NetworkBytes`
+/// reserve cannot cover it yet (§9, enforced online). Re-checked at every
+/// net poll; once the plan covers `tx + rx` the request is handed to the
+/// installed stack.
+#[derive(Debug, Clone, Copy)]
+struct PendingSend {
+    tx_bytes: u64,
+    rx_bytes: u64,
 }
 
 struct ThreadState {
@@ -126,6 +137,12 @@ struct ThreadState {
     cpu_kind: CpuKind,
     net_result: Option<NetSendStatus>,
     msg_inbox: VecDeque<SimDuration>,
+    /// A send blocked on the thread's byte quota (distinct from blocking in
+    /// the stack on pooled energy).
+    pending_send: Option<PendingSend>,
+    /// How many sends have blocked on bytes — the §9 telemetry that makes
+    /// blocked-on-bytes observably distinct from blocked-on-energy.
+    bytes_blocked_sends: u64,
     exited: bool,
 }
 
@@ -134,7 +151,7 @@ pub struct Kernel {
     config: KernelConfig,
     now: SimTime,
     graph: ResourceGraph,
-    sched: EnergyScheduler,
+    sched: ResourceScheduler,
     platform: PlatformPower,
     arm9: Arm9,
     meter: PowerMeter,
@@ -155,7 +172,7 @@ impl Kernel {
     /// Boots a kernel with the given configuration.
     pub fn new(config: KernelConfig) -> Self {
         let graph = ResourceGraph::with_config(config.battery, config.graph);
-        let sched = EnergyScheduler::new(config.sched);
+        let sched = ResourceScheduler::new(config.sched);
         let platform = PlatformPower::htc_dream();
         let battery_hw = Battery::new(config.battery.max(Energy::from_joules(1)));
         let arm9 = Arm9::new(config.radio, battery_hw);
@@ -275,6 +292,36 @@ impl Kernel {
     /// The installed stack's pool reserve, if any (Fig 14).
     pub fn net_pool_reserve(&self) -> Option<ReserveId> {
         self.net.as_ref().and_then(|n| n.pool_reserve())
+    }
+
+    /// Installs a §9 data plan: creates the graph's `NetworkBytes` root
+    /// pool holding `bytes`, grants the full plan to a `"plan"` reserve,
+    /// and attaches that reserve to every thread in `threads` — their
+    /// sends are byte-gated online from then on. Returns the plan reserve.
+    ///
+    /// Fails with [`cinder_core::GraphError::DuplicateRoot`] if the kernel
+    /// already carries a byte pool.
+    pub fn install_byte_plan(
+        &mut self,
+        bytes: u64,
+        threads: &[ThreadId],
+    ) -> Result<ReserveId, KernelError> {
+        let root = Actor::kernel();
+        let pool = self
+            .graph
+            .create_root(&root, "plan-pool", Quantity::network_bytes(bytes))?;
+        let plan = self.graph.create_reserve_kind(
+            &root,
+            "plan",
+            Label::default_label(),
+            ResourceKind::NetworkBytes,
+        )?;
+        self.graph
+            .transfer(&root, pool, plan, quota::bytes(bytes))?;
+        for &tid in threads {
+            self.set_thread_reserve_kind(tid, ResourceKind::NetworkBytes, plan);
+        }
+        Ok(plan)
     }
 
     // ----- object management ----------------------------------------------
@@ -426,6 +473,7 @@ impl Kernel {
             Body::Thread { thread } => {
                 if let Some(st) = self.threads.get_mut(thread) {
                     st.exited = true;
+                    st.pending_send = None;
                     let task = st.task;
                     self.sched.set_state(task, TaskState::Exited);
                 }
@@ -461,6 +509,8 @@ impl Kernel {
                 cpu_kind: CpuKind::default(),
                 net_result: None,
                 msg_inbox: VecDeque::new(),
+                pending_send: None,
+                bytes_blocked_sends: 0,
                 exited: false,
             },
         );
@@ -534,19 +584,55 @@ impl Kernel {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// The thread's active reserve.
+    /// The thread's active energy reserve.
     pub fn thread_reserve(&self, tid: ThreadId) -> Option<ReserveId> {
+        self.thread_reserve_kind(tid, ResourceKind::Energy)
+    }
+
+    /// The thread's active reserve for a kind, if one is attached.
+    pub fn thread_reserve_kind(&self, tid: ThreadId, kind: ResourceKind) -> Option<ReserveId> {
         self.threads
             .get(&tid)
-            .and_then(|t| self.sched.active_reserve(t.task))
+            .and_then(|t| self.sched.reserve_for(t.task, kind))
+    }
+
+    /// Attaches (or switches) a thread's active reserve for a kind
+    /// (root-shell API; programs use [`Ctx::set_active_reserve_kind`]).
+    /// Attaching a `NetworkBytes` reserve puts the thread's sends under
+    /// that data plan, enforced online.
+    pub fn set_thread_reserve_kind(&mut self, tid: ThreadId, kind: ResourceKind, r: ReserveId) {
+        if let Some(t) = self.threads.get(&tid) {
+            self.sched.set_reserve_for(t.task, kind, r);
+        }
+    }
+
+    /// How many of the thread's sends blocked because its `NetworkBytes`
+    /// reserve could not cover them (§9) — observably distinct from energy
+    /// throttling ([`Kernel::thread_throttled`]) and from blocking in netd
+    /// on pooled energy.
+    pub fn thread_bytes_blocked(&self, tid: ThreadId) -> u64 {
+        self.threads
+            .get(&tid)
+            .map(|t| t.bytes_blocked_sends)
+            .unwrap_or(0)
+    }
+
+    /// Whether the thread is *currently* blocked on bytes: a send is queued
+    /// in the kernel waiting for its data plan to cover it.
+    pub fn thread_awaiting_bytes(&self, tid: ThreadId) -> bool {
+        self.threads
+            .get(&tid)
+            .is_some_and(|t| t.pending_send.is_some())
     }
 
     /// Terminates a thread: it never runs again (its reserves and taps are
-    /// unaffected; delete those separately or via container GC).
+    /// unaffected; delete those separately or via container GC). Any send
+    /// it had blocked on bytes dies with it.
     pub fn kill(&mut self, tid: ThreadId) {
         if let Some(st) = self.threads.get_mut(&tid) {
             st.exited = true;
             st.program = None;
+            st.pending_send = None;
             let task = st.task;
             self.sched.set_state(task, TaskState::Exited);
         }
@@ -602,6 +688,24 @@ impl Kernel {
         if self.sched.has_ready() || self.net.as_ref().is_some_and(|n| !n.is_idle()) {
             return;
         }
+        // A send blocked on its byte quota is re-checked at every net poll,
+        // so quanta are not skippable while a tap may be refilling the
+        // plan. A plan with no inbound tap provably stays uncovered across
+        // the span — nothing else runs inside a skipped span, and events
+        // only ever *debit* byte reserves — so an exhausted dead-end plan
+        // (the mid-hour scenario's tail) does not pin the loop to
+        // per-quantum stepping.
+        let refillable_waiter = self.threads.values().any(|t| {
+            !t.exited
+                && t.pending_send.is_some()
+                && self
+                    .sched
+                    .reserve_for(t.task, ResourceKind::NetworkBytes)
+                    .is_some_and(|plan| self.graph.taps().any(|(_, tap)| tap.sink() == plan))
+        });
+        if refillable_waiter {
+            return;
+        }
         let mut wake = end;
         if let Some(t) = self.events.peek_time() {
             wake = wake.min(t);
@@ -655,6 +759,7 @@ impl Kernel {
                     thread,
                     bytes,
                     bill,
+                    bill_bytes,
                 } => {
                     if self.arm9.radio().is_active() {
                         if let Ok(Arm9Response::Radio(out)) =
@@ -669,6 +774,16 @@ impl Kernel {
                         let _ = self
                             .graph
                             .consume_with_debt(&Actor::kernel(), reserve, cost);
+                    }
+                    if let Some(plan) = bill_bytes {
+                        // §5.5.2's after-the-fact billing applied to the
+                        // data plan: received bytes debit the byte reserve
+                        // "up to or into debt".
+                        let _ = self.graph.consume_with_debt(
+                            &Actor::kernel(),
+                            plan,
+                            quota::bytes(bytes),
+                        );
                     }
                     let _ = thread; // delivery does not wake the thread
                 }
@@ -685,6 +800,7 @@ impl Kernel {
         if !due {
             return;
         }
+        self.retry_byte_blocked_sends(t);
         // Snap the poll clock to its own grid rather than to `t`: if the
         // idle fast-forward jumped several ticks, the cadence stays aligned
         // with the every-quantum run instead of acquiring a phase shift.
@@ -734,8 +850,99 @@ impl Kernel {
                     thread: rx.thread,
                     bytes: rx.bytes,
                     bill: rx.bill,
+                    bill_bytes: rx.bill_bytes,
                 },
             );
+        }
+    }
+
+    /// Hands one send request to the installed stack, forwarding its reply
+    /// deliveries and metered energy. Shared by the [`Ctx::net_send`]
+    /// syscall and the byte-quota retry path.
+    fn submit_to_stack(
+        &mut self,
+        t: SimTime,
+        req: SendRequest,
+    ) -> Result<SendVerdict, KernelError> {
+        let Some(mut stack) = self.net.take() else {
+            return Err(KernelError::NoNetwork);
+        };
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let verdict = {
+            let mut env = NetEnv {
+                now: t,
+                graph: &mut self.graph,
+                arm9: &mut self.arm9,
+                rng: &mut self.rng,
+                rx_outbox: &mut outbox,
+                metered_energy: &mut metered,
+            };
+            stack.request(&mut env, req)
+        };
+        self.net = Some(stack);
+        self.meter.add_energy(metered);
+        self.queue_rx(outbox);
+        Ok(verdict)
+    }
+
+    /// The §9 enforcement point: whether `plan` covers a whole send
+    /// (transmit plus the expected reply — a plan must not be committed to
+    /// traffic it cannot absorb).
+    fn plan_covers(&self, plan: ReserveId, tx_bytes: u64, rx_bytes: u64) -> bool {
+        self.graph
+            .reserve(plan)
+            .is_some_and(|r| r.balance() >= quota::bytes(tx_bytes + rx_bytes))
+    }
+
+    /// Re-checks byte-blocked sends (in thread-id order, keeping runs
+    /// deterministic): once the plan covers a held request it goes to the
+    /// stack — which may still block it on pooled energy (netd), the two
+    /// block reasons composing in sequence.
+    fn retry_byte_blocked_sends(&mut self, t: SimTime) {
+        let waiting: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|(_, st)| st.pending_send.is_some() && !st.exited)
+            .map(|(&tid, _)| tid)
+            .collect();
+        for tid in waiting {
+            let Some(st) = self.threads.get(&tid) else {
+                continue;
+            };
+            let task = st.task;
+            let pending = st.pending_send.expect("filtered on pending_send");
+            let Some(plan) = self.sched.reserve_for(task, ResourceKind::NetworkBytes) else {
+                continue;
+            };
+            if !self.plan_covers(plan, pending.tx_bytes, pending.rx_bytes) {
+                continue;
+            }
+            let Some(reserve) = self.sched.reserve_for(task, ResourceKind::Energy) else {
+                continue;
+            };
+            if let Some(st) = self.threads.get_mut(&tid) {
+                st.pending_send = None;
+            }
+            let req = SendRequest {
+                thread: tid,
+                reserve,
+                byte_reserve: Some(plan),
+                tx_bytes: pending.tx_bytes,
+                rx_bytes: pending.rx_bytes,
+            };
+            match self.submit_to_stack(t, req) {
+                Ok(SendVerdict::Sent) => {
+                    if let Some(st) = self.threads.get_mut(&tid) {
+                        st.net_result = Some(NetSendStatus::Sent);
+                        if !st.exited {
+                            self.sched.set_state(task, TaskState::Ready);
+                        }
+                    }
+                }
+                // Queued in the stack (pooling): the stack's poll wakes it.
+                Ok(SendVerdict::Blocked) | Err(_) => {}
+            }
         }
     }
 
@@ -834,6 +1041,7 @@ impl Kernel {
                 Step::Exit => {
                     st.exited = true;
                     st.program = None;
+                    st.pending_send = None;
                     self.sched.set_state(task, TaskState::Exited);
                     return;
                 }
@@ -906,10 +1114,26 @@ impl Ctx<'_> {
             .expect("thread has a reserve")
     }
 
-    /// Switches the active reserve (`self_set_active_reserve`, Fig 5).
+    /// Switches the active energy reserve (`self_set_active_reserve`,
+    /// Fig 5).
     pub fn set_active_reserve(&mut self, reserve: ReserveId) {
         let task = self.state().task;
         self.kernel.sched.set_active_reserve(task, reserve);
+    }
+
+    /// This thread's active reserve for a kind, if one is attached.
+    pub fn active_reserve_kind(&self, kind: ResourceKind) -> Option<ReserveId> {
+        self.kernel.sched.reserve_for(self.state().task, kind)
+    }
+
+    /// Attaches (or switches) this thread's active reserve for a kind —
+    /// the typed generalisation of `self_set_active_reserve` (§9).
+    /// Attaching a [`ResourceKind::NetworkBytes`] reserve puts the thread's
+    /// sends under that data plan; attaching a
+    /// [`ResourceKind::SmsMessages`] reserve funds [`Ctx::sms_send`].
+    pub fn set_active_reserve_kind(&mut self, kind: ResourceKind, reserve: ReserveId) {
+        let task = self.state().task;
+        self.kernel.sched.set_reserve_for(task, kind, reserve);
     }
 
     /// Creates a reserve (label-checked).
@@ -1056,37 +1280,45 @@ impl Ctx<'_> {
 
     /// Requests a network send of `tx_bytes`, expecting `rx_bytes` back.
     ///
-    /// Returns [`NetSendStatus::Blocked`] if the stack queued the request
-    /// (insufficient pooled energy); the program should then return
-    /// [`Step::Block`] and, on wake, call [`Ctx::net_take_result`].
+    /// If the thread carries a [`ResourceKind::NetworkBytes`] reserve, the
+    /// send is gated on the plan covering `tx + rx` bytes *before* the
+    /// stack sees it: an uncovered send blocks — without being charged a
+    /// byte or a joule of radio energy — until taps refill the plan
+    /// (blocked-on-bytes, re-checked each net poll). Covered sends debit
+    /// the plan per transmitted byte at the radio and bill reply bytes on
+    /// delivery.
+    ///
+    /// Returns [`NetSendStatus::Blocked`] if the send was held on bytes or
+    /// queued by the stack (insufficient pooled energy); the program should
+    /// then return [`Step::Block`] and, on wake, call
+    /// [`Ctx::net_take_result`].
     pub fn net_send(&mut self, tx_bytes: u64, rx_bytes: u64) -> Result<NetSendStatus, KernelError> {
+        if self.kernel.net.is_none() {
+            return Err(KernelError::NoNetwork);
+        }
         let reserve = self.active_reserve();
+        let byte_reserve = self.active_reserve_kind(ResourceKind::NetworkBytes);
+        if let Some(plan) = byte_reserve {
+            if !self.kernel.plan_covers(plan, tx_bytes, rx_bytes) {
+                let st = self
+                    .kernel
+                    .threads
+                    .get_mut(&self.tid)
+                    .ok_or(KernelError::NoSuchThread)?;
+                st.pending_send = Some(PendingSend { tx_bytes, rx_bytes });
+                st.bytes_blocked_sends += 1;
+                return Ok(NetSendStatus::Blocked);
+            }
+        }
         let req = SendRequest {
             thread: self.tid,
             reserve,
+            byte_reserve,
             tx_bytes,
             rx_bytes,
         };
-        let Some(mut stack) = self.kernel.net.take() else {
-            return Err(KernelError::NoNetwork);
-        };
-        let mut outbox = Vec::new();
-        let mut metered = Energy::ZERO;
-        let verdict = {
-            let mut env = NetEnv {
-                now: self.kernel.now,
-                graph: &mut self.kernel.graph,
-                arm9: &mut self.kernel.arm9,
-                rng: &mut self.kernel.rng,
-                rx_outbox: &mut outbox,
-                metered_energy: &mut metered,
-            };
-            stack.request(&mut env, req)
-        };
-        self.kernel.net = Some(stack);
-        self.kernel.meter.add_energy(metered);
-        self.kernel.queue_rx(outbox);
-        Ok(match verdict {
+        let now = self.kernel.now;
+        Ok(match self.kernel.submit_to_stack(now, req)? {
             SendVerdict::Sent => NetSendStatus::Sent,
             SendVerdict::Blocked => NetSendStatus::Blocked,
         })
@@ -1098,6 +1330,23 @@ impl Ctx<'_> {
             .threads
             .get_mut(&self.tid)
             .and_then(|s| s.net_result.take())
+    }
+
+    /// Sends `messages` SMS messages against the thread's
+    /// [`ResourceKind::SmsMessages`] reserve (§9), debiting the quota
+    /// online. Fails without side effects if no SMS reserve is attached or
+    /// the quota cannot cover the batch.
+    pub fn sms_send(&mut self, messages: u64) -> Result<(), KernelError> {
+        let Some(reserve) = self.active_reserve_kind(ResourceKind::SmsMessages) else {
+            return Err(KernelError::NoReserveForKind {
+                kind: ResourceKind::SmsMessages,
+            });
+        };
+        let actor = self.actor();
+        Ok(self
+            .kernel
+            .graph
+            .consume_typed(&actor, reserve, Quantity::sms_messages(messages))?)
     }
 
     // ----- devices -----------------------------------------------------------

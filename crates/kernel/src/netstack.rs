@@ -17,8 +17,13 @@ use crate::kernel::ThreadId;
 pub struct SendRequest {
     /// The requesting thread.
     pub thread: ThreadId,
-    /// The thread's active reserve (for billing and pooled contributions).
+    /// The thread's active energy reserve (for billing and pooled
+    /// contributions).
     pub reserve: ReserveId,
+    /// The thread's active `NetworkBytes` reserve, if it carries a data
+    /// plan (§9): debited per transmitted byte at the radio, and after the
+    /// fact for received bytes. `None` = quota-unrestricted.
+    pub byte_reserve: Option<ReserveId>,
     /// Bytes to transmit.
     pub tx_bytes: u64,
     /// Bytes the remote end will send back (0 = no reply).
@@ -44,9 +49,12 @@ pub struct RxDelivery {
     pub thread: ThreadId,
     /// Reply size.
     pub bytes: u64,
-    /// Reserve to debit after the fact (`None` = unbilled, the
+    /// Energy reserve to debit after the fact (`None` = unbilled, the
     /// energy-unrestricted baseline).
     pub bill: Option<ReserveId>,
+    /// `NetworkBytes` reserve to debit the reply's bytes against after the
+    /// fact (§5.5.2's "up to or into debt", applied to the data plan).
+    pub bill_bytes: Option<ReserveId>,
 }
 
 /// What the kernel lends a stack while it makes decisions: the resource
@@ -72,11 +80,15 @@ impl NetEnv<'_> {
     /// Round-trip latency used when scheduling echo replies.
     pub const DEFAULT_RTT: SimDuration = SimDuration::from_millis(200);
 
-    /// Transmits through the ARM9 now, metering the data energy, and
-    /// schedules the reply (if any) after [`NetEnv::DEFAULT_RTT`].
+    /// Transmits through the ARM9 now, metering the data energy, debiting
+    /// the request's `NetworkBytes` reserve per transmitted byte (§9,
+    /// enforced online at the radio for every stack), and scheduling the
+    /// reply (if any) after [`NetEnv::DEFAULT_RTT`].
     ///
     /// `bill_rx` selects after-the-fact receive billing (§5.5.2); the
-    /// unrestricted baseline passes `None`.
+    /// unrestricted baseline passes `None`. Reply *bytes* are always billed
+    /// to the byte reserve when one is carried — a data plan meters
+    /// received traffic even when radio energy is unbilled.
     pub fn transmit(&mut self, req: &SendRequest, bill_rx: Option<ReserveId>) {
         let outcome = match self.arm9.request(
             self.now,
@@ -89,12 +101,24 @@ impl NetEnv<'_> {
             other => unreachable!("radio transmit cannot fail: {other:?}"),
         };
         *self.metered_energy += outcome.data_energy;
+        if let Some(bytes_reserve) = req.byte_reserve {
+            // The kernel gated the send on the plan covering tx+rx; by the
+            // time a pooled request reaches the radio other sends may have
+            // drained the plan, so debit with debt rather than fail the
+            // transmit the stack already paid energy for.
+            let _ = self.graph.consume_with_debt(
+                &cinder_core::Actor::kernel(),
+                bytes_reserve,
+                cinder_core::quota::bytes(req.tx_bytes),
+            );
+        }
         if req.rx_bytes > 0 {
             self.rx_outbox.push(RxDelivery {
                 at: self.now + Self::DEFAULT_RTT + outcome.duration,
                 thread: req.thread,
                 bytes: req.rx_bytes,
                 bill: bill_rx,
+                bill_bytes: req.byte_reserve,
             });
         }
     }
@@ -177,6 +201,7 @@ mod tests {
         let req = SendRequest {
             thread: ThreadId::test_id(1),
             reserve,
+            byte_reserve: None,
             tx_bytes: 100,
             rx_bytes: 400,
         };
@@ -185,7 +210,65 @@ mod tests {
         assert_eq!(metered, Energy::from_microjoules(250));
         assert_eq!(outbox.len(), 1);
         assert_eq!(outbox[0].bytes, 400);
+        assert_eq!(outbox[0].bill_bytes, None);
         assert!(outbox[0].at > SimTime::from_secs(1));
         assert!(arm9.radio().is_active());
+    }
+
+    #[test]
+    fn transmit_debits_the_byte_reserve_per_byte() {
+        let mut graph = ResourceGraph::new(Energy::from_joules(100));
+        let k = Actor::kernel();
+        let reserve = graph
+            .create_reserve(&k, "r", Label::default_label())
+            .unwrap();
+        graph
+            .create_root(
+                &k,
+                "plan-pool",
+                cinder_core::Quantity::network_bytes(10_000),
+            )
+            .unwrap();
+        let plan = graph
+            .create_reserve_kind(
+                &k,
+                "plan",
+                Label::default_label(),
+                cinder_core::ResourceKind::NetworkBytes,
+            )
+            .unwrap();
+        let pool = graph.root(cinder_core::ResourceKind::NetworkBytes).unwrap();
+        graph
+            .transfer(&k, pool, plan, cinder_core::quota::bytes(10_000))
+            .unwrap();
+        let mut arm9 = Arm9::new(RadioParams::htc_dream(), Battery::fig1_15kj());
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut outbox = Vec::new();
+        let mut metered = Energy::ZERO;
+        let mut env = NetEnv {
+            now: SimTime::from_secs(1),
+            graph: &mut graph,
+            arm9: &mut arm9,
+            rng: &mut rng,
+            rx_outbox: &mut outbox,
+            metered_energy: &mut metered,
+        };
+        let req = SendRequest {
+            thread: ThreadId::test_id(1),
+            reserve,
+            byte_reserve: Some(plan),
+            tx_bytes: 1_500,
+            rx_bytes: 4_000,
+        };
+        env.transmit(&req, None);
+        // tx bytes debited at the radio, rx bytes billed at delivery.
+        assert_eq!(
+            cinder_core::quota::as_bytes(graph.level(&k, plan).unwrap()),
+            10_000 - 1_500
+        );
+        assert_eq!(outbox[0].bill_bytes, Some(plan));
+        assert!(graph
+            .totals_for(cinder_core::ResourceKind::NetworkBytes)
+            .conserved());
     }
 }

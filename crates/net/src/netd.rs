@@ -290,6 +290,7 @@ mod tests {
         SendRequest {
             thread: ThreadId::test_id(thread),
             reserve,
+            byte_reserve: None,
             tx_bytes: bytes,
             rx_bytes: 0,
         }
@@ -409,6 +410,7 @@ mod tests {
         let request = SendRequest {
             thread: ThreadId::test_id(1),
             reserve: r,
+            byte_reserve: None,
             tx_bytes: 64,
             rx_bytes: 4_096,
         };

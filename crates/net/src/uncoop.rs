@@ -78,6 +78,7 @@ mod tests {
             SendRequest {
                 thread: ThreadId::test_id(1),
                 reserve,
+                byte_reserve: None,
                 tx_bytes: 512,
                 rx_bytes: 1024,
             },

@@ -1,75 +1,105 @@
-//! The paper's §9 future work, implemented: reserves and taps managing
-//! *network bytes* instead of joules — "replacing the logical battery with
-//! a pool of network bytes" to keep applications inside a data plan.
+//! The paper's §9 future work as a first-class typed graph: reserves and
+//! taps managing *network bytes* — "replacing the logical battery with a
+//! pool of network bytes" to keep applications inside a data plan.
+//!
+//! Byte reserves are declared [`cinder::core::ResourceKind::NetworkBytes`],
+//! the taps are kind-checked (a byte tap cannot touch a joule reserve), and
+//! amounts move through the typed [`Quantity`]/[`Rate`] API — no unit puns.
 //!
 //! ```text
 //! cargo run --example data_quota
 //! ```
 
-use cinder::core::quota::{as_bytes, bytes, bytes_per_sec};
-use cinder::core::{Actor, GraphConfig, RateSpec, ResourceGraph};
+use cinder::core::{Actor, GraphConfig, Quantity, Rate, ResourceGraph, ResourceKind};
 use cinder::label::Label;
-use cinder::sim::SimTime;
+use cinder::sim::{Energy, SimTime};
 
 fn main() {
-    // A 5 MB monthly data plan is the root "battery".
-    let mut plan = ResourceGraph::with_config(
-        bytes(5_000_000),
+    // An (empty) energy battery plus a 5 MB data-plan pool: one graph, two
+    // kinds, conservation tracked per kind.
+    let mut g = ResourceGraph::with_config(
+        Energy::ZERO,
         GraphConfig {
-            decay: None, // data quotas do not decay
+            decay: None,
             ..GraphConfig::default()
         },
     );
     let admin = Actor::kernel();
-    let pool = plan.battery();
+    let pool = g
+        .create_root(&admin, "plan-pool", Quantity::network_bytes(5_000_000))
+        .unwrap();
 
     // A chatty ad-supported app is limited to 2 KB/s; the mail client gets
     // a 10 KB/s tap.
-    let ads = plan
-        .create_reserve(&admin, "ad-app", Label::default_label())
+    let ads = g
+        .create_reserve_kind(
+            &admin,
+            "ad-app",
+            Label::default_label(),
+            ResourceKind::NetworkBytes,
+        )
         .unwrap();
-    let mail = plan
-        .create_reserve(&admin, "mail", Label::default_label())
+    let mail = g
+        .create_reserve_kind(
+            &admin,
+            "mail",
+            Label::default_label(),
+            ResourceKind::NetworkBytes,
+        )
         .unwrap();
-    plan.create_tap(
+    g.create_tap_typed(
         &admin,
         "ads@2KBps",
         pool,
         ads,
-        RateSpec::constant(bytes_per_sec(2_000)),
+        Rate::bytes_per_sec(2_000),
         Label::default_label(),
     )
     .unwrap();
-    plan.create_tap(
+    g.create_tap_typed(
         &admin,
         "mail@10KBps",
         pool,
         mail,
-        RateSpec::constant(bytes_per_sec(10_000)),
+        Rate::bytes_per_sec(10_000),
         Label::default_label(),
     )
     .unwrap();
 
+    // Cross-kind plumbing is a typed error, not a silent unit pun.
+    let err = g
+        .create_tap_typed(
+            &admin,
+            "bytes-to-joules",
+            pool,
+            g.battery(),
+            Rate::bytes_per_sec(1_000),
+            Label::default_label(),
+        )
+        .unwrap_err();
+    println!("wiring bytes into the battery is refused: {err}\n");
+
     println!("5 MB data plan; ad-app tapped at 2 KB/s, mail at 10 KB/s\n");
     for minute in 1..=5u64 {
-        plan.flow_until(SimTime::from_secs(minute * 60));
+        g.flow_until(SimTime::from_secs(minute * 60));
         // The ad app tries to pull 1 MB of ads; the mail client syncs 200 KB.
-        let ad_attempt = plan.consume(&admin, ads, bytes(1_000_000));
-        let mail_attempt = plan.consume(&admin, mail, bytes(200_000));
+        let ad_attempt = g.consume_typed(&admin, ads, Quantity::network_bytes(1_000_000));
+        let mail_attempt = g.consume_typed(&admin, mail, Quantity::network_bytes(200_000));
         println!(
-            "minute {minute}: ad 1MB fetch: {:<8} mail 200KB sync: {:<8} plan left: {} bytes",
+            "minute {minute}: ad 1MB fetch: {:<8} mail 200KB sync: {:<8} plan left: {}",
             if ad_attempt.is_ok() { "OK" } else { "BLOCKED" },
             if mail_attempt.is_ok() {
                 "OK"
             } else {
                 "BLOCKED"
             },
-            as_bytes(plan.level(&admin, pool).unwrap()),
+            g.level_typed(&admin, pool).unwrap(),
         );
     }
     println!(
-        "\nad app accumulated only {} bytes of quota — its 1 MB fetches never fit;",
-        as_bytes(plan.level(&admin, ads).unwrap())
+        "\nad app accumulated only {} of quota — its 1 MB fetches never fit;",
+        g.level_typed(&admin, ads).unwrap()
     );
     println!("the mail client's 200 KB syncs fit comfortably inside its 10 KB/s tap.");
+    assert!(g.totals_for(ResourceKind::NetworkBytes).conserved());
 }
