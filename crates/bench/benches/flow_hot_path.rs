@@ -98,8 +98,9 @@ fn multi_kind_graph() -> ResourceGraph {
     g
 }
 
-/// A mixed variant: one reserve in five gains a backward-proportional tap,
-/// which disables fast-forward and exercises the indexed per-tick path.
+/// A mixed variant: one reserve in five gains a backward-proportional tap.
+/// The engine partitions the graph per run — the proportional island ticks
+/// over SoA arrays while the untouched constant fan-out is closed-formed.
 fn mixed_graph() -> ResourceGraph {
     let mut g = const_graph();
     let k = Actor::kernel();
@@ -125,6 +126,38 @@ fn mixed_graph() -> ResourceGraph {
     g
 }
 
+/// The partitioned showcase: a const-heavy graph with one small
+/// proportional *island* (a plugin reserve with a backward tap, fed by its
+/// own battery tap). The ticked partition is 2 taps; the other ~200 are
+/// closed-formed — the shape the per-source partitioning is built for.
+fn mixed_partitioned_graph() -> ResourceGraph {
+    let mut g = const_graph();
+    let k = Actor::kernel();
+    let battery = g.battery();
+    let island = g
+        .create_reserve(&k, "island", Label::default_label())
+        .unwrap();
+    g.create_tap(
+        &k,
+        "island-feed",
+        battery,
+        island,
+        RateSpec::constant(Power::from_milliwatts(70)),
+        Label::default_label(),
+    )
+    .unwrap();
+    g.create_tap(
+        &k,
+        "island-bwd",
+        island,
+        battery,
+        RateSpec::proportional(0.1),
+        Label::default_label(),
+    )
+    .unwrap();
+    g
+}
+
 fn bench_flow_hot_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_hot_path_1h_100r_200t");
     group.bench_function("engine", |b| {
@@ -147,6 +180,18 @@ fn bench_flow_hot_path(c: &mut Criterion) {
     });
     group.bench_function("reference_mixed", |b| {
         b.iter_with_setup(mixed_graph, |mut g| {
+            g.flow_until_reference(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("engine_mixed_partitioned", |b| {
+        b.iter_with_setup(mixed_partitioned_graph, |mut g| {
+            g.flow_until(black_box(SIM_SPAN));
+            g
+        })
+    });
+    group.bench_function("reference_mixed_partitioned", |b| {
+        b.iter_with_setup(mixed_partitioned_graph, |mut g| {
             g.flow_until_reference(black_box(SIM_SPAN));
             g
         })
@@ -205,6 +250,15 @@ fn speedup_report(_c: &mut Criterion) {
     );
     let mixed_speedup = reference_mixed_ms / engine_mixed_ms;
 
+    let (engine_island_ms, engine_island_state) = time_runs(mixed_partitioned_graph, true, 20);
+    let (reference_island_ms, reference_island_state) =
+        time_runs(mixed_partitioned_graph, false, 5);
+    assert_eq!(
+        engine_island_state, reference_island_state,
+        "engine and reference diverged on the mixed-partitioned scenario"
+    );
+    let island_speedup = reference_island_ms / engine_island_ms;
+
     let (engine_mk_ms, engine_mk_state) = time_runs(multi_kind_graph, true, 20);
     let (reference_mk_ms, reference_mk_state) = time_runs(multi_kind_graph, false, 5);
     assert_eq!(
@@ -214,11 +268,16 @@ fn speedup_report(_c: &mut Criterion) {
     let multi_kind_speedup = reference_mk_ms / engine_mk_ms;
 
     println!("flow_hot_path speedup (const, fast-forward): {speedup:.1}x  (reference {reference_ms:.2} ms -> engine {engine_ms:.4} ms)");
-    println!("flow_hot_path speedup (mixed, per-tick):     {mixed_speedup:.1}x  (reference {reference_mixed_ms:.2} ms -> engine {engine_mixed_ms:.2} ms)");
+    println!("flow_hot_path speedup (mixed, partitioned):  {mixed_speedup:.1}x  (reference {reference_mixed_ms:.2} ms -> engine {engine_mixed_ms:.2} ms)");
+    println!("flow_hot_path speedup (prop island):         {island_speedup:.1}x  (reference {reference_island_ms:.2} ms -> engine {engine_island_ms:.2} ms)");
     println!("flow_hot_path speedup (multi-kind, ff):      {multi_kind_speedup:.1}x  (reference {reference_mk_ms:.2} ms -> engine {engine_mk_ms:.4} ms)");
     assert!(
         speedup >= 5.0,
         "acceptance criterion: >=5x on the const scenario, got {speedup:.1}x"
+    );
+    assert!(
+        mixed_speedup >= 10.0,
+        "acceptance criterion: >=10x on the 20%-proportional scenario, got {mixed_speedup:.1}x"
     );
     assert!(
         multi_kind_speedup >= 5.0,
@@ -226,7 +285,7 @@ fn speedup_report(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"flow_hot_path\",\n  \"scenario\": {{ \"reserves\": {RESERVES}, \"taps\": {TAPS}, \"sim_seconds\": 3600, \"flow_tick_ms\": 100 }},\n  \"multi_kind_scenario\": {{ \"byte_reserves\": {BYTE_RESERVES}, \"byte_taps\": {BYTE_TAPS} }},\n  \"const_all_fast_forward\": {{ \"reference_ms\": {reference_ms:.3}, \"engine_ms\": {engine_ms:.4}, \"speedup\": {speedup:.1} }},\n  \"mixed_20pct_proportional\": {{ \"reference_ms\": {reference_mixed_ms:.3}, \"engine_ms\": {engine_mixed_ms:.3}, \"speedup\": {mixed_speedup:.2} }},\n  \"multi_kind_all_fast_forward\": {{ \"reference_ms\": {reference_mk_ms:.3}, \"engine_ms\": {engine_mk_ms:.4}, \"speedup\": {multi_kind_speedup:.1} }}\n}}\n"
+        "{{\n  \"bench\": \"flow_hot_path\",\n  \"scenario\": {{ \"reserves\": {RESERVES}, \"taps\": {TAPS}, \"sim_seconds\": 3600, \"flow_tick_ms\": 100 }},\n  \"multi_kind_scenario\": {{ \"byte_reserves\": {BYTE_RESERVES}, \"byte_taps\": {BYTE_TAPS} }},\n  \"const_all_fast_forward\": {{ \"reference_ms\": {reference_ms:.3}, \"engine_ms\": {engine_ms:.4}, \"speedup\": {speedup:.1} }},\n  \"mixed_20pct_proportional\": {{ \"reference_ms\": {reference_mixed_ms:.3}, \"engine_ms\": {engine_mixed_ms:.3}, \"speedup\": {mixed_speedup:.2} }},\n  \"mixed_partitioned_island\": {{ \"reference_ms\": {reference_island_ms:.3}, \"engine_ms\": {engine_island_ms:.3}, \"speedup\": {island_speedup:.1} }},\n  \"multi_kind_all_fast_forward\": {{ \"reference_ms\": {reference_mk_ms:.3}, \"engine_ms\": {engine_mk_ms:.4}, \"speedup\": {multi_kind_speedup:.1} }}\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -1,0 +1,172 @@
+//! `kernel_hot_path`: the run loop's per-quantum cost, isolated from flow
+//! arithmetic — the overhead the fleet pays 36,000 times per device-hour.
+//!
+//! Three device-hour shapes:
+//!
+//! * **busy** — one spinner thread with an ample reserve: every quantum
+//!   schedules, charges, and meters. Measures the slab-indexed dispatch
+//!   path (`pick_next` fast path, single-probe charge, meter dedupe).
+//! * **duty-cycled** — a spinner throttled by a half-power tap: quanta
+//!   alternate run/starve, exercising the throttle accounting and the
+//!   flow tick every boundary.
+//! * **idle-heavy** — a thread sleeping in long stretches, run both with
+//!   and without `idle_skip`, so the O(1) idle-skip guard's effect is the
+//!   ratio between the two.
+//!
+//! Writes `BENCH_kernel_hot_path.json` at the repo root.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use cinder_core::{Actor, RateSpec};
+use cinder_kernel::{Ctx, FnProgram, Kernel, KernelConfig, Program, Step};
+use cinder_label::Label;
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+
+/// Simulated span per measured run.
+const SIM_SECS: u64 = 600;
+
+fn kernel(idle_skip: bool) -> Kernel {
+    Kernel::new(KernelConfig {
+        idle_skip,
+        ..KernelConfig::default()
+    })
+}
+
+fn spinner() -> Box<dyn Program> {
+    Box::new(FnProgram(|_ctx: &mut Ctx<'_>| {
+        Step::compute(SimDuration::from_secs(1))
+    }))
+}
+
+/// A thread that sleeps 60 s between 10 ms bursts — the poller shape with
+/// the radio taken out of the picture.
+fn sleeper() -> Box<dyn Program> {
+    Box::new(FnProgram(|ctx: &mut Ctx<'_>| {
+        Step::SleepUntil(ctx.now() + SimDuration::from_secs(60))
+    }))
+}
+
+fn busy_kernel() -> Kernel {
+    let mut k = kernel(false);
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&Actor::kernel(), "spin", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&Actor::kernel(), battery, r, Energy::from_joules(1_000))
+        .unwrap();
+    k.spawn_unprivileged("spin", spinner(), r);
+    k
+}
+
+fn duty_cycled_kernel() -> Kernel {
+    let mut k = kernel(false);
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&Actor::kernel(), "half", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .create_tap(
+            &Actor::kernel(),
+            "68.5mW",
+            battery,
+            r,
+            RateSpec::constant(Power::from_microwatts(68_500)),
+            Label::default_label(),
+        )
+        .unwrap();
+    k.spawn_unprivileged("hog", spinner(), r);
+    k
+}
+
+fn idle_heavy_kernel(idle_skip: bool) -> Kernel {
+    let mut k = kernel(idle_skip);
+    let battery = k.battery();
+    let r = k
+        .graph_mut()
+        .create_reserve(&Actor::kernel(), "sleepy", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&Actor::kernel(), battery, r, Energy::from_joules(100))
+        .unwrap();
+    k.spawn_unprivileged("sleepy", sleeper(), r);
+    k
+}
+
+fn run(mut k: Kernel) -> Kernel {
+    k.run_until(SimTime::from_secs(SIM_SECS));
+    k
+}
+
+fn bench_kernel_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_hot_path_10min");
+    group.bench_function("busy_spinner", |b| b.iter_with_setup(busy_kernel, run));
+    group.bench_function("duty_cycled_spinner", |b| {
+        b.iter_with_setup(duty_cycled_kernel, run)
+    });
+    group.bench_function("idle_heavy_no_skip", |b| {
+        b.iter_with_setup(|| idle_heavy_kernel(false), run)
+    });
+    group.bench_function("idle_heavy_idle_skip", |b| {
+        b.iter_with_setup(|| idle_heavy_kernel(true), run)
+    });
+    group.finish();
+}
+
+/// Fixed-iteration wall times, sanity checks (skip/no-skip bit-identity on
+/// the metered energy), and the seed JSON.
+fn hot_path_report(_c: &mut Criterion) {
+    fn time_runs<F: FnMut() -> Kernel>(mut build: F, iters: u32) -> (f64, Energy) {
+        let mut total = 0.0;
+        let mut energy = Energy::ZERO;
+        for _ in 0..iters {
+            let mut k = build();
+            let start = Instant::now();
+            k.run_until(SimTime::from_secs(SIM_SECS));
+            total += start.elapsed().as_secs_f64() * 1e3;
+            energy = k.meter().total_energy();
+        }
+        (total / iters as f64, energy)
+    }
+
+    let (busy_ms, _) = time_runs(busy_kernel, 10);
+    let (duty_ms, _) = time_runs(duty_cycled_kernel, 10);
+    let (idle_ms, idle_energy) = time_runs(|| idle_heavy_kernel(false), 10);
+    let (skip_ms, skip_energy) = time_runs(|| idle_heavy_kernel(true), 10);
+    assert_eq!(
+        idle_energy, skip_energy,
+        "idle_skip must be bit-identical on metered energy"
+    );
+    let quanta = SIM_SECS * 100; // default 10 ms quantum
+    let skip_speedup = idle_ms / skip_ms;
+    println!(
+        "kernel_hot_path: busy {busy_ms:.2} ms ({:.0} ns/quantum), duty-cycled {duty_ms:.2} ms, \
+         idle {idle_ms:.2} ms vs idle_skip {skip_ms:.3} ms ({skip_speedup:.0}x)",
+        busy_ms * 1e6 / quanta as f64
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_hot_path\",\n  \"scenario\": {{ \"sim_seconds\": {SIM_SECS}, \
+         \"quantum_ms\": 10, \"quanta\": {quanta} }},\n  \"busy_spinner\": {{ \"wall_ms\": \
+         {busy_ms:.3}, \"ns_per_quantum\": {:.1} }},\n  \"duty_cycled_spinner\": {{ \"wall_ms\": \
+         {duty_ms:.3} }},\n  \"idle_heavy\": {{ \"no_skip_wall_ms\": {idle_ms:.3}, \
+         \"idle_skip_wall_ms\": {skip_ms:.4}, \"skip_speedup\": {skip_speedup:.1}, \
+         \"metered_energy_bit_identical\": true }}\n}}\n",
+        busy_ms * 1e6 / quanta as f64
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel_hot_path.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_kernel_hot_path, hot_path_report);
+criterion_main!(benches);

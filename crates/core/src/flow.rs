@@ -24,12 +24,27 @@
 //! * **Quiescent-source skipping** — a proportional tap whose source
 //!   snapshot is non-positive moves nothing and leaves its carry untouched,
 //!   so it is skipped without computing a transfer.
-//! * **Closed-form fast-forward** — when no proportional tap is live and
-//!   decay is off, a run of `n` ticks is linear provided no source can be
-//!   clamped mid-run. The engine proves a safe `n` from per-source outflow
-//!   bounds and applies all `n` ticks in O(R_sources + T), turning hour-long
-//!   `flow_until` calls into work proportional to graph *events* (rate
-//!   changes, tap churn, sources running dry) instead of tick count.
+//! * **Partitioned closed-form fast-forward** — each multi-tick
+//!   `flow_until` span is planned as a *run*: sources are classified into a
+//!   **dynamic** partition (sources of live proportional taps, sources near
+//!   their clamp boundary, and empty sources that taps may refill) and a
+//!   **linear** partition (provably covered for the whole run, or provably
+//!   starved with no inflow). Every tap adjacent to a dynamic reserve is
+//!   executed tick by tick over a flat structure-of-arrays loop (dense
+//!   slots, no map or arena lookups); every other tap is applied in closed
+//!   form over the whole run. With decay on, every energy source is simply
+//!   dynamic (quota kinds never decay, so their closed forms survive) and
+//!   the SoA loop runs the per-tick decay over a maintained
+//!   eligible-reserve list. An all-constant decay-free graph degenerates to
+//!   the pure closed form (the whole span is one event); a mixed graph pays
+//!   per-tick cost only for its proportional *island*, not the whole graph.
+//!
+//! The partition is sound because a covered source can never clamp (its
+//! balance bounds the run length, counting every out-tap in either
+//! partition), so the in-run timing of its closed-formed transfers is
+//! unobservable; and every flow adjacent to a dynamic reserve is ticked, so
+//! proportional snapshots and clamp order (tap creation order) see exactly
+//! the per-tick trajectory the reference model computes.
 //!
 //! The engine lives inside [`crate::ResourceGraph`]; it has no public
 //! surface of its own.
@@ -54,34 +69,98 @@ struct SourceTaps {
     live_prop: usize,
 }
 
-/// What the fast-forward pass decided about one source.
+/// What the run planner decided about one source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SourceRun {
-    /// Balance provably covers the whole run: transfers apply unclamped.
+    /// Balance provably covers the whole run: transfers apply unclamped, in
+    /// closed form.
     Covered,
     /// Non-positive balance and no inflow: every transfer clamps to zero,
-    /// only tap carries advance.
+    /// only tap carries advance (closed form).
     Starved,
+    /// Tick-by-tick trajectory matters: a live proportional tap reads this
+    /// source's level, or it may clamp (or come alive) mid-run. All taps
+    /// touching a dynamic reserve join the ticked partition.
+    Dynamic,
+}
+
+/// How a ticked tap computes its per-tick desired transfer (the SoA image
+/// of [`RateSpec`] with the tick span pre-multiplied in).
+#[derive(Debug, Clone, Copy)]
+enum TickRate {
+    /// `step = rate_µW × dt_µs`; per tick `carry' = (carry + step) mod 1e6`
+    /// and `⌊(carry + step)/1e6⌋` µJ move.
+    Const { step: u128 },
+    /// `ppm_dt = ppm × dt_µs`; per tick the start-of-tick source level is
+    /// read from `snap[snap_idx]`.
+    Prop { ppm_dt: u128, snap_idx: u32 },
+}
+
+/// One tap of the ticked (dynamic) partition, resolved to dense slots.
+#[derive(Debug, Clone, Copy)]
+struct TickedTap {
+    raw: RawId,
+    src: u32,
+    dst: u32,
+    rate: TickRate,
+    carry: u128,
 }
 
 /// Indexed batch-flow executor. See the module docs for the design.
 pub(crate) struct FlowEngine {
-    /// All live taps keyed by creation sequence ([`Tap::seq`]) — iteration
-    /// is the application order that defines oversubscription priority,
-    /// and removal is O(log n).
-    order: BTreeMap<u64, TapId>,
+    /// All live taps as `(seq, id)`, sorted by creation sequence
+    /// ([`Tap::seq`]) — iteration is the application order that defines
+    /// oversubscription priority. Seqs are assigned monotonically, so
+    /// insertion is a push; removal is a binary search plus shift. A dense
+    /// vector beats a tree here because the per-tick loop walks it once per
+    /// tick, while mutation is comparatively rare.
+    order: Vec<(u64, TapId)>,
     /// Tap lists keyed by source reserve.
     by_source: HashMap<RawId, SourceTaps>,
-    /// Total live proportional (nonzero-rate) taps; fast-forward is only
-    /// legal at zero.
+    /// Inbound-tap count per reserve (any rate, either kind): O(1) "can a
+    /// tap refill this reserve?" for run planning and the kernel's
+    /// idle-skip guard.
+    inbound: HashMap<RawId, u32>,
+    /// Sources with at least one live proportional tap — the reserves the
+    /// per-tick snapshot must cover, kept dense so the tick loop does not
+    /// walk the whole `by_source` map.
+    prop_sources: Vec<RawId>,
+    /// Total live proportional (nonzero-rate) taps; the pure closed form
+    /// (empty ticked partition) requires zero.
     live_prop: usize,
     /// Scratch: start-of-tick level per reserve slot, valid when the
     /// matching `snapshot_epoch` entry equals `epoch`.
     snapshot: Vec<Energy>,
     snapshot_epoch: Vec<u32>,
     epoch: u32,
-    /// Scratch for fast-forward planning, reused across calls.
+    /// Scratch for run planning, reused across calls.
     run_plan: HashMap<RawId, SourceRun>,
+    // ----- ticked-partition scratch (reused across runs) -----------------
+    /// The ticked taps, in creation (seq) order — the clamp-priority order.
+    ticked: Vec<TickedTap>,
+    /// Dense slot assignment for every reserve a ticked tap touches.
+    slot_of: HashMap<RawId, u32>,
+    /// Reverse map: slot → reserve, for writeback.
+    slot_raw: Vec<RawId>,
+    /// Working balances (µJ grains) per slot.
+    levels: Vec<i64>,
+    /// Accumulated tap inflow / outflow per slot, applied to the reserve
+    /// stats once at writeback (sums — identical to per-tick application).
+    in_acc: Vec<i64>,
+    out_acc: Vec<i64>,
+    /// Slots needing a start-of-tick snapshot (proportional sources), and
+    /// the snapshot values themselves (parallel arrays).
+    prop_slots: Vec<u32>,
+    snap: Vec<i64>,
+    /// Slots subject to the global decay this run (Energy, non-exempt,
+    /// not the battery), and the per-slot decayed totals.
+    decay_slots: Vec<u32>,
+    decay_acc: Vec<i64>,
+    /// Decay-eligible reserves (Energy kind, not exempt), maintained by the
+    /// graph's reserve lifecycle so neither the per-tick decay nor run
+    /// planning walks the whole arena. Order is immaterial: per-reserve
+    /// leaks are independent and the battery is credited once.
+    decay_eligible: Vec<RawId>,
 }
 
 fn is_live_prop(rate: RateSpec) -> bool {
@@ -91,42 +170,99 @@ fn is_live_prop(rate: RateSpec) -> bool {
 impl FlowEngine {
     pub(crate) fn new() -> Self {
         FlowEngine {
-            order: BTreeMap::new(),
+            order: Vec::new(),
             by_source: HashMap::new(),
+            prop_sources: Vec::new(),
+            inbound: HashMap::new(),
             live_prop: 0,
             snapshot: Vec::new(),
             snapshot_epoch: Vec::new(),
             epoch: 0,
             run_plan: HashMap::new(),
+            ticked: Vec::new(),
+            slot_of: HashMap::new(),
+            slot_raw: Vec::new(),
+            levels: Vec::new(),
+            in_acc: Vec::new(),
+            out_acc: Vec::new(),
+            prop_slots: Vec::new(),
+            snap: Vec::new(),
+            decay_slots: Vec::new(),
+            decay_acc: Vec::new(),
+            decay_eligible: Vec::new(),
+        }
+    }
+
+    /// Reserve-lifecycle hooks: track decay eligibility (Energy kind and
+    /// not exempt). Called by every graph path that creates, deletes, or
+    /// re-flags a reserve.
+    pub(crate) fn on_reserve_eligibility(&mut self, reserve: RawId, eligible: bool) {
+        let present = self.decay_eligible.iter().position(|&r| r == reserve);
+        match (eligible, present) {
+            (true, None) => self.decay_eligible.push(reserve),
+            (false, Some(i)) => {
+                self.decay_eligible.swap_remove(i);
+            }
+            _ => {}
         }
     }
 
     // ----- index maintenance (called by ResourceGraph mutators) ----------
 
     /// Registers a newly created tap.
-    pub(crate) fn on_tap_created(&mut self, id: TapId, seq: u64, source: RawId, rate: RateSpec) {
-        self.order.insert(seq, id);
+    pub(crate) fn on_tap_created(
+        &mut self,
+        id: TapId,
+        seq: u64,
+        source: RawId,
+        sink: RawId,
+        rate: RateSpec,
+    ) {
+        debug_assert!(self.order.last().is_none_or(|&(s, _)| s < seq));
+        self.order.push((seq, id));
         let entry = self.by_source.entry(source).or_default();
         entry.taps.insert(seq, id);
+        *self.inbound.entry(sink).or_insert(0) += 1;
         if is_live_prop(rate) {
             entry.live_prop += 1;
             self.live_prop += 1;
+            if entry.live_prop == 1 {
+                self.prop_sources.push(source);
+            }
         }
     }
 
     /// Unregisters a tap about to be (or just) removed.
-    pub(crate) fn on_tap_removed(&mut self, seq: u64, source: RawId, rate: RateSpec) {
-        self.order.remove(&seq);
+    pub(crate) fn on_tap_removed(&mut self, seq: u64, source: RawId, sink: RawId, rate: RateSpec) {
+        if let Ok(i) = self.order.binary_search_by_key(&seq, |&(s, _)| s) {
+            self.order.remove(i);
+        }
+        let mut prop_source_died = false;
         if let Some(entry) = self.by_source.get_mut(&source) {
             entry.taps.remove(&seq);
             if is_live_prop(rate) {
                 entry.live_prop -= 1;
                 self.live_prop -= 1;
+                prop_source_died = entry.live_prop == 0;
             }
             if entry.taps.is_empty() {
                 self.by_source.remove(&source);
             }
         }
+        if prop_source_died {
+            self.drop_prop_source(source);
+        }
+        if let Some(count) = self.inbound.get_mut(&sink) {
+            *count -= 1;
+            if *count == 0 {
+                self.inbound.remove(&sink);
+            }
+        }
+    }
+
+    /// Whether any live tap (of any rate) sinks into `reserve` — O(1).
+    pub(crate) fn has_inbound(&self, reserve: RawId) -> bool {
+        self.inbound.contains_key(&reserve)
     }
 
     /// Updates prop/const classification when a tap's rate changes.
@@ -142,13 +278,28 @@ impl FlowEngine {
         if is {
             entry.live_prop += 1;
             self.live_prop += 1;
+            if entry.live_prop == 1 {
+                self.prop_sources.push(source);
+            }
         } else {
             entry.live_prop -= 1;
             self.live_prop -= 1;
+            if entry.live_prop == 0 {
+                self.drop_prop_source(source);
+            }
         }
     }
 
-    /// True when the all-`Const` precondition for fast-forward holds.
+    fn drop_prop_source(&mut self, source: RawId) {
+        if let Some(i) = self.prop_sources.iter().position(|&s| s == source) {
+            self.prop_sources.swap_remove(i);
+        }
+    }
+
+    /// True when no live proportional tap exists (the whole graph is
+    /// closed-form eligible). Test introspection; the planner re-derives
+    /// this per source.
+    #[cfg(test)]
     pub(crate) fn all_const(&self) -> bool {
         self.live_prop == 0
     }
@@ -174,24 +325,20 @@ impl FlowEngine {
         // Snapshot start-of-tick levels — but only for sources feeding a
         // live proportional tap; constant taps never read the snapshot.
         self.epoch = self.epoch.wrapping_add(1);
-        if self.live_prop > 0 {
-            for (&source, entry) in &self.by_source {
-                if entry.live_prop == 0 {
-                    continue;
-                }
-                let Some(r) = reserves.get(source) else {
-                    continue;
-                };
-                let slot = source.index() as usize;
-                if slot >= self.snapshot.len() {
-                    self.snapshot.resize(slot + 1, Energy::ZERO);
-                    self.snapshot_epoch.resize(slot + 1, 0);
-                }
-                self.snapshot[slot] = r.balance();
-                self.snapshot_epoch[slot] = self.epoch;
+        for i in 0..self.prop_sources.len() {
+            let source = self.prop_sources[i];
+            let Some(r) = reserves.get(source) else {
+                continue;
+            };
+            let slot = source.index() as usize;
+            if slot >= self.snapshot.len() {
+                self.snapshot.resize(slot + 1, Energy::ZERO);
+                self.snapshot_epoch.resize(slot + 1, 0);
             }
+            self.snapshot[slot] = r.balance();
+            self.snapshot_epoch[slot] = self.epoch;
         }
-        for &tid in self.order.values() {
+        for &(_, tid) in &self.order {
             let tap = taps.get_mut(tid.0).expect("flow index out of sync");
             let source = tap.source();
             let sink = tap.sink();
@@ -214,64 +361,135 @@ impl FlowEngine {
             if desired.is_zero() {
                 continue;
             }
-            let Some(src) = reserves.get(source.0) else {
+            let Some(src) = reserves.get_mut(source.0) else {
                 continue;
             };
             let amount = desired.min(src.balance().clamp_non_negative());
             if amount.is_zero() {
                 continue;
             }
-            reserves
-                .get_mut(source.0)
-                .expect("source checked above")
-                .debit_outflow(amount);
+            src.debit_outflow(amount);
             reserves
                 .get_mut(sink.0)
                 .expect("taps to dead sinks are GC'd")
                 .credit(amount);
         }
-        decay_tick(reserves, battery, decay_ppm_per_tick);
+        if decay_ppm_per_tick > 0 {
+            let mut reclaimed = Energy::ZERO;
+            for i in 0..self.decay_eligible.len() {
+                let Some(r) = reserves.get_mut(self.decay_eligible[i]) else {
+                    continue;
+                };
+                if !r.balance().is_positive() {
+                    continue;
+                }
+                let leak = r.balance().scale_ppm(decay_ppm_per_tick);
+                if leak.is_positive() {
+                    r.debit_decay(leak);
+                    reclaimed += leak;
+                }
+            }
+            if reclaimed.is_positive() {
+                reserves
+                    .get_mut(battery)
+                    .expect("battery is never deleted")
+                    .credit(reclaimed);
+            }
+        }
     }
 
-    // ----- closed-form fast-forward --------------------------------------
+    // ----- partitioned closed-form fast-forward ---------------------------
 
-    /// Attempts to advance up to `max_ticks` ticks in closed form, returning
-    /// how many were applied (0 means: run one tick the slow way).
+    /// Attempts to advance up to `max_ticks` ticks as one planned *run*,
+    /// returning how many were applied (0 means: run one tick the slow
+    /// way). Caller-checked precondition: decay disabled.
     ///
-    /// Preconditions checked by the caller: decay disabled. Preconditions
-    /// checked here: no live proportional tap, and every source with
-    /// outgoing constant flow is either *covered* (balance ≥ n × an upper
-    /// bound of its per-tick outflow, so no clamp can engage) or *starved*
-    /// (non-positive balance with no inflow at all, so every clamp yields
-    /// zero). Within such a run the per-tick loop is linear and telescopes
-    /// exactly — see [`Tap::bulk_advance_const`].
-    pub(crate) fn try_fast_forward(
+    /// Sources are classified per run:
+    ///
+    /// * **Dynamic** — a live proportional tap reads this source's level,
+    ///   or it could clamp mid-run (balance covers less than the demotion
+    ///   threshold of the span), or it is empty but a tap may refill it.
+    ///   Every tap touching a dynamic reserve (either endpoint) joins the
+    ///   ticked partition and is executed tick by tick over dense SoA
+    ///   arrays — bit-identical to [`FlowEngine::tick`], minus the map and
+    ///   arena lookups.
+    /// * **Covered** — balance ≥ n × an upper bound of its per-tick outflow
+    ///   (each const tap moves at most ⌊(p·dt + 999_999)/1e6⌋ µJ per tick,
+    ///   counting taps of *both* partitions), so no clamp can engage within
+    ///   the run and its closed-formed taps telescope exactly
+    ///   ([`Tap::bulk_advance_const`]).
+    /// * **Starved** — non-positive balance, no inbound tap, no live
+    ///   proportional outflow *or* provably stuck at ≤ 0: every transfer
+    ///   clamps to zero for the whole run, only carries advance.
+    ///
+    /// With no dynamic source this is the pure closed form (an all-const
+    /// span is one event); with dynamic sources only the proportional
+    /// island pays per-tick cost.
+    pub(crate) fn run_span(
         &mut self,
         reserves: &mut Arena<Reserve>,
         taps: &mut Arena<Tap>,
         dt: SimDuration,
         max_ticks: u64,
+        decay_ppm_per_tick: u64,
+        battery: RawId,
     ) -> u64 {
         debug_assert!(max_ticks > 0);
-        if self.live_prop > 0 {
-            return 0;
-        }
-        if self.order.is_empty() {
+        let decaying = decay_ppm_per_tick > 0;
+        if self.order.is_empty() && !decaying {
             // No taps at all: nothing moves, whole span is one event.
             return max_ticks;
         }
+        if (self.live_prop > 0 || decaying) && max_ticks < MIN_PARTITIONED_SPAN {
+            // Planning + SoA build costs more than ticking a short span.
+            return 0;
+        }
         let dt_us = dt.as_micros() as u128;
 
-        // Plan the run: per-source outflow bounds and the Covered/Starved
-        // classification. `run_plan` is reused scratch; the sink set is
-        // built lazily, only if a starved source shows up.
+        // ----- plan: classify every source ------------------------------
+        // A source whose balance covers less than `demote_below` ticks is
+        // ticked rather than letting it cap the whole run near 1: ticking a
+        // few taps per tick is cheaper than replanning O(R + T) every
+        // handful of ticks.
+        let demote_below = (max_ticks / 4).max(MIN_PARTITIONED_SPAN);
         self.run_plan.clear();
-        let mut sinks: Option<std::collections::HashSet<RawId>> = None;
         let mut n = max_ticks;
+        let mut any_dynamic = false;
         for (&source, entry) in &self.by_source {
-            // Upper bound of this source's per-tick outflow in µJ: each
-            // const tap moves at most ⌊(p·dt + carry)/1e6⌋ ≤ ⌊(p·dt +
-            // 999_999)/1e6⌋ per tick.
+            let balance = reserves.get(source).map(|r| r.balance());
+            if entry.live_prop > 0 {
+                // A live proportional tap reads this level every tick —
+                // unless the source is provably stuck at ≤ 0 (no inflow
+                // possible), in which case nothing ever moves or touches a
+                // carry and the whole run is a no-op for its taps.
+                let stuck = balance.is_some_and(|b| !b.is_positive()) && !self.has_inbound(source);
+                if stuck {
+                    self.run_plan.insert(source, SourceRun::Starved);
+                } else {
+                    self.run_plan.insert(source, SourceRun::Dynamic);
+                    any_dynamic = true;
+                }
+                continue;
+            }
+            if decaying
+                && reserves
+                    .get(source)
+                    .is_some_and(|r| r.kind() == crate::kind::ResourceKind::Energy)
+            {
+                // Decay re-shapes every positive energy balance each tick,
+                // so no energy source can be *covered* for a run. Stuck
+                // empties are still starved (decay never touches ≤ 0);
+                // everything else ticks. Quota kinds never decay, so their
+                // closed forms below survive unchanged.
+                if balance.is_some_and(|b| !b.is_positive()) && !self.has_inbound(source) {
+                    self.run_plan.insert(source, SourceRun::Starved);
+                } else {
+                    self.run_plan.insert(source, SourceRun::Dynamic);
+                    any_dynamic = true;
+                }
+                continue;
+            }
+            // Upper bound of this source's per-tick outflow in µJ.
             let mut bound_uj: u128 = 0;
             for &tid in entry.taps.values() {
                 let tap = taps.get(tid.0).expect("flow index out of sync");
@@ -280,43 +498,127 @@ impl FlowEngine {
                 }
             }
             if bound_uj == 0 {
-                // Only zero-rate taps: inert, no constraint either way.
+                // Only zero-rate taps: inert, no constraint either way
+                // (closed form moves zero and leaves carries untouched,
+                // exactly like the per-tick loop).
                 continue;
             }
-            let balance = match reserves.get(source) {
-                Some(r) => r.balance(),
-                None => continue,
+            let Some(balance) = balance else {
+                // Dead source (unreachable: reserve GC revokes its taps):
+                // carries advance, nothing can move.
+                self.run_plan.insert(source, SourceRun::Starved);
+                continue;
             };
             if balance.is_positive() {
                 let n_src = (balance.as_microjoules() as u128 / bound_uj) as u64;
-                if n_src == 0 {
-                    return 0; // close to the clamp boundary: tick it out
+                if n_src < demote_below {
+                    // Near the clamp boundary: tick it out.
+                    self.run_plan.insert(source, SourceRun::Dynamic);
+                    any_dynamic = true;
+                } else {
+                    n = n.min(n_src);
+                    self.run_plan.insert(source, SourceRun::Covered);
                 }
-                n = n.min(n_src);
-                self.run_plan.insert(source, SourceRun::Covered);
+            } else if self.has_inbound(source) {
+                // Empty (or indebted) but refillable: it may come alive
+                // mid-run, so its clamps must be computed per tick.
+                self.run_plan.insert(source, SourceRun::Dynamic);
+                any_dynamic = true;
             } else {
-                // Empty (or indebted) source: only safe to skip if nothing
-                // can refill it mid-run.
-                let sinks = sinks.get_or_insert_with(|| {
-                    self.order
-                        .values()
-                        .filter_map(|&tid| taps.get(tid.0).map(|t| t.sink().0))
-                        .collect()
-                });
-                if sinks.contains(&source) {
-                    return 0;
-                }
                 self.run_plan.insert(source, SourceRun::Starved);
             }
         }
 
-        // Apply the run, still in creation order (order is immaterial in an
-        // unclamped linear run, but keeping it makes review trivial).
-        for &tid in self.order.values() {
+        // ----- apply the linear partition, collect the ticked one --------
+        // Still in creation order (order is immaterial in an unclamped
+        // linear run, but keeping it makes review trivial). Ticked taps are
+        // gathered in the same order, which *is* their clamp priority.
+        self.ticked.clear();
+        self.slot_of.clear();
+        self.slot_raw.clear();
+        self.levels.clear();
+        self.prop_slots.clear();
+        self.decay_slots.clear();
+        let mut battery_slot = u32::MAX;
+        if decaying {
+            // Every decayable energy reserve joins the ticked arrays (its
+            // balance changes every tick), plus the battery to receive the
+            // reclaimed leakage. Safe to slot before the closed forms
+            // below: under decay no energy source is Covered, so no
+            // closed-form transfer ever touches an energy reserve.
+            for i in 0..self.decay_eligible.len() {
+                let rid = self.decay_eligible[i];
+                debug_assert!(rid != battery, "battery is always exempt");
+                let slot = slot_for(
+                    &mut self.slot_of,
+                    &mut self.slot_raw,
+                    &mut self.levels,
+                    reserves,
+                    rid,
+                );
+                self.decay_slots.push(slot);
+            }
+            battery_slot = slot_for(
+                &mut self.slot_of,
+                &mut self.slot_raw,
+                &mut self.levels,
+                reserves,
+                battery,
+            );
+        }
+        for oi in 0..self.order.len() {
+            let tid = self.order[oi].1;
             let tap = taps.get_mut(tid.0).expect("flow index out of sync");
-            let source = tap.source();
-            let sink = tap.sink();
-            match self.run_plan.get(&source.0) {
+            let source = tap.source().0;
+            let sink = tap.sink().0;
+            let src_run = self.run_plan.get(&source).copied();
+            let dynamic = any_dynamic
+                && (src_run == Some(SourceRun::Dynamic)
+                    || self.run_plan.get(&sink) == Some(&SourceRun::Dynamic));
+            if dynamic {
+                let src = slot_for(
+                    &mut self.slot_of,
+                    &mut self.slot_raw,
+                    &mut self.levels,
+                    reserves,
+                    source,
+                );
+                let dst = slot_for(
+                    &mut self.slot_of,
+                    &mut self.slot_raw,
+                    &mut self.levels,
+                    reserves,
+                    sink,
+                );
+                let rate = match tap.rate() {
+                    RateSpec::Const(p) => TickRate::Const {
+                        step: p.as_microwatts() as u128 * dt_us,
+                    },
+                    RateSpec::Proportional { ppm_per_s } => {
+                        // Snapshot slots are deduplicated per source.
+                        let snap_idx = match self.prop_slots.iter().position(|&s| s == src) {
+                            Some(i) => i as u32,
+                            None => {
+                                self.prop_slots.push(src);
+                                (self.prop_slots.len() - 1) as u32
+                            }
+                        };
+                        TickRate::Prop {
+                            ppm_dt: ppm_per_s as u128 * dt_us,
+                            snap_idx,
+                        }
+                    }
+                };
+                self.ticked.push(TickedTap {
+                    raw: tid.0,
+                    src,
+                    dst,
+                    rate,
+                    carry: tap.remainder(),
+                });
+                continue;
+            }
+            match src_run {
                 Some(SourceRun::Starved) => tap.bulk_advance_const_starved(n, dt),
                 Some(SourceRun::Covered) | None => {
                     // `None` only happens for all-zero-rate sources, where
@@ -326,26 +628,151 @@ impl FlowEngine {
                         continue;
                     }
                     reserves
-                        .get_mut(source.0)
+                        .get_mut(source)
                         .expect("covered source is live")
                         .debit_outflow(moved);
                     reserves
-                        .get_mut(sink.0)
+                        .get_mut(sink)
                         .expect("taps to dead sinks are GC'd")
                         .credit(moved);
                 }
+                Some(SourceRun::Dynamic) => unreachable!("dynamic taps were collected above"),
+            }
+        }
+
+        // ----- tick the dynamic partition over flat arrays ---------------
+        if !self.ticked.is_empty() || decaying {
+            self.in_acc.clear();
+            self.in_acc.resize(self.levels.len(), 0);
+            self.out_acc.clear();
+            self.out_acc.resize(self.levels.len(), 0);
+            self.decay_acc.clear();
+            self.decay_acc.resize(self.levels.len(), 0);
+            self.snap.clear();
+            self.snap.resize(self.prop_slots.len(), 0);
+            for _ in 0..n {
+                // Start-of-tick snapshot of proportional source levels.
+                for (snap, &slot) in self.snap.iter_mut().zip(&self.prop_slots) {
+                    *snap = self.levels[slot as usize];
+                }
+                for tap in &mut self.ticked {
+                    let desired: i64 = match tap.rate {
+                        TickRate::Const { step } => {
+                            let total = step + tap.carry;
+                            tap.carry = total % 1_000_000;
+                            (total / 1_000_000) as i64
+                        }
+                        TickRate::Prop { ppm_dt, snap_idx } => {
+                            let level = self.snap[snap_idx as usize];
+                            if level <= 0 {
+                                // Quiescent source: zero transfer, carry
+                                // untouched (see FlowEngine::tick).
+                                continue;
+                            }
+                            let total = level as u128 * ppm_dt + tap.carry;
+                            tap.carry = total % 1_000_000_000_000;
+                            (total / 1_000_000_000_000) as i64
+                        }
+                    };
+                    if desired <= 0 {
+                        continue;
+                    }
+                    let amount = desired.min(self.levels[tap.src as usize].max(0));
+                    if amount <= 0 {
+                        continue;
+                    }
+                    self.levels[tap.src as usize] -= amount;
+                    self.out_acc[tap.src as usize] += amount;
+                    self.levels[tap.dst as usize] += amount;
+                    self.in_acc[tap.dst as usize] += amount;
+                }
+                if decaying {
+                    // The global decay, exactly as `decay_tick`: each
+                    // positive slot leaks ⌊level·ppm/1e6⌋ back to the
+                    // battery.
+                    let mut reclaimed: i64 = 0;
+                    for &slot in &self.decay_slots {
+                        let level = self.levels[slot as usize];
+                        if level > 0 {
+                            let leak =
+                                (level as i128 * decay_ppm_per_tick as i128 / 1_000_000) as i64;
+                            if leak > 0 {
+                                self.levels[slot as usize] -= leak;
+                                self.decay_acc[slot as usize] += leak;
+                                reclaimed += leak;
+                            }
+                        }
+                    }
+                    if reclaimed > 0 {
+                        self.levels[battery_slot as usize] += reclaimed;
+                        self.in_acc[battery_slot as usize] += reclaimed;
+                    }
+                }
+            }
+            // Writeback: accumulated stats and balances to the reserves,
+            // carries to the taps. Sum-at-once equals tick-at-a-time: the
+            // stats are running totals and balance updates commute.
+            for (slot, &raw) in self.slot_raw.iter().enumerate() {
+                let Some(r) = reserves.get_mut(raw) else {
+                    continue; // dead endpoint: nothing ever moved through it
+                };
+                let inflow = self.in_acc[slot];
+                if inflow > 0 {
+                    r.credit(Energy::from_microjoules(inflow));
+                }
+                let outflow = self.out_acc[slot];
+                if outflow > 0 {
+                    r.debit_outflow(Energy::from_microjoules(outflow));
+                }
+                let decayed = self.decay_acc[slot];
+                if decayed > 0 {
+                    r.debit_decay(Energy::from_microjoules(decayed));
+                }
+            }
+            for tap in &self.ticked {
+                taps.get_mut(tap.raw)
+                    .expect("ticked tap is live")
+                    .set_remainder(tap.carry);
             }
         }
         n
     }
 }
 
+/// Below this span length a mixed graph is ticked directly: run planning
+/// and SoA assembly cost more than a few indexed ticks.
+const MIN_PARTITIONED_SPAN: u64 = 4;
+
+/// Dense-slot assignment for the ticked partition (free function so the
+/// borrow checker sees disjoint field borrows).
+fn slot_for(
+    slot_of: &mut HashMap<RawId, u32>,
+    slot_raw: &mut Vec<RawId>,
+    levels: &mut Vec<i64>,
+    reserves: &Arena<Reserve>,
+    reserve: RawId,
+) -> u32 {
+    *slot_of.entry(reserve).or_insert_with(|| {
+        let slot = slot_raw.len() as u32;
+        slot_raw.push(reserve);
+        levels.push(
+            reserves
+                .get(reserve)
+                .map(|r| r.balance().as_microjoules())
+                .unwrap_or(0),
+        );
+        slot
+    })
+}
+
 /// One tick of the global anti-hoarding decay: every non-exempt positive
 /// **energy** reserve (battery excluded) leaks `ppm` of its level back to
 /// the battery. Quota kinds never decay (§9: a data plan does not evaporate
 /// for being unspent), which also keeps per-kind conservation exact — bytes
-/// must not leak into the joule pool. Shared by the engine tick and the
-/// naive reference model.
+/// must not leak into the joule pool. The naive reference model scans the
+/// whole arena; the engine walks its maintained eligible list (identical
+/// outcome — per-reserve leaks are independent and summed once).
+#[cfg(any(test, feature = "reference-flow"))]
 pub(crate) fn decay_tick(reserves: &mut Arena<Reserve>, battery: RawId, ppm: u64) {
     if ppm == 0 {
         return;
@@ -652,6 +1079,39 @@ mod differential {
         Ok(())
     }
 
+    /// Ops biased toward the partitioned fast-forward: long mixed-rate
+    /// flows over small balances (sources drain to zero mid-span and sit
+    /// at clamp boundaries), with taps re-rated const↔proportional between
+    /// spans so partitions are re-planned across rate flips.
+    fn arb_partition_op() -> impl Strategy<Value = Op> {
+        // (The vendored proptest stub has no weighted prop_oneof; the long
+        // flows are listed twice to bias toward span execution.)
+        prop_oneof![
+            (0usize..8, 0usize..8, 0u64..50).prop_map(|(src, dst, mw)| Op::CreateConstTap {
+                src,
+                dst,
+                mw
+            }),
+            (0usize..8, 0usize..8, 0u64..400_000).prop_map(|(src, dst, ppm)| Op::CreatePropTap {
+                src,
+                dst,
+                ppm
+            }),
+            (0usize..12, 0u64..50).prop_map(|(t, mw)| Op::SetTapRateConst { t, mw }),
+            (0usize..12, 0u64..400_000).prop_map(|(t, ppm)| Op::SetTapRateProp { t, ppm }),
+            Just(Op::CreateReserve),
+            // Small endowments, so long spans cross the drain-to-zero
+            // boundary inside a planned run.
+            (0usize..8, 0usize..8, 0u64..200).prop_map(|(src, dst, mj)| Op::Transfer {
+                src,
+                dst,
+                mj
+            }),
+            (300u64..3_600).prop_map(|secs| Op::LongFlow { secs }),
+            (300u64..3_600).prop_map(|secs| Op::LongFlow { secs }),
+        ]
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -666,13 +1126,165 @@ mod differential {
             )?;
         }
 
-        /// Decay on: every tick runs the indexed per-tick path.
+        /// Decay on: every span runs the decay-aware SoA partition (or the
+        /// indexed per-tick path for short spans).
         #[test]
         fn engine_matches_reference_with_decay(
             ops in proptest::collection::vec(arb_op(), 1..30),
         ) {
             run_differential(GraphConfig::default(), ops)?;
         }
+
+        /// The partitioned fast-forward under adversarial shapes: mixed
+        /// const/proportional multi-kind graphs where sources drain to zero
+        /// mid-span and taps are re-rated between long flows.
+        #[test]
+        fn partitioned_fast_forward_matches_reference(
+            ops in proptest::collection::vec(arb_partition_op(), 1..32),
+        ) {
+            run_differential(
+                GraphConfig { decay: None, ..GraphConfig::default() },
+                ops,
+            )?;
+        }
+
+        /// Same adversarial shapes with decay on: every energy source is
+        /// dynamic, quota sources keep their closed forms.
+        #[test]
+        fn partitioned_fast_forward_matches_reference_with_decay(
+            ops in proptest::collection::vec(arb_partition_op(), 1..24),
+        ) {
+            run_differential(GraphConfig::default(), ops)?;
+        }
+    }
+
+    /// A source that drains to zero *inside* a planned span: the island's
+    /// feeder holds a finite balance with no inflow, so its taps run dry
+    /// mid-hour while the rest of the graph stays closed-formed. Exercises
+    /// the Covered→Dynamic demotion boundary exactly.
+    #[test]
+    fn source_draining_to_zero_mid_span_is_exact() {
+        for decay in [None, GraphConfig::default().decay] {
+            let config = GraphConfig {
+                decay,
+                ..GraphConfig::default()
+            };
+            let initial = Energy::from_joules(1_000_000);
+            let mut engine_g = ResourceGraph::with_config(initial, config);
+            let mut reference_g = ResourceGraph::with_config(initial, config);
+            let k = Actor::kernel();
+            for g in [&mut engine_g, &mut reference_g] {
+                let battery = g.battery();
+                // A const fan-out that never clamps (the linear partition)…
+                for i in 0..20 {
+                    let r = g
+                        .create_reserve(&k, &format!("r{i}"), Label::default_label())
+                        .unwrap();
+                    g.create_tap(
+                        &k,
+                        &format!("t{i}"),
+                        battery,
+                        r,
+                        RateSpec::constant(Power::from_milliwatts(1 + i)),
+                        Label::default_label(),
+                    )
+                    .unwrap();
+                }
+                // …plus a finite pool that dies ~20 minutes in (500 mW from
+                // a 600 J endowment), feeding a reserve with a backward
+                // proportional tap: drain-to-zero *and* a proportional
+                // island on the same path.
+                let pool = g
+                    .create_reserve(&k, "finite", Label::default_label())
+                    .unwrap();
+                g.transfer(&k, battery, pool, Energy::from_joules(600))
+                    .unwrap();
+                let sink = g
+                    .create_reserve(&k, "sink", Label::default_label())
+                    .unwrap();
+                g.create_tap(
+                    &k,
+                    "dying",
+                    pool,
+                    sink,
+                    RateSpec::constant(Power::from_milliwatts(500)),
+                    Label::default_label(),
+                )
+                .unwrap();
+                g.create_tap(
+                    &k,
+                    "bwd",
+                    sink,
+                    battery,
+                    RateSpec::proportional(0.05),
+                    Label::default_label(),
+                )
+                .unwrap();
+            }
+            let hour = SimTime::from_secs(3_600);
+            engine_g.flow_until(hour);
+            reference_g.flow_until_reference(hour);
+            assert_eq!(dump(&engine_g), dump(&reference_g), "decay={decay:?}");
+            assert!(engine_g.totals().conserved());
+            // The finite pool really did die mid-span.
+            let pool_id = engine_g
+                .reserves()
+                .find(|(_, r)| r.name() == "finite")
+                .map(|(id, _)| id)
+                .unwrap();
+            assert!(!engine_g.reserve(pool_id).unwrap().balance().is_positive());
+        }
+    }
+
+    /// Re-rating taps between spans re-plans the partition: a tap flipped
+    /// const→proportional→const across long flows must stay exact (carry
+    /// resets on re-rate are part of the contract).
+    #[test]
+    fn re_rated_taps_across_spans_are_exact() {
+        let config = GraphConfig {
+            decay: None,
+            ..GraphConfig::default()
+        };
+        let initial = Energy::from_joules(10_000);
+        let mut engine_g = ResourceGraph::with_config(initial, config);
+        let mut reference_g = ResourceGraph::with_config(initial, config);
+        let k = Actor::kernel();
+        let mut ids = Vec::new();
+        for g in [&mut engine_g, &mut reference_g] {
+            let battery = g.battery();
+            let a = g.create_reserve(&k, "a", Label::default_label()).unwrap();
+            let t = g
+                .create_tap(
+                    &k,
+                    "flip",
+                    battery,
+                    a,
+                    RateSpec::constant(Power::from_milliwatts(137)),
+                    Label::default_label(),
+                )
+                .unwrap();
+            ids.push((t, a));
+        }
+        let rates = [
+            RateSpec::proportional(0.2),
+            RateSpec::constant(Power::from_microwatts(731)),
+            RateSpec::Proportional { ppm_per_s: 999 },
+            RateSpec::constant(Power::ZERO),
+            RateSpec::constant(Power::from_milliwatts(3)),
+        ];
+        let mut now = SimTime::ZERO;
+        for (i, &rate) in rates.iter().enumerate() {
+            now += SimDuration::from_secs(600);
+            engine_g.flow_until(now);
+            reference_g.flow_until_reference(now);
+            assert_eq!(dump(&engine_g), dump(&reference_g), "span {i}");
+            engine_g.set_tap_rate(&k, ids[0].0, rate).unwrap();
+            reference_g.set_tap_rate(&k, ids[1].0, rate).unwrap();
+        }
+        now += SimDuration::from_secs(3_600);
+        engine_g.flow_until(now);
+        reference_g.flow_until_reference(now);
+        assert_eq!(dump(&engine_g), dump(&reference_g));
     }
 
     /// The acceptance-criterion scenario: 100 reserves, 200 constant taps,

@@ -41,14 +41,16 @@
 //! source reserve, in creation order) that `create_tap`, `delete_tap`,
 //! `set_tap_rate`, and `delete_reserve` keep up to date; per-tick work then
 //! needs no allocation (a reusable epoch-stamped snapshot buffer covers the
-//! sources of proportional taps, and quiescent sources are skipped). When
-//! every live tap is constant-rate and decay is disabled, whole runs of
-//! ticks in which no source can be clamped are applied in closed form, so
-//! long `flow_until` spans cost work proportional to graph *events* rather
-//! than tick count. The engine's results are bit-identical to the naive
-//! per-tick loop, which is retained as
-//! [`ResourceGraph::flow_until_reference`] for differential testing and
-//! benchmarking.
+//! sources of proportional taps, and quiescent sources are skipped).
+//! Multi-tick spans are planned as partitioned *runs*: sources provably
+//! linear for the run are applied in closed form, and only taps adjacent
+//! to dynamic reserves (live proportional sources, clamp boundaries,
+//! refillable empties — every energy source when decay is on) tick, over
+//! dense SoA arrays. Long `flow_until` spans cost work proportional to
+//! graph *events* plus the dynamic island, not tick count × graph size.
+//! The engine's results are bit-identical to the naive per-tick loop,
+//! which is retained as [`ResourceGraph::flow_until_reference`] for
+//! differential testing and benchmarking.
 
 use cinder_label::{Label, PrivilegeSet};
 use cinder_sim::{Energy, SimDuration, SimTime};
@@ -232,6 +234,7 @@ impl ResourceGraph {
         battery.set_decay_exempt(true);
         battery.credit(initial);
         let battery_id = ReserveId(reserves.insert(battery));
+        // (Exempt: never decay-eligible, so no engine notification needed.)
         let decay_ppm_per_tick = config
             .decay
             .map(|d| d.leak_ppm_per_tick(config.flow_tick))
@@ -375,10 +378,13 @@ impl ResourceGraph {
         if self.roots[kind.index()].is_none() {
             return Err(GraphError::NoRootForKind { kind });
         }
-        Ok(ReserveId(
+        let id = ReserveId(
             self.reserves
                 .insert(Reserve::new(name, label, kind, self.now)),
-        ))
+        );
+        self.flow
+            .on_reserve_eligibility(id.0, kind == ResourceKind::Energy);
+        Ok(id)
     }
 
     /// Deletes a reserve. Its remaining balance is returned to the root of
@@ -400,17 +406,18 @@ impl ResourceGraph {
             });
         }
         // GC taps referencing this reserve (and unindex them).
-        let dead: Vec<(RawId, u64, RawId, RateSpec)> = self
+        let dead: Vec<(RawId, u64, RawId, RawId, RateSpec)> = self
             .taps
             .iter()
             .filter(|(_, t)| t.source() == id || t.sink() == id)
-            .map(|(tid, t)| (tid, t.seq(), t.source().0, t.rate()))
+            .map(|(tid, t)| (tid, t.seq(), t.source().0, t.sink().0, t.rate()))
             .collect();
-        for (tid, seq, source, rate) in dead {
-            self.flow.on_tap_removed(seq, source, rate);
+        for (tid, seq, source, sink, rate) in dead {
+            self.flow.on_tap_removed(seq, source, sink, rate);
             self.taps.remove(tid);
         }
         let reserve = self.reserves.remove(id.0).expect("checked above");
+        self.flow.on_reserve_eligibility(id.0, false);
         let balance = reserve.balance();
         let root = self.roots[kind.index()].expect("reserves require a root for their kind");
         let root = self.reserve_mut(root);
@@ -438,10 +445,15 @@ impl ResourceGraph {
                 op: "set_decay_exempt",
             });
         }
-        self.reserves
+        let r = self
+            .reserves
             .get_mut(id.0)
-            .ok_or(GraphError::ReserveNotFound)?
-            .set_decay_exempt(exempt);
+            .ok_or(GraphError::ReserveNotFound)?;
+        r.set_decay_exempt(exempt);
+        // Mirror the reference decay rule exactly: the battery is excluded
+        // by id (it is the decay's sink), independent of its exempt flag.
+        let eligible = !exempt && r.kind() == ResourceKind::Energy && id != self.battery;
+        self.flow.on_reserve_eligibility(id.0, eligible);
         Ok(())
     }
 
@@ -498,9 +510,10 @@ impl ResourceGraph {
         self.next_tap_seq += 1;
         tap.set_seq(seq);
         let source = tap.source().0;
+        let sink = tap.sink().0;
         let rate = tap.rate();
         let id = TapId(self.taps.insert(tap));
-        self.flow.on_tap_created(id, seq, source, rate);
+        self.flow.on_tap_created(id, seq, source, sink, rate);
         id
     }
 
@@ -526,12 +539,17 @@ impl ResourceGraph {
     /// Deletes a tap (revoking the power source it represented).
     pub fn delete_tap(&mut self, actor: &Actor, id: TapId) -> Result<(), GraphError> {
         let tap = self.taps.get(id.0).ok_or(GraphError::TapNotFound)?;
-        let (label, seq, source, rate) =
-            (tap.label().clone(), tap.seq(), tap.source().0, tap.rate());
+        let (label, seq, source, sink, rate) = (
+            tap.label().clone(),
+            tap.seq(),
+            tap.source().0,
+            tap.sink().0,
+            tap.rate(),
+        );
         if !actor.can_modify(&label) {
             return Err(GraphError::PermissionDenied { op: "delete_tap" });
         }
-        self.flow.on_tap_removed(seq, source, rate);
+        self.flow.on_tap_removed(seq, source, sink, rate);
         self.taps.remove(id.0);
         Ok(())
     }
@@ -569,9 +587,9 @@ impl ResourceGraph {
             .reserves
             .get(from.0)
             .ok_or(GraphError::ReserveNotFound)?;
-        let (from_label, from_kind) = (from_r.label().clone(), from_r.kind());
+        let from_kind = from_r.kind();
         let to_r = self.reserves.get(to.0).ok_or(GraphError::ReserveNotFound)?;
-        let (to_label, to_kind) = (to_r.label().clone(), to_r.kind());
+        let to_kind = to_r.kind();
         if from_kind != to_kind {
             return Err(GraphError::KindMismatch {
                 op: "transfer",
@@ -580,9 +598,16 @@ impl ResourceGraph {
             });
         }
         // Transferring out requires full use of the source (the outcome
-        // reveals its level); filling the sink requires modify.
-        if !actor.can_use(&from_label) || !actor.can_modify(&to_label) {
-            return Err(GraphError::PermissionDenied { op: "transfer" });
+        // reveals its level); filling the sink requires modify. The kernel
+        // bypasses label checks (it is the enforcement mechanism), so the
+        // label clones — netd's per-poll contributions hit this path every
+        // flow tick — are skipped outright for it.
+        if !actor.is_kernel {
+            let from_label = self.reserves.get(from.0).expect("checked").label().clone();
+            let to_label = self.reserves.get(to.0).expect("checked").label().clone();
+            if !actor.can_use(&from_label) || !actor.can_modify(&to_label) {
+                return Err(GraphError::PermissionDenied { op: "transfer" });
+            }
         }
         if self.config.strict_anti_hoarding {
             self.check_strict_transfer(actor, from, to)?;
@@ -652,6 +677,55 @@ impl ResourceGraph {
         Ok(())
     }
 
+    /// Sweeps the entire non-negative balance of `from` into `to` as the
+    /// kernel, returning the amount moved (zero when empty, negative, or
+    /// either id is stale). One probe per endpoint, no label checks — this
+    /// is netd's per-poll contribution ("contributes the energy acquired by
+    /// its taps"), which runs every flow tick for the whole pooling window.
+    /// Kinds must match; a mismatch moves nothing.
+    pub fn sweep_kernel(&mut self, from: ReserveId, to: ReserveId) -> Energy {
+        if from == to {
+            return Energy::ZERO;
+        }
+        let Some(src) = self.reserves.get(from.0) else {
+            return Energy::ZERO;
+        };
+        let amount = src.balance().clamp_non_negative();
+        if !amount.is_positive() {
+            return Energy::ZERO;
+        }
+        let kind = src.kind();
+        match self.reserves.get_mut(to.0) {
+            Some(dst) if dst.kind() == kind => dst.credit(amount),
+            _ => return Energy::ZERO,
+        }
+        self.reserves
+            .get_mut(from.0)
+            .expect("probed above")
+            .debit_outflow(amount);
+        amount
+    }
+
+    /// [`ResourceGraph::consume_with_debt`] as the kernel, in one arena
+    /// probe: no label check (the kernel is the enforcement mechanism, not
+    /// a subject of it) and no second lookup. The scheduler charges every
+    /// run quantum through this.
+    pub(crate) fn consume_with_debt_kernel(
+        &mut self,
+        id: ReserveId,
+        amount: Energy,
+    ) -> Result<(), GraphError> {
+        debug_assert!(!amount.is_negative());
+        let r = self
+            .reserves
+            .get_mut(id.0)
+            .ok_or(GraphError::ReserveNotFound)?;
+        let kind = r.kind();
+        r.debit_consumed(amount);
+        self.total_consumed[kind.index()] += amount;
+        Ok(())
+    }
+
     /// Injects fresh resources into a reserve (battery recharge, experiment
     /// setup). Kernel-only.
     pub fn inject(
@@ -697,6 +771,7 @@ impl ResourceGraph {
             Err(e) => {
                 // Roll back the freshly created (still empty) reserve.
                 let _ = self.reserves.remove(new.0);
+                self.flow.on_reserve_eligibility(new.0, false);
                 Err(e)
             }
         }
@@ -829,30 +904,49 @@ impl ResourceGraph {
     /// Advances batch tap execution and decay up to `now`. Whole ticks only;
     /// the fractional tail carries to the next call.
     ///
-    /// Executed by the embedded `FlowEngine` ([`crate::flow`]): ticks run
-    /// against the
-    /// per-source index with no per-tick allocation, and runs of ticks that
-    /// are provably linear (all live taps constant-rate, decay off, no
-    /// source near its clamp boundary) are applied in closed form. Results
+    /// Executed by the embedded `FlowEngine` ([`crate::flow`]): the span
+    /// is planned as partitioned *runs* — sources provably linear for the
+    /// run are applied in closed form, and only the taps adjacent to
+    /// dynamic reserves (live proportional sources, clamp boundaries,
+    /// refillable empties, and every energy source when decay is on) are
+    /// ticked, over dense SoA arrays. Sub-planning-threshold spans run
+    /// against the per-source index with no per-tick allocation. Results
     /// are bit-identical to [`ResourceGraph::flow_until_reference`].
     pub fn flow_until(&mut self, now: SimTime) {
         let tick = self.config.flow_tick;
-        let mut remaining = now.saturating_since(self.now).div_duration(tick);
+        let span = now.saturating_since(self.now);
+        if span < tick {
+            // Sub-tick call (the kernel polls every quantum): nothing due,
+            // and the division below is hot-loop cost worth skipping.
+            return;
+        }
+        // The kernel's per-quantum cadence lands here with exactly one tick
+        // due almost every call; a compare beats the u128 division.
+        let mut remaining = if span < tick + tick {
+            1
+        } else {
+            span.div_duration(tick)
+        };
         let battery = self.battery.0;
-        // Fast-forward is sound only without decay (per-tick leakage is not
-        // closed-form in integer µJ). Once an attempt reports a source at
-        // (or hovering within a few ticks of) its clamp boundary we settle
-        // the rest of this call tick by tick: re-planning is O(R + T), so a
-        // plan that only buys a tick or two costs more than it saves.
+        // Once a run comes back too short (a source hovering within a few
+        // ticks of its clamp boundary, or a span too short to plan) we
+        // settle the rest of this call tick by tick: re-planning is
+        // O(R + T), so a plan that only buys a tick or two costs more than
+        // it saves.
         const MIN_PROFITABLE_RUN: u64 = 4;
-        let mut try_fast_forward = self.decay_ppm_per_tick == 0;
+        let mut try_span = true;
         while remaining > 0 {
-            if try_fast_forward && self.flow.all_const() {
-                let advanced =
-                    self.flow
-                        .try_fast_forward(&mut self.reserves, &mut self.taps, tick, remaining);
+            if try_span {
+                let advanced = self.flow.run_span(
+                    &mut self.reserves,
+                    &mut self.taps,
+                    tick,
+                    remaining,
+                    self.decay_ppm_per_tick,
+                    battery,
+                );
                 if advanced < MIN_PROFITABLE_RUN {
-                    try_fast_forward = false;
+                    try_span = false;
                 }
                 if advanced > 0 {
                     self.now += tick * advanced;
@@ -1059,6 +1153,14 @@ impl ResourceGraph {
                 .sum(),
             consumed: self.total_consumed[kind.index()],
         }
+    }
+
+    /// Whether any live tap sinks into `id` — O(1), off the flow engine's
+    /// inbound index. The kernel's idle fast-forward uses this to decide
+    /// whether a byte-blocked send's plan could be refilled by a tap
+    /// mid-span (if not, idle quanta over it are provably skippable).
+    pub fn has_inbound_tap(&self, id: ReserveId) -> bool {
+        self.flow.has_inbound(id.0)
     }
 
     /// Flow-index introspection for the differential tests.

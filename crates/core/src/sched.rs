@@ -36,12 +36,24 @@ use cinder_sim::{Energy, Power, SimDuration, SimTime};
 use crate::accounting::PowerEstimator;
 use crate::arena::{Arena, RawId};
 use crate::errors::GraphError;
-use crate::graph::{Actor, ReserveId, ResourceGraph};
+#[cfg(test)]
+use crate::graph::Actor;
+use crate::graph::{ReserveId, ResourceGraph};
 use crate::kind::ResourceKind;
 
 /// Identifies a task known to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(RawId);
+
+impl TaskId {
+    /// The task's dense slot index, stable for its lifetime (slots may be
+    /// reused after [`ResourceScheduler::remove_task`]). The kernel keys
+    /// its slab-indexed task→thread table on this instead of hashing ids
+    /// in the run loop.
+    pub fn index(self) -> usize {
+        self.0.index() as usize
+    }
+}
 
 /// Scheduler-visible task state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +105,19 @@ pub struct ResourceScheduler {
     tasks: Arena<Task>,
     queue: VecDeque<TaskId>,
     config: SchedulerConfig,
+    /// Tasks currently in [`TaskState::Ready`], maintained on every state
+    /// transition so [`ResourceScheduler::has_ready`] — the kernel's
+    /// idle-skip guard — and the all-idle [`ResourceScheduler::pick_next`]
+    /// are O(1) instead of scans.
+    ready_count: usize,
+    /// When exactly one task is Ready *and* it is known which, that task —
+    /// the steady state of a device running one busy thread, where
+    /// [`ResourceScheduler::pick_next`] can skip the queue rotation
+    /// entirely. `None` means unknown (the next full scan re-learns it);
+    /// re-derived on every transition that invalidates it.
+    sole_ready: Option<TaskId>,
+    /// Memoised `power × quantum` for [`ResourceScheduler::charge`].
+    quantum_cost: Option<(Power, Energy)>,
 }
 
 /// The scheduler's pre-multi-resource name, kept so existing call sites
@@ -107,6 +132,9 @@ impl ResourceScheduler {
             tasks: Arena::new(),
             queue: VecDeque::new(),
             config,
+            ready_count: 0,
+            sole_ready: None,
+            quantum_cost: None,
         }
     }
 
@@ -130,12 +158,23 @@ impl ResourceScheduler {
             throttled_quanta: 0,
         }));
         self.queue.push_back(id);
+        self.ready_count += 1;
+        self.sole_ready = if self.ready_count == 1 {
+            Some(id)
+        } else {
+            None
+        };
         id
     }
 
     /// Removes a task entirely.
     pub fn remove_task(&mut self, id: TaskId) {
-        self.tasks.remove(id.0);
+        if let Some(task) = self.tasks.remove(id.0) {
+            if task.state == TaskState::Ready {
+                self.ready_count -= 1;
+            }
+        }
+        self.sole_ready = None;
         self.queue.retain(|&t| t != id);
     }
 
@@ -152,6 +191,19 @@ impl ResourceScheduler {
     /// Changes a task's state (kernel: block on sleep/IO, wake, exit).
     pub fn set_state(&mut self, id: TaskId, state: TaskState) {
         if let Some(t) = self.tasks.get_mut(id.0) {
+            if t.state == TaskState::Ready && state != TaskState::Ready {
+                self.ready_count -= 1;
+                // One task may remain Ready, but which one is unknown
+                // here; the next full pick re-learns it.
+                self.sole_ready = None;
+            } else if t.state != TaskState::Ready && state == TaskState::Ready {
+                self.ready_count += 1;
+                self.sole_ready = if self.ready_count == 1 {
+                    Some(id)
+                } else {
+                    None
+                };
+            }
             t.state = state;
         }
     }
@@ -188,6 +240,32 @@ impl ResourceScheduler {
     /// byte-blocked sender is `Blocked`, not merely skipped.) Returns
     /// `None` when the CPU should idle this quantum.
     pub fn pick_next(&mut self, graph: &ResourceGraph) -> Option<TaskId> {
+        if self.ready_count == 0 {
+            // Nobody wants the CPU: skip the queue rotation entirely. No
+            // throttled quantum can accrue (only Ready tasks are counted),
+            // so this is observably identical to the scan.
+            return None;
+        }
+        if let Some(id) = self.sole_ready {
+            // Exactly one Ready task and it is known: the rotation would
+            // rediscover it (or throttle it) — do that directly. The
+            // no-pick outcome leaves the queue bit-identically unchanged;
+            // the picked outcome only differs in internal queue order,
+            // which round-robin leaves unspecified.
+            let runnable = self
+                .tasks
+                .get(id.0)
+                .and_then(|t| t.reserves[ResourceKind::Energy.index()])
+                .and_then(|r| graph.reserve(r))
+                .is_some_and(|r| r.is_nonempty());
+            if runnable {
+                return Some(id);
+            }
+            if let Some(t) = self.tasks.get_mut(id.0) {
+                t.throttled_quanta += 1;
+            }
+            return None;
+        }
         let n = self.queue.len();
         let mut skipped: Vec<TaskId> = Vec::new();
         let mut throttled: Vec<TaskId> = Vec::new();
@@ -220,6 +298,17 @@ impl ResourceScheduler {
         for id in skipped.into_iter().rev() {
             self.queue.push_front(id);
         }
+        // Re-learn the sole Ready task for the fast path above: either the
+        // one we picked, or the single one the scan throttled.
+        if self.ready_count == 1 {
+            self.sole_ready = picked.or_else(|| {
+                if throttled.len() == 1 {
+                    Some(throttled[0])
+                } else {
+                    None
+                }
+            });
+        }
         // Tasks that wanted to run but were reserve-gated count a throttled
         // quantum — the paper's isolation experiments hinge on this.
         for id in throttled {
@@ -235,6 +324,8 @@ impl ResourceScheduler {
     ///
     /// The charge may overdraw the reserve by up to one quantum (the task
     /// was runnable when picked); the resulting debt gates future runs.
+    /// The cost is memoised per power level: the kernel charges the same
+    /// accounting power every run quantum, and the µJ conversion is hot.
     pub fn charge(
         &mut self,
         graph: &mut ResourceGraph,
@@ -242,7 +333,15 @@ impl ResourceScheduler {
         now: SimTime,
         power: Power,
     ) -> Result<Energy, GraphError> {
-        self.charge_duration(graph, id, now, power, self.config.quantum)
+        let cost = match self.quantum_cost {
+            Some((p, cost)) if p == power => cost,
+            _ => {
+                let cost = power.energy_over(self.config.quantum);
+                self.quantum_cost = Some((power, cost));
+                cost
+            }
+        };
+        self.charge_cost(graph, id, now, cost)
     }
 
     /// Charges `power × duration` — for partial-quantum costs such as the
@@ -255,14 +354,25 @@ impl ResourceScheduler {
         power: Power,
         duration: SimDuration,
     ) -> Result<Energy, GraphError> {
-        let cost = power.energy_over(duration);
+        self.charge_cost(graph, id, now, power.energy_over(duration))
+    }
+
+    fn charge_cost(
+        &mut self,
+        graph: &mut ResourceGraph,
+        id: TaskId,
+        now: SimTime,
+        cost: Energy,
+    ) -> Result<Energy, GraphError> {
         let task = self
             .tasks
             .get_mut(id.0)
             .ok_or(GraphError::ReserveNotFound)?;
         let reserve =
             task.reserves[ResourceKind::Energy.index()].ok_or(GraphError::ReserveNotFound)?;
-        graph.consume_with_debt(&Actor::kernel(), reserve, cost)?;
+        // The scheduler is kernel machinery: charge through the single-probe
+        // kernel path rather than the label-checked syscall surface.
+        graph.consume_with_debt_kernel(reserve, cost)?;
         task.consumed += cost;
         task.estimator.record(now, cost);
         Ok(cost)
@@ -292,14 +402,15 @@ impl ResourceScheduler {
             .unwrap_or(0)
     }
 
-    /// Whether any task is in [`TaskState::Ready`], runnable or not.
+    /// Whether any task is in [`TaskState::Ready`], runnable or not — O(1)
+    /// off the maintained ready counter.
     ///
     /// The kernel's idle fast-forward keys off this: a Ready task whose
     /// reserve is empty may become runnable the moment a tap refills it, so
     /// quanta cannot be skipped while one exists, whereas Blocked tasks can
     /// only be revived by a queued wake event.
     pub fn has_ready(&self) -> bool {
-        self.tasks.iter().any(|(_, t)| t.state == TaskState::Ready)
+        self.ready_count > 0
     }
 
     /// All task ids, in creation order.

@@ -151,6 +151,16 @@ impl Tap {
         self.remainder = 0;
     }
 
+    /// The sub-grain carry, for the flow engine's ticked-partition scratch.
+    pub(crate) fn remainder(&self) -> u128 {
+        self.remainder
+    }
+
+    /// Restores a carry advanced outside the tap (SoA ticking writeback).
+    pub(crate) fn set_remainder(&mut self, remainder: u128) {
+        self.remainder = remainder;
+    }
+
     /// Computes the amount this tap wants to move over `dt`, given the
     /// source level `source_level` *at the start of the batch tick*, with
     /// drift-free remainder carry.

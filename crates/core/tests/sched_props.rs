@@ -128,7 +128,11 @@ proptest! {
     /// Oversubscription: when total tap demand exceeds the CPU, the CPU
     /// saturates (≈100% duty) and no task exceeds its own tap rate.
     #[test]
-    fn oversubscribed_cpu_saturates(rates_mw in proptest::collection::vec(60u64..137, 2..5)) {
+    // Per-task floor of 75 mW keeps even the 2-task draw (≥150 mW) above
+    // the 137 mW CPU: with total inflow *below* CPU power, saturation is
+    // arithmetically impossible and the old 60 mW floor made randomized
+    // runs flaky.
+    fn oversubscribed_cpu_saturates(rates_mw in proptest::collection::vec(75u64..137, 2..5)) {
         let mut g = graph();
         let mut s = ResourceScheduler::new(SchedulerConfig::default());
         let k = Actor::kernel();

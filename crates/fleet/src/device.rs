@@ -67,9 +67,28 @@ pub struct DeviceReport {
     pub bytes_blocked_sends: u64,
 }
 
+/// Reusable per-worker buffers for [`simulate_device_with`]: a worker keeps
+/// one of these across its whole chunk, so the per-device extraction pass
+/// allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct DeviceScratch {
+    /// Thread ids of the device under extraction (refilled per device).
+    thread_ids: Vec<cinder_kernel::ThreadId>,
+}
+
+/// [`simulate_device`] with caller-provided worker scratch (the executor's
+/// per-worker reuse path).
+pub fn simulate_device_with(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> DeviceReport {
+    simulate_device_inner(spec, scratch)
+}
+
 /// Builds the device's kernel, runs it to the spec's horizon, and distils
 /// the report.
 pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
+    simulate_device_inner(spec, &mut DeviceScratch::default())
+}
+
+fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> DeviceReport {
     let laptop = matches!(spec.workload, Workload::Gallery { .. });
     let mut kernel = Kernel::new(KernelConfig {
         battery: spec.battery,
@@ -175,7 +194,7 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
     }
 
     kernel.run_until(SimTime::ZERO + spec.horizon);
-    extract_report(spec, &kernel, poller_log, viewer_log, plan_reserve)
+    extract_report(spec, &kernel, poller_log, viewer_log, plan_reserve, scratch)
 }
 
 fn extract_report(
@@ -184,6 +203,7 @@ fn extract_report(
     poller_log: Option<Rc<RefCell<cinder_apps::PollerLog>>>,
     viewer_log: Option<Rc<RefCell<ViewerLog>>>,
     plan_reserve: Option<ReserveId>,
+    scratch: &mut DeviceScratch,
 ) -> DeviceReport {
     // Invariant #1, per kind: every device kernel conserves each resource
     // kind exactly at teardown (energy *and* the data plan's bytes).
@@ -197,13 +217,17 @@ fn extract_report(
     }
     let horizon_s = spec.horizon.as_secs_f64();
     let total_energy = kernel.meter().total_energy();
-    let cpu_energy: Energy = kernel
-        .thread_ids()
+    // One id sweep into the worker scratch covers all three per-thread
+    // aggregations below.
+    scratch.thread_ids.clear();
+    scratch.thread_ids.extend(kernel.thread_id_iter());
+    let cpu_energy: Energy = scratch
+        .thread_ids
         .iter()
         .map(|&t| kernel.thread_consumed(t))
         .fold(Energy::ZERO, |a, b| a + b);
-    let starved: SimDuration = kernel
-        .thread_ids()
+    let starved: SimDuration = scratch
+        .thread_ids
         .iter()
         .map(|&t| kernel.thread_throttled(t))
         .fold(SimDuration::ZERO, |a, b| a + b);
@@ -240,8 +264,8 @@ fn extract_report(
 
     // §9 data-plan state read straight off the kernel: how many sends the
     // plan held back, whether any are still waiting, and the live balance.
-    let bytes_blocked_sends: u64 = kernel
-        .thread_ids()
+    let bytes_blocked_sends: u64 = scratch
+        .thread_ids
         .iter()
         .map(|&t| kernel.thread_bytes_blocked(t))
         .sum();

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::device::{simulate_device, DeviceReport};
+use crate::device::DeviceReport;
 use crate::report::FleetReport;
 use crate::scenario::Scenario;
 
@@ -40,18 +40,29 @@ pub fn run_fleet_with(scenario: &Scenario, threads: usize) -> FleetReport {
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                if start >= specs.len() {
-                    break;
-                }
-                let end = (start + CHUNK).min(specs.len());
-                // Simulate the whole chunk before taking the lock once.
-                let reports: Vec<DeviceReport> =
-                    specs[start..end].iter().map(simulate_device).collect();
-                let mut slots = slots.lock().expect("no worker panics while holding it");
-                for (offset, report) in reports.into_iter().enumerate() {
-                    slots[start + offset] = Some(report);
+            scope.spawn(|| {
+                // Per-worker scratch lives across every chunk this worker
+                // steals: the report buffer and the per-device extraction
+                // scratch are allocated once, not per device.
+                let mut scratch = crate::device::DeviceScratch::default();
+                let mut reports: Vec<DeviceReport> = Vec::with_capacity(CHUNK);
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= specs.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(specs.len());
+                    // Simulate the whole chunk before taking the lock once.
+                    reports.clear();
+                    reports.extend(
+                        specs[start..end]
+                            .iter()
+                            .map(|spec| crate::device::simulate_device_with(spec, &mut scratch)),
+                    );
+                    let mut slots = slots.lock().expect("no worker panics while holding it");
+                    for (offset, report) in reports.drain(..).enumerate() {
+                        slots[start + offset] = Some(report);
+                    }
                 }
             });
         }

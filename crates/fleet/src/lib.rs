@@ -44,7 +44,7 @@ pub mod executor;
 pub mod report;
 pub mod scenario;
 
-pub use device::{simulate_device, DeviceReport};
+pub use device::{simulate_device, simulate_device_with, DeviceReport, DeviceScratch};
 pub use executor::{run_fleet, run_fleet_with};
 pub use report::{FleetReport, FleetSummary};
 pub use scenario::{DataPlan, DeviceSpec, Scenario, Workload};

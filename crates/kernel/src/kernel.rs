@@ -14,7 +14,7 @@
 //!    quantum at the accounting power (137 mW);
 //! 6. the meter records total platform power for the quantum.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cinder_core::{
     quota, Actor, GraphConfig, Quantity, RateSpec, ReserveId, ResourceGraph, ResourceKind,
@@ -157,8 +157,16 @@ pub struct Kernel {
     meter: PowerMeter,
     rng: SimRng,
     events: EventQueue<KernelEvent>,
-    threads: BTreeMap<ThreadId, ThreadState>,
-    task_to_thread: HashMap<TaskId, ThreadId>,
+    /// Thread slab: slot `i` is thread id `i + 1` (ids are dense and never
+    /// reused; exited threads keep their slot). Indexed, not hashed — the
+    /// run loop touches this every quantum.
+    threads: Vec<ThreadState>,
+    /// Task→thread slab keyed by [`TaskId::index`] (tasks are never removed
+    /// by the kernel, so slots are stable).
+    task_to_thread: Vec<Option<ThreadId>>,
+    /// Live threads holding a send blocked on their byte quota — the O(1)
+    /// guard that lets `skip_idle_quanta` avoid rescanning threads.
+    byte_waiters: usize,
     objects: BTreeMap<ObjectId, KObject>,
     root: ObjectId,
     next_object: u64,
@@ -166,6 +174,9 @@ pub struct Kernel {
     categories: CategorySpace,
     net: Option<Box<dyn NetStack>>,
     last_net_poll: Option<SimTime>,
+    /// Whether the flow tick grid is a refinement of the quantum grid
+    /// (fixed at boot; hoisted out of the per-quantum poll path).
+    net_poll_snappable: bool,
 }
 
 impl Kernel {
@@ -173,6 +184,9 @@ impl Kernel {
     pub fn new(config: KernelConfig) -> Self {
         let graph = ResourceGraph::with_config(config.battery, config.graph);
         let sched = ResourceScheduler::new(config.sched);
+        let quantum_us = config.sched.quantum.as_micros();
+        let net_poll_snappable =
+            quantum_us > 0 && config.graph.flow_tick.as_micros() % quantum_us == 0;
         let platform = PlatformPower::htc_dream();
         let battery_hw = Battery::new(config.battery.max(Energy::from_joules(1)));
         let arm9 = Arm9::new(config.radio, battery_hw);
@@ -201,8 +215,9 @@ impl Kernel {
             arm9,
             meter,
             events: EventQueue::new(),
-            threads: BTreeMap::new(),
-            task_to_thread: HashMap::new(),
+            threads: Vec::new(),
+            task_to_thread: Vec::new(),
+            byte_waiters: 0,
             objects,
             root,
             next_object: 1,
@@ -210,6 +225,7 @@ impl Kernel {
             categories: CategorySpace::new(),
             net: None,
             last_net_poll: None,
+            net_poll_snappable,
             now: SimTime::ZERO,
             config,
         }
@@ -218,6 +234,31 @@ impl Kernel {
     /// A kernel with all defaults (15 kJ battery, Dream hardware).
     pub fn with_defaults() -> Self {
         Kernel::new(KernelConfig::default())
+    }
+
+    // ----- thread slab ----------------------------------------------------
+
+    /// Slab lookup: thread ids are dense (`1..=len`), so this is a bounds
+    /// check and an index, not a map probe.
+    fn thread(&self, tid: ThreadId) -> Option<&ThreadState> {
+        tid.0
+            .checked_sub(1)
+            .and_then(|i| self.threads.get(i as usize))
+    }
+
+    fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut ThreadState> {
+        tid.0
+            .checked_sub(1)
+            .and_then(|i| self.threads.get_mut(i as usize))
+    }
+
+    /// The thread id occupying slab slot `slot`.
+    fn slot_tid(slot: usize) -> ThreadId {
+        ThreadId(slot as u64 + 1)
+    }
+
+    fn thread_for_task(&self, task: TaskId) -> Option<ThreadId> {
+        self.task_to_thread.get(task.index()).copied().flatten()
     }
 
     // ----- introspection --------------------------------------------------
@@ -471,10 +512,18 @@ impl Kernel {
                 let _ = self.graph.delete_tap(&Actor::kernel(), *tap);
             }
             Body::Thread { thread } => {
-                if let Some(st) = self.threads.get_mut(thread) {
+                let thread = *thread;
+                let mut cleared = false;
+                let mut task = None;
+                if let Some(st) = self.thread_mut(thread) {
                     st.exited = true;
-                    st.pending_send = None;
-                    let task = st.task;
+                    cleared = st.pending_send.take().is_some();
+                    task = Some(st.task);
+                }
+                if cleared {
+                    self.byte_waiters -= 1;
+                }
+                if let Some(task) = task {
                     self.sched.set_state(task, TaskState::Exited);
                 }
             }
@@ -496,24 +545,25 @@ impl Kernel {
     ) -> ThreadId {
         let tid = ThreadId(self.next_thread);
         self.next_thread += 1;
+        debug_assert_eq!(tid.0 as usize, self.threads.len() + 1, "dense thread ids");
         let task = self.sched.add_task(name, reserve);
-        self.task_to_thread.insert(task, tid);
-        self.threads.insert(
-            tid,
-            ThreadState {
-                name: name.to_string(),
-                task,
-                actor,
-                program: Some(program),
-                pending_compute: SimDuration::ZERO,
-                cpu_kind: CpuKind::default(),
-                net_result: None,
-                msg_inbox: VecDeque::new(),
-                pending_send: None,
-                bytes_blocked_sends: 0,
-                exited: false,
-            },
-        );
+        if self.task_to_thread.len() <= task.index() {
+            self.task_to_thread.resize(task.index() + 1, None);
+        }
+        self.task_to_thread[task.index()] = Some(tid);
+        self.threads.push(ThreadState {
+            name: name.to_string(),
+            task,
+            actor,
+            program: Some(program),
+            pending_compute: SimDuration::ZERO,
+            cpu_kind: CpuKind::default(),
+            net_result: None,
+            msg_inbox: VecDeque::new(),
+            pending_send: None,
+            bytes_blocked_sends: 0,
+            exited: false,
+        });
         // Threads are kernel objects too.
         let _ = self.alloc_object(
             name,
@@ -536,30 +586,35 @@ impl Kernel {
 
     /// A thread's display name.
     pub fn thread_name(&self, tid: ThreadId) -> Option<&str> {
-        self.threads.get(&tid).map(|t| t.name.as_str())
+        self.thread(tid).map(|t| t.name.as_str())
     }
 
     /// All thread ids ever spawned (including exited), in spawn order.
     pub fn thread_ids(&self) -> Vec<ThreadId> {
-        self.threads.keys().copied().collect()
+        self.thread_id_iter().collect()
+    }
+
+    /// [`Kernel::thread_ids`] without the allocation (ids are dense).
+    pub fn thread_id_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        (1..=self.threads.len() as u64).map(ThreadId)
     }
 
     /// Finds a live thread by name (first match in spawn order).
     pub fn thread_by_name(&self, name: &str) -> Option<ThreadId> {
         self.threads
             .iter()
-            .find(|(_, st)| st.name == name)
-            .map(|(&tid, _)| tid)
+            .position(|st| st.name == name)
+            .map(Self::slot_tid)
     }
 
     /// Whether the thread has exited.
     pub fn thread_exited(&self, tid: ThreadId) -> bool {
-        self.threads.get(&tid).map(|t| t.exited).unwrap_or(true)
+        self.thread(tid).map(|t| t.exited).unwrap_or(true)
     }
 
     /// The thread's windowed power estimate (the stacked figures' y-axis).
     pub fn thread_power_estimate(&mut self, tid: ThreadId) -> Power {
-        let Some(task) = self.threads.get(&tid).map(|t| t.task) else {
+        let Some(task) = self.thread(tid).map(|t| t.task) else {
             return Power::ZERO;
         };
         let now = self.now;
@@ -568,8 +623,7 @@ impl Kernel {
 
     /// Total energy ever charged to the thread.
     pub fn thread_consumed(&self, tid: ThreadId) -> Energy {
-        self.threads
-            .get(&tid)
+        self.thread(tid)
             .map(|t| self.sched.consumed(t.task))
             .unwrap_or(Energy::ZERO)
     }
@@ -578,8 +632,7 @@ impl Kernel {
     /// reserve was empty — the per-device "starvation time" fleet reports
     /// aggregate (throttled quanta × quantum).
     pub fn thread_throttled(&self, tid: ThreadId) -> SimDuration {
-        self.threads
-            .get(&tid)
+        self.thread(tid)
             .map(|t| self.sched.quantum() * self.sched.throttled_quanta(t.task))
             .unwrap_or(SimDuration::ZERO)
     }
@@ -591,8 +644,7 @@ impl Kernel {
 
     /// The thread's active reserve for a kind, if one is attached.
     pub fn thread_reserve_kind(&self, tid: ThreadId, kind: ResourceKind) -> Option<ReserveId> {
-        self.threads
-            .get(&tid)
+        self.thread(tid)
             .and_then(|t| self.sched.reserve_for(t.task, kind))
     }
 
@@ -601,8 +653,9 @@ impl Kernel {
     /// Attaching a `NetworkBytes` reserve puts the thread's sends under
     /// that data plan, enforced online.
     pub fn set_thread_reserve_kind(&mut self, tid: ThreadId, kind: ResourceKind, r: ReserveId) {
-        if let Some(t) = self.threads.get(&tid) {
-            self.sched.set_reserve_for(t.task, kind, r);
+        if let Some(t) = self.thread(tid) {
+            let task = t.task;
+            self.sched.set_reserve_for(task, kind, r);
         }
     }
 
@@ -611,38 +664,41 @@ impl Kernel {
     /// throttling ([`Kernel::thread_throttled`]) and from blocking in netd
     /// on pooled energy.
     pub fn thread_bytes_blocked(&self, tid: ThreadId) -> u64 {
-        self.threads
-            .get(&tid)
-            .map(|t| t.bytes_blocked_sends)
-            .unwrap_or(0)
+        self.thread(tid).map(|t| t.bytes_blocked_sends).unwrap_or(0)
     }
 
     /// Whether the thread is *currently* blocked on bytes: a send is queued
     /// in the kernel waiting for its data plan to cover it.
     pub fn thread_awaiting_bytes(&self, tid: ThreadId) -> bool {
-        self.threads
-            .get(&tid)
-            .is_some_and(|t| t.pending_send.is_some())
+        self.thread(tid).is_some_and(|t| t.pending_send.is_some())
     }
 
     /// Terminates a thread: it never runs again (its reserves and taps are
     /// unaffected; delete those separately or via container GC). Any send
     /// it had blocked on bytes dies with it.
     pub fn kill(&mut self, tid: ThreadId) {
-        if let Some(st) = self.threads.get_mut(&tid) {
+        let mut cleared = false;
+        let mut task = None;
+        if let Some(st) = self.thread_mut(tid) {
             st.exited = true;
             st.program = None;
-            st.pending_send = None;
-            let task = st.task;
+            cleared = st.pending_send.take().is_some();
+            task = Some(st.task);
+        }
+        if cleared {
+            self.byte_waiters -= 1;
+        }
+        if let Some(task) = task {
             self.sched.set_state(task, TaskState::Exited);
         }
     }
 
     /// Wakes a blocked thread (external control, e.g. experiment scripts).
     pub fn wake(&mut self, tid: ThreadId) {
-        if let Some(t) = self.threads.get(&tid) {
+        if let Some(t) = self.thread(tid) {
             if !t.exited {
-                self.sched.set_state(t.task, TaskState::Ready);
+                let task = t.task;
+                self.sched.set_state(task, TaskState::Ready);
             }
         }
     }
@@ -685,7 +741,15 @@ impl Kernel {
     /// `flow_until`, and the meter holds the (constant) idle power until
     /// the next `set_power`.
     fn skip_idle_quanta(&mut self, end: SimTime) {
-        if self.sched.has_ready() || self.net.as_ref().is_some_and(|n| !n.is_idle()) {
+        if self.sched.has_ready() {
+            return;
+        }
+        if self.net.as_ref().is_some_and(|n| !n.is_idle()) {
+            // The stack is pooling (netd holding queued sends): quanta are
+            // not skippable, but they are *reducible* — only the tick-grid
+            // work (flows, net polls) can change anything while the CPU is
+            // provably idle.
+            self.step_net_busy_quanta(end);
             return;
         }
         // A send blocked on its byte quota is re-checked at every net poll,
@@ -694,17 +758,21 @@ impl Kernel {
         // the span — nothing else runs inside a skipped span, and events
         // only ever *debit* byte reserves — so an exhausted dead-end plan
         // (the mid-hour scenario's tail) does not pin the loop to
-        // per-quantum stepping.
-        let refillable_waiter = self.threads.values().any(|t| {
-            !t.exited
-                && t.pending_send.is_some()
-                && self
-                    .sched
-                    .reserve_for(t.task, ResourceKind::NetworkBytes)
-                    .is_some_and(|plan| self.graph.taps().any(|(_, tap)| tap.sink() == plan))
-        });
-        if refillable_waiter {
-            return;
+        // per-quantum stepping. The `byte_waiters` counter makes the
+        // no-waiter common case O(1); with waiters, each plan's inbound
+        // check is O(1) off the flow engine's index (no tap scan).
+        if self.byte_waiters > 0 {
+            let refillable_waiter = self.threads.iter().any(|t| {
+                !t.exited
+                    && t.pending_send.is_some()
+                    && self
+                        .sched
+                        .reserve_for(t.task, ResourceKind::NetworkBytes)
+                        .is_some_and(|plan| self.graph.has_inbound_tap(plan))
+            });
+            if refillable_waiter {
+                return;
+            }
         }
         let mut wake = end;
         if let Some(t) = self.events.peek_time() {
@@ -735,6 +803,44 @@ impl Kernel {
         // base loop.
         self.graph
             .flow_until(SimTime::from_micros(self.now.as_micros() - quantum_us));
+    }
+
+    /// Steps quanta in reduced form while the net stack is busy (pooling)
+    /// but the CPU is provably idle: only the flow tick and the net poll
+    /// run per quantum. Byte-identical to full stepping because every other
+    /// per-quantum action is a proven no-op over the stepped span —
+    /// no thread is Ready (the scheduler idles and counts nothing), no
+    /// event or radio transition falls inside it (checked per step), and
+    /// the metered power is constant (CPU idle, radio phase unchanged), so
+    /// the deferred `set_power` integrates identically. The loop stops
+    /// *before* consuming any quantum in which the poll woke a thread,
+    /// queued a delivery, or touched the radio — the ordinary loop then
+    /// replays that boundary, where `flow_until` (time already reached) and
+    /// `net_poll` (cadence already satisfied) are no-ops, and completes the
+    /// quantum with real scheduling and metering.
+    fn step_net_busy_quanta(&mut self, end: SimTime) {
+        let quantum = self.sched.quantum();
+        while self.now + quantum <= end {
+            let t = self.now;
+            if self.events.peek_time().is_some_and(|e| e <= t) {
+                return;
+            }
+            let radio_before = self.arm9.radio().next_transition();
+            if radio_before.is_some_and(|tt| tt <= t) {
+                return;
+            }
+            self.graph.flow_until(t);
+            self.net_poll(t);
+            if self.sched.has_ready()
+                || self.arm9.radio().next_transition() != radio_before
+                || self.net.as_ref().is_none_or(|n| n.is_idle())
+            {
+                // The poll granted, woke, or drained: hand the boundary
+                // back to the full loop (idle-skip may now also apply).
+                return;
+            }
+            self.now = t + quantum;
+        }
     }
 
     /// Advances radio timers up to `to`, updating the meter exactly at each
@@ -792,6 +898,14 @@ impl Kernel {
     }
 
     fn net_poll(&mut self, t: SimTime) {
+        if self.net.is_none() && self.byte_waiters == 0 {
+            // Nothing a poll could do: no stack to drive, no held sends to
+            // re-check. Skipping the cadence bookkeeping too is sound — the
+            // poll clock only sequences observable poll work, and the next
+            // real poll re-anchors it exactly as the first poll of a run
+            // does.
+            return;
+        }
         let tick = self.graph.config().flow_tick;
         let due = match self.last_net_poll {
             Some(last) => t.saturating_since(last) >= tick,
@@ -806,11 +920,17 @@ impl Kernel {
         // with the every-quantum run instead of acquiring a phase shift.
         // Only valid when the tick grid is a refinement of the quantum grid
         // (every tick lands on a schedulable boundary); otherwise keep the
-        // historical behaviour of anchoring to `t`.
-        let quantum_us = self.sched.quantum().as_micros();
-        let snappable = quantum_us > 0 && tick.as_micros() % quantum_us == 0;
+        // historical behaviour of anchoring to `t`. The exact-next-tick
+        // case (every poll while the loop steps quantum by quantum) skips
+        // the division.
         self.last_net_poll = Some(match self.last_net_poll {
-            Some(last) if snappable => last + tick * t.since(last).div_duration(tick),
+            Some(last) if self.net_poll_snappable => {
+                if t == last + tick {
+                    t
+                } else {
+                    last + tick * t.since(last).div_duration(tick)
+                }
+            }
             _ => t,
         });
         let Some(mut stack) = self.net.take() else {
@@ -833,11 +953,15 @@ impl Kernel {
         self.meter.add_energy(metered);
         self.queue_rx(outbox);
         for tid in woken {
-            if let Some(st) = self.threads.get_mut(&tid) {
+            let mut wake = None;
+            if let Some(st) = self.thread_mut(tid) {
                 st.net_result = Some(NetSendStatus::Sent);
                 if !st.exited {
-                    self.sched.set_state(st.task, TaskState::Ready);
+                    wake = Some(st.task);
                 }
+            }
+            if let Some(task) = wake {
+                self.sched.set_state(task, TaskState::Ready);
             }
         }
     }
@@ -900,14 +1024,18 @@ impl Kernel {
     /// stack — which may still block it on pooled energy (netd), the two
     /// block reasons composing in sequence.
     fn retry_byte_blocked_sends(&mut self, t: SimTime) {
+        if self.byte_waiters == 0 {
+            return;
+        }
         let waiting: Vec<ThreadId> = self
             .threads
             .iter()
+            .enumerate()
             .filter(|(_, st)| st.pending_send.is_some() && !st.exited)
-            .map(|(&tid, _)| tid)
+            .map(|(slot, _)| Self::slot_tid(slot))
             .collect();
         for tid in waiting {
-            let Some(st) = self.threads.get(&tid) else {
+            let Some(st) = self.thread(tid) else {
                 continue;
             };
             let task = st.task;
@@ -921,8 +1049,10 @@ impl Kernel {
             let Some(reserve) = self.sched.reserve_for(task, ResourceKind::Energy) else {
                 continue;
             };
-            if let Some(st) = self.threads.get_mut(&tid) {
-                st.pending_send = None;
+            if let Some(st) = self.thread_mut(tid) {
+                if st.pending_send.take().is_some() {
+                    self.byte_waiters -= 1;
+                }
             }
             let req = SendRequest {
                 thread: tid,
@@ -933,11 +1063,13 @@ impl Kernel {
             };
             match self.submit_to_stack(t, req) {
                 Ok(SendVerdict::Sent) => {
-                    if let Some(st) = self.threads.get_mut(&tid) {
+                    let mut wake = false;
+                    if let Some(st) = self.thread_mut(tid) {
                         st.net_result = Some(NetSendStatus::Sent);
-                        if !st.exited {
-                            self.sched.set_state(task, TaskState::Ready);
-                        }
+                        wake = !st.exited;
+                    }
+                    if wake {
+                        self.sched.set_state(task, TaskState::Ready);
                     }
                 }
                 // Queued in the stack (pooling): the stack's poll wakes it.
@@ -954,44 +1086,42 @@ impl Kernel {
         while attempts > 0 {
             attempts -= 1;
             let task = self.sched.pick_next(&self.graph)?;
-            let tid = match self.task_to_thread.get(&task) {
-                Some(&tid) => tid,
-                None => continue,
+            let Some(tid) = self.thread_for_task(task) else {
+                continue;
             };
             // If the thread has no CPU work queued, step its program.
             let needs_step = self
-                .threads
-                .get(&tid)
+                .thread(tid)
                 .map(|s| s.pending_compute.is_zero() && !s.exited)
                 .unwrap_or(false);
             if needs_step {
                 self.run_program(tid, t);
             }
-            let Some(st) = self.threads.get_mut(&tid) else {
-                continue;
-            };
-            if st.exited {
+            if self.thread(tid).map(|s| s.exited).unwrap_or(true) {
                 continue;
             }
-            if self.sched.state(task) != Some(TaskState::Ready) {
+            // Only a program step can have changed the state since
+            // `pick_next` verified Ready; skip the re-check otherwise.
+            if needs_step && self.sched.state(task) != Some(TaskState::Ready) {
                 // The program ran briefly (syscalls) and then blocked or
                 // went to sleep: dispatching it still cost CPU time (1 ms,
                 // a tenth of a quantum), charged to its reserve — this is
                 // exactly the overhead the paper attributes to explicit
                 // transfer threads (§3.3).
-                if needs_step {
-                    let power = self.platform.cpu.accounting_power();
-                    let dispatch = self.sched.quantum() / 10;
-                    let _ = self
-                        .sched
-                        .charge_duration(&mut self.graph, task, t, power, dispatch);
-                }
+                let power = self.platform.cpu.accounting_power();
+                let dispatch = self.sched.quantum() / 10;
+                let _ = self
+                    .sched
+                    .charge_duration(&mut self.graph, task, t, power, dispatch);
                 continue;
             }
             // Run one quantum: consume pending compute (if any) and charge.
             let quantum = self.sched.quantum();
-            st.pending_compute = st.pending_compute.saturating_sub(quantum);
-            let kind = st.cpu_kind;
+            let kind = {
+                let st = self.thread_mut(tid).expect("liveness checked above");
+                st.pending_compute = st.pending_compute.saturating_sub(quantum);
+                st.cpu_kind
+            };
             let power = self.platform.cpu.accounting_power();
             let _ = self.sched.charge(&mut self.graph, task, t, power);
             return Some(kind);
@@ -1004,18 +1134,17 @@ impl Kernel {
     fn run_program(&mut self, tid: ThreadId, t: SimTime) {
         const MAX_IMMEDIATE_STEPS: usize = 32;
         for _ in 0..MAX_IMMEDIATE_STEPS {
-            let Some(mut program) = self.threads.get_mut(&tid).and_then(|s| s.program.take())
-            else {
+            let Some(mut program) = self.thread_mut(tid).and_then(|s| s.program.take()) else {
                 return;
             };
             let step = {
                 let mut ctx = Ctx { kernel: self, tid };
                 program.step(&mut ctx)
             };
-            if let Some(st) = self.threads.get_mut(&tid) {
+            if let Some(st) = self.thread_mut(tid) {
                 st.program = Some(program);
             }
-            let Some(st) = self.threads.get_mut(&tid) else {
+            let Some(st) = self.thread_mut(tid) else {
                 return;
             };
             let task = st.task;
@@ -1041,7 +1170,9 @@ impl Kernel {
                 Step::Exit => {
                     st.exited = true;
                     st.program = None;
-                    st.pending_send = None;
+                    if st.pending_send.take().is_some() {
+                        self.byte_waiters -= 1;
+                    }
                     self.sched.set_state(task, TaskState::Exited);
                     return;
                 }
@@ -1093,10 +1224,7 @@ impl Ctx<'_> {
     }
 
     fn state(&self) -> &ThreadState {
-        self.kernel
-            .threads
-            .get(&self.tid)
-            .expect("ctx thread alive")
+        self.kernel.thread(self.tid).expect("ctx thread alive")
     }
 
     // ----- reserves & taps -------------------------------------------------
@@ -1243,8 +1371,7 @@ impl Ctx<'_> {
         let work = *work;
         let st = self
             .kernel
-            .threads
-            .get_mut(&self.tid)
+            .thread_mut(self.tid)
             .ok_or(KernelError::NoSuchThread)?;
         st.pending_compute += work;
         Ok(())
@@ -1256,12 +1383,11 @@ impl Ctx<'_> {
     pub fn msg_send(&mut self, daemon: ThreadId, work: SimDuration) -> Result<(), KernelError> {
         let st = self
             .kernel
-            .threads
-            .get_mut(&daemon)
+            .thread_mut(daemon)
             .ok_or(KernelError::NoSuchThread)?;
         st.msg_inbox.push_back(work);
-        if !st.exited {
-            let task = st.task;
+        let wake = (!st.exited).then_some(st.task);
+        if let Some(task) = wake {
             self.kernel.sched.set_state(task, TaskState::Ready);
         }
         Ok(())
@@ -1271,8 +1397,7 @@ impl Ctx<'_> {
     /// [`Ctx::msg_send`]).
     pub fn msg_take(&mut self) -> Option<SimDuration> {
         self.kernel
-            .threads
-            .get_mut(&self.tid)
+            .thread_mut(self.tid)
             .and_then(|s| s.msg_inbox.pop_front())
     }
 
@@ -1302,11 +1427,13 @@ impl Ctx<'_> {
             if !self.kernel.plan_covers(plan, tx_bytes, rx_bytes) {
                 let st = self
                     .kernel
-                    .threads
-                    .get_mut(&self.tid)
+                    .thread_mut(self.tid)
                     .ok_or(KernelError::NoSuchThread)?;
-                st.pending_send = Some(PendingSend { tx_bytes, rx_bytes });
+                let was_waiting = st.pending_send.replace(PendingSend { tx_bytes, rx_bytes });
                 st.bytes_blocked_sends += 1;
+                if was_waiting.is_none() {
+                    self.kernel.byte_waiters += 1;
+                }
                 return Ok(NetSendStatus::Blocked);
             }
         }
@@ -1327,8 +1454,7 @@ impl Ctx<'_> {
     /// Takes the completion notice of a previously blocked send.
     pub fn net_take_result(&mut self) -> Option<NetSendStatus> {
         self.kernel
-            .threads
-            .get_mut(&self.tid)
+            .thread_mut(self.tid)
             .and_then(|s| s.net_result.take())
     }
 

@@ -44,6 +44,18 @@ struct Waiting {
     req: SendRequest,
 }
 
+/// A memoised failed grant check (see `CoopNetd::pending_check`).
+#[derive(Debug, Clone, Copy)]
+struct PendingCheck {
+    /// `threshold - pool` at the last full check.
+    shortfall: Energy,
+    /// Pool level after that check plus every contribution since.
+    expected_pool: Energy,
+    /// Radio signature the threshold monotonicity argument relies on.
+    radio_active: bool,
+    radio_next_transition: Option<cinder_sim::SimTime>,
+}
+
 /// The cooperative stack.
 pub struct CoopNetd {
     config: NetdConfig,
@@ -52,6 +64,18 @@ pub struct CoopNetd {
     /// Threads whose queued requests were granted as part of a *newcomer's*
     /// batch; reported (and woken) at the next `poll`.
     granted_backlog: Vec<ThreadId>,
+    /// Reused request-batch buffer: `poll` runs every flow tick for the
+    /// whole pooling window, so its per-call allocations are hot-loop cost.
+    batch_scratch: Vec<SendRequest>,
+    /// Outcome of the last failed grant check, letting the next polls skip
+    /// re-estimating the radio cost entirely — *exactly*, not
+    /// heuristically: while the radio signature is unchanged the threshold
+    /// is non-decreasing, and the pool only moves by the contributions this
+    /// stack sweeps (verified against `expected_pool` each poll), so
+    /// `contributed < shortfall` proves the full check would fail too. Any
+    /// mismatch (new activity, external pool change, waiting-set change)
+    /// falls back to the full check.
+    pending_check: Option<PendingCheck>,
     /// Total energy ever debited from the pool for radio work.
     spent: Energy,
     /// Number of radio power-ups netd paid for.
@@ -74,6 +98,8 @@ impl CoopNetd {
             pool,
             waiting: Vec::new(),
             granted_backlog: Vec::new(),
+            batch_scratch: Vec::new(),
+            pending_check: None,
             spent: Energy::ZERO,
             grants: 0,
         }
@@ -100,15 +126,12 @@ impl CoopNetd {
     }
 
     /// Sweeps a requester's accumulated tap energy into the pool
-    /// ("contributes the energy acquired by its taps to the netd reserve").
-    fn contribute(&self, env: &mut NetEnv<'_>, reserve: ReserveId) {
-        let kernel = Actor::kernel();
-        if let Ok(balance) = env.graph.level(&kernel, reserve) {
-            let amount = balance.clamp_non_negative();
-            if amount.is_positive() {
-                let _ = env.graph.transfer(&kernel, reserve, self.pool, amount);
-            }
-        }
+    /// ("contributes the energy acquired by its taps to the netd reserve"),
+    /// returning the amount moved. Runs every flow tick for the whole
+    /// pooling window, so it uses the graph's single-pass kernel sweep
+    /// instead of a level + transfer pair.
+    fn contribute(&self, env: &mut NetEnv<'_>, reserve: ReserveId) -> Energy {
+        env.graph.sweep_kernel(reserve, self.pool)
     }
 
     /// The estimated cost of serving `requests` right now: one radio
@@ -149,6 +172,8 @@ impl CoopNetd {
 
 impl NetStack for CoopNetd {
     fn request(&mut self, env: &mut NetEnv<'_>, req: SendRequest) -> SendVerdict {
+        // The waiting set (and so the estimated batch cost) changes.
+        self.pending_check = None;
         let kernel = Actor::kernel();
         // A newcomer is batched with everyone already waiting: "When there
         // is sufficient energy to turn the radio on and perform the
@@ -192,18 +217,53 @@ impl NetStack for CoopNetd {
         if self.waiting.is_empty() {
             return woken;
         }
-        // Blocked threads keep contributing what their taps deliver.
-        let reserves: Vec<ReserveId> = self.waiting.iter().map(|w| w.req.reserve).collect();
-        for reserve in reserves {
-            self.contribute(env, reserve);
+        // Blocked threads keep contributing what their taps deliver
+        // (indexed copies: `SendRequest` is `Copy`, no temporary vector).
+        let mut contributed = Energy::ZERO;
+        for i in 0..self.waiting.len() {
+            let reserve = self.waiting[i].req.reserve;
+            contributed += self.contribute(env, reserve);
         }
-        let requests: Vec<SendRequest> = self.waiting.iter().map(|w| w.req).collect();
+        let radio = env.arm9.radio();
+        let radio_active = radio.is_active();
+        let radio_next_transition = radio.next_transition();
+        let pool = self.pool_level(env);
+        if let Some(chk) = self.pending_check {
+            if chk.radio_active == radio_active
+                && chk.radio_next_transition == radio_next_transition
+                && pool == chk.expected_pool + contributed
+                && contributed < chk.shortfall
+            {
+                // pool < previous threshold ≤ current threshold: the full
+                // check would refuse too. Carry the shortfall forward.
+                self.pending_check = Some(PendingCheck {
+                    shortfall: chk.shortfall - contributed,
+                    expected_pool: pool,
+                    radio_active,
+                    radio_next_transition,
+                });
+                return woken;
+            }
+        }
+        let mut requests = std::mem::take(&mut self.batch_scratch);
+        requests.clear();
+        requests.extend(self.waiting.iter().map(|w| w.req));
         let cost = self.estimate(env, &requests);
-        if self.pool_level(env) >= self.threshold(cost) {
+        let threshold = self.threshold(cost);
+        if pool >= threshold {
+            self.pending_check = None;
             self.grant(env, &requests, cost);
             self.waiting.clear();
             woken.extend(requests.iter().map(|r| r.thread));
+        } else {
+            self.pending_check = Some(PendingCheck {
+                shortfall: threshold - pool,
+                expected_pool: pool,
+                radio_active,
+                radio_next_transition,
+            });
         }
+        self.batch_scratch = requests;
         woken
     }
 

@@ -88,10 +88,24 @@ impl PowerMeter {
 
     /// Integrates up to `t` and changes the measured power.
     ///
+    /// Consecutive calls with an unchanged power are deduplicated: the
+    /// meter defers the integration (constant power integrates linearly,
+    /// so catching up at the next change — or at the next explicit
+    /// [`PowerMeter::advance`] — yields the identical µJ·µs accumulator),
+    /// and any samples falling inside the deferred span are emitted by that
+    /// catch-up with the same times and values. Totals, checkpoints, and
+    /// traces are byte-identical to the undeduplicated meter *after* an
+    /// `advance`; callers that read mid-stream (the kernel run loop closes
+    /// every `run_until` with one) must advance first.
+    ///
     /// # Panics
     ///
     /// Panics if `t` is before the meter's current time.
     pub fn set_power(&mut self, t: SimTime, power: Power) {
+        if power == self.current {
+            debug_assert!(t >= self.now, "meter time went backwards");
+            return;
+        }
         self.advance(t);
         self.current = power;
     }
@@ -229,6 +243,44 @@ mod tests {
         let mut m = PowerMeter::new(Power::ZERO);
         m.advance(SimTime::from_secs(1000));
         assert_eq!(m.total_energy(), Energy::ZERO);
+    }
+
+    /// The set_power dedupe must be invisible: a meter fed a redundant
+    /// `set_power` every "quantum" (the kernel run-loop pattern) produces a
+    /// byte-identical trace and total to one that integrates the same power
+    /// history with explicit advances.
+    #[test]
+    fn redundant_set_power_is_byte_identical() {
+        let mut deduped = PowerMeter::new(Power::from_milliwatts(699));
+        let mut reference = PowerMeter::new(Power::from_milliwatts(699));
+        deduped.enable_sampling("measured", AGILENT_SAMPLE_INTERVAL);
+        reference.enable_sampling("measured", AGILENT_SAMPLE_INTERVAL);
+        // 10 ms quanta for 2 s; the power only actually changes twice.
+        for q in 0..200u64 {
+            let t = SimTime::from_millis(10 * q);
+            let p = match q {
+                50..=99 => Power::from_milliwatts(836),
+                _ => Power::from_milliwatts(699),
+            };
+            deduped.set_power(t, p); // mostly redundant calls
+            if p != reference.current_power() {
+                reference.set_power(t, p);
+            } else {
+                reference.advance(t); // the undeduplicated behaviour
+            }
+            if q == 120 {
+                deduped.add_energy(Energy::from_millijoules(3));
+                reference.add_energy(Energy::from_millijoules(3));
+            }
+        }
+        let end = SimTime::from_secs(2);
+        deduped.advance(end);
+        reference.advance(end);
+        assert_eq!(deduped.total_energy(), reference.total_energy());
+        assert_eq!(
+            deduped.trace().unwrap().points(),
+            reference.trace().unwrap().points()
+        );
     }
 
     #[test]
