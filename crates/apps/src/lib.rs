@@ -14,17 +14,36 @@
 //!   Fig 12).
 //! * [`pollers`] — §6.4's periodic mail checker and RSS downloader
 //!   (Figs 13/14, Table 1).
+//!
+//! Beyond the paper's studies, two workloads drive the kernel's
+//! reserve-gated peripheral layer, and a trait makes all of them pluggable:
+//!
+//! * [`navigator`] — duty-cycled GPS fixes whose interval stretches as the
+//!   receiver's reserve drops.
+//! * [`screen_on`] — backlit browsing sessions that dim when the screen's
+//!   reserve sags and go dark when the kernel forces the backlight down.
+//! * [`workload`] — the [`WorkloadProgram`] seam drivers (the fleet, the
+//!   examples) use to install any of the above without a hard-coded match.
 
 pub mod browser;
 pub mod energywrap;
 pub mod image_viewer;
+pub mod navigator;
 pub mod pollers;
+pub mod screen_on;
 pub mod spinner;
 pub mod task_manager;
+pub mod workload;
 
 pub use browser::{build_browser, BrowserConfig, BrowserHandles};
 pub use energywrap::energywrap;
 pub use image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
+pub use navigator::{NavLog, Navigator, NavigatorConfig};
 pub use pollers::{build_pollers, PeriodicPoller, PollerHandles, PollerLog};
+pub use screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
 pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};
+pub use workload::{
+    BrowserWorkload, GalleryWorkload, InstalledWorkload, NavigatorWorkload, PollersWorkload,
+    ScreenOnWorkload, SpinnerWorkload, WorkloadEnv, WorkloadProbe, WorkloadProgram,
+};

@@ -1,0 +1,431 @@
+//! The workload seam: one trait between application topologies and any
+//! driver that runs them.
+//!
+//! The fleet's device driver used to be a monolithic `match` over its
+//! workload enum; [`WorkloadProgram`] replaces that with a pluggable
+//! boundary owned by the crate that owns the applications. A workload
+//! gets two hooks — [`WorkloadProgram::configure`] to shape the kernel
+//! before boot (e.g. the gallery's laptop NIC) and
+//! [`WorkloadProgram::install`] to build its reserves, taps, stacks, and
+//! threads inside it — and hands back an [`InstalledWorkload`] whose
+//! [`WorkloadProbe`] the driver queries after the run for app-level
+//! telemetry (completed operations, application-path bytes). New
+//! workloads (the peripheral-driven [`crate::navigator`] and
+//! [`crate::screen_on`]) plug in without touching the driver.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cinder_core::{Actor, RateSpec, ReserveId};
+use cinder_hw::LaptopNet;
+use cinder_kernel::{Kernel, KernelConfig, KernelError};
+use cinder_label::Label;
+use cinder_net::{CoopNetd, UncoopStack};
+use cinder_sim::{Energy, Power, SimDuration};
+
+use crate::browser::{build_browser, BrowserConfig};
+use crate::image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
+use crate::navigator::{NavLog, Navigator, NavigatorConfig};
+use crate::pollers::{build_pollers, PollerLog};
+use crate::screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
+use crate::spinner::Spinner;
+
+/// Per-device parameters a driver passes through to the workload: jitter
+/// scales and the optional §9 data plan.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadEnv {
+    /// Tap-rate scale in ppm (1_000_000 = nominal).
+    pub rate_scale_ppm: u64,
+    /// Interval scale in ppm (staggers periodic work across a fleet).
+    pub interval_scale_ppm: u64,
+    /// §9 data-plan size in bytes, if the device carries one.
+    pub data_plan_bytes: Option<u64>,
+}
+
+impl WorkloadEnv {
+    /// No jitter, no plan.
+    pub fn nominal() -> Self {
+        WorkloadEnv {
+            rate_scale_ppm: 1_000_000,
+            interval_scale_ppm: 1_000_000,
+            data_plan_bytes: None,
+        }
+    }
+
+    /// Scales a nominal tap rate by the device's rate jitter.
+    pub fn scale(&self, p: Power) -> Power {
+        p.scale_ppm(self.rate_scale_ppm)
+    }
+
+    /// Scales a nominal interval by the device's interval jitter.
+    pub fn interval(&self, base: SimDuration) -> SimDuration {
+        SimDuration::from_micros(base.as_micros() * self.interval_scale_ppm / 1_000_000)
+    }
+}
+
+/// What a driver reads off a finished workload.
+pub trait WorkloadProbe {
+    /// Completed application operations (polls sent / pages / images /
+    /// fixes).
+    fn ops(&self, kernel: &Kernel) -> u64;
+
+    /// Application-path bytes that never cross the radio (the gallery's
+    /// NIC downloads); zero means "use the radio's byte counters".
+    fn app_net_bytes(&self, _kernel: &Kernel) -> u64 {
+        0
+    }
+}
+
+/// A workload's handles back to the driver.
+pub struct InstalledWorkload {
+    /// The §9 plan reserve, when the workload installed one.
+    pub plan_reserve: Option<ReserveId>,
+    /// Post-run telemetry reader.
+    pub probe: Box<dyn WorkloadProbe>,
+}
+
+impl InstalledWorkload {
+    fn plain(probe: Box<dyn WorkloadProbe>) -> Self {
+        InstalledWorkload {
+            plan_reserve: None,
+            probe,
+        }
+    }
+}
+
+/// One of the application studies, as a pluggable device workload.
+pub trait WorkloadProgram {
+    /// Shapes the kernel configuration before boot (default: no change).
+    fn configure(&self, _config: &mut KernelConfig) {}
+
+    /// Builds the workload's topology — reserves, taps, network stack,
+    /// threads — inside the freshly booted kernel.
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError>;
+}
+
+/// A probe with nothing app-level to report.
+struct NullProbe;
+
+impl WorkloadProbe for NullProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        0
+    }
+}
+
+/// Creates a reserve seeded with `seed` and fed `feed` from the battery —
+/// the standard funding shape every tap-throttled workload uses.
+fn seeded_tapped_reserve(
+    kernel: &mut Kernel,
+    name: &str,
+    seed: Energy,
+    feed: Power,
+) -> Result<ReserveId, KernelError> {
+    let root = Actor::kernel();
+    let battery = kernel.battery();
+    let g = kernel.graph_mut();
+    let r = g.create_reserve(&root, name, Label::default_label())?;
+    if seed.is_positive() {
+        g.transfer(&root, battery, r, seed)?;
+    }
+    g.create_tap(
+        &root,
+        &format!("{name}-tap"),
+        battery,
+        r,
+        RateSpec::constant(feed),
+        Label::default_label(),
+    )?;
+    Ok(r)
+}
+
+// ----- the §5/§6 studies ---------------------------------------------------
+
+/// §6.4's mail + RSS pollers, cooperative (netd) or not.
+pub struct PollersWorkload {
+    /// Use the cooperative netd stack.
+    pub coop: bool,
+}
+
+struct PollerProbe {
+    log: Rc<RefCell<PollerLog>>,
+}
+
+impl WorkloadProbe for PollerProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().sends.len() as u64
+    }
+}
+
+impl WorkloadProgram for PollersWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        if self.coop {
+            let netd = CoopNetd::with_defaults(kernel.graph_mut());
+            kernel.install_net(Box::new(netd));
+        } else {
+            kernel.install_net(Box::new(UncoopStack::new()));
+        }
+        let handles = build_pollers(
+            kernel,
+            env.scale(Power::from_microwatts(37_500)),
+            env.interval(SimDuration::from_secs(60)),
+            env.interval(SimDuration::from_secs(60)),
+        )?;
+        // §9 in-kernel: the device carries a NetworkBytes root pool whose
+        // plan reserve gates both pollers' sends online — blocked-on-bytes
+        // is kernel state, not an offline replay.
+        let plan_reserve = match env.data_plan_bytes {
+            Some(bytes) => Some(kernel.install_byte_plan(bytes, &[handles.rss, handles.mail])?),
+            None => None,
+        };
+        Ok(InstalledWorkload {
+            plan_reserve,
+            probe: Box::new(PollerProbe { log: handles.log }),
+        })
+    }
+}
+
+/// §5.2's browser with isolated plugin and ad-block extension (Fig 6b).
+pub struct BrowserWorkload;
+
+impl WorkloadProgram for BrowserWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        let base = BrowserConfig::fig6b();
+        build_browser(
+            kernel,
+            BrowserConfig {
+                browser_tap: env.scale(base.browser_tap),
+                plugin_tap: env.scale(base.plugin_tap),
+                extension_tap: env.scale(base.extension_tap),
+                ..base
+            },
+        )?;
+        Ok(InstalledWorkload::plain(Box::new(NullProbe)))
+    }
+}
+
+/// §5.3/§6.2's energy-aware picture gallery on the laptop platform.
+pub struct GalleryWorkload {
+    /// Scale image quality to the reserve level (Fig 11 vs Fig 10).
+    pub adaptive: bool,
+}
+
+struct ViewerProbe {
+    log: Rc<RefCell<ViewerLog>>,
+}
+
+impl WorkloadProbe for ViewerProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().images.len() as u64
+    }
+
+    fn app_net_bytes(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().total_bytes()
+    }
+}
+
+impl WorkloadProgram for GalleryWorkload {
+    fn configure(&self, config: &mut KernelConfig) {
+        config.laptop = Some(LaptopNet::t60p());
+    }
+
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        let r = seeded_tapped_reserve(
+            kernel,
+            "downloader",
+            Energy::from_microjoules(200_000),
+            env.scale(Power::from_microwatts(4_000)),
+        )?;
+        let log = ViewerLog::shared();
+        let config = if self.adaptive {
+            ViewerConfig::fig11()
+        } else {
+            ViewerConfig::fig10()
+        };
+        kernel.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
+        Ok(InstalledWorkload::plain(Box::new(ViewerProbe { log })))
+    }
+}
+
+/// A background CPU hog throttled behind a tap (the Fig 9 shape).
+pub struct SpinnerWorkload;
+
+impl WorkloadProgram for SpinnerWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        let r = seeded_tapped_reserve(
+            kernel,
+            "hog",
+            Energy::ZERO,
+            env.scale(Power::from_microwatts(68_500)),
+        )?;
+        kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
+        Ok(InstalledWorkload::plain(Box::new(NullProbe)))
+    }
+}
+
+// ----- the peripheral workloads --------------------------------------------
+
+/// Duty-cycled GPS fixes under a tapped reserve (see [`crate::navigator`]).
+pub struct NavigatorWorkload;
+
+struct NavigatorProbe {
+    log: Rc<RefCell<NavLog>>,
+}
+
+impl WorkloadProbe for NavigatorProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().fixes.len() as u64
+    }
+}
+
+impl WorkloadProgram for NavigatorWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        // ~50 mW sustains the nominal 10 s / 60 s duty cycle; the jittered
+        // feed leaves some devices stretching their fix interval.
+        let r = seeded_tapped_reserve(
+            kernel,
+            "gps",
+            Energy::from_joules(20),
+            env.scale(Power::from_microwatts(52_500)),
+        )?;
+        let log = NavLog::shared();
+        let nav = Navigator::new(NavigatorConfig::fleet_default(), r, log.clone());
+        kernel.spawn_unprivileged("nav", Box::new(nav), r);
+        Ok(InstalledWorkload::plain(Box::new(NavigatorProbe { log })))
+    }
+}
+
+/// Backlit browsing sessions under a tapped reserve (see
+/// [`crate::screen_on`]).
+pub struct ScreenOnWorkload;
+
+struct ScreenOnProbe {
+    log: Rc<RefCell<BrowseLog>>,
+}
+
+impl WorkloadProbe for ScreenOnProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().pages
+    }
+}
+
+impl WorkloadProgram for ScreenOnWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        // A deficit feed against full brightness: sessions dim as the
+        // reserve sags, and the dimmed draw fits back inside the feed.
+        let r = seeded_tapped_reserve(
+            kernel,
+            "screen",
+            Energy::from_joules(40),
+            env.scale(Power::from_microwatts(190_000)),
+        )?;
+        let log = BrowseLog::shared();
+        let app = ScreenOn::new(ScreenOnConfig::fleet_default(), r, log.clone());
+        kernel.spawn_unprivileged("browse", Box::new(app), r);
+        Ok(InstalledWorkload::plain(Box::new(ScreenOnProbe { log })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_sim::SimTime;
+
+    fn run(workload: &dyn WorkloadProgram, secs: u64) -> (Kernel, InstalledWorkload) {
+        let mut config = KernelConfig {
+            seed: 11,
+            idle_skip: true,
+            sched: cinder_core::SchedulerConfig {
+                quantum: SimDuration::from_millis(100),
+                ..cinder_core::SchedulerConfig::default()
+            },
+            ..KernelConfig::default()
+        };
+        workload.configure(&mut config);
+        let mut kernel = Kernel::new(config);
+        let installed = workload
+            .install(&mut kernel, &WorkloadEnv::nominal())
+            .expect("root installs the workload");
+        kernel.run_until(SimTime::from_secs(secs));
+        (kernel, installed)
+    }
+
+    #[test]
+    fn every_workload_installs_and_produces_energy() {
+        let workloads: Vec<Box<dyn WorkloadProgram>> = vec![
+            Box::new(PollersWorkload { coop: true }),
+            Box::new(PollersWorkload { coop: false }),
+            Box::new(BrowserWorkload),
+            Box::new(GalleryWorkload { adaptive: true }),
+            Box::new(SpinnerWorkload),
+            Box::new(NavigatorWorkload),
+            Box::new(ScreenOnWorkload),
+        ];
+        for w in &workloads {
+            let (kernel, _) = run(w.as_ref(), 120);
+            assert!(kernel.meter().total_energy().is_positive());
+            assert!(kernel.graph().totals().conserved());
+        }
+    }
+
+    #[test]
+    fn probes_count_operations() {
+        let (kernel, installed) = run(&PollersWorkload { coop: false }, 600);
+        assert!(installed.probe.ops(&kernel) >= 8);
+        assert_eq!(installed.probe.app_net_bytes(&kernel), 0);
+
+        let (kernel, installed) = run(&NavigatorWorkload, 600);
+        assert!(installed.probe.ops(&kernel) >= 5);
+
+        let (kernel, installed) = run(&ScreenOnWorkload, 600);
+        assert!(installed.probe.ops(&kernel) >= 20);
+
+        let (kernel, installed) = run(&GalleryWorkload { adaptive: true }, 1_200);
+        assert!(installed.probe.ops(&kernel) >= 8);
+        assert!(installed.probe.app_net_bytes(&kernel) > 100_000);
+    }
+
+    #[test]
+    fn env_scaling_is_exact() {
+        let env = WorkloadEnv {
+            rate_scale_ppm: 900_000,
+            interval_scale_ppm: 1_100_000,
+            data_plan_bytes: None,
+        };
+        assert_eq!(
+            env.scale(Power::from_microwatts(100_000)),
+            Power::from_microwatts(90_000)
+        );
+        assert_eq!(
+            env.interval(SimDuration::from_secs(60)),
+            SimDuration::from_micros(66_000_000)
+        );
+    }
+}

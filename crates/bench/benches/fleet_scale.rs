@@ -26,6 +26,15 @@ fn acceptance_scenario(devices: u32) -> Scenario {
     }
 }
 
+/// The peripheral-heavy population: navigators and screen-on browsers
+/// exercising the reserve-gated backlight/GPS layer at fleet scale.
+fn peripheral_scenario(devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::peripheral_heavy("fleet-scale-peripheral", 2_027, devices)
+    }
+}
+
 /// Worker count for the sharded side: all cores, but at least two so the
 /// sharded path (and its determinism) is exercised even on a 1-CPU runner.
 fn sharded_threads() -> usize {
@@ -42,6 +51,10 @@ fn bench_fleet_scale(c: &mut Criterion) {
     let threads = sharded_threads();
     group.bench_function(format!("threads_{threads}"), |b| {
         b.iter(|| run_fleet_with(&scenario, threads))
+    });
+    let peripheral = peripheral_scenario(100);
+    group.bench_function("peripheral_threads_1", |b| {
+        b.iter(|| run_fleet_with(&peripheral, 1))
     });
     group.finish();
 }
@@ -99,6 +112,27 @@ fn scale_report(_c: &mut Criterion) {
         lifetime.p50, lifetime.p99, power.p99
     );
 
+    // The peripheral-heavy acceptance fleet: the reserve-gated
+    // backlight/GPS layer at the same scale, byte-identical across
+    // workers, with its forced-shutdown and drain telemetry recorded.
+    let peripheral = peripheral_scenario(DEVICES);
+    let start = Instant::now();
+    let peripheral_single = run_fleet_with(&peripheral, 1);
+    let peripheral_s = start.elapsed().as_secs_f64();
+    let peripheral_sharded = run_fleet_with(&peripheral, 2);
+    assert_eq!(
+        peripheral_single.to_json(),
+        peripheral_sharded.to_json(),
+        "peripheral fleet must be thread-count invariant"
+    );
+    let peripheral_summary = peripheral_single.summary();
+    println!(
+        "fleet_scale: peripheral fleet {DEVICES} devices x {HORIZON_S} s  1 thread {peripheral_s:.2} s \
+         ({:.1} kJ peripheral drain, {} forced shutdowns)",
+        peripheral_summary.peripheral_energy_j / 1e3,
+        peripheral_summary.forced_shutdowns
+    );
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|&(threads, wall_s)| {
@@ -113,12 +147,17 @@ fn scale_report(_c: &mut Criterion) {
          \"sim_seconds\": {HORIZON_S}, \"mix\": \"pollers-coop:4 pollers-uncoop:2 browser:2 \
          gallery:1 spinner:1\" }},\n  \"available_parallelism\": {cores},\n{},\n  \
          \"reports_byte_identical\": true,\n  \"lifetime_h\": {{ \"p50\": {:.3}, \"p90\": {:.3}, \
-         \"p99\": {:.3} }},\n  \"tail_power_mw_p99\": {:.3}\n}}\n",
+         \"p99\": {:.3} }},\n  \"tail_power_mw_p99\": {:.3},\n  \"peripheral_fleet\": {{ \
+         \"devices\": {DEVICES}, \"mix\": \"navigator:5 screen-on:4 pollers-coop:1\", \
+         \"wall_s\": {peripheral_s:.3}, \"peripheral_energy_j\": {:.1}, \"forced_shutdowns\": {}, \
+         \"reports_byte_identical\": true }}\n}}\n",
         sweep_json.join(",\n"),
         lifetime.p50,
         lifetime.p90,
         lifetime.p99,
-        power.p99
+        power.p99,
+        peripheral_summary.peripheral_energy_j,
+        peripheral_summary.forced_shutdowns
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet_scale.json");
     match std::fs::write(path, &json) {

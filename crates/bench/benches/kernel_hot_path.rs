@@ -12,6 +12,11 @@
 //! * **idle-heavy** — a thread sleeping in long stretches, run both with
 //!   and without `idle_skip`, so the O(1) idle-skip guard's effect is the
 //!   ratio between the two.
+//! * **backlit-idle** — the idle-heavy shape with a funded, lit backlight:
+//!   the reserve-gated peripheral layer's steady state must still
+//!   fast-forward (the coverage guard proves the span enforcement-free),
+//!   bit-identically on the metered energy *and* the peripheral's drained
+//!   energy.
 //!
 //! Writes `BENCH_kernel_hot_path.json` at the repo root.
 #![allow(missing_docs)]
@@ -20,7 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
 use cinder_core::{Actor, RateSpec};
-use cinder_kernel::{Ctx, FnProgram, Kernel, KernelConfig, Program, Step};
+use cinder_kernel::{Ctx, FnProgram, Kernel, KernelConfig, PeripheralKind, Program, Step};
 use cinder_label::Label;
 use cinder_sim::{Energy, Power, SimDuration, SimTime};
 
@@ -97,6 +102,35 @@ fn idle_heavy_kernel(idle_skip: bool) -> Kernel {
     k
 }
 
+/// The idle-heavy device with a funded, lit backlight: the peripheral
+/// drain runs in the flow engine while the sleeper's long gaps invite the
+/// fast-forward — the guard must prove the lit span steady and jump it.
+fn backlit_idle_kernel(idle_skip: bool) -> Kernel {
+    let mut k = idle_heavy_kernel(idle_skip);
+    let battery = k.battery();
+    let screen = k
+        .graph_mut()
+        .create_reserve(&Actor::kernel(), "screen", Label::default_label())
+        .unwrap();
+    k.graph_mut()
+        .transfer(&Actor::kernel(), battery, screen, Energy::from_joules(100))
+        .unwrap();
+    k.graph_mut()
+        .create_tap(
+            &Actor::kernel(),
+            "screen-tap",
+            battery,
+            screen,
+            RateSpec::constant(Power::from_microwatts(600_000)),
+            Label::default_label(),
+        )
+        .unwrap();
+    k.peripheral_acquire(PeripheralKind::Backlight, screen)
+        .unwrap();
+    k.peripheral_enable(PeripheralKind::Backlight).unwrap();
+    k
+}
+
 fn run(mut k: Kernel) -> Kernel {
     k.run_until(SimTime::from_secs(SIM_SECS));
     k
@@ -113,6 +147,12 @@ fn bench_kernel_hot_path(c: &mut Criterion) {
     });
     group.bench_function("idle_heavy_idle_skip", |b| {
         b.iter_with_setup(|| idle_heavy_kernel(true), run)
+    });
+    group.bench_function("backlit_idle_no_skip", |b| {
+        b.iter_with_setup(|| backlit_idle_kernel(false), run)
+    });
+    group.bench_function("backlit_idle_idle_skip", |b| {
+        b.iter_with_setup(|| backlit_idle_kernel(true), run)
     });
     group.finish();
 }
@@ -141,11 +181,39 @@ fn hot_path_report(_c: &mut Criterion) {
         idle_energy, skip_energy,
         "idle_skip must be bit-identical on metered energy"
     );
+    // The funded-peripheral steady state: a lit backlight must not pin the
+    // loop — the fast-forward still engages, with identical observables.
+    let run_backlit = |idle_skip: bool| {
+        let mut k = backlit_idle_kernel(idle_skip);
+        let start = Instant::now();
+        k.run_until(SimTime::from_secs(SIM_SECS));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        (
+            wall_ms,
+            k.meter().total_energy(),
+            k.peripheral_energy(PeripheralKind::Backlight),
+            k.peripheral_forced_shutdowns(PeripheralKind::Backlight),
+        )
+    };
+    let (backlit_ms, backlit_energy, backlit_drain, backlit_cuts) = run_backlit(false);
+    let (backlit_skip_ms, skip_backlit_energy, skip_drain, skip_cuts) = run_backlit(true);
+    assert_eq!(
+        (backlit_energy, backlit_drain, backlit_cuts),
+        (skip_backlit_energy, skip_drain, skip_cuts),
+        "a lit peripheral must not perturb the fast-forward's observables"
+    );
+    assert_eq!(backlit_cuts, 0, "the funded backlight must stay lit");
+    assert!(
+        backlit_drain >= Energy::from_joules(300),
+        "600 s of 555 mW drained through the flow engine: {backlit_drain}"
+    );
     let quanta = SIM_SECS * 100; // default 10 ms quantum
     let skip_speedup = idle_ms / skip_ms;
+    let backlit_speedup = backlit_ms / backlit_skip_ms;
     println!(
         "kernel_hot_path: busy {busy_ms:.2} ms ({:.0} ns/quantum), duty-cycled {duty_ms:.2} ms, \
-         idle {idle_ms:.2} ms vs idle_skip {skip_ms:.3} ms ({skip_speedup:.0}x)",
+         idle {idle_ms:.2} ms vs idle_skip {skip_ms:.3} ms ({skip_speedup:.0}x), backlit idle \
+         {backlit_ms:.2} ms vs skip {backlit_skip_ms:.3} ms ({backlit_speedup:.0}x)",
         busy_ms * 1e6 / quanta as f64
     );
 
@@ -155,8 +223,12 @@ fn hot_path_report(_c: &mut Criterion) {
          {busy_ms:.3}, \"ns_per_quantum\": {:.1} }},\n  \"duty_cycled_spinner\": {{ \"wall_ms\": \
          {duty_ms:.3} }},\n  \"idle_heavy\": {{ \"no_skip_wall_ms\": {idle_ms:.3}, \
          \"idle_skip_wall_ms\": {skip_ms:.4}, \"skip_speedup\": {skip_speedup:.1}, \
-         \"metered_energy_bit_identical\": true }}\n}}\n",
-        busy_ms * 1e6 / quanta as f64
+         \"metered_energy_bit_identical\": true }},\n  \"backlit_idle\": {{ \"no_skip_wall_ms\": \
+         {backlit_ms:.3}, \"idle_skip_wall_ms\": {backlit_skip_ms:.4}, \"skip_speedup\": \
+         {backlit_speedup:.1}, \"backlight_drain_j\": {:.3}, \"forced_shutdowns\": {backlit_cuts}, \
+         \"observables_bit_identical\": true }}\n}}\n",
+        busy_ms * 1e6 / quanta as f64,
+        backlit_drain.as_microjoules() as f64 / 1e6
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -265,6 +265,15 @@ impl FlowEngine {
         self.inbound.contains_key(&reserve)
     }
 
+    /// The live taps draining `reserve`, in creation order — O(outbound
+    /// taps of that reserve), off the per-source adjacency index.
+    pub(crate) fn outbound(&self, reserve: RawId) -> impl Iterator<Item = TapId> + '_ {
+        self.by_source
+            .get(&reserve)
+            .into_iter()
+            .flat_map(|entry| entry.taps.values().copied())
+    }
+
     /// Updates prop/const classification when a tap's rate changes.
     pub(crate) fn on_tap_rate_changed(&mut self, source: RawId, old: RateSpec, new: RateSpec) {
         let (was, is) = (is_live_prop(old), is_live_prop(new));

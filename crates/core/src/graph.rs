@@ -53,7 +53,7 @@
 //! differential testing and benchmarking.
 
 use cinder_label::{Label, PrivilegeSet};
-use cinder_sim::{Energy, SimDuration, SimTime};
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
 
 use crate::arena::{Arena, RawId};
 use crate::decay::DecayConfig;
@@ -1161,6 +1161,30 @@ impl ResourceGraph {
     /// mid-span (if not, idle quanta over it are provably skippable).
     pub fn has_inbound_tap(&self, id: ReserveId) -> bool {
         self.flow.has_inbound(id.0)
+    }
+
+    /// An upper-bound view of the taps draining `id`: the sum of all
+    /// constant outbound rates, whether any live proportional tap also
+    /// drains it (its rate is level-dependent, so callers needing a static
+    /// bound must bail), and the outbound tap count (for per-tick carry
+    /// slack). O(outbound taps of `id`), off the flow engine's per-source
+    /// index. The kernel's peripheral fast-forward guard folds this into
+    /// its zero-inflow span-coverage bound.
+    pub fn outbound_drain(&self, id: ReserveId) -> (Power, bool, u32) {
+        let mut total = Power::ZERO;
+        let mut prop = false;
+        let mut count = 0u32;
+        for tap_id in self.flow.outbound(id.0) {
+            let Some(tap) = self.taps.get(tap_id.0) else {
+                continue;
+            };
+            count += 1;
+            match tap.rate() {
+                RateSpec::Const(rate) => total += rate,
+                RateSpec::Proportional { ppm_per_s } => prop |= ppm_per_s > 0,
+            }
+        }
+        (total, prop, count)
     }
 
     /// Flow-index introspection for the differential tests.

@@ -605,8 +605,12 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn deprecated_alias_still_names_the_scheduler() {
-        // The pre-rename name must keep compiling for downstream code.
-        let s: EnergyScheduler = ResourceScheduler::new(SchedulerConfig::default());
+        // The pre-rename name must keep resolving for downstream code, but
+        // internal code constructs the scheduler by its real name — the
+        // alias appears only as this compile-time identity proof.
+        fn accepts_alias(_: &EnergyScheduler) {}
+        let s: ResourceScheduler = ResourceScheduler::new(SchedulerConfig::default());
+        accepts_alias(&s);
         assert_eq!(s.quantum(), SchedulerConfig::default().quantum);
     }
 

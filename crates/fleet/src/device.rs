@@ -5,21 +5,22 @@
 //! run to the horizon with the kernel's bit-exact idle fast-forward on,
 //! then torn down into a compact report. Devices sharing nothing is what
 //! lets the executor shard them freely.
+//!
+//! The driver is workload-agnostic: [`crate::scenario::Workload::program`] resolves the
+//! spec's tag to a [`cinder_apps::WorkloadProgram`], which shapes the
+//! kernel config (e.g. the gallery's laptop NIC), installs its own
+//! topology, and hands back the probe the extraction pass reads — the seam
+//! that let the peripheral workloads (navigator, screen-on) plug in
+//! without touching this file's logic.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use cinder_apps::{InstalledWorkload, WorkloadEnv};
+use cinder_core::{quota, ResourceKind, SchedulerConfig};
+use cinder_kernel::{Kernel, KernelConfig, PeripheralKind};
+use cinder_sim::{Energy, SimDuration, SimTime};
 
-use cinder_apps::{
-    build_browser, build_pollers, BrowserConfig, ImageViewer, Spinner, ViewerConfig, ViewerLog,
-};
-use cinder_core::{quota, Actor, RateSpec, ReserveId, ResourceKind, SchedulerConfig};
-use cinder_hw::LaptopNet;
-use cinder_kernel::{Kernel, KernelConfig};
-use cinder_label::Label;
-use cinder_net::{CoopNetd, UncoopStack};
-use cinder_sim::{Energy, Power, SimDuration, SimTime};
-
-use crate::scenario::{DeviceSpec, Workload};
+use crate::scenario::DeviceSpec;
+#[cfg(test)]
+use crate::scenario::Workload;
 
 /// Compact per-device telemetry, the unit the aggregator consumes.
 ///
@@ -30,7 +31,7 @@ use crate::scenario::{DeviceSpec, Workload};
 pub struct DeviceReport {
     /// Device id (fleet index).
     pub id: u64,
-    /// Workload tag (see [`Workload::tag`]).
+    /// Workload tag (see [`crate::scenario::Workload::tag`]).
     pub workload: &'static str,
     /// Battery capacity the device started with.
     pub battery_capacity_uj: i64,
@@ -41,6 +42,14 @@ pub struct DeviceReport {
     /// Energy charged to threads by the energy-aware scheduler (CPU
     /// subsystem share of the total).
     pub cpu_energy_uj: i64,
+    /// Energy the backlight drained from its reserve (peripheral layer).
+    pub backlight_energy_uj: i64,
+    /// Energy the GPS drained from its reserve (peripheral layer).
+    pub gps_energy_uj: i64,
+    /// Times the kernel forced the backlight dark on an empty reserve.
+    pub backlight_shutdowns: u64,
+    /// Times the kernel forced the GPS down on an empty reserve.
+    pub gps_shutdowns: u64,
     /// Projected battery lifetime at the observed average draw, in hours.
     pub lifetime_h: f64,
     /// Radio idle→active transitions (phone workloads).
@@ -50,7 +59,8 @@ pub struct DeviceReport {
     /// Bytes moved over the network (radio tx+rx, or NIC downloads for the
     /// gallery).
     pub net_bytes: u64,
-    /// Completed application operations (polls sent / pages / images).
+    /// Completed application operations (polls sent / pages / images /
+    /// GPS fixes).
     pub ops: u64,
     /// Time threads spent denied the CPU on an empty reserve.
     pub starved_s: f64,
@@ -89,8 +99,8 @@ pub fn simulate_device(spec: &DeviceSpec) -> DeviceReport {
 }
 
 fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> DeviceReport {
-    let laptop = matches!(spec.workload, Workload::Gallery { .. });
-    let mut kernel = Kernel::new(KernelConfig {
+    let workload = spec.workload.program();
+    let mut config = KernelConfig {
         battery: spec.battery,
         seed: spec.seed,
         idle_skip: true,
@@ -98,111 +108,27 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
             quantum: spec.quantum,
             ..SchedulerConfig::default()
         },
-        laptop: laptop.then(LaptopNet::t60p),
         ..KernelConfig::default()
-    });
-
-    let scale = |p: Power| p.scale_ppm(spec.rate_scale_ppm);
-    let mut poller_log = None;
-    let mut viewer_log = None;
-    let mut plan_reserve = None;
-    match spec.workload {
-        Workload::Pollers { coop } => {
-            if coop {
-                let netd = CoopNetd::with_defaults(kernel.graph_mut());
-                kernel.install_net(Box::new(netd));
-            } else {
-                kernel.install_net(Box::new(UncoopStack::new()));
-            }
-            let interval = |base_s: u64| SimDuration::from_micros(base_s * spec.interval_scale_ppm);
-            let handles = build_pollers(
-                &mut kernel,
-                scale(Power::from_microwatts(37_500)),
-                interval(60),
-                interval(60),
-            )
-            .expect("root can build the poller topology");
-            if let Some(plan) = spec.data_plan {
-                // §9 in-kernel: the device carries a NetworkBytes root pool
-                // whose plan reserve gates both pollers' sends online —
-                // blocked-on-bytes is kernel state, not an offline replay.
-                let plan_r = kernel
-                    .install_byte_plan(plan.bytes, &[handles.rss, handles.mail])
-                    .expect("fresh device kernel has no byte root");
-                plan_reserve = Some(plan_r);
-            }
-            poller_log = Some(handles.log);
-        }
-        Workload::Browser => {
-            let base = BrowserConfig::fig6b();
-            build_browser(
-                &mut kernel,
-                BrowserConfig {
-                    browser_tap: scale(base.browser_tap),
-                    plugin_tap: scale(base.plugin_tap),
-                    extension_tap: scale(base.extension_tap),
-                    ..base
-                },
-            )
-            .expect("root can build the browser topology");
-        }
-        Workload::Gallery { adaptive } => {
-            let root = Actor::kernel();
-            let battery = kernel.battery();
-            let g = kernel.graph_mut();
-            let r = g
-                .create_reserve(&root, "downloader", Label::default_label())
-                .expect("root can create the downloader reserve");
-            g.transfer(&root, battery, r, Energy::from_microjoules(200_000))
-                .expect("battery covers the downloader's seed energy");
-            g.create_tap(
-                &root,
-                "dl-tap",
-                battery,
-                r,
-                RateSpec::constant(scale(Power::from_microwatts(4_000))),
-                Label::default_label(),
-            )
-            .expect("root can tap the battery");
-            let log = ViewerLog::shared();
-            let config = if adaptive {
-                ViewerConfig::fig11()
-            } else {
-                ViewerConfig::fig10()
-            };
-            kernel.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
-            viewer_log = Some(log);
-        }
-        Workload::Spinner => {
-            let root = Actor::kernel();
-            let battery = kernel.battery();
-            let g = kernel.graph_mut();
-            let r = g
-                .create_reserve(&root, "hog", Label::default_label())
-                .expect("root can create the hog reserve");
-            g.create_tap(
-                &root,
-                "hog-tap",
-                battery,
-                r,
-                RateSpec::constant(scale(Power::from_microwatts(68_500))),
-                Label::default_label(),
-            )
-            .expect("root can tap the battery");
-            kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
-        }
-    }
+    };
+    workload.configure(&mut config);
+    let mut kernel = Kernel::new(config);
+    let env = WorkloadEnv {
+        rate_scale_ppm: spec.rate_scale_ppm,
+        interval_scale_ppm: spec.interval_scale_ppm,
+        data_plan_bytes: spec.data_plan.map(|p| p.bytes),
+    };
+    let installed = workload
+        .install(&mut kernel, &env)
+        .expect("root can install the workload topology");
 
     kernel.run_until(SimTime::ZERO + spec.horizon);
-    extract_report(spec, &kernel, poller_log, viewer_log, plan_reserve, scratch)
+    extract_report(spec, &kernel, &installed, scratch)
 }
 
 fn extract_report(
     spec: &DeviceSpec,
     kernel: &Kernel,
-    poller_log: Option<Rc<RefCell<cinder_apps::PollerLog>>>,
-    viewer_log: Option<Rc<RefCell<ViewerLog>>>,
-    plan_reserve: Option<ReserveId>,
+    installed: &InstalledWorkload,
     scratch: &mut DeviceScratch,
 ) -> DeviceReport {
     // Invariant #1, per kind: every device kernel conserves each resource
@@ -248,16 +174,10 @@ fn extract_report(
         .map(|r| r.balance())
         .unwrap_or(Energy::ZERO);
 
-    let (ops, gallery_bytes) = match (&poller_log, &viewer_log) {
-        (Some(log), _) => (log.borrow().sends.len() as u64, 0),
-        (_, Some(log)) => {
-            let log = log.borrow();
-            (log.images.len() as u64, log.total_bytes())
-        }
-        _ => (0, 0),
-    };
-    let net_bytes = if gallery_bytes > 0 {
-        gallery_bytes
+    let ops = installed.probe.ops(kernel);
+    let app_bytes = installed.probe.app_net_bytes(kernel);
+    let net_bytes = if app_bytes > 0 {
+        app_bytes
     } else {
         radio.tx_bytes + radio.rx_bytes
     };
@@ -269,7 +189,7 @@ fn extract_report(
         .iter()
         .map(|&t| kernel.thread_bytes_blocked(t))
         .sum();
-    let (quota_exhausted, quota_remaining_bytes) = match plan_reserve {
+    let (quota_exhausted, quota_remaining_bytes) = match installed.plan_reserve {
         Some(plan) => (
             bytes_blocked_sends > 0,
             kernel
@@ -297,6 +217,14 @@ fn extract_report(
         battery_remaining_uj: battery_remaining.as_microjoules(),
         total_energy_uj: total_energy.as_microjoules(),
         cpu_energy_uj: cpu_energy.as_microjoules(),
+        backlight_energy_uj: kernel
+            .peripheral_energy(PeripheralKind::Backlight)
+            .as_microjoules(),
+        gps_energy_uj: kernel
+            .peripheral_energy(PeripheralKind::Gps)
+            .as_microjoules(),
+        backlight_shutdowns: kernel.peripheral_forced_shutdowns(PeripheralKind::Backlight),
+        gps_shutdowns: kernel.peripheral_forced_shutdowns(PeripheralKind::Gps),
         lifetime_h,
         radio_activations: radio.activations,
         radio_active_s,
@@ -380,6 +308,47 @@ mod tests {
     }
 
     #[test]
+    fn navigator_device_fixes_and_burns_gps_energy() {
+        let r = simulate_device(&spec_for(Workload::Navigator, 1_800));
+        // ~70 s per fix cycle: two dozen fixes in half an hour.
+        assert!(r.ops >= 15, "fixes: {}", r.ops);
+        // Each 10 s fix drains 3.5 J from the reserve.
+        assert!(
+            r.gps_energy_uj >= 50_000_000,
+            "gps energy: {}",
+            r.gps_energy_uj
+        );
+        assert_eq!(r.backlight_energy_uj, 0);
+        assert_eq!(r.radio_activations, 0, "the navigator never transmits");
+    }
+
+    #[test]
+    fn screen_on_device_browses_under_the_backlight() {
+        let r = simulate_device(&spec_for(Workload::ScreenOn, 1_800));
+        assert!(r.ops >= 50, "pages: {}", r.ops);
+        // Six 2-minute sessions at roughly full brightness.
+        assert!(
+            r.backlight_energy_uj >= 200_000_000,
+            "backlight energy: {}",
+            r.backlight_energy_uj
+        );
+        assert_eq!(r.gps_energy_uj, 0);
+    }
+
+    #[test]
+    fn starving_navigator_is_forced_down() {
+        // A tenth of the nominal feed cannot hold a fix window: the kernel
+        // cuts the receiver and the report records it.
+        let mut spec = spec_for(Workload::Navigator, 3_600);
+        spec.rate_scale_ppm = 100_000;
+        let r = simulate_device(&spec);
+        assert!(
+            r.gps_shutdowns >= 1,
+            "forced shutdowns must surface in the report: {r:?}"
+        );
+    }
+
+    #[test]
     fn reports_are_deterministic() {
         let spec = spec_for(Workload::Pollers { coop: false }, 900);
         assert_eq!(simulate_device(&spec), simulate_device(&spec));
@@ -434,7 +403,7 @@ mod tests {
 
     #[test]
     fn every_mixed_workload_simulates() {
-        for spec in Scenario::mixed("all", 9, 10).specs() {
+        for spec in Scenario::all_workloads("all", 9, 10).specs() {
             let mut quick = spec.clone();
             quick.horizon = SimDuration::from_secs(120);
             let r = simulate_device(&quick);

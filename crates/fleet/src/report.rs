@@ -54,6 +54,12 @@ pub struct FleetSummary {
     pub bytes_blocked_sends: u64,
     /// Devices holding at least one reserve in debt at the horizon.
     pub devices_in_debt: usize,
+    /// Total energy drained by reserve-gated peripherals (backlight + GPS)
+    /// across the fleet, joules.
+    pub peripheral_energy_j: f64,
+    /// Total forced peripheral shutdowns (empty reserve → hardware down)
+    /// across the fleet.
+    pub forced_shutdowns: u64,
 }
 
 impl FleetReport {
@@ -91,6 +97,16 @@ impl FleetReport {
             quota_exhausted: self.devices.iter().filter(|d| d.quota_exhausted).count(),
             bytes_blocked_sends: self.devices.iter().map(|d| d.bytes_blocked_sends).sum(),
             devices_in_debt: self.devices.iter().filter(|d| d.debt_reserves > 0).count(),
+            peripheral_energy_j: self
+                .devices
+                .iter()
+                .map(|d| (d.backlight_energy_uj + d.gps_energy_uj) as f64 / 1e6)
+                .sum(),
+            forced_shutdowns: self
+                .devices
+                .iter()
+                .map(|d| d.backlight_shutdowns + d.gps_shutdowns)
+                .sum(),
         }
     }
 
@@ -126,19 +142,24 @@ impl FleetReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "device,workload,battery_uj,battery_remaining_uj,total_energy_uj,cpu_energy_uj,\
+             backlight_energy_uj,gps_energy_uj,backlight_shutdowns,gps_shutdowns,\
              lifetime_h,avg_power_mw,radio_activations,radio_active_s,net_bytes,ops,starved_s,\
              debt_reserves,quota_exhausted,quota_remaining_bytes,bytes_blocked_sends\n",
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{}",
                 d.id,
                 d.workload,
                 d.battery_capacity_uj,
                 d.battery_remaining_uj,
                 d.total_energy_uj,
                 d.cpu_energy_uj,
+                d.backlight_energy_uj,
+                d.gps_energy_uj,
+                d.backlight_shutdowns,
+                d.gps_shutdowns,
                 d.lifetime_h,
                 self.avg_power_mw(d),
                 d.radio_activations,
@@ -221,6 +242,12 @@ impl FleetReport {
         let _ = writeln!(out, "  \"starved_s\": {},", summary_json(&s.starved_s));
         let _ = writeln!(out, "  \"quota_exhausted\": {},", s.quota_exhausted);
         let _ = writeln!(out, "  \"bytes_blocked_sends\": {},", s.bytes_blocked_sends);
+        let _ = writeln!(
+            out,
+            "  \"peripheral_energy_j\": {:.6},",
+            s.peripheral_energy_j
+        );
+        let _ = writeln!(out, "  \"forced_shutdowns\": {},", s.forced_shutdowns);
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -248,6 +275,10 @@ mod tests {
             battery_remaining_uj: 14_000_000_000,
             total_energy_uj: energy_uj,
             cpu_energy_uj: energy_uj / 10,
+            backlight_energy_uj: id as i64 * 1_000_000,
+            gps_energy_uj: 500_000,
+            backlight_shutdowns: u64::from(id == 3),
+            gps_shutdowns: u64::from(id == 3) * 2,
             lifetime_h,
             radio_activations: id,
             radio_active_s: 1.0,
@@ -282,6 +313,9 @@ mod tests {
         assert_eq!(s.quota_exhausted, 1);
         assert_eq!(s.bytes_blocked_sends, 3);
         assert_eq!(s.devices_in_debt, 5);
+        // Σ (id × 1 J) + 10 × 0.5 J of GPS.
+        assert!((s.peripheral_energy_j - 50.0).abs() < 1e-9);
+        assert_eq!(s.forced_shutdowns, 3);
         // 2500 J × 10 devices.
         assert!((s.fleet_energy_j - 25_000.0).abs() < 1e-9);
         // 2.5 MJ over 3600 s ≈ 694.4 mW for every device.

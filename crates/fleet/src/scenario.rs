@@ -8,9 +8,13 @@
 //! poll intervals, and the kernel seed are drawn from the device's own
 //! [`SimRng::split`] stream — adding a device never perturbs its siblings.
 
+use cinder_apps::{
+    BrowserWorkload, GalleryWorkload, NavigatorWorkload, PollersWorkload, ScreenOnWorkload,
+    SpinnerWorkload, WorkloadProgram,
+};
 use cinder_sim::{Energy, SimDuration, SimRng};
 
-/// Which of the paper's application studies a device runs.
+/// Which application study a device runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// §6.4's mail + RSS pollers. `coop` selects netd pooling (Fig 13b)
@@ -30,9 +34,28 @@ pub enum Workload {
     },
     /// A background CPU hog throttled behind a tap (the Fig 9 shape).
     Spinner,
+    /// Duty-cycled GPS fixes under a reserve, the fix interval stretching
+    /// as the reserve drops (the peripheral layer's sensor workload).
+    Navigator,
+    /// Backlit browsing sessions under a reserve, dimming on a sagging
+    /// level and forced dark on an empty one.
+    ScreenOn,
 }
 
 impl Workload {
+    /// Every workload, in tag order — the domain [`Workload::from_tag`]
+    /// inverts over.
+    pub const ALL: [Workload; 8] = [
+        Workload::Pollers { coop: true },
+        Workload::Pollers { coop: false },
+        Workload::Browser,
+        Workload::Gallery { adaptive: true },
+        Workload::Gallery { adaptive: false },
+        Workload::Spinner,
+        Workload::Navigator,
+        Workload::ScreenOn,
+    ];
+
     /// A short stable tag for CSV columns and logs.
     pub fn tag(self) -> &'static str {
         match self {
@@ -42,6 +65,38 @@ impl Workload {
             Workload::Gallery { adaptive: true } => "gallery-adaptive",
             Workload::Gallery { adaptive: false } => "gallery-fixed",
             Workload::Spinner => "spinner",
+            Workload::Navigator => "navigator",
+            Workload::ScreenOn => "screen-on",
+        }
+    }
+
+    /// The exact inverse of [`Workload::tag`], for CSV/tooling round trips:
+    /// `Workload::from_tag(w.tag()) == Some(w)` for every workload, and
+    /// `None` for anything else.
+    pub fn from_tag(tag: &str) -> Option<Workload> {
+        match tag {
+            "pollers-coop" => Some(Workload::Pollers { coop: true }),
+            "pollers-uncoop" => Some(Workload::Pollers { coop: false }),
+            "browser" => Some(Workload::Browser),
+            "gallery-adaptive" => Some(Workload::Gallery { adaptive: true }),
+            "gallery-fixed" => Some(Workload::Gallery { adaptive: false }),
+            "spinner" => Some(Workload::Spinner),
+            "navigator" => Some(Workload::Navigator),
+            "screen-on" => Some(Workload::ScreenOn),
+            _ => None,
+        }
+    }
+
+    /// Resolves the tag to its [`WorkloadProgram`] — the seam the device
+    /// driver installs through.
+    pub fn program(self) -> Box<dyn WorkloadProgram> {
+        match self {
+            Workload::Pollers { coop } => Box::new(PollersWorkload { coop }),
+            Workload::Browser => Box::new(BrowserWorkload),
+            Workload::Gallery { adaptive } => Box::new(GalleryWorkload { adaptive }),
+            Workload::Spinner => Box::new(SpinnerWorkload),
+            Workload::Navigator => Box::new(NavigatorWorkload),
+            Workload::ScreenOn => Box::new(ScreenOnWorkload),
         }
     }
 }
@@ -131,6 +186,39 @@ impl Scenario {
             jitter_ppm: 100_000, // ±10 %
             quantum: SimDuration::from_millis(100),
             data_plan: None,
+        }
+    }
+
+    /// Every workload tag in one population — the paper's §5/§6 studies
+    /// plus the peripheral workloads — for mixture-wide differential and
+    /// coverage tests.
+    pub fn all_workloads(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::Pollers { coop: true }, 2),
+                (Workload::Pollers { coop: false }, 1),
+                (Workload::Browser, 1),
+                (Workload::Gallery { adaptive: true }, 1),
+                (Workload::Gallery { adaptive: false }, 1),
+                (Workload::Spinner, 1),
+                (Workload::Navigator, 2),
+                (Workload::ScreenOn, 1),
+            ],
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
+    /// A peripheral-heavy population: mostly navigators and screen-on
+    /// browsers, a few background pollers — the fleet-scale bench's
+    /// stress case for the reserve-gated peripheral layer.
+    pub fn peripheral_heavy(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::Navigator, 5),
+                (Workload::ScreenOn, 4),
+                (Workload::Pollers { coop: true }, 1),
+            ],
+            ..Scenario::mixed(name, seed, devices)
         }
     }
 
@@ -227,6 +315,35 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `from_tag` is the exact inverse of `tag`, exhaustively: every
+    /// workload round-trips, tags are unique, and junk maps to `None`.
+    #[test]
+    fn tag_round_trips_exhaustively() {
+        let mut seen = std::collections::BTreeSet::new();
+        for w in Workload::ALL {
+            let tag = w.tag();
+            assert_eq!(Workload::from_tag(tag), Some(w), "tag {tag}");
+            assert!(seen.insert(tag), "duplicate tag {tag}");
+        }
+        assert_eq!(seen.len(), Workload::ALL.len());
+        for junk in ["", "pollers", "POLLERS-COOP", "gps", "screen_on", "nav"] {
+            assert_eq!(Workload::from_tag(junk), None, "junk {junk:?}");
+        }
+    }
+
+    /// The CSV path round-trips through `from_tag` too: every tag written
+    /// by a report resolves back to the workload that produced it.
+    #[test]
+    fn all_scenario_covers_every_tag() {
+        let s = Scenario::all_workloads("cover", 1, 10);
+        let tags: std::collections::BTreeSet<&str> =
+            s.specs().iter().map(|d| d.workload.tag()).collect();
+        assert_eq!(tags.len(), Workload::ALL.len(), "tags: {tags:?}");
+        for tag in tags {
+            assert!(Workload::from_tag(tag).is_some());
+        }
+    }
 
     #[test]
     fn mixture_is_exact_per_block() {

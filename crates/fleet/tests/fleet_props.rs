@@ -132,6 +132,72 @@ fn mid_hour_exhaustion_throttles_the_fleet_online() {
     }
 }
 
+/// The acceptance sweep for the peripheral refactor: a scenario mixing
+/// *every* workload tag — the paper's §5/§6 studies plus `navigator` and
+/// `screen-on` — yields byte-identical fleet reports at 1, 2, and 4
+/// workers, with the peripheral drains and forced shutdowns inside the
+/// comparison.
+#[test]
+fn all_workload_tags_are_thread_invariant() {
+    let scenario = Scenario {
+        horizon: SimDuration::from_secs(900),
+        ..Scenario::all_workloads("all-tags", 33, 20)
+    };
+    let tags: std::collections::BTreeSet<&str> =
+        scenario.specs().iter().map(|d| d.workload.tag()).collect();
+    assert_eq!(tags.len(), Workload::ALL.len(), "mixture misses a tag");
+    let single = run_fleet_with(&scenario, 1);
+    for threads in [2usize, 4] {
+        let sharded = run_fleet_with(&scenario, threads);
+        assert_eq!(single.devices, sharded.devices, "{threads} workers");
+        assert_eq!(single.to_csv(), sharded.to_csv(), "{threads} workers");
+        assert_eq!(single.to_json(), sharded.to_json(), "{threads} workers");
+    }
+    let summary = single.summary();
+    assert!(
+        summary.peripheral_energy_j > 100.0,
+        "peripheral devices must burn real energy: {}",
+        single.to_json()
+    );
+}
+
+/// Peripheral telemetry has the right structure: navigators burn GPS (and
+/// no backlight), screen-on browsers the reverse, and a rate-starved
+/// peripheral fleet records forced shutdowns.
+#[test]
+fn peripheral_telemetry_reflects_workload_structure() {
+    let scenario = Scenario {
+        horizon: SimDuration::from_secs(1_800),
+        ..Scenario::peripheral_heavy("periph", 19, 20)
+    };
+    let report = run_fleet_with(&scenario, 4);
+    for d in &report.devices {
+        match Workload::from_tag(d.workload) {
+            Some(Workload::Navigator) => {
+                assert!(d.gps_energy_uj > 0, "{d:?}");
+                assert_eq!(d.backlight_energy_uj, 0, "{d:?}");
+                assert!(d.ops > 0, "a navigator completes fixes: {d:?}");
+            }
+            Some(Workload::ScreenOn) => {
+                assert!(d.backlight_energy_uj > 0, "{d:?}");
+                assert_eq!(d.gps_energy_uj, 0, "{d:?}");
+                assert!(d.ops > 0, "a browser renders pages: {d:?}");
+            }
+            _ => {
+                assert_eq!(d.backlight_energy_uj + d.gps_energy_uj, 0, "{d:?}");
+            }
+        }
+    }
+    // The summary's totals match a per-device recount exactly.
+    let summary = report.summary();
+    let recount: u64 = report
+        .devices
+        .iter()
+        .map(|d| d.backlight_shutdowns + d.gps_shutdowns)
+        .sum();
+    assert_eq!(summary.forced_shutdowns, recount);
+}
+
 /// Mixture landmarks survive aggregation: coop pollers activate the radio
 /// less often than uncoop ones on average, and spinners starve.
 #[test]

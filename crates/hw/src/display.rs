@@ -1,21 +1,30 @@
 //! Backlight power model.
 //!
 //! Paper §4.2: the Dream draws "another 555 mW when the backlight is on".
+//! The model adds a *drive level* below full brightness (in ppm of the
+//! full-rail draw) so energy-aware policies can dim rather than drop the
+//! screen — the screen-dimming pattern the peripheral layer's `ScreenOn`
+//! workload exercises when its reserve runs low.
 
 use cinder_sim::Power;
 
-/// The display backlight: a simple on/off power state.
+/// Full drive (100% brightness) in parts per million.
+pub const FULL_DRIVE_PPM: u64 = 1_000_000;
+
+/// The display backlight: an on/off power state with a dimmable drive.
 #[derive(Debug, Clone, Copy)]
 pub struct Display {
     backlight_power: Power,
+    drive_ppm: u64,
     on: bool,
 }
 
 impl Display {
-    /// The HTC Dream's 555 mW backlight, initially off.
+    /// The HTC Dream's 555 mW backlight, initially off at full drive.
     pub fn htc_dream() -> Self {
         Display {
             backlight_power: Power::from_milliwatts(555),
+            drive_ppm: FULL_DRIVE_PPM,
             on: false,
         }
     }
@@ -30,10 +39,28 @@ impl Display {
         self.on
     }
 
+    /// Sets the drive level in ppm of full brightness, clamped to
+    /// `1..=`[`FULL_DRIVE_PPM`] (a zero drive is "off", which is
+    /// [`Display::set_backlight`]'s job).
+    pub fn set_drive_ppm(&mut self, ppm: u64) {
+        self.drive_ppm = ppm.clamp(1, FULL_DRIVE_PPM);
+    }
+
+    /// The current drive level in ppm of full brightness.
+    pub fn drive_ppm(&self) -> u64 {
+        self.drive_ppm
+    }
+
+    /// The draw at full drive, regardless of state (what the peripheral
+    /// layer sizes reserves and drain taps against).
+    pub fn full_power(&self) -> Power {
+        self.backlight_power
+    }
+
     /// The power currently drawn above idle.
     pub fn power(&self) -> Power {
         if self.on {
-            self.backlight_power
+            self.backlight_power.scale_ppm(self.drive_ppm)
         } else {
             Power::ZERO
         }
@@ -59,5 +86,27 @@ mod tests {
         assert_eq!(d.power(), Power::from_milliwatts(555));
         d.set_backlight(false);
         assert_eq!(d.power(), Power::ZERO);
+    }
+
+    #[test]
+    fn dimming_scales_the_draw() {
+        let mut d = Display::htc_dream();
+        d.set_backlight(true);
+        d.set_drive_ppm(400_000);
+        assert_eq!(d.drive_ppm(), 400_000);
+        assert_eq!(d.power(), Power::from_milliwatts(222));
+        assert_eq!(d.full_power(), Power::from_milliwatts(555));
+        // Off still draws nothing, whatever the drive.
+        d.set_backlight(false);
+        assert_eq!(d.power(), Power::ZERO);
+    }
+
+    #[test]
+    fn drive_clamps_to_valid_range() {
+        let mut d = Display::htc_dream();
+        d.set_drive_ppm(0);
+        assert_eq!(d.drive_ppm(), 1);
+        d.set_drive_ppm(2_000_000);
+        assert_eq!(d.drive_ppm(), FULL_DRIVE_PPM);
     }
 }

@@ -1,17 +1,26 @@
-//! GPS stub.
+//! GPS receiver power model.
 //!
 //! The paper names the GPS as one of the "most energy hungry, dynamic, and
 //! informative components" managed by the closed ARM9 (§4.1, Fig 2) but
-//! never evaluates a GPS workload. The stub preserves the architectural
-//! boundary — GPS is only reachable through the ARM9 facade — and a
-//! plausible power state, so future workloads have somewhere to plug in.
+//! never evaluates a GPS workload. This model is the plug the kernel's
+//! peripheral layer fills: `cinder-kernel` exposes the receiver as a
+//! reserve-gated [`Peripheral`](../../cinder_kernel) — enabling it requires
+//! an acquired energy reserve, the acquisition draw is drained from that
+//! reserve by a kernel tap every flow tick, and a reserve that can no
+//! longer fund a quantum forcibly powers the receiver down. The
+//! `cinder-apps` `Navigator` workload duty-cycles it for periodic fixes,
+//! stretching its fix interval as the reserve drops.
 
 use cinder_sim::Power;
 
-/// A minimal on/off GPS receiver model.
+use crate::display::FULL_DRIVE_PPM;
+
+/// An on/off GPS receiver model with a drive level (tracking modes below
+/// full acquisition draw).
 #[derive(Debug, Clone, Copy)]
 pub struct Gps {
     acquisition_power: Power,
+    drive_ppm: u64,
     on: bool,
 }
 
@@ -21,6 +30,7 @@ impl Gps {
     pub fn htc_dream() -> Self {
         Gps {
             acquisition_power: Power::from_milliwatts(350),
+            drive_ppm: FULL_DRIVE_PPM,
             on: false,
         }
     }
@@ -35,10 +45,26 @@ impl Gps {
         self.on
     }
 
+    /// Sets the drive level in ppm of the full acquisition draw, clamped
+    /// to `1..=`[`FULL_DRIVE_PPM`].
+    pub fn set_drive_ppm(&mut self, ppm: u64) {
+        self.drive_ppm = ppm.clamp(1, FULL_DRIVE_PPM);
+    }
+
+    /// The current drive level in ppm.
+    pub fn drive_ppm(&self) -> u64 {
+        self.drive_ppm
+    }
+
+    /// The draw at full drive, regardless of state.
+    pub fn full_power(&self) -> Power {
+        self.acquisition_power
+    }
+
     /// The power currently drawn above idle.
     pub fn power(&self) -> Power {
         if self.on {
-            self.acquisition_power
+            self.acquisition_power.scale_ppm(self.drive_ppm)
         } else {
             Power::ZERO
         }
@@ -62,5 +88,14 @@ mod tests {
         g.set_enabled(true);
         assert_eq!(g.power(), Power::from_milliwatts(350));
         assert!(g.is_enabled());
+    }
+
+    #[test]
+    fn drive_scales_tracking_power() {
+        let mut g = Gps::htc_dream();
+        g.set_enabled(true);
+        g.set_drive_ppm(500_000);
+        assert_eq!(g.power(), Power::from_milliwatts(175));
+        assert_eq!(g.full_power(), Power::from_milliwatts(350));
     }
 }

@@ -20,8 +20,8 @@
 //! * [`radio`] — the GSM data-path state machine with its expensive
 //!   activation episodes, the heart of Figs 3, 4, 13, 14 and Table 1.
 //! * [`battery`] — capacity plus the ARM9's coarse 0–100 level readout.
-//! * [`gps`] — a stub with the architectural boundary (ARM9-managed) but no
-//!   evaluated workload.
+//! * [`gps`] — the receiver's acquisition/tracking draw, driven by the
+//!   kernel's reserve-gated peripheral layer.
 //! * [`arm9`] — the closed-coprocessor facade: radio/GPS/battery are only
 //!   reachable through it, and its policies (the 20 s timeout) cannot be
 //!   changed, exactly the constraint §4.3 laments.
@@ -42,7 +42,7 @@ pub mod radio;
 pub use arm9::{Arm9, Arm9Error, Arm9Request, Arm9Response};
 pub use battery::Battery;
 pub use cpu::{CpuKind, CpuModel};
-pub use display::Display;
+pub use display::{Display, FULL_DRIVE_PPM};
 pub use gps::Gps;
 pub use laptop::LaptopNet;
 pub use platform::{DreamConstants, PlatformPower};

@@ -120,6 +120,52 @@ mod tests {
         assert_eq!(p.total(Power::ZERO), Power::from_milliwatts(699 + 555));
     }
 
+    /// Exhaustive component-sum property: over *every* combination of CPU
+    /// state, backlight state and drive, GPS state and drive, and a sample
+    /// of radio draws, the total is exactly the idle floor plus each active
+    /// component's own reading — no cross terms, no missed component.
+    #[test]
+    fn total_is_component_sum_for_all_state_combinations() {
+        let cpu_states = [None, Some(CpuKind::Integer), Some(CpuKind::MemoryIntensive)];
+        let drives = [1u64, 250_000, 400_000, 1_000_000];
+        let radios = [0u64, 128, 400];
+        let mut combos = 0;
+        for cpu in cpu_states {
+            for display_on in [false, true] {
+                for &display_drive in &drives {
+                    for gps_on in [false, true] {
+                        for &gps_drive in &drives {
+                            for &radio_mw in &radios {
+                                let mut p = PlatformPower::htc_dream();
+                                p.set_cpu(cpu);
+                                p.display.set_backlight(display_on);
+                                p.display.set_drive_ppm(display_drive);
+                                p.gps.set_enabled(gps_on);
+                                p.gps.set_drive_ppm(gps_drive);
+                                let radio = Power::from_milliwatts(radio_mw);
+                                let mut expected = p.idle_power();
+                                if let Some(kind) = cpu {
+                                    expected += p.cpu.power(kind);
+                                }
+                                expected += p.display.power();
+                                expected += p.gps.power();
+                                expected += radio;
+                                assert_eq!(
+                                    p.total(radio),
+                                    expected,
+                                    "cpu {cpu:?} display {display_on}@{display_drive} \
+                                     gps {gps_on}@{gps_drive} radio {radio_mw} mW"
+                                );
+                                combos += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(combos, 3 * 2 * 4 * 2 * 4 * 3);
+    }
+
     #[test]
     fn paper_idle_plus_backlight() {
         // §4.2: 699 mW idling "and another 555 mW when the backlight is on".

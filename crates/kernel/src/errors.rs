@@ -5,6 +5,8 @@ use std::fmt;
 use cinder_core::{GraphError, ResourceKind};
 use cinder_hw::Arm9Error;
 
+use crate::peripheral::PeripheralKind;
+
 /// Why a kernel operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {
@@ -31,6 +33,21 @@ pub enum KernelError {
         /// The kind the syscall needed a reserve for.
         kind: ResourceKind,
     },
+    /// The peripheral has no acquired reserve to fund it (acquire first).
+    NoPeripheralReserve {
+        /// The peripheral the syscall named.
+        peripheral: PeripheralKind,
+    },
+    /// The peripheral's reserve cannot fund even one quantum of its draw.
+    PeripheralUnfunded {
+        /// The peripheral the syscall named.
+        peripheral: PeripheralKind,
+    },
+    /// The peripheral is currently enabled; disable it before re-acquiring.
+    PeripheralBusy {
+        /// The peripheral the syscall named.
+        peripheral: PeripheralKind,
+    },
     /// The ARM9 refused the request (closed firmware).
     Arm9(Arm9Error),
 }
@@ -47,6 +64,15 @@ impl fmt::Display for KernelError {
             KernelError::NoLaptopNic => write!(f, "no laptop NIC on this platform"),
             KernelError::NoReserveForKind { kind } => {
                 write!(f, "thread has no active {kind} reserve")
+            }
+            KernelError::NoPeripheralReserve { peripheral } => {
+                write!(f, "{peripheral} has no acquired reserve")
+            }
+            KernelError::PeripheralUnfunded { peripheral } => {
+                write!(f, "{peripheral} reserve cannot fund a quantum of draw")
+            }
+            KernelError::PeripheralBusy { peripheral } => {
+                write!(f, "{peripheral} is enabled; disable before re-acquiring")
             }
             KernelError::Arm9(e) => write!(f, "arm9: {e}"),
         }

@@ -32,6 +32,7 @@ use cinder_sim::{
 use crate::errors::KernelError;
 use crate::netstack::{NetEnv, NetStack, RxDelivery, SendRequest, SendVerdict};
 use crate::object::{Body, KObject, ObjectId};
+use crate::peripheral::{PeripheralKind, PeripheralSlot};
 use crate::program::{NetSendStatus, Program, Step};
 
 /// Identifies a kernel thread.
@@ -167,6 +168,15 @@ pub struct Kernel {
     /// Live threads holding a send blocked on their byte quota — the O(1)
     /// guard that lets `skip_idle_quanta` avoid rescanning threads.
     byte_waiters: usize,
+    /// Reserve-gated peripheral slots, indexed by [`PeripheralKind::index`].
+    peripherals: [PeripheralSlot; PeripheralKind::COUNT],
+    /// How many peripherals are currently lit — the O(1) guard that keeps
+    /// the per-quantum enforcement pass and the fast-path coverage checks
+    /// free for the (common) peripheral-less device.
+    enabled_peripherals: u32,
+    /// The graph's per-flow-tick decay leak in ppm (0 when decay is off),
+    /// memoised at boot for the fast-forward coverage bound.
+    decay_leak_ppm: u64,
     objects: BTreeMap<ObjectId, KObject>,
     root: ObjectId,
     next_object: u64,
@@ -218,6 +228,13 @@ impl Kernel {
             threads: Vec::new(),
             task_to_thread: Vec::new(),
             byte_waiters: 0,
+            peripherals: [PeripheralSlot::new(), PeripheralSlot::new()],
+            enabled_peripherals: 0,
+            decay_leak_ppm: config
+                .graph
+                .decay
+                .map(|d| d.leak_ppm_per_tick(config.graph.flow_tick))
+                .unwrap_or(0),
             objects,
             root,
             next_object: 1,
@@ -363,6 +380,299 @@ impl Kernel {
             self.set_thread_reserve_kind(tid, ResourceKind::NetworkBytes, plan);
         }
         Ok(plan)
+    }
+
+    // ----- peripherals ----------------------------------------------------
+
+    /// The peripheral's full-drive draw (what reserves and taps are sized
+    /// against).
+    pub fn peripheral_full_power(&self, kind: PeripheralKind) -> Power {
+        match kind {
+            PeripheralKind::Backlight => self.platform.display.full_power(),
+            PeripheralKind::Gps => self.platform.gps.full_power(),
+        }
+    }
+
+    /// The draw the peripheral imposes while lit: full power scaled by the
+    /// current drive level.
+    pub fn peripheral_drain_power(&self, kind: PeripheralKind) -> Power {
+        self.peripheral_full_power(kind)
+            .scale_ppm(self.peripherals[kind.index()].drive_ppm)
+    }
+
+    /// Whether the peripheral is currently lit.
+    pub fn peripheral_enabled(&self, kind: PeripheralKind) -> bool {
+        self.peripherals[kind.index()].enabled
+    }
+
+    /// The reserve currently acquired for the peripheral, if any.
+    pub fn peripheral_reserve(&self, kind: PeripheralKind) -> Option<ReserveId> {
+        self.peripherals[kind.index()].reserve
+    }
+
+    /// The peripheral's current drive level in ppm of full draw.
+    pub fn peripheral_drive_ppm(&self, kind: PeripheralKind) -> u64 {
+        self.peripherals[kind.index()].drive_ppm
+    }
+
+    /// Total energy the peripheral has ever drained from its reserves —
+    /// the balance of its decay-exempt accounting sink (zero if the
+    /// peripheral was never enabled).
+    pub fn peripheral_energy(&self, kind: PeripheralKind) -> Energy {
+        self.peripherals[kind.index()]
+            .sink
+            .and_then(|s| self.graph.reserve(s))
+            .map(|r| r.balance())
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// How many times an empty reserve forced the peripheral down.
+    pub fn peripheral_forced_shutdowns(&self, kind: PeripheralKind) -> u64 {
+        self.peripherals[kind.index()].forced_shutdowns
+    }
+
+    /// Dedicates `reserve` to funding the peripheral (root-shell API; the
+    /// checked path is [`Ctx::peripheral_acquire`]). The reserve must be an
+    /// energy reserve; the peripheral must not currently be enabled.
+    pub fn peripheral_acquire(
+        &mut self,
+        kind: PeripheralKind,
+        reserve: ReserveId,
+    ) -> Result<(), KernelError> {
+        self.peripheral_acquire_as(&Actor::kernel(), kind, reserve)
+    }
+
+    /// [`Kernel::peripheral_acquire`] as a specific actor: the actor must
+    /// hold observe on the reserve (its level is read every quantum) —
+    /// reserves are protected objects exactly as in §3.5.
+    pub fn peripheral_acquire_as(
+        &mut self,
+        actor: &Actor,
+        kind: PeripheralKind,
+        reserve: ReserveId,
+    ) -> Result<(), KernelError> {
+        if self.peripherals[kind.index()].enabled {
+            return Err(KernelError::PeripheralBusy { peripheral: kind });
+        }
+        // Existence check, then the §3.5 reserve-*use* check: "Using
+        // resources from a reserve requires both observe and modify
+        // privileges" — the peripheral will both read the level every
+        // quantum and drain it through the kernel tap.
+        let r = self
+            .graph
+            .reserve(reserve)
+            .ok_or(cinder_core::GraphError::ReserveNotFound)?;
+        if !actor.is_kernel() && !actor.label().can_use(actor.privs(), r.label()) {
+            return Err(KernelError::Denied {
+                op: "peripheral_acquire",
+            });
+        }
+        if r.kind() != ResourceKind::Energy {
+            return Err(KernelError::Graph(cinder_core::GraphError::KindMismatch {
+                op: "peripheral_acquire",
+                expected: ResourceKind::Energy,
+                found: r.kind(),
+            }));
+        }
+        self.peripherals[kind.index()].reserve = Some(reserve);
+        Ok(())
+    }
+
+    /// Lights the peripheral the Cinder way: requires an acquired reserve
+    /// that can fund at least one quantum of the draw, and installs the
+    /// kernel drain tap (reserve → accounting sink) that debits the draw
+    /// every flow tick. Idempotent while already enabled.
+    pub fn peripheral_enable(&mut self, kind: PeripheralKind) -> Result<(), KernelError> {
+        if self.peripherals[kind.index()].enabled {
+            return Ok(());
+        }
+        let Some(reserve) = self.peripherals[kind.index()].reserve else {
+            return Err(KernelError::NoPeripheralReserve { peripheral: kind });
+        };
+        let drain = self.peripheral_drain_power(kind);
+        let need = drain.energy_over(self.sched.quantum());
+        let funded = self
+            .graph
+            .reserve(reserve)
+            .is_some_and(|r| r.balance() >= need);
+        if !funded {
+            return Err(KernelError::PeripheralUnfunded { peripheral: kind });
+        }
+        let root = Actor::kernel();
+        let sink = match self.peripherals[kind.index()].sink {
+            Some(sink) if self.graph.reserve(sink).is_some() => sink,
+            _ => {
+                let sink = self.graph.create_reserve(
+                    &root,
+                    &format!("{kind}-sink"),
+                    Label::default_label(),
+                )?;
+                // The sink is pure accounting: exempt from decay so its
+                // balance is exactly the peripheral's lifetime energy.
+                self.graph.set_decay_exempt(&root, sink, true)?;
+                self.peripherals[kind.index()].sink = Some(sink);
+                sink
+            }
+        };
+        let tap = self.graph.create_tap(
+            &root,
+            &format!("{kind}-drain"),
+            reserve,
+            sink,
+            RateSpec::constant(drain),
+            Label::default_label(),
+        )?;
+        let slot = &mut self.peripherals[kind.index()];
+        slot.drain = Some(tap);
+        slot.enabled = true;
+        self.enabled_peripherals += 1;
+        let drive = slot.drive_ppm;
+        self.set_peripheral_hw(kind, true, drive);
+        Ok(())
+    }
+
+    /// Powers the peripheral down and removes its drain tap (idempotent).
+    /// Residual energy stays in the acquired reserve.
+    pub fn peripheral_disable(&mut self, kind: PeripheralKind) {
+        let slot = &mut self.peripherals[kind.index()];
+        if !slot.enabled {
+            return;
+        }
+        slot.enabled = false;
+        let tap = slot.drain.take();
+        let drive = slot.drive_ppm;
+        self.enabled_peripherals -= 1;
+        if let Some(tap) = tap {
+            // The tap may already be gone if the reserve was deleted.
+            let _ = self.graph.delete_tap(&Actor::kernel(), tap);
+        }
+        self.set_peripheral_hw(kind, false, drive);
+    }
+
+    /// Sets the drive level (ppm of full draw, clamped to `1..=1_000_000`):
+    /// dimming re-rates the metered hardware draw *and* the drain tap
+    /// together, so accounting always matches the rails.
+    pub fn peripheral_set_drive(
+        &mut self,
+        kind: PeripheralKind,
+        ppm: u64,
+    ) -> Result<(), KernelError> {
+        let ppm = ppm.clamp(1, cinder_hw::FULL_DRIVE_PPM);
+        self.peripherals[kind.index()].drive_ppm = ppm;
+        let enabled = self.peripherals[kind.index()].enabled;
+        match kind {
+            PeripheralKind::Backlight => self.platform.display.set_drive_ppm(ppm),
+            PeripheralKind::Gps => self.platform.gps.set_drive_ppm(ppm),
+        }
+        if enabled {
+            let drain = self.peripheral_drain_power(kind);
+            if let Some(tap) = self.peripherals[kind.index()].drain {
+                self.graph
+                    .set_tap_rate(&Actor::kernel(), tap, RateSpec::constant(drain))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn set_peripheral_hw(&mut self, kind: PeripheralKind, on: bool, drive_ppm: u64) {
+        match kind {
+            PeripheralKind::Backlight => {
+                self.platform.display.set_drive_ppm(drive_ppm);
+                self.platform.display.set_backlight(on);
+            }
+            PeripheralKind::Gps => {
+                self.platform.gps.set_drive_ppm(drive_ppm);
+                self.platform.gps.set_enabled(on);
+            }
+        }
+    }
+
+    /// The per-quantum enforcement pass: a reserve that cannot fund the
+    /// next quantum of draw forcibly powers its peripheral down — the
+    /// scheduler's empty-reserve CPU throttle (§3.2) applied to devices.
+    /// O(1) when nothing is lit.
+    fn enforce_peripherals(&mut self, _t: SimTime) {
+        if self.enabled_peripherals == 0 {
+            return;
+        }
+        let quantum = self.sched.quantum();
+        for kind in PeripheralKind::ALL {
+            let slot = &self.peripherals[kind.index()];
+            if !slot.enabled {
+                continue;
+            }
+            let reserve = slot.reserve.expect("enabled peripherals are funded");
+            let need = self.peripheral_drain_power(kind).energy_over(quantum);
+            let funded = self
+                .graph
+                .reserve(reserve)
+                .is_some_and(|r| r.balance() >= need);
+            if !funded {
+                self.peripheral_disable(kind);
+                self.peripherals[kind.index()].forced_shutdowns += 1;
+            }
+        }
+    }
+
+    /// Whether the per-quantum enforcement pass would act *right now* —
+    /// the reduced net-busy stepper's stop condition.
+    fn peripheral_enforcement_due(&self) -> bool {
+        if self.enabled_peripherals == 0 {
+            return false;
+        }
+        let quantum = self.sched.quantum();
+        PeripheralKind::ALL.iter().any(|&kind| {
+            let slot = &self.peripherals[kind.index()];
+            slot.enabled && {
+                let need = self.peripheral_drain_power(kind).energy_over(quantum);
+                slot.reserve
+                    .and_then(|r| self.graph.reserve(r))
+                    .is_none_or(|r| r.balance() < need)
+            }
+        })
+    }
+
+    /// Conservative proof that every lit peripheral stays funded across a
+    /// prospective fast-forward of `span`: assuming *zero* inflow, the
+    /// reserve must cover the span's *total* constant outflow (every tap
+    /// draining it, not just the peripheral drain), the landing boundary's
+    /// enforcement threshold, a grain of tap-carry slack per tick and tap,
+    /// and a linearised upper bound on the global decay leak. A live
+    /// proportional drain has no static bound, so it pins the slow path
+    /// outright. Inflow and the true compounding decay only leave the
+    /// reserve *higher* than this bound, so a pass guarantees the skipped
+    /// span is enforcement-free (and therefore bit-identical to stepping
+    /// it); a fail merely pins the slow path — which is always correct.
+    fn peripherals_cover_span(&self, span: SimDuration) -> bool {
+        if self.enabled_peripherals == 0 {
+            return true;
+        }
+        let tick_us = self.config.graph.flow_tick.as_micros().max(1);
+        let ticks = span.as_micros().div_ceil(tick_us) + 1;
+        let leak_cap = (self.decay_leak_ppm.saturating_mul(ticks)).min(1_000_000);
+        let quantum = self.sched.quantum();
+        PeripheralKind::ALL.iter().all(|&kind| {
+            let slot = &self.peripherals[kind.index()];
+            if !slot.enabled {
+                return true;
+            }
+            let Some(reserve) = slot.reserve else {
+                return false;
+            };
+            let Some(balance) = self.graph.reserve(reserve).map(|r| r.balance()) else {
+                return false;
+            };
+            let (outflow, prop_outflow, out_taps) = self.graph.outbound_drain(reserve);
+            if prop_outflow {
+                return false;
+            }
+            let drain = self.peripheral_drain_power(kind);
+            let kept = balance.clamp_non_negative().scale_ppm(1_000_000 - leak_cap);
+            let need = outflow.energy_over(span)
+                + drain.energy_over(quantum)
+                + Energy::from_microjoules((ticks * (out_taps as u64 + 1)) as i64 + 1);
+            kept >= need
+        })
     }
 
     // ----- object management ----------------------------------------------
@@ -713,6 +1023,7 @@ impl Kernel {
             self.advance_radio_metered(t);
             self.deliver_events(t);
             self.graph.flow_until(t);
+            self.enforce_peripherals(t);
             self.net_poll(t);
             let ran = self.schedule_one(t);
             // Meter the quantum: CPU state + current radio phase.
@@ -791,7 +1102,14 @@ impl Kernel {
         // ordinary loop would not itself have reached before `end`.
         let to_wake = gap.as_micros().div_ceil(quantum_us);
         let to_end = end.saturating_since(self.now).div_duration(quantum);
-        self.now += quantum * to_wake.min(to_end);
+        let jump = quantum * to_wake.min(to_end);
+        // A lit peripheral is only steady state while its reserve provably
+        // funds the whole span; near-empty reserves pin the slow path so
+        // the forced shutdown lands on the exact boundary it always would.
+        if !self.peripherals_cover_span(jump) {
+            return;
+        }
+        self.now += jump;
         // Every-quantum stepping runs each flow/decay tick at its own
         // boundary, before any event that fires later. The landing
         // iteration delivers events *before* flowing, so ticks the jump
@@ -830,6 +1148,14 @@ impl Kernel {
                 return;
             }
             self.graph.flow_until(t);
+            if self.peripheral_enforcement_due() {
+                // A lit peripheral just went unfunded: hand the boundary
+                // back before polling, so the full loop replays it —
+                // flow_until is a no-op there, enforcement fires at the
+                // same instant it would under per-quantum stepping, and
+                // the poll then runs on schedule.
+                return;
+            }
             self.net_poll(t);
             if self.sched.has_ready()
                 || self.arm9.radio().next_transition() != radio_before
@@ -1477,9 +1803,90 @@ impl Ctx<'_> {
 
     // ----- devices -----------------------------------------------------------
 
-    /// Turns the backlight on/off (+555 mW).
+    /// Turns the backlight on/off (+555 mW) as a *raw platform poke*: no
+    /// reserve funds the draw and nothing ever forces it off. The gated
+    /// path — the one fleet workloads use — is
+    /// [`Ctx::peripheral_acquire`]/[`Ctx::peripheral_enable`] with
+    /// [`PeripheralKind::Backlight`].
     pub fn set_backlight(&mut self, on: bool) {
         self.kernel.platform.display.set_backlight(on);
+    }
+
+    /// Dedicates `reserve` to funding a peripheral (label-checked: the
+    /// actor must hold observe on the reserve). The Cinder precondition
+    /// for [`Ctx::peripheral_enable`].
+    pub fn peripheral_acquire(
+        &mut self,
+        kind: PeripheralKind,
+        reserve: ReserveId,
+    ) -> Result<(), KernelError> {
+        let actor = self.actor();
+        self.kernel.peripheral_acquire_as(&actor, kind, reserve)
+    }
+
+    /// The control check shared by enable/disable/set_drive: a peripheral
+    /// is controlled through its acquired reserve, so the caller needs the
+    /// §3.5 reserve-*use* rights (observe and modify) on that reserve's
+    /// label — otherwise any thread could kill another's fix or re-rate a
+    /// drain it has no rights to.
+    fn check_peripheral_control(
+        &self,
+        kind: PeripheralKind,
+        op: &'static str,
+    ) -> Result<(), KernelError> {
+        let Some(reserve) = self.kernel.peripheral_reserve(kind) else {
+            return Ok(()); // nothing acquired: nothing to protect
+        };
+        let Some(r) = self.kernel.graph.reserve(reserve) else {
+            return Ok(());
+        };
+        let actor = &self.state().actor;
+        if !actor.is_kernel() && !actor.label().can_use(actor.privs(), r.label()) {
+            return Err(KernelError::Denied { op });
+        }
+        Ok(())
+    }
+
+    /// Lights the peripheral: its acquired reserve must fund at least one
+    /// quantum of draw, and from here on the kernel drains the draw from
+    /// that reserve every flow tick — an empty reserve forces the
+    /// peripheral back down. Requires modify on the acquired reserve.
+    pub fn peripheral_enable(&mut self, kind: PeripheralKind) -> Result<(), KernelError> {
+        self.check_peripheral_control(kind, "peripheral_enable")?;
+        self.kernel.peripheral_enable(kind)
+    }
+
+    /// Powers the peripheral down (idempotent); residual energy stays in
+    /// the acquired reserve. Requires modify on the acquired reserve.
+    pub fn peripheral_disable(&mut self, kind: PeripheralKind) -> Result<(), KernelError> {
+        self.check_peripheral_control(kind, "peripheral_disable")?;
+        self.kernel.peripheral_disable(kind);
+        Ok(())
+    }
+
+    /// Whether the peripheral is currently lit — a program sleeping
+    /// through a GPS fix checks this on wake to learn whether the kernel
+    /// forced its receiver down mid-fix.
+    pub fn peripheral_enabled(&self, kind: PeripheralKind) -> bool {
+        self.kernel.peripheral_enabled(kind)
+    }
+
+    /// Sets the peripheral's drive level (ppm of full draw): dim the
+    /// backlight or drop the GPS to a low-power tracking mode, re-rating
+    /// the drain tap and the metered draw together. Requires modify on
+    /// the acquired reserve.
+    pub fn peripheral_set_drive(
+        &mut self,
+        kind: PeripheralKind,
+        ppm: u64,
+    ) -> Result<(), KernelError> {
+        self.check_peripheral_control(kind, "peripheral_set_drive")?;
+        self.kernel.peripheral_set_drive(kind, ppm)
+    }
+
+    /// The peripheral's current draw while lit (full power × drive).
+    pub fn peripheral_drain_power(&self, kind: PeripheralKind) -> Power {
+        self.kernel.peripheral_drain_power(kind)
     }
 
     /// Reads the battery percentage through the ARM9 (0–100).

@@ -17,6 +17,9 @@
 //!   cooperative `netd` and the uncooperative baseline live in
 //!   `cinder-net`; the kernel provides the mechanism (blocking threads,
 //!   waking them, delivering and billing received packets).
+//! * [`peripheral`] — the backlight and GPS as reserve-gated devices:
+//!   enabling one requires a dedicated reserve, the draw is drained from
+//!   it by a kernel tap, and an empty reserve forces the hardware down.
 //! * [`kernel`] — the [`Kernel`] itself: run loop, syscall surface
 //!   ([`Ctx`]), event queue, the ARM9 facade, and the power meter.
 //!
@@ -32,10 +35,12 @@ pub mod errors;
 pub mod kernel;
 pub mod netstack;
 pub mod object;
+pub mod peripheral;
 pub mod program;
 
 pub use errors::KernelError;
 pub use kernel::{Ctx, DownloadGrant, Kernel, KernelConfig, ThreadId};
 pub use netstack::{NetEnv, NetStack, SendRequest, SendVerdict};
 pub use object::{Body, KObject, ObjectId, ObjectKind};
+pub use peripheral::PeripheralKind;
 pub use program::{FnProgram, NetSendStatus, Program, Step};

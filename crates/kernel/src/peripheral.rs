@@ -1,0 +1,118 @@
+//! Reserve-gated peripherals: the backlight and the GPS as first-class
+//! Cinder devices.
+//!
+//! The paper measures the Dream's 555 mW backlight (§4.2) and names the
+//! GPS among the "most energy hungry, dynamic, and informative components"
+//! (§4.1); this layer puts both under the reserve/tap model instead of
+//! leaving them as raw platform pokes:
+//!
+//! * a thread **acquires** a peripheral by dedicating an energy reserve to
+//!   it (typically fed by a tap from the battery);
+//! * **enabling** the peripheral lights the hardware *and* installs a
+//!   kernel drain tap from that reserve into a decay-exempt accounting
+//!   sink, so the draw is debited by the flow engine every tick with the
+//!   same exact integer arithmetic as every other tap — which is what lets
+//!   a funded, lit peripheral ride the idle fast-forward bit-identically;
+//! * every quantum the kernel checks that the reserve can still fund the
+//!   next quantum of draw; a drained reserve **forcibly powers the
+//!   peripheral down** (the forced-shutdown count is per-device telemetry);
+//! * the **drive level** (ppm of full draw) models dimming and low-power
+//!   tracking modes: changing it re-rates the drain tap and the metered
+//!   hardware draw together.
+//!
+//! The radio is deliberately *not* here: it keeps its `netd` path (§5.5),
+//! where pooling policy — not a per-device reserve — owns its energy.
+
+use cinder_core::{ReserveId, TapId};
+
+/// Which reserve-gated peripheral a syscall names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PeripheralKind {
+    /// The display backlight (§4.2: +555 mW at full drive).
+    Backlight,
+    /// The GPS receiver (~350 mW while acquiring/tracking).
+    Gps,
+}
+
+impl PeripheralKind {
+    /// Number of peripheral kinds.
+    pub const COUNT: usize = 2;
+
+    /// Every kind, in slot order.
+    pub const ALL: [PeripheralKind; PeripheralKind::COUNT] =
+        [PeripheralKind::Backlight, PeripheralKind::Gps];
+
+    /// The kind's dense slot index.
+    pub fn index(self) -> usize {
+        match self {
+            PeripheralKind::Backlight => 0,
+            PeripheralKind::Gps => 1,
+        }
+    }
+
+    /// A short stable name for logs, reserve names, and errors.
+    pub fn name(self) -> &'static str {
+        match self {
+            PeripheralKind::Backlight => "backlight",
+            PeripheralKind::Gps => "gps",
+        }
+    }
+}
+
+impl std::fmt::Display for PeripheralKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Kernel-internal per-peripheral state.
+#[derive(Debug, Default)]
+pub(crate) struct PeripheralSlot {
+    /// The dedicated reserve funding the peripheral, once acquired.
+    pub(crate) reserve: Option<ReserveId>,
+    /// The decay-exempt accounting sink the drain tap empties into
+    /// (created lazily on first enable; its balance *is* the peripheral's
+    /// lifetime energy).
+    pub(crate) sink: Option<ReserveId>,
+    /// The live drain tap while enabled.
+    pub(crate) drain: Option<TapId>,
+    /// Drive level in ppm of full draw (dimming / tracking modes).
+    pub(crate) drive_ppm: u64,
+    /// Whether the hardware is currently lit.
+    pub(crate) enabled: bool,
+    /// How many times an empty reserve forced the hardware down.
+    pub(crate) forced_shutdowns: u64,
+}
+
+impl PeripheralSlot {
+    pub(crate) fn new() -> Self {
+        PeripheralSlot {
+            drive_ppm: cinder_hw::FULL_DRIVE_PPM,
+            ..PeripheralSlot::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_index_their_slots() {
+        for (i, kind) in PeripheralKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(PeripheralKind::ALL.len(), PeripheralKind::COUNT);
+        assert_eq!(PeripheralKind::Backlight.to_string(), "backlight");
+        assert_eq!(PeripheralKind::Gps.name(), "gps");
+    }
+
+    #[test]
+    fn fresh_slots_are_dark_at_full_drive() {
+        let s = PeripheralSlot::new();
+        assert!(!s.enabled);
+        assert_eq!(s.drive_ppm, cinder_hw::FULL_DRIVE_PPM);
+        assert_eq!(s.forced_shutdowns, 0);
+        assert!(s.reserve.is_none() && s.sink.is_none() && s.drain.is_none());
+    }
+}

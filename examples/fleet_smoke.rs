@@ -1,18 +1,29 @@
-//! Fleet smoke run: a 200-device mixed-workload population for one
-//! simulated hour, sharded across workers, with the aggregate report
-//! printed and the determinism contract spot-checked.
+//! Fleet smoke run: a 200-device population for one simulated hour,
+//! sharded across workers, with the aggregate report printed and the
+//! determinism contract spot-checked.
 //!
 //! ```text
-//! cargo run --release --example fleet_smoke
+//! cargo run --release --example fleet_smoke                    # §5/§6 mixture
+//! cargo run --release --example fleet_smoke -- peripheral-mix  # + navigator/screen-on
 //! ```
+//!
+//! `peripheral-mix` runs the all-tags mixture (every paper workload plus
+//! the reserve-gated peripheral workloads) and additionally checks that
+//! the peripheral telemetry is live.
 
 use cinder::fleet::{run_fleet, run_fleet_with, Scenario};
 use cinder::sim::SimDuration;
 
 fn main() {
+    let peripheral_mix = std::env::args().nth(1).as_deref() == Some("peripheral-mix");
+    let base = if peripheral_mix {
+        Scenario::all_workloads("fleet-smoke-peripheral", 42, 200)
+    } else {
+        Scenario::mixed("fleet-smoke", 42, 200)
+    };
     let scenario = Scenario {
         horizon: SimDuration::from_secs(3_600),
-        ..Scenario::mixed("fleet-smoke", 42, 200)
+        ..base
     };
     println!(
         "fleet: {} devices, {:.0} s horizon, seed {}",
@@ -36,6 +47,17 @@ fn main() {
 
     print!("{}", report.to_json());
     let summary = report.summary();
+    if peripheral_mix {
+        assert!(
+            summary.peripheral_energy_j > 0.0,
+            "the peripheral mixture must burn backlight/GPS energy"
+        );
+        println!(
+            "peripherals: {:.1} kJ drained, {} forced shutdowns across the fleet",
+            summary.peripheral_energy_j / 1e3,
+            summary.forced_shutdowns
+        );
+    }
     let lifetime = summary.lifetime_h.expect("non-empty fleet");
     println!("lifetime histogram (hours):");
     for (lo, count) in report.lifetime_histogram(8) {
