@@ -82,6 +82,12 @@ pub struct InstalledWorkload {
     pub plan_reserve: Option<ReserveId>,
     /// Post-run telemetry reader.
     pub probe: Box<dyn WorkloadProbe>,
+    /// The workload's natural activity period, if it has one (the pollers'
+    /// scaled poll interval). A fleet driver probing for steady states uses
+    /// it as the epoch length: probing much finer wastes probe scans,
+    /// probing much coarser classifies whole active periods as Dynamic.
+    /// `None` means "no obvious period" — the driver picks a default.
+    pub steady_hint: Option<SimDuration>,
 }
 
 impl InstalledWorkload {
@@ -89,6 +95,7 @@ impl InstalledWorkload {
         InstalledWorkload {
             plan_reserve: None,
             probe,
+            steady_hint: None,
         }
     }
 }
@@ -188,6 +195,7 @@ impl WorkloadProgram for PollersWorkload {
         Ok(InstalledWorkload {
             plan_reserve,
             probe: Box::new(PollerProbe { log: handles.log }),
+            steady_hint: Some(env.interval(SimDuration::from_secs(60))),
         })
     }
 }

@@ -6,18 +6,35 @@
 //! budget), the head-to-head runs the full 1,000-device fleet once per
 //! configuration, asserts the two reports are byte-identical (the
 //! determinism contract), and writes `BENCH_fleet_scale.json` at the repo
-//! root to seed the benchmark trajectory.
+//! root to seed the benchmark trajectory. The report also covers the
+//! fleet-at-scale acceptance runs: the steady-heavy fast-forward
+//! differential (on vs off, byte-identical, speedup recorded), a
+//! 10,000-device streaming smoke, one million device-hours single-threaded
+//! (must fit in five minutes), and a checkpoint/resume split run that must
+//! equal the one-pass run byte-for-byte.
 
 #![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
-use cinder_fleet::{run_fleet_with, Scenario};
+use cinder_fleet::{
+    checkpoint_fleet, resume_fleet, run_fleet_with, simulate_device, stream_fleet_with,
+    FleetCheckpoint, Scenario,
+};
 use cinder_sim::SimDuration;
 
-const DEVICES: u32 = 1_000;
 const HORIZON_S: u64 = 3_600;
+
+/// Acceptance fleet size: 1,000 devices unless `CINDER_FLEET_DEVICES`
+/// overrides it (the knob CI and local profiling use to scale the run
+/// without editing the bench).
+fn acceptance_devices() -> u32 {
+    std::env::var("CINDER_FLEET_DEVICES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000)
+}
 
 fn acceptance_scenario(devices: u32) -> Scenario {
     Scenario {
@@ -67,7 +84,8 @@ fn bench_fleet_scale(c: &mut Criterion) {
 /// distinguishable from a genuine serialization bug (many cores, still
 /// ~1.00x).
 fn scale_report(_c: &mut Criterion) {
-    let scenario = acceptance_scenario(DEVICES);
+    let devices = acceptance_devices();
+    let scenario = acceptance_scenario(devices);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -102,7 +120,7 @@ fn scale_report(_c: &mut Criterion) {
     let power = summary.avg_power_mw.expect("non-empty fleet");
     for &(threads, wall_s) in &sweep {
         println!(
-            "fleet_scale: {DEVICES} devices x {HORIZON_S} s  {threads} thread(s) {wall_s:.2} s \
+            "fleet_scale: {devices} devices x {HORIZON_S} s  {threads} thread(s) {wall_s:.2} s \
              ({:.2}x, {cores} core(s) available)",
             single_s / wall_s
         );
@@ -115,7 +133,7 @@ fn scale_report(_c: &mut Criterion) {
     // The peripheral-heavy acceptance fleet: the reserve-gated
     // backlight/GPS layer at the same scale, byte-identical across
     // workers, with its forced-shutdown and drain telemetry recorded.
-    let peripheral = peripheral_scenario(DEVICES);
+    let peripheral = peripheral_scenario(devices);
     let start = Instant::now();
     let peripheral_single = run_fleet_with(&peripheral, 1);
     let peripheral_s = start.elapsed().as_secs_f64();
@@ -127,11 +145,91 @@ fn scale_report(_c: &mut Criterion) {
     );
     let peripheral_summary = peripheral_single.summary();
     println!(
-        "fleet_scale: peripheral fleet {DEVICES} devices x {HORIZON_S} s  1 thread {peripheral_s:.2} s \
+        "fleet_scale: peripheral fleet {devices} devices x {HORIZON_S} s  1 thread {peripheral_s:.2} s \
          ({:.1} kJ peripheral drain, {} forced shutdowns)",
         peripheral_summary.peripheral_energy_j / 1e3,
         peripheral_summary.forced_shutdowns
     );
+
+    // --- Steady-heavy fast-forward acceptance: small-battery fleets whose
+    // resource graphs drain and freeze mid-run. The same devices simulate
+    // with the frozen fast-forward on (the fleet default) and off, both
+    // single-threaded; reports must match bit-for-bit and the skip must buy
+    // a large speedup on the dead tail.
+    let steady = Scenario::steady_heavy("fleet-scale-steady", 2_028, 200);
+    let steady_dev_h = 200.0 * steady.horizon.as_secs_f64() / 3_600.0;
+    let start = Instant::now();
+    let ff_report = run_fleet_with(&steady, 1);
+    let ff_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let stepped: Vec<_> = steady
+        .specs()
+        .into_iter()
+        .map(|mut spec| {
+            spec.fast_forward = false;
+            simulate_device(&spec)
+        })
+        .collect();
+    let stepped_s = start.elapsed().as_secs_f64();
+    let steady_identical = ff_report.devices.iter().eq(stepped);
+    assert!(steady_identical, "fast-forward must not change any report");
+    let ff_speedup = stepped_s / ff_s;
+    assert!(
+        ff_speedup >= 5.0,
+        "steady-heavy fast-forward must pay for itself: {ff_speedup:.1}x"
+    );
+    println!(
+        "fleet_scale: steady-heavy 200 devices x 24 h  ff {ff_s:.2} s vs stepped {stepped_s:.2} s \
+         ({ff_speedup:.1}x, byte-identical)"
+    );
+
+    // --- Streaming 10k-device smoke: O(workers × bins) memory, all cores.
+    let stream_scenario = Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::mixed("fleet-scale-stream", 2_026, 10_000)
+    };
+    let start = Instant::now();
+    let streamed = stream_fleet_with(&stream_scenario, cores);
+    let stream_10k_s = start.elapsed().as_secs_f64();
+    assert_eq!(streamed.summary.devices, 10_000);
+    println!(
+        "fleet_scale: streaming 10000 devices x {HORIZON_S} s  {cores} worker(s) \
+         {stream_10k_s:.2} s ({:.3} ms/device-hour)",
+        stream_10k_s / 10_000.0 * 1e3
+    );
+
+    // --- One million device-hours, single-threaded: the steady-heavy
+    // regime the fast-forward targets, streamed so memory stays O(bins).
+    let million = Scenario::steady_heavy("fleet-scale-million", 2_029, 41_667);
+    let million_dev_h = 41_667.0 * 24.0;
+    let start = Instant::now();
+    let million_report = stream_fleet_with(&million, 1);
+    let million_s = start.elapsed().as_secs_f64();
+    assert_eq!(million_report.summary.devices, 41_667);
+    assert!(
+        million_s < 300.0,
+        "1M device-hours must fit in five minutes single-threaded: {million_s:.1} s"
+    );
+    println!(
+        "fleet_scale: 1M device-hours (41667 devices x 24 h, steady-heavy) 1 thread \
+         {million_s:.1} s ({:.4} ms/device-hour)",
+        million_s / million_dev_h * 1e3
+    );
+
+    // --- Checkpoint/resume smoke: split the streamed acceptance fleet at
+    // an uneven point, push the checkpoint through its text format, and
+    // require the resumed summary to equal the one-pass run byte-for-byte.
+    let ckpt_scenario = Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::mixed("fleet-scale-ckpt", 2_026, 200)
+    };
+    let one_pass = stream_fleet_with(&ckpt_scenario, 2);
+    let cp = checkpoint_fleet(&ckpt_scenario, 73, 2);
+    let revived = FleetCheckpoint::from_text(&cp.to_text()).expect("checkpoint round-trip");
+    let resumed = resume_fleet(&revived, &ckpt_scenario, 2).expect("identity matches");
+    let split_equals_single = resumed.to_json() == one_pass.to_json();
+    assert!(split_equals_single, "split run diverged from single run");
+    println!("fleet_scale: checkpoint/resume split at 73/200 is byte-identical");
 
     let sweep_json: Vec<String> = sweep
         .iter()
@@ -143,21 +241,34 @@ fn scale_report(_c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fleet_scale\",\n  \"scenario\": {{ \"devices\": {DEVICES}, \
+        "{{\n  \"bench\": \"fleet_scale\",\n  \"scenario\": {{ \"devices\": {devices}, \
          \"sim_seconds\": {HORIZON_S}, \"mix\": \"pollers-coop:4 pollers-uncoop:2 browser:2 \
          gallery:1 spinner:1\" }},\n  \"available_parallelism\": {cores},\n{},\n  \
          \"reports_byte_identical\": true,\n  \"lifetime_h\": {{ \"p50\": {:.3}, \"p90\": {:.3}, \
          \"p99\": {:.3} }},\n  \"tail_power_mw_p99\": {:.3},\n  \"peripheral_fleet\": {{ \
-         \"devices\": {DEVICES}, \"mix\": \"navigator:5 screen-on:4 pollers-coop:1\", \
+         \"devices\": {devices}, \"mix\": \"navigator:5 screen-on:4 pollers-coop:1\", \
          \"wall_s\": {peripheral_s:.3}, \"peripheral_energy_j\": {:.1}, \"forced_shutdowns\": {}, \
-         \"reports_byte_identical\": true }}\n}}\n",
+         \"reports_byte_identical\": true }},\n  \"steady_heavy\": {{ \"devices\": 200, \
+         \"sim_hours_per_device\": 24, \"mix\": \"pollers-coop:5 spinner:3\", \
+         \"ff_wall_s\": {ff_s:.3}, \"stepped_wall_s\": {stepped_s:.3}, \
+         \"ff_speedup\": {ff_speedup:.1}, \"device_hours\": {steady_dev_h:.0}, \
+         \"reports_byte_identical\": {steady_identical} }},\n  \"streaming_10k\": {{ \
+         \"devices\": 10000, \"sim_seconds\": {HORIZON_S}, \"workers\": {cores}, \
+         \"wall_s\": {stream_10k_s:.3}, \"memory\": \"O(workers x bins)\" }},\n  \
+         \"million_device_hours\": {{ \"devices\": 41667, \"sim_hours_per_device\": 24, \
+         \"mix\": \"steady-heavy\", \"threads\": 1, \"wall_s\": {million_s:.3}, \
+         \"ms_per_device_hour\": {:.4}, \"under_5_min\": {} }},\n  \"checkpoint_resume\": {{ \
+         \"split_at\": 73, \"devices\": 200, \"split_equals_single\": {split_equals_single} \
+         }}\n}}\n",
         sweep_json.join(",\n"),
         lifetime.p50,
         lifetime.p90,
         lifetime.p99,
         power.p99,
         peripheral_summary.peripheral_energy_j,
-        peripheral_summary.forced_shutdowns
+        peripheral_summary.forced_shutdowns,
+        million_s / million_dev_h * 1e3,
+        million_s < 300.0,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet_scale.json");
     match std::fs::write(path, &json) {

@@ -207,6 +207,26 @@ impl FlowEngine {
         }
     }
 
+    /// True when the global decay cannot move a microjoule this tick (and
+    /// so, absent balance writes, on any later tick either): every
+    /// decay-eligible balance is non-positive or small enough that its
+    /// per-tick leak rounds to zero. Mirrors the run planner's inert-decay
+    /// test; `ResourceGraph::flow_is_frozen` composes it with the
+    /// starved-taps check.
+    pub(crate) fn decay_is_inert(
+        &self,
+        reserves: &Arena<Reserve>,
+        decay_ppm_per_tick: u64,
+    ) -> bool {
+        decay_ppm_per_tick == 0
+            || self.decay_eligible.iter().all(|&rid| {
+                reserves.get(rid).is_none_or(|r| {
+                    let b = r.balance();
+                    !b.is_positive() || !b.scale_ppm(decay_ppm_per_tick).is_positive()
+                })
+            })
+    }
+
     // ----- index maintenance (called by ResourceGraph mutators) ----------
 
     /// Registers a newly created tap.
@@ -538,6 +558,24 @@ impl FlowEngine {
             }
         }
 
+        // Under decay no energy source is Covered (forced Dynamic or
+        // Starved above), so with nothing Dynamic no closed form below can
+        // touch an energy balance. If additionally every decay-eligible
+        // balance is too small for its per-tick leak to round above zero,
+        // the decay pass is a provable no-op for the whole run: skip the
+        // SoA build and the per-tick loop entirely. This is what lets a
+        // drained device (battery and reserves at or under the
+        // leak-rounding floor) settle a span in O(R + T) instead of
+        // O(ticks) — the fleet's dead-battery tail.
+        let decay_inert = decaying
+            && !any_dynamic
+            && self.decay_eligible.iter().all(|&rid| {
+                reserves.get(rid).is_none_or(|r| {
+                    let b = r.balance();
+                    !b.is_positive() || !b.scale_ppm(decay_ppm_per_tick).is_positive()
+                })
+            });
+
         // ----- apply the linear partition, collect the ticked one --------
         // Still in creation order (order is immaterial in an unclamped
         // linear run, but keeping it makes review trivial). Ticked taps are
@@ -549,7 +587,7 @@ impl FlowEngine {
         self.prop_slots.clear();
         self.decay_slots.clear();
         let mut battery_slot = u32::MAX;
-        if decaying {
+        if decaying && !decay_inert {
             // Every decayable energy reserve joins the ticked arrays (its
             // balance changes every tick), plus the battery to receive the
             // reclaimed leakage. Safe to slot before the closed forms
@@ -650,7 +688,7 @@ impl FlowEngine {
         }
 
         // ----- tick the dynamic partition over flat arrays ---------------
-        if !self.ticked.is_empty() || decaying {
+        if !self.ticked.is_empty() || (decaying && !decay_inert) {
             self.in_acc.clear();
             self.in_acc.resize(self.levels.len(), 0);
             self.out_acc.clear();

@@ -966,6 +966,43 @@ impl ResourceGraph {
         }
     }
 
+    /// True when no flow tick can change any reserve balance from here on
+    /// (absent outside writes): every tap is zero-rate or *starved* — its
+    /// source holds no positive balance — and every decay-eligible balance
+    /// is small enough that its per-tick leak rounds to zero. Starved
+    /// constant taps still advance their sub-microjoule carries, which
+    /// [`ResourceGraph::flow_until`] settles exactly over any span, so a
+    /// frozen graph's flow is state-preserving however far it jumps.
+    ///
+    /// Freezing is *stable*: taps only move energy out of positive
+    /// balances and decay only shrinks them, so nothing inside the flow
+    /// itself can ever un-freeze a frozen graph — only an outside credit
+    /// can. The kernel's frozen fast-forward leans on exactly that: once a
+    /// drained device proves this certificate (and that no event, radio
+    /// transition, or net-stack action can credit anything), whole spans
+    /// are provably inert. O(T + D) over live taps and decay-eligible
+    /// reserves.
+    pub fn flow_is_frozen(&self) -> bool {
+        for (_, tap) in self.taps.iter() {
+            let live = match tap.rate() {
+                RateSpec::Const(p) => p.as_microwatts() > 0,
+                RateSpec::Proportional { ppm_per_s } => ppm_per_s > 0,
+            };
+            if !live {
+                continue;
+            }
+            if self
+                .reserves
+                .get(tap.source().0)
+                .is_some_and(|r| r.balance().is_positive())
+            {
+                return false;
+            }
+        }
+        self.flow
+            .decay_is_inert(&self.reserves, self.decay_ppm_per_tick)
+    }
+
     /// The naive per-tick reference model the `FlowEngine` replaced:
     /// a full `BTreeMap` snapshot of every reserve and a scan of every tap,
     /// every tick. Kept (gated behind `cfg(test)` and the `reference-flow`

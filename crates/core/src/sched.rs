@@ -319,6 +319,56 @@ impl ResourceScheduler {
         picked
     }
 
+    /// Replays `quanta` consecutive [`ResourceScheduler::pick_next`] calls
+    /// in bulk for a span in which nothing can change: every Ready task
+    /// stays reserve-gated (no balance moves) and no state transition
+    /// occurs. Each such call adds one throttled quantum to every Ready
+    /// task and returns the queue to its entry order, so the whole span
+    /// collapses to a counter add per Ready task.
+    ///
+    /// Caller-checked precondition: the immediately preceding `pick_next`
+    /// returned `None`, so the queue holds no stale (removed or exited)
+    /// entries, `sole_ready` is at its scan fixed point, and every Ready
+    /// task is unfundable — the kernel's frozen fast-forward establishes
+    /// this by construction (debug-asserted here).
+    pub fn bulk_throttle(&mut self, graph: &ResourceGraph, quanta: u64) {
+        if quanta == 0 || self.ready_count == 0 {
+            return;
+        }
+        if let Some(id) = self.sole_ready {
+            debug_assert!(
+                !self
+                    .tasks
+                    .get(id.0)
+                    .and_then(|t| t.reserves[ResourceKind::Energy.index()])
+                    .and_then(|r| graph.reserve(r))
+                    .is_some_and(|r| r.is_nonempty()),
+                "bulk_throttle on a fundable sole-ready task"
+            );
+            if let Some(t) = self.tasks.get_mut(id.0) {
+                t.throttled_quanta += quanta;
+            }
+            return;
+        }
+        for i in 0..self.queue.len() {
+            let id = self.queue[i];
+            let Some(task) = self.tasks.get_mut(id.0) else {
+                debug_assert!(false, "bulk_throttle saw a stale queue entry");
+                continue;
+            };
+            if task.state != TaskState::Ready {
+                continue;
+            }
+            task.throttled_quanta += quanta;
+            debug_assert!(
+                !task.reserves[ResourceKind::Energy.index()]
+                    .and_then(|r| graph.reserve(r))
+                    .is_some_and(|r| r.is_nonempty()),
+                "bulk_throttle on a fundable ready task"
+            );
+        }
+    }
+
     /// Charges `power × quantum` to the task's active reserve and records it
     /// in the task's accounting.
     ///
@@ -411,6 +461,22 @@ impl ResourceScheduler {
     /// only be revived by a queued wake event.
     pub fn has_ready(&self) -> bool {
         self.ready_count > 0
+    }
+
+    /// True when some Ready task could run right now — its energy reserve
+    /// is non-empty. Read-only (no throttle accounting, no queue rotation):
+    /// the kernel's steadiness probe asks this without perturbing the
+    /// round-robin state that [`ResourceScheduler::pick_next`] owns.
+    pub fn any_ready_runnable(&self, graph: &ResourceGraph) -> bool {
+        if self.ready_count == 0 {
+            return false;
+        }
+        self.tasks.iter().any(|(_, t)| {
+            t.state == TaskState::Ready
+                && t.reserves[ResourceKind::Energy.index()]
+                    .and_then(|r| graph.reserve(r))
+                    .is_some_and(|r| r.is_nonempty())
+        })
     }
 
     /// All task ids, in creation order.

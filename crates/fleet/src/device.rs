@@ -84,6 +84,13 @@ pub struct DeviceReport {
 pub struct DeviceScratch {
     /// Thread ids of the device under extraction (refilled per device).
     thread_ids: Vec<cinder_kernel::ThreadId>,
+    /// Epochs the steadiness probe certified as Steady (closed-form
+    /// advance), cumulative across every device this scratch has driven.
+    /// Telemetry only — deliberately *not* part of [`DeviceReport`], so a
+    /// report stays byte-identical with fast-forward on or off.
+    pub steady_epochs: u64,
+    /// Epochs the probe declined to certify (stepped), cumulative.
+    pub dynamic_epochs: u64,
 }
 
 /// [`simulate_device`] with caller-provided worker scratch (the executor's
@@ -104,6 +111,7 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         battery: spec.battery,
         seed: spec.seed,
         idle_skip: true,
+        fast_forward: spec.fast_forward,
         sched: SchedulerConfig {
             quantum: spec.quantum,
             ..SchedulerConfig::default()
@@ -121,7 +129,62 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         .install(&mut kernel, &env)
         .expect("root can install the workload topology");
 
-    kernel.run_until(SimTime::ZERO + spec.horizon);
+    let end = SimTime::ZERO + spec.horizon;
+    if spec.fast_forward {
+        // Epoch-partitioned run: before each epoch, ask the kernel's
+        // read-only steadiness probe whether anything *can* happen before
+        // the epoch end. A certified epoch is Steady — the kernel's frozen
+        // fast-forward crosses it in O(1) — and an uncertified one is
+        // Dynamic, stepped quantum by quantum (with the idle skip still
+        // compressing quiet stretches inside it). The partition is
+        // observational: epochs run through the chunk-safe
+        // [`Kernel::run_span`], whose split points do not perturb the
+        // boundary instruction stream, and the skips are bit-identical to
+        // stepping — so the report matches the un-partitioned run byte for
+        // byte (the `steady_vs_stepped` differential proves it).
+        // Round the epoch up to the quantum grid: the probe's jump is
+        // quantum-floored, so an off-grid epoch could never certify its
+        // own end.
+        let quantum_us = spec.quantum.as_micros().max(1);
+        let hint_us = installed
+            .steady_hint
+            .unwrap_or(SimDuration::from_secs(60))
+            .as_micros()
+            .max(quantum_us);
+        let epoch = SimDuration::from_micros(hint_us.div_ceil(quantum_us) * quantum_us);
+        // Adaptive cadence: the probe costs a few µs, so probing at the
+        // workload's period all day is measurable overhead on devices that
+        // never settle. Double the stride every epoch (capped at 32) — the
+        // partition telemetry coarsens near phase transitions, but the
+        // in-loop fast-forward inside `run_span` still compresses every
+        // certifiable quantum regardless of where the split points fall,
+        // and split points never perturb results.
+        let mut stride: u64 = 1;
+        let mut now = kernel.now();
+        while now < end {
+            let target = end.min(now + epoch * stride);
+            // Steady = the probe certifies past the last quantum boundary
+            // before `target` (the jump is quantum-floored, so `t` can sit
+            // up to one quantum shy of an off-grid final target).
+            let steady = kernel
+                .steadiness_probe(target)
+                .is_some_and(|t| t + spec.quantum > target);
+            if steady {
+                scratch.steady_epochs += stride;
+            } else {
+                scratch.dynamic_epochs += stride;
+            }
+            stride = (stride * 2).min(32);
+            kernel.run_span(target);
+            let landed = kernel.now();
+            // `run_span` only advances to quantum boundaries; force
+            // progress past a sub-quantum tail so the loop terminates.
+            now = if landed > now { landed } else { target };
+        }
+    }
+    // Settle radio/meter/flows at the horizon for extraction (a no-op for
+    // the unchunked path's already-settled kernel).
+    kernel.run_until(end);
     extract_report(spec, &kernel, &installed, scratch)
 }
 
@@ -254,6 +317,7 @@ mod tests {
             horizon: SimDuration::from_secs(horizon_s),
             quantum: SimDuration::from_millis(100),
             data_plan: None,
+            fast_forward: true,
         }
     }
 

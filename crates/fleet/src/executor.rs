@@ -3,10 +3,10 @@
 //! Devices are partitioned into fixed-size chunks; workers *steal* the next
 //! unclaimed chunk off a shared atomic cursor, so a worker stuck on an
 //! expensive device (a spinner stepping every quantum) never idles its
-//! siblings. Each finished report is written into its device's slot, so the
-//! assembled vector is ordered by device id and the aggregate output is
-//! byte-identical no matter how many workers ran — the determinism
-//! contract the property tests pin down.
+//! siblings. Each finished report is written into its device's row of a
+//! pre-sized [`ReportSlab`], so the assembled slab is ordered by device id
+//! and the aggregate output is byte-identical no matter how many workers
+//! ran — the determinism contract the property tests pin down.
 //!
 //! No external dependencies: plain scoped threads, one atomic, one mutex.
 
@@ -16,6 +16,7 @@ use std::sync::Mutex;
 use crate::device::DeviceReport;
 use crate::report::FleetReport;
 use crate::scenario::Scenario;
+use crate::slab::ReportSlab;
 
 /// Devices claimed per steal. Big enough to amortise the cursor bump and
 /// the results lock, small enough to balance tail latency across workers.
@@ -36,7 +37,7 @@ pub fn run_fleet_with(scenario: &Scenario, threads: usize) -> FleetReport {
     let specs = scenario.specs();
     let threads = threads.max(1).min(specs.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<DeviceReport>>> = Mutex::new(vec![None; specs.len()]);
+    let slab = Mutex::new(ReportSlab::with_len(specs.len()));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -59,22 +60,16 @@ pub fn run_fleet_with(scenario: &Scenario, threads: usize) -> FleetReport {
                             .iter()
                             .map(|spec| crate::device::simulate_device_with(spec, &mut scratch)),
                     );
-                    let mut slots = slots.lock().expect("no worker panics while holding it");
+                    let mut slab = slab.lock().expect("no worker panics while holding it");
                     for (offset, report) in reports.drain(..).enumerate() {
-                        slots[start + offset] = Some(report);
+                        slab.set(start + offset, &report);
                     }
                 }
             });
         }
     });
 
-    let devices: Vec<DeviceReport> = slots
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|slot| slot.expect("every chunk was claimed and completed"))
-        .collect();
-    FleetReport::new(scenario, devices)
+    FleetReport::new(scenario, slab.into_inner().expect("workers joined"))
 }
 
 #[cfg(test)]

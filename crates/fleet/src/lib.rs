@@ -34,8 +34,13 @@
 //! * [`scenario`] — the population model: workload mixture, battery and
 //!   rate jitter, optional §9 data-plan quota.
 //! * [`device`] — builds one kernel from a [`scenario::DeviceSpec`], runs
-//!   it, and extracts a compact [`device::DeviceReport`].
-//! * [`executor`] — shards devices across `std::thread` workers.
+//!   it (steady epochs fast-forwarded, dynamic epochs stepped), and
+//!   extracts a compact [`device::DeviceReport`].
+//! * [`executor`] — shards devices across `std::thread` workers into a
+//!   retained [`slab::ReportSlab`].
+//! * [`slab`] — struct-of-arrays storage of per-device telemetry.
+//! * [`stream`] — O(workers × bins) streaming aggregation with exact
+//!   merges, plus deterministic checkpoint/resume.
 //! * [`report`] — fleet percentiles (p50/p90/p99 lifetime, tail power) and
 //!   CSV/JSON export via [`cinder_sim::trace`].
 
@@ -43,8 +48,15 @@ pub mod device;
 pub mod executor;
 pub mod report;
 pub mod scenario;
+pub mod slab;
+pub mod stream;
 
 pub use device::{simulate_device, simulate_device_with, DeviceReport, DeviceScratch};
 pub use executor::{run_fleet, run_fleet_with};
 pub use report::{FleetReport, FleetSummary};
 pub use scenario::{DataPlan, DeviceSpec, Scenario, Workload};
+pub use slab::ReportSlab;
+pub use stream::{
+    checkpoint_fleet, resume_fleet, stream_fleet, stream_fleet_span, stream_fleet_with,
+    FleetCheckpoint, StreamReport, StreamSummary,
+};

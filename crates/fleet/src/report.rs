@@ -16,6 +16,7 @@ use cinder_sim::{json_string, Series, SimDuration, SimTime, Summary, TraceSet};
 
 use crate::device::DeviceReport;
 use crate::scenario::Scenario;
+use crate::slab::ReportSlab;
 
 /// A finished fleet run: ordered per-device telemetry plus scenario
 /// identity.
@@ -27,8 +28,8 @@ pub struct FleetReport {
     pub seed: u64,
     /// Per-device horizon.
     pub horizon: SimDuration,
-    /// One report per device, ordered by device id.
-    pub devices: Vec<DeviceReport>,
+    /// Columnar per-device telemetry; row `i` is device `i`.
+    pub devices: ReportSlab,
 }
 
 /// Aggregate distributions over the fleet.
@@ -63,9 +64,8 @@ pub struct FleetSummary {
 }
 
 impl FleetReport {
-    /// Assembles a report (devices must already be ordered by id).
-    pub fn new(scenario: &Scenario, devices: Vec<DeviceReport>) -> FleetReport {
-        debug_assert!(devices.windows(2).all(|w| w[0].id < w[1].id));
+    /// Assembles a report (the slab's row order *is* the device-id order).
+    pub fn new(scenario: &Scenario, devices: ReportSlab) -> FleetReport {
         FleetReport {
             scenario: scenario.name.clone(),
             seed: scenario.seed,
@@ -81,8 +81,9 @@ impl FleetReport {
 
     /// The aggregate distributions.
     pub fn summary(&self) -> FleetSummary {
-        let collect =
-            |f: &dyn Fn(&DeviceReport) -> f64| -> Vec<f64> { self.devices.iter().map(f).collect() };
+        let collect = |f: &dyn Fn(&DeviceReport) -> f64| -> Vec<f64> {
+            self.devices.iter().map(|d| f(&d)).collect()
+        };
         FleetSummary {
             devices: self.devices.len(),
             lifetime_h: Summary::from_values(&collect(&|d| d.lifetime_h)),
@@ -115,8 +116,9 @@ impl FleetReport {
     pub fn lifetime_histogram(&self, bins: usize) -> Vec<(f64, usize)> {
         let finite: Vec<f64> = self
             .devices
+            .lifetimes_h()
             .iter()
-            .map(|d| d.lifetime_h)
+            .copied()
             .filter(|l| l.is_finite())
             .collect();
         let (Some(&min), Some(&max)) = (
@@ -161,7 +163,7 @@ impl FleetReport {
                 d.backlight_shutdowns,
                 d.gps_shutdowns,
                 d.lifetime_h,
-                self.avg_power_mw(d),
+                self.avg_power_mw(&d),
                 d.radio_activations,
                 d.radio_active_s,
                 d.net_bytes,
@@ -187,7 +189,7 @@ impl FleetReport {
         for d in &self.devices {
             let at = SimTime::from_secs(d.id);
             lifetime.push(at, d.lifetime_h);
-            power.push(at, self.avg_power_mw(d));
+            power.push(at, self.avg_power_mw(&d));
             starved.push(at, d.starved_s);
         }
         ts.insert(lifetime);
@@ -218,16 +220,6 @@ impl FleetReport {
         let _ = writeln!(out, "  \"devices\": {},", s.devices);
         let _ = writeln!(out, "  \"horizon_s\": {:.3},", self.horizon.as_secs_f64());
         let _ = writeln!(out, "  \"fleet_energy_j\": {:.6},", s.fleet_energy_j);
-        let summary_json = |sum: &Option<Summary>| -> String {
-            match sum {
-                None => "null".to_string(),
-                Some(s) => format!(
-                    "{{ \"min\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}, \
-                     \"max\": {:.6}, \"mean\": {:.6} }}",
-                    s.min, s.p50, s.p90, s.p99, s.max, s.mean
-                ),
-            }
-        };
         let _ = writeln!(out, "  \"lifetime_h\": {},", summary_json(&s.lifetime_h));
         let _ = writeln!(
             out,
@@ -259,6 +251,19 @@ impl FleetReport {
             fs::create_dir_all(parent)?;
         }
         fs::write(path, self.to_json())
+    }
+}
+
+/// The one JSON rendering of a distribution block, shared by the retained
+/// report and the streaming summary so both emit the same shape.
+pub(crate) fn summary_json(sum: &Option<Summary>) -> String {
+    match sum {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{ \"min\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}, \
+             \"max\": {:.6}, \"mean\": {:.6} }}",
+            s.min, s.p50, s.p90, s.p99, s.max, s.mean
+        ),
     }
 }
 
@@ -334,7 +339,7 @@ mod tests {
     #[test]
     fn histogram_of_empty_fleet_is_empty() {
         let empty = FleetReport {
-            devices: Vec::new(),
+            devices: ReportSlab::new(),
             ..report()
         };
         assert!(empty.lifetime_histogram(4).is_empty());

@@ -142,7 +142,7 @@ pub struct Scenario {
 
 /// One device, fully specified: plain data, cheap to ship to a worker
 /// thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Device id (index in the fleet, stable across thread counts).
     pub id: u64,
@@ -163,6 +163,12 @@ pub struct DeviceSpec {
     pub quantum: SimDuration,
     /// Data plan, if the scenario carries one.
     pub data_plan: Option<DataPlan>,
+    /// Enable the kernel's frozen fast-forward
+    /// ([`cinder_kernel::KernelConfig::fast_forward`]): bit-exact
+    /// closed-form advance through drained steady states. Fleet scenarios
+    /// default to `true`; the differential tests flip it off to prove the
+    /// reports identical either way.
+    pub fast_forward: bool,
 }
 
 impl Scenario {
@@ -222,6 +228,28 @@ impl Scenario {
         }
     }
 
+    /// The steady-heavy population for the fast-forward study: batteries
+    /// two orders of magnitude under the mixed study's, against a
+    /// day-long horizon. Taps drain the graph battery inside the first
+    /// hour or two, after which the device sits in a frozen steady state
+    /// — pollers blocked in netd's pool, the spinner Ready but unfundable
+    /// — for the rest of the day. This is the regime where the kernel's
+    /// frozen fast-forward turns the tail into O(1) per epoch instead of
+    /// ten quanta per second. (The uncooperative pollers are deliberately
+    /// absent: their radio energy is unbilled, so their graph never
+    /// freezes and they would only measure live-phase cost.)
+    pub fn steady_heavy(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            horizon: SimDuration::from_secs(24 * 3_600),
+            mix: vec![
+                (Workload::Pollers { coop: true }, 5),
+                (Workload::Spinner, 3),
+            ],
+            battery: (Energy::from_joules(100), Energy::from_joules(300)),
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
     /// The §9 data-plan study: an all-poller fleet where every device
     /// carries a byte-quota reserve (default 5 MB, the issue's figure).
     pub fn data_plan(name: &str, seed: u64, devices: u32, plan_bytes: u64) -> Scenario {
@@ -245,69 +273,79 @@ impl Scenario {
         Scenario::data_plan(name, seed, devices, 380_000)
     }
 
-    /// Expands the scenario into per-device specs.
+    /// Expands one device of the scenario: the spec is a pure function of
+    /// `(self, id)` — its jitter draws come only from the fleet seed's
+    /// [`SimRng::split`] stream for this id, so device `i` is identical
+    /// whether the fleet holds ten devices or a million, and whether its
+    /// siblings were expanded first. This is the seam the streaming
+    /// executor iterates over instead of materialising a spec vector.
     ///
     /// # Panics
     ///
     /// Panics if the mixture is empty or all weights are zero.
-    pub fn specs(&self) -> Vec<DeviceSpec> {
+    pub fn spec_for(&self, id: u64) -> DeviceSpec {
         let total_weight: u32 = self.mix.iter().map(|&(_, w)| w).sum();
         assert!(
             total_weight > 0,
             "scenario '{}' has an empty workload mixture",
             self.name
         );
-        let root = SimRng::seed_from_u64(self.seed);
-        (0..self.devices as u64)
-            .map(|id| {
-                // Round-robin through the weighted mixture: slot k of each
-                // `total_weight`-sized block belongs to the workload whose
-                // cumulative weight first exceeds k.
-                let slot = (id % total_weight as u64) as u32;
-                let mut acc = 0;
-                let workload = self
-                    .mix
-                    .iter()
-                    .find(|&&(_, w)| {
-                        acc += w;
-                        slot < acc
-                    })
-                    .expect("slot < total weight")
-                    .0;
-                // All device-local draws come from the device's own stream.
-                let mut rng = root.split(id);
-                let battery = if self.battery.0 < self.battery.1 {
-                    Energy::from_microjoules(rng.uniform_u64(
-                        self.battery.0.as_microjoules() as u64,
-                        self.battery.1.as_microjoules() as u64,
-                    ) as i64)
-                } else {
-                    self.battery.0
-                };
-                let scale = |rng: &mut SimRng| {
-                    if self.jitter_ppm == 0 {
-                        1_000_000
-                    } else {
-                        rng.uniform_u64(
-                            1_000_000 - self.jitter_ppm,
-                            1_000_000 + self.jitter_ppm + 1,
-                        )
-                    }
-                };
-                let rate_scale_ppm = scale(&mut rng);
-                let interval_scale_ppm = scale(&mut rng);
-                DeviceSpec {
-                    id,
-                    seed: rng.uniform_u64(0, u64::MAX),
-                    workload,
-                    battery,
-                    rate_scale_ppm,
-                    interval_scale_ppm,
-                    horizon: self.horizon,
-                    quantum: self.quantum,
-                    data_plan: self.data_plan,
-                }
+        // Round-robin through the weighted mixture: slot k of each
+        // `total_weight`-sized block belongs to the workload whose
+        // cumulative weight first exceeds k.
+        let slot = (id % total_weight as u64) as u32;
+        let mut acc = 0;
+        let workload = self
+            .mix
+            .iter()
+            .find(|&&(_, w)| {
+                acc += w;
+                slot < acc
             })
+            .expect("slot < total weight")
+            .0;
+        // All device-local draws come from the device's own stream.
+        let mut rng = SimRng::seed_from_u64(self.seed).split(id);
+        let battery = if self.battery.0 < self.battery.1 {
+            Energy::from_microjoules(rng.uniform_u64(
+                self.battery.0.as_microjoules() as u64,
+                self.battery.1.as_microjoules() as u64,
+            ) as i64)
+        } else {
+            self.battery.0
+        };
+        let scale = |rng: &mut SimRng| {
+            if self.jitter_ppm == 0 {
+                1_000_000
+            } else {
+                rng.uniform_u64(1_000_000 - self.jitter_ppm, 1_000_000 + self.jitter_ppm + 1)
+            }
+        };
+        let rate_scale_ppm = scale(&mut rng);
+        let interval_scale_ppm = scale(&mut rng);
+        DeviceSpec {
+            id,
+            seed: rng.uniform_u64(0, u64::MAX),
+            workload,
+            battery,
+            rate_scale_ppm,
+            interval_scale_ppm,
+            horizon: self.horizon,
+            quantum: self.quantum,
+            data_plan: self.data_plan,
+            fast_forward: true,
+        }
+    }
+
+    /// Expands the scenario into per-device specs (see
+    /// [`Scenario::spec_for`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mixture is empty or all weights are zero.
+    pub fn specs(&self) -> Vec<DeviceSpec> {
+        (0..self.devices as u64)
+            .map(|id| self.spec_for(id))
             .collect()
     }
 }

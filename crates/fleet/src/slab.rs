@@ -1,0 +1,252 @@
+//! Struct-of-arrays storage for retained per-device telemetry.
+//!
+//! A million-device retained run used to hold `Vec<Option<DeviceReport>>`
+//! — an `Option` discriminant per slot and every aggregation pass striding
+//! over full 200-byte rows to read one column. [`ReportSlab`] stores each
+//! [`DeviceReport`] field in its own dense arena keyed by device id
+//! (device `i` is row `i`), so a column scan (the summary's lifetime pass,
+//! the CSV writer's ordered walk) touches only the bytes it reads, slots
+//! need no presence tag, and workers deposit whole chunks with plain
+//! column writes. Rows materialise back into [`DeviceReport`] values on
+//! demand — the public API stays value-shaped while the storage stays
+//! columnar.
+
+use crate::device::DeviceReport;
+
+/// Columnar (struct-of-arrays) storage of device reports, keyed by dense
+/// device id. Row `i` holds device `i`; all columns always have equal
+/// length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportSlab {
+    workload: Vec<&'static str>,
+    battery_capacity_uj: Vec<i64>,
+    battery_remaining_uj: Vec<i64>,
+    total_energy_uj: Vec<i64>,
+    cpu_energy_uj: Vec<i64>,
+    backlight_energy_uj: Vec<i64>,
+    gps_energy_uj: Vec<i64>,
+    backlight_shutdowns: Vec<u64>,
+    gps_shutdowns: Vec<u64>,
+    lifetime_h: Vec<f64>,
+    radio_activations: Vec<u64>,
+    radio_active_s: Vec<f64>,
+    net_bytes: Vec<u64>,
+    ops: Vec<u64>,
+    starved_s: Vec<f64>,
+    debt_reserves: Vec<u32>,
+    quota_exhausted: Vec<bool>,
+    quota_remaining_bytes: Vec<i64>,
+    bytes_blocked_sends: Vec<u64>,
+}
+
+impl ReportSlab {
+    /// An empty slab.
+    pub fn new() -> ReportSlab {
+        ReportSlab::default()
+    }
+
+    /// A slab with `n` zeroed rows, ready for [`ReportSlab::set`] by any
+    /// worker order.
+    pub fn with_len(n: usize) -> ReportSlab {
+        ReportSlab {
+            workload: vec![""; n],
+            battery_capacity_uj: vec![0; n],
+            battery_remaining_uj: vec![0; n],
+            total_energy_uj: vec![0; n],
+            cpu_energy_uj: vec![0; n],
+            backlight_energy_uj: vec![0; n],
+            gps_energy_uj: vec![0; n],
+            backlight_shutdowns: vec![0; n],
+            gps_shutdowns: vec![0; n],
+            lifetime_h: vec![0.0; n],
+            radio_activations: vec![0; n],
+            radio_active_s: vec![0.0; n],
+            net_bytes: vec![0; n],
+            ops: vec![0; n],
+            starved_s: vec![0.0; n],
+            debt_reserves: vec![0; n],
+            quota_exhausted: vec![false; n],
+            quota_remaining_bytes: vec![0; n],
+            bytes_blocked_sends: vec![0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// Whether the slab holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+
+    /// Writes `report` into row `i` (the report's own `id` is *not*
+    /// consulted — the caller owns the id→row mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, report: &DeviceReport) {
+        self.workload[i] = report.workload;
+        self.battery_capacity_uj[i] = report.battery_capacity_uj;
+        self.battery_remaining_uj[i] = report.battery_remaining_uj;
+        self.total_energy_uj[i] = report.total_energy_uj;
+        self.cpu_energy_uj[i] = report.cpu_energy_uj;
+        self.backlight_energy_uj[i] = report.backlight_energy_uj;
+        self.gps_energy_uj[i] = report.gps_energy_uj;
+        self.backlight_shutdowns[i] = report.backlight_shutdowns;
+        self.gps_shutdowns[i] = report.gps_shutdowns;
+        self.lifetime_h[i] = report.lifetime_h;
+        self.radio_activations[i] = report.radio_activations;
+        self.radio_active_s[i] = report.radio_active_s;
+        self.net_bytes[i] = report.net_bytes;
+        self.ops[i] = report.ops;
+        self.starved_s[i] = report.starved_s;
+        self.debt_reserves[i] = report.debt_reserves;
+        self.quota_exhausted[i] = report.quota_exhausted;
+        self.quota_remaining_bytes[i] = report.quota_remaining_bytes;
+        self.bytes_blocked_sends[i] = report.bytes_blocked_sends;
+    }
+
+    /// Appends `report` as the next row.
+    pub fn push(&mut self, report: &DeviceReport) {
+        self.workload.push(report.workload);
+        self.battery_capacity_uj.push(report.battery_capacity_uj);
+        self.battery_remaining_uj.push(report.battery_remaining_uj);
+        self.total_energy_uj.push(report.total_energy_uj);
+        self.cpu_energy_uj.push(report.cpu_energy_uj);
+        self.backlight_energy_uj.push(report.backlight_energy_uj);
+        self.gps_energy_uj.push(report.gps_energy_uj);
+        self.backlight_shutdowns.push(report.backlight_shutdowns);
+        self.gps_shutdowns.push(report.gps_shutdowns);
+        self.lifetime_h.push(report.lifetime_h);
+        self.radio_activations.push(report.radio_activations);
+        self.radio_active_s.push(report.radio_active_s);
+        self.net_bytes.push(report.net_bytes);
+        self.ops.push(report.ops);
+        self.starved_s.push(report.starved_s);
+        self.debt_reserves.push(report.debt_reserves);
+        self.quota_exhausted.push(report.quota_exhausted);
+        self.quota_remaining_bytes
+            .push(report.quota_remaining_bytes);
+        self.bytes_blocked_sends.push(report.bytes_blocked_sends);
+    }
+
+    /// Materialises row `i` as a [`DeviceReport`] (the row index is the
+    /// device id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> DeviceReport {
+        DeviceReport {
+            id: i as u64,
+            workload: self.workload[i],
+            battery_capacity_uj: self.battery_capacity_uj[i],
+            battery_remaining_uj: self.battery_remaining_uj[i],
+            total_energy_uj: self.total_energy_uj[i],
+            cpu_energy_uj: self.cpu_energy_uj[i],
+            backlight_energy_uj: self.backlight_energy_uj[i],
+            gps_energy_uj: self.gps_energy_uj[i],
+            backlight_shutdowns: self.backlight_shutdowns[i],
+            gps_shutdowns: self.gps_shutdowns[i],
+            lifetime_h: self.lifetime_h[i],
+            radio_activations: self.radio_activations[i],
+            radio_active_s: self.radio_active_s[i],
+            net_bytes: self.net_bytes[i],
+            ops: self.ops[i],
+            starved_s: self.starved_s[i],
+            debt_reserves: self.debt_reserves[i],
+            quota_exhausted: self.quota_exhausted[i],
+            quota_remaining_bytes: self.quota_remaining_bytes[i],
+            bytes_blocked_sends: self.bytes_blocked_sends[i],
+        }
+    }
+
+    /// Iterates rows as materialised [`DeviceReport`] values, in device-id
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = DeviceReport> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Direct view of the lifetime column (the summary's hottest scan).
+    pub fn lifetimes_h(&self) -> &[f64] {
+        &self.lifetime_h
+    }
+}
+
+impl FromIterator<DeviceReport> for ReportSlab {
+    fn from_iter<I: IntoIterator<Item = DeviceReport>>(iter: I) -> ReportSlab {
+        let mut slab = ReportSlab::new();
+        for r in iter {
+            slab.push(&r);
+        }
+        slab
+    }
+}
+
+impl<'a> IntoIterator for &'a ReportSlab {
+    type Item = DeviceReport;
+    type IntoIter = Box<dyn Iterator<Item = DeviceReport> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> DeviceReport {
+        DeviceReport {
+            id,
+            workload: "spinner",
+            battery_capacity_uj: 1 + id as i64,
+            battery_remaining_uj: 2,
+            total_energy_uj: 3,
+            cpu_energy_uj: 4,
+            backlight_energy_uj: 5,
+            gps_energy_uj: 6,
+            backlight_shutdowns: 7,
+            gps_shutdowns: 8,
+            lifetime_h: 9.5,
+            radio_activations: 10,
+            radio_active_s: 11.5,
+            net_bytes: 12,
+            ops: 13,
+            starved_s: 14.5,
+            debt_reserves: 15,
+            quota_exhausted: true,
+            quota_remaining_bytes: -16,
+            bytes_blocked_sends: 17,
+        }
+    }
+
+    #[test]
+    fn set_get_round_trips_every_field() {
+        let mut slab = ReportSlab::with_len(3);
+        slab.set(2, &sample(2));
+        assert_eq!(slab.get(2), sample(2));
+        assert_eq!(slab.len(), 3);
+    }
+
+    #[test]
+    fn push_and_iter_preserve_order() {
+        let slab: ReportSlab = (0..5).map(sample).collect();
+        let ids: Vec<u64> = slab.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(slab.lifetimes_h().len(), 5);
+    }
+
+    #[test]
+    fn out_of_order_set_matches_ordered_push() {
+        let mut a = ReportSlab::with_len(4);
+        for i in [3usize, 0, 2, 1] {
+            a.set(i, &sample(i as u64));
+        }
+        let b: ReportSlab = (0..4).map(sample).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -212,7 +212,7 @@ fn aggregate_telemetry_reflects_workload_structure() {
             .devices
             .iter()
             .filter(|d| d.workload == tag)
-            .map(f)
+            .map(|d| f(&d))
             .collect();
         assert!(!xs.is_empty(), "no {tag} devices in the mixture");
         xs.iter().sum::<f64>() / xs.len() as f64

@@ -77,6 +77,18 @@ pub struct KernelConfig {
     /// faster, which is what makes fleet-scale studies practical. Off by
     /// default so single-device experiments run the literal paper loop.
     pub idle_skip: bool,
+    /// Fast-forward *frozen* spans: quanta in which threads exist (Ready
+    /// but provably unfundable, or blocked in a pooling net stack) yet the
+    /// whole device is provably inert — the resource graph is frozen
+    /// ([`cinder_core::ResourceGraph::flow_is_frozen`]), the stack's polls
+    /// replay byte-identically, and no event or radio transition is due.
+    /// This is the drained-battery steady state every long-horizon fleet
+    /// device ends in; with only `idle_skip` it steps (and round-robins the
+    /// scheduler) every quantum forever. Bit-identical by construction:
+    /// throttled-quanta accounting is replayed in bulk and flows settle
+    /// over the span exactly as when stepped. Off by default, like
+    /// `idle_skip`.
+    pub fast_forward: bool,
 }
 
 impl Default for KernelConfig {
@@ -90,6 +102,7 @@ impl Default for KernelConfig {
             meter_trace: false,
             laptop: None,
             idle_skip: false,
+            fast_forward: false,
         }
     }
 }
@@ -1015,8 +1028,29 @@ impl Kernel {
 
     // ----- run loop ---------------------------------------------------------
 
-    /// Runs the kernel until `end`.
+    /// Runs the kernel until `end`, then settles the integrators (radio,
+    /// meter, flows) to `now` so extraction reads a consistent instant.
     pub fn run_until(&mut self, end: SimTime) {
+        self.run_span(end);
+        self.advance_radio_metered(self.now);
+        self.meter.advance(self.now);
+        self.graph.flow_until(self.now);
+    }
+
+    /// The run loop without [`Kernel::run_until`]'s settling tail: advances
+    /// quantum boundaries up to `end` but leaves the radio, meter, and flow
+    /// engine at the last boundary processed.
+    ///
+    /// This is the chunk-safe entry point. `run_until`'s tail flows the
+    /// graph one quantum *ahead* of the loop, so at a chunk boundary it
+    /// would integrate that quantum's decay before the boundary's events
+    /// are delivered — the opposite order from an unchunked run, and decay
+    /// rounding sees different balances. `run_span` leaves the boundary to
+    /// the next call's first iteration, so splitting a run into spans
+    /// replays the *identical* instruction stream: `run_span(t₁); …;
+    /// run_until(t_n)` is bit-equal to `run_until(t_n)` for any grid or
+    /// off-grid split points. The fleet's epoch driver runs on this.
+    pub fn run_span(&mut self, end: SimTime) {
         let quantum = self.sched.quantum();
         while self.now + quantum <= end {
             let t = self.now;
@@ -1031,13 +1065,13 @@ impl Kernel {
             let total = self.platform.total(self.arm9.radio().extra_power());
             self.meter.set_power(t, total);
             self.now = t + quantum;
-            if ran.is_none() && self.config.idle_skip {
-                self.skip_idle_quanta(end);
+            if ran.is_none() {
+                let jumped = self.config.fast_forward && self.skip_frozen_quanta(end);
+                if !jumped && self.config.idle_skip {
+                    self.skip_idle_quanta(end);
+                }
             }
         }
-        self.advance_radio_metered(self.now);
-        self.meter.advance(self.now);
-        self.graph.flow_until(self.now);
     }
 
     /// Jumps `now` over quantum boundaries that provably change nothing:
@@ -1121,6 +1155,166 @@ impl Kernel {
         // base loop.
         self.graph
             .flow_until(SimTime::from_micros(self.now.as_micros() - quantum_us));
+    }
+
+    /// Fast-forwards *frozen* spans — quanta where threads exist but the
+    /// device is provably inert. [`Kernel::skip_idle_quanta`] handles the
+    /// truly idle device (nothing Ready, stack idle); this handles the two
+    /// steady states it cannot: Ready-but-unfundable threads (a drained
+    /// battery round-robins the scheduler every quantum forever) and
+    /// threads blocked in a pooling stack whose sweeps can no longer
+    /// contribute anything. Returns `true` if it jumped.
+    ///
+    /// The certificate, checked cheapest-first:
+    ///
+    /// * no lit peripheral (enforcement needs per-quantum funding checks);
+    /// * the net stack is idle, or — on a poll grid aligned with the
+    ///   quantum grid — certifies its polls replay byte-identically while
+    ///   the graph is frozen ([`NetStack::poll_inert_while_frozen`]);
+    /// * no byte-blocked send is submittable (a frozen graph keeps an
+    ///   uncovered plan uncovered: events only ever debit byte reserves);
+    /// * the graph is frozen: no tap can deliver and decay leaks round to
+    ///   zero ([`cinder_core::ResourceGraph::flow_is_frozen`]) — so no
+    ///   reserve can refill and no Ready task can become fundable;
+    /// * no event or radio transition falls inside the span.
+    ///
+    /// Landing mirrors `skip_idle_quanta` exactly; the one addition is
+    /// replaying the scheduler's throttled-quanta accounting in bulk
+    /// ([`cinder_core::ResourceScheduler::bulk_throttle`]) — each skipped
+    /// boundary would have run one all-throttle `pick_next`, which leaves
+    /// the round-robin queue bit-identically unchanged.
+    fn skip_frozen_quanta(&mut self, end: SimTime) -> bool {
+        if self.enabled_peripherals != 0 {
+            return false;
+        }
+        let radio_active = self.arm9.radio().is_active();
+        let radio_next = self.arm9.radio().next_transition();
+        if let Some(stack) = &self.net {
+            if !(stack.is_idle()
+                || self.net_poll_snappable
+                    && stack.poll_inert_while_frozen(&self.graph, radio_active, radio_next))
+            {
+                return false;
+            }
+        }
+        if self.byte_waiters > 0 {
+            let submittable = self.threads.iter().any(|t| {
+                !t.exited
+                    && t.pending_send.is_some_and(|p| {
+                        self.sched
+                            .reserve_for(t.task, ResourceKind::NetworkBytes)
+                            .is_some_and(|plan| self.plan_covers(plan, p.tx_bytes, p.rx_bytes))
+                    })
+            });
+            if submittable {
+                return false;
+            }
+        }
+        let mut wake = end;
+        if let Some(t) = self.events.peek_time() {
+            wake = wake.min(t);
+        }
+        if let Some(t) = radio_next {
+            wake = wake.min(t);
+        }
+        let quantum = self.sched.quantum();
+        let gap = wake.saturating_since(self.now);
+        if gap <= quantum {
+            return false;
+        }
+        if !self.graph.flow_is_frozen() {
+            return false;
+        }
+        let quantum_us = quantum.as_micros();
+        let to_wake = gap.as_micros().div_ceil(quantum_us);
+        let to_end = end.saturating_since(self.now).div_duration(quantum);
+        let skipped = to_wake.min(to_end);
+        // Each skipped boundary's `pick_next` throttles every Ready task
+        // (all provably unfundable: the call that just returned `None`
+        // proved it, and the frozen graph keeps it true).
+        self.sched.bulk_throttle(&self.graph, skipped);
+        self.now += quantum * skipped;
+        // Settle the skipped flow ticks up to the boundary before landing
+        // (see skip_idle_quanta: the landing iteration flows the last one).
+        // With the graph frozen this is O(taps): only carries advance.
+        self.graph
+            .flow_until(SimTime::from_micros(self.now.as_micros() - quantum_us));
+        true
+    }
+
+    /// Conservatively certifies the longest prefix of `(now, horizon]` in
+    /// which provably *nothing* can happen: no thread can run (none Ready,
+    /// or every Ready task unfundable under a frozen graph), the net
+    /// stack's polls are no-ops, no byte-quota retry can submit, every lit
+    /// peripheral stays funded, and no event or radio transition is due.
+    /// Returns the first quantum boundary at or after the earliest wake
+    /// source (capped at `horizon`), or `None` when nothing beyond the
+    /// next quantum is certifiable.
+    ///
+    /// Read-only and advisory: it composes the same guards the in-loop
+    /// fast-forwards (`Kernel::skip_idle_quanta`,
+    /// `Kernel::skip_frozen_quanta`) re-verify as they run, so a *steady*
+    /// verdict predicts that [`Kernel::run_until`] will cross the span in
+    /// O(1) — the fleet driver uses it to classify each device epoch as
+    /// steady (closed-form advance) or dynamic (stepped) without
+    /// perturbing the kernel.
+    pub fn steadiness_probe(&self, horizon: SimTime) -> Option<SimTime> {
+        let quantum = self.sched.quantum();
+        if self.sched.any_ready_runnable(&self.graph) {
+            return None;
+        }
+        let frozen = self.graph.flow_is_frozen();
+        if self.sched.has_ready() && !frozen {
+            // A starved Ready thread wakes as soon as a tap refills its
+            // reserve — sub-quantum, not certifiable.
+            return None;
+        }
+        let radio_active = self.arm9.radio().is_active();
+        let radio_next = self.arm9.radio().next_transition();
+        if let Some(stack) = &self.net {
+            if !(stack.is_idle()
+                || self.net_poll_snappable
+                    && frozen
+                    && stack.poll_inert_while_frozen(&self.graph, radio_active, radio_next))
+            {
+                return None;
+            }
+        }
+        if self.byte_waiters > 0 {
+            let pinned = self.threads.iter().any(|t| {
+                !t.exited
+                    && t.pending_send.is_some_and(|p| {
+                        self.sched
+                            .reserve_for(t.task, ResourceKind::NetworkBytes)
+                            .is_some_and(|plan| {
+                                self.plan_covers(plan, p.tx_bytes, p.rx_bytes)
+                                    || (!frozen && self.graph.has_inbound_tap(plan))
+                            })
+                    })
+            });
+            if pinned {
+                return None;
+            }
+        }
+        let mut wake = horizon;
+        if let Some(t) = self.events.peek_time() {
+            wake = wake.min(t);
+        }
+        if let Some(t) = radio_next {
+            wake = wake.min(t);
+        }
+        let gap = wake.saturating_since(self.now);
+        if gap <= quantum {
+            return None;
+        }
+        let quantum_us = quantum.as_micros();
+        let to_wake = gap.as_micros().div_ceil(quantum_us);
+        let to_end = horizon.saturating_since(self.now).div_duration(quantum);
+        let jump = quantum * to_wake.min(to_end);
+        if !self.peripherals_cover_span(jump) {
+            return None;
+        }
+        Some(self.now + jump)
     }
 
     /// Steps quanta in reduced form while the net stack is busy (pooling)

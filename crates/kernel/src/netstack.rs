@@ -154,6 +154,30 @@ pub trait NetStack {
     fn is_idle(&self) -> bool {
         false
     }
+
+    /// Whether `poll` at this instant would provably change *nothing* —
+    /// given the caller's promise that over the probed span no reserve
+    /// balance in `graph` can change (the graph is frozen, see
+    /// `ResourceGraph::flow_is_frozen`) and the radio holds
+    /// `radio_active` / `radio_next_transition` throughout. The kernel's
+    /// frozen fast-forward skips a *non-idle* stack's polls only under
+    /// this certificate, so a drained device blocked in the stack does
+    /// not pin the run loop to per-quantum stepping forever.
+    ///
+    /// The default answers with [`NetStack::is_idle`]: an idle stack's
+    /// poll is a no-op by that contract, and `false` is always safe —
+    /// merely slower. Pooling stacks can certify more: netd proves its
+    /// memoised failed-grant check replays byte-identically while its
+    /// waiters' reserves stay empty.
+    fn poll_inert_while_frozen(
+        &self,
+        graph: &ResourceGraph,
+        radio_active: bool,
+        radio_next_transition: Option<SimTime>,
+    ) -> bool {
+        let _ = (graph, radio_active, radio_next_transition);
+        self.is_idle()
+    }
 }
 
 #[cfg(test)]

@@ -277,6 +277,50 @@ impl NetStack for CoopNetd {
         // fast-forward past either.
         self.waiting.is_empty() && self.granted_backlog.is_empty()
     }
+
+    fn poll_inert_while_frozen(
+        &self,
+        graph: &ResourceGraph,
+        radio_active: bool,
+        radio_next_transition: Option<cinder_sim::SimTime>,
+    ) -> bool {
+        // A frozen-graph poll replays exactly when (a) there is no granted
+        // backlog to wake, (b) every waiter's reserve holds nothing, so the
+        // per-tick sweep contributes zero, and (c) the memoised failed
+        // check matches the live pool and radio signature — then `poll`
+        // rewrites `pending_check` with its own values (contributed = 0 <
+        // shortfall, which a full check stores as positive) and returns no
+        // wakes: a bitwise no-op, for as many ticks as the freeze lasts.
+        // Without a memoised check the full estimate could *grant* from an
+        // already-sufficient pool, so it is never skippable.
+        if !self.granted_backlog.is_empty() {
+            return false;
+        }
+        if self.waiting.is_empty() {
+            return true;
+        }
+        let Some(chk) = self.pending_check else {
+            return false;
+        };
+        if chk.radio_active != radio_active
+            || chk.radio_next_transition != radio_next_transition
+            || !chk.shortfall.is_positive()
+        {
+            return false;
+        }
+        let pool = graph
+            .reserve(self.pool)
+            .map(|r| r.balance())
+            .unwrap_or(Energy::ZERO);
+        if pool != chk.expected_pool {
+            return false;
+        }
+        self.waiting.iter().all(|w| {
+            graph
+                .reserve(w.req.reserve)
+                .is_none_or(|r| !r.balance().is_positive())
+        })
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,18 @@ impl Series {
 /// [`Summary::from_values`]; fleet aggregation calls it directly on
 /// per-device scalars.
 ///
+/// # Boundary semantics
+///
+/// The rank is `p/100 × (n−1)`, so the small-`n` cases every aggregation
+/// edge hits are fully defined:
+///
+/// * empty slice → `None` for any `p` (never a panic);
+/// * one element `x` → `Some(x)` for **every** `p` — the single order
+///   statistic is simultaneously min, median, and max;
+/// * two elements `[a, b]` (sorted) → linear interpolation along the
+///   segment: `percentile(p) = a + (b − a) × p/100`, so `p50` is the exact
+///   midpoint `(a+b)/2` and `p90` sits at `a + 0.9(b−a)`.
+///
 /// # Panics
 ///
 /// Panics if `p` is not a finite value in `[0, 100]`.
@@ -184,6 +196,10 @@ pub struct Summary {
 
 impl Summary {
     /// Summarises `values`; `None` on an empty slice.
+    ///
+    /// Inherits [`percentile_of`]'s boundary semantics: a singleton's
+    /// summary has `min == p50 == p90 == p99 == max == mean`, and a pair's
+    /// percentiles interpolate linearly between the two values.
     pub fn from_values(values: &[f64]) -> Option<Summary> {
         if values.is_empty() {
             return None;
@@ -352,6 +368,34 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_rejects_out_of_range() {
         let _ = percentile_of(&[1.0], 101.0);
+    }
+
+    /// The documented boundary semantics at tiny inputs: `None` when
+    /// empty, the lone element at every `p` for singletons, and exact
+    /// linear interpolation `a + (b − a) × p/100` for pairs — in both
+    /// `percentile_of` and the `Summary` built on it.
+    #[test]
+    fn percentile_boundary_semantics_are_pinned() {
+        for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_of(&[], p), None);
+            assert_eq!(percentile_of(&[7.25], p), Some(7.25));
+        }
+        let pair = [2.0, 10.0];
+        for p in [0.0, 25.0, 50.0, 90.0, 100.0] {
+            // Mirrors the interpolation expression bit-for-bit: with two
+            // elements, rank = p/100 and frac = rank.
+            assert_eq!(percentile_of(&pair, p), Some(2.0 + 8.0 * (p / 100.0)));
+        }
+        assert_eq!(Summary::from_values(&[]), None);
+        let one = Summary::from_values(&[7.25]).unwrap();
+        assert_eq!(
+            (one.min, one.p50, one.p90, one.p99, one.max, one.mean),
+            (7.25, 7.25, 7.25, 7.25, 7.25, 7.25)
+        );
+        let two = Summary::from_values(&pair).unwrap();
+        assert_eq!((two.min, two.p50, two.max, two.mean), (2.0, 6.0, 10.0, 6.0));
+        assert_eq!(two.p90, 2.0 + 8.0 * (90.0 / 100.0));
+        assert_eq!(two.p99, 2.0 + 8.0 * (99.0 / 100.0));
     }
 
     #[test]
