@@ -20,6 +20,9 @@
 //!
 //! * [`navigator`] — duty-cycled GPS fixes whose interval stretches as the
 //!   receiver's reserve drops.
+//! * [`offloader`] — the cloud-offload client: periodic work items priced
+//!   local-vs-remote by the break-even policy against a shared backend
+//!   trace, shipped through the kernel's `offload` syscall.
 //! * [`screen_on`] — backlit browsing sessions that dim when the screen's
 //!   reserve sags and go dark when the kernel forces the backlight down.
 //! * [`workload`] — the [`WorkloadProgram`] seam drivers (the fleet, the
@@ -29,6 +32,7 @@ pub mod browser;
 pub mod energywrap;
 pub mod image_viewer;
 pub mod navigator;
+pub mod offloader;
 pub mod pollers;
 pub mod screen_on;
 pub mod spinner;
@@ -39,11 +43,13 @@ pub use browser::{build_browser, BrowserConfig, BrowserHandles};
 pub use energywrap::energywrap;
 pub use image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
 pub use navigator::{NavLog, Navigator, NavigatorConfig};
+pub use offloader::{OffloadLog, Offloader, OffloaderConfig, TraceBackend};
 pub use pollers::{build_pollers, PeriodicPoller, PollerHandles, PollerLog};
 pub use screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
 pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};
 pub use workload::{
-    BrowserWorkload, GalleryWorkload, InstalledWorkload, NavigatorWorkload, PollersWorkload,
-    ScreenOnWorkload, SpinnerWorkload, WorkloadEnv, WorkloadProbe, WorkloadProgram,
+    BrowserWorkload, GalleryWorkload, InstalledWorkload, NavigatorWorkload, OffloadSetup,
+    OffloaderWorkload, PollersWorkload, ScreenOnWorkload, SpinnerWorkload, WorkloadEnv,
+    WorkloadProbe, WorkloadProgram,
 };

@@ -23,15 +23,41 @@ use cinder_label::Label;
 use cinder_net::{CoopNetd, UncoopStack};
 use cinder_sim::{Energy, Power, SimDuration};
 
+use cinder_offload::OffloadProfile;
+
 use crate::browser::{build_browser, BrowserConfig};
 use crate::image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
 use crate::navigator::{NavLog, Navigator, NavigatorConfig};
+use crate::offloader::{OffloadLog, Offloader, OffloaderConfig, TraceBackend};
 use crate::pollers::{build_pollers, PollerLog};
 use crate::screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 use crate::spinner::Spinner;
 
+/// The shared-backend economy a driver hands to offload-capable
+/// workloads: the backend profile plus the horizon the trace must cover.
+/// Plain data — the workload rebuilds the identical trace from it, which
+/// is what keeps the backend deterministic across worker layouts.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadSetup {
+    /// Backend sizing and item shape.
+    pub profile: OffloadProfile,
+    /// Simulation horizon the trace must span.
+    pub horizon: SimDuration,
+}
+
+impl OffloadSetup {
+    /// The default profile over a one-hour horizon (standalone runs).
+    pub fn nominal() -> Self {
+        OffloadSetup {
+            profile: OffloadProfile::default(),
+            horizon: SimDuration::from_secs(3_600),
+        }
+    }
+}
+
 /// Per-device parameters a driver passes through to the workload: jitter
-/// scales and the optional §9 data plan.
+/// scales, the optional §9 data plan, and the offload economy if the
+/// scenario runs one.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadEnv {
     /// Tap-rate scale in ppm (1_000_000 = nominal).
@@ -40,15 +66,18 @@ pub struct WorkloadEnv {
     pub interval_scale_ppm: u64,
     /// §9 data-plan size in bytes, if the device carries one.
     pub data_plan_bytes: Option<u64>,
+    /// Shared-backend offload economy, if the scenario runs one.
+    pub offload: Option<OffloadSetup>,
 }
 
 impl WorkloadEnv {
-    /// No jitter, no plan.
+    /// No jitter, no plan, no offload economy.
     pub fn nominal() -> Self {
         WorkloadEnv {
             rate_scale_ppm: 1_000_000,
             interval_scale_ppm: 1_000_000,
             data_plan_bytes: None,
+            offload: None,
         }
     }
 
@@ -361,6 +390,66 @@ impl WorkloadProgram for ScreenOnWorkload {
     }
 }
 
+// ----- the offload economy -------------------------------------------------
+
+/// The cloud-offload client (see [`crate::offloader`]): periodic work
+/// items priced local-vs-remote against a shared backend trace.
+pub struct OffloaderWorkload;
+
+struct OffloaderProbe {
+    log: Rc<RefCell<OffloadLog>>,
+}
+
+impl WorkloadProbe for OffloaderProbe {
+    fn ops(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().items
+    }
+}
+
+impl WorkloadProgram for OffloaderWorkload {
+    fn install(
+        &self,
+        kernel: &mut Kernel,
+        env: &WorkloadEnv,
+    ) -> Result<InstalledWorkload, KernelError> {
+        // The radio path is the cooperative netd: offload round trips pay
+        // real radio joules out of the device's reserve through the pool.
+        let netd = CoopNetd::with_defaults(kernel.graph_mut());
+        kernel.install_net(Box::new(netd));
+        let setup = env.offload.unwrap_or_else(OffloadSetup::nominal);
+        kernel.install_offload(Box::new(TraceBackend::build(setup.profile, setup.horizon)));
+        // 30 J of headroom plus a 60 mW feed: enough to keep the remote
+        // path fundable at the nominal cadence, tight enough that the
+        // reserve level is a live signal for the break-even policy.
+        let r = seeded_tapped_reserve(
+            kernel,
+            "offload",
+            Energy::from_joules(30),
+            env.scale(Power::from_microwatts(60_000)),
+        )?;
+        let interval = env.interval(setup.profile.request_interval);
+        let config = OffloaderConfig {
+            interval,
+            ..OffloaderConfig::from_profile(&setup.profile)
+        };
+        let log = OffloadLog::shared();
+        let tid = kernel.spawn_unprivileged(
+            "offloader",
+            Box::new(Offloader::new(config, log.clone())),
+            r,
+        );
+        let plan_reserve = match env.data_plan_bytes {
+            Some(bytes) => Some(kernel.install_byte_plan(bytes, &[tid])?),
+            None => None,
+        };
+        Ok(InstalledWorkload {
+            plan_reserve,
+            probe: Box::new(OffloaderProbe { log }),
+            steady_hint: Some(interval),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +484,7 @@ mod tests {
             Box::new(SpinnerWorkload),
             Box::new(NavigatorWorkload),
             Box::new(ScreenOnWorkload),
+            Box::new(OffloaderWorkload),
         ];
         for w in &workloads {
             let (kernel, _) = run(w.as_ref(), 120);
@@ -426,6 +516,7 @@ mod tests {
             rate_scale_ppm: 900_000,
             interval_scale_ppm: 1_100_000,
             data_plan_bytes: None,
+            offload: None,
         };
         assert_eq!(
             env.scale(Power::from_microwatts(100_000)),

@@ -52,6 +52,15 @@ fn peripheral_scenario(devices: u32) -> Scenario {
     }
 }
 
+/// The offload-heavy population: break-even offloaders against a shared
+/// responsive backend (capacity 64 against the default mean-field load).
+fn offload_scenario(devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::offload_heavy("fleet-scale-offload", 2_031, devices, 64)
+    }
+}
+
 /// Worker count for the sharded side: all cores, but at least two so the
 /// sharded path (and its determinism) is exercised even on a 1-CPU runner.
 fn sharded_threads() -> usize {
@@ -72,6 +81,10 @@ fn bench_fleet_scale(c: &mut Criterion) {
     let peripheral = peripheral_scenario(100);
     group.bench_function("peripheral_threads_1", |b| {
         b.iter(|| run_fleet_with(&peripheral, 1))
+    });
+    let offload = offload_scenario(100);
+    group.bench_function("offload_heavy_threads_1", |b| {
+        b.iter(|| run_fleet_with(&offload, 1))
     });
     group.finish();
 }
@@ -149,6 +162,36 @@ fn scale_report(_c: &mut Criterion) {
          ({:.1} kJ peripheral drain, {} forced shutdowns)",
         peripheral_summary.peripheral_energy_j / 1e3,
         peripheral_summary.forced_shutdowns
+    );
+
+    // --- Offload-heavy acceptance fleet: thousands of break-even
+    // decisions against one shared backend trace, byte-identical across
+    // workers, with the economy's price and latency tail recorded.
+    let offload = offload_scenario(devices);
+    let start = Instant::now();
+    let offload_single = run_fleet_with(&offload, 1);
+    let offload_s = start.elapsed().as_secs_f64();
+    let offload_sharded = run_fleet_with(&offload, 2);
+    assert_eq!(
+        offload_single.to_json(),
+        offload_sharded.to_json(),
+        "offload fleet must be thread-count invariant"
+    );
+    let offload_summary = offload_single.summary();
+    assert!(
+        offload_summary.offload_completed > 0,
+        "the responsive backend must complete requests"
+    );
+    let offload_lat = offload_summary
+        .offload_latency_s
+        .expect("completed requests imply a latency distribution");
+    println!(
+        "fleet_scale: offload fleet {devices} devices x {HORIZON_S} s  1 thread {offload_s:.2} s \
+         ({} completed, latency p50 {:.0} ms p99 {:.0} ms, {:.1} J/request)",
+        offload_summary.offload_completed,
+        offload_lat.p50 * 1e3,
+        offload_lat.p99 * 1e3,
+        offload_summary.joules_per_request
     );
 
     // --- Steady-heavy fast-forward acceptance: small-battery fleets whose
@@ -248,6 +291,10 @@ fn scale_report(_c: &mut Criterion) {
          \"p99\": {:.3} }},\n  \"tail_power_mw_p99\": {:.3},\n  \"peripheral_fleet\": {{ \
          \"devices\": {devices}, \"mix\": \"navigator:5 screen-on:4 pollers-coop:1\", \
          \"wall_s\": {peripheral_s:.3}, \"peripheral_energy_j\": {:.1}, \"forced_shutdowns\": {}, \
+         \"reports_byte_identical\": true }},\n  \"offload_heavy\": {{ \"devices\": {devices}, \
+         \"mix\": \"offloader:8 pollers-coop:2\", \"backend_capacity\": 64, \
+         \"wall_s\": {offload_s:.3}, \"completed\": {}, \"rejected\": {}, \"timed_out\": {}, \
+         \"latency_s\": {{ \"p50\": {:.4}, \"p99\": {:.4} }}, \"joules_per_request\": {:.3}, \
          \"reports_byte_identical\": true }},\n  \"steady_heavy\": {{ \"devices\": 200, \
          \"sim_hours_per_device\": 24, \"mix\": \"pollers-coop:5 spinner:3\", \
          \"ff_wall_s\": {ff_s:.3}, \"stepped_wall_s\": {stepped_s:.3}, \
@@ -267,6 +314,12 @@ fn scale_report(_c: &mut Criterion) {
         power.p99,
         peripheral_summary.peripheral_energy_j,
         peripheral_summary.forced_shutdowns,
+        offload_summary.offload_completed,
+        offload_summary.offload_rejected,
+        offload_summary.offload_timed_out,
+        offload_lat.p50,
+        offload_lat.p99,
+        offload_summary.joules_per_request,
         million_s / million_dev_h * 1e3,
         million_s < 300.0,
     );

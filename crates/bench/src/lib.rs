@@ -36,6 +36,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig13",
         "fig14",
         "fig-quota",
+        "fig-offload",
         "table1",
         "ablation-ipc",
         "ablation-taps",
@@ -62,6 +63,7 @@ pub fn run_experiment(id: &str) -> ExperimentOutput {
         "fig13" => experiments::fig13::run(),
         "fig14" => experiments::fig14::run(),
         "fig-quota" => experiments::fig_quota::run(),
+        "fig-offload" => experiments::fig_offload::run(),
         "table1" => experiments::table1::run(),
         "ablation-ipc" => experiments::ablation_ipc::run(),
         "ablation-taps" => experiments::ablation_taps::run(),

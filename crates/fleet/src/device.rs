@@ -13,7 +13,7 @@
 //! that let the peripheral workloads (navigator, screen-on) plug in
 //! without touching this file's logic.
 
-use cinder_apps::{InstalledWorkload, WorkloadEnv};
+use cinder_apps::{InstalledWorkload, OffloadSetup, WorkloadEnv};
 use cinder_core::{quota, ResourceKind, SchedulerConfig};
 use cinder_kernel::{Kernel, KernelConfig, PeripheralKind};
 use cinder_sim::{Energy, SimDuration, SimTime};
@@ -75,6 +75,18 @@ pub struct DeviceReport {
     pub quota_remaining_bytes: i64,
     /// Sends the kernel held because the plan could not cover them.
     pub bytes_blocked_sends: u64,
+    /// `offload` syscalls that reached the backend admission check.
+    pub offload_attempts: u64,
+    /// Offload requests the backend admitted and the stack accepted.
+    pub offload_accepted: u64,
+    /// Accepted offloads whose response woke the thread in time.
+    pub offload_completed: u64,
+    /// Offloads refused up front (backend full, plan uncovered).
+    pub offload_rejected: u64,
+    /// Accepted offloads whose deadline fired before the response.
+    pub offload_timed_out: u64,
+    /// Σ observed request latency over completed offloads, µs.
+    pub offload_latency_us: u64,
 }
 
 /// Reusable per-worker buffers for [`simulate_device_with`]: a worker keeps
@@ -124,6 +136,10 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         rate_scale_ppm: spec.rate_scale_ppm,
         interval_scale_ppm: spec.interval_scale_ppm,
         data_plan_bytes: spec.data_plan.map(|p| p.bytes),
+        offload: spec.offload.map(|profile| OffloadSetup {
+            profile,
+            horizon: spec.horizon,
+        }),
     };
     let installed = workload
         .install(&mut kernel, &env)
@@ -264,6 +280,8 @@ fn extract_report(
         None => (false, spec.data_plan.map(|p| p.bytes as i64).unwrap_or(0)),
     };
 
+    let offload = kernel.offload_stats();
+
     // Projected lifetime at the observed average draw: exact-integer
     // energies, one final float division.
     let lifetime_h = if total_energy.is_positive() {
@@ -298,6 +316,12 @@ fn extract_report(
         quota_exhausted,
         quota_remaining_bytes,
         bytes_blocked_sends,
+        offload_attempts: offload.attempts,
+        offload_accepted: offload.accepted,
+        offload_completed: offload.completed,
+        offload_rejected: offload.rejected,
+        offload_timed_out: offload.timed_out,
+        offload_latency_us: offload.latency_us_sum,
     }
 }
 
@@ -317,6 +341,7 @@ mod tests {
             horizon: SimDuration::from_secs(horizon_s),
             quantum: SimDuration::from_millis(100),
             data_plan: None,
+            offload: None,
             fast_forward: true,
         }
     }
@@ -397,6 +422,40 @@ mod tests {
             r.backlight_energy_uj
         );
         assert_eq!(r.gps_energy_uj, 0);
+    }
+
+    #[test]
+    fn offloader_device_ships_work_to_the_backend() {
+        let mut spec = spec_for(Workload::Offloader, 1_800);
+        spec.offload = Some(cinder_offload::OffloadProfile {
+            capacity: 64,
+            queue_limit: 10_000,
+            ..Default::default()
+        });
+        let r = simulate_device(&spec);
+        assert!(r.ops >= 5, "items: {r:?}");
+        assert!(r.offload_completed >= 4, "completions: {r:?}");
+        assert!(r.offload_attempts >= r.offload_accepted);
+        assert!(
+            r.offload_latency_us > 0,
+            "completed offloads observed latency: {r:?}"
+        );
+        assert!(r.radio_activations >= 1, "round trips use the radio");
+        assert!(r.net_bytes > 0);
+    }
+
+    #[test]
+    fn offload_counters_conserve() {
+        // A spec without an explicit economy falls back to the workload's
+        // nominal backend; whatever mix of remote/local/timeout results,
+        // the counters must tie out at the horizon.
+        let r = simulate_device(&spec_for(Workload::Offloader, 1_200));
+        assert!(r.ops >= 3, "items: {r:?}");
+        assert!(
+            r.offload_accepted >= r.offload_completed + r.offload_timed_out,
+            "conservation: {r:?}"
+        );
+        assert!(r.offload_attempts >= r.offload_accepted + r.offload_rejected);
     }
 
     #[test]

@@ -61,6 +61,23 @@ pub struct FleetSummary {
     /// Total forced peripheral shutdowns (empty reserve → hardware down)
     /// across the fleet.
     pub forced_shutdowns: u64,
+    /// Σ `offload` syscalls across the fleet.
+    pub offload_attempts: u64,
+    /// Σ offload requests the shared backend admitted.
+    pub offload_accepted: u64,
+    /// Σ offloads completed by a backend response in time.
+    pub offload_completed: u64,
+    /// Σ offloads refused up front (backend full, plan uncovered).
+    pub offload_rejected: u64,
+    /// Σ offloads whose deadline fired before the response.
+    pub offload_timed_out: u64,
+    /// Per-device mean offload request latency distribution, seconds
+    /// (devices with at least one completed offload).
+    pub offload_latency_s: Option<Summary>,
+    /// Joules per completed offload request: total energy of the devices
+    /// that attempted offloads, divided by the fleet's completed requests
+    /// (0 when nothing completed).
+    pub joules_per_request: f64,
 }
 
 impl FleetReport {
@@ -84,6 +101,7 @@ impl FleetReport {
         let collect = |f: &dyn Fn(&DeviceReport) -> f64| -> Vec<f64> {
             self.devices.iter().map(|d| f(&d)).collect()
         };
+        let offload_completed: u64 = self.devices.iter().map(|d| d.offload_completed).sum();
         FleetSummary {
             devices: self.devices.len(),
             lifetime_h: Summary::from_values(&collect(&|d| d.lifetime_h)),
@@ -108,6 +126,29 @@ impl FleetReport {
                 .iter()
                 .map(|d| d.backlight_shutdowns + d.gps_shutdowns)
                 .sum(),
+            offload_attempts: self.devices.iter().map(|d| d.offload_attempts).sum(),
+            offload_accepted: self.devices.iter().map(|d| d.offload_accepted).sum(),
+            offload_completed,
+            offload_rejected: self.devices.iter().map(|d| d.offload_rejected).sum(),
+            offload_timed_out: self.devices.iter().map(|d| d.offload_timed_out).sum(),
+            offload_latency_s: Summary::from_values(
+                &self
+                    .devices
+                    .iter()
+                    .filter(|d| d.offload_completed > 0)
+                    .map(|d| d.offload_latency_us as f64 / d.offload_completed as f64 / 1e6)
+                    .collect::<Vec<f64>>(),
+            ),
+            joules_per_request: if offload_completed == 0 {
+                0.0
+            } else {
+                self.devices
+                    .iter()
+                    .filter(|d| d.offload_attempts > 0)
+                    .map(|d| d.total_energy_uj as f64 / 1e6)
+                    .sum::<f64>()
+                    / offload_completed as f64
+            },
         }
     }
 
@@ -146,12 +187,14 @@ impl FleetReport {
             "device,workload,battery_uj,battery_remaining_uj,total_energy_uj,cpu_energy_uj,\
              backlight_energy_uj,gps_energy_uj,backlight_shutdowns,gps_shutdowns,\
              lifetime_h,avg_power_mw,radio_activations,radio_active_s,net_bytes,ops,starved_s,\
-             debt_reserves,quota_exhausted,quota_remaining_bytes,bytes_blocked_sends\n",
+             debt_reserves,quota_exhausted,quota_remaining_bytes,bytes_blocked_sends,\
+             offload_attempts,offload_accepted,offload_completed,offload_rejected,\
+             offload_timed_out,offload_latency_us\n",
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}",
                 d.id,
                 d.workload,
                 d.battery_capacity_uj,
@@ -173,6 +216,12 @@ impl FleetReport {
                 d.quota_exhausted,
                 d.quota_remaining_bytes,
                 d.bytes_blocked_sends,
+                d.offload_attempts,
+                d.offload_accepted,
+                d.offload_completed,
+                d.offload_rejected,
+                d.offload_timed_out,
+                d.offload_latency_us,
             );
         }
         out
@@ -240,6 +289,21 @@ impl FleetReport {
             s.peripheral_energy_j
         );
         let _ = writeln!(out, "  \"forced_shutdowns\": {},", s.forced_shutdowns);
+        let _ = writeln!(out, "  \"offload_attempts\": {},", s.offload_attempts);
+        let _ = writeln!(out, "  \"offload_accepted\": {},", s.offload_accepted);
+        let _ = writeln!(out, "  \"offload_completed\": {},", s.offload_completed);
+        let _ = writeln!(out, "  \"offload_rejected\": {},", s.offload_rejected);
+        let _ = writeln!(out, "  \"offload_timed_out\": {},", s.offload_timed_out);
+        let _ = writeln!(
+            out,
+            "  \"offload_latency_s\": {},",
+            summary_json(&s.offload_latency_s)
+        );
+        let _ = writeln!(
+            out,
+            "  \"joules_per_request\": {:.6},",
+            s.joules_per_request
+        );
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -294,6 +358,12 @@ mod tests {
             quota_exhausted: id == 1,
             quota_remaining_bytes: 0,
             bytes_blocked_sends: u64::from(id == 1) * 3,
+            offload_attempts: id * 2,
+            offload_accepted: id,
+            offload_completed: id / 2,
+            offload_rejected: id,
+            offload_timed_out: id - id / 2,
+            offload_latency_us: id / 2 * 600_000,
         }
     }
 
@@ -326,6 +396,17 @@ mod tests {
         // 2.5 MJ over 3600 s ≈ 694.4 mW for every device.
         let power = s.avg_power_mw.unwrap();
         assert!((power.mean - 694.444).abs() < 0.01, "{}", power.mean);
+        // Offload totals: Σ 2id, Σ id, Σ id/2 over ids 0..10.
+        assert_eq!(s.offload_attempts, 90);
+        assert_eq!(s.offload_accepted, 45);
+        assert_eq!(s.offload_completed, 20);
+        assert_eq!(s.offload_rejected, 45);
+        assert_eq!(s.offload_timed_out, 25);
+        // Every completing device's mean latency is exactly 0.6 s.
+        let lat = s.offload_latency_s.unwrap();
+        assert!((lat.mean - 0.6).abs() < 1e-9, "{}", lat.mean);
+        // 9 offloading devices × 2500 J over 20 completions.
+        assert!((s.joules_per_request - 9.0 * 2_500.0 / 20.0).abs() < 1e-6);
     }
 
     #[test]

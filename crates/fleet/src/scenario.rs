@@ -9,9 +9,10 @@
 //! [`SimRng::split`] stream — adding a device never perturbs its siblings.
 
 use cinder_apps::{
-    BrowserWorkload, GalleryWorkload, NavigatorWorkload, PollersWorkload, ScreenOnWorkload,
-    SpinnerWorkload, WorkloadProgram,
+    BrowserWorkload, GalleryWorkload, NavigatorWorkload, OffloaderWorkload, PollersWorkload,
+    ScreenOnWorkload, SpinnerWorkload, WorkloadProgram,
 };
+use cinder_offload::OffloadProfile;
 use cinder_sim::{Energy, SimDuration, SimRng};
 
 /// Which application study a device runs.
@@ -40,12 +41,15 @@ pub enum Workload {
     /// Backlit browsing sessions under a reserve, dimming on a sagging
     /// level and forced dark on an empty one.
     ScreenOn,
+    /// The cloud-offload client: periodic work items priced local-vs-remote
+    /// by the break-even policy against the scenario's shared backend.
+    Offloader,
 }
 
 impl Workload {
     /// Every workload, in tag order — the domain [`Workload::from_tag`]
     /// inverts over.
-    pub const ALL: [Workload; 8] = [
+    pub const ALL: [Workload; 9] = [
         Workload::Pollers { coop: true },
         Workload::Pollers { coop: false },
         Workload::Browser,
@@ -54,6 +58,7 @@ impl Workload {
         Workload::Spinner,
         Workload::Navigator,
         Workload::ScreenOn,
+        Workload::Offloader,
     ];
 
     /// A short stable tag for CSV columns and logs.
@@ -67,6 +72,7 @@ impl Workload {
             Workload::Spinner => "spinner",
             Workload::Navigator => "navigator",
             Workload::ScreenOn => "screen-on",
+            Workload::Offloader => "offloader",
         }
     }
 
@@ -83,6 +89,7 @@ impl Workload {
             "spinner" => Some(Workload::Spinner),
             "navigator" => Some(Workload::Navigator),
             "screen-on" => Some(Workload::ScreenOn),
+            "offloader" => Some(Workload::Offloader),
             _ => None,
         }
     }
@@ -97,6 +104,7 @@ impl Workload {
             Workload::Spinner => Box::new(SpinnerWorkload),
             Workload::Navigator => Box::new(NavigatorWorkload),
             Workload::ScreenOn => Box::new(ScreenOnWorkload),
+            Workload::Offloader => Box::new(OffloaderWorkload),
         }
     }
 }
@@ -138,6 +146,13 @@ pub struct Scenario {
     pub quantum: SimDuration,
     /// Optional §9 data-plan quota carried by poller devices.
     pub data_plan: Option<DataPlan>,
+    /// Shared-backend offload economy, if the scenario runs one. Every
+    /// offloader device rebuilds the identical backend trace from this
+    /// profile and the horizon — the backend is configuration, not
+    /// runtime state, which is what keeps offload-heavy fleets
+    /// byte-identical for any worker count and lets checkpoints skip
+    /// backend serialisation entirely.
+    pub offload: Option<OffloadProfile>,
 }
 
 /// One device, fully specified: plain data, cheap to ship to a worker
@@ -163,6 +178,8 @@ pub struct DeviceSpec {
     pub quantum: SimDuration,
     /// Data plan, if the scenario carries one.
     pub data_plan: Option<DataPlan>,
+    /// Offload economy, if the scenario carries one.
+    pub offload: Option<OffloadProfile>,
     /// Enable the kernel's frozen fast-forward
     /// ([`cinder_kernel::KernelConfig::fast_forward`]): bit-exact
     /// closed-form advance through drained steady states. Fleet scenarios
@@ -192,6 +209,7 @@ impl Scenario {
             jitter_ppm: 100_000, // ±10 %
             quantum: SimDuration::from_millis(100),
             data_plan: None,
+            offload: None,
         }
     }
 
@@ -209,7 +227,27 @@ impl Scenario {
                 (Workload::Spinner, 1),
                 (Workload::Navigator, 2),
                 (Workload::ScreenOn, 1),
+                (Workload::Offloader, 1),
             ],
+            offload: Some(OffloadProfile::default()),
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
+    /// The offload-economy study: a fleet that is mostly cloud-offload
+    /// clients hammering one shared backend of `capacity` servers, with a
+    /// few cooperative pollers for background radio traffic. `fig_offload`
+    /// sweeps `capacity` to expose the saturation feedback loop.
+    pub fn offload_heavy(name: &str, seed: u64, devices: u32, capacity: u32) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::Offloader, 8),
+                (Workload::Pollers { coop: true }, 2),
+            ],
+            offload: Some(OffloadProfile {
+                capacity,
+                ..OffloadProfile::default()
+            }),
             ..Scenario::mixed(name, seed, devices)
         }
     }
@@ -333,6 +371,7 @@ impl Scenario {
             horizon: self.horizon,
             quantum: self.quantum,
             data_plan: self.data_plan,
+            offload: self.offload,
             fast_forward: true,
         }
     }
@@ -374,7 +413,8 @@ mod tests {
     /// by a report resolves back to the workload that produced it.
     #[test]
     fn all_scenario_covers_every_tag() {
-        let s = Scenario::all_workloads("cover", 1, 10);
+        // One full round-robin block of the mixture (total weight 11).
+        let s = Scenario::all_workloads("cover", 1, 11);
         let tags: std::collections::BTreeSet<&str> =
             s.specs().iter().map(|d| d.workload.tag()).collect();
         assert_eq!(tags.len(), Workload::ALL.len(), "tags: {tags:?}");

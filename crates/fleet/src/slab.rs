@@ -37,6 +37,12 @@ pub struct ReportSlab {
     quota_exhausted: Vec<bool>,
     quota_remaining_bytes: Vec<i64>,
     bytes_blocked_sends: Vec<u64>,
+    offload_attempts: Vec<u64>,
+    offload_accepted: Vec<u64>,
+    offload_completed: Vec<u64>,
+    offload_rejected: Vec<u64>,
+    offload_timed_out: Vec<u64>,
+    offload_latency_us: Vec<u64>,
 }
 
 impl ReportSlab {
@@ -68,6 +74,12 @@ impl ReportSlab {
             quota_exhausted: vec![false; n],
             quota_remaining_bytes: vec![0; n],
             bytes_blocked_sends: vec![0; n],
+            offload_attempts: vec![0; n],
+            offload_accepted: vec![0; n],
+            offload_completed: vec![0; n],
+            offload_rejected: vec![0; n],
+            offload_timed_out: vec![0; n],
+            offload_latency_us: vec![0; n],
         }
     }
 
@@ -107,6 +119,12 @@ impl ReportSlab {
         self.quota_exhausted[i] = report.quota_exhausted;
         self.quota_remaining_bytes[i] = report.quota_remaining_bytes;
         self.bytes_blocked_sends[i] = report.bytes_blocked_sends;
+        self.offload_attempts[i] = report.offload_attempts;
+        self.offload_accepted[i] = report.offload_accepted;
+        self.offload_completed[i] = report.offload_completed;
+        self.offload_rejected[i] = report.offload_rejected;
+        self.offload_timed_out[i] = report.offload_timed_out;
+        self.offload_latency_us[i] = report.offload_latency_us;
     }
 
     /// Appends `report` as the next row.
@@ -131,6 +149,12 @@ impl ReportSlab {
         self.quota_remaining_bytes
             .push(report.quota_remaining_bytes);
         self.bytes_blocked_sends.push(report.bytes_blocked_sends);
+        self.offload_attempts.push(report.offload_attempts);
+        self.offload_accepted.push(report.offload_accepted);
+        self.offload_completed.push(report.offload_completed);
+        self.offload_rejected.push(report.offload_rejected);
+        self.offload_timed_out.push(report.offload_timed_out);
+        self.offload_latency_us.push(report.offload_latency_us);
     }
 
     /// Materialises row `i` as a [`DeviceReport`] (the row index is the
@@ -161,6 +185,12 @@ impl ReportSlab {
             quota_exhausted: self.quota_exhausted[i],
             quota_remaining_bytes: self.quota_remaining_bytes[i],
             bytes_blocked_sends: self.bytes_blocked_sends[i],
+            offload_attempts: self.offload_attempts[i],
+            offload_accepted: self.offload_accepted[i],
+            offload_completed: self.offload_completed[i],
+            offload_rejected: self.offload_rejected[i],
+            offload_timed_out: self.offload_timed_out[i],
+            offload_latency_us: self.offload_latency_us[i],
         }
     }
 
@@ -221,6 +251,12 @@ mod tests {
             quota_exhausted: true,
             quota_remaining_bytes: -16,
             bytes_blocked_sends: 17,
+            offload_attempts: 18,
+            offload_accepted: 19,
+            offload_completed: 20,
+            offload_rejected: 21,
+            offload_timed_out: 22,
+            offload_latency_us: 23,
         }
     }
 

@@ -249,6 +249,21 @@ pub struct StreamSummary {
     devices_in_debt: u64,
     /// Σ forced peripheral shutdowns.
     forced_shutdowns: u128,
+    /// Σ `offload` syscalls.
+    offload_attempts: u128,
+    /// Σ offload requests the shared backend admitted.
+    offload_accepted: u128,
+    /// Σ offloads completed by a backend response in time.
+    offload_completed: u128,
+    /// Σ offloads refused up front.
+    offload_rejected: u128,
+    /// Σ offloads whose deadline fired before the response.
+    offload_timed_out: u128,
+    /// Σ observed request latency over completed offloads, µs.
+    offload_latency_us: u128,
+    /// Σ total_energy_uj over devices that attempted offloads (the
+    /// joules-per-request numerator).
+    offload_energy_uj: i128,
     /// Projected lifetime distribution, hours.
     pub lifetime_h: Channel,
     /// Average platform power distribution, milliwatts.
@@ -257,6 +272,9 @@ pub struct StreamSummary {
     pub radio_activations: Channel,
     /// Starvation time distribution, seconds.
     pub starved_s: Channel,
+    /// Per-device mean offload request latency, seconds (devices with at
+    /// least one completed offload).
+    pub offload_latency_s: Channel,
 }
 
 impl StreamSummary {
@@ -277,6 +295,13 @@ impl StreamSummary {
             bytes_blocked_sends: 0,
             devices_in_debt: 0,
             forced_shutdowns: 0,
+            offload_attempts: 0,
+            offload_accepted: 0,
+            offload_completed: 0,
+            offload_rejected: 0,
+            offload_timed_out: 0,
+            offload_latency_us: 0,
+            offload_energy_uj: 0,
             // µh fixed point: exact to a microhour per device.
             lifetime_h: Channel::new(1e6, 0.0, 1_000.0),
             avg_power_mw: Channel::new(1e6, 0.0, 5_000.0),
@@ -284,6 +309,9 @@ impl StreamSummary {
             // starved_s is integer µs rendered as seconds, so the 1e6
             // fixed point recovers the original integer exactly.
             starved_s: Channel::new(1e6, 0.0, horizon.as_secs_f64()),
+            // Mean request latencies live well under a minute; the exact
+            // min/max still bracket any outlier past the clamp.
+            offload_latency_s: Channel::new(1e6, 0.0, 60.0),
         }
     }
 
@@ -296,6 +324,19 @@ impl StreamSummary {
         self.bytes_blocked_sends += u128::from(d.bytes_blocked_sends);
         self.devices_in_debt += u64::from(d.debt_reserves > 0);
         self.forced_shutdowns += u128::from(d.backlight_shutdowns + d.gps_shutdowns);
+        self.offload_attempts += u128::from(d.offload_attempts);
+        self.offload_accepted += u128::from(d.offload_accepted);
+        self.offload_completed += u128::from(d.offload_completed);
+        self.offload_rejected += u128::from(d.offload_rejected);
+        self.offload_timed_out += u128::from(d.offload_timed_out);
+        self.offload_latency_us += u128::from(d.offload_latency_us);
+        if d.offload_attempts > 0 {
+            self.offload_energy_uj += d.total_energy_uj as i128;
+        }
+        if d.offload_completed > 0 {
+            self.offload_latency_s
+                .observe(d.offload_latency_us as f64 / d.offload_completed as f64 / 1e6);
+        }
         self.lifetime_h.observe(d.lifetime_h);
         self.avg_power_mw
             .observe(d.total_energy_uj as f64 / self.horizon.as_secs_f64() / 1_000.0);
@@ -313,10 +354,18 @@ impl StreamSummary {
         self.bytes_blocked_sends += other.bytes_blocked_sends;
         self.devices_in_debt += other.devices_in_debt;
         self.forced_shutdowns += other.forced_shutdowns;
+        self.offload_attempts += other.offload_attempts;
+        self.offload_accepted += other.offload_accepted;
+        self.offload_completed += other.offload_completed;
+        self.offload_rejected += other.offload_rejected;
+        self.offload_timed_out += other.offload_timed_out;
+        self.offload_latency_us += other.offload_latency_us;
+        self.offload_energy_uj += other.offload_energy_uj;
         self.lifetime_h.merge(&other.lifetime_h);
         self.avg_power_mw.merge(&other.avg_power_mw);
         self.radio_activations.merge(&other.radio_activations);
         self.starved_s.merge(&other.starved_s);
+        self.offload_latency_s.merge(&other.offload_latency_s);
     }
 
     /// Total fleet energy in joules (exact integer total, descaled once).
@@ -349,12 +398,43 @@ impl StreamSummary {
         self.forced_shutdowns
     }
 
-    fn channels(&self) -> [(&'static str, &Channel); 4] {
+    /// Σ `offload` syscalls across the fleet.
+    pub fn offload_attempts(&self) -> u128 {
+        self.offload_attempts
+    }
+
+    /// Σ offloads completed by a backend response in time.
+    pub fn offload_completed(&self) -> u128 {
+        self.offload_completed
+    }
+
+    /// Σ offloads refused up front.
+    pub fn offload_rejected(&self) -> u128 {
+        self.offload_rejected
+    }
+
+    /// Σ offloads whose deadline fired before the response.
+    pub fn offload_timed_out(&self) -> u128 {
+        self.offload_timed_out
+    }
+
+    /// Joules per completed offload request (exact integer totals,
+    /// descaled once; 0 when nothing completed).
+    pub fn joules_per_request(&self) -> f64 {
+        if self.offload_completed == 0 {
+            0.0
+        } else {
+            self.offload_energy_uj as f64 / 1e6 / self.offload_completed as f64
+        }
+    }
+
+    fn channels(&self) -> [(&'static str, &Channel); 5] {
         [
             ("lifetime_h", &self.lifetime_h),
             ("avg_power_mw", &self.avg_power_mw),
             ("radio_activations", &self.radio_activations),
             ("starved_s", &self.starved_s),
+            ("offload_latency_s", &self.offload_latency_s),
         ]
     }
 
@@ -367,6 +447,13 @@ impl StreamSummary {
         let _ = writeln!(out, "bytes_blocked_sends {}", self.bytes_blocked_sends);
         let _ = writeln!(out, "devices_in_debt {}", self.devices_in_debt);
         let _ = writeln!(out, "forced_shutdowns {}", self.forced_shutdowns);
+        let _ = writeln!(out, "offload_attempts {}", self.offload_attempts);
+        let _ = writeln!(out, "offload_accepted {}", self.offload_accepted);
+        let _ = writeln!(out, "offload_completed {}", self.offload_completed);
+        let _ = writeln!(out, "offload_rejected {}", self.offload_rejected);
+        let _ = writeln!(out, "offload_timed_out {}", self.offload_timed_out);
+        let _ = writeln!(out, "offload_latency_us {}", self.offload_latency_us);
+        let _ = writeln!(out, "offload_energy_uj {}", self.offload_energy_uj);
         for (name, ch) in self.channels() {
             ch.write_text(name, out);
         }
@@ -426,6 +513,21 @@ impl StreamReport {
             s.peripheral_energy_uj as f64 / 1e6
         );
         let _ = writeln!(out, "  \"forced_shutdowns\": {},", s.forced_shutdowns);
+        let _ = writeln!(out, "  \"offload_attempts\": {},", s.offload_attempts);
+        let _ = writeln!(out, "  \"offload_accepted\": {},", s.offload_accepted);
+        let _ = writeln!(out, "  \"offload_completed\": {},", s.offload_completed);
+        let _ = writeln!(out, "  \"offload_rejected\": {},", s.offload_rejected);
+        let _ = writeln!(out, "  \"offload_timed_out\": {},", s.offload_timed_out);
+        let _ = writeln!(
+            out,
+            "  \"offload_latency_s\": {},",
+            summary_json(&s.offload_latency_s.summary())
+        );
+        let _ = writeln!(
+            out,
+            "  \"joules_per_request\": {:.6},",
+            s.joules_per_request()
+        );
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -468,7 +570,7 @@ impl FleetCheckpoint {
     /// Deterministic text serialisation. Floats travel as `f64::to_bits`
     /// hex, so `from_text(to_text(cp)) == cp` bit-for-bit.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("cinder-fleet-checkpoint v1\n");
+        let mut out = String::from("cinder-fleet-checkpoint v2\n");
         let _ = writeln!(out, "scenario {}", json_string(&self.scenario));
         let _ = writeln!(out, "seed {}", self.seed);
         let _ = writeln!(out, "fleet_devices {}", self.fleet_devices);
@@ -481,8 +583,8 @@ impl FleetCheckpoint {
     /// Parses [`FleetCheckpoint::to_text`] output.
     pub fn from_text(text: &str) -> Result<FleetCheckpoint, String> {
         let mut lines = text.lines();
-        if lines.next() != Some("cinder-fleet-checkpoint v1") {
-            return Err("not a cinder-fleet-checkpoint v1".into());
+        if lines.next() != Some("cinder-fleet-checkpoint v2") {
+            return Err("not a cinder-fleet-checkpoint v2".into());
         }
         let mut field = |key: &str| -> Result<String, String> {
             let line = lines.next().ok_or_else(|| format!("missing {key}"))?;
@@ -505,11 +607,19 @@ impl FleetCheckpoint {
         summary.bytes_blocked_sends = parse_num(&field("bytes_blocked_sends")?)?;
         summary.devices_in_debt = parse_num(&field("devices_in_debt")?)?;
         summary.forced_shutdowns = parse_num(&field("forced_shutdowns")?)?;
+        summary.offload_attempts = parse_num(&field("offload_attempts")?)?;
+        summary.offload_accepted = parse_num(&field("offload_accepted")?)?;
+        summary.offload_completed = parse_num(&field("offload_completed")?)?;
+        summary.offload_rejected = parse_num(&field("offload_rejected")?)?;
+        summary.offload_timed_out = parse_num(&field("offload_timed_out")?)?;
+        summary.offload_latency_us = parse_num(&field("offload_latency_us")?)?;
+        summary.offload_energy_uj = parse_num(&field("offload_energy_uj")?)?;
         for name in [
             "lifetime_h",
             "avg_power_mw",
             "radio_activations",
             "starved_s",
+            "offload_latency_s",
         ] {
             let header = field("channel")?;
             if header != name {
@@ -538,7 +648,8 @@ impl FleetCheckpoint {
                 "lifetime_h" => summary.lifetime_h = ch,
                 "avg_power_mw" => summary.avg_power_mw = ch,
                 "radio_activations" => summary.radio_activations = ch,
-                _ => summary.starved_s = ch,
+                "starved_s" => summary.starved_s = ch,
+                _ => summary.offload_latency_s = ch,
             }
         }
         if lines.next() != Some("end") {
@@ -802,6 +913,7 @@ mod tests {
     fn from_text_rejects_garbage() {
         assert!(FleetCheckpoint::from_text("").is_err());
         assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v1\nnope").is_err());
+        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v2\nnope").is_err());
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum KernelError {
     },
     /// No network stack is installed.
     NoNetwork,
+    /// No offload backend is installed.
+    NoOffload,
     /// No laptop NIC is configured on this platform.
     NoLaptopNic,
     /// The thread has no active reserve of the required kind (e.g.
@@ -61,6 +63,7 @@ impl fmt::Display for KernelError {
             KernelError::NoSuchThread => write!(f, "no such thread"),
             KernelError::Denied { op } => write!(f, "permission denied: {op}"),
             KernelError::NoNetwork => write!(f, "no network stack installed"),
+            KernelError::NoOffload => write!(f, "no offload backend installed"),
             KernelError::NoLaptopNic => write!(f, "no laptop NIC on this platform"),
             KernelError::NoReserveForKind { kind } => {
                 write!(f, "thread has no active {kind} reserve")

@@ -32,6 +32,9 @@ use cinder_sim::{
 use crate::errors::KernelError;
 use crate::netstack::{NetEnv, NetStack, RxDelivery, SendRequest, SendVerdict};
 use crate::object::{Body, KObject, ObjectId};
+use crate::offload::{
+    OffloadBackend, OffloadOutcome, OffloadRequest, OffloadStats, OffloadStatus, OffloadVerdict,
+};
 use crate::peripheral::{PeripheralKind, PeripheralSlot};
 use crate::program::{NetSendStatus, Program, Step};
 
@@ -124,12 +127,20 @@ enum KernelEvent {
     Wake(ThreadId),
     /// Deliver received bytes: extends the radio episode and debits the
     /// billed energy reserve (and the data plan's bytes) after the fact.
+    /// `wakes` marks an offload response: delivery also wakes the thread
+    /// blocked in the `offload` syscall (plain replies never wake).
     Rx {
         thread: ThreadId,
         bytes: u64,
         bill: Option<ReserveId>,
         bill_bytes: Option<ReserveId>,
+        wakes: bool,
     },
+    /// An offload deadline: if the thread is still waiting on the response
+    /// for offload `seq`, give up and wake it with
+    /// [`OffloadOutcome::TimedOut`]. Stale deadlines (the response already
+    /// landed, or the thread moved on to a later offload) are ignored.
+    OffloadDeadline { thread: ThreadId, seq: u64 },
 }
 
 /// A send the kernel is holding back because the thread's `NetworkBytes`
@@ -140,6 +151,16 @@ enum KernelEvent {
 struct PendingSend {
     tx_bytes: u64,
     rx_bytes: u64,
+}
+
+/// An offload in flight: the thread is blocked until the response delivery
+/// (an `Rx` event with `wakes`) or the deadline event, whichever fires
+/// first. `seq` disambiguates stale deadline events from a thread's later
+/// offloads.
+#[derive(Debug, Clone, Copy)]
+struct PendingOffload {
+    started_at: SimTime,
+    seq: u64,
 }
 
 struct ThreadState {
@@ -157,6 +178,12 @@ struct ThreadState {
     /// How many sends have blocked on bytes — the §9 telemetry that makes
     /// blocked-on-bytes observably distinct from blocked-on-energy.
     bytes_blocked_sends: u64,
+    /// The offload this thread is blocked on, if any.
+    pending_offload: Option<PendingOffload>,
+    /// How the last offload ended, for `offload_take_result` on wake.
+    offload_result: Option<OffloadOutcome>,
+    /// Offloads this thread has started (sequences stale deadline events).
+    offload_seq: u64,
     exited: bool,
 }
 
@@ -200,6 +227,17 @@ pub struct Kernel {
     /// Whether the flow tick grid is a refinement of the quantum grid
     /// (fixed at boot; hoisted out of the per-quantum poll path).
     net_poll_snappable: bool,
+    /// The offload backend, if one is installed (absent on the baseline
+    /// devices — the subsystem is pay-for-what-you-use).
+    offload: Option<Box<dyn OffloadBackend>>,
+    /// Threads currently blocked on an offload response — the O(1) guard
+    /// the fast-forward paths consult: a waiter's wake is always a queued
+    /// event (response delivery or deadline), so a non-empty count with an
+    /// empty event queue is an invariant violation the steadiness probe
+    /// refuses to certify over.
+    offload_waiters: usize,
+    /// Kernel-wide offload telemetry.
+    offload_stats: OffloadStats,
 }
 
 impl Kernel {
@@ -256,6 +294,9 @@ impl Kernel {
             net: None,
             last_net_poll: None,
             net_poll_snappable,
+            offload: None,
+            offload_waiters: 0,
+            offload_stats: OffloadStats::default(),
             now: SimTime::ZERO,
             config,
         }
@@ -363,6 +404,21 @@ impl Kernel {
     /// The installed stack's pool reserve, if any (Fig 14).
     pub fn net_pool_reserve(&self) -> Option<ReserveId> {
         self.net.as_ref().and_then(|n| n.pool_reserve())
+    }
+
+    /// Installs the offload backend the `offload` syscall consults.
+    pub fn install_offload(&mut self, backend: Box<dyn OffloadBackend>) {
+        self.offload = Some(backend);
+    }
+
+    /// Whether an offload backend is installed.
+    pub fn has_offload(&self) -> bool {
+        self.offload.is_some()
+    }
+
+    /// Kernel-wide offload telemetry.
+    pub fn offload_stats(&self) -> OffloadStats {
+        self.offload_stats
     }
 
     /// Installs a §9 data plan: creates the graph's `NetworkBytes` root
@@ -837,14 +893,24 @@ impl Kernel {
             Body::Thread { thread } => {
                 let thread = *thread;
                 let mut cleared = false;
+                let mut offload_cleared = false;
                 let mut task = None;
                 if let Some(st) = self.thread_mut(thread) {
                     st.exited = true;
                     cleared = st.pending_send.take().is_some();
+                    offload_cleared = st.pending_offload.take().is_some();
                     task = Some(st.task);
                 }
                 if cleared {
                     self.byte_waiters -= 1;
+                }
+                if offload_cleared {
+                    // An abandoned offload counts as timed out: the remote
+                    // work (if any) benefits no one, and the stats stay
+                    // conserved (accepted = completed + timed_out +
+                    // in-flight).
+                    self.offload_waiters -= 1;
+                    self.offload_stats.timed_out += 1;
                 }
                 if let Some(task) = task {
                     self.sched.set_state(task, TaskState::Exited);
@@ -885,6 +951,9 @@ impl Kernel {
             msg_inbox: VecDeque::new(),
             pending_send: None,
             bytes_blocked_sends: 0,
+            pending_offload: None,
+            offload_result: None,
+            offload_seq: 0,
             exited: false,
         });
         // Threads are kernel objects too.
@@ -1001,15 +1070,22 @@ impl Kernel {
     /// it had blocked on bytes dies with it.
     pub fn kill(&mut self, tid: ThreadId) {
         let mut cleared = false;
+        let mut offload_cleared = false;
         let mut task = None;
         if let Some(st) = self.thread_mut(tid) {
             st.exited = true;
             st.program = None;
             cleared = st.pending_send.take().is_some();
+            offload_cleared = st.pending_offload.take().is_some();
             task = Some(st.task);
         }
         if cleared {
             self.byte_waiters -= 1;
+        }
+        if offload_cleared {
+            // Abandoned = timed out (see `unlink_recursive`).
+            self.offload_waiters -= 1;
+            self.offload_stats.timed_out += 1;
         }
         if let Some(task) = task {
             self.sched.set_state(task, TaskState::Exited);
@@ -1119,6 +1195,13 @@ impl Kernel {
                 return;
             }
         }
+        // An offload waiter's wake is always a queued event — the response
+        // delivery or the deadline — so `events.peek_time()` below bounds
+        // the jump. An empty event queue with waiters outstanding would
+        // strand a blocked thread; refuse to skip rather than trust it.
+        if self.offload_waiters > 0 && self.events.peek_time().is_none() {
+            return;
+        }
         let mut wake = end;
         if let Some(t) = self.events.peek_time() {
             wake = wake.min(t);
@@ -1210,6 +1293,11 @@ impl Kernel {
                 return false;
             }
         }
+        // Same offload-waiter invariant as `skip_idle_quanta`: a waiter's
+        // wake must be a queued event for the jump bound to see it.
+        if self.offload_waiters > 0 && self.events.peek_time().is_none() {
+            return false;
+        }
         let mut wake = end;
         if let Some(t) = self.events.peek_time() {
             wake = wake.min(t);
@@ -1295,6 +1383,15 @@ impl Kernel {
             if pinned {
                 return None;
             }
+        }
+        // Offload clause: a thread blocked in the `offload` syscall wakes
+        // on its response delivery or its deadline, both queued events, so
+        // the event bound below already lands the probe on the right
+        // boundary. If waiters are outstanding with *no* event queued the
+        // wake-schedulability invariant is broken — never certify a span
+        // over a thread that cannot be woken.
+        if self.offload_waiters > 0 && self.events.peek_time().is_none() {
+            return None;
         }
         let mut wake = horizon;
         if let Some(t) = self.events.peek_time() {
@@ -1386,6 +1483,7 @@ impl Kernel {
                     bytes,
                     bill,
                     bill_bytes,
+                    wakes,
                 } => {
                     if self.arm9.radio().is_active() {
                         if let Ok(Arm9Response::Radio(out)) =
@@ -1411,7 +1509,50 @@ impl Kernel {
                             quota::bytes(bytes),
                         );
                     }
-                    let _ = thread; // delivery does not wake the thread
+                    if wakes {
+                        // An offload response. If the thread is still
+                        // waiting, record the outcome and wake it; if its
+                        // deadline already fired (or it died), the bytes
+                        // above were still billed — a late response costs
+                        // what it costs — but nobody wakes.
+                        let mut resolved = None;
+                        if let Some(st) = self.thread_mut(thread) {
+                            if let Some(pending) = st.pending_offload.take() {
+                                let latency = t.since(pending.started_at);
+                                st.offload_result = Some(OffloadOutcome::Completed { latency });
+                                resolved = Some((latency, (!st.exited).then_some(st.task)));
+                            }
+                        }
+                        if let Some((latency, wake)) = resolved {
+                            self.offload_waiters -= 1;
+                            self.offload_stats.completed += 1;
+                            self.offload_stats.latency_us_sum += latency.as_micros();
+                            if let Some(task) = wake {
+                                self.sched.set_state(task, TaskState::Ready);
+                            }
+                        }
+                    }
+                    // Plain deliveries do not wake the thread.
+                }
+                KernelEvent::OffloadDeadline { thread, seq } => {
+                    let mut expired = None;
+                    if let Some(st) = self.thread_mut(thread) {
+                        // `seq` disambiguates: a stale deadline from an
+                        // earlier, already-resolved offload must not cancel
+                        // a newer in-flight one.
+                        if st.pending_offload.as_ref().is_some_and(|p| p.seq == seq) {
+                            st.pending_offload = None;
+                            st.offload_result = Some(OffloadOutcome::TimedOut);
+                            expired = Some((!st.exited).then_some(st.task));
+                        }
+                    }
+                    if let Some(wake) = expired {
+                        self.offload_waiters -= 1;
+                        self.offload_stats.timed_out += 1;
+                        if let Some(task) = wake {
+                            self.sched.set_state(task, TaskState::Ready);
+                        }
+                    }
                 }
             }
         }
@@ -1476,7 +1617,11 @@ impl Kernel {
             let mut wake = None;
             if let Some(st) = self.thread_mut(tid) {
                 st.net_result = Some(NetSendStatus::Sent);
-                if !st.exited {
+                // An offloading thread whose pooled send just reached the
+                // radio is still waiting on the *response*: record that the
+                // send went out, but leave the thread blocked until the Rx
+                // delivery (or its deadline) wakes it.
+                if !st.exited && st.pending_offload.is_none() {
                     wake = Some(st.task);
                 }
             }
@@ -1495,6 +1640,7 @@ impl Kernel {
                     bytes: rx.bytes,
                     bill: rx.bill,
                     bill_bytes: rx.bill_bytes,
+                    wakes: rx.wakes,
                 },
             );
         }
@@ -1580,6 +1726,8 @@ impl Kernel {
                 byte_reserve: Some(plan),
                 tx_bytes: pending.tx_bytes,
                 rx_bytes: pending.rx_bytes,
+                extra_delay: SimDuration::ZERO,
+                wakes: false,
             };
             match self.submit_to_stack(t, req) {
                 Ok(SendVerdict::Sent) => {
@@ -1690,8 +1838,14 @@ impl Kernel {
                 Step::Exit => {
                     st.exited = true;
                     st.program = None;
+                    let offload_cleared = st.pending_offload.take().is_some();
                     if st.pending_send.take().is_some() {
                         self.byte_waiters -= 1;
+                    }
+                    if offload_cleared {
+                        // Abandoned = timed out (see `unlink_recursive`).
+                        self.offload_waiters -= 1;
+                        self.offload_stats.timed_out += 1;
                     }
                     self.sched.set_state(task, TaskState::Exited);
                     return;
@@ -1963,6 +2117,8 @@ impl Ctx<'_> {
             byte_reserve,
             tx_bytes,
             rx_bytes,
+            extra_delay: SimDuration::ZERO,
+            wakes: false,
         };
         let now = self.kernel.now;
         Ok(match self.kernel.submit_to_stack(now, req)? {
@@ -1993,6 +2149,131 @@ impl Ctx<'_> {
             .kernel
             .graph
             .consume_typed(&actor, reserve, Quantity::sms_messages(messages))?)
+    }
+
+    // ----- offload -----------------------------------------------------------
+
+    /// Ships a work item to the installed offload backend: the request and
+    /// response bytes travel over the network stack (billed exactly like
+    /// [`Ctx::net_send`] traffic — radio energy through the episode
+    /// machinery, bytes against the data plan), and the thread blocks until
+    /// the response lands or `req.deadline` expires.
+    ///
+    /// Fails fast into local execution ([`OffloadStatus::Rejected`], with
+    /// nothing billed) when the data plan cannot cover the round trip or
+    /// the backend's queue is full. On [`OffloadStatus::Sent`] the program
+    /// returns [`Step::Block`] and, on wake, reads the
+    /// [`OffloadOutcome`] via [`Ctx::offload_take_result`] — `Completed`
+    /// means the remote result arrived in time, `TimedOut` means the
+    /// deadline fired first and the caller should compute locally (the
+    /// late response still bills its bytes on delivery, but wakes no one).
+    ///
+    /// A send the stack *queues* (netd pooling energy for a radio
+    /// power-up) still counts as sent: the thread waits for the response
+    /// with the deadline bounding the wait, exactly as if the transmit had
+    /// happened immediately.
+    pub fn offload(&mut self, req: OffloadRequest) -> Result<OffloadStatus, KernelError> {
+        if self.kernel.offload.is_none() {
+            return Err(KernelError::NoOffload);
+        }
+        if self.kernel.net.is_none() {
+            return Err(KernelError::NoNetwork);
+        }
+        self.kernel.offload_stats.attempts += 1;
+        let reserve = self.active_reserve();
+        let byte_reserve = self.active_reserve_kind(ResourceKind::NetworkBytes);
+        // Unlike net_send, an uncovered offload does not block on bytes:
+        // the caller wants an answer by a deadline, so an exhausted plan
+        // means compute locally, now.
+        if let Some(plan) = byte_reserve {
+            if !self.kernel.plan_covers(plan, req.tx_bytes, req.rx_bytes) {
+                self.kernel.offload_stats.rejected += 1;
+                return Ok(OffloadStatus::Rejected);
+            }
+        }
+        let now = self.kernel.now;
+        let mut backend = self.kernel.offload.take().expect("checked above");
+        let verdict = backend.admit(now, &req);
+        self.kernel.offload = Some(backend);
+        let response_delay = match verdict {
+            OffloadVerdict::Admitted { response_delay } => response_delay,
+            OffloadVerdict::Rejected => {
+                self.kernel.offload_stats.rejected += 1;
+                return Ok(OffloadStatus::Rejected);
+            }
+        };
+        let send = SendRequest {
+            thread: self.tid,
+            reserve,
+            byte_reserve,
+            tx_bytes: req.tx_bytes,
+            rx_bytes: req.rx_bytes,
+            extra_delay: response_delay,
+            wakes: true,
+        };
+        // Sent and Blocked both leave the thread waiting on the response;
+        // a pooled send goes out when netd's pool fills (the poll's wake
+        // records net_result without readying an offload waiter), and the
+        // deadline event bounds the wait either way.
+        let _ = self.kernel.submit_to_stack(now, send)?;
+        let st = self
+            .kernel
+            .thread_mut(self.tid)
+            .ok_or(KernelError::NoSuchThread)?;
+        st.offload_seq += 1;
+        let seq = st.offload_seq;
+        st.pending_offload = Some(PendingOffload {
+            started_at: now,
+            seq,
+        });
+        st.offload_result = None;
+        self.kernel.offload_waiters += 1;
+        self.kernel.offload_stats.accepted += 1;
+        self.kernel.events.schedule(
+            now + req.deadline,
+            KernelEvent::OffloadDeadline {
+                thread: self.tid,
+                seq,
+            },
+        );
+        Ok(OffloadStatus::Sent)
+    }
+
+    /// Takes the outcome of a previously sent offload (call on wake after
+    /// [`Ctx::offload`] returned [`OffloadStatus::Sent`]).
+    pub fn offload_take_result(&mut self) -> Option<OffloadOutcome> {
+        self.kernel
+            .thread_mut(self.tid)
+            .and_then(|s| s.offload_result.take())
+    }
+
+    /// The live backend latency estimate (queue wait plus service) a
+    /// request admitted now would observe — the signal the break-even
+    /// policy reads. `None` when no backend is installed.
+    pub fn offload_latency_estimate(&self) -> Option<SimDuration> {
+        let now = self.kernel.now;
+        self.kernel
+            .offload
+            .as_ref()
+            .map(|b| b.latency_estimate(now))
+    }
+
+    /// What the radio would charge to move `bytes` right now: a full
+    /// activation episode if idle, a plateau extension if already up, plus
+    /// the per-byte data energy. The remote-cost side of the break-even
+    /// comparison.
+    pub fn radio_cost_estimate(&self, bytes: u64) -> Energy {
+        self.kernel
+            .arm9
+            .radio()
+            .cost_estimate(self.kernel.now, bytes)
+    }
+
+    /// The flat accounting power the kernel charges for CPU work — the
+    /// local-cost side of the break-even comparison (local joules =
+    /// accounting power × remaining work).
+    pub fn cpu_accounting_power(&self) -> Power {
+        self.kernel.platform.cpu.accounting_power()
     }
 
     // ----- devices -----------------------------------------------------------

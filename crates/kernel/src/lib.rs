@@ -17,6 +17,10 @@
 //!   cooperative `netd` and the uncooperative baseline live in
 //!   `cinder-net`; the kernel provides the mechanism (blocking threads,
 //!   waking them, delivering and billing received packets).
+//! * [`offload`] — the cloud-offload boundary: the `offload` syscall ships
+//!   a work estimate over the stack, blocks the thread until the response
+//!   or a deadline, and bills the traffic like any other send; the backend
+//!   itself plugs in behind [`OffloadBackend`].
 //! * [`peripheral`] — the backlight and GPS as reserve-gated devices:
 //!   enabling one requires a dedicated reserve, the draw is drained from
 //!   it by a kernel tap, and an empty reserve forces the hardware down.
@@ -35,6 +39,7 @@ pub mod errors;
 pub mod kernel;
 pub mod netstack;
 pub mod object;
+pub mod offload;
 pub mod peripheral;
 pub mod program;
 
@@ -42,5 +47,8 @@ pub use errors::KernelError;
 pub use kernel::{Ctx, DownloadGrant, Kernel, KernelConfig, ThreadId};
 pub use netstack::{NetEnv, NetStack, SendRequest, SendVerdict};
 pub use object::{Body, KObject, ObjectId, ObjectKind};
+pub use offload::{
+    OffloadBackend, OffloadOutcome, OffloadRequest, OffloadStats, OffloadStatus, OffloadVerdict,
+};
 pub use peripheral::PeripheralKind;
 pub use program::{FnProgram, NetSendStatus, Program, Step};

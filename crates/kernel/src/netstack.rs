@@ -28,6 +28,15 @@ pub struct SendRequest {
     pub tx_bytes: u64,
     /// Bytes the remote end will send back (0 = no reply).
     pub rx_bytes: u64,
+    /// Extra delay the remote end adds before replying, beyond the RTT and
+    /// transfer time — an offload request carries the backend's queue wait
+    /// plus service time here. Plain sends use [`SimDuration::ZERO`].
+    pub extra_delay: SimDuration,
+    /// Whether the reply's delivery should wake the receiving thread.
+    /// Plain sends use `false` (delivery only bills, §5.5.2); the
+    /// `offload` syscall blocks its thread on the response, so it sets
+    /// `true`.
+    pub wakes: bool,
 }
 
 /// The stack's decision on a request.
@@ -55,6 +64,9 @@ pub struct RxDelivery {
     /// `NetworkBytes` reserve to debit the reply's bytes against after the
     /// fact (§5.5.2's "up to or into debt", applied to the data plan).
     pub bill_bytes: Option<ReserveId>,
+    /// Whether delivery wakes the receiving thread (offload responses);
+    /// plain replies only bill.
+    pub wakes: bool,
 }
 
 /// What the kernel lends a stack while it makes decisions: the resource
@@ -114,11 +126,12 @@ impl NetEnv<'_> {
         }
         if req.rx_bytes > 0 {
             self.rx_outbox.push(RxDelivery {
-                at: self.now + Self::DEFAULT_RTT + outcome.duration,
+                at: self.now + Self::DEFAULT_RTT + outcome.duration + req.extra_delay,
                 thread: req.thread,
                 bytes: req.rx_bytes,
                 bill: bill_rx,
                 bill_bytes: req.byte_reserve,
+                wakes: req.wakes,
             });
         }
     }
@@ -228,6 +241,8 @@ mod tests {
             byte_reserve: None,
             tx_bytes: 100,
             rx_bytes: 400,
+            extra_delay: SimDuration::ZERO,
+            wakes: false,
         };
         let verdict = PassThrough.request(&mut env, req);
         assert_eq!(verdict, SendVerdict::Sent);
@@ -283,6 +298,8 @@ mod tests {
             byte_reserve: Some(plan),
             tx_bytes: 1_500,
             rx_bytes: 4_000,
+            extra_delay: SimDuration::ZERO,
+            wakes: false,
         };
         env.transmit(&req, None);
         // tx bytes debited at the radio, rx bytes billed at delivery.

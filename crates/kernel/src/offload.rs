@@ -1,0 +1,100 @@
+//! The kernel's offload boundary.
+//!
+//! Like [`NetStack`](crate::netstack::NetStack), the kernel provides
+//! *mechanism* — blocking the calling thread, billing request/response
+//! bytes through the typed graph, waking on the response or a deadline —
+//! while the backend itself is a plug-in behind [`OffloadBackend`].
+//! `cinder-apps` supplies the trace-backed implementation that fleet
+//! scenarios share; tests install tiny scripted backends.
+
+use cinder_sim::{SimDuration, SimTime};
+
+/// A work item a thread asks to run remotely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadRequest {
+    /// Request payload shipped to the backend.
+    pub tx_bytes: u64,
+    /// Response payload shipped back.
+    pub rx_bytes: u64,
+    /// The local CPU time the remote execution replaces (the "remaining
+    /// work estimate" the syscall ships).
+    pub work: SimDuration,
+    /// How long the thread will wait before giving up and recomputing
+    /// locally.
+    pub deadline: SimDuration,
+}
+
+/// The backend's admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadVerdict {
+    /// Admitted; the response will carry this much backend time (queue
+    /// wait + service) on top of the network round trip.
+    Admitted {
+        /// Backend queue wait plus service time.
+        response_delay: SimDuration,
+    },
+    /// Queue full — the caller should compute locally.
+    Rejected,
+}
+
+/// A pluggable offload backend: deterministic, advanced in simulated time.
+pub trait OffloadBackend {
+    /// Decides admission for a request arriving now.
+    fn admit(&mut self, now: SimTime, req: &OffloadRequest) -> OffloadVerdict;
+
+    /// The backend latency (queue wait + service) a request admitted now
+    /// would observe — the live estimate the break-even policy reads.
+    fn latency_estimate(&self, now: SimTime) -> SimDuration;
+}
+
+/// What `Ctx::offload` returns immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadStatus {
+    /// The request is in flight; return [`Step::Block`](crate::Step) and
+    /// collect the [`OffloadOutcome`] on wake.
+    Sent,
+    /// Refused up front — backend full, byte plan uncovered, or the stack
+    /// could not take the send. Compute locally; nothing was billed
+    /// beyond the syscall dispatch.
+    Rejected,
+}
+
+/// How a blocked offload ended (via `Ctx::offload_take_result`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadOutcome {
+    /// The response landed in time.
+    Completed {
+        /// Request-to-response latency the thread observed.
+        latency: SimDuration,
+    },
+    /// The deadline expired first; compute locally. A late response still
+    /// bills its bytes on delivery but no longer wakes anyone.
+    TimedOut,
+}
+
+/// Per-kernel offload telemetry (fleet reports aggregate these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffloadStats {
+    /// `offload` syscalls that got past the backend-present check.
+    pub attempts: u64,
+    /// Requests the backend admitted and the stack accepted.
+    pub accepted: u64,
+    /// Requests refused up front (backend full, plan uncovered, stack
+    /// refusal).
+    pub rejected: u64,
+    /// Accepted requests whose deadline fired before the response.
+    pub timed_out: u64,
+    /// Accepted requests whose response woke the thread in time.
+    pub completed: u64,
+    /// Sum of observed request latencies over completed offloads, in
+    /// microseconds (divide by `completed` for the mean).
+    pub latency_us_sum: u64,
+}
+
+impl OffloadStats {
+    /// Conservation: every accepted request completes, times out, or is
+    /// still blocked.
+    pub fn in_flight(&self) -> u64 {
+        self.accepted - self.completed - self.timed_out
+    }
+}

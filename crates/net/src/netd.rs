@@ -397,6 +397,8 @@ mod tests {
             byte_reserve: None,
             tx_bytes: bytes,
             rx_bytes: 0,
+            extra_delay: SimDuration::ZERO,
+            wakes: false,
         }
     }
 
@@ -517,6 +519,8 @@ mod tests {
             byte_reserve: None,
             tx_bytes: 64,
             rx_bytes: 4_096,
+            extra_delay: SimDuration::ZERO,
+            wakes: false,
         };
         assert_eq!(netd.request(&mut rig.env(), request), SendVerdict::Sent);
         assert_eq!(rig.outbox.len(), 1);

@@ -51,7 +51,7 @@ mod tests {
     use cinder_core::{Actor, ResourceGraph};
     use cinder_hw::{Arm9, Battery, RadioParams};
     use cinder_label::Label;
-    use cinder_sim::{Energy, SimRng, SimTime};
+    use cinder_sim::{Energy, SimDuration, SimRng, SimTime};
 
     #[test]
     fn always_sends_never_bills() {
@@ -81,6 +81,8 @@ mod tests {
                 byte_reserve: None,
                 tx_bytes: 512,
                 rx_bytes: 1024,
+                extra_delay: SimDuration::ZERO,
+                wakes: false,
             },
         );
         assert_eq!(verdict, SendVerdict::Sent);

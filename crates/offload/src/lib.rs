@@ -1,0 +1,34 @@
+//! The cloud-offload economy: a deterministic shared backend and the
+//! per-task break-even policy that prices CPU joules against radio joules.
+//!
+//! The paper makes energy a schedulable resource; *Enhanced Mobile
+//! Computing Experience with Cloud Offloading* (Qian, see PAPERS.md) names
+//! the workload axis that model prices naturally — shipping a task's
+//! remaining work to a backend trades local CPU joules for radio joules
+//! plus `NetworkBytes` from the data plan. This crate supplies the two
+//! pure, kernel-independent pieces:
+//!
+//! * [`BackendQueue`] / [`BackendTrace`]: a finite-capacity FIFO service
+//!   advanced in simulated time. The trace form is *mean-field*: it drives
+//!   one queue with the aggregate arrival stream of a configured device
+//!   population ([`OffloadProfile::load_devices`]), gated by the queue's
+//!   own latency estimate — saturation stretches latency, latency shifts
+//!   the break-even, load falls back to devices. Because the trace is a
+//!   pure function of the profile and horizon, every simulated device (on
+//!   any worker thread) observes the identical backend, which is what
+//!   keeps fleet reports byte-identical for any worker count.
+//! * [`break_even`]: the per-item local-vs-remote decision as a pure
+//!   function over observable state (reserve level, marginal radio cost,
+//!   live latency estimate, bytes remaining in the plan).
+//!
+//! The kernel half — the `offload` syscall, blocking/wake semantics, and
+//! billing through the typed graph — lives in `cinder-kernel`; the
+//! `Offloader` workload in `cinder-apps` glues the two together.
+
+pub mod policy;
+pub mod queue;
+pub mod trace;
+
+pub use policy::{break_even, BreakEvenInputs, OffloadDecision};
+pub use queue::{BackendQueue, BatchOutcome, QueueParams, QueueStats};
+pub use trace::{BackendTrace, EpochSample, OffloadProfile};

@@ -1,0 +1,156 @@
+//! The per-item break-even policy.
+//!
+//! Deciding local-vs-remote is a *pure function over observable state* —
+//! no hidden counters, no randomness — so the decision is reproducible
+//! from a device report and testable at exact boundaries. The inputs are
+//! precisely what the kernel exposes to a thread: its reserve level, the
+//! radio's marginal cost for the round trip (activation or plateau
+//! extension plus per-byte data energy), the accounting cost of computing
+//! locally, the backend's live latency estimate, and the data plan's
+//! remaining bytes.
+
+use cinder_sim::{Energy, SimDuration};
+
+/// Where a work item runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadDecision {
+    /// Compute on-device.
+    Local,
+    /// Ship to the backend.
+    Remote,
+}
+
+/// Everything the decision reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakEvenInputs {
+    /// The thread's energy reserve balance.
+    pub reserve_level: Energy,
+    /// CPU energy to compute the item locally (accounting power × work).
+    pub local_cost: Energy,
+    /// Marginal radio energy for the round trip at the radio's current
+    /// state: a cold radio prices in the ~9.5 J activation, a warm one
+    /// only the plateau extension plus data energy.
+    pub remote_cost: Energy,
+    /// The backend's live latency estimate.
+    pub latency_estimate: SimDuration,
+    /// Client deadline: estimates at or past this make remote pointless
+    /// (the fallback would recompute locally anyway).
+    pub deadline: SimDuration,
+    /// Bytes left in the data plan (`None` = unrestricted).
+    pub plan_bytes_remaining: Option<u64>,
+    /// Bytes the round trip would consume from the plan (tx + rx).
+    pub round_trip_bytes: u64,
+}
+
+/// The break-even rule. In order:
+///
+/// 1. A dead (non-positive) reserve cannot fund a radio episode — local.
+/// 2. An exhausted byte plan cannot cover the round trip — local
+///    (mirrors the kernel's `net_send` byte-quota gate, §9).
+/// 3. A latency estimate at or past the deadline predicts a timeout whose
+///    fallback recomputes locally — skip the wasted radio joules.
+/// 4. Otherwise offload exactly when the radio's marginal cost undercuts
+///    the local CPU cost; ties stay local (the device keeps its data).
+pub fn break_even(i: &BreakEvenInputs) -> OffloadDecision {
+    if !i.reserve_level.is_positive() {
+        return OffloadDecision::Local;
+    }
+    if let Some(remaining) = i.plan_bytes_remaining {
+        if remaining < i.round_trip_bytes {
+            return OffloadDecision::Local;
+        }
+    }
+    if i.latency_estimate >= i.deadline {
+        return OffloadDecision::Local;
+    }
+    if i.remote_cost < i.local_cost {
+        OffloadDecision::Remote
+    } else {
+        OffloadDecision::Local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinder_sim::Power;
+
+    fn base() -> BreakEvenInputs {
+        BreakEvenInputs {
+            reserve_level: Energy::from_joules(20),
+            local_cost: Energy::from_joules(16),
+            remote_cost: Energy::from_joules(9),
+            latency_estimate: SimDuration::from_millis(100),
+            deadline: SimDuration::from_secs(5),
+            plan_bytes_remaining: Some(1_000_000),
+            round_trip_bytes: 2_500,
+        }
+    }
+
+    #[test]
+    fn cheaper_radio_offloads() {
+        assert_eq!(break_even(&base()), OffloadDecision::Remote);
+    }
+
+    #[test]
+    fn cost_boundary_is_exact_and_ties_stay_local() {
+        let mut i = base();
+        i.local_cost = Energy::from_microjoules(1_000_000);
+        i.remote_cost = Energy::from_microjoules(1_000_000);
+        assert_eq!(break_even(&i), OffloadDecision::Local, "tie is local");
+        i.remote_cost = Energy::from_microjoules(999_999);
+        assert_eq!(break_even(&i), OffloadDecision::Remote, "one µJ tips it");
+    }
+
+    #[test]
+    fn cold_radio_crossover_matches_paper_numbers() {
+        // Cold HTC Dream radio: ~9.5 J activation + 2500 B × 2.5 mJ/kB
+        // data = 9.506250 J. At the 137 mW accounting power that buys
+        // 69_388 ms of local CPU: one quantum less computes locally, one
+        // more offloads.
+        let remote = Energy::from_microjoules(9_500_000 + 6_250);
+        let cpu = Power::from_milliwatts(137);
+        let mut i = base();
+        i.remote_cost = remote;
+        i.local_cost = cpu.energy_over(SimDuration::from_millis(69_380));
+        assert_eq!(break_even(&i), OffloadDecision::Local);
+        i.local_cost = cpu.energy_over(SimDuration::from_millis(69_390));
+        assert_eq!(break_even(&i), OffloadDecision::Remote);
+    }
+
+    #[test]
+    fn dead_reserve_is_always_local() {
+        let mut i = base();
+        i.reserve_level = Energy::ZERO;
+        assert_eq!(break_even(&i), OffloadDecision::Local);
+        i.reserve_level = Energy::from_joules(-1);
+        assert_eq!(break_even(&i), OffloadDecision::Local);
+        // Even when remote is free.
+        i.remote_cost = Energy::ZERO;
+        assert_eq!(break_even(&i), OffloadDecision::Local);
+    }
+
+    #[test]
+    fn exhausted_plan_is_always_local() {
+        let mut i = base();
+        i.plan_bytes_remaining = Some(2_499);
+        assert_eq!(break_even(&i), OffloadDecision::Local);
+        i.plan_bytes_remaining = Some(2_500);
+        assert_eq!(break_even(&i), OffloadDecision::Remote, "exact cover ok");
+        i.plan_bytes_remaining = None;
+        assert_eq!(break_even(&i), OffloadDecision::Remote, "no plan, no gate");
+    }
+
+    #[test]
+    fn slow_backend_is_local() {
+        let mut i = base();
+        i.latency_estimate = SimDuration::from_secs(5);
+        assert_eq!(
+            break_even(&i),
+            OffloadDecision::Local,
+            "estimate == deadline"
+        );
+        i.latency_estimate = SimDuration::from_secs(4);
+        assert_eq!(break_even(&i), OffloadDecision::Remote);
+    }
+}

@@ -1,0 +1,306 @@
+//! The deterministic backend service queue.
+//!
+//! A finite pool of `capacity` identical servers drains a bounded FIFO of
+//! fixed-service-time requests. The model is *fluid at batch granularity*:
+//! arrivals come in batches (the trace offers one batch per epoch), every
+//! request in a batch shares the completion time of the batch's last
+//! request, and queued work drains at `capacity` server-microseconds per
+//! microsecond. All arithmetic is integer microseconds, so two queues fed
+//! the same offers are bit-identical — the property the fleet's
+//! worker-count determinism tests lean on.
+
+use std::collections::VecDeque;
+
+use cinder_sim::{SimDuration, SimTime};
+
+/// Backend sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueParams {
+    /// Parallel servers (the capacity the `fig_offload` sweep varies).
+    pub capacity: u32,
+    /// Maximum requests in flight (in service + waiting); offers beyond
+    /// this are rejected at admission.
+    pub queue_limit: u32,
+    /// Service time per request on one server.
+    pub service: SimDuration,
+}
+
+/// Conservation counters. Every offered request ends in exactly one of
+/// the four terminal/live buckets; [`QueueStats::conserved`] checks it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests ever offered.
+    pub offered: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Admitted requests that completed within their client deadline.
+    pub completed: u64,
+    /// Admitted requests whose response landed after the client deadline
+    /// (the client fell back to local execution; the server work was
+    /// wasted).
+    pub timed_out: u64,
+}
+
+impl QueueStats {
+    /// Admitted requests still in the queue or in service.
+    pub fn in_flight(&self) -> u64 {
+        self.admitted - self.completed - self.timed_out
+    }
+
+    /// The conservation invariant: every request offered was either
+    /// rejected or admitted, and every admitted request is completed,
+    /// timed out, or still in flight.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.admitted + self.rejected
+            && self.admitted >= self.completed + self.timed_out
+    }
+}
+
+/// One batch's admission outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Requests admitted from the batch.
+    pub admitted: u64,
+    /// Requests rejected (queue full).
+    pub rejected: u64,
+    /// Backend latency (queue wait + service) of the batch's last request;
+    /// for a fully rejected batch, the latency a request *would* have seen.
+    pub latency: SimDuration,
+    /// Whether that latency exceeds the client deadline the batch carried.
+    pub timed_out: bool,
+}
+
+/// A batch awaiting completion.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    complete_at: SimTime,
+    count: u64,
+    timed_out: bool,
+}
+
+/// The backend queue, advanced explicitly in simulated time.
+#[derive(Debug, Clone)]
+pub struct BackendQueue {
+    params: QueueParams,
+    now: SimTime,
+    /// Unfinished admitted work in server-microseconds; drains at
+    /// `capacity` per elapsed microsecond.
+    backlog_server_us: u64,
+    pending: VecDeque<Pending>,
+    stats: QueueStats,
+}
+
+impl BackendQueue {
+    /// Creates an empty queue at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity, limit, or service time — a backend that
+    /// can serve nothing is a configuration error, not a scenario.
+    pub fn new(params: QueueParams) -> Self {
+        assert!(params.capacity > 0, "backend needs at least one server");
+        assert!(params.queue_limit > 0, "backend needs a non-empty queue");
+        assert!(!params.service.is_zero(), "service time must be positive");
+        BackendQueue {
+            params,
+            now: SimTime::ZERO,
+            backlog_server_us: 0,
+            pending: VecDeque::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The sizing this queue was built with.
+    pub fn params(&self) -> QueueParams {
+        self.params
+    }
+
+    /// Conservation counters as of the last `advance_to`/`offer`.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drains work and records completions up to `t` (monotonic; earlier
+    /// times are ignored).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        let dt = t.since(self.now).as_micros();
+        self.backlog_server_us = self
+            .backlog_server_us
+            .saturating_sub(dt.saturating_mul(self.params.capacity as u64));
+        self.now = t;
+        while let Some(front) = self.pending.front() {
+            if front.complete_at > t {
+                break;
+            }
+            let done = self.pending.pop_front().expect("front exists");
+            if done.timed_out {
+                self.stats.timed_out += done.count;
+            } else {
+                self.stats.completed += done.count;
+            }
+        }
+    }
+
+    /// The backend latency one more request admitted now would see:
+    /// current queue wait plus one service time.
+    pub fn latency_estimate(&self) -> SimDuration {
+        SimDuration::from_micros(self.wait_us()) + self.params.service
+    }
+
+    /// Current queue wait in microseconds (time for the standing backlog
+    /// to drain across all servers).
+    fn wait_us(&self) -> u64 {
+        let c = self.params.capacity as u64;
+        self.backlog_server_us.div_ceil(c)
+    }
+
+    /// Offers a batch of `count` requests at time `t`, each carrying the
+    /// client `deadline`. Admits up to the free queue space, rejects the
+    /// rest, and schedules the admitted work's completion.
+    pub fn offer(&mut self, t: SimTime, count: u64, deadline: SimDuration) -> BatchOutcome {
+        self.advance_to(t);
+        let space = (self.params.queue_limit as u64).saturating_sub(self.stats.in_flight());
+        let admitted = count.min(space);
+        let rejected = count - admitted;
+        self.stats.offered += count;
+        self.stats.rejected += rejected;
+        let c = self.params.capacity as u64;
+        let wait = SimDuration::from_micros(self.wait_us());
+        // The batch waits for the standing backlog, then streams through
+        // `capacity` servers one round at a time: round k's requests
+        // complete (and are individually deadline-classified) at
+        // wait + k × service. The batch outcome reports the *last*
+        // request's latency — what a device arriving with the crowd sees.
+        let batch_rounds = admitted.max(1).div_ceil(c);
+        let latency = wait + self.params.service * batch_rounds;
+        let timed_out = latency > deadline;
+        if admitted > 0 {
+            self.stats.admitted += admitted;
+            self.backlog_server_us += admitted * self.params.service.as_micros();
+            let mut remaining = admitted;
+            for k in 1..=batch_rounds {
+                let count = remaining.min(c);
+                remaining -= count;
+                let round_latency = wait + self.params.service * k;
+                self.pending.push_back(Pending {
+                    complete_at: t + round_latency,
+                    count,
+                    timed_out: round_latency > deadline,
+                });
+            }
+        }
+        BatchOutcome {
+            admitted,
+            rejected,
+            latency,
+            timed_out,
+        }
+    }
+
+    /// Advances far enough past `t` that every admitted request has
+    /// completed, and returns the final counters. Used by the trace to
+    /// settle totals at the end of a horizon.
+    pub fn drain_after(&mut self, t: SimTime) -> QueueStats {
+        let tail = SimDuration::from_micros(self.wait_us()) + self.params.service;
+        self.advance_to(t + tail + self.params.service);
+        debug_assert_eq!(self.stats.in_flight(), 0, "drain left work in flight");
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(capacity: u32, queue_limit: u32, service_ms: u64) -> QueueParams {
+        QueueParams {
+            capacity,
+            queue_limit,
+            service: SimDuration::from_millis(service_ms),
+        }
+    }
+
+    #[test]
+    fn empty_queue_latency_is_one_service_time() {
+        let q = BackendQueue::new(params(4, 100, 50));
+        assert_eq!(q.latency_estimate(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn single_request_completes_after_service() {
+        let mut q = BackendQueue::new(params(4, 100, 50));
+        let out = q.offer(SimTime::from_secs(1), 1, SimDuration::from_secs(5));
+        assert_eq!(out.admitted, 1);
+        assert_eq!(out.latency, SimDuration::from_millis(50));
+        assert!(!out.timed_out);
+        q.advance_to(SimTime::from_secs(1) + SimDuration::from_millis(49));
+        assert_eq!(q.stats().completed, 0);
+        q.advance_to(SimTime::from_secs(1) + SimDuration::from_millis(50));
+        assert_eq!(q.stats().completed, 1);
+        assert_eq!(q.stats().in_flight(), 0);
+    }
+
+    #[test]
+    fn batch_streams_through_servers() {
+        // 10 requests on 4 servers at 50 ms each: 3 rounds = 150 ms.
+        let mut q = BackendQueue::new(params(4, 100, 50));
+        let out = q.offer(SimTime::ZERO, 10, SimDuration::from_secs(5));
+        assert_eq!(out.latency, SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn standing_backlog_stretches_latency() {
+        let mut q = BackendQueue::new(params(2, 1000, 100));
+        // 20 requests = 2000 server-ms on 2 servers = 1000 ms of backlog.
+        q.offer(SimTime::ZERO, 20, SimDuration::from_secs(60));
+        let out = q.offer(SimTime::ZERO, 1, SimDuration::from_secs(60));
+        assert_eq!(out.latency, SimDuration::from_millis(1000 + 100));
+        // Half a second later the 2.1 s of admitted work (20 + 1 requests
+        // on 2 servers) has drained to 550 ms of wait.
+        q.advance_to(SimTime::from_millis(500));
+        assert_eq!(q.latency_estimate(), SimDuration::from_millis(550 + 100));
+    }
+
+    #[test]
+    fn full_queue_rejects_overflow() {
+        let mut q = BackendQueue::new(params(1, 10, 100));
+        let out = q.offer(SimTime::ZERO, 25, SimDuration::from_secs(60));
+        assert_eq!(out.admitted, 10);
+        assert_eq!(out.rejected, 15);
+        let stats = q.stats();
+        assert_eq!(stats.offered, 25);
+        assert!(stats.conserved());
+        // Space frees as work completes.
+        q.advance_to(SimTime::from_millis(500));
+        let out2 = q.offer(SimTime::from_millis(500), 25, SimDuration::from_secs(60));
+        assert_eq!(out2.admitted, 5);
+    }
+
+    #[test]
+    fn deadline_overrun_counts_as_timed_out() {
+        let mut q = BackendQueue::new(params(1, 100, 100));
+        q.offer(SimTime::ZERO, 30, SimDuration::from_secs(60)); // 3 s backlog
+        let out = q.offer(SimTime::ZERO, 1, SimDuration::from_secs(2));
+        assert!(out.timed_out, "3.1 s latency beats a 2 s deadline");
+        let stats = q.drain_after(SimTime::from_secs(10));
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.completed, 30);
+        assert!(stats.conserved());
+    }
+
+    #[test]
+    fn advance_is_monotonic_and_idempotent() {
+        let mut q = BackendQueue::new(params(2, 50, 50));
+        q.offer(SimTime::from_secs(1), 5, SimDuration::from_secs(5));
+        q.advance_to(SimTime::from_secs(2));
+        let snap = q.stats();
+        q.advance_to(SimTime::from_secs(1)); // earlier: ignored
+        q.advance_to(SimTime::from_secs(2)); // same: no-op
+        assert_eq!(q.stats(), snap);
+    }
+}

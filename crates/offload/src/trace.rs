@@ -1,0 +1,352 @@
+//! The shared backend as a mean-field trace.
+//!
+//! Fleet devices simulate independently — possibly on different worker
+//! threads, in any chunk order — yet the ISSUE's economy needs them all to
+//! hammer *one* backend. Runtime-mutable cross-device state would make
+//! reports depend on worker scheduling, so the backend is instead a
+//! **trace**: a pure function of ([`OffloadProfile`], horizon) that drives
+//! one [`BackendQueue`] with the aggregate arrival stream of the profile's
+//! `load_devices`-strong population and records, per epoch, the latency
+//! estimate, the admission verdict, and the batch's response latency.
+//! Every device samples the same trace, so fleet reports stay
+//! byte-identical for any worker count — and checkpoint/resume needs no
+//! backend serialization, because a resumed run rebuilds the identical
+//! trace from the scenario.
+//!
+//! The feedback loop lives in the arrival gate: each epoch's offered load
+//! is the population's raw demand scaled by how far the queue's live
+//! latency estimate sits below the client deadline (the same signal the
+//! device-side [`break_even`](crate::policy::break_even) policy uses). A
+//! saturated backend stretches its own estimate, the gate tapers demand
+//! back toward local execution, and the queue breathes — exactly the
+//! dynamics `fig_offload` sweeps.
+
+use crate::queue::{BackendQueue, QueueParams, QueueStats};
+use cinder_sim::{SimDuration, SimTime};
+
+/// Scenario-level offload configuration: backend sizing, the population
+/// load it serves, and the shape of one offloadable work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadProfile {
+    /// Backend servers.
+    pub capacity: u32,
+    /// Maximum requests in flight before admission rejects.
+    pub queue_limit: u32,
+    /// Per-request service time on one server.
+    pub service: SimDuration,
+    /// Population size driving the shared backend (decoupled from the
+    /// number of *simulated* devices: a 1,000-device fleet run can sample
+    /// a backend serving a million-device population).
+    pub load_devices: u64,
+    /// Mean spacing between one device's work items.
+    pub request_interval: SimDuration,
+    /// Client deadline: responses later than this are abandoned and the
+    /// item recomputed locally.
+    pub deadline: SimDuration,
+    /// Trace resolution; also the granularity at which devices observe
+    /// backend state.
+    pub epoch: SimDuration,
+    /// Request payload shipped up per item.
+    pub request_bytes: u64,
+    /// Response payload shipped back per item.
+    pub response_bytes: u64,
+    /// Local CPU time one work item costs if computed on-device.
+    pub work_per_item: SimDuration,
+}
+
+impl Default for OffloadProfile {
+    fn default() -> Self {
+        OffloadProfile {
+            capacity: 8,
+            queue_limit: 256,
+            service: SimDuration::from_millis(50),
+            load_devices: 2_000,
+            request_interval: SimDuration::from_secs(300),
+            deadline: SimDuration::from_secs(5),
+            epoch: SimDuration::from_secs(1),
+            request_bytes: 2_000,
+            response_bytes: 500,
+            // ~120 s of 137 mW CPU ≈ 16.4 J locally, well past the cold
+            // radio's ~9.5 J activation — offloading pays when the backend
+            // is responsive.
+            work_per_item: SimDuration::from_secs(120),
+        }
+    }
+}
+
+impl OffloadProfile {
+    /// Total bytes one offload round trip moves (tx + rx).
+    pub fn round_trip_bytes(&self) -> u64 {
+        self.request_bytes + self.response_bytes
+    }
+
+    /// The queue sizing this profile describes.
+    pub fn queue_params(&self) -> QueueParams {
+        QueueParams {
+            capacity: self.capacity,
+            queue_limit: self.queue_limit,
+            service: self.service,
+        }
+    }
+}
+
+/// One epoch's recorded backend state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Latency estimate (queue wait + service) at the epoch's start —
+    /// what a device's `offload_latency_estimate` syscall observes.
+    pub latency_estimate: SimDuration,
+    /// Fraction of raw population demand the latency gate let through,
+    /// in ppm (1_000_000 = everyone offloads).
+    pub gate_ppm: u32,
+    /// Whether the backend admitted this epoch's batch in full; a device
+    /// offloading this epoch is accepted iff true.
+    pub accepted: bool,
+    /// Backend time (wait + service) a request admitted this epoch waits
+    /// for its response.
+    pub response_latency: SimDuration,
+    /// Whether that response lands past the client deadline.
+    pub timed_out: bool,
+}
+
+/// The precomputed backend: per-epoch samples plus settled totals.
+#[derive(Debug, Clone)]
+pub struct BackendTrace {
+    profile: OffloadProfile,
+    epochs: Vec<EpochSample>,
+    totals: QueueStats,
+}
+
+impl BackendTrace {
+    /// Builds the trace for `horizon` of simulated time by replaying the
+    /// gated mean-field arrival stream through a fresh queue. Pure:
+    /// identical inputs give an identical trace.
+    pub fn build(profile: OffloadProfile, horizon: SimDuration) -> Self {
+        assert!(!profile.epoch.is_zero(), "epoch must be positive");
+        assert!(
+            !profile.request_interval.is_zero(),
+            "request interval must be positive"
+        );
+        let mut queue = BackendQueue::new(profile.queue_params());
+        let n_epochs = horizon.as_micros().div_ceil(profile.epoch.as_micros());
+        let mut epochs = Vec::with_capacity(n_epochs as usize);
+        // Fixed-point arrival accumulator: carries the sub-request residue
+        // of `load_devices * epoch / interval` across epochs so the long-run
+        // arrival rate is exact.
+        let mut arrival_carry: u128 = 0;
+        let deadline_us = profile.deadline.as_micros();
+        for e in 0..n_epochs {
+            let t = SimTime::ZERO + profile.epoch * e;
+            queue.advance_to(t);
+            let est = queue.latency_estimate();
+            // Latency gate: demand tapers linearly to zero as the estimate
+            // approaches the deadline (mirroring the device policy's
+            // hard `estimate >= deadline -> local` clause at the limit).
+            let gate_ppm = if est.as_micros() >= deadline_us {
+                0u64
+            } else {
+                ((deadline_us - est.as_micros()) as u128 * 1_000_000 / deadline_us as u128) as u64
+            };
+            let raw =
+                profile.load_devices as u128 * profile.epoch.as_micros() as u128 * gate_ppm as u128
+                    + arrival_carry;
+            let denom = profile.request_interval.as_micros() as u128 * 1_000_000;
+            let offered = (raw / denom) as u64;
+            arrival_carry = raw % denom;
+            let out = queue.offer(t, offered, profile.deadline);
+            epochs.push(EpochSample {
+                latency_estimate: est,
+                gate_ppm: gate_ppm as u32,
+                accepted: out.rejected == 0,
+                response_latency: out.latency,
+                timed_out: out.timed_out,
+            });
+        }
+        let totals = queue.drain_after(SimTime::ZERO + profile.epoch * n_epochs);
+        BackendTrace {
+            profile,
+            epochs,
+            totals,
+        }
+    }
+
+    /// The profile this trace was built from.
+    pub fn profile(&self) -> &OffloadProfile {
+        &self.profile
+    }
+
+    /// Number of epochs recorded.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True for a zero-length horizon.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The epoch sample covering simulated time `t` (clamped to the last
+    /// epoch past the horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn sample(&self, t: SimTime) -> &EpochSample {
+        assert!(!self.epochs.is_empty(), "empty backend trace");
+        let idx = (t.as_micros() / self.profile.epoch.as_micros()) as usize;
+        &self.epochs[idx.min(self.epochs.len() - 1)]
+    }
+
+    /// Settled conservation counters over the whole horizon (every
+    /// admitted request driven to completion).
+    pub fn totals(&self) -> QueueStats {
+        self.totals
+    }
+
+    /// Fraction of raw population demand that offloaded, in ppm —
+    /// request-weighted mean of the per-epoch gate (zeroed when the epoch's
+    /// batch was rejected, since those requests fell back to local too).
+    pub fn offload_fraction_ppm(&self) -> u64 {
+        if self.epochs.is_empty() {
+            return 0;
+        }
+        let mut num: u128 = 0;
+        for s in &self.epochs {
+            if s.accepted {
+                num += s.gate_ppm as u128;
+            }
+        }
+        (num / self.epochs.len() as u128) as u64
+    }
+
+    /// Request-weighted backend-latency percentile across the horizon
+    /// (`q` in [0, 1]); [`SimDuration::ZERO`] when nothing was admitted.
+    /// Uses the nearest-rank convention: the smallest latency whose
+    /// cumulative admitted count reaches `ceil(q * total)`.
+    pub fn latency_percentile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        // Rebuild (latency, weight) pairs from the per-epoch gate: epochs
+        // with a rejected batch contributed no admitted requests.
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        let mut carry: u128 = 0;
+        let denom = self.profile.request_interval.as_micros() as u128 * 1_000_000;
+        for s in &self.epochs {
+            let raw = self.profile.load_devices as u128
+                * self.profile.epoch.as_micros() as u128
+                * s.gate_ppm as u128
+                + carry;
+            let offered = (raw / denom) as u64;
+            carry = raw % denom;
+            if s.accepted && offered > 0 {
+                pairs.push((s.response_latency.as_micros(), offered));
+                total += offered;
+            }
+        }
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        pairs.sort_unstable();
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (lat, w) in pairs {
+            cum += w;
+            if cum >= target {
+                return SimDuration::from_micros(lat);
+            }
+        }
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let p = OffloadProfile::default();
+        let h = SimDuration::from_secs(600);
+        let a = BackendTrace::build(p, h);
+        let b = BackendTrace::build(p, h);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn roomy_backend_admits_everything() {
+        let p = OffloadProfile {
+            capacity: 64,
+            queue_limit: 10_000,
+            ..OffloadProfile::default()
+        };
+        let trace = BackendTrace::build(p, SimDuration::from_secs(3_600));
+        let t = trace.totals();
+        assert!(t.conserved());
+        assert_eq!(t.rejected, 0);
+        assert_eq!(t.timed_out, 0);
+        assert!(t.offered > 0, "population generated load");
+        // Unsaturated: the gate stays near wide open.
+        assert!(trace.offload_fraction_ppm() > 900_000);
+    }
+
+    #[test]
+    fn shrinking_capacity_raises_tail_latency_and_lowers_offload_fraction() {
+        // The fig_offload feedback loop in miniature.
+        let horizon = SimDuration::from_secs(3_600);
+        let roomy = BackendTrace::build(
+            OffloadProfile {
+                capacity: 32,
+                ..OffloadProfile::default()
+            },
+            horizon,
+        );
+        let starved = BackendTrace::build(
+            OffloadProfile {
+                capacity: 1,
+                load_devices: 40_000,
+                ..OffloadProfile::default()
+            },
+            horizon,
+        );
+        assert!(
+            starved.latency_percentile(0.99) > roomy.latency_percentile(0.99),
+            "less capacity, higher p99"
+        );
+        assert!(
+            starved.offload_fraction_ppm() < roomy.offload_fraction_ppm(),
+            "stretched latency shifts load back to devices"
+        );
+        // The gate keeps the starved backend live rather than collapsed:
+        // some requests still complete.
+        assert!(starved.totals().completed > 0);
+    }
+
+    #[test]
+    fn sample_is_epoch_indexed_and_clamped() {
+        let p = OffloadProfile::default();
+        let trace = BackendTrace::build(p, SimDuration::from_secs(10));
+        assert_eq!(trace.len(), 10);
+        let early = trace.sample(SimTime::from_millis(500));
+        assert_eq!(early.latency_estimate, p.service, "empty queue at t=0");
+        // Past the horizon clamps to the last epoch rather than panicking.
+        let _ = trace.sample(SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let trace = BackendTrace::build(
+            OffloadProfile {
+                capacity: 2,
+                load_devices: 8_000,
+                ..OffloadProfile::default()
+            },
+            SimDuration::from_secs(1_800),
+        );
+        let p50 = trace.latency_percentile(0.50);
+        let p90 = trace.latency_percentile(0.90);
+        let p99 = trace.latency_percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 >= trace.profile().service);
+    }
+}

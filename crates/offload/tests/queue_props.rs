@@ -1,0 +1,73 @@
+//! Property tests for the backend queue's conservation invariant.
+
+use cinder_offload::{BackendQueue, QueueParams};
+use cinder_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Admission conserves requests at every checkpoint: offered splits
+    /// exactly into admitted + rejected, and admitted into completed +
+    /// timed-out + in-flight — for random arrival patterns, capacities,
+    /// and observation times.
+    #[test]
+    fn queue_conserves_requests(
+        capacity in 1u32..32,
+        queue_limit in 1u32..512,
+        service_ms in 1u64..2_000,
+        offers in proptest::collection::vec(
+            (0u64..5_000, 1u64..50, 100u64..20_000), 1..60),
+    ) {
+        let mut q = BackendQueue::new(QueueParams {
+            capacity,
+            queue_limit,
+            service: SimDuration::from_millis(service_ms),
+        });
+        let mut now = SimTime::ZERO;
+        for (gap_ms, count, deadline_ms) in offers {
+            now += SimDuration::from_millis(gap_ms);
+            let out = q.offer(now, count, SimDuration::from_millis(deadline_ms));
+            prop_assert_eq!(out.admitted + out.rejected, count);
+            let stats = q.stats();
+            prop_assert!(stats.conserved(), "after offer: {:?}", stats);
+            prop_assert!(stats.in_flight() <= queue_limit as u64);
+        }
+        // Interleaved advances are checkpoints too.
+        for step in [1u64, 7, 50, 1_000, 100_000] {
+            now += SimDuration::from_millis(step);
+            q.advance_to(now);
+            prop_assert!(q.stats().conserved(), "after advance: {:?}", q.stats());
+        }
+        // Drained, nothing stays in flight and the split is total.
+        let fin = q.drain_after(now);
+        prop_assert!(fin.conserved());
+        prop_assert_eq!(fin.in_flight(), 0);
+        prop_assert_eq!(fin.offered, fin.admitted + fin.rejected);
+        prop_assert_eq!(fin.admitted, fin.completed + fin.timed_out);
+    }
+
+    /// Two queues fed the same offers are bit-identical — the determinism
+    /// the shared-backend trace (and so fleet worker-count byte-equality)
+    /// rests on.
+    #[test]
+    fn identical_offers_give_identical_queues(
+        capacity in 1u32..16,
+        offers in proptest::collection::vec((0u64..2_000, 0u64..40), 1..40),
+    ) {
+        let params = QueueParams {
+            capacity,
+            queue_limit: 128,
+            service: SimDuration::from_millis(80),
+        };
+        let run = |params: QueueParams| {
+            let mut q = BackendQueue::new(params);
+            let mut now = SimTime::ZERO;
+            let mut outcomes = Vec::new();
+            for &(gap_ms, count) in &offers {
+                now += SimDuration::from_millis(gap_ms);
+                outcomes.push(q.offer(now, count, SimDuration::from_secs(10)));
+            }
+            (outcomes, q.drain_after(now))
+        };
+        prop_assert_eq!(run(params), run(params));
+    }
+}

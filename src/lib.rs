@@ -14,6 +14,8 @@
 //!   syscalls, and the run loop.
 //! * [`net`] — the cooperative `netd` network stack and its uncooperative
 //!   baseline.
+//! * [`offload`] — the shared cloud backend: precomputed mean-field
+//!   service traces and the local-vs-remote break-even policy.
 //! * [`apps`] — the applications of the paper's §5: `energywrap`, spinners,
 //!   the browser and plugin, the image viewer, the task manager, and the
 //!   mail/RSS pollers.
@@ -30,4 +32,5 @@ pub use cinder_hw as hw;
 pub use cinder_kernel as kernel;
 pub use cinder_label as label;
 pub use cinder_net as net;
+pub use cinder_offload as offload;
 pub use cinder_sim as sim;
