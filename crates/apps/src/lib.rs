@@ -49,7 +49,7 @@ pub use screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
 pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};
 pub use workload::{
-    BrowserWorkload, GalleryWorkload, InstalledWorkload, NavigatorWorkload, OffloadSetup,
-    OffloaderWorkload, PollersWorkload, ScreenOnWorkload, SpinnerWorkload, WorkloadEnv,
-    WorkloadProbe, WorkloadProgram,
+    BrowserWorkload, DriveCap, GalleryWorkload, InstalledWorkload, NavigatorWorkload, OffloadSetup,
+    OffloaderWorkload, PolicyTapHandle, PollersWorkload, ScreenOnWorkload, SpinnerWorkload,
+    WorkloadEnv, WorkloadProbe, WorkloadProgram,
 };

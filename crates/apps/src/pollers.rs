@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use cinder_core::{Actor, RateSpec, ReserveId};
+use cinder_core::{Actor, RateSpec, ReserveId, TapId};
 use cinder_kernel::{Ctx, Kernel, KernelError, NetSendStatus, Program, Step, ThreadId};
 use cinder_label::Label;
 use cinder_sim::{Power, SimDuration, SimTime};
@@ -114,6 +114,10 @@ pub struct PollerHandles {
     pub rss_reserve: ReserveId,
     /// The mail checker's tapped reserve.
     pub mail_reserve: ReserveId,
+    /// The RSS reserve's feed tap (policy engines re-rate it).
+    pub rss_tap: TapId,
+    /// The mail reserve's feed tap.
+    pub mail_tap: TapId,
     /// RSS thread.
     pub rss: ThreadId,
     /// Mail thread.
@@ -134,10 +138,10 @@ pub fn build_pollers(
 ) -> Result<PollerHandles, KernelError> {
     let root = Actor::kernel();
     let battery = kernel.battery();
-    let tapped = |kernel: &mut Kernel, name: &str| -> Result<ReserveId, KernelError> {
+    let tapped = |kernel: &mut Kernel, name: &str| -> Result<(ReserveId, TapId), KernelError> {
         let g = kernel.graph_mut();
         let r = g.create_reserve(&root, name, Label::default_label())?;
-        g.create_tap(
+        let tap = g.create_tap(
             &root,
             &format!("{name}-tap"),
             battery,
@@ -145,10 +149,10 @@ pub fn build_pollers(
             RateSpec::constant(feed),
             Label::default_label(),
         )?;
-        Ok(r)
+        Ok((r, tap))
     };
-    let rss_reserve = tapped(kernel, "rss")?;
-    let mail_reserve = tapped(kernel, "mail")?;
+    let (rss_reserve, rss_tap) = tapped(kernel, "rss")?;
+    let (mail_reserve, mail_tap) = tapped(kernel, "mail")?;
     let log = PollerLog::shared();
     let rss = kernel.spawn_unprivileged(
         "rss",
@@ -176,6 +180,8 @@ pub fn build_pollers(
         log,
         rss_reserve,
         mail_reserve,
+        rss_tap,
+        mail_tap,
         rss,
         mail,
     })

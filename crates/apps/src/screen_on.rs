@@ -9,13 +9,15 @@
 //! screen-dimming energy pattern). If the reserve empties outright the
 //! kernel forces the screen dark and the session ends early.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use cinder_core::ReserveId;
 use cinder_hw::FULL_DRIVE_PPM;
 use cinder_kernel::{Ctx, PeripheralKind, Program, Step};
 use cinder_sim::{Energy, SimDuration, SimTime};
+
+use crate::workload::DriveCap;
 
 /// Screen-on browsing tuning.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +90,8 @@ pub struct ScreenOn {
     state: State,
     dimmed: bool,
     log: Rc<RefCell<BrowseLog>>,
+    /// Policy-written drive ceiling; sessions never brighten past it.
+    drive_cap: DriveCap,
 }
 
 impl ScreenOn {
@@ -99,7 +103,13 @@ impl ScreenOn {
             state: State::Idle { acquired: false },
             dimmed: false,
             log,
+            drive_cap: Rc::new(Cell::new(FULL_DRIVE_PPM)),
         }
+    }
+
+    /// The shared drive-cap cell a policy driver writes (starts uncapped).
+    pub fn drive_cap_handle(&self) -> DriveCap {
+        self.drive_cap.clone()
     }
 
     /// Ends the current session and sleeps the dark gap.
@@ -130,10 +140,13 @@ impl Program for ScreenOn {
                 {
                     return Step::Exit;
                 }
-                // Sessions start at full brightness; dim is re-derived from
-                // the level as the session runs.
+                // Sessions start as bright as the policy cap allows; dim is
+                // re-derived from the level as the session runs.
                 self.dimmed = false;
-                let _ = ctx.peripheral_set_drive(PeripheralKind::Backlight, FULL_DRIVE_PPM);
+                let _ = ctx.peripheral_set_drive(
+                    PeripheralKind::Backlight,
+                    FULL_DRIVE_PPM.min(self.drive_cap.get()),
+                );
                 match ctx.peripheral_enable(PeripheralKind::Backlight) {
                     Ok(()) => {
                         self.state = State::Working {
@@ -158,8 +171,10 @@ impl Program for ScreenOn {
                     if level < self.config.dim_mark {
                         self.dimmed = true;
                         self.log.borrow_mut().dimmed_sessions += 1;
-                        let _ = ctx
-                            .peripheral_set_drive(PeripheralKind::Backlight, self.config.dim_ppm);
+                        let _ = ctx.peripheral_set_drive(
+                            PeripheralKind::Backlight,
+                            self.config.dim_ppm.min(self.drive_cap.get()),
+                        );
                     }
                 }
                 self.state = State::Reading { end };

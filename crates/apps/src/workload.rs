@@ -13,10 +13,10 @@
 //! workloads (the peripheral-driven [`crate::navigator`] and
 //! [`crate::screen_on`]) plug in without touching the driver.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use cinder_core::{Actor, RateSpec, ReserveId};
+use cinder_core::{Actor, RateSpec, ReserveId, TapId};
 use cinder_hw::LaptopNet;
 use cinder_kernel::{Kernel, KernelConfig, KernelError};
 use cinder_label::Label;
@@ -105,6 +105,27 @@ pub trait WorkloadProbe {
     }
 }
 
+/// A shared backlight-drive ceiling (ppm of full drive) a policy driver
+/// writes and a screen-driving workload reads when it sets its drive —
+/// the "hint" half of the policy seam. `FULL_DRIVE_PPM` means uncapped.
+pub type DriveCap = Rc<Cell<u64>>;
+
+/// A throttleable feed a workload exposes to the policy engine: the tap,
+/// the reserve it fills, its nominal (jitter-scaled) rate, and whether
+/// the feed funds background work a policy may demote when the user is
+/// away.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyTapHandle {
+    /// The tap to re-rate.
+    pub tap: TapId,
+    /// The reserve the tap feeds (its level is a policy observable).
+    pub reserve: ReserveId,
+    /// The rate the workload installed.
+    pub nominal: Power,
+    /// True for feeds funding background work (pollers, hogs).
+    pub background: bool,
+}
+
 /// A workload's handles back to the driver.
 pub struct InstalledWorkload {
     /// The §9 plan reserve, when the workload installed one.
@@ -117,6 +138,12 @@ pub struct InstalledWorkload {
     /// probing much coarser classifies whole active periods as Dynamic.
     /// `None` means "no obvious period" — the driver picks a default.
     pub steady_hint: Option<SimDuration>,
+    /// The feeds a policy engine may observe and re-rate, in install
+    /// order. Empty for workloads that own their rates (the browser's
+    /// internal taps are its own business).
+    pub policy_taps: Vec<PolicyTapHandle>,
+    /// The backlight-cap hint cell, for workloads that drive the screen.
+    pub drive_cap: Option<DriveCap>,
 }
 
 impl InstalledWorkload {
@@ -125,6 +152,8 @@ impl InstalledWorkload {
             plan_reserve: None,
             probe,
             steady_hint: None,
+            policy_taps: Vec::new(),
+            drive_cap: None,
         }
     }
 }
@@ -153,13 +182,15 @@ impl WorkloadProbe for NullProbe {
 }
 
 /// Creates a reserve seeded with `seed` and fed `feed` from the battery —
-/// the standard funding shape every tap-throttled workload uses.
+/// the standard funding shape every tap-throttled workload uses. Returns
+/// the reserve and its feed tap so workloads can hand the tap to the
+/// policy engine.
 fn seeded_tapped_reserve(
     kernel: &mut Kernel,
     name: &str,
     seed: Energy,
     feed: Power,
-) -> Result<ReserveId, KernelError> {
+) -> Result<(ReserveId, TapId), KernelError> {
     let root = Actor::kernel();
     let battery = kernel.battery();
     let g = kernel.graph_mut();
@@ -167,7 +198,7 @@ fn seeded_tapped_reserve(
     if seed.is_positive() {
         g.transfer(&root, battery, r, seed)?;
     }
-    g.create_tap(
+    let tap = g.create_tap(
         &root,
         &format!("{name}-tap"),
         battery,
@@ -175,7 +206,7 @@ fn seeded_tapped_reserve(
         RateSpec::constant(feed),
         Label::default_label(),
     )?;
-    Ok(r)
+    Ok((r, tap))
 }
 
 // ----- the §5/§6 studies ---------------------------------------------------
@@ -208,9 +239,10 @@ impl WorkloadProgram for PollersWorkload {
         } else {
             kernel.install_net(Box::new(UncoopStack::new()));
         }
+        let feed = env.scale(Power::from_microwatts(37_500));
         let handles = build_pollers(
             kernel,
-            env.scale(Power::from_microwatts(37_500)),
+            feed,
             env.interval(SimDuration::from_secs(60)),
             env.interval(SimDuration::from_secs(60)),
         )?;
@@ -225,6 +257,23 @@ impl WorkloadProgram for PollersWorkload {
             plan_reserve,
             probe: Box::new(PollerProbe { log: handles.log }),
             steady_hint: Some(env.interval(SimDuration::from_secs(60))),
+            // Both pollers are classic background work: first in line for
+            // away-time demotion.
+            policy_taps: vec![
+                PolicyTapHandle {
+                    tap: handles.rss_tap,
+                    reserve: handles.rss_reserve,
+                    nominal: feed,
+                    background: true,
+                },
+                PolicyTapHandle {
+                    tap: handles.mail_tap,
+                    reserve: handles.mail_reserve,
+                    nominal: feed,
+                    background: true,
+                },
+            ],
+            drive_cap: None,
         })
     }
 }
@@ -282,11 +331,12 @@ impl WorkloadProgram for GalleryWorkload {
         kernel: &mut Kernel,
         env: &WorkloadEnv,
     ) -> Result<InstalledWorkload, KernelError> {
-        let r = seeded_tapped_reserve(
+        let feed = env.scale(Power::from_microwatts(4_000));
+        let (r, tap) = seeded_tapped_reserve(
             kernel,
             "downloader",
             Energy::from_microjoules(200_000),
-            env.scale(Power::from_microwatts(4_000)),
+            feed,
         )?;
         let log = ViewerLog::shared();
         let config = if self.adaptive {
@@ -295,7 +345,15 @@ impl WorkloadProgram for GalleryWorkload {
             ViewerConfig::fig10()
         };
         kernel.spawn_unprivileged("viewer", Box::new(ImageViewer::new(config, log.clone())), r);
-        Ok(InstalledWorkload::plain(Box::new(ViewerProbe { log })))
+        Ok(InstalledWorkload {
+            policy_taps: vec![PolicyTapHandle {
+                tap,
+                reserve: r,
+                nominal: feed,
+                background: true,
+            }],
+            ..InstalledWorkload::plain(Box::new(ViewerProbe { log }))
+        })
     }
 }
 
@@ -308,14 +366,18 @@ impl WorkloadProgram for SpinnerWorkload {
         kernel: &mut Kernel,
         env: &WorkloadEnv,
     ) -> Result<InstalledWorkload, KernelError> {
-        let r = seeded_tapped_reserve(
-            kernel,
-            "hog",
-            Energy::ZERO,
-            env.scale(Power::from_microwatts(68_500)),
-        )?;
+        let feed = env.scale(Power::from_microwatts(68_500));
+        let (r, tap) = seeded_tapped_reserve(kernel, "hog", Energy::ZERO, feed)?;
         kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
-        Ok(InstalledWorkload::plain(Box::new(NullProbe)))
+        Ok(InstalledWorkload {
+            policy_taps: vec![PolicyTapHandle {
+                tap,
+                reserve: r,
+                nominal: feed,
+                background: true,
+            }],
+            ..InstalledWorkload::plain(Box::new(NullProbe))
+        })
     }
 }
 
@@ -342,16 +404,22 @@ impl WorkloadProgram for NavigatorWorkload {
     ) -> Result<InstalledWorkload, KernelError> {
         // ~50 mW sustains the nominal 10 s / 60 s duty cycle; the jittered
         // feed leaves some devices stretching their fix interval.
-        let r = seeded_tapped_reserve(
-            kernel,
-            "gps",
-            Energy::from_joules(20),
-            env.scale(Power::from_microwatts(52_500)),
-        )?;
+        let feed = env.scale(Power::from_microwatts(52_500));
+        let (r, tap) = seeded_tapped_reserve(kernel, "gps", Energy::from_joules(20), feed)?;
         let log = NavLog::shared();
         let nav = Navigator::new(NavigatorConfig::fleet_default(), r, log.clone());
         kernel.spawn_unprivileged("nav", Box::new(nav), r);
-        Ok(InstalledWorkload::plain(Box::new(NavigatorProbe { log })))
+        Ok(InstalledWorkload {
+            // Navigation is user-facing: the lifetime controller may scale
+            // it, but away-time demotion leaves it alone.
+            policy_taps: vec![PolicyTapHandle {
+                tap,
+                reserve: r,
+                nominal: feed,
+                background: false,
+            }],
+            ..InstalledWorkload::plain(Box::new(NavigatorProbe { log }))
+        })
     }
 }
 
@@ -377,16 +445,24 @@ impl WorkloadProgram for ScreenOnWorkload {
     ) -> Result<InstalledWorkload, KernelError> {
         // A deficit feed against full brightness: sessions dim as the
         // reserve sags, and the dimmed draw fits back inside the feed.
-        let r = seeded_tapped_reserve(
-            kernel,
-            "screen",
-            Energy::from_joules(40),
-            env.scale(Power::from_microwatts(190_000)),
-        )?;
+        let feed = env.scale(Power::from_microwatts(190_000));
+        let (r, tap) = seeded_tapped_reserve(kernel, "screen", Energy::from_joules(40), feed)?;
         let log = BrowseLog::shared();
         let app = ScreenOn::new(ScreenOnConfig::fleet_default(), r, log.clone());
+        let drive_cap = app.drive_cap_handle();
         kernel.spawn_unprivileged("browse", Box::new(app), r);
-        Ok(InstalledWorkload::plain(Box::new(ScreenOnProbe { log })))
+        Ok(InstalledWorkload {
+            // The screen feed is user-facing; the backlight hint cell is
+            // where presence policy lands.
+            policy_taps: vec![PolicyTapHandle {
+                tap,
+                reserve: r,
+                nominal: feed,
+                background: false,
+            }],
+            drive_cap: Some(drive_cap),
+            ..InstalledWorkload::plain(Box::new(ScreenOnProbe { log }))
+        })
     }
 }
 
@@ -421,12 +497,8 @@ impl WorkloadProgram for OffloaderWorkload {
         // 30 J of headroom plus a 60 mW feed: enough to keep the remote
         // path fundable at the nominal cadence, tight enough that the
         // reserve level is a live signal for the break-even policy.
-        let r = seeded_tapped_reserve(
-            kernel,
-            "offload",
-            Energy::from_joules(30),
-            env.scale(Power::from_microwatts(60_000)),
-        )?;
+        let feed = env.scale(Power::from_microwatts(60_000));
+        let (r, tap) = seeded_tapped_reserve(kernel, "offload", Energy::from_joules(30), feed)?;
         let interval = env.interval(setup.profile.request_interval);
         let config = OffloaderConfig {
             interval,
@@ -446,6 +518,14 @@ impl WorkloadProgram for OffloaderWorkload {
             plan_reserve,
             probe: Box::new(OffloaderProbe { log }),
             steady_hint: Some(interval),
+            // Work items are deferrable compute: background by nature.
+            policy_taps: vec![PolicyTapHandle {
+                tap,
+                reserve: r,
+                nominal: feed,
+                background: true,
+            }],
+            drive_cap: None,
         })
     }
 }

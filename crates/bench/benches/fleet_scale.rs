@@ -61,6 +61,16 @@ fn offload_scenario(devices: u32) -> Scenario {
     }
 }
 
+/// The policy-heavy population: screen-heavy interactive devices under the
+/// user-aware lifetime-target controller, ticking policy decisions on the
+/// quantum grid at fleet scale.
+fn policy_scenario(devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::policy_heavy("fleet-scale-policy", 2_032, devices)
+    }
+}
+
 /// Worker count for the sharded side: all cores, but at least two so the
 /// sharded path (and its determinism) is exercised even on a 1-CPU runner.
 fn sharded_threads() -> usize {
@@ -85,6 +95,10 @@ fn bench_fleet_scale(c: &mut Criterion) {
     let offload = offload_scenario(100);
     group.bench_function("offload_heavy_threads_1", |b| {
         b.iter(|| run_fleet_with(&offload, 1))
+    });
+    let policy = policy_scenario(100);
+    group.bench_function("policy_heavy_threads_1", |b| {
+        b.iter(|| run_fleet_with(&policy, 1))
     });
     group.finish();
 }
@@ -194,6 +208,52 @@ fn scale_report(_c: &mut Criterion) {
         offload_summary.joules_per_request
     );
 
+    // --- Policy-heavy acceptance fleet: the user-aware lifetime-target
+    // controller ticking on every device, byte-identical across 1/2/4
+    // workers, and with the frozen fast-forward on vs off (policy ticks
+    // bound every steady epoch, so decisions land on the same instants).
+    let policy = policy_scenario(devices);
+    let start = Instant::now();
+    let policy_single = run_fleet_with(&policy, 1);
+    let policy_s = start.elapsed().as_secs_f64();
+    for threads in [2usize, 4] {
+        let sharded = run_fleet_with(&policy, threads);
+        assert_eq!(
+            policy_single.to_json(),
+            sharded.to_json(),
+            "policy fleet must be thread-count invariant ({threads} threads)"
+        );
+        assert_eq!(policy_single.to_csv(), sharded.to_csv());
+    }
+    let start = Instant::now();
+    let policy_stepped: Vec<_> = policy
+        .specs()
+        .into_iter()
+        .map(|mut spec| {
+            spec.fast_forward = false;
+            simulate_device(&spec)
+        })
+        .collect();
+    let policy_stepped_s = start.elapsed().as_secs_f64();
+    let policy_ff_identical = policy_single.devices.iter().eq(policy_stepped);
+    assert!(
+        policy_ff_identical,
+        "fast-forward must not change any policy-fleet report"
+    );
+    let policy_summary = policy_single.summary();
+    assert!(
+        policy_summary.policy_rerates > 0,
+        "the controller must act at scale"
+    );
+    println!(
+        "fleet_scale: policy fleet {devices} devices x {HORIZON_S} s  1 thread {policy_s:.2} s \
+         ({}/{} lifetime targets hit, {} re-rates, {} demotions; ff vs stepped byte-identical)",
+        policy_summary.lifetime_target_hits,
+        policy_summary.devices,
+        policy_summary.policy_rerates,
+        policy_summary.policy_demotions
+    );
+
     // --- Steady-heavy fast-forward acceptance: small-battery fleets whose
     // resource graphs drain and freeze mid-run. The same devices simulate
     // with the frozen fast-forward on (the fleet default) and off, both
@@ -295,6 +355,12 @@ fn scale_report(_c: &mut Criterion) {
          \"mix\": \"offloader:8 pollers-coop:2\", \"backend_capacity\": 64, \
          \"wall_s\": {offload_s:.3}, \"completed\": {}, \"rejected\": {}, \"timed_out\": {}, \
          \"latency_s\": {{ \"p50\": {:.4}, \"p99\": {:.4} }}, \"joules_per_request\": {:.3}, \
+         \"reports_byte_identical\": true }},\n  \"policy_heavy\": {{ \"devices\": {devices}, \
+         \"sim_seconds\": {HORIZON_S}, \"mix\": \"screen-on:6 navigator:1 pollers-coop:2 \
+         spinner:1\", \"policy\": \"user-aware\", \"wall_s\": {policy_s:.3}, \
+         \"stepped_wall_s\": {policy_stepped_s:.3}, \"lifetime_target_hits\": {}, \
+         \"policy_rerates\": {}, \"policy_demotions\": {}, \
+         \"ff_byte_identical\": {policy_ff_identical}, \
          \"reports_byte_identical\": true }},\n  \"steady_heavy\": {{ \"devices\": 200, \
          \"sim_hours_per_device\": 24, \"mix\": \"pollers-coop:5 spinner:3\", \
          \"ff_wall_s\": {ff_s:.3}, \"stepped_wall_s\": {stepped_s:.3}, \
@@ -320,6 +386,9 @@ fn scale_report(_c: &mut Criterion) {
         offload_lat.p50,
         offload_lat.p99,
         offload_summary.joules_per_request,
+        policy_summary.lifetime_target_hits,
+        policy_summary.policy_rerates,
+        policy_summary.policy_demotions,
         million_s / million_dev_h * 1e3,
         million_s < 300.0,
     );

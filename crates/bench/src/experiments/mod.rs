@@ -11,6 +11,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig9;
 pub mod fig_offload;
+pub mod fig_policy;
 pub mod fig_quota;
 pub mod netd_run;
 pub mod power_model;

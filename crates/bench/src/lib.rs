@@ -37,6 +37,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig14",
         "fig-quota",
         "fig-offload",
+        "fig-policy",
         "table1",
         "ablation-ipc",
         "ablation-taps",
@@ -64,6 +65,7 @@ pub fn run_experiment(id: &str) -> ExperimentOutput {
         "fig14" => experiments::fig14::run(),
         "fig-quota" => experiments::fig_quota::run(),
         "fig-offload" => experiments::fig_offload::run(),
+        "fig-policy" => experiments::fig_policy::run(),
         "table1" => experiments::table1::run(),
         "ablation-ipc" => experiments::ablation_ipc::run(),
         "ablation-taps" => experiments::ablation_taps::run(),

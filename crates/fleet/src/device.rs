@@ -18,6 +18,7 @@ use cinder_core::{quota, ResourceKind, SchedulerConfig};
 use cinder_kernel::{Kernel, KernelConfig, PeripheralKind};
 use cinder_sim::{Energy, SimDuration, SimTime};
 
+use crate::policy_driver::PolicyRuntime;
 use crate::scenario::DeviceSpec;
 #[cfg(test)]
 use crate::scenario::Workload;
@@ -87,6 +88,21 @@ pub struct DeviceReport {
     pub offload_timed_out: u64,
     /// Σ observed request latency over completed offloads, µs.
     pub offload_latency_us: u64,
+    /// Tap/drive re-rates the policy engine applied (0 with no policy).
+    pub policy_rerates: u64,
+    /// False→true edges of the policy's background-demotion flag.
+    pub policy_demotions: u64,
+    /// Seconds the user model spent Active over the horizon.
+    pub presence_active_s: u64,
+    /// Seconds the user model spent Ambient over the horizon.
+    pub presence_ambient_s: u64,
+    /// Seconds the user model spent Away over the horizon.
+    pub presence_away_s: u64,
+    /// Seconds the user model spent Asleep over the horizon.
+    pub presence_asleep_s: u64,
+    /// Whether the projected lifetime covered the policy's target
+    /// duration (false with no policy configured).
+    pub lifetime_target_hit: bool,
 }
 
 /// Reusable per-worker buffers for [`simulate_device_with`]: a worker keeps
@@ -145,6 +161,21 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         .install(&mut kernel, &env)
         .expect("root can install the workload topology");
 
+    // The policy engine ticks on its own grid-aligned cadence; its first
+    // decision lands before the run starts (a lifetime-target controller
+    // that waits a tick starts behind). Both run paths below clamp their
+    // spans to `next_tick`, so a decision instant is always a span
+    // boundary — the chunk-safe `run_span` guarantees the observables
+    // read there are identical however the surrounding spans were split,
+    // which is what keeps policy fleets byte-identical across worker
+    // counts and fast-forward on/off.
+    let mut policy_rt = spec
+        .policy
+        .map(|config| PolicyRuntime::new(config, spec, &installed));
+    if let Some(rt) = policy_rt.as_mut() {
+        rt.apply(&mut kernel, spec);
+    }
+
     let end = SimTime::ZERO + spec.horizon;
     if spec.fast_forward {
         // Epoch-partitioned run: before each epoch, ask the kernel's
@@ -178,7 +209,13 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         let mut stride: u64 = 1;
         let mut now = kernel.now();
         while now < end {
-            let target = end.min(now + epoch * stride);
+            let mut target = end.min(now + epoch * stride);
+            // A pending policy re-rate bounds the epoch: nothing may be
+            // certified Steady across a decision instant, because the
+            // decision can change tap rates and drive levels.
+            if let Some(rt) = policy_rt.as_ref() {
+                target = target.min(rt.next_tick());
+            }
             // Steady = the probe certifies past the last quantum boundary
             // before `target` (the jump is quantum-floored, so `t` can sit
             // up to one quantum shy of an off-grid final target).
@@ -196,12 +233,32 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
             // `run_span` only advances to quantum boundaries; force
             // progress past a sub-quantum tail so the loop terminates.
             now = if landed > now { landed } else { target };
+            if let Some(rt) = policy_rt.as_mut() {
+                if rt.due(now) && now < end {
+                    rt.apply(&mut kernel, spec);
+                }
+            }
+        }
+    } else if policy_rt.is_some() {
+        // Stepped run with a policy: chunk the horizon at decision
+        // instants. `run_span` split-point invariance makes this
+        // byte-identical to the fast-forward path above.
+        let mut now = kernel.now();
+        while now < end {
+            let rt = policy_rt.as_mut().expect("checked is_some above");
+            let target = end.min(rt.next_tick());
+            kernel.run_span(target);
+            let landed = kernel.now();
+            now = if landed > now { landed } else { target };
+            if rt.due(now) && now < end {
+                rt.apply(&mut kernel, spec);
+            }
         }
     }
     // Settle radio/meter/flows at the horizon for extraction (a no-op for
     // the unchunked path's already-settled kernel).
     kernel.run_until(end);
-    extract_report(spec, &kernel, &installed, scratch)
+    extract_report(spec, &kernel, &installed, scratch, policy_rt.as_ref())
 }
 
 fn extract_report(
@@ -209,6 +266,7 @@ fn extract_report(
     kernel: &Kernel,
     installed: &InstalledWorkload,
     scratch: &mut DeviceScratch,
+    policy: Option<&PolicyRuntime>,
 ) -> DeviceReport {
     // Invariant #1, per kind: every device kernel conserves each resource
     // kind exactly at teardown (energy *and* the data plan's bytes).
@@ -291,6 +349,10 @@ fn extract_report(
         f64::INFINITY
     };
 
+    let presence = policy
+        .map(|rt| rt.presence_seconds(spec.horizon))
+        .unwrap_or([0; 4]);
+
     DeviceReport {
         id: spec.id,
         workload: spec.workload.tag(),
@@ -322,6 +384,13 @@ fn extract_report(
         offload_rejected: offload.rejected,
         offload_timed_out: offload.timed_out,
         offload_latency_us: offload.latency_us_sum,
+        policy_rerates: policy.map(|rt| rt.rerates).unwrap_or(0),
+        policy_demotions: policy.map(|rt| rt.demotions).unwrap_or(0),
+        presence_active_s: presence[0],
+        presence_ambient_s: presence[1],
+        presence_away_s: presence[2],
+        presence_asleep_s: presence[3],
+        lifetime_target_hit: policy.is_some_and(|rt| rt.target_hit(lifetime_h)),
     }
 }
 
@@ -343,6 +412,7 @@ mod tests {
             data_plan: None,
             offload: None,
             fast_forward: true,
+            policy: None,
         }
     }
 

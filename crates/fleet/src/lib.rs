@@ -43,20 +43,26 @@
 //!   merges, plus deterministic checkpoint/resume.
 //! * [`report`] — fleet percentiles (p50/p90/p99 lifetime, tail power) and
 //!   CSV/JSON export via [`cinder_sim::trace`].
+//! * [`policy_driver`] — kernel wiring for `cinder-policy`'s pure
+//!   user-aware policies: observables in at grid-aligned ticks, tap
+//!   re-rates and drive caps out through root syscalls.
 
 pub mod device;
 pub mod executor;
+pub mod policy_driver;
 pub mod report;
 pub mod scenario;
 pub mod slab;
 pub mod stream;
 
+pub use cinder_policy::{PolicyConfig, PolicyVariant, PresenceState, PresenceTrace};
 pub use device::{simulate_device, simulate_device_with, DeviceReport, DeviceScratch};
 pub use executor::{run_fleet, run_fleet_with};
+pub use policy_driver::PolicyRuntime;
 pub use report::{FleetReport, FleetSummary};
 pub use scenario::{DataPlan, DeviceSpec, Scenario, Workload};
 pub use slab::ReportSlab;
 pub use stream::{
     checkpoint_fleet, resume_fleet, stream_fleet, stream_fleet_span, stream_fleet_with,
-    FleetCheckpoint, StreamReport, StreamSummary,
+    FleetCheckpoint, StreamReport, StreamSummary, CHECKPOINT_FORMAT,
 };

@@ -78,6 +78,15 @@ pub struct FleetSummary {
     /// that attempted offloads, divided by the fleet's completed requests
     /// (0 when nothing completed).
     pub joules_per_request: f64,
+    /// Σ tap/drive re-rates the policy engines applied across the fleet.
+    pub policy_rerates: u64,
+    /// Σ background-demotion edges across the fleet.
+    pub policy_demotions: u64,
+    /// Devices whose projected lifetime covered the policy's target.
+    pub lifetime_target_hits: usize,
+    /// Σ user-model seconds per presence state (Active, Ambient, Away,
+    /// Asleep) across the fleet.
+    pub presence_s: [u64; 4],
 }
 
 impl FleetReport {
@@ -149,6 +158,21 @@ impl FleetReport {
                     .sum::<f64>()
                     / offload_completed as f64
             },
+            policy_rerates: self.devices.iter().map(|d| d.policy_rerates).sum(),
+            policy_demotions: self.devices.iter().map(|d| d.policy_demotions).sum(),
+            lifetime_target_hits: self
+                .devices
+                .iter()
+                .filter(|d| d.lifetime_target_hit)
+                .count(),
+            presence_s: self.devices.iter().fold([0u64; 4], |acc, d| {
+                [
+                    acc[0] + d.presence_active_s,
+                    acc[1] + d.presence_ambient_s,
+                    acc[2] + d.presence_away_s,
+                    acc[3] + d.presence_asleep_s,
+                ]
+            }),
         }
     }
 
@@ -189,12 +213,14 @@ impl FleetReport {
              lifetime_h,avg_power_mw,radio_activations,radio_active_s,net_bytes,ops,starved_s,\
              debt_reserves,quota_exhausted,quota_remaining_bytes,bytes_blocked_sends,\
              offload_attempts,offload_accepted,offload_completed,offload_rejected,\
-             offload_timed_out,offload_latency_us\n",
+             offload_timed_out,offload_latency_us,policy_rerates,policy_demotions,\
+             presence_active_s,presence_ambient_s,presence_away_s,presence_asleep_s,\
+             lifetime_target_hit\n",
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 d.id,
                 d.workload,
                 d.battery_capacity_uj,
@@ -222,6 +248,13 @@ impl FleetReport {
                 d.offload_rejected,
                 d.offload_timed_out,
                 d.offload_latency_us,
+                d.policy_rerates,
+                d.policy_demotions,
+                d.presence_active_s,
+                d.presence_ambient_s,
+                d.presence_away_s,
+                d.presence_asleep_s,
+                d.lifetime_target_hit,
             );
         }
         out
@@ -304,6 +337,18 @@ impl FleetReport {
             "  \"joules_per_request\": {:.6},",
             s.joules_per_request
         );
+        let _ = writeln!(out, "  \"policy_rerates\": {},", s.policy_rerates);
+        let _ = writeln!(out, "  \"policy_demotions\": {},", s.policy_demotions);
+        let _ = writeln!(
+            out,
+            "  \"lifetime_target_hits\": {},",
+            s.lifetime_target_hits
+        );
+        let _ = writeln!(
+            out,
+            "  \"presence_s\": [{}, {}, {}, {}],",
+            s.presence_s[0], s.presence_s[1], s.presence_s[2], s.presence_s[3]
+        );
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -364,6 +409,13 @@ mod tests {
             offload_rejected: id,
             offload_timed_out: id - id / 2,
             offload_latency_us: id / 2 * 600_000,
+            policy_rerates: id * 3,
+            policy_demotions: id,
+            presence_active_s: 100,
+            presence_ambient_s: 200,
+            presence_away_s: 300,
+            presence_asleep_s: 400,
+            lifetime_target_hit: id >= 5,
         }
     }
 
@@ -407,6 +459,11 @@ mod tests {
         assert!((lat.mean - 0.6).abs() < 1e-9, "{}", lat.mean);
         // 9 offloading devices × 2500 J over 20 completions.
         assert!((s.joules_per_request - 9.0 * 2_500.0 / 20.0).abs() < 1e-6);
+        // Policy telemetry: Σ 3id, Σ id over ids 0..10; 5 devices hit.
+        assert_eq!(s.policy_rerates, 135);
+        assert_eq!(s.policy_demotions, 45);
+        assert_eq!(s.lifetime_target_hits, 5);
+        assert_eq!(s.presence_s, [1_000, 2_000, 3_000, 4_000]);
     }
 
     #[test]

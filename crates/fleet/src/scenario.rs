@@ -13,6 +13,7 @@ use cinder_apps::{
     ScreenOnWorkload, SpinnerWorkload, WorkloadProgram,
 };
 use cinder_offload::OffloadProfile;
+use cinder_policy::{PolicyConfig, PolicyVariant};
 use cinder_sim::{Energy, SimDuration, SimRng};
 
 /// Which application study a device runs.
@@ -153,6 +154,13 @@ pub struct Scenario {
     /// byte-identical for any worker count and lets checkpoints skip
     /// backend serialisation entirely.
     pub offload: Option<OffloadProfile>,
+    /// The policy engine every device runs, if the scenario runs one.
+    /// Plain copyable configuration: the variant, its decision tick, and
+    /// the lifetime target. `Some` with [`PolicyVariant::None`] still
+    /// generates presence traces and telemetry (the head-to-head
+    /// baseline); `None` skips the policy layer entirely, leaving the
+    /// device loop byte-identical to a policy-free build.
+    pub policy: Option<PolicyConfig>,
 }
 
 /// One device, fully specified: plain data, cheap to ship to a worker
@@ -186,6 +194,10 @@ pub struct DeviceSpec {
     /// default to `true`; the differential tests flip it off to prove the
     /// reports identical either way.
     pub fast_forward: bool,
+    /// Policy engine configuration, if the scenario carries one. Plain
+    /// data copied off the scenario *after* the device's RNG draws —
+    /// enabling a policy never perturbs battery/jitter/seed assignment.
+    pub policy: Option<PolicyConfig>,
 }
 
 impl Scenario {
@@ -210,6 +222,7 @@ impl Scenario {
             quantum: SimDuration::from_millis(100),
             data_plan: None,
             offload: None,
+            policy: None,
         }
     }
 
@@ -301,6 +314,30 @@ impl Scenario {
         }
     }
 
+    /// The user-aware policy study: screen-heavy interactive devices with
+    /// batteries sized *under* the mixture's nominal hourly appetite, so a
+    /// device that burns at full brightness all hour misses the lifetime
+    /// target. The default policy is the user-aware engine with the target
+    /// at the horizon ("still alive at the end of the hour"); `fig-policy`
+    /// swaps the variant to run the same user population under
+    /// None / Static / UserAware head-to-head.
+    pub fn policy_heavy(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::ScreenOn, 6),
+                (Workload::Navigator, 1),
+                (Workload::Pollers { coop: true }, 2),
+                (Workload::Spinner, 1),
+            ],
+            battery: (Energy::from_joules(2_850), Energy::from_joules(2_960)),
+            policy: Some(PolicyConfig::new(
+                PolicyVariant::UserAware,
+                SimDuration::from_secs(3_600),
+            )),
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
     /// The plan-exhausted-mid-hour study, expressible only with in-kernel
     /// enforcement: the plan is sized to roughly half the poller pair's
     /// hourly appetite (~780 KB/h at nominal jitter), so devices run dry
@@ -373,6 +410,7 @@ impl Scenario {
             data_plan: self.data_plan,
             offload: self.offload,
             fast_forward: true,
+            policy: self.policy,
         }
     }
 

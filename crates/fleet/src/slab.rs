@@ -43,6 +43,13 @@ pub struct ReportSlab {
     offload_rejected: Vec<u64>,
     offload_timed_out: Vec<u64>,
     offload_latency_us: Vec<u64>,
+    policy_rerates: Vec<u64>,
+    policy_demotions: Vec<u64>,
+    presence_active_s: Vec<u64>,
+    presence_ambient_s: Vec<u64>,
+    presence_away_s: Vec<u64>,
+    presence_asleep_s: Vec<u64>,
+    lifetime_target_hit: Vec<bool>,
 }
 
 impl ReportSlab {
@@ -80,6 +87,13 @@ impl ReportSlab {
             offload_rejected: vec![0; n],
             offload_timed_out: vec![0; n],
             offload_latency_us: vec![0; n],
+            policy_rerates: vec![0; n],
+            policy_demotions: vec![0; n],
+            presence_active_s: vec![0; n],
+            presence_ambient_s: vec![0; n],
+            presence_away_s: vec![0; n],
+            presence_asleep_s: vec![0; n],
+            lifetime_target_hit: vec![false; n],
         }
     }
 
@@ -125,6 +139,13 @@ impl ReportSlab {
         self.offload_rejected[i] = report.offload_rejected;
         self.offload_timed_out[i] = report.offload_timed_out;
         self.offload_latency_us[i] = report.offload_latency_us;
+        self.policy_rerates[i] = report.policy_rerates;
+        self.policy_demotions[i] = report.policy_demotions;
+        self.presence_active_s[i] = report.presence_active_s;
+        self.presence_ambient_s[i] = report.presence_ambient_s;
+        self.presence_away_s[i] = report.presence_away_s;
+        self.presence_asleep_s[i] = report.presence_asleep_s;
+        self.lifetime_target_hit[i] = report.lifetime_target_hit;
     }
 
     /// Appends `report` as the next row.
@@ -155,6 +176,13 @@ impl ReportSlab {
         self.offload_rejected.push(report.offload_rejected);
         self.offload_timed_out.push(report.offload_timed_out);
         self.offload_latency_us.push(report.offload_latency_us);
+        self.policy_rerates.push(report.policy_rerates);
+        self.policy_demotions.push(report.policy_demotions);
+        self.presence_active_s.push(report.presence_active_s);
+        self.presence_ambient_s.push(report.presence_ambient_s);
+        self.presence_away_s.push(report.presence_away_s);
+        self.presence_asleep_s.push(report.presence_asleep_s);
+        self.lifetime_target_hit.push(report.lifetime_target_hit);
     }
 
     /// Materialises row `i` as a [`DeviceReport`] (the row index is the
@@ -191,6 +219,13 @@ impl ReportSlab {
             offload_rejected: self.offload_rejected[i],
             offload_timed_out: self.offload_timed_out[i],
             offload_latency_us: self.offload_latency_us[i],
+            policy_rerates: self.policy_rerates[i],
+            policy_demotions: self.policy_demotions[i],
+            presence_active_s: self.presence_active_s[i],
+            presence_ambient_s: self.presence_ambient_s[i],
+            presence_away_s: self.presence_away_s[i],
+            presence_asleep_s: self.presence_asleep_s[i],
+            lifetime_target_hit: self.lifetime_target_hit[i],
         }
     }
 
@@ -257,6 +292,13 @@ mod tests {
             offload_rejected: 21,
             offload_timed_out: 22,
             offload_latency_us: 23,
+            policy_rerates: 24,
+            policy_demotions: 25,
+            presence_active_s: 26,
+            presence_ambient_s: 27,
+            presence_away_s: 28,
+            presence_asleep_s: 29,
+            lifetime_target_hit: true,
         }
     }
 

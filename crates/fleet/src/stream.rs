@@ -264,6 +264,20 @@ pub struct StreamSummary {
     /// Σ total_energy_uj over devices that attempted offloads (the
     /// joules-per-request numerator).
     offload_energy_uj: i128,
+    /// Σ tap/drive re-rates the policy engines applied.
+    policy_rerates: u128,
+    /// Σ background-demotion edges.
+    policy_demotions: u128,
+    /// Devices whose projected lifetime covered the policy's target.
+    lifetime_target_hits: u64,
+    /// Σ user-model seconds spent Active.
+    presence_active_s: u128,
+    /// Σ user-model seconds spent Ambient.
+    presence_ambient_s: u128,
+    /// Σ user-model seconds spent Away.
+    presence_away_s: u128,
+    /// Σ user-model seconds spent Asleep.
+    presence_asleep_s: u128,
     /// Projected lifetime distribution, hours.
     pub lifetime_h: Channel,
     /// Average platform power distribution, milliwatts.
@@ -302,6 +316,13 @@ impl StreamSummary {
             offload_timed_out: 0,
             offload_latency_us: 0,
             offload_energy_uj: 0,
+            policy_rerates: 0,
+            policy_demotions: 0,
+            lifetime_target_hits: 0,
+            presence_active_s: 0,
+            presence_ambient_s: 0,
+            presence_away_s: 0,
+            presence_asleep_s: 0,
             // µh fixed point: exact to a microhour per device.
             lifetime_h: Channel::new(1e6, 0.0, 1_000.0),
             avg_power_mw: Channel::new(1e6, 0.0, 5_000.0),
@@ -333,6 +354,13 @@ impl StreamSummary {
         if d.offload_attempts > 0 {
             self.offload_energy_uj += d.total_energy_uj as i128;
         }
+        self.policy_rerates += u128::from(d.policy_rerates);
+        self.policy_demotions += u128::from(d.policy_demotions);
+        self.lifetime_target_hits += u64::from(d.lifetime_target_hit);
+        self.presence_active_s += u128::from(d.presence_active_s);
+        self.presence_ambient_s += u128::from(d.presence_ambient_s);
+        self.presence_away_s += u128::from(d.presence_away_s);
+        self.presence_asleep_s += u128::from(d.presence_asleep_s);
         if d.offload_completed > 0 {
             self.offload_latency_s
                 .observe(d.offload_latency_us as f64 / d.offload_completed as f64 / 1e6);
@@ -361,6 +389,13 @@ impl StreamSummary {
         self.offload_timed_out += other.offload_timed_out;
         self.offload_latency_us += other.offload_latency_us;
         self.offload_energy_uj += other.offload_energy_uj;
+        self.policy_rerates += other.policy_rerates;
+        self.policy_demotions += other.policy_demotions;
+        self.lifetime_target_hits += other.lifetime_target_hits;
+        self.presence_active_s += other.presence_active_s;
+        self.presence_ambient_s += other.presence_ambient_s;
+        self.presence_away_s += other.presence_away_s;
+        self.presence_asleep_s += other.presence_asleep_s;
         self.lifetime_h.merge(&other.lifetime_h);
         self.avg_power_mw.merge(&other.avg_power_mw);
         self.radio_activations.merge(&other.radio_activations);
@@ -428,6 +463,32 @@ impl StreamSummary {
         }
     }
 
+    /// Σ tap/drive re-rates the policy engines applied.
+    pub fn policy_rerates(&self) -> u128 {
+        self.policy_rerates
+    }
+
+    /// Σ background-demotion edges.
+    pub fn policy_demotions(&self) -> u128 {
+        self.policy_demotions
+    }
+
+    /// Devices whose projected lifetime covered the policy's target.
+    pub fn lifetime_target_hits(&self) -> u64 {
+        self.lifetime_target_hits
+    }
+
+    /// Σ user-model seconds per presence state (Active, Ambient, Away,
+    /// Asleep).
+    pub fn presence_s(&self) -> [u128; 4] {
+        [
+            self.presence_active_s,
+            self.presence_ambient_s,
+            self.presence_away_s,
+            self.presence_asleep_s,
+        ]
+    }
+
     fn channels(&self) -> [(&'static str, &Channel); 5] {
         [
             ("lifetime_h", &self.lifetime_h),
@@ -454,6 +515,13 @@ impl StreamSummary {
         let _ = writeln!(out, "offload_timed_out {}", self.offload_timed_out);
         let _ = writeln!(out, "offload_latency_us {}", self.offload_latency_us);
         let _ = writeln!(out, "offload_energy_uj {}", self.offload_energy_uj);
+        let _ = writeln!(out, "policy_rerates {}", self.policy_rerates);
+        let _ = writeln!(out, "policy_demotions {}", self.policy_demotions);
+        let _ = writeln!(out, "lifetime_target_hits {}", self.lifetime_target_hits);
+        let _ = writeln!(out, "presence_active_s {}", self.presence_active_s);
+        let _ = writeln!(out, "presence_ambient_s {}", self.presence_ambient_s);
+        let _ = writeln!(out, "presence_away_s {}", self.presence_away_s);
+        let _ = writeln!(out, "presence_asleep_s {}", self.presence_asleep_s);
         for (name, ch) in self.channels() {
             ch.write_text(name, out);
         }
@@ -528,6 +596,18 @@ impl StreamReport {
             "  \"joules_per_request\": {:.6},",
             s.joules_per_request()
         );
+        let _ = writeln!(out, "  \"policy_rerates\": {},", s.policy_rerates);
+        let _ = writeln!(out, "  \"policy_demotions\": {},", s.policy_demotions);
+        let _ = writeln!(
+            out,
+            "  \"lifetime_target_hits\": {},",
+            s.lifetime_target_hits
+        );
+        let _ = writeln!(
+            out,
+            "  \"presence_s\": [{}, {}, {}, {}],",
+            s.presence_active_s, s.presence_ambient_s, s.presence_away_s, s.presence_asleep_s
+        );
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -566,11 +646,18 @@ pub struct FleetCheckpoint {
     pub summary: StreamSummary,
 }
 
+/// The checkpoint format this build reads and writes. v1 predates the
+/// offload economy's counters, v2 the policy engine's; a summary restored
+/// through an old layout would silently zero the missing accumulators, so
+/// old versions are rejected outright rather than migrated.
+pub const CHECKPOINT_FORMAT: &str = "cinder-fleet-checkpoint v3";
+
 impl FleetCheckpoint {
     /// Deterministic text serialisation. Floats travel as `f64::to_bits`
     /// hex, so `from_text(to_text(cp)) == cp` bit-for-bit.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("cinder-fleet-checkpoint v2\n");
+        let mut out = String::from(CHECKPOINT_FORMAT);
+        out.push('\n');
         let _ = writeln!(out, "scenario {}", json_string(&self.scenario));
         let _ = writeln!(out, "seed {}", self.seed);
         let _ = writeln!(out, "fleet_devices {}", self.fleet_devices);
@@ -580,11 +667,22 @@ impl FleetCheckpoint {
         out
     }
 
-    /// Parses [`FleetCheckpoint::to_text`] output.
+    /// Parses [`FleetCheckpoint::to_text`] output. A checkpoint written by
+    /// an older format version (v1, v2) is rejected with an error naming
+    /// both versions — resuming it through the current layout would
+    /// silently drop accumulators.
     pub fn from_text(text: &str) -> Result<FleetCheckpoint, String> {
         let mut lines = text.lines();
-        if lines.next() != Some("cinder-fleet-checkpoint v2") {
-            return Err("not a cinder-fleet-checkpoint v2".into());
+        let header = lines.next().unwrap_or("");
+        if header != CHECKPOINT_FORMAT {
+            return Err(match header.strip_prefix("cinder-fleet-checkpoint ") {
+                Some(version) => format!(
+                    "checkpoint format {version} is not supported by this build \
+                     (expected {CHECKPOINT_FORMAT}); re-run the checkpoint with a \
+                     matching build instead of resuming it"
+                ),
+                None => format!("not a cinder-fleet checkpoint (first line `{header}`)"),
+            });
         }
         let mut field = |key: &str| -> Result<String, String> {
             let line = lines.next().ok_or_else(|| format!("missing {key}"))?;
@@ -614,6 +712,13 @@ impl FleetCheckpoint {
         summary.offload_timed_out = parse_num(&field("offload_timed_out")?)?;
         summary.offload_latency_us = parse_num(&field("offload_latency_us")?)?;
         summary.offload_energy_uj = parse_num(&field("offload_energy_uj")?)?;
+        summary.policy_rerates = parse_num(&field("policy_rerates")?)?;
+        summary.policy_demotions = parse_num(&field("policy_demotions")?)?;
+        summary.lifetime_target_hits = parse_num(&field("lifetime_target_hits")?)?;
+        summary.presence_active_s = parse_num(&field("presence_active_s")?)?;
+        summary.presence_ambient_s = parse_num(&field("presence_ambient_s")?)?;
+        summary.presence_away_s = parse_num(&field("presence_away_s")?)?;
+        summary.presence_asleep_s = parse_num(&field("presence_asleep_s")?)?;
         for name in [
             "lifetime_h",
             "avg_power_mw",
@@ -912,8 +1017,14 @@ mod tests {
     #[test]
     fn from_text_rejects_garbage() {
         assert!(FleetCheckpoint::from_text("").is_err());
-        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v1\nnope").is_err());
-        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v2\nnope").is_err());
+        // Old format versions are named in the error, not silently
+        // migrated (their layouts are missing accumulators).
+        for old in ["v1", "v2"] {
+            let err = FleetCheckpoint::from_text(&format!("cinder-fleet-checkpoint {old}\nnope"))
+                .unwrap_err();
+            assert!(err.contains(old) && err.contains("v3"), "{err}");
+        }
+        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v3\nnope").is_err());
     }
 
     #[test]

@@ -223,8 +223,8 @@ fn split_run_equals_single_run_with_offloaders() {
         let cp = checkpoint_fleet(&scenario, split, 2);
         let text = cp.to_text();
         assert!(
-            text.starts_with("cinder-fleet-checkpoint v2"),
-            "offload fields need the v2 format: {}",
+            text.starts_with(cinder_fleet::CHECKPOINT_FORMAT),
+            "offload fields need the current checkpoint format: {}",
             text.lines().next().unwrap_or("")
         );
         let revived = FleetCheckpoint::from_text(&text).expect("round-trip");

@@ -132,7 +132,7 @@ proptest! {
     fn steady_vs_stepped(
         seed in 0u64..1_000,
         devices in 3u32..8,
-        family in 0usize..4,
+        family in 0usize..5,
         long in any::<bool>(),
     ) {
         let horizon_s = if long { 480u64 } else { 240 };
@@ -140,7 +140,8 @@ proptest! {
             0 => Scenario::mixed("diff", seed, devices),
             1 => Scenario::all_workloads("diff", seed, devices),
             2 => Scenario::peripheral_heavy("diff", seed, devices),
-            _ => Scenario::steady_heavy("diff", seed, devices),
+            3 => Scenario::steady_heavy("diff", seed, devices),
+            _ => Scenario::policy_heavy("diff", seed, devices),
         };
         let scenario = Scenario {
             horizon: SimDuration::from_secs(horizon_s),

@@ -120,6 +120,32 @@ pub struct DownloadGrant {
     pub energy: Energy,
 }
 
+/// The kernel state a policy engine may observe: a plain-data snapshot
+/// taken between run spans (see [`Kernel::observables`]). Everything in
+/// it is already reachable through individual accessors; bundling it
+/// keeps policy inputs an explicit, closed surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelObservables {
+    /// Simulated now.
+    pub now: SimTime,
+    /// Remaining energy in the battery's root reserve. Only tap draws
+    /// deplete this; the platform baseline does not route through it.
+    pub battery_level: Energy,
+    /// Total platform energy the meter has integrated so far — the
+    /// basis of any lifetime projection (the baseline *is* in here).
+    pub total_energy: Energy,
+    /// Backlight lit?
+    pub backlight_enabled: bool,
+    /// Backlight drive in ppm of full draw.
+    pub backlight_drive_ppm: u64,
+    /// GPS powered?
+    pub gps_enabled: bool,
+    /// GPS drive in ppm of full draw.
+    pub gps_drive_ppm: u64,
+    /// Offload syscall telemetry.
+    pub offload: OffloadStats,
+}
+
 /// Events on the kernel timeline.
 #[derive(Debug, Clone, Copy)]
 enum KernelEvent {
@@ -419,6 +445,40 @@ impl Kernel {
     /// Kernel-wide offload telemetry.
     pub fn offload_stats(&self) -> OffloadStats {
         self.offload_stats
+    }
+
+    /// A root read of a reserve's level — the typed graph query policy
+    /// engines use (paper §3.2: levels are the observable applications
+    /// and managers adapt to).
+    pub fn reserve_level(&self, id: ReserveId) -> Energy {
+        self.graph
+            .level(&Actor::kernel(), id)
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// The observable-state snapshot a policy engine decides over:
+    /// clock, battery, peripheral drive state, and offload telemetry,
+    /// all read-only and all deterministic at a given instant.
+    pub fn observables(&self) -> KernelObservables {
+        KernelObservables {
+            now: self.now,
+            battery_level: self.reserve_level(self.graph.battery()),
+            total_energy: self.meter().total_energy(),
+            backlight_enabled: self.peripheral_enabled(PeripheralKind::Backlight),
+            backlight_drive_ppm: self.peripheral_drive_ppm(PeripheralKind::Backlight),
+            gps_enabled: self.peripheral_enabled(PeripheralKind::Gps),
+            gps_drive_ppm: self.peripheral_drive_ppm(PeripheralKind::Gps),
+            offload: self.offload_stats,
+        }
+    }
+
+    /// The policy engine's re-rate path: sets a tap to a constant rate
+    /// with kernel authority — the task-manager lever of §5.4, exposed
+    /// to a driver applying a policy's decisions between run spans.
+    pub fn rerate_tap(&mut self, tap: TapId, rate: Power) -> Result<(), KernelError> {
+        self.graph
+            .set_tap_rate(&Actor::kernel(), tap, RateSpec::constant(rate))?;
+        Ok(())
     }
 
     /// Installs a §9 data plan: creates the graph's `NetworkBytes` root

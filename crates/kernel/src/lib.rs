@@ -44,7 +44,7 @@ pub mod peripheral;
 pub mod program;
 
 pub use errors::KernelError;
-pub use kernel::{Ctx, DownloadGrant, Kernel, KernelConfig, ThreadId};
+pub use kernel::{Ctx, DownloadGrant, Kernel, KernelConfig, KernelObservables, ThreadId};
 pub use netstack::{NetEnv, NetStack, SendRequest, SendVerdict};
 pub use object::{Body, KObject, ObjectId, ObjectKind};
 pub use offload::{

@@ -1,0 +1,35 @@
+//! # cinder-policy — the user-aware policy engine
+//!
+//! Cinder's reserves and taps (paper §4–§6) are *mechanism*: rate limits
+//! any actor can hold and subdivide. This crate is *policy* — the layer
+//! that decides what the rates should be, conditioned on the user.
+//!
+//! Three pieces, all deterministic:
+//!
+//! * [`PresenceTrace`] — per-device user models (screen sessions,
+//!   interaction bursts, overnight idle) generated as a pure function of
+//!   a `SimRng::split` child stream, queryable at any instant via
+//!   [`PresenceTrace::state_at`].
+//! * [`Policy`] — policies as pure functions `decide(&PolicyInputs) ->
+//!   PolicyActions` over observable kernel state. Shipped variants:
+//!   [`NullPolicy`] (observe only), [`StaticPolicy`] (the presence-blind
+//!   battery saver), and [`UserAwarePolicy`] — a lifetime-target
+//!   controller ("last until 22:00") plus presence-driven backlight caps
+//!   and background demotion.
+//! * [`PolicyConfig`] / [`PolicyVariant`] — plain-data scenario plumbing
+//!   so fleets can run the same user population under different policies
+//!   head-to-head.
+//!
+//! The crate deliberately depends only on `cinder-sim`: inputs and
+//! actions are plain values, and the fleet driver owns all kernel
+//! wiring. That keeps `decide` trivially replayable — the property the
+//! fleet's byte-identity and fast-forward differential tests lean on.
+
+mod policy;
+mod presence;
+
+pub use policy::{
+    NullPolicy, Policy, PolicyActions, PolicyConfig, PolicyInputs, PolicyVariant, StaticPolicy,
+    TapObservation, UserAwarePolicy, FULL_DRIVE_PPM,
+};
+pub use presence::{PresenceState, PresenceTrace, PRESENCE_STREAM};

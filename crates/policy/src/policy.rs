@@ -1,0 +1,481 @@
+//! Policies as pure functions over kernel observables.
+//!
+//! A [`Policy`] sees a [`PolicyInputs`] snapshot — battery and reserve
+//! levels (typed graph queries made by the driver), peripheral state,
+//! offload stats, and the user's [`PresenceState`] — and returns a
+//! [`PolicyActions`]: tap re-rates, a backlight drive cap, and a
+//! background-demotion flag, all applied by the driver through existing
+//! syscalls. Because `decide` is a pure function of the snapshot,
+//! fleets stay byte-identical across worker counts and fast-forward
+//! on/off: the driver only has to evaluate it at deterministic tick
+//! instants.
+
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
+
+use crate::presence::PresenceState;
+
+/// Full backlight drive in ppm (mirrors `cinder_hw::FULL_DRIVE_PPM`
+/// without taking the dependency).
+pub const FULL_DRIVE_PPM: u64 = 1_000_000;
+
+/// One observable tap: a throttleable feed the policy may re-rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapObservation {
+    /// The workload's nominal (jitter-scaled) feed rate.
+    pub nominal: Power,
+    /// The rate currently applied (last action, or nominal at boot).
+    pub current: Power,
+    /// Level of the reserve this tap feeds.
+    pub level: Energy,
+    /// True for background feeds (hogs, pollers) the policy may demote
+    /// when the user is away; false for user-facing feeds.
+    pub background: bool,
+}
+
+/// The observable-state snapshot a policy decides over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyInputs<'a> {
+    /// Simulated now.
+    pub now: SimTime,
+    /// End of the device's run.
+    pub horizon: SimDuration,
+    /// What the user is doing right now.
+    pub presence: PresenceState,
+    /// Projected remaining battery energy: capacity minus the total
+    /// platform energy the meter has integrated, clamped at zero. This
+    /// is the gauge a lifetime projection reads — the platform baseline
+    /// is inside it, unlike the root reserve's balance, which only tap
+    /// draws deplete.
+    pub battery_level: Energy,
+    /// Battery capacity at boot.
+    pub battery_capacity: Energy,
+    /// The workload's throttleable taps, in install order.
+    pub taps: &'a [TapObservation],
+    /// Backlight peripheral powered on?
+    pub backlight_enabled: bool,
+    /// Backlight drive level in ppm of full draw.
+    pub backlight_drive_ppm: u64,
+    /// Offload round trips completed so far (observable economy state).
+    pub offload_completed: u64,
+}
+
+/// What a policy wants changed. The driver applies each field through
+/// the corresponding syscall and counts the telemetry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyActions {
+    /// Per-tap new rates, parallel to [`PolicyInputs::taps`]. `None`
+    /// means leave that tap alone.
+    pub tap_rates: Vec<Option<Power>>,
+    /// Cap on the backlight drive (ppm). `None` lifts any cap.
+    pub backlight_cap_ppm: Option<u64>,
+    /// True while background work should be demoted; the false→true
+    /// edge is counted as one demotion in telemetry.
+    pub demote_background: bool,
+}
+
+impl PolicyActions {
+    /// No changes at all.
+    pub fn inert(taps: usize) -> Self {
+        PolicyActions {
+            tap_rates: vec![None; taps],
+            backlight_cap_ppm: None,
+            demote_background: false,
+        }
+    }
+}
+
+/// A deterministic power policy: a pure function over observables.
+pub trait Policy {
+    /// Decides the actions for one tick. Must be a pure function of
+    /// `inputs` — no interior mutability, no clocks, no randomness.
+    fn decide(&self, inputs: &PolicyInputs) -> PolicyActions;
+}
+
+/// Which policy a fleet scenario runs; plain data so scenarios stay
+/// copyable configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyVariant {
+    /// Observe only: presence telemetry accrues, nothing is re-rated.
+    None,
+    /// A presence-blind battery saver: acts on the battery fraction
+    /// alone, and only once it is already low.
+    Static,
+    /// The user-aware engine: lifetime-target controller plus
+    /// presence-driven backlight and background demotion.
+    UserAware,
+}
+
+impl PolicyVariant {
+    /// All variants, in head-to-head reporting order.
+    pub const ALL: [PolicyVariant; 3] = [
+        PolicyVariant::None,
+        PolicyVariant::Static,
+        PolicyVariant::UserAware,
+    ];
+
+    /// Lower-case tag for CSV/JSON and experiment rows.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PolicyVariant::None => "none",
+            PolicyVariant::Static => "static",
+            PolicyVariant::UserAware => "user-aware",
+        }
+    }
+}
+
+/// Scenario-level policy configuration, plumbed through `DeviceSpec` as
+/// plain copyable data (no RNG draws of its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Which policy decides.
+    pub variant: PolicyVariant,
+    /// Decision cadence; the driver rounds it up to the quantum grid.
+    pub tick: SimDuration,
+    /// Lifetime target measured from boot ("last until 22:00"): the
+    /// device should still have charge at `t = target`.
+    pub target: SimDuration,
+}
+
+impl PolicyConfig {
+    /// A variant deciding every 30 s with the target at `target`.
+    pub fn new(variant: PolicyVariant, target: SimDuration) -> Self {
+        PolicyConfig {
+            variant,
+            tick: SimDuration::from_secs(30),
+            target,
+        }
+    }
+
+    /// Builds the deciding policy object.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match self.variant {
+            PolicyVariant::None => Box::new(NullPolicy),
+            PolicyVariant::Static => Box::new(StaticPolicy::default()),
+            PolicyVariant::UserAware => Box::new(UserAwarePolicy::new(self.target)),
+        }
+    }
+}
+
+/// Observe-only: the head-to-head baseline.
+pub struct NullPolicy;
+
+impl Policy for NullPolicy {
+    fn decide(&self, inputs: &PolicyInputs) -> PolicyActions {
+        PolicyActions::inert(inputs.taps.len())
+    }
+}
+
+/// The presence-blind battery saver every phone ships: do nothing until
+/// the battery is low, then dim and halve background feeds. It ignores
+/// both the user and the clock, so it acts too late to save a lifetime
+/// target — exactly the gap the user-aware engine closes.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPolicy {
+    /// Battery fraction (ppm of capacity) below which the saver kicks in.
+    pub low_battery_ppm: u64,
+    /// Backlight cap once low (ppm of full drive).
+    pub dim_ppm: u64,
+    /// Background tap scale once low (ppm of nominal).
+    pub background_ppm: u64,
+}
+
+impl Default for StaticPolicy {
+    fn default() -> Self {
+        StaticPolicy {
+            low_battery_ppm: 200_000,
+            dim_ppm: 400_000,
+            background_ppm: 500_000,
+        }
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn decide(&self, inputs: &PolicyInputs) -> PolicyActions {
+        let threshold = inputs.battery_capacity.scale_ppm(self.low_battery_ppm);
+        if inputs.battery_level > threshold {
+            // Healthy battery: restore anything a previous low spell cut.
+            let restore = inputs
+                .taps
+                .iter()
+                .map(|t| (t.current != t.nominal).then_some(t.nominal))
+                .collect();
+            return PolicyActions {
+                tap_rates: restore,
+                backlight_cap_ppm: None,
+                demote_background: false,
+            };
+        }
+        let tap_rates = inputs
+            .taps
+            .iter()
+            .map(|t| {
+                let want = if t.background {
+                    t.nominal.scale_ppm(self.background_ppm)
+                } else {
+                    t.nominal
+                };
+                (t.current != want).then_some(want)
+            })
+            .collect();
+        PolicyActions {
+            tap_rates,
+            backlight_cap_ppm: Some(self.dim_ppm),
+            demote_background: true,
+        }
+    }
+}
+
+/// The user-aware engine: a lifetime-target controller plus
+/// presence-conditioned peripheral and background policy.
+///
+/// *Lifetime target.* At every tick the controller compares the burn
+/// rate the remaining budget can sustain until the target instant
+/// (`remaining / time-to-target`, shaved by a 5 % safety margin) with
+/// the average draw observed since boot (`consumed / elapsed`). When
+/// the device is burning faster than it can afford, every tap — and the
+/// backlight cap — is scaled by the same `required / current` ratio,
+/// the proportional-fairness shape of the paper's tap semantics. The
+/// observed average includes the uncontrollable platform baseline, so
+/// the controller naturally leans harder on the controllable draw as
+/// the budget tightens, instead of cliffing at the end.
+///
+/// *Presence.* Backlight drive is capped by what the user can see:
+/// full when [`PresenceState::Active`], ~60 % when glanceable, ~15 %
+/// pocketed, ~1 % overnight. Background taps are additionally demoted
+/// to a quarter of their (already lifetime-scaled) rate while the user
+/// is away or asleep — dim-and-dark plus background demotion from the
+/// energy-pattern catalog, driven by the user model.
+#[derive(Debug, Clone, Copy)]
+pub struct UserAwarePolicy {
+    /// Lifetime target measured from boot.
+    pub target: SimDuration,
+    /// Demoted background scale (ppm of the lifetime-scaled rate).
+    pub demote_ppm: u64,
+}
+
+/// The controller's safety margin: aim for 95 % of the even-burn rate,
+/// so the device makes the target with charge in hand instead of
+/// landing exactly on empty.
+pub const MARGIN_PPM: u64 = 950_000;
+
+impl UserAwarePolicy {
+    /// Default engine for `target`.
+    pub fn new(target: SimDuration) -> Self {
+        UserAwarePolicy {
+            target,
+            demote_ppm: 250_000,
+        }
+    }
+
+    /// The presence-conditioned backlight cap (ppm of full drive).
+    pub fn drive_cap(presence: PresenceState) -> u64 {
+        match presence {
+            PresenceState::Active => FULL_DRIVE_PPM,
+            PresenceState::Ambient => 600_000,
+            PresenceState::Away => 150_000,
+            PresenceState::Asleep => 10_000,
+        }
+    }
+
+    /// The lifetime-target throttle in ppm: the ratio of the burn rate
+    /// the remaining budget sustains until the target (margin-shaved) to
+    /// the average draw observed since boot. Capped at 1 000 000 — the
+    /// controller only ever throttles — and released (full rate) before
+    /// the first measurable draw and once the target instant has passed.
+    pub fn sustainable_ppm(&self, inputs: &PolicyInputs) -> u64 {
+        let elapsed = inputs.now.since(SimTime::ZERO);
+        if elapsed.is_zero() {
+            return FULL_DRIVE_PPM;
+        }
+        let left = self.target.saturating_sub(elapsed);
+        if left.is_zero() {
+            return FULL_DRIVE_PPM;
+        }
+        let remaining = inputs.battery_level.clamp_non_negative();
+        let consumed = (inputs.battery_capacity - remaining).clamp_non_negative();
+        if consumed.is_zero() {
+            return FULL_DRIVE_PPM;
+        }
+        // required/current = (remaining/left) / (consumed/elapsed),
+        // in exact integer µJ·µs cross-products.
+        let required = (remaining.as_microjoules() as u128) * (elapsed.as_micros() as u128);
+        let current = (consumed.as_microjoules() as u128) * (left.as_micros() as u128);
+        let ppm = required
+            .saturating_mul(MARGIN_PPM as u128)
+            .checked_div(current)
+            .unwrap_or(u128::MAX);
+        (ppm.min(FULL_DRIVE_PPM as u128)) as u64
+    }
+}
+
+impl Policy for UserAwarePolicy {
+    fn decide(&self, inputs: &PolicyInputs) -> PolicyActions {
+        let scale = self.sustainable_ppm(inputs);
+        let demote = matches!(inputs.presence, PresenceState::Away | PresenceState::Asleep);
+        let tap_rates = inputs
+            .taps
+            .iter()
+            .map(|t| {
+                let mut want = t.nominal.scale_ppm(scale);
+                if demote && t.background {
+                    want = want.scale_ppm(self.demote_ppm);
+                }
+                // Never freeze a feed outright: a 1 µW floor keeps the
+                // flow graph's tap alive and the workload unblocked.
+                want = want.max(Power::from_microwatts(1));
+                (t.current != want).then_some(want)
+            })
+            .collect();
+        // The backlight obeys both masters: what the user can see and
+        // what the lifetime budget can fund (floored at the overnight
+        // trickle so the screen is never frozen outright).
+        let cap = Self::drive_cap(inputs.presence).min(scale).max(10_000);
+        PolicyActions {
+            tap_rates,
+            backlight_cap_ppm: Some(cap),
+            demote_background: demote,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs<'a>(taps: &'a [TapObservation]) -> PolicyInputs<'a> {
+        PolicyInputs {
+            now: SimTime::from_secs(600),
+            horizon: SimDuration::from_secs(3_600),
+            presence: PresenceState::Active,
+            battery_level: Energy::from_joules(300),
+            battery_capacity: Energy::from_joules(600),
+            taps,
+            backlight_enabled: true,
+            backlight_drive_ppm: FULL_DRIVE_PPM,
+            offload_completed: 0,
+        }
+    }
+
+    fn tap(nominal_uw: u64, background: bool) -> TapObservation {
+        TapObservation {
+            nominal: Power::from_microwatts(nominal_uw),
+            current: Power::from_microwatts(nominal_uw),
+            level: Energy::from_joules(5),
+            background,
+        }
+    }
+
+    #[test]
+    fn null_policy_changes_nothing() {
+        let taps = [tap(100_000, false), tap(50_000, true)];
+        let actions = NullPolicy.decide(&inputs(&taps));
+        assert_eq!(actions, PolicyActions::inert(2));
+    }
+
+    #[test]
+    fn static_policy_waits_for_low_battery() {
+        let taps = [tap(100_000, false), tap(50_000, true)];
+        let healthy = StaticPolicy::default().decide(&inputs(&taps));
+        assert_eq!(healthy.tap_rates, vec![None, None]);
+        assert_eq!(healthy.backlight_cap_ppm, None);
+        assert!(!healthy.demote_background);
+
+        let mut low = inputs(&taps);
+        low.battery_level = Energy::from_joules(60); // 10 % of 600 J
+        let actions = StaticPolicy::default().decide(&low);
+        assert_eq!(actions.tap_rates[0], None, "foreground untouched");
+        assert_eq!(
+            actions.tap_rates[1],
+            Some(Power::from_microwatts(25_000)),
+            "background halved"
+        );
+        assert_eq!(actions.backlight_cap_ppm, Some(400_000));
+        assert!(actions.demote_background);
+    }
+
+    #[test]
+    fn lifetime_controller_solves_the_sustainable_rate() {
+        let taps = [tap(100_000, false), tap(100_000, true)];
+        let policy = UserAwarePolicy::new(SimDuration::from_secs(3_600));
+        let mut inp = inputs(&taps);
+        // 600 s in, 300 of 600 J burned: the observed average is 500 mW.
+        // 3 000 s to go on the remaining 300 J: the budget sustains
+        // 100 mW. required/current = 1/5, shaved by the 95 % margin:
+        // 190 000 ppm, applied to every tap and the backlight alike.
+        assert_eq!(policy.sustainable_ppm(&inp), 190_000);
+        let actions = policy.decide(&inp);
+        assert_eq!(actions.tap_rates[0], Some(Power::from_microwatts(19_000)));
+        assert_eq!(actions.tap_rates[1], Some(Power::from_microwatts(19_000)));
+        assert_eq!(actions.backlight_cap_ppm, Some(190_000));
+
+        // Burning slower than the budget requires: the controller never
+        // over-rates past nominal — it only ever throttles.
+        inp.battery_level = Energy::from_joules(550);
+        assert_eq!(policy.sustainable_ppm(&inp), FULL_DRIVE_PPM);
+        let actions = policy.decide(&inp);
+        assert_eq!(actions.tap_rates, vec![None, None]);
+
+        // Before any measurable draw there is no average to steer by.
+        inp.battery_level = Energy::from_joules(600);
+        assert_eq!(policy.sustainable_ppm(&inp), FULL_DRIVE_PPM);
+    }
+
+    #[test]
+    fn presence_drives_backlight_and_demotion() {
+        let taps = [tap(100_000, false), tap(100_000, true)];
+        let policy = UserAwarePolicy::new(SimDuration::from_secs(3_600));
+        let mut inp = inputs(&taps);
+        inp.battery_level = Energy::from_joules(100_000); // lifetime not binding
+        for (presence, cap) in [
+            (PresenceState::Active, FULL_DRIVE_PPM),
+            (PresenceState::Ambient, 600_000),
+            (PresenceState::Away, 150_000),
+            (PresenceState::Asleep, 10_000),
+        ] {
+            inp.presence = presence;
+            let actions = policy.decide(&inp);
+            assert_eq!(actions.backlight_cap_ppm, Some(cap), "{presence:?}");
+            let demoted = matches!(presence, PresenceState::Away | PresenceState::Asleep);
+            assert_eq!(actions.demote_background, demoted, "{presence:?}");
+            assert_eq!(
+                actions.tap_rates[0], None,
+                "{presence:?}: foreground at nominal"
+            );
+            if demoted {
+                assert_eq!(
+                    actions.tap_rates[1],
+                    Some(Power::from_microwatts(25_000)),
+                    "{presence:?}: background quartered"
+                );
+            } else {
+                assert_eq!(actions.tap_rates[1], None, "{presence:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure() {
+        let taps = [tap(90_000, false), tap(30_000, true)];
+        let mut inp = inputs(&taps);
+        inp.presence = PresenceState::Away;
+        inp.battery_level = Energy::from_joules(42);
+        for config in [
+            PolicyConfig::new(PolicyVariant::None, SimDuration::from_secs(3_600)),
+            PolicyConfig::new(PolicyVariant::Static, SimDuration::from_secs(3_600)),
+            PolicyConfig::new(PolicyVariant::UserAware, SimDuration::from_secs(3_600)),
+        ] {
+            let policy = config.build();
+            let a = policy.decide(&inp);
+            let b = policy.decide(&inp);
+            assert_eq!(a, b, "{:?}", config.variant);
+        }
+    }
+
+    #[test]
+    fn past_target_the_controller_releases() {
+        let taps = [tap(100_000, false)];
+        let policy = UserAwarePolicy::new(SimDuration::from_secs(300));
+        let inp = inputs(&taps); // now = 600 s, past the 300 s target
+        assert_eq!(policy.sustainable_ppm(&inp), FULL_DRIVE_PPM);
+    }
+}

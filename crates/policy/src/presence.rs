@@ -1,0 +1,284 @@
+//! Per-device user presence models.
+//!
+//! *User-Aware Power Management for Mobile Devices* (Lim et al.)
+//! conditions power policy on what the user is doing; this module gives
+//! every simulated device a replayable user. A [`PresenceTrace`] is a
+//! piecewise-constant function of simulated time over four states —
+//! screen-in-hand [`PresenceState::Active`], glanceable
+//! [`PresenceState::Ambient`], pocketed [`PresenceState::Away`], and
+//! overnight [`PresenceState::Asleep`] — generated as a pure function of
+//! a [`SimRng::split`] child stream. Policies and the fleet driver both
+//! read the same trace, so "what the user was doing at time t" is a
+//! deterministic fact of the scenario, byte-identical across worker
+//! layouts and fast-forward settings.
+
+use cinder_sim::{SimDuration, SimRng, SimTime};
+
+/// What the user is doing with the device at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PresenceState {
+    /// Screen in hand: interaction bursts, full brightness expected.
+    Active,
+    /// Nearby and glanceable: screen visible but not being driven.
+    Ambient,
+    /// Pocketed or across the room: nothing user-visible matters.
+    Away,
+    /// Overnight idle: hours of guaranteed absence.
+    Asleep,
+}
+
+impl PresenceState {
+    /// All states, in telemetry order (the fleet's per-state columns).
+    pub const ALL: [PresenceState; 4] = [
+        PresenceState::Active,
+        PresenceState::Ambient,
+        PresenceState::Away,
+        PresenceState::Asleep,
+    ];
+
+    /// Telemetry column index (see [`PresenceState::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            PresenceState::Active => 0,
+            PresenceState::Ambient => 1,
+            PresenceState::Away => 2,
+            PresenceState::Asleep => 3,
+        }
+    }
+
+    /// Lower-case tag for CSV/JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PresenceState::Active => "active",
+            PresenceState::Ambient => "ambient",
+            PresenceState::Away => "away",
+            PresenceState::Asleep => "asleep",
+        }
+    }
+}
+
+/// The RNG stream id presence traces are split from. Drawing presence
+/// from `device_rng.split(PRESENCE_STREAM)` leaves the parent stream —
+/// and therefore every existing workload draw — untouched.
+pub const PRESENCE_STREAM: u64 = 0x70_72_65_73; // "pres"
+
+/// A piecewise-constant presence schedule over one device's horizon.
+///
+/// Segments are half-open: segment `i` holds from its start until the
+/// next segment's start (or forever, for the last one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceTrace {
+    segments: Vec<(SimTime, PresenceState)>,
+}
+
+impl PresenceTrace {
+    /// A trace that stays in one state forever (tests, Null policies).
+    pub fn constant(state: PresenceState) -> Self {
+        PresenceTrace {
+            segments: vec![(SimTime::ZERO, state)],
+        }
+    }
+
+    /// Generates a user for `seed` covering at least `horizon`.
+    ///
+    /// The model is a renewal process tuned to phone-scale rhythms:
+    /// active bursts of 1–4 minutes, ambient lulls of 2–8 minutes, away
+    /// stretches of 10–45 minutes, and — once the per-device bedtime
+    /// arrives — a 6–9 hour sleep block. Every draw comes from a child
+    /// stream split off `seed`, so the trace is a pure function of
+    /// `(seed, horizon)` and identical wherever it is rebuilt.
+    pub fn generate(seed: u64, horizon: SimDuration) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed).split(PRESENCE_STREAM);
+        let mut segments = Vec::new();
+        let secs = |s: f64| SimDuration::from_micros((s * 1e6) as u64);
+        // Where in the waking day this run starts: seconds until bedtime.
+        let mut next_bed = SimTime::ZERO + secs(rng.uniform(600.0, 57_600.0));
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        // The start state is drawn so fleets mix in-hand and pocketed
+        // devices at t=0.
+        let mut state = match rng.uniform_u64(0, 3) {
+            0 => PresenceState::Active,
+            1 => PresenceState::Ambient,
+            _ => PresenceState::Away,
+        };
+        while t <= end {
+            if t >= next_bed {
+                segments.push((t, PresenceState::Asleep));
+                t += secs(rng.uniform(21_600.0, 32_400.0));
+                next_bed = t + secs(rng.uniform(50_400.0, 61_200.0));
+                state = PresenceState::Ambient;
+                continue;
+            }
+            segments.push((t, state));
+            // A waking dwell never crosses bedtime: the clamp lands the
+            // next segment exactly on it, where the sleep branch takes
+            // over (t strictly increases either way).
+            t = (t + Self::waking_dwell(&mut rng, state)).min(next_bed);
+            state = Self::next_waking(&mut rng, state);
+        }
+        PresenceTrace { segments }
+    }
+
+    fn waking_dwell(rng: &mut SimRng, state: PresenceState) -> SimDuration {
+        let secs = match state {
+            PresenceState::Active => rng.uniform(60.0, 240.0),
+            PresenceState::Ambient => rng.uniform(120.0, 480.0),
+            PresenceState::Away => rng.uniform(600.0, 2_700.0),
+            PresenceState::Asleep => unreachable!("sleep handled by the bedtime block"),
+        };
+        SimDuration::from_micros((secs * 1e6) as u64)
+    }
+
+    fn next_waking(rng: &mut SimRng, state: PresenceState) -> PresenceState {
+        match state {
+            // After a burst the user usually lingers, sometimes pockets.
+            PresenceState::Active => {
+                if rng.chance(0.7) {
+                    PresenceState::Ambient
+                } else {
+                    PresenceState::Away
+                }
+            }
+            PresenceState::Ambient => {
+                if rng.chance(0.45) {
+                    PresenceState::Active
+                } else {
+                    PresenceState::Away
+                }
+            }
+            _ => {
+                if rng.chance(0.6) {
+                    PresenceState::Ambient
+                } else {
+                    PresenceState::Active
+                }
+            }
+        }
+    }
+
+    /// The state at time `t` (binary search over segment starts).
+    pub fn state_at(&self, t: SimTime) -> PresenceState {
+        match self
+            .segments
+            .partition_point(|(start, _)| *start <= t)
+            .checked_sub(1)
+        {
+            Some(i) => self.segments[i].1,
+            None => self
+                .segments
+                .first()
+                .map(|(_, s)| *s)
+                .unwrap_or(PresenceState::Ambient),
+        }
+    }
+
+    /// The first state-change instant strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        let i = self.segments.partition_point(|(start, _)| *start <= t);
+        self.segments.get(i).map(|(start, _)| *start)
+    }
+
+    /// Seconds spent in each state over `[0, horizon)`, truncated to
+    /// whole seconds, indexed by [`PresenceState::index`].
+    pub fn seconds_by_state(&self, horizon: SimDuration) -> [u64; 4] {
+        let end = SimTime::ZERO + horizon;
+        let mut out = [0u64; 4];
+        for (i, (start, state)) in self.segments.iter().enumerate() {
+            if *start >= end {
+                break;
+            }
+            let seg_end = self
+                .segments
+                .get(i + 1)
+                .map(|(s, _)| *s)
+                .unwrap_or(end)
+                .min(end);
+            out[state.index()] += seg_end.since(*start).as_micros() / 1_000_000;
+        }
+        out
+    }
+
+    /// The raw segments (start, state), sorted by start.
+    pub fn segments(&self) -> &[(SimTime, PresenceState)] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_pure_functions_of_seed_and_horizon() {
+        for seed in 0..50u64 {
+            let a = PresenceTrace::generate(seed, SimDuration::from_secs(86_400));
+            let b = PresenceTrace::generate(seed, SimDuration::from_secs(86_400));
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn state_at_matches_segments() {
+        let trace = PresenceTrace::generate(7, SimDuration::from_secs(7_200));
+        let segs = trace.segments();
+        assert!(segs.len() >= 2, "a 2 h trace has several segments");
+        assert_eq!(segs[0].0, SimTime::ZERO);
+        for w in segs.windows(2) {
+            assert!(w[0].0 < w[1].0, "segment starts strictly increase");
+            assert_eq!(trace.state_at(w[0].0), w[0].1);
+            let just_before = SimTime::from_micros(w[1].0.as_micros() - 1);
+            assert_eq!(trace.state_at(just_before), w[0].1);
+        }
+        let last = segs.last().unwrap();
+        assert_eq!(
+            trace.state_at(last.0 + SimDuration::from_secs(999_999)),
+            last.1
+        );
+    }
+
+    #[test]
+    fn next_change_walks_every_boundary() {
+        let trace = PresenceTrace::generate(13, SimDuration::from_secs(3_600));
+        let mut t = SimTime::ZERO;
+        let mut seen = 1;
+        while let Some(next) = trace.next_change_after(t) {
+            assert!(next > t);
+            seen += 1;
+            t = next;
+        }
+        assert_eq!(seen, trace.segments().len());
+    }
+
+    #[test]
+    fn seconds_by_state_covers_the_horizon() {
+        for seed in [1u64, 9, 77, 1234] {
+            let horizon = SimDuration::from_secs(36_000);
+            let trace = PresenceTrace::generate(seed, horizon);
+            let by_state = trace.seconds_by_state(horizon);
+            let total: u64 = by_state.iter().sum();
+            // Whole-second truncation loses at most one second per segment.
+            let slack = trace.segments().len() as u64;
+            assert!(
+                total <= 36_000 && total + slack >= 36_000,
+                "seed {seed}: {by_state:?} sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_horizons_include_sleep() {
+        let mut slept = 0;
+        for seed in 0..20u64 {
+            let horizon = SimDuration::from_secs(86_400);
+            let trace = PresenceTrace::generate(seed, horizon);
+            if trace.seconds_by_state(horizon)[PresenceState::Asleep.index()] > 0 {
+                slept += 1;
+            }
+        }
+        assert!(
+            slept >= 18,
+            "a full day almost always crosses bedtime: {slept}/20"
+        );
+    }
+}

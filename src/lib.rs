@@ -16,6 +16,9 @@
 //!   baseline.
 //! * [`offload`] — the shared cloud backend: precomputed mean-field
 //!   service traces and the local-vs-remote break-even policy.
+//! * [`policy`] — the user-aware policy engine: presence models,
+//!   lifetime-target control, and pure policy functions over kernel
+//!   observables.
 //! * [`apps`] — the applications of the paper's §5: `energywrap`, spinners,
 //!   the browser and plugin, the image viewer, the task manager, and the
 //!   mail/RSS pollers.
@@ -33,4 +36,5 @@ pub use cinder_kernel as kernel;
 pub use cinder_label as label;
 pub use cinder_net as net;
 pub use cinder_offload as offload;
+pub use cinder_policy as policy;
 pub use cinder_sim as sim;
