@@ -44,12 +44,14 @@ pub use energywrap::energywrap;
 pub use image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
 pub use navigator::{NavLog, Navigator, NavigatorConfig};
 pub use offloader::{OffloadLog, Offloader, OffloaderConfig, TraceBackend};
-pub use pollers::{build_pollers, PeriodicPoller, PollerHandles, PollerLog};
+pub use pollers::{
+    build_pollers, build_pollers_with_retry, PeriodicPoller, PollerHandles, PollerLog,
+};
 pub use screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 pub use spinner::{ForkPlan, ForkingSpinner, Spinner};
 pub use task_manager::{build_fg_bg, FgBgConfig, FgBgHandles, TaskManager};
 pub use workload::{
     BrowserWorkload, DriveCap, GalleryWorkload, InstalledWorkload, NavigatorWorkload, OffloadSetup,
-    OffloaderWorkload, PolicyTapHandle, PollersWorkload, ScreenOnWorkload, SpinnerWorkload,
-    WorkloadEnv, WorkloadProbe, WorkloadProgram,
+    OffloaderWorkload, PolicyTapHandle, PollersWorkload, RespawnHandle, ScreenOnWorkload,
+    SpinnerWorkload, WorkloadEnv, WorkloadProbe, WorkloadProgram,
 };

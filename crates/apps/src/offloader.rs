@@ -23,6 +23,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use cinder_core::{quota, ResourceKind};
+use cinder_faults::{FaultPlan, OutageSpec, RetryPolicy};
 use cinder_kernel::{
     Ctx, OffloadBackend, OffloadOutcome, OffloadRequest, OffloadStatus, OffloadVerdict, Program,
     Step,
@@ -46,6 +47,22 @@ impl TraceBackend {
     /// Builds the trace for `profile` over `horizon` and wraps it.
     pub fn build(profile: OffloadProfile, horizon: SimDuration) -> TraceBackend {
         TraceBackend::new(Arc::new(BackendTrace::build(profile, horizon)))
+    }
+
+    /// Like [`TraceBackend::build`], but with the fleet-shared outage
+    /// windows `spec` describes baked into the trace: every device in a
+    /// fleet derives the identical windows from the scenario seed, so the
+    /// backend goes dark fleet-wide at once and reports stay
+    /// byte-identical for any worker layout.
+    pub fn build_with_outages(
+        profile: OffloadProfile,
+        horizon: SimDuration,
+        spec: OutageSpec,
+    ) -> TraceBackend {
+        let windows = FaultPlan::outage_windows(&spec, horizon);
+        TraceBackend::new(Arc::new(BackendTrace::build_with_outages(
+            profile, horizon, &windows,
+        )))
     }
 }
 
@@ -109,6 +126,10 @@ pub struct OffloadLog {
     pub local: u64,
     /// Local recomputes forced by a timeout or rejection.
     pub fallbacks: u64,
+    /// Backed-off re-attempts scheduled after a failure (retry enabled).
+    pub retries: u64,
+    /// Items whose retry budget ran dry before a remote completion.
+    pub retries_exhausted: u64,
 }
 
 impl OffloadLog {
@@ -125,6 +146,8 @@ enum Phase {
     Idle,
     /// An offload is in flight; blocked on the response or deadline.
     Awaiting,
+    /// Backing off after a failed attempt; re-decide at the wake.
+    Retry,
     /// A local compute (chosen or fallback) just ran; log and go idle.
     Finish,
 }
@@ -139,6 +162,14 @@ pub struct Offloader {
     /// Whether the item being finished ran as a fallback after a timeout
     /// or rejection (telemetry only).
     fallback: bool,
+    /// Bounded backoff after rejections/timeouts; `None` falls back to
+    /// local immediately (the pre-fault behaviour, byte for byte).
+    retry: Option<RetryPolicy>,
+    /// Offload attempts made for the current item.
+    attempts: u32,
+    /// When the current item's first attempt ran (the retry deadline
+    /// is measured from here).
+    item_started: SimTime,
 }
 
 impl Offloader {
@@ -150,7 +181,16 @@ impl Offloader {
             phase: Phase::Idle,
             next_item: SimTime::ZERO,
             fallback: false,
+            retry: None,
+            attempts: 0,
+            item_started: SimTime::ZERO,
         }
+    }
+
+    /// Enables bounded retry-with-backoff on rejections and timeouts.
+    pub fn with_retry(mut self, retry: Option<RetryPolicy>) -> Offloader {
+        self.retry = retry;
+        self
     }
 
     /// The break-even call, from exactly what the kernel lets the thread
@@ -201,6 +241,43 @@ impl Offloader {
         self.fallback = false;
         self.phase = Phase::Idle;
     }
+
+    /// Ships the current item remotely, counting the attempt.
+    fn attempt_remote(&mut self, ctx: &mut Ctx) -> Step {
+        let req = OffloadRequest {
+            tx_bytes: self.config.tx_bytes,
+            rx_bytes: self.config.rx_bytes,
+            work: self.config.work,
+            deadline: self.config.deadline,
+        };
+        self.attempts += 1;
+        match ctx.offload(req) {
+            Ok(OffloadStatus::Sent) => {
+                self.phase = Phase::Awaiting;
+                Step::Block
+            }
+            // Backend full, link down, or no backend: retry if the
+            // budget allows, else the item still has to run — locally.
+            Ok(OffloadStatus::Rejected) | Err(_) => self.after_failure(ctx),
+        }
+    }
+
+    /// A rejection or timeout landed: back off if the retry budget
+    /// allows, otherwise fall back to a local compute.
+    fn after_failure(&mut self, ctx: &Ctx) -> Step {
+        if let Some(retry) = self.retry {
+            match retry.next_attempt_at(self.item_started, ctx.now(), self.attempts, ctx.quantum())
+            {
+                Some(at) => {
+                    self.log.borrow_mut().retries += 1;
+                    self.phase = Phase::Retry;
+                    return Step::SleepUntil(at);
+                }
+                None => self.log.borrow_mut().retries_exhausted += 1,
+            }
+        }
+        self.compute_locally(true)
+    }
 }
 
 impl Program for Offloader {
@@ -213,25 +290,11 @@ impl Program for Offloader {
                 // Item cadence is start-to-start, anchored to the schedule
                 // (not to when this item finishes).
                 self.next_item += self.config.interval;
+                self.item_started = ctx.now();
+                self.attempts = 0;
                 match self.decide(ctx) {
                     OffloadDecision::Local => self.compute_locally(false),
-                    OffloadDecision::Remote => {
-                        let req = OffloadRequest {
-                            tx_bytes: self.config.tx_bytes,
-                            rx_bytes: self.config.rx_bytes,
-                            work: self.config.work,
-                            deadline: self.config.deadline,
-                        };
-                        match ctx.offload(req) {
-                            Ok(OffloadStatus::Sent) => {
-                                self.phase = Phase::Awaiting;
-                                Step::Block
-                            }
-                            // Backend full or no backend: the item still
-                            // has to run — locally.
-                            Ok(OffloadStatus::Rejected) | Err(_) => self.compute_locally(true),
-                        }
-                    }
+                    OffloadDecision::Remote => self.attempt_remote(ctx),
                 }
             }
             Phase::Awaiting => match ctx.offload_take_result() {
@@ -239,11 +302,21 @@ impl Program for Offloader {
                     self.finish(true);
                     Step::Yield
                 }
-                Some(OffloadOutcome::TimedOut) => self.compute_locally(true),
+                Some(OffloadOutcome::TimedOut) => self.after_failure(ctx),
                 // Spurious wake (e.g. the pooled send being granted);
                 // the offload is still in flight.
                 None => Step::Block,
             },
+            Phase::Retry => {
+                // Backoff expired: re-price the item against the live
+                // estimate. A backend that is still dark (outage pins the
+                // estimate at the deadline) prices local and the item
+                // falls back rather than burning the remaining budget.
+                match self.decide(ctx) {
+                    OffloadDecision::Local => self.compute_locally(true),
+                    OffloadDecision::Remote => self.attempt_remote(ctx),
+                }
+            }
             Phase::Finish => {
                 self.finish(false);
                 Step::Yield

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cinder_core::{Actor, RateSpec, ReserveId, TapId};
+use cinder_faults::RetryPolicy;
 use cinder_kernel::{Ctx, Kernel, KernelError, NetSendStatus, Program, Step, ThreadId};
 use cinder_label::Label;
 use cinder_sim::{Power, SimDuration, SimTime};
@@ -25,6 +26,11 @@ pub struct PollerLog {
     pub send_bytes: Vec<u64>,
     /// Polls that had to block for pooled energy first.
     pub blocked_first: u64,
+    /// Backed-off re-checks of a held send (retry enabled).
+    pub retries: u64,
+    /// Polls abandoned after the retry budget ran dry (the held send is
+    /// withdrawn from the kernel and the slot skipped).
+    pub gave_up: u64,
 }
 
 impl PollerLog {
@@ -56,6 +62,13 @@ pub struct PeriodicPoller {
     rx_bytes: u64,
     state: State,
     log: Rc<RefCell<PollerLog>>,
+    /// Bounded backoff while a send is held; `None` blocks until granted
+    /// (the pre-fault behaviour, byte for byte).
+    retry: Option<RetryPolicy>,
+    /// When the held send first blocked (the retry deadline anchor).
+    blocked_at: SimTime,
+    /// Checks made on the held send, counting the original submit.
+    attempts: u32,
 }
 
 impl PeriodicPoller {
@@ -74,7 +87,18 @@ impl PeriodicPoller {
             rx_bytes,
             state: State::Starting,
             log,
+            retry: None,
+            blocked_at: SimTime::ZERO,
+            attempts: 0,
         }
+    }
+
+    /// Enables bounded retry-with-backoff on held sends: instead of
+    /// blocking indefinitely, the poller re-checks on the backoff grid
+    /// and abandons the slot once the budget is spent.
+    pub fn with_retry(mut self, retry: Option<RetryPolicy>) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// §6.4's RSS downloader: starts at 0 s, polls every 60 s, pulls a
@@ -136,6 +160,19 @@ pub fn build_pollers(
     rss_interval: SimDuration,
     mail_interval: SimDuration,
 ) -> Result<PollerHandles, KernelError> {
+    build_pollers_with_retry(kernel, feed, rss_interval, mail_interval, None)
+}
+
+/// [`build_pollers`] with bounded retry on held sends (the fault
+/// scenarios' resilience path); `None` keeps the block-until-granted
+/// behaviour unchanged.
+pub fn build_pollers_with_retry(
+    kernel: &mut Kernel,
+    feed: Power,
+    rss_interval: SimDuration,
+    mail_interval: SimDuration,
+    retry: Option<RetryPolicy>,
+) -> Result<PollerHandles, KernelError> {
     let root = Actor::kernel();
     let battery = kernel.battery();
     let tapped = |kernel: &mut Kernel, name: &str| -> Result<(ReserveId, TapId), KernelError> {
@@ -156,24 +193,24 @@ pub fn build_pollers(
     let log = PollerLog::shared();
     let rss = kernel.spawn_unprivileged(
         "rss",
-        Box::new(PeriodicPoller::new(
-            SimTime::ZERO,
-            rss_interval,
-            256,
-            8_192,
-            log.clone(),
-        )),
+        Box::new(
+            PeriodicPoller::new(SimTime::ZERO, rss_interval, 256, 8_192, log.clone())
+                .with_retry(retry),
+        ),
         rss_reserve,
     );
     let mail = kernel.spawn_unprivileged(
         "mail",
-        Box::new(PeriodicPoller::new(
-            SimTime::from_secs(15),
-            mail_interval,
-            512,
-            4_096,
-            log.clone(),
-        )),
+        Box::new(
+            PeriodicPoller::new(
+                SimTime::from_secs(15),
+                mail_interval,
+                512,
+                4_096,
+                log.clone(),
+            )
+            .with_retry(retry),
+        ),
         mail_reserve,
     );
     Ok(PollerHandles {
@@ -207,7 +244,17 @@ impl Program for PeriodicPoller {
                 Ok(NetSendStatus::Blocked) => {
                     self.log.borrow_mut().blocked_first += 1;
                     self.state = State::AwaitingGrant;
-                    Step::Block
+                    self.blocked_at = ctx.now();
+                    self.attempts = 1;
+                    // With retry: wake on the backoff grid instead of only
+                    // on the grant, so a wedged send is eventually
+                    // abandoned rather than held forever.
+                    match self.retry.and_then(|r| {
+                        r.next_attempt_at(self.blocked_at, ctx.now(), 1, ctx.quantum())
+                    }) {
+                        Some(at) => Step::SleepUntil(at),
+                        None => Step::Block,
+                    }
                 }
                 Err(_) => Step::Exit,
             },
@@ -220,8 +267,37 @@ impl Program for PeriodicPoller {
                         self.state = State::Idle;
                         Step::SleepUntil(self.next_poll_after(ctx.now()))
                     }
-                    // Spurious wake: keep waiting.
-                    _ => Step::Block,
+                    // No grant yet: a spurious wake, or a backoff check.
+                    _ => {
+                        let Some(retry) = self.retry else {
+                            return Step::Block;
+                        };
+                        self.attempts += 1;
+                        match retry.next_attempt_at(
+                            self.blocked_at,
+                            ctx.now(),
+                            self.attempts,
+                            ctx.quantum(),
+                        ) {
+                            Some(at) => {
+                                self.log.borrow_mut().retries += 1;
+                                Step::SleepUntil(at)
+                            }
+                            // Budget spent: abandon the slot — but only if
+                            // the kernel still holds the send. Once the
+                            // stack owns it (netd pooling) the grant is
+                            // netd's to give and the poller keeps waiting.
+                            None => {
+                                if ctx.net_cancel_pending() {
+                                    self.log.borrow_mut().gave_up += 1;
+                                    self.state = State::Idle;
+                                    Step::SleepUntil(self.next_poll_after(ctx.now()))
+                                } else {
+                                    Step::Block
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -17,11 +17,12 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use cinder_core::{Actor, RateSpec, ReserveId, TapId};
+use cinder_faults::{FaultConfig, OutageSpec};
 use cinder_hw::LaptopNet;
-use cinder_kernel::{Kernel, KernelConfig, KernelError};
+use cinder_kernel::{Kernel, KernelConfig, KernelError, Program, ThreadId};
 use cinder_label::Label;
 use cinder_net::{CoopNetd, UncoopStack};
-use cinder_sim::{Energy, Power, SimDuration};
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
 
 use cinder_offload::OffloadProfile;
 
@@ -29,7 +30,7 @@ use crate::browser::{build_browser, BrowserConfig};
 use crate::image_viewer::{ImageViewer, ViewerConfig, ViewerLog};
 use crate::navigator::{NavLog, Navigator, NavigatorConfig};
 use crate::offloader::{OffloadLog, Offloader, OffloaderConfig, TraceBackend};
-use crate::pollers::{build_pollers, PollerLog};
+use crate::pollers::{build_pollers_with_retry, PeriodicPoller, PollerLog};
 use crate::screen_on::{BrowseLog, ScreenOn, ScreenOnConfig};
 use crate::spinner::Spinner;
 
@@ -43,6 +44,9 @@ pub struct OffloadSetup {
     pub profile: OffloadProfile,
     /// Simulation horizon the trace must span.
     pub horizon: SimDuration,
+    /// Fleet-shared backend outage windows baked into the trace, if the
+    /// scenario injects them.
+    pub outages: Option<OutageSpec>,
 }
 
 impl OffloadSetup {
@@ -51,6 +55,7 @@ impl OffloadSetup {
         OffloadSetup {
             profile: OffloadProfile::default(),
             horizon: SimDuration::from_secs(3_600),
+            outages: None,
         }
     }
 }
@@ -68,6 +73,9 @@ pub struct WorkloadEnv {
     pub data_plan_bytes: Option<u64>,
     /// Shared-backend offload economy, if the scenario runs one.
     pub offload: Option<OffloadSetup>,
+    /// The scenario's fault model, if it injects any — workloads read
+    /// the retry policy off it and opt into backoff.
+    pub faults: Option<FaultConfig>,
 }
 
 impl WorkloadEnv {
@@ -78,7 +86,13 @@ impl WorkloadEnv {
             interval_scale_ppm: 1_000_000,
             data_plan_bytes: None,
             offload: None,
+            faults: None,
         }
+    }
+
+    /// The retry policy the scenario's fault model prescribes, if any.
+    pub fn retry(&self) -> Option<cinder_faults::RetryPolicy> {
+        self.faults.and_then(|f| f.retry)
     }
 
     /// Scales a nominal tap rate by the device's rate jitter.
@@ -101,6 +115,17 @@ pub trait WorkloadProbe {
     /// Application-path bytes that never cross the radio (the gallery's
     /// NIC downloads); zero means "use the radio's byte counters".
     fn app_net_bytes(&self, _kernel: &Kernel) -> u64 {
+        0
+    }
+
+    /// Backoff retries the workload's resilience layer scheduled (0 for
+    /// workloads without one).
+    fn retries(&self, _kernel: &Kernel) -> u64 {
+        0
+    }
+
+    /// Work items abandoned after the retry budget ran out.
+    fn retries_exhausted(&self, _kernel: &Kernel) -> u64 {
         0
     }
 }
@@ -126,6 +151,21 @@ pub struct PolicyTapHandle {
     pub background: bool,
 }
 
+/// A restartable workload thread: everything a fault supervisor needs to
+/// kill it and bring a fresh instance back. `make` rebuilds the program
+/// in its initial state, sharing the workload's logs (an `Rc` capture),
+/// so a transient crash resets in-progress work but keeps telemetry.
+pub struct RespawnHandle {
+    /// The live thread (a supervisor updates this after each respawn).
+    pub thread: ThreadId,
+    /// The reserve the respawned program runs under.
+    pub reserve: ReserveId,
+    /// Thread name, reused on respawn.
+    pub name: String,
+    /// Builds a fresh program in its initial state.
+    pub make: Box<dyn Fn() -> Box<dyn Program>>,
+}
+
 /// A workload's handles back to the driver.
 pub struct InstalledWorkload {
     /// The §9 plan reserve, when the workload installed one.
@@ -144,6 +184,9 @@ pub struct InstalledWorkload {
     pub policy_taps: Vec<PolicyTapHandle>,
     /// The backlight-cap hint cell, for workloads that drive the screen.
     pub drive_cap: Option<DriveCap>,
+    /// Threads a fault supervisor may kill and respawn. Empty for
+    /// workloads that don't support transient-crash injection.
+    pub respawns: Vec<RespawnHandle>,
 }
 
 impl InstalledWorkload {
@@ -154,6 +197,7 @@ impl InstalledWorkload {
             steady_hint: None,
             policy_taps: Vec::new(),
             drive_cap: None,
+            respawns: Vec::new(),
         }
     }
 }
@@ -225,6 +269,14 @@ impl WorkloadProbe for PollerProbe {
     fn ops(&self, _kernel: &Kernel) -> u64 {
         self.log.borrow().sends.len() as u64
     }
+
+    fn retries(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().retries
+    }
+
+    fn retries_exhausted(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().gave_up
+    }
 }
 
 impl WorkloadProgram for PollersWorkload {
@@ -240,12 +292,10 @@ impl WorkloadProgram for PollersWorkload {
             kernel.install_net(Box::new(UncoopStack::new()));
         }
         let feed = env.scale(Power::from_microwatts(37_500));
-        let handles = build_pollers(
-            kernel,
-            feed,
-            env.interval(SimDuration::from_secs(60)),
-            env.interval(SimDuration::from_secs(60)),
-        )?;
+        let retry = env.retry();
+        let rss_interval = env.interval(SimDuration::from_secs(60));
+        let mail_interval = env.interval(SimDuration::from_secs(60));
+        let handles = build_pollers_with_retry(kernel, feed, rss_interval, mail_interval, retry)?;
         // §9 in-kernel: the device carries a NetworkBytes root pool whose
         // plan reserve gates both pollers' sends online — blocked-on-bytes
         // is kernel state, not an offline replay.
@@ -253,6 +303,44 @@ impl WorkloadProgram for PollersWorkload {
             Some(bytes) => Some(kernel.install_byte_plan(bytes, &[handles.rss, handles.mail])?),
             None => None,
         };
+        let rss_log = handles.log.clone();
+        let mail_log = handles.log.clone();
+        let respawns = vec![
+            RespawnHandle {
+                thread: handles.rss,
+                reserve: handles.rss_reserve,
+                name: "rss".into(),
+                make: Box::new(move || {
+                    Box::new(
+                        PeriodicPoller::new(
+                            SimTime::ZERO,
+                            rss_interval,
+                            256,
+                            8_192,
+                            rss_log.clone(),
+                        )
+                        .with_retry(retry),
+                    )
+                }),
+            },
+            RespawnHandle {
+                thread: handles.mail,
+                reserve: handles.mail_reserve,
+                name: "mail".into(),
+                make: Box::new(move || {
+                    Box::new(
+                        PeriodicPoller::new(
+                            SimTime::from_secs(15),
+                            mail_interval,
+                            512,
+                            4_096,
+                            mail_log.clone(),
+                        )
+                        .with_retry(retry),
+                    )
+                }),
+            },
+        ];
         Ok(InstalledWorkload {
             plan_reserve,
             probe: Box::new(PollerProbe { log: handles.log }),
@@ -274,6 +362,7 @@ impl WorkloadProgram for PollersWorkload {
                 },
             ],
             drive_cap: None,
+            respawns,
         })
     }
 }
@@ -368,13 +457,19 @@ impl WorkloadProgram for SpinnerWorkload {
     ) -> Result<InstalledWorkload, KernelError> {
         let feed = env.scale(Power::from_microwatts(68_500));
         let (r, tap) = seeded_tapped_reserve(kernel, "hog", Energy::ZERO, feed)?;
-        kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
+        let tid = kernel.spawn_unprivileged("hog", Box::new(Spinner::new()), r);
         Ok(InstalledWorkload {
             policy_taps: vec![PolicyTapHandle {
                 tap,
                 reserve: r,
                 nominal: feed,
                 background: true,
+            }],
+            respawns: vec![RespawnHandle {
+                thread: tid,
+                reserve: r,
+                name: "hog".into(),
+                make: Box::new(|| Box::new(Spinner::new())),
             }],
             ..InstalledWorkload::plain(Box::new(NullProbe))
         })
@@ -480,6 +575,14 @@ impl WorkloadProbe for OffloaderProbe {
     fn ops(&self, _kernel: &Kernel) -> u64 {
         self.log.borrow().items
     }
+
+    fn retries(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().retries
+    }
+
+    fn retries_exhausted(&self, _kernel: &Kernel) -> u64 {
+        self.log.borrow().retries_exhausted
+    }
 }
 
 impl WorkloadProgram for OffloaderWorkload {
@@ -493,7 +596,11 @@ impl WorkloadProgram for OffloaderWorkload {
         let netd = CoopNetd::with_defaults(kernel.graph_mut());
         kernel.install_net(Box::new(netd));
         let setup = env.offload.unwrap_or_else(OffloadSetup::nominal);
-        kernel.install_offload(Box::new(TraceBackend::build(setup.profile, setup.horizon)));
+        let backend = match setup.outages {
+            Some(spec) => TraceBackend::build_with_outages(setup.profile, setup.horizon, spec),
+            None => TraceBackend::build(setup.profile, setup.horizon),
+        };
+        kernel.install_offload(Box::new(backend));
         // 30 J of headroom plus a 60 mW feed: enough to keep the remote
         // path fundable at the nominal cadence, tight enough that the
         // reserve level is a live signal for the break-even policy.
@@ -504,16 +611,18 @@ impl WorkloadProgram for OffloaderWorkload {
             interval,
             ..OffloaderConfig::from_profile(&setup.profile)
         };
+        let retry = env.retry();
         let log = OffloadLog::shared();
         let tid = kernel.spawn_unprivileged(
             "offloader",
-            Box::new(Offloader::new(config, log.clone())),
+            Box::new(Offloader::new(config, log.clone()).with_retry(retry)),
             r,
         );
         let plan_reserve = match env.data_plan_bytes {
             Some(bytes) => Some(kernel.install_byte_plan(bytes, &[tid])?),
             None => None,
         };
+        let respawn_log = log.clone();
         Ok(InstalledWorkload {
             plan_reserve,
             probe: Box::new(OffloaderProbe { log }),
@@ -526,6 +635,14 @@ impl WorkloadProgram for OffloaderWorkload {
                 background: true,
             }],
             drive_cap: None,
+            respawns: vec![RespawnHandle {
+                thread: tid,
+                reserve: r,
+                name: "offloader".into(),
+                make: Box::new(move || {
+                    Box::new(Offloader::new(config, respawn_log.clone()).with_retry(retry))
+                }),
+            }],
         })
     }
 }
@@ -595,8 +712,7 @@ mod tests {
         let env = WorkloadEnv {
             rate_scale_ppm: 900_000,
             interval_scale_ppm: 1_100_000,
-            data_plan_bytes: None,
-            offload: None,
+            ..WorkloadEnv::nominal()
         };
         assert_eq!(
             env.scale(Power::from_microwatts(100_000)),

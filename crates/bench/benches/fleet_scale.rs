@@ -7,8 +7,11 @@
 //! configuration, asserts the two reports are byte-identical (the
 //! determinism contract), and writes `BENCH_fleet_scale.json` at the repo
 //! root to seed the benchmark trajectory. The report also covers the
-//! fleet-at-scale acceptance runs: the steady-heavy fast-forward
-//! differential (on vs off, byte-identical, speedup recorded), a
+//! fleet-at-scale acceptance runs: a fault-heavy fleet under the
+//! calibrated fault storm (byte-identical across workers and with
+//! fast-forward on vs off, fault ledger recorded), the steady-heavy
+//! fast-forward differential (on vs off, byte-identical, speedup
+//! recorded), a
 //! 10,000-device streaming smoke, one million device-hours single-threaded
 //! (must fit in five minutes), and a checkpoint/resume split run that must
 //! equal the one-pass run byte-for-byte.
@@ -71,6 +74,16 @@ fn policy_scenario(devices: u32) -> Scenario {
     }
 }
 
+/// The fault-heavy population: the calibrated fault storm — link flaps,
+/// kill/respawn crashes, battery aging, shared backend outages — layered
+/// over an offloading, policy-controlled mixture.
+fn fault_scenario(devices: u32) -> Scenario {
+    Scenario {
+        horizon: SimDuration::from_secs(HORIZON_S),
+        ..Scenario::fault_heavy("fleet-scale-faults", 2_033, devices)
+    }
+}
+
 /// Worker count for the sharded side: all cores, but at least two so the
 /// sharded path (and its determinism) is exercised even on a 1-CPU runner.
 fn sharded_threads() -> usize {
@@ -99,6 +112,10 @@ fn bench_fleet_scale(c: &mut Criterion) {
     let policy = policy_scenario(100);
     group.bench_function("policy_heavy_threads_1", |b| {
         b.iter(|| run_fleet_with(&policy, 1))
+    });
+    let faults = fault_scenario(100);
+    group.bench_function("fault_heavy_threads_1", |b| {
+        b.iter(|| run_fleet_with(&faults, 1))
     });
     group.finish();
 }
@@ -254,6 +271,55 @@ fn scale_report(_c: &mut Criterion) {
         policy_summary.policy_demotions
     );
 
+    // --- Fault-heavy acceptance fleet: the calibrated fault storm at the
+    // same scale. Faults must ride the determinism contract unchanged —
+    // byte-identical across workers and with fast-forward on vs off — and
+    // the fault ledger (flaps, crashes/restarts, retries, fade) must show
+    // the storm actually landed.
+    let faults = fault_scenario(devices);
+    let start = Instant::now();
+    let fault_single = run_fleet_with(&faults, 1);
+    let fault_s = start.elapsed().as_secs_f64();
+    for threads in [2usize, 4] {
+        let sharded = run_fleet_with(&faults, threads);
+        assert_eq!(
+            fault_single.to_json(),
+            sharded.to_json(),
+            "fault fleet must be thread-count invariant ({threads} threads)"
+        );
+        assert_eq!(fault_single.to_csv(), sharded.to_csv());
+    }
+    let fault_stepped: Vec<_> = faults
+        .specs()
+        .into_iter()
+        .map(|mut spec| {
+            spec.fast_forward = false;
+            simulate_device(&spec)
+        })
+        .collect();
+    let fault_ff_identical = fault_single.devices.iter().eq(fault_stepped);
+    assert!(
+        fault_ff_identical,
+        "fast-forward must not change any fault-fleet report"
+    );
+    let fault_summary = fault_single.summary();
+    assert!(fault_summary.link_flaps > 0, "the storm must flap links");
+    assert!(fault_summary.crashes > 0, "the storm must kill programs");
+    assert!(fault_summary.restarts > 0, "kills must respawn");
+    assert!(fault_summary.retries > 0, "backoff must engage");
+    assert!(fault_summary.fade_j > 0.0, "batteries must age");
+    println!(
+        "fleet_scale: fault fleet {devices} devices x {HORIZON_S} s  1 thread {fault_s:.2} s \
+         ({} flaps, {} crashes / {} restarts, {} retries ({} exhausted), {:.0} J fade; \
+         ff vs stepped byte-identical)",
+        fault_summary.link_flaps,
+        fault_summary.crashes,
+        fault_summary.restarts,
+        fault_summary.retries,
+        fault_summary.retries_exhausted,
+        fault_summary.fade_j
+    );
+
     // --- Steady-heavy fast-forward acceptance: small-battery fleets whose
     // resource graphs drain and freeze mid-run. The same devices simulate
     // with the frozen fast-forward on (the fleet default) and off, both
@@ -361,6 +427,12 @@ fn scale_report(_c: &mut Criterion) {
          \"stepped_wall_s\": {policy_stepped_s:.3}, \"lifetime_target_hits\": {}, \
          \"policy_rerates\": {}, \"policy_demotions\": {}, \
          \"ff_byte_identical\": {policy_ff_identical}, \
+         \"reports_byte_identical\": true }},\n  \"fault_heavy\": {{ \"devices\": {devices}, \
+         \"sim_seconds\": {HORIZON_S}, \"mix\": \"offloader:4 pollers-coop:4 spinner:2\", \
+         \"faults\": \"flaps+crashes+aging+outages\", \"wall_s\": {fault_s:.3}, \
+         \"link_flaps\": {}, \"crashes\": {}, \"restarts\": {}, \"retries\": {}, \
+         \"retries_exhausted\": {}, \"fade_j\": {:.1}, \
+         \"ff_byte_identical\": {fault_ff_identical}, \
          \"reports_byte_identical\": true }},\n  \"steady_heavy\": {{ \"devices\": 200, \
          \"sim_hours_per_device\": 24, \"mix\": \"pollers-coop:5 spinner:3\", \
          \"ff_wall_s\": {ff_s:.3}, \"stepped_wall_s\": {stepped_s:.3}, \
@@ -389,6 +461,12 @@ fn scale_report(_c: &mut Criterion) {
         policy_summary.lifetime_target_hits,
         policy_summary.policy_rerates,
         policy_summary.policy_demotions,
+        fault_summary.link_flaps,
+        fault_summary.crashes,
+        fault_summary.restarts,
+        fault_summary.retries,
+        fault_summary.retries_exhausted,
+        fault_summary.fade_j,
         million_s / million_dev_h * 1e3,
         million_s < 300.0,
     );

@@ -10,6 +10,7 @@ pub mod fig14;
 pub mod fig3;
 pub mod fig4;
 pub mod fig9;
+pub mod fig_faults;
 pub mod fig_offload;
 pub mod fig_policy;
 pub mod fig_quota;

@@ -38,6 +38,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig-quota",
         "fig-offload",
         "fig-policy",
+        "fig-faults",
         "table1",
         "ablation-ipc",
         "ablation-taps",
@@ -66,6 +67,7 @@ pub fn run_experiment(id: &str) -> ExperimentOutput {
         "fig-quota" => experiments::fig_quota::run(),
         "fig-offload" => experiments::fig_offload::run(),
         "fig-policy" => experiments::fig_policy::run(),
+        "fig-faults" => experiments::fig_faults::run(),
         "table1" => experiments::table1::run(),
         "ablation-ipc" => experiments::ablation_ipc::run(),
         "ablation-taps" => experiments::ablation_taps::run(),

@@ -1,0 +1,65 @@
+//! Deterministic fault injection for Cinder fleets.
+//!
+//! Cinder's argument is graceful degradation under scarcity, but a
+//! fault-free simulation never exercises the "degrade" half. This crate
+//! supplies the adversity: per-device [`FaultPlan`]s schedule radio link
+//! flaps, transient app crashes, and battery aging, while fleet-shared
+//! outage windows darken the offload backend. Everything is a pure
+//! function of [`cinder_sim::SimRng::split`] child streams — like
+//! presence traces — so fault-heavy fleets keep the byte-identical
+//! determinism contract across worker layouts, fast-forward settings,
+//! and checkpoint splits.
+//!
+//! The resilience side lives here too: [`RetryPolicy`] is the bounded
+//! retry-with-exponential-backoff helper the offloader and pollers use.
+//! Every backoff instant is quantized up to the scheduler quantum grid,
+//! so recovery actions land where the kernel's step loop (and its
+//! fast-forward certification) can see them.
+
+mod plan;
+mod retry;
+
+pub use plan::{
+    CrashEvent, FaultConfig, FaultPlan, FlapSemantics, OutageSpec, FAULT_STREAM, OUTAGE_STREAM,
+};
+pub use retry::RetryPolicy;
+
+use cinder_sim::{SimDuration, SimTime};
+
+/// Rounds `t` up to the next multiple of `quantum` (identity when `t`
+/// is already on the grid or `quantum` is zero).
+///
+/// Every fault boundary and every retry instant passes through this, so
+/// injected events only ever land where the kernel's quantum loop steps.
+pub fn align_up(t: SimTime, quantum: SimDuration) -> SimTime {
+    let q = quantum.as_micros();
+    if q == 0 {
+        return t;
+    }
+    SimTime::from_micros(t.as_micros().div_ceil(q) * q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_snaps_to_grid() {
+        let q = SimDuration::from_millis(10);
+        assert_eq!(align_up(SimTime::ZERO, q), SimTime::ZERO);
+        assert_eq!(
+            align_up(SimTime::from_micros(1), q),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            align_up(SimTime::from_millis(10), q),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            align_up(SimTime::from_micros(10_001), q),
+            SimTime::from_millis(20)
+        );
+        let t = SimTime::from_micros(12_345);
+        assert_eq!(align_up(t, SimDuration::ZERO), t);
+    }
+}

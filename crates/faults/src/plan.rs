@@ -1,0 +1,411 @@
+//! Seeded fault schedules.
+//!
+//! A [`FaultPlan`] is to adversity what `PresenceTrace` is to the user:
+//! a pure function of `(seed, quantum, horizon, config)` that every
+//! rebuild — any worker layout, fast-forward setting, or checkpoint
+//! split — reproduces bit-for-bit. All draws come from child streams
+//! split off the device seed, so enabling faults never perturbs the
+//! parent stream that feeds workload and battery draws.
+
+use cinder_sim::{Energy, Power, SimDuration, SimRng, SimTime};
+
+use crate::align_up;
+use crate::retry::RetryPolicy;
+
+/// The RNG stream id per-device fault schedules are split from.
+pub const FAULT_STREAM: u64 = 0x66_6c_74; // "flt"
+
+/// The RNG stream id fleet-shared backend outage windows are split from.
+pub const OUTAGE_STREAM: u64 = 0x6f_75_74; // "out"
+
+/// What happens to in-flight inbound transfers when the link drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlapSemantics {
+    /// Deliveries freeze and complete when the link returns; nothing is
+    /// lost, everything is billed on (delayed) delivery.
+    Stall,
+    /// In-flight deliveries are dropped and never billed: the paper's
+    /// bill-on-delivery rule means an undelivered packet costs the
+    /// receiver nothing.
+    DropRefund,
+    /// In-flight deliveries are lost but the receiver still pays for
+    /// the doomed bytes when the link returns (the radio spent the
+    /// energy either way).
+    DropSink,
+}
+
+/// Fleet-shared backend outage process: every device derives the same
+/// windows from `seed`, so the backend goes dark for the whole fleet at
+/// once — a capacity dip, not per-device noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSpec {
+    /// Seed for the outage renewal process (scenario seed, not device).
+    pub seed: u64,
+    /// Mean backend uptime between outages.
+    pub mean_up: SimDuration,
+    /// Mean outage length.
+    pub mean_down: SimDuration,
+}
+
+/// One scheduled transient crash: at `at`, the supervisor kills the
+/// workload thread selected by `victim` (modulo the respawnable set)
+/// and restarts it after the configured delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Quantum-aligned kill instant.
+    pub at: SimTime,
+    /// Raw victim draw; the runtime takes it modulo the number of
+    /// respawnable threads so the plan stays independent of workloads.
+    pub victim: u64,
+}
+
+/// Everything the fault injector needs to know, as plain scenario data.
+///
+/// A zero mean disables the corresponding fault class, so the same type
+/// describes anything from "quiet" to the `fault_heavy` gauntlet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Mean link uptime between flaps (zero up-time still flaps if
+    /// `flap_mean_down` is nonzero).
+    pub flap_mean_up: SimDuration,
+    /// Mean flap (link-down) length; zero disables flaps entirely.
+    pub flap_mean_down: SimDuration,
+    /// What happens to in-flight deliveries at flap start.
+    pub flap_semantics: FlapSemantics,
+    /// Mean interval between transient app crashes; zero disables.
+    pub crash_mean_interval: SimDuration,
+    /// How long a crashed thread stays down before the supervisor
+    /// respawns it.
+    pub crash_restart_delay: SimDuration,
+    /// Battery aging: a constant parasitic drain charged through the
+    /// typed graph (capacity fade). Zero disables.
+    pub fade_power: Power,
+    /// Voltage-sag-style clamp on the *effective* capacity policies
+    /// plan against, in ppm (1_000_000 = no sag).
+    pub sag_ppm: u64,
+    /// Fleet-shared backend outage windows, if any.
+    pub outages: Option<OutageSpec>,
+    /// Bounded retry/backoff used by the offloader and pollers.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl FaultConfig {
+    /// A config with every fault class disabled (useful as a base).
+    pub fn quiet() -> FaultConfig {
+        FaultConfig {
+            flap_mean_up: SimDuration::ZERO,
+            flap_mean_down: SimDuration::ZERO,
+            flap_semantics: FlapSemantics::Stall,
+            crash_mean_interval: SimDuration::ZERO,
+            crash_restart_delay: SimDuration::ZERO,
+            fade_power: Power::ZERO,
+            sag_ppm: 1_000_000,
+            outages: None,
+            retry: None,
+        }
+    }
+
+    /// The `Scenario::fault_heavy` gauntlet: flapping radios, a flaky
+    /// backend, aging batteries, and periodic app crashes, with retry
+    /// enabled. `outage_seed` should be the scenario seed so every
+    /// device sees the same backend weather.
+    pub fn heavy(outage_seed: u64) -> FaultConfig {
+        FaultConfig {
+            flap_mean_up: SimDuration::from_secs(400),
+            flap_mean_down: SimDuration::from_secs(30),
+            flap_semantics: FlapSemantics::DropSink,
+            crash_mean_interval: SimDuration::from_secs(1_200),
+            crash_restart_delay: SimDuration::from_secs(10),
+            fade_power: Power::from_milliwatts(50),
+            sag_ppm: 960_000,
+            outages: Some(OutageSpec {
+                seed: outage_seed,
+                mean_up: SimDuration::from_secs(900),
+                mean_down: SimDuration::from_secs(120),
+            }),
+            retry: Some(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: SimDuration::from_secs(2),
+                deadline: SimDuration::from_secs(60),
+            }),
+        }
+    }
+
+    /// Scales fault *frequency* by `ppm` (1_000_000 = unchanged): mean
+    /// intervals between faults shrink as intensity grows, fade power
+    /// grows with it, and outage/flap lengths stay put. Disabled
+    /// classes (zero means) stay disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm` is zero; express "no faults" as `Option::None`
+    /// at the scenario level instead.
+    pub fn with_intensity(mut self, ppm: u64) -> FaultConfig {
+        assert!(ppm > 0, "zero intensity: use faults: None instead");
+        let shrink = |d: SimDuration| {
+            if d.is_zero() {
+                d
+            } else {
+                SimDuration::from_micros(
+                    ((d.as_micros() as u128 * 1_000_000 / ppm as u128) as u64).max(1),
+                )
+            }
+        };
+        self.flap_mean_up = shrink(self.flap_mean_up);
+        self.crash_mean_interval = shrink(self.crash_mean_interval);
+        self.fade_power = self.fade_power.scale_ppm(ppm);
+        if let Some(o) = &mut self.outages {
+            o.mean_up = shrink(o.mean_up);
+        }
+        self
+    }
+
+    /// True if any per-device fault class is live.
+    pub fn any_device_faults(&self) -> bool {
+        !self.flap_mean_down.is_zero()
+            || !self.crash_mean_interval.is_zero()
+            || !self.fade_power.is_zero()
+    }
+
+    /// Closed-form capacity fade at `now`: what the aging tap has
+    /// drained so far. Policies subtract this from the nameplate
+    /// capacity to re-plan against what is actually left.
+    pub fn fade_at(&self, now: SimTime) -> Energy {
+        self.fade_power.energy_over(now.since(SimTime::ZERO))
+    }
+}
+
+/// A device's full fault schedule over its horizon: link flap windows
+/// and crash instants, all quantum-aligned, all from split streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Half-open `[down, up)` link-down windows, sorted, disjoint.
+    pub flaps: Vec<(SimTime, SimTime)>,
+    /// Crash instants with raw victim draws, sorted.
+    pub crashes: Vec<CrashEvent>,
+}
+
+/// A renewal dwell around `mean`: uniform in `[mean/2, 3·mean/2)`.
+fn dwell(rng: &mut SimRng, mean: SimDuration) -> u64 {
+    let m = mean.as_micros();
+    rng.uniform_u64(m / 2, m + m / 2 + 1)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults configured).
+    pub fn empty() -> FaultPlan {
+        FaultPlan {
+            flaps: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Generates the device's schedule as a pure function of
+    /// `(seed, quantum, horizon, config)`.
+    ///
+    /// Flap draws come first, then crash draws, each from the same
+    /// [`FAULT_STREAM`] child — the order is part of the format, like a
+    /// checkpoint layout. The parent stream is never advanced.
+    pub fn generate(
+        seed: u64,
+        quantum: SimDuration,
+        horizon: SimDuration,
+        config: &FaultConfig,
+    ) -> FaultPlan {
+        let mut rng = SimRng::seed_from_u64(seed).split(FAULT_STREAM);
+        let end = SimTime::ZERO + horizon;
+        let min_down = quantum.as_micros().max(1);
+
+        let mut flaps = Vec::new();
+        if !config.flap_mean_down.is_zero() {
+            let mut t = 0u64;
+            loop {
+                t += dwell(&mut rng, config.flap_mean_up);
+                let start = align_up(SimTime::from_micros(t), quantum);
+                if start >= end {
+                    break;
+                }
+                let down = dwell(&mut rng, config.flap_mean_down).max(min_down);
+                let stop = align_up(start + SimDuration::from_micros(down), quantum);
+                let stop = stop.max(start + quantum.max(SimDuration::from_micros(1)));
+                flaps.push((start, stop));
+                t = stop.as_micros();
+            }
+        }
+
+        let mut crashes = Vec::new();
+        if !config.crash_mean_interval.is_zero() {
+            let mut t = 0u64;
+            loop {
+                t += dwell(&mut rng, config.crash_mean_interval).max(1);
+                let at = align_up(SimTime::from_micros(t), quantum);
+                if at >= end {
+                    break;
+                }
+                let victim = rng.uniform_u64(0, u64::MAX);
+                crashes.push(CrashEvent { at, victim });
+                // Never schedule two kills on the same boundary.
+                t = at.as_micros().max(t) + 1;
+            }
+        }
+
+        FaultPlan { flaps, crashes }
+    }
+
+    /// The fleet-shared backend outage windows over `horizon`. Every
+    /// device calls this with the same [`OutageSpec`], so the windows —
+    /// and therefore the shared `BackendTrace` — are identical
+    /// fleet-wide and reproducible standalone.
+    pub fn outage_windows(spec: &OutageSpec, horizon: SimDuration) -> Vec<(SimTime, SimTime)> {
+        let mut rng = SimRng::seed_from_u64(spec.seed).split(OUTAGE_STREAM);
+        let end = SimTime::ZERO + horizon;
+        let mut windows = Vec::new();
+        if spec.mean_down.is_zero() {
+            return windows;
+        }
+        let mut t = 0u64;
+        loop {
+            t += dwell(&mut rng, spec.mean_up);
+            let start = SimTime::from_micros(t);
+            if start >= end {
+                break;
+            }
+            let down = dwell(&mut rng, spec.mean_down).max(1);
+            let stop = start + SimDuration::from_micros(down);
+            windows.push((start, stop));
+            t = stop.as_micros();
+        }
+        windows
+    }
+
+    /// Total link-down time within `[0, horizon)`, exact microseconds.
+    pub fn link_down_us(&self, horizon: SimDuration) -> u64 {
+        let end = SimTime::ZERO + horizon;
+        self.flaps
+            .iter()
+            .map(|&(start, stop)| stop.min(end).saturating_since(start.min(end)).as_micros())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: SimDuration = SimDuration::from_millis(10);
+
+    fn heavy() -> FaultConfig {
+        FaultConfig::heavy(7)
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        for seed in 0..40u64 {
+            let h = SimDuration::from_secs(3_600);
+            let a = FaultPlan::generate(seed, Q, h, &heavy());
+            let b = FaultPlan::generate(seed, Q, h, &heavy());
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.flaps.is_empty(), "an hour of heavy faults must flap");
+            assert!(!a.crashes.is_empty(), "an hour of heavy faults must crash");
+        }
+    }
+
+    #[test]
+    fn fault_and_outage_streams_are_decorrelated() {
+        // Same seed, different stream ids: the per-device flap process
+        // and the fleet outage process must not mirror each other.
+        let cfg = heavy();
+        let h = SimDuration::from_secs(7_200);
+        let plan = FaultPlan::generate(7, Q, h, &cfg);
+        let outages = FaultPlan::outage_windows(
+            &OutageSpec {
+                seed: 7,
+                mean_up: cfg.flap_mean_up,
+                mean_down: cfg.flap_mean_down,
+            },
+            h,
+        );
+        let starts: Vec<u64> = plan.flaps.iter().map(|w| w.0.as_micros()).collect();
+        let ostarts: Vec<u64> = outages.iter().map(|w| w.0.as_micros()).collect();
+        assert_ne!(starts, ostarts);
+    }
+
+    #[test]
+    fn windows_are_sorted_disjoint_and_grid_aligned() {
+        for seed in [1u64, 5, 11, 23] {
+            let plan = FaultPlan::generate(seed, Q, SimDuration::from_secs(7_200), &heavy());
+            let q = Q.as_micros();
+            let mut prev_stop = SimTime::ZERO;
+            for &(start, stop) in &plan.flaps {
+                assert!(start >= prev_stop, "windows overlap");
+                assert!(stop > start, "empty window");
+                assert_eq!(start.as_micros() % q, 0, "start off the grid");
+                assert_eq!(stop.as_micros() % q, 0, "stop off the grid");
+                prev_stop = stop;
+            }
+            for w in plan.crashes.windows(2) {
+                assert!(w[0].at < w[1].at, "crash instants must strictly increase");
+            }
+            for c in &plan.crashes {
+                assert_eq!(c.at.as_micros() % q, 0, "crash off the grid");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_means_disable_their_fault_class() {
+        let plan = FaultPlan::generate(3, Q, SimDuration::from_secs(86_400), &FaultConfig::quiet());
+        assert_eq!(plan, FaultPlan::empty());
+        assert_eq!(plan.link_down_us(SimDuration::from_secs(86_400)), 0);
+    }
+
+    #[test]
+    fn outage_windows_are_fleet_shared() {
+        let spec = heavy().outages.unwrap();
+        let h = SimDuration::from_secs(3_600);
+        let a = FaultPlan::outage_windows(&spec, h);
+        let b = FaultPlan::outage_windows(&spec, h);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "an hour of heavy faults sees an outage");
+        for w in a.windows(2) {
+            assert!(w[0].1 <= w[1].0, "outage windows overlap");
+        }
+    }
+
+    #[test]
+    fn link_down_time_clamps_to_the_horizon() {
+        let h = SimDuration::from_secs(3_600);
+        let plan = FaultPlan::generate(17, Q, h, &heavy());
+        let total = plan.link_down_us(h);
+        assert!(total > 0);
+        assert!(total < h.as_micros());
+        // A shorter accounting horizon can only shrink the total.
+        assert!(plan.link_down_us(SimDuration::from_secs(600)) <= total);
+    }
+
+    #[test]
+    fn intensity_scales_fault_frequency() {
+        let base = heavy();
+        let hot = base.with_intensity(2_000_000);
+        assert_eq!(hot.flap_mean_up, base.flap_mean_up / 2);
+        assert_eq!(hot.crash_mean_interval, base.crash_mean_interval / 2);
+        assert_eq!(hot.fade_power, Power::from_milliwatts(100));
+        assert_eq!(hot.flap_mean_down, base.flap_mean_down, "lengths stay put");
+        let h = SimDuration::from_secs(3_600);
+        let calm = FaultPlan::generate(9, Q, h, &base);
+        let storm = FaultPlan::generate(9, Q, h, &hot);
+        assert!(storm.flaps.len() > calm.flaps.len());
+        // Disabled classes stay disabled at any intensity.
+        let quiet = FaultConfig::quiet().with_intensity(4_000_000);
+        assert!(!quiet.any_device_faults());
+    }
+
+    #[test]
+    fn fade_is_closed_form_and_monotone() {
+        let cfg = heavy();
+        assert_eq!(cfg.fade_at(SimTime::ZERO), Energy::ZERO);
+        let hour = cfg.fade_at(SimTime::from_secs(3_600));
+        assert_eq!(hour, Energy::from_joules(180), "50 mW for an hour");
+        assert!(cfg.fade_at(SimTime::from_secs(7_200)) > hour);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded retry with exponential backoff.
+//!
+//! The resilience half of the fault layer: a failed send or offload may
+//! be retried, but only a bounded number of times and only before a
+//! per-operation deadline — the backstop against silent retry storms.
+//! Backoff instants are quantized up to the scheduler quantum grid so
+//! every retry lands where the kernel's step loop (and fast-forward
+//! certification) can see it.
+
+use cinder_sim::{SimDuration, SimTime};
+
+use crate::align_up;
+
+/// A bounded exponential-backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2; doubles for each later attempt.
+    pub base_backoff: SimDuration,
+    /// Hard deadline measured from the first attempt: no retry may be
+    /// scheduled at or past `started + deadline`.
+    pub deadline: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Where attempt `failed + 1` may run, given that `failed` attempts
+    /// (≥ 1) have already been made, the first of them at `started`.
+    ///
+    /// Returns `None` when the budget is spent — either all
+    /// `max_attempts` are used or the exponential backoff would land at
+    /// or past the deadline. The returned instant is aligned up to the
+    /// `quantum` grid and strictly after `now`.
+    pub fn next_attempt_at(
+        &self,
+        started: SimTime,
+        now: SimTime,
+        failed: u32,
+        quantum: SimDuration,
+    ) -> Option<SimTime> {
+        assert!(failed >= 1, "next_attempt_at is for after a failure");
+        if failed >= self.max_attempts {
+            return None;
+        }
+        // Cap the shift: beyond 2^20 the backoff has long since passed
+        // any realistic deadline and the multiply must not overflow.
+        let factor = 1u64 << (failed - 1).min(20);
+        let backoff =
+            SimDuration::from_micros(self.base_backoff.as_micros().saturating_mul(factor).max(1));
+        let at = align_up(now.max(started) + backoff, quantum);
+        let cutoff = started + self.deadline;
+        if at >= cutoff {
+            return None;
+        }
+        // The bounded-retry lint: whatever the inputs, a scheduled
+        // attempt is within budget on both axes. `debug_assert` so the
+        // invariant is machine-checked in every test run.
+        debug_assert!(
+            failed < self.max_attempts && at < cutoff && at > now,
+            "bounded-retry lint violated: attempt {} of {} at {} (deadline {})",
+            failed + 1,
+            self.max_attempts,
+            at,
+            cutoff,
+        );
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn backoff_doubles_and_snaps_to_the_grid() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(15),
+            deadline: SimDuration::from_secs(10),
+        };
+        let t0 = SimTime::from_secs(1);
+        let a1 = p.next_attempt_at(t0, t0, 1, Q).unwrap();
+        assert_eq!(a1, SimTime::from_micros(1_020_000), "15 ms aligned up");
+        let a2 = p.next_attempt_at(t0, a1, 2, Q).unwrap();
+        assert_eq!(a2, SimTime::from_micros(1_050_000), "+30 ms");
+        let a3 = p.next_attempt_at(t0, a2, 3, Q).unwrap();
+        assert_eq!(a3, SimTime::from_micros(1_110_000), "+60 ms");
+        assert_eq!(p.next_attempt_at(t0, a3, 4, Q), None, "attempts spent");
+    }
+
+    #[test]
+    fn deadline_cuts_the_schedule_short() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_secs(1),
+            deadline: SimDuration::from_secs(5),
+        };
+        let t0 = SimTime::ZERO;
+        let mut now = t0;
+        let mut attempts = 1u32;
+        while let Some(at) = p.next_attempt_at(t0, now, attempts, Q) {
+            assert!(at < t0 + p.deadline);
+            now = at;
+            attempts += 1;
+        }
+        // 1 + 2 = 3 s of backoff fit; the next (4 s) would land at 7 s.
+        assert_eq!(attempts, 3, "deadline must stop the doubling early");
+    }
+
+    #[test]
+    fn no_schedule_ever_exceeds_the_budget() {
+        // The lint's unit test: walk every schedule to exhaustion over a
+        // grid of configs and check both bounds on every step.
+        for max_attempts in 1..8u32 {
+            for base_ms in [1u64, 7, 100, 2_500] {
+                for deadline_s in [1u64, 9, 300] {
+                    let p = RetryPolicy {
+                        max_attempts,
+                        base_backoff: SimDuration::from_millis(base_ms),
+                        deadline: SimDuration::from_secs(deadline_s),
+                    };
+                    let t0 = SimTime::from_secs(42);
+                    let mut now = t0;
+                    let mut failed = 1u32;
+                    while let Some(at) = p.next_attempt_at(t0, now, failed, Q) {
+                        failed += 1;
+                        assert!(failed <= p.max_attempts, "attempt overrun: {p:?}");
+                        assert!(at < t0 + p.deadline, "deadline overrun: {p:?}");
+                        assert!(at > now, "time must advance: {p:?}");
+                        assert_eq!(at.as_micros() % Q.as_micros(), 0, "off grid: {p:?}");
+                        now = at;
+                    }
+                    assert!(failed <= p.max_attempts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_attempt_policies_never_retry() {
+        let p = RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::from_secs(1),
+            deadline: SimDuration::from_secs(100),
+        };
+        assert_eq!(p.next_attempt_at(SimTime::ZERO, SimTime::ZERO, 1, Q), None);
+    }
+}

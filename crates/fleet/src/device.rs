@@ -18,6 +18,7 @@ use cinder_core::{quota, ResourceKind, SchedulerConfig};
 use cinder_kernel::{Kernel, KernelConfig, PeripheralKind};
 use cinder_sim::{Energy, SimDuration, SimTime};
 
+use crate::fault_driver::FaultRuntime;
 use crate::policy_driver::PolicyRuntime;
 use crate::scenario::DeviceSpec;
 #[cfg(test)]
@@ -103,6 +104,23 @@ pub struct DeviceReport {
     /// Whether the projected lifetime covered the policy's target
     /// duration (false with no policy configured).
     pub lifetime_target_hit: bool,
+    /// Radio link flaps the fault injector landed (0 without faults).
+    pub link_flaps: u64,
+    /// Exact link-down time within the horizon, µs (plan-derived, so it
+    /// includes flap tails past the last kernel step).
+    pub link_down_us: u64,
+    /// Bytes of in-flight deliveries lost to drop-semantics flaps.
+    pub flap_lost_bytes: u64,
+    /// Transient app kills the fault supervisor landed.
+    pub crashes: u64,
+    /// Fresh program instances the supervisor respawned.
+    pub restarts: u64,
+    /// Backoff retries the workload's resilience layer scheduled.
+    pub retries: u64,
+    /// Work items abandoned after the retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Battery capacity fade the aging tap drained, µJ (exact).
+    pub fade_uj: i64,
 }
 
 /// Reusable per-worker buffers for [`simulate_device_with`]: a worker keeps
@@ -155,11 +173,24 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         offload: spec.offload.map(|profile| OffloadSetup {
             profile,
             horizon: spec.horizon,
+            outages: spec.faults.and_then(|f| f.outages),
         }),
+        faults: spec.faults,
     };
-    let installed = workload
+    let mut installed = workload
         .install(&mut kernel, &env)
         .expect("root can install the workload topology");
+
+    // The fault injector executes the device's pure fault schedule: link
+    // flaps and kills land only at quantum-aligned span boundaries (the
+    // loop below clamps every span to `next_boundary`), and the aging tap
+    // drains capacity fade through the typed graph. The plan draws from
+    // the seed's dedicated fault stream, so a fault-free device is
+    // byte-identical whether this layer exists or not.
+    let mut fault_rt = spec
+        .faults
+        .filter(|config| config.any_device_faults())
+        .map(|config| FaultRuntime::new(config, spec, &mut kernel));
 
     // The policy engine ticks on its own grid-aligned cadence; its first
     // decision lands before the run starts (a lifetime-target controller
@@ -209,12 +240,24 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
         let mut stride: u64 = 1;
         let mut now = kernel.now();
         while now < end {
+            // Fault boundaries due at `now` fire before the span: the
+            // clamp below guarantees the kernel never ran past one.
+            if let Some(frt) = fault_rt.as_mut() {
+                frt.apply(&mut kernel, &mut installed.respawns, now);
+            }
             let mut target = end.min(now + epoch * stride);
             // A pending policy re-rate bounds the epoch: nothing may be
             // certified Steady across a decision instant, because the
             // decision can change tap rates and drive levels.
             if let Some(rt) = policy_rt.as_ref() {
                 target = target.min(rt.next_tick());
+            }
+            // A pending fault boundary bounds it the same way: a flap or
+            // kill changes what the span would have computed.
+            if let Some(boundary) = fault_rt.as_ref().and_then(|frt| frt.next_boundary()) {
+                if boundary > now {
+                    target = target.min(boundary);
+                }
             }
             // Steady = the probe certifies past the last quantum boundary
             // before `target` (the jump is quantum-floored, so `t` can sit
@@ -239,26 +282,46 @@ fn simulate_device_inner(spec: &DeviceSpec, scratch: &mut DeviceScratch) -> Devi
                 }
             }
         }
-    } else if policy_rt.is_some() {
-        // Stepped run with a policy: chunk the horizon at decision
-        // instants. `run_span` split-point invariance makes this
-        // byte-identical to the fast-forward path above.
+    } else if policy_rt.is_some() || fault_rt.is_some() {
+        // Stepped run with a policy and/or fault injector: chunk the
+        // horizon at decision instants and fault boundaries. `run_span`
+        // split-point invariance makes this byte-identical to the
+        // fast-forward path above.
         let mut now = kernel.now();
         while now < end {
-            let rt = policy_rt.as_mut().expect("checked is_some above");
-            let target = end.min(rt.next_tick());
+            if let Some(frt) = fault_rt.as_mut() {
+                frt.apply(&mut kernel, &mut installed.respawns, now);
+            }
+            let mut target = end;
+            if let Some(rt) = policy_rt.as_ref() {
+                target = target.min(rt.next_tick());
+            }
+            if let Some(boundary) = fault_rt.as_ref().and_then(|frt| frt.next_boundary()) {
+                if boundary > now {
+                    target = target.min(boundary);
+                }
+            }
             kernel.run_span(target);
             let landed = kernel.now();
             now = if landed > now { landed } else { target };
-            if rt.due(now) && now < end {
-                rt.apply(&mut kernel, spec);
+            if let Some(rt) = policy_rt.as_mut() {
+                if rt.due(now) && now < end {
+                    rt.apply(&mut kernel, spec);
+                }
             }
         }
     }
     // Settle radio/meter/flows at the horizon for extraction (a no-op for
     // the unchunked path's already-settled kernel).
     kernel.run_until(end);
-    extract_report(spec, &kernel, &installed, scratch, policy_rt.as_ref())
+    extract_report(
+        spec,
+        &kernel,
+        &installed,
+        scratch,
+        policy_rt.as_ref(),
+        fault_rt.as_ref(),
+    )
 }
 
 fn extract_report(
@@ -267,6 +330,7 @@ fn extract_report(
     installed: &InstalledWorkload,
     scratch: &mut DeviceScratch,
     policy: Option<&PolicyRuntime>,
+    faults: Option<&FaultRuntime>,
 ) -> DeviceReport {
     // Invariant #1, per kind: every device kernel conserves each resource
     // kind exactly at teardown (energy *and* the data plan's bytes).
@@ -353,6 +417,8 @@ fn extract_report(
         .map(|rt| rt.presence_seconds(spec.horizon))
         .unwrap_or([0; 4]);
 
+    let fault_counters = kernel.fault_counters();
+
     DeviceReport {
         id: spec.id,
         workload: spec.workload.tag(),
@@ -391,6 +457,18 @@ fn extract_report(
         presence_away_s: presence[2],
         presence_asleep_s: presence[3],
         lifetime_target_hit: policy.is_some_and(|rt| rt.target_hit(lifetime_h)),
+        link_flaps: fault_counters.link_flaps,
+        link_down_us: faults
+            .map(|frt| frt.plan().link_down_us(spec.horizon))
+            .unwrap_or(0),
+        flap_lost_bytes: fault_counters.lost_bytes,
+        crashes: faults.map(|frt| frt.crashes).unwrap_or(0),
+        restarts: faults.map(|frt| frt.restarts).unwrap_or(0),
+        retries: installed.probe.retries(kernel),
+        retries_exhausted: installed.probe.retries_exhausted(kernel),
+        fade_uj: faults
+            .map(|frt| frt.fade(kernel).as_microjoules())
+            .unwrap_or(0),
     }
 }
 
@@ -413,6 +491,7 @@ mod tests {
             offload: None,
             fast_forward: true,
             policy: None,
+            faults: None,
         }
     }
 

@@ -1,0 +1,159 @@
+//! The fault plan's kernel wiring: scheduled adversity in, telemetry out.
+//!
+//! `cinder-faults` keeps schedules pure — a [`FaultPlan`] is a value
+//! derived from the device seed's child stream. This module owns
+//! everything impure about executing one: taking the radio link down
+//! through [`Kernel::fault_link_down`] at flap starts (the kernel itself
+//! schedules the matching `LinkUp`), killing and respawning workload
+//! threads through the [`cinder_apps::RespawnHandle`] seam at crash
+//! instants, and installing the battery-aging tap that drains capacity
+//! fade through the typed graph. The device driver calls
+//! [`FaultRuntime::apply`] only between run spans at quantum-aligned
+//! boundaries, and clamps every span to [`FaultRuntime::next_boundary`]
+//! — the same shape as the policy runtime's tick clamp — which is what
+//! keeps fault-heavy fleets byte-identical across worker counts,
+//! fast-forward on/off, and checkpoint splits.
+
+use cinder_apps::RespawnHandle;
+use cinder_core::{Actor, RateSpec};
+use cinder_faults::{align_up, FaultConfig, FaultPlan};
+use cinder_kernel::Kernel;
+use cinder_label::Label;
+use cinder_sim::{Energy, SimDuration, SimTime};
+
+use crate::scenario::DeviceSpec;
+
+/// One device's live fault injector: the pure schedule plus the cursors
+/// and counters of its execution.
+pub struct FaultRuntime {
+    config: FaultConfig,
+    plan: FaultPlan,
+    /// The device's scheduler quantum (respawn instants align to it).
+    quantum: SimDuration,
+    /// Next unapplied flap window (index into `plan.flaps`).
+    next_flap: usize,
+    /// Next unapplied crash (index into `plan.crashes`).
+    next_crash: usize,
+    /// Scheduled respawns as `(due, respawn-handle index)`, in kill
+    /// order — crash instants strictly increase, so this order is
+    /// deterministic.
+    pending_respawns: Vec<(SimTime, usize)>,
+    /// The fade sink reserve, when aging is configured: its balance *is*
+    /// the capacity fade drained so far.
+    fade_sink: Option<cinder_core::ReserveId>,
+    /// Kills actually landed (a crash whose victim is already down is
+    /// skipped, not double-counted).
+    pub crashes: u64,
+    /// Fresh program instances brought back by the supervisor.
+    pub restarts: u64,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime for one device: the plan from the device seed's
+    /// fault stream, and — when aging is configured — a decay-exempt fade
+    /// sink fed from the battery by a constant parasitic tap.
+    pub fn new(config: FaultConfig, spec: &DeviceSpec, kernel: &mut Kernel) -> Self {
+        let plan = FaultPlan::generate(spec.seed, spec.quantum, spec.horizon, &config);
+        let fade_sink = (!config.fade_power.is_zero()).then(|| {
+            let root = Actor::kernel();
+            let battery = kernel.battery();
+            let g = kernel.graph_mut();
+            let sink = g
+                .create_reserve(&root, "battery-fade", Label::default_label())
+                .expect("root installs the fade sink");
+            g.create_tap(
+                &root,
+                "battery-fade-tap",
+                battery,
+                sink,
+                RateSpec::constant(config.fade_power),
+                Label::default_label(),
+            )
+            .expect("root installs the fade tap");
+            // Fade is lost capacity, not hoarded energy: exempt the sink
+            // from anti-hoarding decay so its balance stays the exact
+            // closed-form `fade_power × now`.
+            g.set_decay_exempt(&root, sink, true)
+                .expect("root exempts the fade sink");
+            sink
+        });
+        FaultRuntime {
+            config,
+            plan,
+            quantum: spec.quantum,
+            next_flap: 0,
+            next_crash: 0,
+            pending_respawns: Vec::new(),
+            fade_sink,
+            crashes: 0,
+            restarts: 0,
+        }
+    }
+
+    /// The device's schedule (the driver reads exact link-down time off
+    /// it at extraction).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Capacity fade drained so far: the sink's exact balance.
+    pub fn fade(&self, kernel: &Kernel) -> Energy {
+        self.fade_sink
+            .and_then(|sink| kernel.graph().reserve(sink).map(|r| r.balance()))
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// The next instant the injector must act, if any; the device loop
+    /// never lets a run span cross it (the policy tick clamp's shape).
+    /// Flap *ends* need no boundary — `LinkUp` is a kernel event.
+    pub fn next_boundary(&self) -> Option<SimTime> {
+        let flap = self.plan.flaps.get(self.next_flap).map(|w| w.0);
+        let crash = self.plan.crashes.get(self.next_crash).map(|c| c.at);
+        let respawn = self.pending_respawns.iter().map(|&(at, _)| at).min();
+        [flap, crash, respawn].into_iter().flatten().min()
+    }
+
+    /// Applies everything due at or before `now`: flap starts, kills, and
+    /// respawns. Must be called between run spans (the kernel parked at a
+    /// quantum boundary); the span clamp guarantees nothing is late.
+    pub fn apply(&mut self, kernel: &mut Kernel, respawns: &mut [RespawnHandle], now: SimTime) {
+        while let Some(&(start, stop)) = self.plan.flaps.get(self.next_flap) {
+            if start > now {
+                break;
+            }
+            kernel.fault_link_down(stop, self.config.flap_semantics);
+            self.next_flap += 1;
+        }
+        while let Some(&crash) = self.plan.crashes.get(self.next_crash) {
+            if crash.at > now {
+                break;
+            }
+            self.next_crash += 1;
+            if respawns.is_empty() {
+                continue; // workload exposes nothing restartable
+            }
+            let idx = (crash.victim % respawns.len() as u64) as usize;
+            if kernel.thread_exited(respawns[idx].thread) {
+                continue; // already down (exited, or a pending respawn)
+            }
+            kernel.kill(respawns[idx].thread);
+            self.crashes += 1;
+            let due = align_up(now + self.config.crash_restart_delay, self.quantum);
+            self.pending_respawns.push((due, idx));
+        }
+        let mut i = 0;
+        while i < self.pending_respawns.len() {
+            let (due, idx) = self.pending_respawns[i];
+            if due > now {
+                i += 1;
+                continue;
+            }
+            self.pending_respawns.remove(i);
+            let handle = &mut respawns[idx];
+            let name = handle.name.clone();
+            let tid = kernel.spawn_unprivileged(&name, (handle.make)(), handle.reserve);
+            handle.thread = tid;
+            self.restarts += 1;
+        }
+    }
+}

@@ -46,18 +46,24 @@
 //! * [`policy_driver`] — kernel wiring for `cinder-policy`'s pure
 //!   user-aware policies: observables in at grid-aligned ticks, tap
 //!   re-rates and drive caps out through root syscalls.
+//! * [`fault_driver`] — kernel wiring for `cinder-faults`' pure fault
+//!   schedules: link flaps, kill/respawn supervision, and the battery
+//!   aging tap, all at quantum-aligned span boundaries.
 
 pub mod device;
 pub mod executor;
+pub mod fault_driver;
 pub mod policy_driver;
 pub mod report;
 pub mod scenario;
 pub mod slab;
 pub mod stream;
 
+pub use cinder_faults::{FaultConfig, FaultPlan, FlapSemantics, OutageSpec, RetryPolicy};
 pub use cinder_policy::{PolicyConfig, PolicyVariant, PresenceState, PresenceTrace};
 pub use device::{simulate_device, simulate_device_with, DeviceReport, DeviceScratch};
 pub use executor::{run_fleet, run_fleet_with};
+pub use fault_driver::FaultRuntime;
 pub use policy_driver::PolicyRuntime;
 pub use report::{FleetReport, FleetSummary};
 pub use scenario::{DataPlan, DeviceSpec, Scenario, Workload};

@@ -15,7 +15,7 @@ use cinder_kernel::{Kernel, PeripheralKind};
 use cinder_policy::{
     Policy, PolicyConfig, PolicyInputs, PresenceTrace, TapObservation, FULL_DRIVE_PPM,
 };
-use cinder_sim::{Power, SimDuration, SimTime};
+use cinder_sim::{Energy, Power, SimDuration, SimTime};
 
 use crate::scenario::DeviceSpec;
 
@@ -100,16 +100,27 @@ impl PolicyRuntime {
                 background: handle.background,
             })
             .collect();
+        // Battery aging: the fault model's capacity fade has already cost
+        // the pack `fade` (a parasitic drain the meter never sees), and
+        // voltage sag clamps how much of the remainder the policy may plan
+        // against. A lifetime-target controller that budgets the nameplate
+        // capacity under faults would promise hours the cells cannot hold.
+        let (fade, sag_ppm) = spec
+            .faults
+            .map(|f| (f.fade_at(obs.now), f.sag_ppm))
+            .unwrap_or((Energy::ZERO, 1_000_000));
         let inputs = PolicyInputs {
             now: obs.now,
             horizon: spec.horizon,
             presence: self.trace.state_at(obs.now),
             // The policy's gauge is the projected remaining charge —
-            // capacity minus everything the meter integrated (baseline
-            // included) — not the root reserve's balance, which only tap
-            // draws deplete.
-            battery_level: (spec.battery - obs.total_energy).clamp_non_negative(),
-            battery_capacity: spec.battery,
+            // capacity minus fade minus everything the meter integrated
+            // (baseline included) — not the root reserve's balance, which
+            // only tap draws deplete.
+            battery_level: (spec.battery - fade - obs.total_energy).clamp_non_negative(),
+            battery_capacity: (spec.battery - fade)
+                .clamp_non_negative()
+                .scale_ppm(sag_ppm),
             taps: &taps,
             backlight_enabled: obs.backlight_enabled,
             backlight_drive_ppm: obs.backlight_drive_ppm,

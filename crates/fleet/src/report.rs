@@ -87,6 +87,22 @@ pub struct FleetSummary {
     /// Σ user-model seconds per presence state (Active, Ambient, Away,
     /// Asleep) across the fleet.
     pub presence_s: [u64; 4],
+    /// Σ radio link flaps the fault injector landed.
+    pub link_flaps: u64,
+    /// Σ exact link-down time across the fleet, µs.
+    pub link_down_us: u64,
+    /// Σ in-flight bytes lost to drop-semantics flaps.
+    pub flap_lost_bytes: u64,
+    /// Σ transient app kills the fault supervisors landed.
+    pub crashes: u64,
+    /// Σ program instances respawned after a crash.
+    pub restarts: u64,
+    /// Σ backoff retries the resilience layers scheduled.
+    pub retries: u64,
+    /// Σ work items abandoned after the retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Total battery capacity fade the aging taps drained, joules.
+    pub fade_j: f64,
 }
 
 impl FleetReport {
@@ -173,6 +189,14 @@ impl FleetReport {
                     acc[3] + d.presence_asleep_s,
                 ]
             }),
+            link_flaps: self.devices.iter().map(|d| d.link_flaps).sum(),
+            link_down_us: self.devices.iter().map(|d| d.link_down_us).sum(),
+            flap_lost_bytes: self.devices.iter().map(|d| d.flap_lost_bytes).sum(),
+            crashes: self.devices.iter().map(|d| d.crashes).sum(),
+            restarts: self.devices.iter().map(|d| d.restarts).sum(),
+            retries: self.devices.iter().map(|d| d.retries).sum(),
+            retries_exhausted: self.devices.iter().map(|d| d.retries_exhausted).sum(),
+            fade_j: self.devices.iter().map(|d| d.fade_uj).sum::<i64>() as f64 / 1e6,
         }
     }
 
@@ -215,12 +239,13 @@ impl FleetReport {
              offload_attempts,offload_accepted,offload_completed,offload_rejected,\
              offload_timed_out,offload_latency_us,policy_rerates,policy_demotions,\
              presence_active_s,presence_ambient_s,presence_away_s,presence_asleep_s,\
-             lifetime_target_hit\n",
+             lifetime_target_hit,link_flaps,link_down_us,flap_lost_bytes,crashes,restarts,\
+             retries,retries_exhausted,fade_uj\n",
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 d.id,
                 d.workload,
                 d.battery_capacity_uj,
@@ -255,6 +280,14 @@ impl FleetReport {
                 d.presence_away_s,
                 d.presence_asleep_s,
                 d.lifetime_target_hit,
+                d.link_flaps,
+                d.link_down_us,
+                d.flap_lost_bytes,
+                d.crashes,
+                d.restarts,
+                d.retries,
+                d.retries_exhausted,
+                d.fade_uj,
             );
         }
         out
@@ -349,6 +382,14 @@ impl FleetReport {
             "  \"presence_s\": [{}, {}, {}, {}],",
             s.presence_s[0], s.presence_s[1], s.presence_s[2], s.presence_s[3]
         );
+        let _ = writeln!(out, "  \"link_flaps\": {},", s.link_flaps);
+        let _ = writeln!(out, "  \"link_down_us\": {},", s.link_down_us);
+        let _ = writeln!(out, "  \"flap_lost_bytes\": {},", s.flap_lost_bytes);
+        let _ = writeln!(out, "  \"crashes\": {},", s.crashes);
+        let _ = writeln!(out, "  \"restarts\": {},", s.restarts);
+        let _ = writeln!(out, "  \"retries\": {},", s.retries);
+        let _ = writeln!(out, "  \"retries_exhausted\": {},", s.retries_exhausted);
+        let _ = writeln!(out, "  \"fade_j\": {:.6},", s.fade_j);
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -416,6 +457,14 @@ mod tests {
             presence_away_s: 300,
             presence_asleep_s: 400,
             lifetime_target_hit: id >= 5,
+            link_flaps: id,
+            link_down_us: id * 1_000_000,
+            flap_lost_bytes: id * 10,
+            crashes: u64::from(id % 3 == 0),
+            restarts: u64::from(id % 3 == 0),
+            retries: id * 2,
+            retries_exhausted: id / 4,
+            fade_uj: 1_500_000,
         }
     }
 
@@ -464,6 +513,16 @@ mod tests {
         assert_eq!(s.policy_demotions, 45);
         assert_eq!(s.lifetime_target_hits, 5);
         assert_eq!(s.presence_s, [1_000, 2_000, 3_000, 4_000]);
+        // Fault telemetry: Σ id, Σ id × 1 s, Σ 10id; ids 0/3/6/9 crash.
+        assert_eq!(s.link_flaps, 45);
+        assert_eq!(s.link_down_us, 45_000_000);
+        assert_eq!(s.flap_lost_bytes, 450);
+        assert_eq!(s.crashes, 4);
+        assert_eq!(s.restarts, 4);
+        assert_eq!(s.retries, 90);
+        assert_eq!(s.retries_exhausted, 8);
+        // 1.5 J of fade per device.
+        assert!((s.fade_j - 15.0).abs() < 1e-9, "{}", s.fade_j);
     }
 
     #[test]

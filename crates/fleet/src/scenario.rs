@@ -12,6 +12,7 @@ use cinder_apps::{
     BrowserWorkload, GalleryWorkload, NavigatorWorkload, OffloaderWorkload, PollersWorkload,
     ScreenOnWorkload, SpinnerWorkload, WorkloadProgram,
 };
+use cinder_faults::FaultConfig;
 use cinder_offload::OffloadProfile;
 use cinder_policy::{PolicyConfig, PolicyVariant};
 use cinder_sim::{Energy, SimDuration, SimRng};
@@ -161,6 +162,11 @@ pub struct Scenario {
     /// baseline); `None` skips the policy layer entirely, leaving the
     /// device loop byte-identical to a policy-free build.
     pub policy: Option<PolicyConfig>,
+    /// Fault-injection plan, if the scenario runs one. Plain copyable
+    /// configuration: per-device flap/crash/aging streams plus the
+    /// fleet-shared outage spec. `None` skips the fault layer entirely,
+    /// leaving the device loop byte-identical to a fault-free build.
+    pub faults: Option<FaultConfig>,
 }
 
 /// One device, fully specified: plain data, cheap to ship to a worker
@@ -198,6 +204,11 @@ pub struct DeviceSpec {
     /// data copied off the scenario *after* the device's RNG draws —
     /// enabling a policy never perturbs battery/jitter/seed assignment.
     pub policy: Option<PolicyConfig>,
+    /// Fault-injection configuration, if the scenario carries one. Copied
+    /// off the scenario *after* the RNG draws, and the fault plan itself
+    /// derives from a dedicated tagged child stream — enabling faults
+    /// never perturbs battery/jitter/seed assignment.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Scenario {
@@ -223,6 +234,7 @@ impl Scenario {
             data_plan: None,
             offload: None,
             policy: None,
+            faults: None,
         }
     }
 
@@ -338,6 +350,29 @@ impl Scenario {
         }
     }
 
+    /// The fault-injection study: offloaders and cooperative pollers under
+    /// the heavy fault plan — radio flaps with sink semantics, fleet-shared
+    /// backend outage windows, battery aging, transient app crashes — with
+    /// the user-aware policy re-planning against the *effective* (faded,
+    /// sagging) capacity and bounded retry/backoff on every client.
+    /// `fig-faults` sweeps the plan's intensity over this population.
+    pub fn fault_heavy(name: &str, seed: u64, devices: u32) -> Scenario {
+        Scenario {
+            mix: vec![
+                (Workload::Offloader, 4),
+                (Workload::Pollers { coop: true }, 4),
+                (Workload::Spinner, 2),
+            ],
+            offload: Some(OffloadProfile::default()),
+            policy: Some(PolicyConfig::new(
+                PolicyVariant::UserAware,
+                SimDuration::from_secs(3_600),
+            )),
+            faults: Some(FaultConfig::heavy(seed)),
+            ..Scenario::mixed(name, seed, devices)
+        }
+    }
+
     /// The plan-exhausted-mid-hour study, expressible only with in-kernel
     /// enforcement: the plan is sized to roughly half the poller pair's
     /// hourly appetite (~780 KB/h at nominal jitter), so devices run dry
@@ -411,6 +446,7 @@ impl Scenario {
             offload: self.offload,
             fast_forward: true,
             policy: self.policy,
+            faults: self.faults,
         }
     }
 

@@ -50,6 +50,14 @@ pub struct ReportSlab {
     presence_away_s: Vec<u64>,
     presence_asleep_s: Vec<u64>,
     lifetime_target_hit: Vec<bool>,
+    link_flaps: Vec<u64>,
+    link_down_us: Vec<u64>,
+    flap_lost_bytes: Vec<u64>,
+    crashes: Vec<u64>,
+    restarts: Vec<u64>,
+    retries: Vec<u64>,
+    retries_exhausted: Vec<u64>,
+    fade_uj: Vec<i64>,
 }
 
 impl ReportSlab {
@@ -94,6 +102,14 @@ impl ReportSlab {
             presence_away_s: vec![0; n],
             presence_asleep_s: vec![0; n],
             lifetime_target_hit: vec![false; n],
+            link_flaps: vec![0; n],
+            link_down_us: vec![0; n],
+            flap_lost_bytes: vec![0; n],
+            crashes: vec![0; n],
+            restarts: vec![0; n],
+            retries: vec![0; n],
+            retries_exhausted: vec![0; n],
+            fade_uj: vec![0; n],
         }
     }
 
@@ -146,6 +162,14 @@ impl ReportSlab {
         self.presence_away_s[i] = report.presence_away_s;
         self.presence_asleep_s[i] = report.presence_asleep_s;
         self.lifetime_target_hit[i] = report.lifetime_target_hit;
+        self.link_flaps[i] = report.link_flaps;
+        self.link_down_us[i] = report.link_down_us;
+        self.flap_lost_bytes[i] = report.flap_lost_bytes;
+        self.crashes[i] = report.crashes;
+        self.restarts[i] = report.restarts;
+        self.retries[i] = report.retries;
+        self.retries_exhausted[i] = report.retries_exhausted;
+        self.fade_uj[i] = report.fade_uj;
     }
 
     /// Appends `report` as the next row.
@@ -183,6 +207,14 @@ impl ReportSlab {
         self.presence_away_s.push(report.presence_away_s);
         self.presence_asleep_s.push(report.presence_asleep_s);
         self.lifetime_target_hit.push(report.lifetime_target_hit);
+        self.link_flaps.push(report.link_flaps);
+        self.link_down_us.push(report.link_down_us);
+        self.flap_lost_bytes.push(report.flap_lost_bytes);
+        self.crashes.push(report.crashes);
+        self.restarts.push(report.restarts);
+        self.retries.push(report.retries);
+        self.retries_exhausted.push(report.retries_exhausted);
+        self.fade_uj.push(report.fade_uj);
     }
 
     /// Materialises row `i` as a [`DeviceReport`] (the row index is the
@@ -226,6 +258,14 @@ impl ReportSlab {
             presence_away_s: self.presence_away_s[i],
             presence_asleep_s: self.presence_asleep_s[i],
             lifetime_target_hit: self.lifetime_target_hit[i],
+            link_flaps: self.link_flaps[i],
+            link_down_us: self.link_down_us[i],
+            flap_lost_bytes: self.flap_lost_bytes[i],
+            crashes: self.crashes[i],
+            restarts: self.restarts[i],
+            retries: self.retries[i],
+            retries_exhausted: self.retries_exhausted[i],
+            fade_uj: self.fade_uj[i],
         }
     }
 
@@ -299,6 +339,14 @@ mod tests {
             presence_away_s: 28,
             presence_asleep_s: 29,
             lifetime_target_hit: true,
+            link_flaps: 30,
+            link_down_us: 31,
+            flap_lost_bytes: 32,
+            crashes: 33,
+            restarts: 34,
+            retries: 35,
+            retries_exhausted: 36,
+            fade_uj: -37,
         }
     }
 

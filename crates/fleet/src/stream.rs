@@ -278,6 +278,22 @@ pub struct StreamSummary {
     presence_away_s: u128,
     /// Σ user-model seconds spent Asleep.
     presence_asleep_s: u128,
+    /// Σ radio link flaps the fault injectors landed.
+    link_flaps: u128,
+    /// Σ exact link-down time, µs.
+    link_down_us: u128,
+    /// Σ in-flight bytes lost to drop-semantics flaps.
+    flap_lost_bytes: u128,
+    /// Σ transient app kills the fault supervisors landed.
+    crashes: u128,
+    /// Σ program instances respawned after a crash.
+    restarts: u128,
+    /// Σ backoff retries the resilience layers scheduled.
+    retries: u128,
+    /// Σ work items abandoned after the retry budget ran out.
+    retries_exhausted: u128,
+    /// Exact Σ battery capacity fade, µJ.
+    fade_uj: i128,
     /// Projected lifetime distribution, hours.
     pub lifetime_h: Channel,
     /// Average platform power distribution, milliwatts.
@@ -323,6 +339,14 @@ impl StreamSummary {
             presence_ambient_s: 0,
             presence_away_s: 0,
             presence_asleep_s: 0,
+            link_flaps: 0,
+            link_down_us: 0,
+            flap_lost_bytes: 0,
+            crashes: 0,
+            restarts: 0,
+            retries: 0,
+            retries_exhausted: 0,
+            fade_uj: 0,
             // µh fixed point: exact to a microhour per device.
             lifetime_h: Channel::new(1e6, 0.0, 1_000.0),
             avg_power_mw: Channel::new(1e6, 0.0, 5_000.0),
@@ -361,6 +385,14 @@ impl StreamSummary {
         self.presence_ambient_s += u128::from(d.presence_ambient_s);
         self.presence_away_s += u128::from(d.presence_away_s);
         self.presence_asleep_s += u128::from(d.presence_asleep_s);
+        self.link_flaps += u128::from(d.link_flaps);
+        self.link_down_us += u128::from(d.link_down_us);
+        self.flap_lost_bytes += u128::from(d.flap_lost_bytes);
+        self.crashes += u128::from(d.crashes);
+        self.restarts += u128::from(d.restarts);
+        self.retries += u128::from(d.retries);
+        self.retries_exhausted += u128::from(d.retries_exhausted);
+        self.fade_uj += i128::from(d.fade_uj);
         if d.offload_completed > 0 {
             self.offload_latency_s
                 .observe(d.offload_latency_us as f64 / d.offload_completed as f64 / 1e6);
@@ -396,6 +428,14 @@ impl StreamSummary {
         self.presence_ambient_s += other.presence_ambient_s;
         self.presence_away_s += other.presence_away_s;
         self.presence_asleep_s += other.presence_asleep_s;
+        self.link_flaps += other.link_flaps;
+        self.link_down_us += other.link_down_us;
+        self.flap_lost_bytes += other.flap_lost_bytes;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.retries += other.retries;
+        self.retries_exhausted += other.retries_exhausted;
+        self.fade_uj += other.fade_uj;
         self.lifetime_h.merge(&other.lifetime_h);
         self.avg_power_mw.merge(&other.avg_power_mw);
         self.radio_activations.merge(&other.radio_activations);
@@ -489,6 +529,47 @@ impl StreamSummary {
         ]
     }
 
+    /// Σ radio link flaps the fault injectors landed.
+    pub fn link_flaps(&self) -> u128 {
+        self.link_flaps
+    }
+
+    /// Σ exact link-down time across the fleet, µs.
+    pub fn link_down_us(&self) -> u128 {
+        self.link_down_us
+    }
+
+    /// Σ in-flight bytes lost to drop-semantics flaps.
+    pub fn flap_lost_bytes(&self) -> u128 {
+        self.flap_lost_bytes
+    }
+
+    /// Σ transient app kills the fault supervisors landed.
+    pub fn crashes(&self) -> u128 {
+        self.crashes
+    }
+
+    /// Σ program instances respawned after a crash.
+    pub fn restarts(&self) -> u128 {
+        self.restarts
+    }
+
+    /// Σ backoff retries the resilience layers scheduled.
+    pub fn retries(&self) -> u128 {
+        self.retries
+    }
+
+    /// Σ work items abandoned after the retry budget ran out.
+    pub fn retries_exhausted(&self) -> u128 {
+        self.retries_exhausted
+    }
+
+    /// Total battery capacity fade in joules (exact integer total,
+    /// descaled once).
+    pub fn fade_j(&self) -> f64 {
+        self.fade_uj as f64 / 1e6
+    }
+
     fn channels(&self) -> [(&'static str, &Channel); 5] {
         [
             ("lifetime_h", &self.lifetime_h),
@@ -522,6 +603,14 @@ impl StreamSummary {
         let _ = writeln!(out, "presence_ambient_s {}", self.presence_ambient_s);
         let _ = writeln!(out, "presence_away_s {}", self.presence_away_s);
         let _ = writeln!(out, "presence_asleep_s {}", self.presence_asleep_s);
+        let _ = writeln!(out, "link_flaps {}", self.link_flaps);
+        let _ = writeln!(out, "link_down_us {}", self.link_down_us);
+        let _ = writeln!(out, "flap_lost_bytes {}", self.flap_lost_bytes);
+        let _ = writeln!(out, "crashes {}", self.crashes);
+        let _ = writeln!(out, "restarts {}", self.restarts);
+        let _ = writeln!(out, "retries {}", self.retries);
+        let _ = writeln!(out, "retries_exhausted {}", self.retries_exhausted);
+        let _ = writeln!(out, "fade_uj {}", self.fade_uj);
         for (name, ch) in self.channels() {
             ch.write_text(name, out);
         }
@@ -608,6 +697,14 @@ impl StreamReport {
             "  \"presence_s\": [{}, {}, {}, {}],",
             s.presence_active_s, s.presence_ambient_s, s.presence_away_s, s.presence_asleep_s
         );
+        let _ = writeln!(out, "  \"link_flaps\": {},", s.link_flaps);
+        let _ = writeln!(out, "  \"link_down_us\": {},", s.link_down_us);
+        let _ = writeln!(out, "  \"flap_lost_bytes\": {},", s.flap_lost_bytes);
+        let _ = writeln!(out, "  \"crashes\": {},", s.crashes);
+        let _ = writeln!(out, "  \"restarts\": {},", s.restarts);
+        let _ = writeln!(out, "  \"retries\": {},", s.retries);
+        let _ = writeln!(out, "  \"retries_exhausted\": {},", s.retries_exhausted);
+        let _ = writeln!(out, "  \"fade_j\": {:.6},", s.fade_j());
         let _ = writeln!(out, "  \"devices_in_debt\": {}", s.devices_in_debt);
         out.push_str("}\n");
         out
@@ -647,14 +744,29 @@ pub struct FleetCheckpoint {
 }
 
 /// The checkpoint format this build reads and writes. v1 predates the
-/// offload economy's counters, v2 the policy engine's; a summary restored
-/// through an old layout would silently zero the missing accumulators, so
-/// old versions are rejected outright rather than migrated.
-pub const CHECKPOINT_FORMAT: &str = "cinder-fleet-checkpoint v3";
+/// offload economy's counters, v2 the policy engine's, v3 the fault
+/// layer's; a summary restored through an old layout would silently zero
+/// the missing accumulators, so old versions are rejected outright rather
+/// than migrated. v4 also appends a `checksum` line (FNV-1a 64 over every
+/// preceding byte) so truncated or bit-flipped files are rejected by name.
+pub const CHECKPOINT_FORMAT: &str = "cinder-fleet-checkpoint v4";
+
+/// FNV-1a 64-bit over the checkpoint body: cheap, dependency-free, and
+/// stable across platforms — integrity against truncation and bit rot,
+/// not an adversary.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 impl FleetCheckpoint {
     /// Deterministic text serialisation. Floats travel as `f64::to_bits`
-    /// hex, so `from_text(to_text(cp)) == cp` bit-for-bit.
+    /// hex, so `from_text(to_text(cp)) == cp` bit-for-bit. The
+    /// second-to-last line checksums everything above it.
     pub fn to_text(&self) -> String {
         let mut out = String::from(CHECKPOINT_FORMAT);
         out.push('\n');
@@ -663,14 +775,18 @@ impl FleetCheckpoint {
         let _ = writeln!(out, "fleet_devices {}", self.fleet_devices);
         let _ = writeln!(out, "next_device {}", self.next_device);
         self.summary.write_text(&mut out);
+        let sum = fnv1a_64(out.as_bytes());
+        let _ = writeln!(out, "checksum {sum:016x}");
         out.push_str("end\n");
         out
     }
 
     /// Parses [`FleetCheckpoint::to_text`] output. A checkpoint written by
-    /// an older format version (v1, v2) is rejected with an error naming
+    /// an older format version (v1–v3) is rejected with an error naming
     /// both versions — resuming it through the current layout would
-    /// silently drop accumulators.
+    /// silently drop accumulators — and one whose checksum line is missing
+    /// or does not match its body (truncation, bit flips) is rejected
+    /// before any field is trusted.
     pub fn from_text(text: &str) -> Result<FleetCheckpoint, String> {
         let mut lines = text.lines();
         let header = lines.next().unwrap_or("");
@@ -683,6 +799,27 @@ impl FleetCheckpoint {
                 ),
                 None => format!("not a cinder-fleet checkpoint (first line `{header}`)"),
             });
+        }
+        // Verify integrity before trusting any field. The scenario name is
+        // JSON-escaped onto a single line, so the last `\nchecksum ` in the
+        // file is always the real checksum line.
+        let body_end = text
+            .rfind("\nchecksum ")
+            .ok_or("checkpoint is missing its checksum line (truncated?)")?
+            + 1;
+        let stored_hex = text[body_end..]
+            .lines()
+            .next()
+            .and_then(|line| line.strip_prefix("checksum "))
+            .unwrap_or("");
+        let stored = u64::from_str_radix(stored_hex, 16)
+            .map_err(|_| format!("bad checksum `{stored_hex}`"))?;
+        let computed = fnv1a_64(&text.as_bytes()[..body_end]);
+        if stored != computed {
+            return Err(format!(
+                "checkpoint checksum mismatch: stored {stored:016x}, computed \
+                 {computed:016x} — the file is truncated or corrupted"
+            ));
         }
         let mut field = |key: &str| -> Result<String, String> {
             let line = lines.next().ok_or_else(|| format!("missing {key}"))?;
@@ -719,6 +856,14 @@ impl FleetCheckpoint {
         summary.presence_ambient_s = parse_num(&field("presence_ambient_s")?)?;
         summary.presence_away_s = parse_num(&field("presence_away_s")?)?;
         summary.presence_asleep_s = parse_num(&field("presence_asleep_s")?)?;
+        summary.link_flaps = parse_num(&field("link_flaps")?)?;
+        summary.link_down_us = parse_num(&field("link_down_us")?)?;
+        summary.flap_lost_bytes = parse_num(&field("flap_lost_bytes")?)?;
+        summary.crashes = parse_num(&field("crashes")?)?;
+        summary.restarts = parse_num(&field("restarts")?)?;
+        summary.retries = parse_num(&field("retries")?)?;
+        summary.retries_exhausted = parse_num(&field("retries_exhausted")?)?;
+        summary.fade_uj = parse_num(&field("fade_uj")?)?;
         for name in [
             "lifetime_h",
             "avg_power_mw",
@@ -757,6 +902,7 @@ impl FleetCheckpoint {
                 _ => summary.offload_latency_s = ch,
             }
         }
+        let _ = field("checksum")?;
         if lines.next() != Some("end") {
             return Err("missing end marker".into());
         }
@@ -1019,12 +1165,42 @@ mod tests {
         assert!(FleetCheckpoint::from_text("").is_err());
         // Old format versions are named in the error, not silently
         // migrated (their layouts are missing accumulators).
-        for old in ["v1", "v2"] {
+        for old in ["v1", "v2", "v3"] {
             let err = FleetCheckpoint::from_text(&format!("cinder-fleet-checkpoint {old}\nnope"))
                 .unwrap_err();
-            assert!(err.contains(old) && err.contains("v3"), "{err}");
+            assert!(err.contains(old) && err.contains("v4"), "{err}");
         }
-        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v3\nnope").is_err());
+        assert!(FleetCheckpoint::from_text("cinder-fleet-checkpoint v4\nnope").is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_corruption() {
+        let scenario = Scenario {
+            horizon: SimDuration::from_secs(60),
+            ..Scenario::mixed("integrity", 3, 4)
+        };
+        let text = checkpoint_fleet(&scenario, 2, 1).to_text();
+
+        // A single flipped bit anywhere in the body breaks the checksum.
+        let target = "seed 3";
+        let flipped = text.replacen(target, "seed 7", 1);
+        assert_ne!(flipped, text);
+        let err = FleetCheckpoint::from_text(&flipped).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // A flipped digit inside the checksum line itself is also caught.
+        let sum_at = text.rfind("checksum ").unwrap() + "checksum ".len();
+        let digit = text.as_bytes()[sum_at] as char;
+        let swap = if digit == '0' { '1' } else { '0' };
+        let mut bad_sum = text.clone();
+        bad_sum.replace_range(sum_at..sum_at + 1, &swap.to_string());
+        let err = FleetCheckpoint::from_text(&bad_sum).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // Truncation loses the checksum line entirely.
+        let truncated = &text[..text.rfind("checksum ").unwrap()];
+        let err = FleetCheckpoint::from_text(truncated).unwrap_err();
+        assert!(err.contains("missing its checksum"), "{err}");
     }
 
     #[test]

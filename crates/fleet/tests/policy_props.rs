@@ -6,8 +6,8 @@
 //! * Fast-forward on vs off yields byte-identical per-device reports with
 //!   a policy ticking (a pending re-rate must bound the steady epoch).
 //! * A checkpointed split run with policies enabled equals a single run
-//!   byte-for-byte through the v3 text format.
-//! * Old checkpoint format versions (v1, v2) are rejected with an error
+//!   byte-for-byte through the v4 text format.
+//! * Old checkpoint format versions (v1–v3) are rejected with an error
 //!   naming both versions.
 //! * Adding a policy to a scenario must not perturb the per-device RNG
 //!   draws (battery, jitter, kernel seed are drawn before the config is
@@ -75,13 +75,13 @@ fn old_checkpoint_versions_are_rejected_by_name() {
     let scenario = quick(3, 4);
     let current = checkpoint_fleet(&scenario, 2, 1).to_text();
     assert!(current.starts_with(CHECKPOINT_FORMAT));
-    for old in ["v1", "v2"] {
+    for old in ["v1", "v2", "v3"] {
         // A real current-format body under an old header: the parser must
         // refuse at the version line, not limp through the layout.
-        let downgraded = current.replacen("v3", old, 1);
+        let downgraded = current.replacen("v4", old, 1);
         let err = FleetCheckpoint::from_text(&downgraded).unwrap_err();
         assert!(
-            err.contains(old) && err.contains("v3"),
+            err.contains(old) && err.contains("v4"),
             "error must name both versions: {err}"
         );
     }

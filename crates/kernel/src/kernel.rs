@@ -20,6 +20,7 @@ use cinder_core::{
     quota, Actor, GraphConfig, Quantity, RateSpec, ReserveId, ResourceGraph, ResourceKind,
     ResourceScheduler, SchedulerConfig, TapId, TaskId, TaskState,
 };
+use cinder_faults::FlapSemantics;
 use cinder_hw::{
     Arm9, Arm9Request, Arm9Response, Battery, CpuKind, LaptopNet, PlatformPower, RadioParams,
 };
@@ -146,11 +147,34 @@ pub struct KernelObservables {
     pub offload: OffloadStats,
 }
 
+/// Fault-injection telemetry: what the link-flap layer did to this
+/// kernel. All zeros on a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Link flaps applied ([`Kernel::fault_link_down`] calls that took).
+    pub link_flaps: u64,
+    /// In-flight deliveries stalled to a flap's end ([`FlapSemantics::Stall`]).
+    pub stalled_deliveries: u64,
+    /// In-flight deliveries dropped by a flap (refund or sink semantics).
+    pub dropped_deliveries: u64,
+    /// Payload bytes lost in dropped deliveries.
+    pub lost_bytes: u64,
+    /// Sends held back because the link was down (distinct from
+    /// blocked-on-bytes and blocked-on-pooled-energy).
+    pub link_blocked_sends: u64,
+    /// Offload attempts rejected because the link was down.
+    pub link_rejected_offloads: u64,
+}
+
 /// Events on the kernel timeline.
 #[derive(Debug, Clone, Copy)]
 enum KernelEvent {
     /// Wake a sleeping/blocked thread.
     Wake(ThreadId),
+    /// The end of a link flap: the radio link comes back up. Scheduled by
+    /// [`Kernel::fault_link_down`], so a flap is self-contained — every
+    /// fast-forward path's event bound already stops at it.
+    LinkUp,
     /// Deliver received bytes: extends the radio episode and debits the
     /// billed energy reserve (and the data plan's bytes) after the fact.
     /// `wakes` marks an offload response: delivery also wakes the thread
@@ -264,6 +288,12 @@ pub struct Kernel {
     offload_waiters: usize,
     /// Kernel-wide offload telemetry.
     offload_stats: OffloadStats,
+    /// While true the radio link is administratively down (a fault-injected
+    /// flap): new sends block, offloads reject, and the stack is not
+    /// polled. Restored by the queued [`KernelEvent::LinkUp`].
+    link_down: bool,
+    /// Fault-injection telemetry.
+    faults: FaultCounters,
 }
 
 impl Kernel {
@@ -323,6 +353,8 @@ impl Kernel {
             offload: None,
             offload_waiters: 0,
             offload_stats: OffloadStats::default(),
+            link_down: false,
+            faults: FaultCounters::default(),
             now: SimTime::ZERO,
             config,
         }
@@ -445,6 +477,95 @@ impl Kernel {
     /// Kernel-wide offload telemetry.
     pub fn offload_stats(&self) -> OffloadStats {
         self.offload_stats
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Whether a fault-injected link flap is currently in force.
+    pub fn link_is_down(&self) -> bool {
+        self.link_down
+    }
+
+    /// Fault-injection telemetry (all zeros on a fault-free run).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// Takes the radio link down until `until` (exclusive), applying
+    /// `semantics` to in-flight inbound deliveries. While down, new sends
+    /// are held in the kernel (released by the regular byte-quota retry
+    /// path once the link returns), offload attempts reject immediately,
+    /// and the stack is not polled — anything `netd` is already pooling
+    /// simply waits, whatever the semantics. The restoring link-up kernel
+    /// event is queued here, so a flap is self-contained and every
+    /// fast-forward jump is bounded by it.
+    ///
+    /// `until` must land on the caller's span grid (the fault runtime
+    /// aligns flap windows to the scheduler quantum). A call while the
+    /// link is already down is a no-op: fault plans keep windows disjoint.
+    pub fn fault_link_down(&mut self, until: SimTime, semantics: FlapSemantics) {
+        if self.link_down || until <= self.now {
+            return;
+        }
+        self.link_down = true;
+        self.faults.link_flaps += 1;
+        // Rework the in-flight schedule under the new reality. Draining in
+        // pop order and re-scheduling in that order preserves the FIFO
+        // tie-break among equal-time events, so untouched events replay
+        // exactly as before.
+        let drained = self.events.drain_all();
+        self.events.schedule(until, KernelEvent::LinkUp);
+        for (at, ev) in drained {
+            match ev {
+                KernelEvent::Rx {
+                    thread,
+                    bytes,
+                    bill,
+                    bill_bytes,
+                    wakes,
+                } if at < until => match semantics {
+                    FlapSemantics::Stall => {
+                        self.faults.stalled_deliveries += 1;
+                        self.events.schedule(
+                            until,
+                            KernelEvent::Rx {
+                                thread,
+                                bytes,
+                                bill,
+                                bill_bytes,
+                                wakes,
+                            },
+                        );
+                    }
+                    FlapSemantics::DropRefund => {
+                        // Bill-on-delivery (§5.5.2) means an undelivered
+                        // packet was never charged: dropping the event *is*
+                        // the refund. A dropped offload response leaves the
+                        // deadline event to wake the waiter as TimedOut.
+                        self.faults.dropped_deliveries += 1;
+                        self.faults.lost_bytes += bytes;
+                    }
+                    FlapSemantics::DropSink => {
+                        // The payload is lost but the radio spent the
+                        // energy: a wake-less billing event lands when the
+                        // link returns, charging the doomed bytes.
+                        self.faults.dropped_deliveries += 1;
+                        self.faults.lost_bytes += bytes;
+                        self.events.schedule(
+                            until,
+                            KernelEvent::Rx {
+                                thread,
+                                bytes,
+                                bill,
+                                bill_bytes,
+                                wakes: false,
+                            },
+                        );
+                    }
+                },
+                _ => self.events.schedule(at, ev),
+            }
+        }
     }
 
     /// A root read of a reserve's level — the typed graph query policy
@@ -1235,21 +1356,30 @@ impl Kernel {
         }
         // A send blocked on its byte quota is re-checked at every net poll,
         // so quanta are not skippable while a tap may be refilling the
-        // plan. A plan with no inbound tap provably stays uncovered across
-        // the span — nothing else runs inside a skipped span, and events
-        // only ever *debit* byte reserves — so an exhausted dead-end plan
-        // (the mid-hour scenario's tail) does not pin the loop to
-        // per-quantum stepping. The `byte_waiters` counter makes the
-        // no-waiter common case O(1); with waiters, each plan's inbound
-        // check is O(1) off the flow engine's index (no tap scan).
-        if self.byte_waiters > 0 {
+        // plan — or while the plan already covers the send (a link flap
+        // can hold covered, even plan-less, sends). A plan with no inbound
+        // tap that does not yet cover provably stays uncovered across the
+        // span — nothing else runs inside a skipped span, and events only
+        // ever *debit* byte reserves — so an exhausted dead-end plan (the
+        // mid-hour scenario's tail) does not pin the loop to per-quantum
+        // stepping. While the link is down no held send can move at all
+        // (polls are no-ops), so waiters never pin a downed span; the
+        // queued LinkUp event bounds the jump instead. The `byte_waiters`
+        // counter makes the no-waiter common case O(1); with waiters, each
+        // plan's inbound check is O(1) off the flow engine's index (no tap
+        // scan).
+        if self.byte_waiters > 0 && !self.link_down {
             let refillable_waiter = self.threads.iter().any(|t| {
                 !t.exited
-                    && t.pending_send.is_some()
-                    && self
-                        .sched
-                        .reserve_for(t.task, ResourceKind::NetworkBytes)
-                        .is_some_and(|plan| self.graph.has_inbound_tap(plan))
+                    && t.pending_send.is_some_and(|p| {
+                        match self.sched.reserve_for(t.task, ResourceKind::NetworkBytes) {
+                            Some(plan) => {
+                                self.plan_covers(plan, p.tx_bytes, p.rx_bytes)
+                                    || self.graph.has_inbound_tap(plan)
+                            }
+                            None => true,
+                        }
+                    })
             });
             if refillable_waiter {
                 return;
@@ -1340,13 +1470,18 @@ impl Kernel {
                 return false;
             }
         }
-        if self.byte_waiters > 0 {
+        // With the link down nothing is submittable (polls are no-ops) and
+        // the LinkUp event bounds the jump; otherwise a held send whose
+        // plan covers it — or that has no plan at all (link-flap holds) —
+        // would be submitted at the next poll, so the span is not frozen.
+        if self.byte_waiters > 0 && !self.link_down {
             let submittable = self.threads.iter().any(|t| {
                 !t.exited
                     && t.pending_send.is_some_and(|p| {
-                        self.sched
-                            .reserve_for(t.task, ResourceKind::NetworkBytes)
-                            .is_some_and(|plan| self.plan_covers(plan, p.tx_bytes, p.rx_bytes))
+                        match self.sched.reserve_for(t.task, ResourceKind::NetworkBytes) {
+                            Some(plan) => self.plan_covers(plan, p.tx_bytes, p.rx_bytes),
+                            None => true,
+                        }
                     })
             });
             if submittable {
@@ -1428,16 +1563,20 @@ impl Kernel {
                 return None;
             }
         }
-        if self.byte_waiters > 0 {
+        // Mirrors the in-loop guards: a downed link makes every held send
+        // inert (the LinkUp event bounds the certificate), otherwise a
+        // covered — or plan-less — held send submits at the next poll.
+        if self.byte_waiters > 0 && !self.link_down {
             let pinned = self.threads.iter().any(|t| {
                 !t.exited
                     && t.pending_send.is_some_and(|p| {
-                        self.sched
-                            .reserve_for(t.task, ResourceKind::NetworkBytes)
-                            .is_some_and(|plan| {
+                        match self.sched.reserve_for(t.task, ResourceKind::NetworkBytes) {
+                            Some(plan) => {
                                 self.plan_covers(plan, p.tx_bytes, p.rx_bytes)
                                     || (!frozen && self.graph.has_inbound_tap(plan))
-                            })
+                            }
+                            None => true,
+                        }
                     })
             });
             if pinned {
@@ -1538,6 +1677,13 @@ impl Kernel {
         while let Some((_, ev)) = self.events.pop_due(t) {
             match ev {
                 KernelEvent::Wake(tid) => self.wake(tid),
+                KernelEvent::LinkUp => {
+                    // The flap is over. Held sends go back out through the
+                    // regular retry path at this boundary's net poll, which
+                    // is immediately due (the poll clock did not advance
+                    // while the link was down).
+                    self.link_down = false;
+                }
                 KernelEvent::Rx {
                     thread,
                     bytes,
@@ -1625,6 +1771,13 @@ impl Kernel {
             // poll clock only sequences observable poll work, and the next
             // real poll re-anchors it exactly as the first poll of a run
             // does.
+            return;
+        }
+        if self.link_down {
+            // A downed link freezes the whole poll path — no retries, no
+            // stack sweep, and (deliberately) no poll-clock advance, so the
+            // first poll after LinkUp is immediately due. A no-op poll is
+            // what makes link-down quanta skippable.
             return;
         }
         let tick = self.graph.config().flow_tick;
@@ -1766,11 +1919,14 @@ impl Kernel {
             };
             let task = st.task;
             let pending = st.pending_send.expect("filtered on pending_send");
-            let Some(plan) = self.sched.reserve_for(task, ResourceKind::NetworkBytes) else {
-                continue;
-            };
-            if !self.plan_covers(plan, pending.tx_bytes, pending.rx_bytes) {
-                continue;
+            // A held send without a byte plan exists only after a link
+            // flap (link-down holds *every* send); nothing byte-gates it,
+            // so it is always coverable once the link is back.
+            let plan = self.sched.reserve_for(task, ResourceKind::NetworkBytes);
+            if let Some(plan) = plan {
+                if !self.plan_covers(plan, pending.tx_bytes, pending.rx_bytes) {
+                    continue;
+                }
             }
             let Some(reserve) = self.sched.reserve_for(task, ResourceKind::Energy) else {
                 continue;
@@ -1783,7 +1939,7 @@ impl Kernel {
             let req = SendRequest {
                 thread: tid,
                 reserve,
-                byte_reserve: Some(plan),
+                byte_reserve: plan,
                 tx_bytes: pending.tx_bytes,
                 rx_bytes: pending.rx_bytes,
                 extra_delay: SimDuration::ZERO,
@@ -1945,6 +2101,11 @@ impl Ctx<'_> {
     /// This thread's id.
     pub fn thread_id(&self) -> ThreadId {
         self.tid
+    }
+
+    /// The scheduler quantum — the grid retry/backoff helpers align to.
+    pub fn quantum(&self) -> SimDuration {
+        self.kernel.sched.quantum()
     }
 
     /// The thread's security identity.
@@ -2155,6 +2316,21 @@ impl Ctx<'_> {
         if self.kernel.net.is_none() {
             return Err(KernelError::NoNetwork);
         }
+        if self.kernel.link_down {
+            // A flap holds *every* send in the kernel, plan or no plan —
+            // the same holding pen as blocked-on-bytes, released by the
+            // same retry path once the link returns. Nothing is billed.
+            let st = self
+                .kernel
+                .thread_mut(self.tid)
+                .ok_or(KernelError::NoSuchThread)?;
+            let was_waiting = st.pending_send.replace(PendingSend { tx_bytes, rx_bytes });
+            if was_waiting.is_none() {
+                self.kernel.byte_waiters += 1;
+            }
+            self.kernel.faults.link_blocked_sends += 1;
+            return Ok(NetSendStatus::Blocked);
+        }
         let reserve = self.active_reserve();
         let byte_reserve = self.active_reserve_kind(ResourceKind::NetworkBytes);
         if let Some(plan) = byte_reserve {
@@ -2192,6 +2368,24 @@ impl Ctx<'_> {
         self.kernel
             .thread_mut(self.tid)
             .and_then(|s| s.net_result.take())
+    }
+
+    /// Withdraws this thread's *kernel-held* pending send (blocked on
+    /// bytes or on a link flap), if any. Returns `true` if a send was
+    /// cancelled; `false` means nothing was kernel-held — either no send
+    /// is outstanding or the stack already owns it (netd pooling), in
+    /// which case the caller keeps waiting. The retry helpers' give-up
+    /// path: a poller that has exhausted its backoff budget abandons the
+    /// poll instead of wedging until the plan refills or the link heals.
+    pub fn net_cancel_pending(&mut self) -> bool {
+        let cancelled = self
+            .kernel
+            .thread_mut(self.tid)
+            .is_some_and(|st| st.pending_send.take().is_some());
+        if cancelled {
+            self.kernel.byte_waiters -= 1;
+        }
+        cancelled
     }
 
     /// Sends `messages` SMS messages against the thread's
@@ -2240,6 +2434,13 @@ impl Ctx<'_> {
             return Err(KernelError::NoNetwork);
         }
         self.kernel.offload_stats.attempts += 1;
+        if self.kernel.link_down {
+            // No link, no backend: fail fast into local execution rather
+            // than holding the caller against its deadline.
+            self.kernel.offload_stats.rejected += 1;
+            self.kernel.faults.link_rejected_offloads += 1;
+            return Ok(OffloadStatus::Rejected);
+        }
         let reserve = self.active_reserve();
         let byte_reserve = self.active_reserve_kind(ResourceKind::NetworkBytes);
         // Unlike net_send, an uncovered offload does not block on bytes:

@@ -43,8 +43,11 @@ pub mod offload;
 pub mod peripheral;
 pub mod program;
 
+pub use cinder_faults::FlapSemantics;
 pub use errors::KernelError;
-pub use kernel::{Ctx, DownloadGrant, Kernel, KernelConfig, KernelObservables, ThreadId};
+pub use kernel::{
+    Ctx, DownloadGrant, FaultCounters, Kernel, KernelConfig, KernelObservables, ThreadId,
+};
 pub use netstack::{NetEnv, NetStack, SendRequest, SendVerdict};
 pub use object::{Body, KObject, ObjectId, ObjectKind};
 pub use offload::{

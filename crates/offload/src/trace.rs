@@ -122,6 +122,21 @@ impl BackendTrace {
     /// gated mean-field arrival stream through a fresh queue. Pure:
     /// identical inputs give an identical trace.
     pub fn build(profile: OffloadProfile, horizon: SimDuration) -> Self {
+        Self::build_with_outages(profile, horizon, &[])
+    }
+
+    /// Like [`BackendTrace::build`], but with deterministic outage
+    /// windows (`[start, stop)` pairs, sorted and disjoint). Epochs whose
+    /// start falls inside a window record a dead backend: the latency
+    /// estimate pins to the client deadline (so device-side break-even
+    /// goes local), the gate closes, nothing is offered, and any device
+    /// that offloads anyway is rejected. The queue keeps draining its
+    /// backlog through the window, so recovery dynamics are real.
+    pub fn build_with_outages(
+        profile: OffloadProfile,
+        horizon: SimDuration,
+        outages: &[(SimTime, SimTime)],
+    ) -> Self {
         assert!(!profile.epoch.is_zero(), "epoch must be positive");
         assert!(
             !profile.request_interval.is_zero(),
@@ -135,9 +150,26 @@ impl BackendTrace {
         // arrival rate is exact.
         let mut arrival_carry: u128 = 0;
         let deadline_us = profile.deadline.as_micros();
+        let mut outage_idx = 0usize;
         for e in 0..n_epochs {
             let t = SimTime::ZERO + profile.epoch * e;
             queue.advance_to(t);
+            while outage_idx < outages.len() && outages[outage_idx].1 <= t {
+                outage_idx += 1;
+            }
+            let down = outages
+                .get(outage_idx)
+                .is_some_and(|&(start, stop)| start <= t && t < stop);
+            if down {
+                epochs.push(EpochSample {
+                    latency_estimate: profile.deadline,
+                    gate_ppm: 0,
+                    accepted: false,
+                    response_latency: profile.deadline,
+                    timed_out: true,
+                });
+                continue;
+            }
             let est = queue.latency_estimate();
             // Latency gate: demand tapers linearly to zero as the estimate
             // approaches the deadline (mirroring the device policy's
@@ -331,6 +363,25 @@ mod tests {
         assert_eq!(early.latency_estimate, p.service, "empty queue at t=0");
         // Past the horizon clamps to the last epoch rather than panicking.
         let _ = trace.sample(SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn outage_windows_close_the_gate_and_pin_the_estimate() {
+        let p = OffloadProfile::default();
+        let h = SimDuration::from_secs(60);
+        let windows = [(SimTime::from_secs(10), SimTime::from_secs(20))];
+        let trace = BackendTrace::build_with_outages(p, h, &windows);
+        let down = trace.sample(SimTime::from_secs(15));
+        assert!(!down.accepted);
+        assert_eq!(down.gate_ppm, 0);
+        assert_eq!(down.latency_estimate, p.deadline);
+        let up = trace.sample(SimTime::from_secs(30));
+        assert!(up.accepted, "backend recovers after the window");
+        assert!(trace.totals().conserved());
+        // No windows == plain build, byte for byte.
+        let plain = BackendTrace::build(p, h);
+        let empty = BackendTrace::build_with_outages(p, h, &[]);
+        assert_eq!(plain.epochs, empty.epochs);
     }
 
     #[test]

@@ -109,6 +109,20 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Removes every pending event in pop order (time, then FIFO).
+    ///
+    /// Used by fault injection to rework the schedule wholesale (e.g. a
+    /// link flap stalling in-flight deliveries). Re-scheduling entries in
+    /// the returned order preserves the FIFO tie-break among equal-time
+    /// events, so a drain-and-requeue round trip is order-neutral.
+    pub fn drain_all(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -157,6 +171,27 @@ mod tests {
         q.schedule(SimTime::from_secs(1), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_and_requeue_is_order_neutral() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, 'a');
+        q.schedule(SimTime::ZERO, 'z');
+        q.schedule(t, 'b');
+        let drained = q.drain_all();
+        assert!(q.is_empty());
+        assert_eq!(
+            drained,
+            vec![(SimTime::ZERO, 'z'), (t, 'a'), (t, 'b')],
+            "drain yields pop order"
+        );
+        for (at, e) in drained {
+            q.schedule(at, e);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['z', 'a', 'b']);
     }
 
     #[test]

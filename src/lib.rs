@@ -19,6 +19,8 @@
 //! * [`policy`] — the user-aware policy engine: presence models,
 //!   lifetime-target control, and pure policy functions over kernel
 //!   observables.
+//! * [`faults`] — deterministic fault injection: radio flaps, backend
+//!   outages, battery aging, crash schedules, and bounded retry.
 //! * [`apps`] — the applications of the paper's §5: `energywrap`, spinners,
 //!   the browser and plugin, the image viewer, the task manager, and the
 //!   mail/RSS pollers.
@@ -30,6 +32,7 @@
 
 pub use cinder_apps as apps;
 pub use cinder_core as core;
+pub use cinder_faults as faults;
 pub use cinder_fleet as fleet;
 pub use cinder_hw as hw;
 pub use cinder_kernel as kernel;
